@@ -1,0 +1,69 @@
+"""R-F3 — a 2-D response-surface slice.
+
+The "trade-offs investigated practically instantly" figure: average
+load power and downtime over the (supercapacitance, reporting interval)
+plane, evaluated from the fitted surfaces — a 41x41 grid in
+milliseconds — with simulated spot checks confirming the surface.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import BENCH_ENVELOPE, print_banner
+from repro.analysis.ascii_plot import ascii_contour
+from repro.analysis.io import write_csv
+
+
+def test_fig3_response_surface(benchmark, canonical_study, canonical_toolkit):
+    study = canonical_study
+    print_banner(
+        "R-F3: response surface — data rate over (capacitance, tx_interval)"
+    )
+
+    def build_slice():
+        return study.surface_slice(
+            "effective_data_rate", "capacitance", "tx_interval", n=41
+        )
+
+    x, y, grid = benchmark(build_slice)
+    print(
+        ascii_contour(
+            grid,
+            (x[0], x[-1]),
+            (y[0], y[-1]),
+            title=(
+                "effective data rate [bit/s]; x: capacitance [F], "
+                "y: tx_interval [s] (log axis)"
+            ),
+        )
+    )
+    write_csv(
+        "fig3_surface_rate.csv",
+        {
+            "x_capacitance": np.repeat(x, len(y)),
+            "y_tx_interval": np.tile(y, len(x)),
+            "rate": grid.T.ravel(),
+        },
+    )
+
+    # Spot-check the surface against fresh simulations at two points.
+    # The rate response is exponential in the log-coded factors, so a
+    # quadratic is loose at corners; what must hold is the *ordering*
+    # and rough magnitude.
+    spots = {}
+    for cap, interval in ((0.3, 5.0), (0.8, 30.0)):
+        predicted = study.predict(capacitance=cap, tx_interval=interval)
+        simulated = canonical_toolkit.evaluate_point(
+            {"capacitance": cap, "tx_interval": interval}
+        )
+        spots[(cap, interval)] = (
+            predicted["effective_data_rate"],
+            simulated["effective_data_rate"],
+        )
+    fast_p, fast_s = spots[(0.3, 5.0)]
+    slow_p, slow_s = spots[(0.8, 30.0)]
+    assert fast_s > slow_s and fast_p > slow_p  # ordering preserved
+    assert fast_p > 0.3 * fast_s  # rough magnitude at the fast corner
+
+    # Shape: rate rises monotonically as the interval shrinks (rows of
+    # the grid are tx_interval; compare the fastest vs slowest rows).
+    assert np.all(grid[0, :] > grid[-1, :])

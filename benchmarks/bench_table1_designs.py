@@ -1,0 +1,112 @@
+"""R-T1 — the design-parameter table and candidate-design comparison.
+
+Reconstructs the "wide range of system parameters" table: the canonical
+5-factor space with physical ranges, then the run counts and quality
+diagnostics of every candidate design family across k = 2..6 — the
+budget menu the designer picks from before spending simulations.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import print_banner
+from repro.analysis.io import write_csv
+from repro.analysis.tables import format_table
+from repro.core.doe import (
+    box_behnken,
+    central_composite,
+    fractional_factorial,
+    latin_hypercube,
+    plackett_burman,
+    two_level_factorial,
+)
+from repro.core.doe.diagnostics import d_efficiency, max_column_correlation
+from repro.core.factors import canonical_space
+from repro.core.rsm.terms import ModelSpec
+
+_FRACTION_GENERATORS = {
+    4: ["D=ABC"],
+    5: ["E=ABCD"],
+    6: ["F=ABCDE"],
+}
+
+
+def _candidate_designs(k):
+    designs = [("full 2^k", two_level_factorial(k))]
+    if k in _FRACTION_GENERATORS:
+        designs.append(
+            (
+                f"2^({k}-1)",
+                fractional_factorial(k, _FRACTION_GENERATORS[k]),
+            )
+        )
+    designs.append(("plackett-burman", plackett_burman(k)))
+    designs.append(
+        ("ccd", central_composite(k, alpha="face", n_center=3,
+                                  fraction=k in (5, 6, 7)))
+    )
+    if 3 <= k <= 7:
+        designs.append(("box-behnken", box_behnken(k)))
+    designs.append(("lhs (4k runs)", latin_hypercube(4 * k, k, seed=1)))
+    return designs
+
+
+def test_table1_designs(benchmark):
+    space = canonical_space()
+    print_banner("R-T1: design factors and candidate designs")
+    rows = [
+        [f.name, f.low, f.high, f.units or "-", f.transform]
+        for f in space.factors
+    ]
+    print(
+        format_table(
+            ["factor", "low", "high", "units", "coding"],
+            rows,
+            title="design factors (canonical 5-factor space)",
+        )
+    )
+
+    def build_all():
+        table = []
+        for k in range(2, 7):
+            model = ModelSpec.quadratic(k)
+            for name, design in _candidate_designs(k):
+                quadratic_ok = design.n_runs >= model.p
+                table.append(
+                    (
+                        k,
+                        name,
+                        design.n_runs,
+                        max_column_correlation(design),
+                        d_efficiency(design, ModelSpec.linear(k)),
+                        quadratic_ok,
+                    )
+                )
+        return table
+
+    table = benchmark(build_all)
+    print()
+    print(
+        format_table(
+            ["k", "design", "runs", "max|corr|", "D-eff (linear)", "fits quad?"],
+            table,
+            title="candidate designs, k = 2..6",
+        )
+    )
+    write_csv(
+        "table1_designs.csv",
+        {
+            "k": [r[0] for r in table],
+            "runs": [r[2] for r in table],
+            "max_corr": [r[3] for r in table],
+            "d_eff": [r[4] for r in table],
+        },
+    )
+    # Shape assertions: factorial families orthogonal; the CCD always
+    # supports the quadratic model; full factorial run counts explode
+    # while CCD stays moderate.
+    by_key = {(r[0], r[1]): r for r in table}
+    assert by_key[(5, "full 2^k")][2] == 32
+    assert by_key[(5, "ccd")][2] < 32  # the "moderate" budget
+    assert by_key[(5, "ccd")][5] is True
+    for k in range(2, 7):
+        assert by_key[(k, "full 2^k")][3] <= 1e-12

@@ -1,0 +1,92 @@
+"""R-T3 — the CPU-time table.
+
+Three claims from the abstract chain together here:
+
+* the explicit linearized state-space engine cuts transient CPU time
+  by a large factor versus classical Newton-Raphson simulation (the
+  "two orders of magnitude" of reference [4] — we report the factor we
+  measure on identical models);
+* the envelope engine makes *mission-scale* runs cheap enough that a
+  designed experiment is a "moderate" budget;
+* one RSM evaluation is "practically instant" next to any simulation.
+"""
+
+import time
+
+import numpy as np
+
+from benchmarks.conftest import BENCH_ENVELOPE, print_banner
+from repro.analysis.io import write_csv
+from repro.analysis.tables import format_table
+from repro.presets import default_system
+from repro.sim.newton import NewtonRaphsonEngine
+from repro.sim.state_space import LinearizedStateSpaceEngine
+from repro.sim.runner import MissionConfig, simulate
+from repro.sim.system import SystemModel
+
+HORIZON = 1.0  # seconds of full-fidelity transient
+FREQ = 67.0
+
+
+def _run_engine(engine_cls):
+    config = default_system(with_controller=False)
+    config.node = None
+    system = SystemModel(config)
+    engine = engine_cls(system, 1.0 / (150 * FREQ))
+    started = time.perf_counter()
+    engine.step_to(HORIZON)
+    return time.perf_counter() - started, engine.stats
+
+
+def test_table3_cpu_time(benchmark, canonical_study):
+    print_banner("R-T3: CPU time per analysis")
+    t_nr, stats_nr = _run_engine(NewtonRaphsonEngine)
+    t_lss, stats_lss = _run_engine(LinearizedStateSpaceEngine)
+
+    # Mission-scale on the envelope engine (map cache warm from the
+    # canonical study fixture).
+    config = default_system()
+    started = time.perf_counter()
+    simulate(
+        config,
+        MissionConfig(t_end=900.0, engine="envelope", envelope=BENCH_ENVELOPE),
+    )
+    t_env = time.perf_counter() - started
+
+    # One RSM point evaluation, benchmarked properly.
+    surfaces = canonical_study.surfaces
+    point = np.zeros((1, canonical_study.space.k))
+
+    def rsm_eval():
+        return {n: s.predict(point) for n, s in surfaces.items()}
+
+    benchmark(rsm_eval)
+    t_rsm = canonical_study.rsm_eval_seconds
+
+    rows = [
+        ["Newton-Raphson transient (1 s)", t_nr, 1.0],
+        ["linearized state-space (1 s)", t_lss, t_nr / t_lss],
+        ["envelope mission (900 s)", t_env, float("nan")],
+        ["RSM evaluation (all responses)", t_rsm, t_nr / t_rsm],
+    ]
+    print(
+        format_table(
+            ["analysis", "wall [s]", "speedup vs NR"],
+            rows,
+            title=(
+                f"NR: {stats_nr.n_newton_iterations} Newton iterations, "
+                f"{stats_nr.n_matrix_builds} Jacobian builds;  LSS: "
+                f"{stats_lss.n_mode_switches} mode switches, "
+                f"{stats_lss.n_matrix_builds} cached-update builds"
+            ),
+        )
+    )
+    write_csv(
+        "table3_cpu_time.csv",
+        {"wall_seconds": [t_nr, t_lss, t_env, t_rsm]},
+    )
+    # Shape: the linearized engine clearly beats NR; the RSM beats
+    # everything by orders of magnitude.
+    assert t_lss < 0.5 * t_nr
+    assert t_rsm < 1e-3
+    assert t_nr / t_rsm > 1e3

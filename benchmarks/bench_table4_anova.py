@@ -1,0 +1,64 @@
+"""R-T4 — ANOVA / model-significance tables for the fitted RSMs.
+
+Standard DoE reporting backing the "high accuracy" claim: the
+regression must be significant, and (where centre replicates provide a
+pure-error estimate) the lack-of-fit should not scream that the
+quadratic form is inadequate.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import print_banner
+from repro.analysis.tables import format_table
+from repro.core.rsm.anova import anova_table
+
+
+def test_table4_anova(benchmark, canonical_study):
+    study = canonical_study
+    print_banner("R-T4: ANOVA per response (quadratic RSM on the CCD)")
+
+    from repro.core.rsm.transforms import TransformedSurface
+
+    def build_tables():
+        out = {}
+        for name, surface in study.surfaces.items():
+            base = (
+                surface.base
+                if isinstance(surface, TransformedSurface)
+                else surface
+            )
+            out[name] = anova_table(base)
+        return out
+
+    tables = benchmark(build_tables)
+
+    rows = []
+    for name, table in tables.items():
+        model_row = table.row("model")
+        rows.append(
+            [
+                name,
+                model_row.f_value,
+                model_row.p_value,
+                study.surfaces[name].stats.adj_r_squared,
+            ]
+        )
+    print(
+        format_table(
+            ["response", "model F", "model p", "adj R2"],
+            rows,
+            title="model significance summary",
+        )
+    )
+    print()
+    print("full table — effective_data_rate:")
+    print(tables["effective_data_rate"].format())
+
+    # Shape: the headline responses regress significantly.
+    for name in ("effective_data_rate", "average_load_power"):
+        assert tables[name].row("model").p_value < 0.01
+    # Sum-of-squares identity holds on real data too.
+    for table in tables.values():
+        total = table.row("total").sum_squares
+        parts = table.row("model").sum_squares + table.row("residual").sum_squares
+        assert np.isclose(total, parts, rtol=1e-9, atol=1e-12)

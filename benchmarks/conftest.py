@@ -1,0 +1,57 @@
+"""Shared fixtures for the benchmark suite.
+
+Heavy artefacts (the canonical 5-factor study, the charging map) are
+built once per session and shared; each benchmark file prints the
+table/figure it reconstructs and writes its series under ``results/``.
+
+Run everything with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.toolkit import SensorNodeDesignToolkit
+from repro.sim.envelope import EnvelopeOptions
+
+#: Envelope settings shared by every benchmark: production keying with
+#: a slightly reduced measurement budget so the whole suite stays in
+#: minutes.
+BENCH_ENVELOPE = EnvelopeOptions(
+    map_v_points=5,
+    map_nr_warmup_cycles=5,
+    map_warmup_cycles=12,
+    map_measure_cycles=8,
+    map_max_blocks=4,
+    map_steps_per_period=90,
+)
+
+#: Mission length for the DoE studies, s.
+STUDY_MISSION_TIME = 900.0
+
+
+@pytest.fixture(scope="session")
+def canonical_study():
+    """The 5-factor CCD study reused by R-T2 / R-T4 / R-F3 / R-F4."""
+    toolkit = SensorNodeDesignToolkit(
+        mission_time=STUDY_MISSION_TIME, envelope=BENCH_ENVELOPE
+    )
+    return toolkit.run_study(design="ccd", validate_points=8)
+
+
+@pytest.fixture(scope="session")
+def canonical_toolkit():
+    """A toolkit instance sharing the study's configuration."""
+    return SensorNodeDesignToolkit(
+        mission_time=STUDY_MISSION_TIME, envelope=BENCH_ENVELOPE
+    )
+
+
+def print_banner(title: str) -> None:
+    print()
+    print("=" * 78)
+    print(title)
+    print("=" * 78)

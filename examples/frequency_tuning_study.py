@@ -1,0 +1,92 @@
+"""Why tune? Harvested power across the ambient-frequency band.
+
+Sweeps the excitation frequency over 60-82 Hz and compares:
+
+* the *untuned* harvester (resonance parked at 64 Hz),
+* the *tuned* harvester (magnet gap re-set for each frequency), and
+* the analytic theory curves for both.
+
+Then simulates a drifting-machine mission with and without the tuning
+controller to show the energy the controller actually recovers.
+
+Run:  python examples/frequency_tuning_study.py
+"""
+
+import numpy as np
+
+from repro import MissionConfig, default_system, simulate
+from repro.analysis.ascii_plot import ascii_line_plot
+from repro.harvester import analytic
+from repro.sim.envelope import ChargingMap, EnvelopeOptions
+from repro.vibration.profiles import machine_room_profile
+
+
+def sweep_charging_current() -> None:
+    """Average store-charging current vs excitation frequency."""
+    config = default_system()
+    cmap = ChargingMap(config, EnvelopeOptions())
+    freqs = np.arange(60.0, 82.01, 1.0)
+    v_store = 2.6
+    untuned_gap = config.harvester.default_gap()  # resonance at ~64 Hz
+    tuned, untuned = [], []
+    for f in freqs:
+        tuned_gap = config.harvester.gap_for_frequency(
+            config.harvester.tuning.clamp_frequency(f)
+        )
+        tuned.append(cmap.current(v_store, f, 0.6, tuned_gap) * 1e6)
+        untuned.append(cmap.current(v_store, f, 0.6, untuned_gap) * 1e6)
+    print(
+        ascii_line_plot(
+            {
+                "tuned (gap follows f)": (freqs, np.array(tuned)),
+                "untuned (64 Hz device)": (freqs, np.array(untuned)),
+            },
+            title="average charging current vs ambient frequency (uA at 2.6 V)",
+            x_label="frequency [Hz]",
+            y_label="uA",
+        )
+    )
+    band = config.harvester.tuning.achievable_band
+    print(f"\ntuning band: {band[0]:.1f} .. {band[1]:.1f} Hz")
+    theory = analytic.power_vs_frequency(
+        config.harvester.params, 0.6, freqs, 8.0e4
+    )
+    print(
+        "theory check (resistive-load power peaks at the untuned "
+        f"resonance): argmax = {freqs[np.argmax(theory)]:.0f} Hz"
+    )
+
+
+def drifting_mission() -> None:
+    """Mission value of the controller under a drifting machine tone."""
+    results = {}
+    for label, with_controller in (("with tuning", True), ("no tuning", False)):
+        config = default_system(
+            vibration=machine_room_profile(
+                base_frequency=66.0, drift_hz=4.0, drift_rate=0.002
+            ),
+            tx_interval=15.0,
+            dead_band=0.4,
+            check_interval=60.0,
+            with_controller=with_controller,
+        )
+        results[label] = simulate(
+            config, MissionConfig(t_end=1800.0, engine="envelope")
+        )
+    print("\ndrifting machine tone, 30-minute mission:")
+    for label, res in results.items():
+        print(
+            f"  {label:12s}: harvested {res.energy('harvested') * 1e3:7.2f} mJ, "
+            f"tuning spend {res.energy('tuning') * 1e3:6.2f} mJ, "
+            f"final store {res.final_store_voltage():.3f} V, "
+            f"retunes {res.counter('retunes'):.0f}"
+        )
+    gain = results["with tuning"].energy("harvested") - results[
+        "no tuning"
+    ].energy("harvested")
+    print(f"  harvest recovered by tuning: {gain * 1e3:.2f} mJ")
+
+
+if __name__ == "__main__":
+    sweep_charging_current()
+    drifting_mission()

@@ -1,0 +1,125 @@
+"""repro — DoE/RSM design-space exploration for harvester-powered sensor nodes.
+
+A from-scratch reproduction of *"DoE-based performance optimization of
+energy management in sensor nodes powered by tunable energy-harvesters"*
+(Kazmierski, Wang, Al-Hashimi, Merrett — DATE 2013) and the substrates
+it builds on: the tunable electromagnetic microgenerator, the
+diode-based power-processing chain, the duty-cycled wireless sensor
+node, the explicit linearized state-space simulation engine, and the
+design-of-experiments / response-surface toolkit that makes the design
+space explorable "practically instantly".
+
+Quickstart::
+
+    from repro import default_system, MissionConfig, simulate
+
+    config = default_system()
+    result = simulate(config, MissionConfig(t_end=1800.0, engine="envelope"))
+    print(result.summary())
+
+See :mod:`repro.core.toolkit` for the paper's DoE flow end-to-end.
+"""
+
+from repro.errors import (
+    ReproError,
+    ModelError,
+    SimulationError,
+    DesignError,
+    FitError,
+    OptimizationError,
+)
+from repro.harvester import (
+    MicrogeneratorParameters,
+    Microgenerator,
+    MagneticTuningLaw,
+    TunableHarvester,
+    TuningActuator,
+)
+from repro.power import (
+    Diode,
+    Supercapacitor,
+    Regulator,
+    build_bridge_circuit,
+    build_doubler_circuit,
+    build_multiplier_circuit,
+    build_resistive_load_circuit,
+)
+from repro.node import (
+    MCUModel,
+    RadioModel,
+    SensorModel,
+    SensorNode,
+    TuningController,
+    FixedPeriodPolicy,
+    ThresholdAdaptivePolicy,
+    EnergyNeutralPolicy,
+)
+from repro.vibration import (
+    SineVibration,
+    MultiToneVibration,
+    DriftingSineVibration,
+    SteppedFrequencyVibration,
+    BandNoiseVibration,
+    CompositeVibration,
+)
+from repro.sim import (
+    SystemConfig,
+    SystemModel,
+    SimulationResult,
+    MissionConfig,
+    simulate,
+)
+from repro.indicators import (
+    evaluate_indicators,
+    indicator_names,
+    register_indicator,
+)
+from repro.presets import default_system, scenario_system
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ReproError",
+    "ModelError",
+    "SimulationError",
+    "DesignError",
+    "FitError",
+    "OptimizationError",
+    "MicrogeneratorParameters",
+    "Microgenerator",
+    "MagneticTuningLaw",
+    "TunableHarvester",
+    "TuningActuator",
+    "Diode",
+    "Supercapacitor",
+    "Regulator",
+    "build_bridge_circuit",
+    "build_doubler_circuit",
+    "build_multiplier_circuit",
+    "build_resistive_load_circuit",
+    "MCUModel",
+    "RadioModel",
+    "SensorModel",
+    "SensorNode",
+    "TuningController",
+    "FixedPeriodPolicy",
+    "ThresholdAdaptivePolicy",
+    "EnergyNeutralPolicy",
+    "SineVibration",
+    "MultiToneVibration",
+    "DriftingSineVibration",
+    "SteppedFrequencyVibration",
+    "BandNoiseVibration",
+    "CompositeVibration",
+    "SystemConfig",
+    "SystemModel",
+    "SimulationResult",
+    "MissionConfig",
+    "simulate",
+    "evaluate_indicators",
+    "indicator_names",
+    "register_indicator",
+    "default_system",
+    "scenario_system",
+    "__version__",
+]

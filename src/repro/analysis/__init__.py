@@ -1,0 +1,19 @@
+"""Reporting and plotting helpers.
+
+No plotting stack is available offline, so "figures" are produced as
+CSV series (:mod:`repro.analysis.io`) plus ASCII renderings
+(:mod:`repro.analysis.ascii_plot`), and tables as aligned text
+(:mod:`repro.analysis.tables`).
+"""
+
+from repro.analysis.tables import format_table
+from repro.analysis.ascii_plot import ascii_line_plot, ascii_contour
+from repro.analysis.io import write_csv, ensure_results_dir
+
+__all__ = [
+    "format_table",
+    "ascii_line_plot",
+    "ascii_contour",
+    "write_csv",
+    "ensure_results_dir",
+]

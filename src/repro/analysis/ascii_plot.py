@@ -1,0 +1,130 @@
+"""ASCII plotting for figure benchmarks.
+
+Line plots for the R-F series (multiple series share one canvas,
+distinguished by marker characters) and a density contour for the
+response-surface figure.  Deliberately plain: the CSV written next to
+every figure is the machine-readable artefact; these renderings exist
+so a terminal user sees the *shape* immediately.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import ReproError
+
+_MARKERS = "ox+*#@%&"
+_SHADES = " .:-=+*#%@"
+
+
+def ascii_line_plot(
+    series: Mapping[str, tuple[np.ndarray, np.ndarray]],
+    width: int = 72,
+    height: int = 20,
+    x_label: str = "x",
+    y_label: str = "y",
+    title: str | None = None,
+) -> str:
+    """Render one or more (x, y) series on a shared canvas.
+
+    Args:
+        series: name -> (x, y) arrays; each series gets the next
+            marker character and a legend entry.
+        width / height: canvas size in characters.
+        x_label / y_label: axis captions.
+        title: optional heading.
+    """
+    if not series:
+        raise ReproError("need at least one series")
+    if width < 16 or height < 6:
+        raise ReproError("canvas too small to be legible")
+    xs_all = np.concatenate([np.asarray(x, dtype=float) for x, _ in series.values()])
+    ys_all = np.concatenate([np.asarray(y, dtype=float) for _, y in series.values()])
+    finite = np.isfinite(xs_all) & np.isfinite(ys_all)
+    if not np.any(finite):
+        raise ReproError("no finite points to plot")
+    x_min, x_max = float(xs_all[finite].min()), float(xs_all[finite].max())
+    y_min, y_max = float(ys_all[finite].min()), float(ys_all[finite].max())
+    if x_max == x_min:
+        x_max = x_min + 1.0
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    canvas = [[" "] * width for _ in range(height)]
+    legend = []
+    for idx, (name, (x, y)) in enumerate(series.items()):
+        marker = _MARKERS[idx % len(_MARKERS)]
+        legend.append(f"{marker} {name}")
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=float)
+        for xv, yv in zip(x, y):
+            if not (np.isfinite(xv) and np.isfinite(yv)):
+                continue
+            col = int(round((xv - x_min) / (x_max - x_min) * (width - 1)))
+            row = int(round((yv - y_min) / (y_max - y_min) * (height - 1)))
+            canvas[height - 1 - row][col] = marker
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_label} (top {y_max:.4g}, bottom {y_min:.4g})")
+    for row in canvas:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(f" {x_label}: {x_min:.4g} .. {x_max:.4g}")
+    lines.append(" legend: " + "   ".join(legend))
+    return "\n".join(lines)
+
+
+def ascii_contour(
+    grid: np.ndarray,
+    x_range: tuple[float, float],
+    y_range: tuple[float, float],
+    width: int = 64,
+    height: int = 24,
+    title: str | None = None,
+) -> str:
+    """Render a 2-D scalar field as shaded ASCII density.
+
+    Args:
+        grid: (ny, nx) values; row 0 is the *lowest* y (plotted at the
+            bottom).
+        x_range / y_range: physical extents for the axis captions.
+        width / height: output size (the grid is nearest-neighbour
+            resampled).
+        title: optional heading.
+    """
+    grid = np.asarray(grid, dtype=float)
+    if grid.ndim != 2 or grid.size == 0:
+        raise ReproError("grid must be 2-D and non-empty")
+    finite = np.isfinite(grid)
+    if not np.any(finite):
+        raise ReproError("no finite grid values")
+    lo = float(grid[finite].min())
+    hi = float(grid[finite].max())
+    span = hi - lo if hi > lo else 1.0
+    ny, nx = grid.shape
+    rows = []
+    for r in range(height):
+        src_y = int(round((height - 1 - r) / max(height - 1, 1) * (ny - 1)))
+        line = []
+        for c in range(width):
+            src_x = int(round(c / max(width - 1, 1) * (nx - 1)))
+            value = grid[src_y, src_x]
+            if not np.isfinite(value):
+                line.append("?")
+                continue
+            shade = int((value - lo) / span * (len(_SHADES) - 1))
+            line.append(_SHADES[shade])
+        rows.append("|" + "".join(line))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"value: {lo:.4g} (' ') .. {hi:.4g} ('@')")
+    lines.extend(rows)
+    lines.append("+" + "-" * width)
+    lines.append(
+        f" x: {x_range[0]:.4g} .. {x_range[1]:.4g}   "
+        f"y: {y_range[0]:.4g} .. {y_range[1]:.4g} (bottom..top)"
+    )
+    return "\n".join(lines)

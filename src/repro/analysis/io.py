@@ -1,0 +1,54 @@
+"""CSV output for figure/table data.
+
+Every benchmark writes its series under ``results/`` so the numbers
+behind each reconstructed figure are inspectable and re-plottable
+elsewhere; these helpers keep the format and destination uniform.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import ReproError
+
+
+def ensure_results_dir(base: str | None = None) -> str:
+    """Create (if needed) and return the results directory path.
+
+    Defaults to ``results/`` under the current working directory, or
+    the ``REPRO_RESULTS_DIR`` environment variable when set.
+    """
+    path = base or os.environ.get("REPRO_RESULTS_DIR") or "results"
+    os.makedirs(path, exist_ok=True)
+    return path
+
+
+def write_csv(
+    filename: str,
+    columns: Mapping[str, Sequence[float]] | Mapping[str, np.ndarray],
+    directory: str | None = None,
+) -> str:
+    """Write named columns to ``results/<filename>``; returns the path.
+
+    All columns must share one length; values are written with full
+    repr precision so downstream plotting loses nothing.
+    """
+    if not columns:
+        raise ReproError("write_csv needs at least one column")
+    lengths = {name: len(vals) for name, vals in columns.items()}
+    if len(set(lengths.values())) != 1:
+        raise ReproError(f"column lengths differ: {lengths}")
+    directory = ensure_results_dir(directory)
+    path = os.path.join(directory, filename)
+    names = list(columns)
+    n = lengths[names[0]]
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(names)
+        for i in range(n):
+            writer.writerow([repr(float(columns[name][i])) for name in names])
+    return path

@@ -1,0 +1,83 @@
+"""Aligned text tables.
+
+One formatter used by every benchmark and report so the output style
+is uniform: right-aligned numerics with sensible precision,
+left-aligned text, a header rule, and an optional title.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import ReproError
+
+
+def _format_cell(value: object, precision: int) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if value == 0.0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1e5 or magnitude < 10.0 ** (-precision):
+            return f"{value:.{precision}e}"
+        return f"{value:.{precision}g}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+    precision: int = 4,
+) -> str:
+    """Render rows as an aligned text table.
+
+    Args:
+        headers: column titles.
+        rows: cell values (numbers are formatted, NaN renders as '-').
+        title: optional line above the table.
+        precision: significant digits for floats.
+    """
+    if not headers:
+        raise ReproError("table needs headers")
+    for i, row in enumerate(rows):
+        if len(row) != len(headers):
+            raise ReproError(
+                f"row {i} has {len(row)} cells for {len(headers)} headers"
+            )
+    cells = [[_format_cell(v, precision) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for j, cell in enumerate(row):
+            widths[j] = max(widths[j], len(cell))
+    numeric = [
+        all(
+            isinstance(row[j], (int, float, bool))
+            for row in rows
+        )
+        if rows
+        else False
+        for j in range(len(headers))
+    ]
+
+    def render_row(row: Sequence[str]) -> str:
+        parts = []
+        for j, cell in enumerate(row):
+            if numeric[j]:
+                parts.append(cell.rjust(widths[j]))
+            else:
+                parts.append(cell.ljust(widths[j]))
+        return "  ".join(parts).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(headers))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(render_row(row) for row in cells)
+    return "\n".join(lines)

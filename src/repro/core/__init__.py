@@ -1,0 +1,68 @@
+"""The paper's contribution: DoE + RSM design-space exploration.
+
+* :mod:`repro.core.factors` — design factors and coded/physical
+  transforms.
+* :mod:`repro.core.doe` — experimental designs (factorials, fractional
+  factorials, Plackett-Burman, central composite, Box-Behnken, Latin
+  hypercube) and design diagnostics.
+* :mod:`repro.core.rsm` — response-surface modelling: polynomial term
+  algebra, least-squares fits with inference, ANOVA with lack-of-fit,
+  cross-validation, stepwise reduction, and surface analysis.
+* :mod:`repro.core.desirability` / :mod:`repro.core.optimize` /
+  :mod:`repro.core.pareto` — multi-response optimization on the fitted
+  surfaces.
+* :mod:`repro.core.explorer` / :mod:`repro.core.toolkit` — the
+  DoE-based design flow end-to-end, wired to the simulator and the
+  indicator registry.
+"""
+
+from repro.core.factors import Factor, DesignSpace
+from repro.core.doe import (
+    Design,
+    full_factorial,
+    two_level_factorial,
+    fractional_factorial,
+    plackett_burman,
+    central_composite,
+    box_behnken,
+    latin_hypercube,
+)
+from repro.core.rsm import (
+    Term,
+    ModelSpec,
+    ResponseSurface,
+    fit_response_surface,
+    anova_table,
+)
+from repro.core.desirability import Desirability, CompositeDesirability
+from repro.core.optimize import optimize_surface, optimize_desirability
+from repro.core.pareto import pareto_front
+from repro.core.explorer import DesignExplorer, ExplorationResult
+from repro.core.toolkit import SensorNodeDesignToolkit, ToolkitStudy
+
+__all__ = [
+    "Factor",
+    "DesignSpace",
+    "Design",
+    "full_factorial",
+    "two_level_factorial",
+    "fractional_factorial",
+    "plackett_burman",
+    "central_composite",
+    "box_behnken",
+    "latin_hypercube",
+    "Term",
+    "ModelSpec",
+    "ResponseSurface",
+    "fit_response_surface",
+    "anova_table",
+    "Desirability",
+    "CompositeDesirability",
+    "optimize_surface",
+    "optimize_desirability",
+    "pareto_front",
+    "DesignExplorer",
+    "ExplorationResult",
+    "SensorNodeDesignToolkit",
+    "ToolkitStudy",
+]

@@ -1,0 +1,50 @@
+"""Design-of-experiments constructions.
+
+All generators return a :class:`~repro.core.doe.base.Design` holding the
+coded design matrix plus metadata (type, generators, alias structure
+where applicable).  Implemented from scratch:
+
+* :func:`two_level_factorial` / :func:`full_factorial` — 2^k and
+  general full factorials.
+* :func:`fractional_factorial` — 2^(k-p) fractions from generator
+  strings, with defining relation, alias structure and resolution.
+* :func:`plackett_burman` — Hadamard-based screening designs.
+* :func:`central_composite` — CCDs with rotatable / orthogonal /
+  face-centred axial spacing.
+* :func:`box_behnken` — three-level BBDs for 3-7 factors.
+* :func:`latin_hypercube` — random / centred / maximin LHS.
+* :mod:`repro.core.doe.diagnostics` — orthogonality, D-efficiency,
+  leverage, condition numbers.
+"""
+
+from repro.core.doe.base import Design
+from repro.core.doe.factorial import full_factorial, two_level_factorial
+from repro.core.doe.fractional import fractional_factorial, design_resolution
+from repro.core.doe.plackett_burman import plackett_burman
+from repro.core.doe.ccd import central_composite
+from repro.core.doe.box_behnken import box_behnken
+from repro.core.doe.lhs import latin_hypercube
+from repro.core.doe.diagnostics import (
+    column_correlations,
+    d_efficiency,
+    design_summary,
+    leverage,
+    max_column_correlation,
+)
+
+__all__ = [
+    "Design",
+    "full_factorial",
+    "two_level_factorial",
+    "fractional_factorial",
+    "design_resolution",
+    "plackett_burman",
+    "central_composite",
+    "box_behnken",
+    "latin_hypercube",
+    "column_correlations",
+    "d_efficiency",
+    "design_summary",
+    "leverage",
+    "max_column_correlation",
+]

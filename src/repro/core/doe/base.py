@@ -1,0 +1,81 @@
+"""The :class:`Design` container shared by all generators."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import DesignError
+
+
+@dataclass
+class Design:
+    """A coded experimental design.
+
+    Attributes:
+        matrix: (n_runs, k) coded design matrix.  Factorial portions
+            use ±1; centre points 0; CCD axial points ±alpha.
+        kind: generator tag ("full-2k", "fractional", "pb", "ccd",
+            "box-behnken", "lhs", ...).
+        meta: generator-specific metadata (generator strings, alias
+            structure, alpha, resolution, seed, ...).
+    """
+
+    matrix: np.ndarray
+    kind: str
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        m = np.asarray(self.matrix, dtype=float)
+        if m.ndim != 2 or m.size == 0:
+            raise DesignError(
+                f"design matrix must be 2-D and non-empty, got shape "
+                f"{m.shape}"
+            )
+        self.matrix = m
+
+    @property
+    def n_runs(self) -> int:
+        return self.matrix.shape[0]
+
+    @property
+    def k(self) -> int:
+        """Number of factors (columns)."""
+        return self.matrix.shape[1]
+
+    def with_center_points(self, n_center: int) -> "Design":
+        """Append centre-point runs (coded origin) to the design."""
+        if n_center < 0:
+            raise DesignError(f"n_center must be >= 0, got {n_center}")
+        if n_center == 0:
+            return self
+        center = np.zeros((n_center, self.k))
+        meta = dict(self.meta)
+        meta["n_center"] = meta.get("n_center", 0) + n_center
+        return Design(
+            matrix=np.vstack([self.matrix, center]), kind=self.kind, meta=meta
+        )
+
+    def replicated(self, times: int) -> "Design":
+        """Repeat every run ``times`` times (pure-error estimation)."""
+        if times < 1:
+            raise DesignError(f"times must be >= 1, got {times}")
+        if times == 1:
+            return self
+        meta = dict(self.meta)
+        meta["replicates"] = times
+        return Design(
+            matrix=np.repeat(self.matrix, times, axis=0),
+            kind=self.kind,
+            meta=meta,
+        )
+
+    def describe(self) -> str:
+        """One-line summary for tables."""
+        bits = [f"{self.kind}", f"{self.n_runs} runs", f"{self.k} factors"]
+        if "resolution" in self.meta:
+            bits.append(f"resolution {self.meta['resolution']}")
+        if "alpha" in self.meta:
+            bits.append(f"alpha={self.meta['alpha']:.3f}")
+        return ", ".join(bits)

@@ -1,0 +1,77 @@
+"""Box-Behnken designs.
+
+Three-level designs for fitting quadratic surfaces without corner
+points: runs sit at the midpoints of the edges of the factor box (for
+the classical constructions, on ±1 pairs with the remaining factors at
+0).  Attractive when the extreme corners are physically risky — for
+the node study, the (smallest store, fastest reporting, widest dead
+band) corner brownouts immediately, and BBD avoids ever running it.
+
+Constructions implemented: the standard pairwise design for k = 3..5
+and the partially balanced block design for k = 6 and 7 (Box & Behnken
+1960, tables 4-5).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from repro.core.doe.base import Design
+from repro.errors import DesignError
+
+#: Blocks for the k=6 and k=7 constructions (factor index triples).
+_BLOCKS = {
+    6: [(0, 1, 3), (1, 2, 4), (2, 3, 5), (0, 3, 4), (1, 4, 5), (0, 2, 5)],
+    7: [
+        (3, 4, 5),
+        (0, 5, 6),
+        (1, 4, 6),
+        (0, 1, 3),
+        (2, 3, 6),
+        (1, 2, 5),
+        (0, 2, 4),
+    ],
+}
+
+#: Default centre points recommended per k (Box & Behnken).
+_DEFAULT_CENTER = {3: 3, 4: 3, 5: 6, 6: 6, 7: 6}
+
+
+def box_behnken(k: int, n_center: int | None = None) -> Design:
+    """Build a Box-Behnken design for 3 to 7 factors.
+
+    Args:
+        k: number of factors.
+        n_center: centre replicates (defaults to the published
+            recommendation for each k).
+    """
+    if k < 3 or k > 7:
+        raise DesignError(
+            f"Box-Behnken constructions cover 3..7 factors, got {k}"
+        )
+    n_c = _DEFAULT_CENTER[k] if n_center is None else int(n_center)
+    if n_c < 0:
+        raise DesignError(f"n_center must be >= 0, got {n_c}")
+    signs2 = np.array(list(itertools.product((-1.0, 1.0), repeat=2)))
+    rows: list[np.ndarray] = []
+    if k <= 5:
+        for i, j in itertools.combinations(range(k), 2):
+            block = np.zeros((4, k))
+            block[:, i] = signs2[:, 0]
+            block[:, j] = signs2[:, 1]
+            rows.append(block)
+    else:
+        signs3 = np.array(list(itertools.product((-1.0, 1.0), repeat=3)))
+        for triple in _BLOCKS[k]:
+            block = np.zeros((8, k))
+            for col, idx in enumerate(triple):
+                block[:, idx] = signs3[:, col]
+            rows.append(block)
+    matrix = np.vstack(rows + [np.zeros((n_c, k))])
+    return Design(
+        matrix=matrix,
+        kind="box-behnken",
+        meta={"k": k, "n_center": n_c},
+    )

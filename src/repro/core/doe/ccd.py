@@ -1,0 +1,120 @@
+"""Central composite designs.
+
+The workhorse of response-surface work and the design the paper's flow
+defaults to: a two-level factorial core (full or resolution-V fraction)
+plus axial ("star") points at distance alpha plus centre replicates.
+
+Alpha rules implemented:
+
+* ``"rotatable"`` — alpha = n_factorial^(1/4): prediction variance
+  depends only on distance from the centre.
+* ``"orthogonal"`` — alpha making the quadratic terms orthogonal to
+  the intercept given the run counts.
+* ``"face"`` — alpha = 1 (face-centred, keeps runs inside the box; the
+  choice when physical limits are hard).
+* an explicit float.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.doe.base import Design
+from repro.core.doe.factorial import two_level_factorial
+from repro.core.doe.fractional import fractional_factorial
+from repro.errors import DesignError
+
+#: Resolution-V fractions used for the CCD core at higher k (the CCD
+#: needs a core that estimates all two-factor interactions cleanly).
+_CORE_FRACTIONS: dict[int, list[str]] = {
+    5: ["E=ABCD"],
+    6: ["F=ABCDE"],
+    7: ["G=ABCDEF"],
+}
+
+
+def _core_design(k: int, fraction: bool) -> Design:
+    if not fraction:
+        return two_level_factorial(k)
+    if k not in _CORE_FRACTIONS:
+        raise DesignError(
+            f"no built-in resolution-V core fraction for k={k}; "
+            "use fraction=False"
+        )
+    return fractional_factorial(k, _CORE_FRACTIONS[k])
+
+
+def _orthogonal_alpha(n_f: int, n_axial: int, n_center: int) -> float:
+    """Alpha making pure-quadratic contrasts orthogonal.
+
+    Classical result (Myers, Montgomery & Anderson-Cook):
+    ``alpha^4 = F * (sqrt(N) - sqrt(F))^2 / 4`` with F factorial runs
+    and N total runs.
+    """
+    n_total = n_f + n_axial + n_center
+    q = (math.sqrt(n_total) - math.sqrt(n_f)) ** 2
+    return (n_f * q / 4.0) ** 0.25
+
+
+def central_composite(
+    k: int,
+    alpha: str | float = "rotatable",
+    n_center: int = 5,
+    fraction: bool = False,
+) -> Design:
+    """Build a central composite design.
+
+    Args:
+        k: number of factors (>= 2).
+        alpha: ``"rotatable"``, ``"orthogonal"``, ``"face"`` or an
+            explicit positive float.
+        n_center: centre-point replicates (pure-error estimation).
+        fraction: use a resolution-V fractional core where available
+            (k = 5..7), halving the factorial runs.
+
+    Returns:
+        Design with meta ``alpha``, ``n_factorial``, ``n_axial``,
+        ``n_center``.
+    """
+    if k < 2:
+        raise DesignError(f"CCD needs k >= 2, got {k}")
+    if n_center < 0:
+        raise DesignError(f"n_center must be >= 0, got {n_center}")
+    core = _core_design(k, fraction)
+    n_f = core.n_runs
+    n_axial = 2 * k
+    if isinstance(alpha, str):
+        if alpha == "rotatable":
+            alpha_value = n_f**0.25
+        elif alpha == "orthogonal":
+            alpha_value = _orthogonal_alpha(n_f, n_axial, n_center)
+        elif alpha == "face":
+            alpha_value = 1.0
+        else:
+            raise DesignError(
+                f"unknown alpha rule {alpha!r}; use rotatable / orthogonal "
+                "/ face or a float"
+            )
+    else:
+        alpha_value = float(alpha)
+        if alpha_value <= 0.0:
+            raise DesignError(f"alpha must be > 0, got {alpha_value}")
+    axial = np.zeros((n_axial, k))
+    for j in range(k):
+        axial[2 * j, j] = -alpha_value
+        axial[2 * j + 1, j] = alpha_value
+    center = np.zeros((n_center, k))
+    matrix = np.vstack([core.matrix, axial, center])
+    meta = {
+        "alpha": alpha_value,
+        "alpha_rule": alpha if isinstance(alpha, str) else "explicit",
+        "n_factorial": n_f,
+        "n_axial": n_axial,
+        "n_center": n_center,
+        "fraction": fraction,
+    }
+    if fraction:
+        meta["core"] = core.meta
+    return Design(matrix=matrix, kind="ccd", meta=meta)

@@ -1,0 +1,108 @@
+"""Design diagnostics.
+
+Quantities a practitioner inspects before spending simulation budget on
+a design: column orthogonality, D-efficiency of the intended model,
+leverage of individual runs, and the model-matrix condition number.
+Used by the R-T1 table to compare candidate designs and by the property
+tests to pin down generator correctness.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.doe.base import Design
+from repro.core.rsm.terms import ModelSpec
+from repro.errors import DesignError
+
+
+def column_correlations(design: Design) -> np.ndarray:
+    """Pairwise correlation matrix of the design columns.
+
+    Constant columns (no spread) correlate 0 with everything by
+    convention, so centre-point-only designs do not produce NaNs.
+    """
+    m = design.matrix
+    centered = m - m.mean(axis=0)
+    norms = np.sqrt(np.sum(centered**2, axis=0))
+    k = m.shape[1]
+    corr = np.eye(k)
+    for i in range(k):
+        for j in range(i + 1, k):
+            if norms[i] == 0.0 or norms[j] == 0.0:
+                value = 0.0
+            else:
+                value = float(
+                    centered[:, i] @ centered[:, j] / (norms[i] * norms[j])
+                )
+            corr[i, j] = corr[j, i] = value
+    return corr
+
+
+def max_column_correlation(design: Design) -> float:
+    """Largest |off-diagonal| column correlation (0 = orthogonal)."""
+    corr = column_correlations(design)
+    k = corr.shape[0]
+    if k == 1:
+        return 0.0
+    off = corr[~np.eye(k, dtype=bool)]
+    return float(np.max(np.abs(off)))
+
+
+def _model_matrix(design: Design, model: ModelSpec | None) -> np.ndarray:
+    if model is None:
+        model = ModelSpec.linear(design.k)
+    return model.build_matrix(design.matrix)
+
+
+def d_efficiency(design: Design, model: ModelSpec | None = None) -> float:
+    """D-efficiency of the design for a model, in [0, 1]-ish scale.
+
+    ``D_eff = |X'X / n|^(1/p)`` with X the model matrix for coded
+    factors in [-1, 1]; 1.0 corresponds to the orthogonal ±1 ideal for
+    first-order models.  Singular information matrices yield 0.
+    """
+    x = _model_matrix(design, model)
+    n, p = x.shape
+    if n < p:
+        return 0.0
+    info = x.T @ x / n
+    sign, logdet = np.linalg.slogdet(info)
+    if sign <= 0:
+        return 0.0
+    return float(np.exp(logdet / p))
+
+
+def leverage(design: Design, model: ModelSpec | None = None) -> np.ndarray:
+    """Hat-matrix diagonal for each run (prediction influence).
+
+    Raises:
+        DesignError: when the model matrix is rank deficient (leverage
+            is undefined; the design cannot support the model).
+    """
+    x = _model_matrix(design, model)
+    n, p = x.shape
+    if n < p or np.linalg.matrix_rank(x) < p:
+        raise DesignError(
+            f"design with {n} runs cannot support a {p}-term model"
+        )
+    q, _ = np.linalg.qr(x)
+    return np.sum(q**2, axis=1)
+
+
+def condition_number(design: Design, model: ModelSpec | None = None) -> float:
+    """2-norm condition number of the model matrix."""
+    x = _model_matrix(design, model)
+    return float(np.linalg.cond(x))
+
+
+def design_summary(design: Design, model: ModelSpec | None = None) -> dict:
+    """Bundle of the scalar diagnostics for report tables."""
+    return {
+        "kind": design.kind,
+        "n_runs": design.n_runs,
+        "k": design.k,
+        "max_correlation": max_column_correlation(design),
+        "d_efficiency": d_efficiency(design, model),
+        "condition_number": condition_number(design, model),
+    }

@@ -1,0 +1,56 @@
+"""Full factorial designs."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.doe.base import Design
+from repro.errors import DesignError
+
+#: Practical cap on generated runs; beyond this a factorial design is
+#: the wrong tool and the explicit error beats a memory blow-up.
+_MAX_RUNS = 1_000_000
+
+
+def two_level_factorial(k: int) -> Design:
+    """Full 2^k design in standard (Yates) order.
+
+    Column ``j`` alternates sign in blocks of ``2^j``, giving the
+    conventional run order where the first factor cycles fastest.
+    """
+    if k < 1:
+        raise DesignError(f"k must be >= 1, got {k}")
+    n = 2**k
+    if n > _MAX_RUNS:
+        raise DesignError(f"2^{k} = {n} runs exceeds the {_MAX_RUNS} cap")
+    matrix = np.empty((n, k))
+    for j in range(k):
+        block = 2**j
+        pattern = np.repeat([-1.0, 1.0], block)
+        matrix[:, j] = np.tile(pattern, n // (2 * block))
+    return Design(matrix=matrix, kind="full-2k", meta={"k": k})
+
+
+def full_factorial(levels: Sequence[int]) -> Design:
+    """General full factorial with the given number of levels per factor.
+
+    Levels are coded evenly over [-1, 1] (a 2-level factor gives ±1, a
+    3-level factor -1/0/+1, and so on).  Runs are in lexicographic
+    order with the *last* factor cycling fastest.
+    """
+    if not levels:
+        raise DesignError("need at least one factor")
+    if any(int(lv) < 2 for lv in levels):
+        raise DesignError(f"every factor needs >= 2 levels, got {levels}")
+    levels = [int(lv) for lv in levels]
+    n = int(np.prod(levels))
+    if n > _MAX_RUNS:
+        raise DesignError(f"{n} runs exceeds the {_MAX_RUNS} cap")
+    axes = [np.linspace(-1.0, 1.0, lv) for lv in levels]
+    rows = list(itertools.product(*axes))
+    return Design(
+        matrix=np.array(rows), kind="full-factorial", meta={"levels": levels}
+    )

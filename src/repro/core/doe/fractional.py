@@ -1,0 +1,170 @@
+"""Regular two-level fractional factorial designs (2^(k-p)).
+
+A fraction is specified by *generator strings* in the conventional
+letter notation: for a 2^(5-1) design, ``["E=ABCD"]`` says the fifth
+factor's column is the product of the first four.  From the generators
+the module derives the defining relation (all products of the generator
+words), the design resolution (shortest defining word), and the alias
+structure for main effects and two-factor interactions — the three
+things a practitioner checks before trusting a fraction.
+
+Factors are lettered A, B, C, ... in column order.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.doe.base import Design
+from repro.core.doe.factorial import two_level_factorial
+from repro.errors import DesignError
+
+
+def _letters(k: int) -> list[str]:
+    if k > 26:
+        raise DesignError(f"letter notation supports up to 26 factors, got {k}")
+    return [chr(ord("A") + i) for i in range(k)]
+
+
+def _word_str(word: frozenset[str]) -> str:
+    return "".join(sorted(word)) if word else "I"
+
+
+def _parse_generators(
+    k: int, generators: Sequence[str]
+) -> tuple[list[str], list[str], dict[str, frozenset[str]]]:
+    """Validate generator strings; return (base, added, word map)."""
+    p = len(generators)
+    if p < 1:
+        raise DesignError("need at least one generator for a fraction")
+    if p >= k:
+        raise DesignError(
+            f"{p} generators for {k} factors leaves no base design"
+        )
+    letters = _letters(k)
+    base = letters[: k - p]
+    added = letters[k - p :]
+    definitions: dict[str, frozenset[str]] = {}
+    for gen in generators:
+        text = gen.replace(" ", "").upper()
+        if "=" not in text:
+            raise DesignError(f"generator {gen!r} must look like 'E=ABC'")
+        left, right = text.split("=", 1)
+        if left not in added:
+            raise DesignError(
+                f"generator {gen!r}: {left!r} is not an added factor "
+                f"(added factors are {added})"
+            )
+        if left in definitions:
+            raise DesignError(f"factor {left} defined twice")
+        rhs = list(right)
+        if len(rhs) < 2:
+            raise DesignError(
+                f"generator {gen!r}: right side needs >= 2 base factors"
+            )
+        bad = [c for c in rhs if c not in base]
+        if bad:
+            raise DesignError(
+                f"generator {gen!r}: {bad} are not base factors {base}"
+            )
+        if len(set(rhs)) != len(rhs):
+            raise DesignError(f"generator {gen!r}: repeated letters")
+        definitions[left] = frozenset(rhs)
+    missing = [a for a in added if a not in definitions]
+    if missing:
+        raise DesignError(f"added factors without generators: {missing}")
+    return base, added, definitions
+
+
+def _defining_words(
+    definitions: dict[str, frozenset[str]]
+) -> list[frozenset[str]]:
+    """All non-identity words of the defining relation.
+
+    Generator ``E=ABC`` contributes the word ABCE (since I = ABCE);
+    the full relation is closed under symmetric-difference products.
+    """
+    gen_words = [
+        frozenset(rhs | {left}) for left, rhs in definitions.items()
+    ]
+    words: set[frozenset[str]] = set()
+    for r in range(1, len(gen_words) + 1):
+        for combo in itertools.combinations(gen_words, r):
+            product: frozenset[str] = frozenset()
+            for w in combo:
+                product = product ^ w
+            if product:
+                words.add(product)
+    return sorted(words, key=lambda w: (len(w), _word_str(w)))
+
+
+def design_resolution(words: Iterable[frozenset[str]]) -> int:
+    """Resolution = length of the shortest defining word."""
+    lengths = [len(w) for w in words]
+    if not lengths:
+        raise DesignError("empty defining relation")
+    return min(lengths)
+
+
+def _alias_chain(
+    effect: frozenset[str], words: list[frozenset[str]], max_order: int
+) -> list[str]:
+    """Effects aliased with ``effect``, up to ``max_order`` letters."""
+    aliases = []
+    for word in words:
+        other = effect ^ word
+        if other and len(other) <= max_order:
+            aliases.append(_word_str(other))
+    return sorted(set(aliases), key=lambda s: (len(s), s))
+
+
+def fractional_factorial(k: int, generators: Sequence[str]) -> Design:
+    """Build a 2^(k-p) regular fraction from generator strings.
+
+    Args:
+        k: total number of factors.
+        generators: one string per added factor, e.g. ``["D=AB",
+            "E=AC"]`` for a 2^(5-2).
+
+    Returns:
+        Design with meta keys ``generators``, ``defining_relation``
+        (word strings), ``resolution``, and ``aliases`` (main effects
+        and two-factor interactions mapped to their aliases up to
+        order 2).
+    """
+    base, added, definitions = _parse_generators(k, generators)
+    base_design = two_level_factorial(len(base))
+    n = base_design.n_runs
+    matrix = np.empty((n, k))
+    matrix[:, : len(base)] = base_design.matrix
+    col_of = {letter: i for i, letter in enumerate(base)}
+    for j, letter in enumerate(added, start=len(base)):
+        product = np.ones(n)
+        for factor in definitions[letter]:
+            product = product * matrix[:, col_of[factor]]
+        matrix[:, j] = product
+        col_of[letter] = j
+    words = _defining_words(definitions)
+    resolution = design_resolution(words)
+    letters = base + added
+    aliases: dict[str, list[str]] = {}
+    for letter in letters:
+        aliases[letter] = _alias_chain(frozenset(letter), words, max_order=2)
+    for a, b in itertools.combinations(letters, 2):
+        key = _word_str(frozenset((a, b)))
+        aliases[key] = _alias_chain(frozenset((a, b)), words, max_order=2)
+    return Design(
+        matrix=matrix,
+        kind="fractional",
+        meta={
+            "k": k,
+            "p": len(generators),
+            "generators": list(generators),
+            "defining_relation": [_word_str(w) for w in words],
+            "resolution": resolution,
+            "aliases": aliases,
+        },
+    )

@@ -1,0 +1,89 @@
+"""Latin hypercube sampling.
+
+Space-filling designs used here for RSM *validation* points (R-T2
+checks the fitted surfaces at places no design point visited) and as a
+model-free alternative in the design-choice ablation (R-A2).
+
+Variants:
+
+* ``"random"`` — one uniform sample per stratum, columns shuffled.
+* ``"centered"`` — stratum midpoints, columns shuffled.
+* ``"maximin"`` — best of ``n_candidates`` random LHS by the maximin
+  (largest minimal pairwise distance) criterion.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.doe.base import Design
+from repro.errors import DesignError
+
+
+def _one_lhs(
+    n: int, k: int, rng: np.random.Generator, centered: bool
+) -> np.ndarray:
+    """One LHS on [-1, 1]^k with n strata per factor."""
+    matrix = np.empty((n, k))
+    for j in range(k):
+        if centered:
+            points = (np.arange(n) + 0.5) / n
+        else:
+            points = (np.arange(n) + rng.uniform(size=n)) / n
+        rng.shuffle(points)
+        matrix[:, j] = 2.0 * points - 1.0
+    return matrix
+
+
+def _min_pairwise_distance(matrix: np.ndarray) -> float:
+    diff = matrix[:, None, :] - matrix[None, :, :]
+    dist = np.sqrt(np.sum(diff**2, axis=-1))
+    n = matrix.shape[0]
+    dist[np.arange(n), np.arange(n)] = np.inf
+    return float(np.min(dist))
+
+
+def latin_hypercube(
+    n: int,
+    k: int,
+    variant: str = "maximin",
+    seed: int = 0,
+    n_candidates: int = 32,
+) -> Design:
+    """Build an n-run Latin hypercube over k factors in [-1, 1]^k.
+
+    Args:
+        n: number of runs (>= 2).
+        k: number of factors (>= 1).
+        variant: ``"random"``, ``"centered"`` or ``"maximin"``.
+        seed: RNG seed (designs are reproducible by construction).
+        n_candidates: candidates scored for the maximin variant.
+    """
+    if n < 2:
+        raise DesignError(f"n must be >= 2, got {n}")
+    if k < 1:
+        raise DesignError(f"k must be >= 1, got {k}")
+    if variant not in ("random", "centered", "maximin"):
+        raise DesignError(f"unknown LHS variant {variant!r}")
+    if n_candidates < 1:
+        raise DesignError(f"n_candidates must be >= 1, got {n_candidates}")
+    rng = np.random.default_rng(seed)
+    if variant == "random":
+        matrix = _one_lhs(n, k, rng, centered=False)
+    elif variant == "centered":
+        matrix = _one_lhs(n, k, rng, centered=True)
+    else:
+        best = None
+        best_score = -np.inf
+        for _ in range(n_candidates):
+            candidate = _one_lhs(n, k, rng, centered=False)
+            score = _min_pairwise_distance(candidate)
+            if score > best_score:
+                best = candidate
+                best_score = score
+        matrix = best
+    return Design(
+        matrix=matrix,
+        kind="lhs",
+        meta={"variant": variant, "seed": seed, "n": n, "k": k},
+    )

@@ -1,0 +1,77 @@
+"""Plackett-Burman screening designs.
+
+PB designs estimate up to ``n - 1`` main effects in ``n`` runs (``n`` a
+multiple of 4) with every pair of columns orthogonal.  They are built
+here by cyclic rotation of the classical generating rows for n = 12,
+20, 24 and by the Sylvester/Hadamard doubling construction for powers
+of two (n = 8, 16, 32), which covers every size a node-design screening
+realistically needs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.doe.base import Design
+from repro.errors import DesignError
+
+#: First rows of the cyclic PB constructions (Plackett & Burman 1946).
+_CYCLIC_ROWS = {
+    12: "++-+++---+-",
+    20: "++--++++-+-+----++-",
+    24: "+++++-+-++--++--+-+----",
+}
+
+
+def _cyclic_pb(n: int) -> np.ndarray:
+    row = np.array([1.0 if c == "+" else -1.0 for c in _CYCLIC_ROWS[n]])
+    size = n - 1
+    matrix = np.empty((n, size))
+    for i in range(size):
+        matrix[i] = np.roll(row, i)
+    matrix[size] = -1.0  # final all-minus run
+    return matrix
+
+
+def _hadamard(n: int) -> np.ndarray:
+    """Sylvester Hadamard matrix of order n (n a power of two)."""
+    h = np.array([[1.0]])
+    while h.shape[0] < n:
+        h = np.block([[h, h], [h, -h]])
+    return h
+
+
+def plackett_burman(k: int) -> Design:
+    """Smallest Plackett-Burman design screening ``k`` main effects.
+
+    Args:
+        k: number of factors (1..23).
+
+    Returns:
+        Design with ``n`` runs, ``n`` the smallest available multiple
+        of 4 exceeding ``k``; the matrix keeps only the first ``k``
+        columns, all mutually orthogonal.
+    """
+    if k < 1:
+        raise DesignError(f"k must be >= 1, got {k}")
+    if k > 23:
+        raise DesignError(
+            f"built-in PB constructions cover up to 23 factors, got {k}"
+        )
+    candidates = [4, 8, 12, 16, 20, 24]
+    n = next((c for c in candidates if c > k), None)
+    if n is None:
+        raise DesignError(f"no PB size available for k={k}")
+    if n in _CYCLIC_ROWS:
+        full = _cyclic_pb(n)
+    else:
+        # Power-of-two sizes come from the Hadamard doubling: drop the
+        # all-ones column, the rest are the ±1 design columns.
+        h = _hadamard(n)
+        full = h[:, 1:]
+    matrix = full[:, :k]
+    return Design(
+        matrix=np.asarray(matrix, dtype=float),
+        kind="plackett-burman",
+        meta={"k": k, "n": n},
+    )

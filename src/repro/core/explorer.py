@@ -1,0 +1,252 @@
+"""Generic design-space explorer.
+
+:class:`DesignExplorer` is the engine-room of the paper's flow, kept
+independent of the sensor-node specifics: it takes a
+:class:`~repro.core.factors.DesignSpace`, a black-box evaluator
+(``dict of physical factor values -> dict of response values``) and a
+response list; it runs designs, fits surfaces, and validates them at
+held-out points.  :class:`~repro.core.toolkit.SensorNodeDesignToolkit`
+wires it to the simulator; the tests wire it to cheap synthetic
+functions.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.core.doe.base import Design
+from repro.core.doe.lhs import latin_hypercube
+from repro.core.factors import DesignSpace
+from repro.core.rsm.anova import AnovaTable, anova_table
+from repro.core.rsm.fit import fit_response_surface
+from repro.core.rsm.stepwise import backward_eliminate
+from repro.core.rsm.surface import ResponseSurface
+from repro.core.rsm.terms import ModelSpec
+from repro.core.rsm.transforms import TransformedSurface, forward_transform
+from repro.errors import DesignError, FitError
+
+Evaluator = Callable[[Mapping[str, float]], Mapping[str, float]]
+
+
+@dataclass
+class ExplorationResult:
+    """Raw outcome of running a design through the evaluator.
+
+    Attributes:
+        design: the coded design that was run.
+        x_coded: its matrix (copy, for convenience).
+        responses: response name -> vector over runs.
+        run_seconds: wall time per run.
+    """
+
+    design: Design
+    x_coded: np.ndarray
+    responses: dict[str, np.ndarray]
+    run_seconds: np.ndarray
+
+    @property
+    def n_runs(self) -> int:
+        return self.x_coded.shape[0]
+
+    @property
+    def total_seconds(self) -> float:
+        return float(np.sum(self.run_seconds))
+
+
+@dataclass
+class ValidationReport:
+    """Accuracy of fitted surfaces at held-out points.
+
+    Attributes:
+        x_coded: validation points.
+        reference: simulated responses there.
+        predicted: RSM predictions there.
+        metrics: per-response dict with rmse, max_abs_error,
+            normalized_rmse (RMSE over the simulated range) and
+            median_pct_error (|err| / |reference|, where defined).
+    """
+
+    x_coded: np.ndarray
+    reference: dict[str, np.ndarray]
+    predicted: dict[str, np.ndarray]
+    metrics: dict[str, dict[str, float]] = field(default_factory=dict)
+
+
+class DesignExplorer:
+    """Run designs, fit response surfaces, validate them."""
+
+    def __init__(
+        self,
+        space: DesignSpace,
+        evaluate: Evaluator,
+        responses: Sequence[str],
+    ):
+        if not responses:
+            raise DesignError("need at least one response name")
+        if len(set(responses)) != len(responses):
+            raise DesignError(f"duplicate responses: {list(responses)}")
+        self.space = space
+        self.evaluate = evaluate
+        self.responses = tuple(responses)
+
+    # -- running -----------------------------------------------------------------
+
+    def run_design(self, design: Design) -> ExplorationResult:
+        """Evaluate every run of a coded design (the costly step)."""
+        if design.k != self.space.k:
+            raise DesignError(
+                f"design has {design.k} factors, space has {self.space.k}"
+            )
+        n = design.n_runs
+        columns = {name: np.empty(n) for name in self.responses}
+        run_seconds = np.empty(n)
+        for i, row in enumerate(design.matrix):
+            point = self.space.point_to_dict(row)
+            started = time.perf_counter()
+            outcome = self.evaluate(point)
+            run_seconds[i] = time.perf_counter() - started
+            missing = set(self.responses) - set(outcome)
+            if missing:
+                raise DesignError(
+                    f"evaluator omitted responses {sorted(missing)} at run {i}"
+                )
+            for name in self.responses:
+                columns[name][i] = float(outcome[name])
+        return ExplorationResult(
+            design=design,
+            x_coded=design.matrix.copy(),
+            responses=columns,
+            run_seconds=run_seconds,
+        )
+
+    # -- fitting ------------------------------------------------------------------
+
+    def fit_surfaces(
+        self,
+        result: ExplorationResult,
+        model: ModelSpec | str = "quadratic",
+        stepwise_alpha: float | None = None,
+        transforms: Mapping[str, str] | None = None,
+    ) -> dict[str, ResponseSurface | TransformedSurface]:
+        """Fit one surface per response.
+
+        Args:
+            result: runs to fit on.
+            model: a :class:`ModelSpec` or one of "linear",
+                "interaction", "quadratic".
+            stepwise_alpha: if given, backward-eliminate at this
+                significance level after the initial fit.
+            transforms: optional response name -> transform name
+                (``"log1p"``); the surface is fitted in the
+                transformed scale and predicts in original units (see
+                :mod:`repro.core.rsm.transforms`).
+        """
+        spec = self._resolve_model(model)
+        transforms = dict(transforms) if transforms else {}
+        unknown = set(transforms) - set(self.responses)
+        if unknown:
+            raise FitError(
+                f"transforms for unknown responses: {sorted(unknown)}"
+            )
+        surfaces: dict[str, ResponseSurface | TransformedSurface] = {}
+        for name in self.responses:
+            y = result.responses[name]
+            transform = transforms.get(name, "identity")
+            y_fit = forward_transform(transform, y)
+            if stepwise_alpha is not None:
+                fitted = backward_eliminate(
+                    result.x_coded,
+                    y_fit,
+                    spec,
+                    alpha=stepwise_alpha,
+                    factor_names=self.space.names,
+                )
+            else:
+                fitted = fit_response_surface(
+                    result.x_coded, y_fit, spec, factor_names=self.space.names
+                )
+            if transform != "identity":
+                surfaces[name] = TransformedSurface(fitted, transform)
+            else:
+                surfaces[name] = fitted
+        return surfaces
+
+    def anova(
+        self, surfaces: Mapping[str, ResponseSurface | TransformedSurface]
+    ) -> dict[str, AnovaTable]:
+        """ANOVA table per fitted response (in the fitted scale)."""
+        out = {}
+        for name, surface in surfaces.items():
+            base = surface.base if isinstance(surface, TransformedSurface) else surface
+            out[name] = anova_table(base)
+        return out
+
+    def _resolve_model(self, model: ModelSpec | str) -> ModelSpec:
+        if isinstance(model, ModelSpec):
+            if model.k != self.space.k:
+                raise FitError(
+                    f"model spans {model.k} factors, space has {self.space.k}"
+                )
+            return model
+        builders = {
+            "linear": ModelSpec.linear,
+            "interaction": ModelSpec.interaction,
+            "quadratic": ModelSpec.quadratic,
+            "cubic": ModelSpec.cubic,
+        }
+        if model not in builders:
+            raise FitError(
+                f"unknown model {model!r}; pick from {sorted(builders)}"
+            )
+        return builders[model](self.space.k)
+
+    # -- validation -----------------------------------------------------------------
+
+    def validate(
+        self,
+        surfaces: Mapping[str, ResponseSurface],
+        n_points: int = 12,
+        seed: int = 42,
+        x_coded: np.ndarray | None = None,
+    ) -> ValidationReport:
+        """Compare surfaces against fresh simulations at held-out points.
+
+        Points default to a maximin LHS (never coincident with CCD
+        lattice points).  This is the R-T2 "high accuracy" check.
+        """
+        if x_coded is None:
+            design = latin_hypercube(n_points, self.space.k, seed=seed)
+            x_coded = design.matrix
+        x_coded = np.atleast_2d(np.asarray(x_coded, dtype=float))
+        reference = {name: np.empty(x_coded.shape[0]) for name in surfaces}
+        for i, row in enumerate(x_coded):
+            outcome = self.evaluate(self.space.point_to_dict(row))
+            for name in surfaces:
+                reference[name][i] = float(outcome[name])
+        predicted = {
+            name: surface.predict(x_coded) for name, surface in surfaces.items()
+        }
+        report = ValidationReport(
+            x_coded=x_coded, reference=reference, predicted=predicted
+        )
+        for name in surfaces:
+            ref = reference[name]
+            err = predicted[name] - ref
+            rmse = float(np.sqrt(np.mean(err**2)))
+            span = float(ref.max() - ref.min())
+            with np.errstate(divide="ignore", invalid="ignore"):
+                pct = np.abs(err) / np.abs(ref)
+            pct = pct[np.isfinite(pct)]
+            report.metrics[name] = {
+                "rmse": rmse,
+                "max_abs_error": float(np.max(np.abs(err))),
+                "normalized_rmse": rmse / span if span > 0.0 else float("nan"),
+                "median_pct_error": (
+                    float(np.median(pct)) if pct.size else float("nan")
+                ),
+            }
+        return report

@@ -1,0 +1,239 @@
+"""Design factors and coded/physical transforms.
+
+DoE designs are constructed in *coded units*: each factor spans
+``[-1, +1]`` between its physical low and high levels, which is what
+makes factorial designs orthogonal and response-surface coefficients
+comparable across factors.  A :class:`Factor` carries the physical
+range plus the transform used between coded and physical space:
+
+* ``"linear"`` — the usual affine map;
+* ``"log"`` — the coded axis is linear in log(physical), for factors
+  spanning decades (report periods, check intervals, payload sizes);
+* integer factors round the decoded physical value.
+
+A :class:`DesignSpace` is an ordered collection of factors with
+vectorized encode/decode helpers used by every design generator and by
+the explorer when it hands sample points to the simulator.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import DesignError
+
+_TRANSFORMS = ("linear", "log")
+
+
+@dataclass(frozen=True)
+class Factor:
+    """One design parameter.
+
+    Attributes:
+        name: identifier used in design tables and model terms.
+        low: physical value at coded -1.
+        high: physical value at coded +1.
+        transform: ``"linear"`` or ``"log"`` (log requires positive
+            bounds and spaces the coded axis in log(physical)).
+        integer: round decoded values to the nearest integer.
+        units: display units for reports.
+    """
+
+    name: str
+    low: float
+    high: float
+    transform: str = "linear"
+    integer: bool = False
+    units: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.strip():
+            raise DesignError("factor name must be non-empty")
+        if not (self.low < self.high):
+            raise DesignError(
+                f"factor {self.name!r}: low ({self.low}) must be < high "
+                f"({self.high})"
+            )
+        if self.transform not in _TRANSFORMS:
+            raise DesignError(
+                f"factor {self.name!r}: unknown transform {self.transform!r}"
+            )
+        if self.transform == "log" and self.low <= 0.0:
+            raise DesignError(
+                f"factor {self.name!r}: log transform requires low > 0"
+            )
+
+    # -- scalar transforms -----------------------------------------------------
+
+    def to_physical(self, coded: float) -> float:
+        """Decode a coded value (clamped to [-1, 1] is NOT applied)."""
+        if self.transform == "log":
+            log_low = math.log(self.low)
+            log_high = math.log(self.high)
+            value = math.exp(
+                log_low + (coded + 1.0) * 0.5 * (log_high - log_low)
+            )
+        else:
+            value = self.low + (coded + 1.0) * 0.5 * (self.high - self.low)
+        if self.integer:
+            value = float(round(value))
+        return value
+
+    def to_coded(self, physical: float) -> float:
+        """Encode a physical value into coded units."""
+        if self.transform == "log":
+            if physical <= 0.0:
+                raise DesignError(
+                    f"factor {self.name!r}: cannot log-encode {physical}"
+                )
+            log_low = math.log(self.low)
+            log_high = math.log(self.high)
+            return 2.0 * (math.log(physical) - log_low) / (log_high - log_low) - 1.0
+        return 2.0 * (physical - self.low) / (self.high - self.low) - 1.0
+
+    @property
+    def centre(self) -> float:
+        """Physical value at coded 0."""
+        return self.to_physical(0.0)
+
+    def describe(self) -> str:
+        unit = f" {self.units}" if self.units else ""
+        extras = []
+        if self.transform == "log":
+            extras.append("log")
+        if self.integer:
+            extras.append("int")
+        tag = f" [{', '.join(extras)}]" if extras else ""
+        return f"{self.name}: {self.low:g}..{self.high:g}{unit}{tag}"
+
+
+class DesignSpace:
+    """Ordered collection of factors with vectorized transforms."""
+
+    def __init__(self, factors: Sequence[Factor]):
+        if not factors:
+            raise DesignError("DesignSpace needs at least one factor")
+        names = [f.name for f in factors]
+        if len(set(names)) != len(names):
+            raise DesignError(f"duplicate factor names: {names}")
+        self._factors = tuple(factors)
+        self._index = {f.name: i for i, f in enumerate(self._factors)}
+
+    @property
+    def factors(self) -> tuple[Factor, ...]:
+        return self._factors
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(f.name for f in self._factors)
+
+    @property
+    def k(self) -> int:
+        """Number of factors."""
+        return len(self._factors)
+
+    def __len__(self) -> int:
+        return len(self._factors)
+
+    def __getitem__(self, name: str) -> Factor:
+        try:
+            return self._factors[self._index[name]]
+        except KeyError:
+            raise DesignError(
+                f"unknown factor {name!r}; have {list(self.names)}"
+            ) from None
+
+    def index(self, name: str) -> int:
+        """Column index of a factor."""
+        if name not in self._index:
+            raise DesignError(
+                f"unknown factor {name!r}; have {list(self.names)}"
+            )
+        return self._index[name]
+
+    # -- vectorized transforms ----------------------------------------------------
+
+    def to_physical(self, coded: np.ndarray) -> np.ndarray:
+        """Decode an (n, k) coded matrix into physical units."""
+        coded = np.atleast_2d(np.asarray(coded, dtype=float))
+        if coded.shape[1] != self.k:
+            raise DesignError(
+                f"coded matrix has {coded.shape[1]} columns for {self.k} factors"
+            )
+        out = np.empty_like(coded)
+        for j, factor in enumerate(self._factors):
+            out[:, j] = [factor.to_physical(float(c)) for c in coded[:, j]]
+        return out
+
+    def to_coded(self, physical: np.ndarray) -> np.ndarray:
+        """Encode an (n, k) physical matrix into coded units."""
+        physical = np.atleast_2d(np.asarray(physical, dtype=float))
+        if physical.shape[1] != self.k:
+            raise DesignError(
+                f"physical matrix has {physical.shape[1]} columns for "
+                f"{self.k} factors"
+            )
+        out = np.empty_like(physical)
+        for j, factor in enumerate(self._factors):
+            out[:, j] = [factor.to_coded(float(p)) for p in physical[:, j]]
+        return out
+
+    # -- dict-style points -----------------------------------------------------------
+
+    def point_to_dict(self, coded_row: np.ndarray) -> dict[str, float]:
+        """One coded row -> {factor name: physical value}."""
+        row = np.asarray(coded_row, dtype=float).ravel()
+        if row.size != self.k:
+            raise DesignError(
+                f"point has {row.size} entries for {self.k} factors"
+            )
+        return {
+            f.name: f.to_physical(float(c)) for f, c in zip(self._factors, row)
+        }
+
+    def dict_to_coded(self, point: Mapping[str, float]) -> np.ndarray:
+        """{factor name: physical value} -> coded row (missing = centre)."""
+        row = np.zeros(self.k)
+        unknown = set(point) - set(self.names)
+        if unknown:
+            raise DesignError(f"unknown factors in point: {sorted(unknown)}")
+        for name, value in point.items():
+            j = self._index[name]
+            row[j] = self._factors[j].to_coded(float(value))
+        return row
+
+    def clip(self, coded: np.ndarray) -> np.ndarray:
+        """Clamp coded coordinates into the [-1, 1] box."""
+        return np.clip(np.asarray(coded, dtype=float), -1.0, 1.0)
+
+    def describe(self) -> str:
+        """Multi-line factor summary for reports."""
+        return "\n".join(f.describe() for f in self._factors)
+
+
+def canonical_space() -> DesignSpace:
+    """The paper study's 5-factor space (R-T1, used throughout).
+
+    Factors: supercapacitance, reporting interval (log), tuning dead
+    band, controller check interval (log), payload size (log, integer).
+    """
+    return DesignSpace(
+        [
+            Factor("capacitance", 0.10, 1.00, units="F"),
+            Factor("tx_interval", 2.0, 60.0, transform="log", units="s"),
+            Factor("dead_band", 0.2, 3.0, units="Hz"),
+            Factor("check_interval", 30.0, 600.0, transform="log", units="s"),
+            Factor(
+                "payload_bits",
+                64,
+                1024,
+                transform="log",
+                integer=True,
+                units="bit",
+            ),
+        ]
+    )

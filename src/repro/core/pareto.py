@@ -1,0 +1,92 @@
+"""Pareto-front extraction for response trade-offs.
+
+The paper's promise is instant *trade-off investigation*: evaluate the
+fitted surfaces on a dense grid, keep the non-dominated points, and the
+designer reads the frontier (data rate vs downtime vs storage cost)
+directly.  The implementation is a plain O(n^2) non-dominated filter —
+grids here are thousands of points, where simplicity beats asymptotics.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import OptimizationError
+
+
+def pareto_front(
+    objectives: np.ndarray, maximize: Sequence[bool]
+) -> np.ndarray:
+    """Indices of non-dominated rows.
+
+    Args:
+        objectives: (n, m) objective values, one row per candidate.
+        maximize: per-column direction (True = larger is better).
+
+    Returns:
+        Sorted array of indices of the Pareto-optimal rows.  Duplicate
+        objective rows are all kept (they dominate nothing mutually).
+    """
+    obj = np.atleast_2d(np.asarray(objectives, dtype=float))
+    n, m = obj.shape
+    if len(maximize) != m:
+        raise OptimizationError(
+            f"{len(maximize)} directions for {m} objectives"
+        )
+    if not np.all(np.isfinite(obj)):
+        raise OptimizationError("non-finite objective values")
+    # Normalize to maximization.
+    signs = np.array([1.0 if mx else -1.0 for mx in maximize])
+    work = obj * signs
+    keep = np.ones(n, dtype=bool)
+    for i in range(n):
+        if not keep[i]:
+            continue
+        # A row j dominates i if j >= i everywhere and > somewhere.
+        at_least = np.all(work >= work[i], axis=1)
+        strictly = np.any(work > work[i], axis=1)
+        dominators = at_least & strictly
+        dominators[i] = False
+        if np.any(dominators & keep):
+            keep[i] = False
+    return np.flatnonzero(keep)
+
+
+def hypervolume_2d(
+    objectives: np.ndarray,
+    maximize: Sequence[bool],
+    reference: Sequence[float],
+) -> float:
+    """Dominated hypervolume of a 2-objective front (quality metric).
+
+    Args:
+        objectives: (n, 2) points (need not be pre-filtered).
+        maximize: directions per objective.
+        reference: the anti-ideal corner the volume is measured from.
+
+    Returns:
+        Area dominated by the front relative to the reference point.
+    """
+    obj = np.atleast_2d(np.asarray(objectives, dtype=float))
+    if obj.shape[1] != 2:
+        raise OptimizationError("hypervolume_2d needs exactly 2 objectives")
+    if len(reference) != 2:
+        raise OptimizationError("reference needs 2 entries")
+    signs = np.array([1.0 if mx else -1.0 for mx in maximize])
+    work = obj * signs
+    ref = np.asarray(reference, dtype=float) * signs
+    front_idx = pareto_front(work, [True, True])
+    front = work[front_idx]
+    # Descending in the first objective, so the second ascends along
+    # the (non-dominated) front; each point adds one rectangle.
+    front = front[np.argsort(-front[:, 0])]
+    area = 0.0
+    y_prev = ref[1]
+    for x, y in front:
+        if x <= ref[0] or y <= y_prev:
+            continue
+        area += (x - ref[0]) * (y - y_prev)
+        y_prev = y
+    return float(area)

@@ -1,0 +1,38 @@
+"""Response-surface modelling.
+
+* :mod:`repro.core.rsm.terms` — polynomial term algebra and model
+  specifications (linear / two-factor-interaction / quadratic / ...).
+* :mod:`repro.core.rsm.fit` — ordinary-least-squares fitting with
+  coefficient inference and goodness-of-fit statistics.
+* :mod:`repro.core.rsm.surface` — the fitted :class:`ResponseSurface`:
+  prediction, gradients, stationary-point and canonical analysis.
+* :mod:`repro.core.rsm.anova` — ANOVA decomposition with lack-of-fit
+  against pure error.
+* :mod:`repro.core.rsm.stepwise` — hierarchy-respecting backward
+  elimination.
+* :mod:`repro.core.rsm.crossval` — PRESS / leave-one-out and k-fold
+  validation.
+"""
+
+from repro.core.rsm.terms import Term, ModelSpec
+from repro.core.rsm.fit import FitStatistics, fit_response_surface
+from repro.core.rsm.surface import ResponseSurface, CanonicalAnalysis
+from repro.core.rsm.anova import AnovaRow, AnovaTable, anova_table
+from repro.core.rsm.stepwise import backward_eliminate
+from repro.core.rsm.crossval import kfold_rmse, loo_residuals, press
+
+__all__ = [
+    "Term",
+    "ModelSpec",
+    "FitStatistics",
+    "fit_response_surface",
+    "ResponseSurface",
+    "CanonicalAnalysis",
+    "AnovaRow",
+    "AnovaTable",
+    "anova_table",
+    "backward_eliminate",
+    "kfold_rmse",
+    "loo_residuals",
+    "press",
+]

@@ -1,0 +1,74 @@
+"""Cross-validation for response surfaces.
+
+PRESS / leave-one-out comes free from the hat diagonal of a linear
+least-squares fit (no refitting); k-fold validation refits on folds
+and is the honest check when leverage is concentrated (axial points of
+small CCDs carry a lot of it).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.rsm.fit import fit_response_surface
+from repro.core.rsm.surface import ResponseSurface
+from repro.core.rsm.terms import ModelSpec
+from repro.errors import FitError
+
+
+def loo_residuals(surface: ResponseSurface) -> np.ndarray:
+    """Leave-one-out residuals via the hat-diagonal identity.
+
+    ``e_loo_i = e_i / (1 - h_i)`` — exact for linear least squares.
+    Runs with leverage 1 (the fit interpolates them exactly and they
+    cannot be left out) yield ``inf``.
+    """
+    residuals = surface.y_train - surface.predict(surface.x_train)
+    one_minus_h = 1.0 - surface.stats.leverages
+    with np.errstate(divide="ignore"):
+        return np.where(
+            one_minus_h > 1e-12, residuals / one_minus_h, np.inf
+        )
+
+
+def press(surface: ResponseSurface) -> float:
+    """Prediction sum of squares (sum of squared LOO residuals)."""
+    loo = loo_residuals(surface)
+    if np.any(~np.isfinite(loo)):
+        return float("nan")
+    return float(np.sum(loo**2))
+
+
+def kfold_rmse(
+    x_coded: np.ndarray,
+    y: np.ndarray,
+    model: ModelSpec,
+    n_folds: int = 5,
+    seed: int = 0,
+) -> float:
+    """K-fold cross-validated RMSE (refits the model per fold).
+
+    Folds are a seeded random partition; a fold whose removal leaves
+    the model unidentifiable raises, because silently skipping folds
+    would overstate the validation.
+    """
+    x_coded = np.atleast_2d(np.asarray(x_coded, dtype=float))
+    y = np.asarray(y, dtype=float).ravel()
+    n = x_coded.shape[0]
+    if y.shape[0] != n:
+        raise FitError(f"{n} runs but {y.shape[0]} responses")
+    if not (2 <= n_folds <= n):
+        raise FitError(
+            f"n_folds must be in [2, {n}], got {n_folds}"
+        )
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(n)
+    folds = np.array_split(order, n_folds)
+    squared = 0.0
+    for fold in folds:
+        mask = np.ones(n, dtype=bool)
+        mask[fold] = False
+        surface = fit_response_surface(x_coded[mask], y[mask], model)
+        predictions = surface.predict(x_coded[fold])
+        squared += float(np.sum((y[fold] - predictions) ** 2))
+    return float(np.sqrt(squared / n))

@@ -1,0 +1,172 @@
+"""Ordinary-least-squares fitting with inference.
+
+:func:`fit_response_surface` solves the regression via QR (never the
+normal equations — the CCD axial points at alpha > 1 already push the
+conditioning), derives the classical coefficient statistics, and
+packages everything as a :class:`~repro.core.rsm.surface.ResponseSurface`.
+
+Statistics follow the standard definitions: residual variance
+``SSE / (n - p)``, coefficient covariance ``sigma^2 (X'X)^-1``, R^2 /
+adjusted R^2 against the intercept-only baseline, and prediction R^2
+from PRESS (leave-one-out through the hat diagonal).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats
+
+from repro.core.rsm.terms import ModelSpec
+from repro.errors import FitError
+
+
+@dataclass(frozen=True)
+class FitStatistics:
+    """Goodness-of-fit and inference bundle.
+
+    Attributes:
+        n: observations.
+        p: model terms.
+        sse: residual sum of squares.
+        sst: total (centred) sum of squares.
+        sigma2: residual variance estimate (NaN when saturated).
+        r_squared / adj_r_squared / pred_r_squared: the usual trio
+            (pred from PRESS; NaN when a leverage hits 1).
+        press: prediction sum of squares.
+        std_errors / t_values / p_values: per-coefficient inference
+            (NaN when the fit is saturated).
+        leverages: hat diagonal per run.
+    """
+
+    n: int
+    p: int
+    sse: float
+    sst: float
+    sigma2: float
+    r_squared: float
+    adj_r_squared: float
+    pred_r_squared: float
+    press: float
+    std_errors: np.ndarray
+    t_values: np.ndarray
+    p_values: np.ndarray
+    leverages: np.ndarray
+
+    @property
+    def rmse(self) -> float:
+        """Root-mean-square residual over the fit data."""
+        return float(np.sqrt(self.sse / self.n))
+
+
+def fit_response_surface(
+    x_coded: np.ndarray,
+    y: np.ndarray,
+    model: ModelSpec,
+    factor_names: tuple[str, ...] | None = None,
+):
+    """Fit one response on coded runs.
+
+    Args:
+        x_coded: (n, k) coded design matrix.
+        y: response vector of length n.
+        model: the polynomial model specification.
+        factor_names: labels for reporting (defaults to x1..xk).
+
+    Returns:
+        :class:`~repro.core.rsm.surface.ResponseSurface`.
+
+    Raises:
+        FitError: fewer runs than terms, rank-deficient model matrix,
+            or non-finite responses.
+    """
+    from repro.core.rsm.surface import ResponseSurface  # cycle breaker
+
+    x_coded = np.atleast_2d(np.asarray(x_coded, dtype=float))
+    y = np.asarray(y, dtype=float).ravel()
+    n = x_coded.shape[0]
+    if y.shape[0] != n:
+        raise FitError(f"{n} runs but {y.shape[0]} responses")
+    if not np.all(np.isfinite(x_coded)):
+        raise FitError("non-finite values in the design matrix")
+    if not np.all(np.isfinite(y)):
+        raise FitError("non-finite values in the response")
+    xm = model.build_matrix(x_coded)
+    p = xm.shape[1]
+    if n < p:
+        raise FitError(
+            f"{n} runs cannot identify a {p}-term model; add runs or "
+            "reduce the model"
+        )
+    q, r = np.linalg.qr(xm)
+    diag = np.abs(np.diag(r))
+    if np.any(diag < 1e-10 * max(float(diag.max()), 1.0)):
+        raise FitError(
+            "model matrix is rank deficient on this design (aliased "
+            "terms); choose a design that supports the model"
+        )
+    beta = np.linalg.solve(r, q.T @ y)
+    fitted = xm @ beta
+    residuals = y - fitted
+    sse = float(residuals @ residuals)
+    sst = float(np.sum((y - y.mean()) ** 2)) if model.has_intercept() else float(y @ y)
+    dof = n - p
+    leverages = np.sum(q**2, axis=1)
+    if dof > 0:
+        sigma2 = sse / dof
+        r_inv = np.linalg.solve(r, np.eye(p))
+        cov = sigma2 * (r_inv @ r_inv.T)
+        std_errors = np.sqrt(np.maximum(np.diag(cov), 0.0))
+        with np.errstate(divide="ignore", invalid="ignore"):
+            t_values = np.where(std_errors > 0.0, beta / std_errors, np.inf)
+        p_values = 2.0 * stats.t.sf(np.abs(t_values), dof)
+    else:
+        sigma2 = float("nan")
+        std_errors = np.full(p, np.nan)
+        t_values = np.full(p, np.nan)
+        p_values = np.full(p, np.nan)
+    r_squared = 1.0 - sse / sst if sst > 0.0 else 1.0
+    if dof > 0 and sst > 0.0:
+        adj = 1.0 - (sse / dof) / (sst / (n - 1))
+    else:
+        adj = float("nan")
+    one_minus_h = 1.0 - leverages
+    if np.any(one_minus_h <= 1e-12):
+        press = float("nan")
+        pred_r2 = float("nan")
+    else:
+        press = float(np.sum((residuals / one_minus_h) ** 2))
+        pred_r2 = 1.0 - press / sst if sst > 0.0 else float("nan")
+    statistics = FitStatistics(
+        n=n,
+        p=p,
+        sse=sse,
+        sst=sst,
+        sigma2=sigma2,
+        r_squared=r_squared,
+        adj_r_squared=adj,
+        pred_r_squared=pred_r2,
+        press=press,
+        std_errors=std_errors,
+        t_values=t_values,
+        p_values=p_values,
+        leverages=leverages,
+    )
+    names = (
+        tuple(factor_names)
+        if factor_names is not None
+        else tuple(f"x{j + 1}" for j in range(model.k))
+    )
+    if len(names) != model.k:
+        raise FitError(
+            f"{len(names)} factor names for a {model.k}-factor model"
+        )
+    return ResponseSurface(
+        model=model,
+        coefficients=beta,
+        factor_names=names,
+        stats=statistics,
+        x_train=x_coded.copy(),
+        y_train=y.copy(),
+    )

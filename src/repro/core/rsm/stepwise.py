@@ -1,0 +1,74 @@
+"""Hierarchy-respecting backward elimination.
+
+Starting from a full model (usually quadratic), repeatedly drop the
+least significant removable term until every remaining term clears the
+significance threshold.  A term is *removable* only if no higher-order
+term that contains it remains in the model (hierarchy), and the
+intercept is never dropped.  Keeping hierarchy preserves the
+invariance of the model under recoding of the factors — standard RSM
+practice.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.rsm.fit import fit_response_surface
+from repro.core.rsm.surface import ResponseSurface
+from repro.core.rsm.terms import ModelSpec
+from repro.errors import FitError
+
+
+def backward_eliminate(
+    x_coded: np.ndarray,
+    y: np.ndarray,
+    model: ModelSpec,
+    alpha: float = 0.05,
+    factor_names: tuple[str, ...] | None = None,
+    respect_hierarchy: bool = True,
+    max_drops: int | None = None,
+) -> ResponseSurface:
+    """Backward-eliminate insignificant terms and refit.
+
+    Args:
+        x_coded: (n, k) coded design matrix.
+        y: responses.
+        model: starting model.
+        alpha: p-value threshold a term must beat to stay.
+        factor_names: labels for reporting.
+        respect_hierarchy: refuse to drop a parent of a retained term.
+        max_drops: optional cap on eliminations.
+
+    Returns:
+        The reduced, refitted surface (meta: the fitted surface's
+        model reflects the terms kept).
+    """
+    if not (0.0 < alpha < 1.0):
+        raise FitError(f"alpha must be in (0, 1), got {alpha}")
+    current = model
+    drops = 0
+    while True:
+        surface = fit_response_surface(x_coded, y, current, factor_names)
+        p_values = surface.stats.p_values
+        if np.any(~np.isfinite(p_values)):
+            # Saturated fit: no inference possible, nothing to drop on.
+            return surface
+        candidates = []
+        for term, p_val in zip(current.terms, p_values):
+            if term.is_intercept:
+                continue
+            if respect_hierarchy and current.children_of(term):
+                continue
+            if p_val > alpha:
+                candidates.append((float(p_val), term))
+        if not candidates:
+            return surface
+        candidates.sort(key=lambda item: item[0], reverse=True)
+        _, worst = candidates[0]
+        current = current.without(worst)
+        drops += 1
+        if max_drops is not None and drops >= max_drops:
+            return fit_response_surface(x_coded, y, current, factor_names)
+        if current.p == 1:
+            # Only the intercept left.
+            return fit_response_surface(x_coded, y, current, factor_names)

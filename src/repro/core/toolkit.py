@@ -1,0 +1,410 @@
+"""The paper's design flow, end to end.
+
+:class:`SensorNodeDesignToolkit` is the "software toolkit" the DATE'13
+abstract describes: it owns the canonical 5-factor space, runs the
+designed simulations on the envelope engine, fits response-surface
+models for the selected performance indicators, validates them at
+held-out points, and then answers design questions *practically
+instantly* — point predictions, 2-D surface slices, trade-off fronts,
+desirability optimization — without further simulation.
+
+Typical use::
+
+    toolkit = SensorNodeDesignToolkit()
+    study = toolkit.run_study()              # the moderate sim budget
+    study.predict(capacitance=0.5, tx_interval=8.0)   # instant
+    print(study.report())
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.analysis.tables import format_table
+from repro.core.desirability import CompositeDesirability, Desirability
+from repro.core.doe.base import Design
+from repro.core.doe.box_behnken import box_behnken
+from repro.core.doe.ccd import central_composite
+from repro.core.doe.lhs import latin_hypercube
+from repro.core.explorer import (
+    DesignExplorer,
+    ExplorationResult,
+    ValidationReport,
+)
+from repro.core.factors import DesignSpace, canonical_space
+from repro.core.optimize import OptimizationOutcome, optimize_desirability
+from repro.core.pareto import pareto_front
+from repro.core.rsm.anova import AnovaTable
+from repro.core.rsm.surface import ResponseSurface
+from repro.core.rsm.terms import ModelSpec
+from repro.errors import DesignError, OptimizationError
+from repro.indicators import evaluate_indicators
+from repro.presets import default_system
+from repro.sim.envelope import EnvelopeOptions
+from repro.sim.runner import MissionConfig, simulate
+from repro.vibration.sources import VibrationSource
+
+#: Response transforms applied by default: the data rate is
+#: multiplicative in the (log-coded) payload and period factors, so it
+#: is fitted in log1p scale where a quadratic is structurally right.
+DEFAULT_TRANSFORMS = {"effective_data_rate": "log1p"}
+
+#: Indicators the canonical study fits surfaces for.
+DEFAULT_RESPONSES = (
+    "average_harvested_power",
+    "average_load_power",
+    "effective_data_rate",
+    "downtime_fraction",
+    "min_store_voltage",
+    "final_store_voltage",
+)
+
+
+@dataclass
+class ToolkitStudy:
+    """Everything one DoE study produced.
+
+    Attributes:
+        space: the factor space.
+        exploration: raw simulated runs.
+        surfaces: fitted response surfaces per indicator.
+        anova: ANOVA tables per indicator.
+        validation: held-out accuracy report (None if skipped).
+        sim_seconds_per_run: mean mission wall time.
+        rsm_eval_seconds: measured cost of one RSM point prediction.
+    """
+
+    space: DesignSpace
+    exploration: ExplorationResult
+    surfaces: dict[str, ResponseSurface]
+    anova: dict[str, AnovaTable]
+    validation: ValidationReport | None
+    sim_seconds_per_run: float
+    rsm_eval_seconds: float
+    meta: dict = field(default_factory=dict)
+
+    # -- instant exploration --------------------------------------------------
+
+    def predict(self, **params: float) -> dict[str, float]:
+        """Predict all responses at a physical point (microseconds)."""
+        row = self.space.dict_to_coded(params)
+        point = np.atleast_2d(row)
+        return {
+            name: float(surface.predict(point)[0])
+            for name, surface in self.surfaces.items()
+        }
+
+    def surface_slice(
+        self,
+        response: str,
+        x_factor: str,
+        y_factor: str,
+        n: int = 41,
+        fixed: Mapping[str, float] | None = None,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """2-D physical-units slice of one response surface.
+
+        Returns (x_axis, y_axis, grid) with grid[i, j] the prediction
+        at (y_axis[i], x_axis[j]); other factors sit at their centre
+        unless pinned via ``fixed``.
+        """
+        surface = self._surface(response)
+        base = self.space.dict_to_coded(dict(fixed) if fixed else {})
+        xi = self.space.index(x_factor)
+        yi = self.space.index(y_factor)
+        coded_axis = np.linspace(-1.0, 1.0, n)
+        grid = np.empty((n, n))
+        points = np.tile(base, (n * n, 1))
+        xx, yy = np.meshgrid(coded_axis, coded_axis)
+        points[:, xi] = xx.ravel()
+        points[:, yi] = yy.ravel()
+        grid = surface.predict(points).reshape(n, n)
+        x_axis = np.array(
+            [self.space.factors[xi].to_physical(c) for c in coded_axis]
+        )
+        y_axis = np.array(
+            [self.space.factors[yi].to_physical(c) for c in coded_axis]
+        )
+        return x_axis, y_axis, grid
+
+    def trade_off(
+        self,
+        objectives: Sequence[str],
+        maximize: Sequence[bool],
+        points_per_axis: int = 7,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Pareto front over a dense RSM grid.
+
+        Returns (points_coded, objective_values) of the non-dominated
+        candidates.
+        """
+        if len(objectives) != len(maximize):
+            raise OptimizationError(
+                "objectives and maximize must have equal length"
+            )
+        import itertools
+
+        axes = [np.linspace(-1.0, 1.0, points_per_axis)] * self.space.k
+        grid = np.array(list(itertools.product(*axes)))
+        values = np.column_stack(
+            [self._surface(name).predict(grid) for name in objectives]
+        )
+        idx = pareto_front(values, maximize)
+        return grid[idx], values[idx]
+
+    def optimize(
+        self,
+        desirability: CompositeDesirability,
+        points_per_axis: int = 7,
+    ) -> tuple[OptimizationOutcome, dict[str, float]]:
+        """Desirability optimization; returns (outcome, physical point)."""
+        outcome = optimize_desirability(
+            self.surfaces, desirability, points_per_axis=points_per_axis
+        )
+        return outcome, self.space.point_to_dict(outcome.x_coded)
+
+    @property
+    def speedup_sim_vs_rsm(self) -> float:
+        """How many times faster one RSM evaluation is than one mission."""
+        if self.rsm_eval_seconds <= 0.0:
+            return float("inf")
+        return self.sim_seconds_per_run / self.rsm_eval_seconds
+
+    def _surface(self, response: str) -> ResponseSurface:
+        try:
+            return self.surfaces[response]
+        except KeyError:
+            raise DesignError(
+                f"no surface for {response!r}; have {sorted(self.surfaces)}"
+            ) from None
+
+    # -- reporting ---------------------------------------------------------------
+
+    def report(self) -> str:
+        """Multi-section text report of the whole study."""
+        parts = [
+            "== factors ==",
+            self.space.describe(),
+            "",
+            "== design ==",
+            self.exploration.design.describe(),
+            f"simulated runs: {self.exploration.n_runs}, total "
+            f"{self.exploration.total_seconds:.1f} s "
+            f"({self.sim_seconds_per_run:.2f} s/run)",
+            f"RSM evaluation: {self.rsm_eval_seconds * 1e6:.1f} us/point "
+            f"(speedup x{self.speedup_sim_vs_rsm:.0f})",
+            "",
+            "== fit quality ==",
+        ]
+        rows = []
+        for name, surface in self.surfaces.items():
+            s = surface.stats
+            rows.append(
+                [
+                    name,
+                    s.r_squared,
+                    s.adj_r_squared,
+                    s.pred_r_squared,
+                    s.rmse,
+                ]
+            )
+        parts.append(
+            format_table(
+                ["response", "R2", "adjR2", "predR2", "RMSE"], rows
+            )
+        )
+        if self.validation is not None:
+            parts.append("")
+            parts.append("== validation at held-out points ==")
+            rows = [
+                [
+                    name,
+                    m["rmse"],
+                    m["max_abs_error"],
+                    m["normalized_rmse"],
+                    m["median_pct_error"],
+                ]
+                for name, m in self.validation.metrics.items()
+            ]
+            parts.append(
+                format_table(
+                    [
+                        "response",
+                        "RMSE",
+                        "max|err|",
+                        "NRMSE",
+                        "median %err",
+                    ],
+                    rows,
+                )
+            )
+        return "\n".join(parts)
+
+
+class SensorNodeDesignToolkit:
+    """The DoE-based design-flow toolkit over the canonical node.
+
+    Args:
+        space: factor space (defaults to the canonical 5 factors).
+        responses: indicator names to model.
+        mission_time: simulated mission length per design point, s.
+        vibration: ambient excitation shared by every run (default:
+            the 67 Hz machine tone).
+        engine: mission engine (envelope is the laptop-scale choice).
+        envelope: envelope-engine options.
+        system_kwargs: extra keyword arguments forwarded to
+            :func:`repro.presets.default_system` for every run (e.g.
+            ``topology="bridge"``).
+    """
+
+    def __init__(
+        self,
+        space: DesignSpace | None = None,
+        responses: Sequence[str] = DEFAULT_RESPONSES,
+        mission_time: float = 1800.0,
+        vibration: VibrationSource | None = None,
+        engine: str = "envelope",
+        envelope: EnvelopeOptions | None = None,
+        system_kwargs: Mapping[str, object] | None = None,
+    ):
+        self.space = space if space is not None else canonical_space()
+        self.mission_time = float(mission_time)
+        self.engine = engine
+        self.envelope = envelope
+        self.vibration = vibration
+        self.system_kwargs = dict(system_kwargs) if system_kwargs else {}
+        self.explorer = DesignExplorer(
+            self.space, self.evaluate_point, responses
+        )
+
+    # -- the black box ------------------------------------------------------------
+
+    def evaluate_point(self, params: Mapping[str, float]) -> dict[str, float]:
+        """Simulate one mission at a physical design point."""
+        kwargs = dict(self.system_kwargs)
+        for name, value in params.items():
+            if name == "payload_bits":
+                kwargs[name] = int(round(float(value)))
+            else:
+                kwargs[name] = float(value)
+        if self.vibration is not None:
+            kwargs["vibration"] = self.vibration
+        config = default_system(**kwargs)
+        mission = MissionConfig(
+            t_end=self.mission_time,
+            engine=self.engine,
+            envelope=self.envelope,
+        )
+        result = simulate(config, mission)
+        return evaluate_indicators(result, self.explorer.responses)
+
+    # -- designs -------------------------------------------------------------------
+
+    def build_design(self, kind: str = "ccd", **options) -> Design:
+        """Construct a study design by name: ccd / box-behnken / lhs."""
+        k = self.space.k
+        if kind == "ccd":
+            defaults = dict(alpha="face", n_center=3, fraction=k in (5, 6, 7))
+            defaults.update(options)
+            return central_composite(k, **defaults)
+        if kind == "box-behnken":
+            return box_behnken(k, **options)
+        if kind == "lhs":
+            defaults = dict(n=max(4 * k, 20), seed=1)
+            defaults.update(options)
+            return latin_hypercube(k=k, **defaults)
+        raise DesignError(
+            f"unknown design kind {kind!r}; pick ccd, box-behnken or lhs"
+        )
+
+    # -- the flow --------------------------------------------------------------------
+
+    def run_study(
+        self,
+        design: Design | str = "ccd",
+        model: ModelSpec | str = "quadratic",
+        stepwise_alpha: float | None = None,
+        validate_points: int = 10,
+        validation_seed: int = 42,
+    ) -> ToolkitStudy:
+        """Run the complete DoE flow (design -> simulate -> fit -> validate).
+
+        Args:
+            design: a :class:`Design` or a kind name for
+                :meth:`build_design`.
+            model: RSM form (default full quadratic).
+            stepwise_alpha: optional backward-elimination level.
+            validate_points: held-out LHS points (0 skips validation).
+            validation_seed: seed for the validation LHS.
+        """
+        chosen = (
+            design if isinstance(design, Design) else self.build_design(design)
+        )
+        exploration = self.explorer.run_design(chosen)
+        transforms = {
+            name: t
+            for name, t in DEFAULT_TRANSFORMS.items()
+            if name in self.explorer.responses
+        }
+        surfaces = self.explorer.fit_surfaces(
+            exploration,
+            model=model,
+            stepwise_alpha=stepwise_alpha,
+            transforms=transforms,
+        )
+        anova = self.explorer.anova(surfaces)
+        validation = None
+        if validate_points > 0:
+            validation = self.explorer.validate(
+                surfaces, n_points=validate_points, seed=validation_seed
+            )
+        rsm_eval_seconds = self._time_rsm_eval(surfaces)
+        return ToolkitStudy(
+            space=self.space,
+            exploration=exploration,
+            surfaces=surfaces,
+            anova=anova,
+            validation=validation,
+            sim_seconds_per_run=float(np.mean(exploration.run_seconds)),
+            rsm_eval_seconds=rsm_eval_seconds,
+            meta={
+                "mission_time": self.mission_time,
+                "engine": self.engine,
+                "model": model if isinstance(model, str) else model.describe(),
+            },
+        )
+
+    @staticmethod
+    def _time_rsm_eval(
+        surfaces: Mapping[str, ResponseSurface], n_trials: int = 2000
+    ) -> float:
+        """Measure the cost of predicting all responses at one point."""
+        rng = np.random.default_rng(0)
+        k = next(iter(surfaces.values())).k
+        points = rng.uniform(-1.0, 1.0, size=(n_trials, k))
+        started = time.perf_counter()
+        for name in surfaces:
+            surfaces[name].predict(points)
+        elapsed = time.perf_counter() - started
+        return elapsed / n_trials
+
+
+def standard_desirability() -> CompositeDesirability:
+    """The study's canonical multi-response objective.
+
+    Maximize data rate, require (essentially) zero downtime, and keep
+    the store healthy at mission end — the energy-management goal the
+    paper's scenarios revolve around.
+    """
+    return CompositeDesirability(
+        {
+            "effective_data_rate": Desirability("maximize", 0.0, 60.0),
+            "downtime_fraction": Desirability("minimize", 0.0, 0.05),
+            "final_store_voltage": Desirability("maximize", 2.3, 3.5),
+        },
+        importances={"downtime_fraction": 2.0},
+    )

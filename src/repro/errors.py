@@ -1,0 +1,46 @@
+"""Exception hierarchy for the :mod:`repro` toolkit.
+
+All exceptions raised deliberately by this package derive from
+:class:`ReproError`, so callers can catch toolkit failures without also
+swallowing programming errors such as :class:`TypeError`.
+
+The hierarchy mirrors the major subsystems:
+
+* :class:`ModelError` — a physical model was configured with parameters
+  that are out of range or mutually inconsistent (negative mass, a
+  tuning range the actuator cannot reach, ...).
+* :class:`SimulationError` — a transient simulation failed to make
+  progress (Newton-Raphson divergence, step underflow, state blow-up).
+* :class:`DesignError` — a DoE design request is infeasible (unknown
+  generator letter, Plackett-Burman size not available, ...).
+* :class:`FitError` — a response-surface fit is ill-posed (fewer runs
+  than model terms, singular normal equations, unknown term).
+* :class:`OptimizationError` — an RSM-based optimization could not
+  produce a usable answer (empty feasible set, no finite desirability).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error deliberately raised by :mod:`repro`."""
+
+
+class ModelError(ReproError):
+    """A physical model received invalid or inconsistent parameters."""
+
+
+class SimulationError(ReproError):
+    """A transient simulation failed to converge or make progress."""
+
+
+class DesignError(ReproError):
+    """A design-of-experiments construction request is infeasible."""
+
+
+class FitError(ReproError):
+    """A response-surface fit is ill-posed or numerically singular."""
+
+
+class OptimizationError(ReproError):
+    """An RSM-based optimization produced no usable result."""

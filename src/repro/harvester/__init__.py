@@ -1,0 +1,33 @@
+"""Tunable electromagnetic vibration energy harvester substrate.
+
+Implements the microgenerator of the companion HDL-modelling paper
+(Kazmierski et al., IEEE Sensors J. 2012): a second-order
+mass-spring-damper with electromagnetic transduction, whose resonant
+frequency is tuned mechanically by adjusting the gap between a pair of
+tuning magnets, moved by a small motor that draws its energy from the
+node's own store.
+
+* :mod:`repro.harvester.parameters` — validated parameter records.
+* :mod:`repro.harvester.microgenerator` — the electromechanical model.
+* :mod:`repro.harvester.tuning` — the gap -> resonant-frequency law and
+  the :class:`TunableHarvester` composition.
+* :mod:`repro.harvester.actuator` — the tuning-motor cost model.
+* :mod:`repro.harvester.analytic` — closed-form steady-state solutions
+  used to validate the simulation engines and to seed figure "theory"
+  series.
+"""
+
+from repro.harvester.parameters import MicrogeneratorParameters
+from repro.harvester.microgenerator import Microgenerator
+from repro.harvester.tuning import MagneticTuningLaw, TunableHarvester
+from repro.harvester.actuator import TuningActuator
+from repro.harvester import analytic
+
+__all__ = [
+    "MicrogeneratorParameters",
+    "Microgenerator",
+    "MagneticTuningLaw",
+    "TunableHarvester",
+    "TuningActuator",
+    "analytic",
+]

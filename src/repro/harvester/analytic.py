@@ -1,0 +1,248 @@
+"""Closed-form steady-state solutions for the resistively loaded harvester.
+
+For a sinusoidal base acceleration ``a(t) = A sin(w t)`` and a purely
+resistive load ``R_L`` across the coil, the coupled electromechanical
+system has an exact phasor solution.  These formulas serve three
+purposes in the reproduction:
+
+1. *Engine validation* — the transient engines must converge to these
+   amplitudes and powers (integration tests assert it).
+2. *Figure theory series* — R-F1 plots the analytic tuned/untuned power
+   curves next to simulated points.
+3. *Envelope seeding* — the envelope engine uses the analytic electrical
+   damping as a sanity bound on its numerically built charging maps.
+
+Derivation (relative coordinate z, coil current i, load R_L):
+
+.. math::
+
+    Z(w)  &= m A / (k - m w^2 + j w c_p + j w \\Phi^2 / Z_e(w)) \\\\
+    Z_e(w) &= R_c + R_L + j w L_c \\\\
+    I(w)  &= j w \\Phi Z(w) / Z_e(w)
+
+Average powers follow from the phasor magnitudes: load power
+``|I|^2 R_L / 2``, coil loss ``|I|^2 R_c / 2``, parasitic loss
+``c_p w^2 |Z|^2 / 2``.  Their sum equals the average input power — an
+identity the property tests check across random parameter draws.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from scipy.optimize import minimize_scalar
+
+from repro.errors import ModelError
+from repro.harvester.parameters import MicrogeneratorParameters
+from repro.units import TWO_PI
+
+
+def _validate(amplitude: float, frequency: float, load_resistance: float) -> None:
+    if amplitude < 0.0:
+        raise ModelError(f"amplitude must be >= 0, got {amplitude}")
+    if frequency <= 0.0:
+        raise ModelError(f"frequency must be > 0, got {frequency}")
+    if load_resistance < 0.0:
+        raise ModelError(f"load_resistance must be >= 0, got {load_resistance}")
+
+
+def _k_eff(params: MicrogeneratorParameters, resonance: float | None) -> float:
+    """Effective stiffness for an optionally tuned resonance (Hz)."""
+    if resonance is None:
+        return params.spring_constant
+    if resonance <= 0.0:
+        raise ModelError(f"resonance must be > 0, got {resonance}")
+    return params.mass * (TWO_PI * resonance) ** 2
+
+
+def displacement_amplitude(
+    params: MicrogeneratorParameters,
+    amplitude: float,
+    frequency: float,
+    load_resistance: float,
+    resonance: float | None = None,
+) -> float:
+    """Peak relative proof-mass displacement |Z|, metres.
+
+    Args:
+        params: device parameters.
+        amplitude: base acceleration amplitude A, m/s^2.
+        frequency: excitation frequency, Hz.
+        load_resistance: resistive load across the coil, ohms.
+        resonance: tuned resonance in Hz (None = untuned device).
+    """
+    _validate(amplitude, frequency, load_resistance)
+    w = TWO_PI * frequency
+    k = _k_eff(params, resonance)
+    z_e = params.coil_resistance + load_resistance + 1j * w * params.coil_inductance
+    denom = (
+        k
+        - params.mass * w**2
+        + 1j * w * params.parasitic_damping
+        + 1j * w * params.transduction_factor**2 / z_e
+    )
+    return abs(params.mass * amplitude / denom)
+
+
+def coil_current_amplitude(
+    params: MicrogeneratorParameters,
+    amplitude: float,
+    frequency: float,
+    load_resistance: float,
+    resonance: float | None = None,
+) -> float:
+    """Peak coil current |I|, amperes."""
+    _validate(amplitude, frequency, load_resistance)
+    w = TWO_PI * frequency
+    z = displacement_amplitude(
+        params, amplitude, frequency, load_resistance, resonance
+    )
+    z_e = params.coil_resistance + load_resistance + 1j * w * params.coil_inductance
+    return w * params.transduction_factor * z / abs(z_e)
+
+
+def load_power(
+    params: MicrogeneratorParameters,
+    amplitude: float,
+    frequency: float,
+    load_resistance: float,
+    resonance: float | None = None,
+) -> float:
+    """Average power delivered to the resistive load, watts."""
+    current = coil_current_amplitude(
+        params, amplitude, frequency, load_resistance, resonance
+    )
+    return 0.5 * current**2 * load_resistance
+
+
+def power_balance(
+    params: MicrogeneratorParameters,
+    amplitude: float,
+    frequency: float,
+    load_resistance: float,
+    resonance: float | None = None,
+) -> dict[str, float]:
+    """All average power flows at steady state, watts.
+
+    Returns a dict with keys ``input``, ``load``, ``coil_loss``,
+    ``parasitic``.  The identity ``input = load + coil_loss + parasitic``
+    holds exactly (property-tested).
+    """
+    _validate(amplitude, frequency, load_resistance)
+    w = TWO_PI * frequency
+    z = displacement_amplitude(
+        params, amplitude, frequency, load_resistance, resonance
+    )
+    current = coil_current_amplitude(
+        params, amplitude, frequency, load_resistance, resonance
+    )
+    p_load = 0.5 * current**2 * load_resistance
+    p_coil = 0.5 * current**2 * params.coil_resistance
+    p_par = 0.5 * params.parasitic_damping * (w * z) ** 2
+    return {
+        "input": p_load + p_coil + p_par,
+        "load": p_load,
+        "coil_loss": p_coil,
+        "parasitic": p_par,
+    }
+
+
+def optimal_load_resistance(
+    params: MicrogeneratorParameters,
+    amplitude: float,
+    frequency: float,
+    resonance: float | None = None,
+) -> float:
+    """Load resistance maximizing delivered power at this operating point.
+
+    Solved numerically over log-resistance (the optimum of the coupled
+    system has no tidy closed form once coil inductance and resistance
+    both matter); bounded to [1 ohm, 10 Mohm].
+    """
+    _validate(amplitude, frequency, 0.0)
+
+    def negative_power(log_r: float) -> float:
+        return -load_power(
+            params, amplitude, frequency, math.exp(log_r), resonance
+        )
+
+    result = minimize_scalar(
+        negative_power,
+        bounds=(math.log(1.0), math.log(1.0e7)),
+        method="bounded",
+        options={"xatol": 1e-6},
+    )
+    return float(math.exp(result.x))
+
+
+def max_power_bound(
+    params: MicrogeneratorParameters, amplitude: float
+) -> float:
+    """Velocity-damped-resonator upper bound m*A^2/(16*zeta*w_n), watts.
+
+    The classical bound on resonant harvest when the electrical damping
+    is matched to the parasitic damping and coil losses are ignored; the
+    achievable load power is always below it (tested).
+    """
+    if amplitude < 0.0:
+        raise ModelError(f"amplitude must be >= 0, got {amplitude}")
+    return (
+        params.mass
+        * amplitude**2
+        / (16.0 * params.damping_ratio * params.angular_frequency)
+    )
+
+
+def power_vs_frequency(
+    params: MicrogeneratorParameters,
+    amplitude: float,
+    frequencies: np.ndarray,
+    load_resistance: float,
+    resonance: float | None = None,
+) -> np.ndarray:
+    """Vectorized :func:`load_power` over a frequency grid (figure R-F1)."""
+    freqs = np.asarray(frequencies, dtype=float)
+    if np.any(freqs <= 0.0):
+        raise ModelError("all frequencies must be > 0")
+    _validate(amplitude, float(freqs.flat[0]), load_resistance)
+    w = TWO_PI * freqs
+    k = _k_eff(params, resonance)
+    z_e = (
+        params.coil_resistance
+        + load_resistance
+        + 1j * w * params.coil_inductance
+    )
+    denom = (
+        k
+        - params.mass * w**2
+        + 1j * w * params.parasitic_damping
+        + 1j * w * params.transduction_factor**2 / z_e
+    )
+    z = np.abs(params.mass * amplitude / denom)
+    current = w * params.transduction_factor * z / np.abs(z_e)
+    return 0.5 * current**2 * load_resistance
+
+
+def half_power_bandwidth(
+    params: MicrogeneratorParameters,
+    amplitude: float,
+    load_resistance: float,
+    resonance: float | None = None,
+) -> float:
+    """Half-power (-3 dB) bandwidth around the loaded resonance, Hz.
+
+    Located numerically from a fine frequency sweep; quantifies how
+    quickly an untuned harvester loses output as the ambient frequency
+    drifts — the motivation for the tuning subsystem.
+    """
+    f_c = resonance if resonance is not None else params.natural_frequency
+    freqs = np.linspace(0.5 * f_c, 1.5 * f_c, 4001)
+    powers = power_vs_frequency(
+        params, amplitude, freqs, load_resistance, resonance
+    )
+    peak = float(np.max(powers))
+    above = freqs[powers >= 0.5 * peak]
+    if above.size < 2:
+        return 0.0
+    return float(above[-1] - above[0])

@@ -1,0 +1,163 @@
+"""Electromechanical model of the microgenerator.
+
+The device is a base-excited second-order resonator with an
+electromagnetic transducer:
+
+.. code-block:: text
+
+    m z'' + c_p z' + k_eff z + F_stop(z) + Phi i  =  -m a(t)
+    L_c i' + R_c i + v_out                        =  Phi z'
+
+where ``z`` is the proof-mass displacement *relative to the base*,
+``a(t)`` the base acceleration, ``i`` the coil current flowing into the
+external circuit, ``v_out`` the voltage the external circuit presents at
+the coil terminals, and ``F_stop`` the end-stop restoring force that
+engages beyond ``max_displacement``.
+
+Sign conventions: positive coil current flows *out* of the positive
+terminal into the external circuit; the electromagnetic reaction force
+``Phi i`` opposes the motion that generates it (energy conservation is
+checked in the tests).
+
+The class is *stateless*: it exposes the right-hand-side terms and
+linear coefficients that the simulation engines assemble into system
+equations, with the effective stiffness ``k_eff`` supplied per call so
+that the tuning subsystem can vary it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ModelError
+from repro.harvester.parameters import MicrogeneratorParameters
+
+
+@dataclass(frozen=True)
+class MechanicalState:
+    """Convenience bundle for (displacement, velocity) pairs."""
+
+    displacement: float
+    velocity: float
+
+
+class Microgenerator:
+    """Stateless electromechanical microgenerator model.
+
+    Args:
+        params: validated physical parameters.
+    """
+
+    def __init__(self, params: MicrogeneratorParameters):
+        self._params = params
+
+    @property
+    def params(self) -> MicrogeneratorParameters:
+        return self._params
+
+    # -- mechanical side ----------------------------------------------------
+
+    def end_stop_force(self, displacement: float) -> float:
+        """Restoring force of the end stops, N (0 inside free travel).
+
+        Modelled as a stiff linear spring engaging beyond the free
+        travel; piecewise-linear so the linearized state-space engine
+        can treat it as one more PWL mode.
+        """
+        z_max = self._params.max_displacement
+        if displacement > z_max:
+            return self._params.end_stop_stiffness * (displacement - z_max)
+        if displacement < -z_max:
+            return self._params.end_stop_stiffness * (displacement + z_max)
+        return 0.0
+
+    def end_stop_region(self, displacement: float) -> int:
+        """PWL region of the end stop: -1 (lower), 0 (free), +1 (upper)."""
+        z_max = self._params.max_displacement
+        if displacement > z_max:
+            return 1
+        if displacement < -z_max:
+            return -1
+        return 0
+
+    def acceleration(
+        self,
+        state: MechanicalState,
+        coil_current: float,
+        base_acceleration: float,
+        k_eff: float | None = None,
+    ) -> float:
+        """Proof-mass relative acceleration z'', m/s^2.
+
+        Args:
+            state: current (z, z').
+            coil_current: coil current i, A.
+            base_acceleration: base acceleration a(t), m/s^2.
+            k_eff: effective suspension stiffness (defaults to the
+                untuned spring constant).
+        """
+        p = self._params
+        k = p.spring_constant if k_eff is None else k_eff
+        if k <= 0.0:
+            raise ModelError(f"effective stiffness must be > 0, got {k}")
+        spring = k * state.displacement + self.end_stop_force(state.displacement)
+        damping = p.parasitic_damping * state.velocity
+        reaction = p.transduction_factor * coil_current
+        return (-spring - damping - reaction) / p.mass - base_acceleration
+
+    # -- electrical side ----------------------------------------------------
+
+    def emf(self, velocity: float) -> float:
+        """Open-circuit electromotive force Phi * z', volts."""
+        return self._params.transduction_factor * velocity
+
+    def coil_current_derivative(
+        self, velocity: float, coil_current: float, terminal_voltage: float
+    ) -> float:
+        """di/dt from the coil branch equation, A/s."""
+        p = self._params
+        return (
+            self.emf(velocity)
+            - p.coil_resistance * coil_current
+            - terminal_voltage
+        ) / p.coil_inductance
+
+    # -- power bookkeeping ---------------------------------------------------
+
+    def mechanical_input_power(
+        self, state: MechanicalState, base_acceleration: float
+    ) -> float:
+        """Power delivered by the base excitation to the proof mass, W.
+
+        For the relative-coordinate formulation the excitation enters as
+        the inertial force ``-m a(t)`` acting through the relative
+        velocity.
+        """
+        return -self._params.mass * base_acceleration * state.velocity
+
+    def transduced_power(self, velocity: float, coil_current: float) -> float:
+        """Electrical power extracted from the mechanical domain, W.
+
+        ``P = Phi * z' * i`` — equal to EMF times current; positive when
+        the transducer brakes the mass (generation).
+        """
+        return self.emf(velocity) * coil_current
+
+    def parasitic_power(self, velocity: float) -> float:
+        """Power lost to parasitic mechanical damping, W (>= 0)."""
+        return self._params.parasitic_damping * velocity**2
+
+    def stored_energy(
+        self, state: MechanicalState, coil_current: float, k_eff: float | None = None
+    ) -> float:
+        """Total energy stored in mass motion, spring and coil, J.
+
+        Ignores the (path-dependent) end-stop compression energy, which
+        the tests account for separately.
+        """
+        p = self._params
+        k = p.spring_constant if k_eff is None else k_eff
+        kinetic = 0.5 * p.mass * state.velocity**2
+        elastic = 0.5 * k * state.displacement**2
+        magnetic = 0.5 * p.coil_inductance * coil_current**2
+        return kinetic + elastic + magnetic

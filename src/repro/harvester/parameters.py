@@ -1,0 +1,180 @@
+"""Validated parameter records for the electromagnetic microgenerator.
+
+The defaults describe a device of the same class as the Southampton
+tunable cantilever microgenerator used in the companion papers: a few
+grams of proof mass, resonance in the mid-60s of hertz tunable up to the
+high 70s, a kilohm-class coil, and end stops limiting travel to about a
+millimetre and a half.  All values are in SI units.
+
+The record is immutable (frozen dataclass): simulation engines cache
+system matrices derived from it, and the DoE layer builds many system
+variants by :meth:`MicrogeneratorParameters.replace`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace as dataclass_replace
+
+from repro.errors import ModelError
+from repro.units import TWO_PI
+
+
+@dataclass(frozen=True)
+class MicrogeneratorParameters:
+    """Physical parameters of the electromagnetic microgenerator.
+
+    Attributes:
+        mass: proof (seismic) mass, kg.
+        natural_frequency: untuned mechanical resonance, Hz.  This is
+            the resonance with the tuning magnets fully retracted, i.e.
+            the *bottom* of the tuning range.
+        damping_ratio: parasitic (mechanical) damping ratio, unitless.
+        transduction_factor: electromagnetic coupling Phi = B*l, in
+            V.s/m (equivalently N/A).
+        coil_resistance: coil series resistance, ohms.
+        coil_inductance: coil self-inductance, henries.
+        max_displacement: end-stop travel limit, metres (one-sided).
+        end_stop_stiffness_ratio: end-stop spring stiffness expressed as
+            a multiple of the suspension stiffness; the end stop engages
+            beyond ``max_displacement``.
+    """
+
+    mass: float = 5.0e-3
+    natural_frequency: float = 64.0
+    damping_ratio: float = 0.008
+    transduction_factor: float = 50.0
+    coil_resistance: float = 4.0e3
+    coil_inductance: float = 50.0e-3
+    max_displacement: float = 1.5e-3
+    end_stop_stiffness_ratio: float = 50.0
+
+    def __post_init__(self) -> None:
+        if self.mass <= 0.0:
+            raise ModelError(f"mass must be > 0, got {self.mass}")
+        if self.natural_frequency <= 0.0:
+            raise ModelError(
+                f"natural_frequency must be > 0, got {self.natural_frequency}"
+            )
+        if self.damping_ratio <= 0.0:
+            raise ModelError(
+                f"damping_ratio must be > 0, got {self.damping_ratio}"
+            )
+        if self.damping_ratio >= 1.0:
+            raise ModelError(
+                "damping_ratio must describe an underdamped resonator "
+                f"(< 1), got {self.damping_ratio}"
+            )
+        if self.transduction_factor <= 0.0:
+            raise ModelError(
+                f"transduction_factor must be > 0, got {self.transduction_factor}"
+            )
+        if self.coil_resistance <= 0.0:
+            raise ModelError(
+                f"coil_resistance must be > 0, got {self.coil_resistance}"
+            )
+        if self.coil_inductance <= 0.0:
+            raise ModelError(
+                f"coil_inductance must be > 0, got {self.coil_inductance}"
+            )
+        if self.max_displacement <= 0.0:
+            raise ModelError(
+                f"max_displacement must be > 0, got {self.max_displacement}"
+            )
+        if self.end_stop_stiffness_ratio <= 0.0:
+            raise ModelError(
+                "end_stop_stiffness_ratio must be > 0, got "
+                f"{self.end_stop_stiffness_ratio}"
+            )
+
+    # -- derived quantities -------------------------------------------------
+
+    @property
+    def angular_frequency(self) -> float:
+        """Untuned angular resonance omega_n, rad/s."""
+        return TWO_PI * self.natural_frequency
+
+    @property
+    def spring_constant(self) -> float:
+        """Untuned suspension stiffness k = m*omega_n^2, N/m."""
+        return self.mass * self.angular_frequency**2
+
+    @property
+    def parasitic_damping(self) -> float:
+        """Parasitic damping coefficient c_p = 2*zeta*m*omega_n, N.s/m."""
+        return 2.0 * self.damping_ratio * self.mass * self.angular_frequency
+
+    @property
+    def end_stop_stiffness(self) -> float:
+        """End-stop spring stiffness, N/m."""
+        return self.end_stop_stiffness_ratio * self.spring_constant
+
+    @property
+    def quality_factor(self) -> float:
+        """Mechanical quality factor Q = 1/(2*zeta)."""
+        return 1.0 / (2.0 * self.damping_ratio)
+
+    @property
+    def coil_time_constant(self) -> float:
+        """Electrical time constant L/R of the coil, seconds."""
+        return self.coil_inductance / self.coil_resistance
+
+    def electrical_damping(self, load_resistance: float) -> float:
+        """Electrical damping coefficient c_e for a resistive load.
+
+        ``c_e = Phi^2 / (R_load + R_coil)`` — the damping the coil
+        current reflects back onto the proof mass when the inductance is
+        negligible at the operating frequency.
+
+        Args:
+            load_resistance: external resistance across the coil, ohms
+                (may be 0 for a short-circuited coil).
+        """
+        if load_resistance < 0.0:
+            raise ModelError(
+                f"load_resistance must be >= 0, got {load_resistance}"
+            )
+        return self.transduction_factor**2 / (
+            load_resistance + self.coil_resistance
+        )
+
+    def replace(self, **changes: float) -> "MicrogeneratorParameters":
+        """Return a copy with the given fields replaced (re-validated)."""
+        return dataclass_replace(self, **changes)
+
+    def summary(self) -> str:
+        """One-line human-readable summary for reports."""
+        return (
+            f"m={self.mass * 1e3:.2f} g, f_n={self.natural_frequency:.1f} Hz, "
+            f"zeta={self.damping_ratio:.3f} (Q={self.quality_factor:.0f}), "
+            f"Phi={self.transduction_factor:.2f} V.s/m, "
+            f"R_c={self.coil_resistance:.0f} ohm, "
+            f"L_c={self.coil_inductance * 1e3:.0f} mH, "
+            f"z_max={self.max_displacement * 1e3:.2f} mm"
+        )
+
+
+def default_parameters() -> MicrogeneratorParameters:
+    """The canonical device used throughout the reproduction."""
+    return MicrogeneratorParameters()
+
+
+def scaled_parameters(scale: float) -> MicrogeneratorParameters:
+    """A geometrically scaled variant of the canonical device.
+
+    Mass scales with volume (``scale**3``), stiffness with length
+    (``scale``), so the natural frequency scales as ``scale**-1``;
+    the transduction factor scales roughly with ``scale**2`` (flux x
+    turns-length product).  Used by parameter-sensitivity examples.
+    """
+    if scale <= 0.0:
+        raise ModelError(f"scale must be > 0, got {scale}")
+    base = default_parameters()
+    mass = base.mass * scale**3
+    freq = math.sqrt(base.spring_constant * scale / mass) / TWO_PI
+    return base.replace(
+        mass=mass,
+        natural_frequency=freq,
+        transduction_factor=base.transduction_factor * scale**2,
+        max_displacement=base.max_displacement * scale,
+    )

@@ -1,0 +1,201 @@
+"""Mechanical resonance tuning: gap -> frequency law and composition.
+
+The Southampton tunable microgenerator changes its resonant frequency by
+moving a tuning magnet towards a magnet on the cantilever tip: the
+attractive axial force stiffens the suspension, raising the resonance.
+Published devices span roughly 64-78 Hz over a few tens of millimetres
+of travel, with the sensitivity strongly nonlinear in the gap (magnetic
+force falls off roughly with the cube of separation).
+
+:class:`MagneticTuningLaw` captures that behaviour with an analytically
+invertible saturating law:
+
+.. math::
+
+    f_r(d) = f_{min} + (f_{max} - f_{min}) / (1 + (d / d_{half})^p)
+
+so the controller can compute the exact gap needed for a target
+frequency (:meth:`MagneticTuningLaw.gap_for_frequency`), and the
+simulator can compute the effective stiffness the mechanics see
+(:meth:`MagneticTuningLaw.added_stiffness` for a given proof mass).
+
+:class:`TunableHarvester` composes a microgenerator, a tuning law and an
+actuator into the device object the rest of the toolkit passes around.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ModelError
+from repro.harvester.actuator import TuningActuator
+from repro.harvester.microgenerator import Microgenerator
+from repro.harvester.parameters import MicrogeneratorParameters
+from repro.units import TWO_PI
+
+
+class MagneticTuningLaw:
+    """Saturating gap -> resonant-frequency law (invertible).
+
+    Args:
+        f_min: resonance with magnets fully separated, Hz (this must
+            match the microgenerator's untuned ``natural_frequency``;
+            :class:`TunableHarvester` enforces that).
+        f_max: resonance at the closest approach the mechanics allow, Hz.
+        gap_half: gap at which half the tuning range is reached, m.
+        exponent: sharpness of the magnetic-force falloff (3 for the
+            dipole-force law used in the published device models).
+        gap_min: minimum usable gap, m (mechanical stop).
+        gap_max: maximum usable gap, m (end of the lead screw).
+    """
+
+    def __init__(
+        self,
+        f_min: float = 64.0,
+        f_max: float = 78.0,
+        gap_half: float = 8.0e-3,
+        exponent: float = 3.0,
+        gap_min: float = 2.0e-3,
+        gap_max: float = 25.0e-3,
+    ):
+        if not (0.0 < f_min < f_max):
+            raise ModelError(f"need 0 < f_min < f_max, got [{f_min}, {f_max}]")
+        if gap_half <= 0.0:
+            raise ModelError(f"gap_half must be > 0, got {gap_half}")
+        if exponent <= 0.0:
+            raise ModelError(f"exponent must be > 0, got {exponent}")
+        if not (0.0 < gap_min < gap_max):
+            raise ModelError(
+                f"need 0 < gap_min < gap_max, got [{gap_min}, {gap_max}]"
+            )
+        self.f_min = float(f_min)
+        self.f_max = float(f_max)
+        self.gap_half = float(gap_half)
+        self.exponent = float(exponent)
+        self.gap_min = float(gap_min)
+        self.gap_max = float(gap_max)
+
+    # -- forward law ---------------------------------------------------------
+
+    def frequency_for_gap(self, gap: float) -> float:
+        """Resonant frequency (Hz) at magnet gap ``gap`` (m).
+
+        The gap is clamped into the mechanical range, matching the
+        physical travel stops.
+        """
+        d = min(max(gap, self.gap_min), self.gap_max)
+        span = self.f_max - self.f_min
+        return self.f_min + span / (1.0 + (d / self.gap_half) ** self.exponent)
+
+    def gap_for_frequency(self, frequency: float) -> float:
+        """Gap (m) that realizes the requested resonance, clamped.
+
+        Frequencies outside the achievable band map to the nearest gap
+        stop — the controller then simply gets as close as it can, which
+        is exactly what the published tuning firmware does.
+        """
+        f_lo = self.frequency_for_gap(self.gap_max)
+        f_hi = self.frequency_for_gap(self.gap_min)
+        if frequency <= f_lo:
+            return self.gap_max
+        if frequency >= f_hi:
+            return self.gap_min
+        span = self.f_max - self.f_min
+        ratio = span / (frequency - self.f_min) - 1.0
+        return self.gap_half * ratio ** (1.0 / self.exponent)
+
+    # -- mechanical view -----------------------------------------------------
+
+    def effective_stiffness(self, gap: float, mass: float) -> float:
+        """Suspension stiffness k_eff = m * (2*pi*f_r(gap))^2, N/m."""
+        if mass <= 0.0:
+            raise ModelError(f"mass must be > 0, got {mass}")
+        omega = TWO_PI * self.frequency_for_gap(gap)
+        return mass * omega**2
+
+    def added_stiffness(self, gap: float, mass: float) -> float:
+        """Magnetic stiffening relative to the untuned suspension, N/m."""
+        omega_min = TWO_PI * self.f_min
+        return self.effective_stiffness(gap, mass) - mass * omega_min**2
+
+    @property
+    def achievable_band(self) -> tuple[float, float]:
+        """(lowest, highest) resonant frequency reachable within travel."""
+        return (
+            self.frequency_for_gap(self.gap_max),
+            self.frequency_for_gap(self.gap_min),
+        )
+
+    def clamp_frequency(self, frequency: float) -> float:
+        """Project a target frequency onto the achievable band."""
+        lo, hi = self.achievable_band
+        return min(max(frequency, lo), hi)
+
+
+class TunableHarvester:
+    """Microgenerator + tuning law + actuator: the complete harvester.
+
+    This object is immutable configuration; the *current gap* is a
+    simulation state owned by the system model, passed into the methods
+    that need it.
+
+    Args:
+        params: microgenerator parameters.  ``natural_frequency`` must
+            equal the law's ``f_min`` (the untuned device *is* the
+            magnets-retracted device); a mismatch is a configuration
+            error caught here rather than a silent physics change.
+        tuning: the gap -> frequency law.
+        actuator: the tuning-motor cost model.
+    """
+
+    def __init__(
+        self,
+        params: MicrogeneratorParameters | None = None,
+        tuning: MagneticTuningLaw | None = None,
+        actuator: TuningActuator | None = None,
+    ):
+        self.params = params if params is not None else MicrogeneratorParameters()
+        self.tuning = tuning if tuning is not None else MagneticTuningLaw()
+        self.actuator = actuator if actuator is not None else TuningActuator()
+        if abs(self.params.natural_frequency - self.tuning.f_min) > 1e-9:
+            raise ModelError(
+                "microgenerator natural_frequency "
+                f"({self.params.natural_frequency} Hz) must equal the tuning "
+                f"law's f_min ({self.tuning.f_min} Hz)"
+            )
+        if not (
+            self.tuning.gap_min
+            >= self.actuator.gap_travel_min - 1e-12
+            and self.tuning.gap_max <= self.actuator.gap_travel_max + 1e-12
+        ):
+            raise ModelError(
+                "tuning-law gap range exceeds the actuator travel: law "
+                f"[{self.tuning.gap_min}, {self.tuning.gap_max}] vs actuator "
+                f"[{self.actuator.gap_travel_min}, {self.actuator.gap_travel_max}]"
+            )
+        self.generator = Microgenerator(self.params)
+
+    def resonant_frequency(self, gap: float) -> float:
+        """Resonance (Hz) at the given magnet gap (m)."""
+        return self.tuning.frequency_for_gap(gap)
+
+    def effective_stiffness(self, gap: float) -> float:
+        """Suspension stiffness the mechanics see at this gap, N/m."""
+        return self.tuning.effective_stiffness(gap, self.params.mass)
+
+    def gap_for_frequency(self, frequency: float) -> float:
+        """Gap that tunes the device as close as possible to ``frequency``."""
+        return self.tuning.gap_for_frequency(frequency)
+
+    def retune_cost(self, gap_from: float, gap_to: float) -> tuple[float, float]:
+        """(duration s, energy J) of moving the tuning magnet.
+
+        Thin wrapper over the actuator so callers need not reach
+        through; clamps both endpoints to the usable travel first.
+        """
+        lo, hi = self.tuning.gap_min, self.tuning.gap_max
+        start = min(max(gap_from, lo), hi)
+        end = min(max(gap_to, lo), hi)
+        return self.actuator.move_cost(start, end)
+
+    def default_gap(self) -> float:
+        """Fully retracted gap — the untuned rest configuration."""
+        return self.tuning.gap_max

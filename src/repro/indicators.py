@@ -1,0 +1,158 @@
+"""Performance-indicator registry.
+
+The DoE flow treats a mission simulation as a black box mapping design
+parameters to scalar *responses*; this module defines those responses
+as named functions of a :class:`~repro.sim.results.SimulationResult`.
+
+Registry entries are plain callables so users can register their own
+(:func:`register_indicator`); the names double as response labels in
+the RSM reports and benchmark tables.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ReproError
+from repro.sim.results import SimulationResult
+
+IndicatorFn = Callable[[SimulationResult], float]
+
+_REGISTRY: dict[str, IndicatorFn] = {}
+
+
+def register_indicator(name: str, fn: IndicatorFn, overwrite: bool = False) -> None:
+    """Add a named indicator to the registry.
+
+    Args:
+        name: indicator key (used in response tables).
+        fn: maps a :class:`SimulationResult` to a float.
+        overwrite: allow replacing an existing entry.
+    """
+    if not overwrite and name in _REGISTRY:
+        raise ReproError(f"indicator {name!r} already registered")
+    _REGISTRY[name] = fn
+
+
+def get_indicator(name: str) -> IndicatorFn:
+    """Look up an indicator by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ReproError(
+            f"unknown indicator {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def indicator_names() -> tuple[str, ...]:
+    """All registered indicator names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def evaluate_indicators(
+    result: SimulationResult, names: tuple[str, ...] | list[str] | None = None
+) -> dict[str, float]:
+    """Evaluate several indicators on one result."""
+    selected = names if names is not None else indicator_names()
+    return {name: float(get_indicator(name)(result)) for name in selected}
+
+
+# -- built-in indicators ----------------------------------------------------------
+
+
+def average_harvested_power(result: SimulationResult) -> float:
+    """Mean power delivered into the store over the mission, W."""
+    return result.energy("harvested") / result.t_end
+
+
+def average_load_power(result: SimulationResult) -> float:
+    """Mean store-side power consumed by the node application, W."""
+    return result.energy("node") / result.t_end
+
+
+def downtime_fraction(result: SimulationResult) -> float:
+    """Fraction of the mission spent browned out (0..1)."""
+    return result.downtime_fraction()
+
+
+def uptime_fraction(result: SimulationResult) -> float:
+    """Complement of :func:`downtime_fraction` (nicer to maximize)."""
+    return 1.0 - result.downtime_fraction()
+
+
+def packets_delivered(result: SimulationResult) -> float:
+    """Measurement reports successfully completed."""
+    return result.counter("packets_delivered")
+
+
+def effective_data_rate(result: SimulationResult) -> float:
+    """Application payload throughput, bit/s."""
+    payload = float(result.meta.get("payload_bits", 0))
+    return result.counter("packets_delivered") * payload / result.t_end
+
+
+def final_store_voltage(result: SimulationResult) -> float:
+    """Store voltage at mission end, V (energy-neutrality proxy)."""
+    return result.final_store_voltage()
+
+
+def min_store_voltage(result: SimulationResult) -> float:
+    """Lowest store voltage seen, V (brownout margin)."""
+    return result.min_store_voltage()
+
+
+def charge_time_to_restart(result: SimulationResult) -> float:
+    """Time for the store to first reach 3.0 V, s.
+
+    3.0 V sits above the canonical regulator restart threshold, making
+    this the cold-start readiness time; missions that never get there
+    report the mission length (a finite worst case).
+    """
+    return result.charge_time(3.0)
+
+
+def tuning_energy(result: SimulationResult) -> float:
+    """Store-side energy spent on frequency tuning, J."""
+    return result.energy("tuning")
+
+
+def retune_count(result: SimulationResult) -> float:
+    """Number of actuator moves commanded."""
+    return result.counter("retunes")
+
+
+def tuning_error_rms(result: SimulationResult) -> float:
+    """RMS mismatch between ambient and resonant frequency, Hz."""
+    return result.tuning_error_rms()
+
+
+def energy_efficiency(result: SimulationResult) -> float:
+    """Useful (node) energy over harvested energy (0 when idle)."""
+    harvested = result.energy("harvested")
+    if harvested <= 0.0:
+        return 0.0
+    return result.energy("node") / harvested
+
+
+def brownout_events(result: SimulationResult) -> float:
+    """Number of brownout episodes."""
+    return result.counter("brownout_events")
+
+
+for _name, _fn in [
+    ("average_harvested_power", average_harvested_power),
+    ("average_load_power", average_load_power),
+    ("downtime_fraction", downtime_fraction),
+    ("uptime_fraction", uptime_fraction),
+    ("packets_delivered", packets_delivered),
+    ("effective_data_rate", effective_data_rate),
+    ("final_store_voltage", final_store_voltage),
+    ("min_store_voltage", min_store_voltage),
+    ("charge_time_to_restart", charge_time_to_restart),
+    ("tuning_energy", tuning_energy),
+    ("retune_count", retune_count),
+    ("tuning_error_rms", tuning_error_rms),
+    ("energy_efficiency", energy_efficiency),
+    ("brownout_events", brownout_events),
+]:
+    register_indicator(_name, _fn)

@@ -1,0 +1,38 @@
+"""Wireless sensor node substrate.
+
+Models the load side of the system: an MCU with sleep/active states, a
+packet radio, a sensing peripheral, the measurement task cycle built
+from them, duty-cycle policies that decide how often the cycle runs,
+and the tuning-controller firmware that decides when to spend stored
+energy re-tuning the harvester.
+"""
+
+from repro.node.mcu import MCUModel
+from repro.node.radio import RadioModel
+from repro.node.sensing import SensorModel
+from repro.node.tasks import TaskPhase, measurement_phases, phases_energy, phases_duration
+from repro.node.policies import (
+    DutyCyclePolicy,
+    FixedPeriodPolicy,
+    ThresholdAdaptivePolicy,
+    EnergyNeutralPolicy,
+)
+from repro.node.node import SensorNode
+from repro.node.controller import TuningController, TuningDecision
+
+__all__ = [
+    "MCUModel",
+    "RadioModel",
+    "SensorModel",
+    "TaskPhase",
+    "measurement_phases",
+    "phases_energy",
+    "phases_duration",
+    "DutyCyclePolicy",
+    "FixedPeriodPolicy",
+    "ThresholdAdaptivePolicy",
+    "EnergyNeutralPolicy",
+    "SensorNode",
+    "TuningController",
+    "TuningDecision",
+]

@@ -1,0 +1,62 @@
+"""Microcontroller power-state model.
+
+A two-state (sleep / active) MCU abstraction of the MSP430-class parts
+used in published harvester-powered nodes: microamp sleep with a
+wake-up transient, milliamp active.  Power numbers are computed at the
+regulated rail voltage supplied by the caller, keeping the model
+independent of the regulator configuration.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ModelError
+
+
+class MCUModel:
+    """Sleep/active MCU current model.
+
+    Args:
+        sleep_current: deep-sleep supply current, A (RTC running).
+        active_current: run-mode supply current, A.
+        wake_time: time to go from sleep to stable run mode, s.
+        process_time: CPU time spent packing/compressing one
+            measurement before transmission, s.
+    """
+
+    def __init__(
+        self,
+        sleep_current: float = 2.0e-6,
+        active_current: float = 2.0e-3,
+        wake_time: float = 1.0e-3,
+        process_time: float = 2.0e-3,
+    ):
+        if sleep_current < 0.0:
+            raise ModelError(f"sleep_current must be >= 0, got {sleep_current}")
+        if active_current <= sleep_current:
+            raise ModelError(
+                "active_current must exceed sleep_current "
+                f"({active_current} vs {sleep_current})"
+            )
+        if wake_time < 0.0:
+            raise ModelError(f"wake_time must be >= 0, got {wake_time}")
+        if process_time < 0.0:
+            raise ModelError(f"process_time must be >= 0, got {process_time}")
+        self.sleep_current = float(sleep_current)
+        self.active_current = float(active_current)
+        self.wake_time = float(wake_time)
+        self.process_time = float(process_time)
+
+    def sleep_power(self, v_rail: float) -> float:
+        """Sleep-mode power at the given rail voltage, watts."""
+        self._check_rail(v_rail)
+        return self.sleep_current * v_rail
+
+    def active_power(self, v_rail: float) -> float:
+        """Run-mode power at the given rail voltage, watts."""
+        self._check_rail(v_rail)
+        return self.active_current * v_rail
+
+    @staticmethod
+    def _check_rail(v_rail: float) -> None:
+        if v_rail <= 0.0:
+            raise ModelError(f"rail voltage must be > 0, got {v_rail}")

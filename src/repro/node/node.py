@@ -1,0 +1,123 @@
+"""Sensor-node composition.
+
+:class:`SensorNode` bundles the MCU, radio, sensor, payload size and
+duty-cycle policy into the load model the simulators drive, and offers
+the small analytic helpers the design flow needs (cycle energy, average
+power at a given period, the shortest sustainable period for a given
+harvest level).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ModelError
+from repro.node.mcu import MCUModel
+from repro.node.policies import DutyCyclePolicy, FixedPeriodPolicy
+from repro.node.radio import RadioModel
+from repro.node.sensing import SensorModel
+from repro.node.tasks import (
+    TaskPhase,
+    measurement_phases,
+    phases_duration,
+    phases_energy,
+)
+
+
+class SensorNode:
+    """The complete load-side node.
+
+    Args:
+        mcu: microcontroller model.
+        radio: radio model.
+        sensor: sensing peripheral model.
+        policy: duty-cycle policy (defaults to a 10 s fixed period).
+        payload_bits: application payload per report, bits.
+        v_rail: regulated rail voltage the phases are computed at, V.
+    """
+
+    def __init__(
+        self,
+        mcu: MCUModel | None = None,
+        radio: RadioModel | None = None,
+        sensor: SensorModel | None = None,
+        policy: DutyCyclePolicy | None = None,
+        payload_bits: int = 256,
+        v_rail: float = 3.0,
+    ):
+        if payload_bits <= 0:
+            raise ModelError(f"payload_bits must be > 0, got {payload_bits}")
+        if v_rail <= 0.0:
+            raise ModelError(f"v_rail must be > 0, got {v_rail}")
+        self.mcu = mcu if mcu is not None else MCUModel()
+        self.radio = radio if radio is not None else RadioModel()
+        self.sensor = sensor if sensor is not None else SensorModel()
+        self.policy = policy if policy is not None else FixedPeriodPolicy(10.0)
+        self.payload_bits = int(payload_bits)
+        self.v_rail = float(v_rail)
+        self._phases = measurement_phases(
+            self.mcu, self.radio, self.sensor, self.payload_bits, self.v_rail
+        )
+
+    @property
+    def phases(self) -> tuple[TaskPhase, ...]:
+        """The measurement cycle's phases at the configured rail."""
+        return self._phases
+
+    @property
+    def cycle_energy(self) -> float:
+        """Rail-side energy of one measurement cycle, joules."""
+        return phases_energy(self._phases)
+
+    @property
+    def cycle_duration(self) -> float:
+        """Duration of one measurement cycle, seconds."""
+        return phases_duration(self._phases)
+
+    @property
+    def sleep_power(self) -> float:
+        """Rail-side power between cycles, watts."""
+        return self.mcu.sleep_power(self.v_rail)
+
+    def average_power(self, period: float) -> float:
+        """Rail-side average power at a fixed reporting period, watts.
+
+        ``P = E_cycle / T + P_sleep`` (the sleep share of the cycle
+        window is negligible and kept out for clarity; tests check the
+        approximation is within the cycle/period ratio).
+        """
+        if period <= 0.0:
+            raise ModelError(f"period must be > 0, got {period}")
+        if period < self.cycle_duration:
+            raise ModelError(
+                f"period ({period} s) shorter than the cycle itself "
+                f"({self.cycle_duration} s)"
+            )
+        return self.cycle_energy / period + self.sleep_power
+
+    def min_sustainable_period(self, available_power: float) -> float:
+        """Shortest fixed period a given rail-side power budget allows, s.
+
+        Inverts :meth:`average_power`; raises if even an idle node
+        (sleep only) exceeds the budget.
+        """
+        if available_power <= self.sleep_power:
+            raise ModelError(
+                f"available power {available_power} W cannot cover sleep "
+                f"power {self.sleep_power} W"
+            )
+        period = self.cycle_energy / (available_power - self.sleep_power)
+        return max(period, self.cycle_duration)
+
+    def data_rate(self, period: float) -> float:
+        """Application payload throughput at a fixed period, bit/s."""
+        if period <= 0.0:
+            raise ModelError(f"period must be > 0, got {period}")
+        return self.payload_bits / period
+
+    def describe(self) -> str:
+        """One-line summary for reports."""
+        return (
+            f"node: cycle {self.cycle_energy * 1e6:.0f} uJ / "
+            f"{self.cycle_duration * 1e3:.1f} ms, sleep "
+            f"{self.sleep_power * 1e6:.1f} uW, payload {self.payload_bits} b, "
+            f"policy {self.policy.describe()}"
+        )

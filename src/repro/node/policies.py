@@ -1,0 +1,177 @@
+"""Duty-cycle policies.
+
+A policy decides, at the end of each measurement cycle, how long the
+node sleeps before the next cycle, based on the state of the energy
+store.  The three policies span the design space the paper's scenarios
+explore:
+
+* :class:`FixedPeriodPolicy` — the baseline: report every ``T`` seconds
+  regardless of energy (maximum data value, maximum brownout risk).
+* :class:`ThresholdAdaptivePolicy` — a memoryless linear schedule: the
+  period stretches from ``period_min`` at a comfortable store voltage
+  to ``period_max`` near the brownout threshold.
+* :class:`EnergyNeutralPolicy` — a multiplicative-increase /
+  multiplicative-decrease controller that servos the store voltage
+  toward a target, the discrete-time analogue of the energy-neutral
+  operation literature.  It carries internal state and must be
+  ``reset()`` between missions (the simulators do this).
+
+Policies are deliberately small, deterministic state machines: they are
+*design parameters* in the DoE study (policy choice and its constants),
+so their behaviour must be exactly reproducible.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.errors import ModelError
+
+
+class DutyCyclePolicy(ABC):
+    """Decides the sleep interval until the next measurement cycle."""
+
+    @abstractmethod
+    def next_period(self, v_store: float, t: float) -> float:
+        """Seconds to sleep after the cycle that just completed.
+
+        Args:
+            v_store: present store (internal supercap) voltage, V.
+            t: mission time, s (policies may ignore it).
+        """
+
+    def reset(self) -> None:
+        """Clear internal state at mission start (default: stateless)."""
+
+    def describe(self) -> str:
+        """Short human-readable description for reports."""
+        return type(self).__name__
+
+
+class FixedPeriodPolicy(DutyCyclePolicy):
+    """Constant reporting period."""
+
+    def __init__(self, period: float):
+        if period <= 0.0:
+            raise ModelError(f"period must be > 0, got {period}")
+        self.period = float(period)
+
+    def next_period(self, v_store: float, t: float) -> float:
+        return self.period
+
+    def describe(self) -> str:
+        return f"fixed({self.period:g} s)"
+
+
+class ThresholdAdaptivePolicy(DutyCyclePolicy):
+    """Memoryless linear schedule between two store-voltage thresholds.
+
+    At or above ``v_high`` the node reports every ``period_min``; at or
+    below ``v_low`` it slows to ``period_max``; in between the period
+    interpolates linearly.  ``v_low`` is normally set just above the
+    regulator's restart threshold so the policy backs off before
+    brownout does it the hard way.
+    """
+
+    def __init__(
+        self,
+        period_min: float,
+        period_max: float,
+        v_low: float = 2.6,
+        v_high: float = 4.0,
+    ):
+        if period_min <= 0.0:
+            raise ModelError(f"period_min must be > 0, got {period_min}")
+        if period_max < period_min:
+            raise ModelError(
+                f"period_max ({period_max}) must be >= period_min ({period_min})"
+            )
+        if v_high <= v_low:
+            raise ModelError(
+                f"v_high ({v_high}) must exceed v_low ({v_low})"
+            )
+        self.period_min = float(period_min)
+        self.period_max = float(period_max)
+        self.v_low = float(v_low)
+        self.v_high = float(v_high)
+
+    def next_period(self, v_store: float, t: float) -> float:
+        if v_store >= self.v_high:
+            return self.period_min
+        if v_store <= self.v_low:
+            return self.period_max
+        frac = (self.v_high - v_store) / (self.v_high - self.v_low)
+        return self.period_min + frac * (self.period_max - self.period_min)
+
+    def describe(self) -> str:
+        return (
+            f"threshold({self.period_min:g}-{self.period_max:g} s over "
+            f"{self.v_low:g}-{self.v_high:g} V)"
+        )
+
+
+class EnergyNeutralPolicy(DutyCyclePolicy):
+    """Multiplicative controller servoing the store voltage to a target.
+
+    After each cycle the period is multiplied by
+    ``exp(-gain * (v_store - v_target))`` and clamped to
+    ``[period_min, period_max]``: above target it speeds up, below it
+    backs off.  The exponential form makes the response symmetric in
+    log-period, so recovery from a deficit is as fast as the descent
+    into it.
+    """
+
+    def __init__(
+        self,
+        v_target: float = 3.3,
+        gain: float = 2.0,
+        period_min: float = 1.0,
+        period_max: float = 300.0,
+        period_initial: float | None = None,
+    ):
+        if v_target <= 0.0:
+            raise ModelError(f"v_target must be > 0, got {v_target}")
+        if gain <= 0.0:
+            raise ModelError(f"gain must be > 0, got {gain}")
+        if period_min <= 0.0:
+            raise ModelError(f"period_min must be > 0, got {period_min}")
+        if period_max < period_min:
+            raise ModelError(
+                f"period_max ({period_max}) must be >= period_min ({period_min})"
+            )
+        self.v_target = float(v_target)
+        self.gain = float(gain)
+        self.period_min = float(period_min)
+        self.period_max = float(period_max)
+        if period_initial is None:
+            period_initial = (period_min * period_max) ** 0.5
+        if not (period_min <= period_initial <= period_max):
+            raise ModelError(
+                f"period_initial ({period_initial}) outside "
+                f"[{period_min}, {period_max}]"
+            )
+        self.period_initial = float(period_initial)
+        self._period = self.period_initial
+
+    def reset(self) -> None:
+        self._period = self.period_initial
+
+    @property
+    def current_period(self) -> float:
+        """The period the controller currently holds (for inspection)."""
+        return self._period
+
+    def next_period(self, v_store: float, t: float) -> float:
+        import math
+
+        factor = math.exp(-self.gain * (v_store - self.v_target))
+        self._period = min(
+            max(self._period * factor, self.period_min), self.period_max
+        )
+        return self._period
+
+    def describe(self) -> str:
+        return (
+            f"energy-neutral(target {self.v_target:g} V, gain {self.gain:g}, "
+            f"{self.period_min:g}-{self.period_max:g} s)"
+        )

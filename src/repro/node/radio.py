@@ -1,0 +1,77 @@
+"""Packet-radio energy model.
+
+Transmit-mostly link typical of harvester-powered reporting nodes
+(CC2500 / nRF24-class): a startup transient followed by an on-air time
+set by the payload and the physical-layer overhead.  Receive support
+exists for acknowledged-traffic studies but defaults to off in the
+measurement cycle.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ModelError
+
+
+class RadioModel:
+    """Radio timing/energy parameters.
+
+    Args:
+        tx_current: transmit supply current, A.
+        rx_current: receive supply current, A.
+        startup_time: oscillator/PLL settle time before air time, s.
+        bitrate: physical-layer bitrate, bit/s.
+        overhead_bits: preamble + sync + header + CRC bits per packet.
+    """
+
+    def __init__(
+        self,
+        tx_current: float = 20.0e-3,
+        rx_current: float = 18.0e-3,
+        startup_time: float = 0.5e-3,
+        bitrate: float = 250.0e3,
+        overhead_bits: int = 144,
+    ):
+        if tx_current <= 0.0:
+            raise ModelError(f"tx_current must be > 0, got {tx_current}")
+        if rx_current <= 0.0:
+            raise ModelError(f"rx_current must be > 0, got {rx_current}")
+        if startup_time < 0.0:
+            raise ModelError(f"startup_time must be >= 0, got {startup_time}")
+        if bitrate <= 0.0:
+            raise ModelError(f"bitrate must be > 0, got {bitrate}")
+        if overhead_bits < 0:
+            raise ModelError(f"overhead_bits must be >= 0, got {overhead_bits}")
+        self.tx_current = float(tx_current)
+        self.rx_current = float(rx_current)
+        self.startup_time = float(startup_time)
+        self.bitrate = float(bitrate)
+        self.overhead_bits = int(overhead_bits)
+
+    def airtime(self, payload_bits: int) -> float:
+        """On-air transmit time for one packet, seconds."""
+        if payload_bits <= 0:
+            raise ModelError(f"payload_bits must be > 0, got {payload_bits}")
+        return (payload_bits + self.overhead_bits) / self.bitrate
+
+    def tx_time(self, payload_bits: int) -> float:
+        """Total radio-on time for one transmission, seconds."""
+        return self.startup_time + self.airtime(payload_bits)
+
+    def tx_power(self, v_rail: float) -> float:
+        """Transmit-mode power at the rail voltage, watts."""
+        self._check_rail(v_rail)
+        return self.tx_current * v_rail
+
+    def tx_energy(self, payload_bits: int, v_rail: float) -> float:
+        """Energy for one transmission, joules."""
+        return self.tx_power(v_rail) * self.tx_time(payload_bits)
+
+    def rx_power(self, v_rail: float) -> float:
+        """Receive-mode power at the rail voltage, watts."""
+        self._check_rail(v_rail)
+        return self.rx_current * v_rail
+
+    @staticmethod
+    def _check_rail(v_rail: float) -> None:
+        if v_rail <= 0.0:
+            raise ModelError(f"rail voltage must be > 0, got {v_rail}")

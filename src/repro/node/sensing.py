@@ -1,0 +1,45 @@
+"""Sensing peripheral model.
+
+One measurement acquisition: the transducer plus ADC path draws
+``current`` for ``acquisition_time``.  Values default to a
+temperature/strain class sensor; the accelerometer capture used by the
+*tuning controller* is a separate, longer acquisition configured in
+:class:`repro.node.controller.TuningController`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ModelError
+
+
+class SensorModel:
+    """Sensing-acquisition parameters.
+
+    Args:
+        current: supply current while sampling, A.
+        acquisition_time: time to acquire one measurement, s.
+    """
+
+    def __init__(
+        self,
+        current: float = 0.8e-3,
+        acquisition_time: float = 3.0e-3,
+    ):
+        if current <= 0.0:
+            raise ModelError(f"current must be > 0, got {current}")
+        if acquisition_time <= 0.0:
+            raise ModelError(
+                f"acquisition_time must be > 0, got {acquisition_time}"
+            )
+        self.current = float(current)
+        self.acquisition_time = float(acquisition_time)
+
+    def power(self, v_rail: float) -> float:
+        """Sampling power at the rail voltage, watts."""
+        if v_rail <= 0.0:
+            raise ModelError(f"rail voltage must be > 0, got {v_rail}")
+        return self.current * v_rail
+
+    def energy(self, v_rail: float) -> float:
+        """Energy per acquisition, joules."""
+        return self.power(v_rail) * self.acquisition_time

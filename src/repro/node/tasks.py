@@ -1,0 +1,96 @@
+"""Measurement task cycle.
+
+One reporting cycle of the node firmware is a fixed sequence of phases
+(wake, sense, process, transmit), each with a duration and a rail-side
+power.  The full-fidelity engines play the phases as piecewise-constant
+loads; the envelope engine collapses them to a single energy
+withdrawal.  Both views are derived from the same
+:func:`measurement_phases` list so they cannot drift apart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import ModelError
+from repro.node.mcu import MCUModel
+from repro.node.radio import RadioModel
+from repro.node.sensing import SensorModel
+
+
+@dataclass(frozen=True)
+class TaskPhase:
+    """One phase of the measurement cycle.
+
+    Attributes:
+        name: phase label ("wake", "sense", "process", "tx").
+        duration: phase length, s (> 0).
+        power: rail-side power during the phase, W (>= 0).
+    """
+
+    name: str
+    duration: float
+    power: float
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0.0:
+            raise ModelError(
+                f"phase {self.name!r}: duration must be > 0, got {self.duration}"
+            )
+        if self.power < 0.0:
+            raise ModelError(
+                f"phase {self.name!r}: power must be >= 0, got {self.power}"
+            )
+
+    @property
+    def energy(self) -> float:
+        """Phase energy, joules."""
+        return self.duration * self.power
+
+
+def measurement_phases(
+    mcu: MCUModel,
+    radio: RadioModel,
+    sensor: SensorModel,
+    payload_bits: int,
+    v_rail: float,
+) -> tuple[TaskPhase, ...]:
+    """The canonical wake -> sense -> process -> transmit cycle.
+
+    Phase powers stack the concurrently active peripherals on top of
+    the MCU run current, as the real firmware keeps the CPU awake while
+    driving them.
+    """
+    phases = []
+    if mcu.wake_time > 0.0:
+        phases.append(TaskPhase("wake", mcu.wake_time, mcu.active_power(v_rail)))
+    phases.append(
+        TaskPhase(
+            "sense",
+            sensor.acquisition_time,
+            mcu.active_power(v_rail) + sensor.power(v_rail),
+        )
+    )
+    if mcu.process_time > 0.0:
+        phases.append(
+            TaskPhase("process", mcu.process_time, mcu.active_power(v_rail))
+        )
+    phases.append(
+        TaskPhase(
+            "tx",
+            radio.tx_time(payload_bits),
+            mcu.active_power(v_rail) + radio.tx_power(v_rail),
+        )
+    )
+    return tuple(phases)
+
+
+def phases_energy(phases: Sequence[TaskPhase]) -> float:
+    """Total energy of a phase sequence, joules."""
+    return sum(phase.energy for phase in phases)
+
+
+def phases_duration(phases: Sequence[TaskPhase]) -> float:
+    """Total duration of a phase sequence, seconds."""
+    return sum(phase.duration for phase in phases)

@@ -1,0 +1,47 @@
+"""Power-processing substrate.
+
+The chain between the harvester coil and the sensor node: rectification
+/ voltage multiplication (nonlinear, diode-based), supercapacitor
+energy storage, and output regulation.
+
+* :mod:`repro.power.diode` — Shockley and piecewise-linear diode models
+  (the same physical diode exposes both views; the NR engine uses the
+  smooth model, the linearized state-space engine the PWL one).
+* :mod:`repro.power.netlist` — a small node-based circuit builder with
+  MNA-style stamping that produces the capacitance/conductance matrices
+  the engines integrate.
+* :mod:`repro.power.rectifier` — circuit builders: full bridge,
+  Greinacher voltage doubler, N-stage Cockcroft-Walton/Dickson ladder.
+* :mod:`repro.power.supercap` — supercapacitor store (ESR + leakage).
+* :mod:`repro.power.regulator` — node-side regulator with brownout
+  hysteresis.
+* :mod:`repro.power.behavioral` — a fast behavioural (efficiency-map)
+  power path used for ablation studies.
+"""
+
+from repro.power.diode import Diode
+from repro.power.supercap import Supercapacitor
+from repro.power.regulator import Regulator
+from repro.power.netlist import Circuit, CircuitMatrices
+from repro.power.rectifier import (
+    PowerCircuit,
+    build_bridge_circuit,
+    build_doubler_circuit,
+    build_multiplier_circuit,
+    build_resistive_load_circuit,
+)
+from repro.power.behavioral import BehavioralPowerPath
+
+__all__ = [
+    "Diode",
+    "Supercapacitor",
+    "Regulator",
+    "Circuit",
+    "CircuitMatrices",
+    "PowerCircuit",
+    "build_bridge_circuit",
+    "build_doubler_circuit",
+    "build_multiplier_circuit",
+    "build_resistive_load_circuit",
+    "BehavioralPowerPath",
+]

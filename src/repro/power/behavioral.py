@@ -1,0 +1,85 @@
+"""Behavioural (efficiency-map) power path.
+
+A deliberately coarse alternative to the circuit-level rectifier: the
+harvester's steady-state AC power at the present operating point is
+converted to store-charging power through a fixed conversion
+efficiency and an emulated input resistance.  It exists for the
+model-fidelity ablation (R-A3 asks what the DoE conclusions lose when
+the power path is simplified this far) and as a fast fallback for
+sketching studies.
+
+The emulated-load abstraction: a rectifier charging a capacitor loads
+the coil *roughly* like a resistor whose value sets the electrical
+damping; the builder exposes that resistance as a parameter instead of
+pretending to know it from first principles.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ModelError
+from repro.harvester import analytic
+from repro.harvester.parameters import MicrogeneratorParameters
+
+
+class BehavioralPowerPath:
+    """Efficiency-map power path: coil AC power -> store charging power.
+
+    Args:
+        emulated_load: resistance the converter presents to the coil,
+            ohms (sets the electrical damping / power split).
+        efficiency: AC-to-store conversion efficiency (0, 1].
+        v_min_charge: store voltage below which charging is ineffective
+            (models the multiplier needing forward-bias headroom), V.
+        v_max: store voltage at which charging tapers to zero (the
+            ladder cannot push above its no-load output), V.
+    """
+
+    def __init__(
+        self,
+        emulated_load: float = 4.0e3,
+        efficiency: float = 0.65,
+        v_min_charge: float = 0.0,
+        v_max: float = 5.0,
+    ):
+        if emulated_load <= 0.0:
+            raise ModelError(f"emulated_load must be > 0, got {emulated_load}")
+        if not (0.0 < efficiency <= 1.0):
+            raise ModelError(f"efficiency must be in (0, 1], got {efficiency}")
+        if v_min_charge < 0.0:
+            raise ModelError(f"v_min_charge must be >= 0, got {v_min_charge}")
+        if v_max <= v_min_charge:
+            raise ModelError(
+                f"v_max ({v_max}) must exceed v_min_charge ({v_min_charge})"
+            )
+        self.emulated_load = float(emulated_load)
+        self.efficiency = float(efficiency)
+        self.v_min_charge = float(v_min_charge)
+        self.v_max = float(v_max)
+
+    def charging_power(
+        self,
+        params: MicrogeneratorParameters,
+        amplitude: float,
+        frequency: float,
+        resonance: float,
+        v_store: float,
+    ) -> float:
+        """Average power delivered into the store, watts.
+
+        The coil-side AC power comes from the closed-form steady state
+        at the emulated load; a linear taper between ``v_min_charge``
+        and ``v_max`` models the converter's voltage-dependent
+        effectiveness.
+        """
+        if v_store < 0.0:
+            raise ModelError(f"v_store must be >= 0, got {v_store}")
+        ac_power = analytic.load_power(
+            params, amplitude, frequency, self.emulated_load, resonance
+        )
+        if v_store <= self.v_min_charge:
+            taper = 1.0
+        elif v_store >= self.v_max:
+            taper = 0.0
+        else:
+            taper = (self.v_max - v_store) / (self.v_max - self.v_min_charge)
+        return self.efficiency * ac_power * taper

@@ -1,0 +1,221 @@
+"""Diode models: smooth Shockley and piecewise-linear views.
+
+One :class:`Diode` instance describes one physical device and exposes
+*two* consistent electrical views:
+
+* the **Shockley** exponential ``i = I_s (exp(v/(n V_T)) - 1) + g_min v``
+  used by the Newton-Raphson engine (with the customary exponent clamp
+  so the residual stays finite during bad Newton iterates), and
+* the **piecewise-linear (PWL)** companion used by the explicit
+  linearized state-space engine of ref [4]:
+
+  - *on*  (``v >= v_on``):  ``i = (v - v_on) / r_on``
+  - *off* (``v <  v_on``):  ``i = g_off * v``
+
+The PWL parameters default to the tangent of the Shockley curve at a
+stated operating current, so the two views agree where the circuit
+actually operates; the consistency is property-tested.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ModelError
+from repro.units import thermal_voltage
+
+#: Clamp on the Shockley exponent argument.  exp(60) ~ 1e26 is already
+#: far beyond any physical current; beyond the clamp the curve continues
+#: with its tangent so Newton iterates see finite values and slopes.
+_EXP_CLAMP = 60.0
+
+
+class Diode:
+    """A diode with consistent Shockley and PWL descriptions.
+
+    Args:
+        saturation_current: Shockley I_s, amperes.
+        ideality: emission coefficient n.
+        v_on: PWL threshold voltage, volts.  If None it is derived as
+            the voltage where the Shockley current reaches ``i_knee``.
+        r_on: PWL on-slope resistance, ohms.  If None it is derived as
+            the inverse Shockley slope at ``i_knee``.
+        g_off: PWL off conductance, siemens (small leak keeping system
+            matrices well-conditioned; also models reverse leakage).
+        i_knee: operating current at which the PWL model is matched to
+            the Shockley curve, amperes.
+        temperature_c: junction temperature for V_T, Celsius.
+    """
+
+    def __init__(
+        self,
+        saturation_current: float = 1.0e-8,
+        ideality: float = 1.05,
+        v_on: float | None = None,
+        r_on: float | None = None,
+        g_off: float = 1.0e-9,
+        i_knee: float = 1.0e-4,
+        temperature_c: float = 27.0,
+    ):
+        if saturation_current <= 0.0:
+            raise ModelError(
+                f"saturation_current must be > 0, got {saturation_current}"
+            )
+        if ideality <= 0.0:
+            raise ModelError(f"ideality must be > 0, got {ideality}")
+        if g_off <= 0.0:
+            raise ModelError(f"g_off must be > 0, got {g_off}")
+        if i_knee <= 0.0:
+            raise ModelError(f"i_knee must be > 0, got {i_knee}")
+        self.saturation_current = float(saturation_current)
+        self.ideality = float(ideality)
+        self.g_off = float(g_off)
+        self.i_knee = float(i_knee)
+        self.n_vt = self.ideality * thermal_voltage(temperature_c)
+        knee_v = self.n_vt * math.log(1.0 + self.i_knee / self.saturation_current)
+        knee_g = (self.saturation_current / self.n_vt) * math.exp(
+            knee_v / self.n_vt
+        )
+        derived_r_on = 1.0 / knee_g
+        # Tangent construction: the PWL on-branch is the tangent at the
+        # knee, whose v-axis intercept is the threshold.
+        derived_v_on = knee_v - self.i_knee * derived_r_on
+        self.v_on = float(v_on) if v_on is not None else derived_v_on
+        self.r_on = float(r_on) if r_on is not None else derived_r_on
+        if self.v_on <= 0.0:
+            raise ModelError(f"v_on must be > 0, got {self.v_on}")
+        if self.r_on <= 0.0:
+            raise ModelError(f"r_on must be > 0, got {self.r_on}")
+        self._build_pwl_segments()
+
+    # -- Shockley view (Newton-Raphson engine) --------------------------------
+
+    def current(self, voltage: float) -> float:
+        """Shockley current at junction voltage ``voltage``, amperes.
+
+        Beyond the exponent clamp the curve continues linearly with its
+        tangent, keeping Newton residuals finite.
+        """
+        x = voltage / self.n_vt
+        if x > _EXP_CLAMP:
+            base = math.exp(_EXP_CLAMP)
+            value = base * (1.0 + (x - _EXP_CLAMP)) - 1.0
+        else:
+            value = math.exp(x) - 1.0
+        return self.saturation_current * value + self.g_off * voltage
+
+    def conductance(self, voltage: float) -> float:
+        """di/dv of :meth:`current` (always > 0), siemens."""
+        x = voltage / self.n_vt
+        slope = math.exp(min(x, _EXP_CLAMP)) / self.n_vt
+        return self.saturation_current * slope + self.g_off
+
+    def limit_junction_update(self, v_old: float, v_new: float) -> float:
+        """Classical SPICE-style junction-voltage damping for Newton.
+
+        Large forward-bias steps are pulled back logarithmically so the
+        exponential cannot explode a Newton iterate; reverse steps pass
+        through unchanged.
+        """
+        v_crit = self.n_vt * math.log(self.n_vt / (self.saturation_current * math.sqrt(2.0)))
+        if v_new <= v_crit or abs(v_new - v_old) <= 2.0 * self.n_vt:
+            return v_new
+        if v_old > 0.0:
+            arg = 1.0 + (v_new - v_old) / self.n_vt
+            if arg > 0.0:
+                return v_old + self.n_vt * math.log(arg)
+            return v_crit
+        return v_crit
+
+    # -- PWL view (linearized state-space engine) -----------------------------
+    #
+    # Three segments approximate the exponential:
+    #
+    #   0 "off"  (v <  v_knee_low):   i = g_off * v
+    #   1 "knee" (v_knee_low <= v < v_knee_high):  chord through the
+    #             curvature region — this segment is what lets the PWL
+    #             model *rectify* at small signal amplitudes.  A naive
+    #             two-segment (off/on) companion famously locks into a
+    #             non-pumping state when the swing rides the threshold,
+    #             because a single linear branch cannot rectify.
+    #   2 "on"   (v >= v_knee_high):  tangent at the knee current,
+    #             i = (v - v_on) / r_on.
+    #
+    # Each segment is i = g*v + c with the pieces continuous at the
+    # breakpoints (the knee chord is anchored on the off branch at the
+    # lower breakpoint and on the tangent at the upper one).
+
+    #: Number of PWL segments per diode.
+    N_SEGMENTS = 3
+
+    def _build_pwl_segments(self) -> None:
+        """Compute segment breakpoints and (g, c) coefficients."""
+        i_low = self.i_knee / 100.0
+        v_low = self.n_vt * math.log(1.0 + i_low / self.saturation_current)
+        v_high = self.n_vt * math.log(
+            1.0 + self.i_knee / self.saturation_current
+        )
+        # Anchor the chord on the off branch at v_low and reach the
+        # Shockley current at v_high.
+        i_at_low = self.g_off * v_low
+        i_at_high = self.i_knee
+        g_knee = (i_at_high - i_at_low) / (v_high - v_low)
+        c_knee = i_at_low - g_knee * v_low
+        # The on tangent continues from (v_high, i_at_high) with the
+        # configured slope; recompute its offset for continuity.
+        g_on = 1.0 / self.r_on
+        c_on = i_at_high - g_on * v_high
+        self.v_knee_low = v_low
+        self.v_knee_high = v_high
+        self._pwl = (
+            (self.g_off, 0.0),
+            (g_knee, c_knee),
+            (g_on, c_on),
+        )
+
+    def pwl_state(self, voltage: float) -> int:
+        """PWL segment index (0 off, 1 knee, 2 on) at this voltage."""
+        if voltage >= self.v_knee_high:
+            return 2
+        if voltage >= self.v_knee_low:
+            return 1
+        return 0
+
+    def pwl_coefficients(self, state: int) -> tuple[float, float]:
+        """(conductance g, offset current c) of a segment: i = g v + c."""
+        try:
+            return self._pwl[state]
+        except IndexError:
+            raise ModelError(f"invalid PWL state {state}") from None
+
+    def pwl_current(self, voltage: float, state: int | None = None) -> float:
+        """PWL current at ``voltage`` (segment inferred unless given)."""
+        s = self.pwl_state(voltage) if state is None else state
+        g, c = self.pwl_coefficients(s)
+        return g * voltage + c
+
+    def boundaries(self, voltage: float) -> tuple[float, float]:
+        """Signed distances to the two segment boundaries.
+
+        ``(v - v_knee_low, v - v_knee_high)`` — the linearized engine
+        watches their sign changes to detect segment transitions.
+        """
+        return (voltage - self.v_knee_low, voltage - self.v_knee_high)
+
+    # -- convenience constructors ---------------------------------------------
+
+    @classmethod
+    def schottky(cls) -> "Diode":
+        """Low-threshold Schottky (BAT54-class), the harvester's choice."""
+        return cls(saturation_current=2.0e-7, ideality=1.1, i_knee=2.0e-4)
+
+    @classmethod
+    def silicon(cls) -> "Diode":
+        """Ordinary small-signal silicon diode (1N4148-class)."""
+        return cls(saturation_current=2.5e-9, ideality=1.8, i_knee=1.0e-3)
+
+    def __repr__(self) -> str:
+        return (
+            f"Diode(Is={self.saturation_current:.2e}, n={self.ideality}, "
+            f"v_on={self.v_on:.3f} V, r_on={self.r_on:.1f} ohm)"
+        )

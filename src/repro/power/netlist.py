@@ -1,0 +1,449 @@
+"""Node-based circuit builder with MNA-style stamping.
+
+The power-processing circuits (bridge, doubler, multiplier ladder) are
+described as netlists of resistors, capacitors, diodes and named
+external current injections.  :meth:`Circuit.assemble` reduces the
+netlist to the matrices both simulation engines integrate:
+
+.. math::
+
+    C \\dot v = -G(m) v + s(m) + \\textstyle\\sum_k e_k u_k(t)
+
+where ``v`` are the non-ground node voltages, ``m`` is the diode
+conduction mode (a tuple of booleans), ``G(m)`` the conductance matrix
+with the PWL diode stamps for that mode, ``s(m)`` the Norton offset
+currents of the conducting diodes, and ``e_k`` incidence vectors of the
+named current inputs (the harvester coil and the load regulator).
+
+Design rule enforced at assembly: **every non-ground node must have
+capacitance to ground through the capacitor network** (the matrix ``C``
+must be positive definite), so the system is a well-posed ODE rather
+than a DAE.  Physical circuits satisfy this naturally (wiring and
+device capacitances); the builders add the small parasitics explicitly.
+
+For the Newton-Raphson engine the same object evaluates the smooth
+Shockley currents and their Jacobian stamps
+(:meth:`CircuitMatrices.shockley_injection`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.power.diode import Diode
+
+
+@dataclass(frozen=True)
+class _Resistor:
+    name: str
+    n1: int
+    n2: int
+    resistance: float
+
+
+@dataclass(frozen=True)
+class _Capacitor:
+    name: str
+    n1: int
+    n2: int
+    capacitance: float
+
+
+@dataclass(frozen=True)
+class _DiodeElement:
+    name: str
+    anode: int
+    cathode: int
+    model: Diode
+
+
+@dataclass(frozen=True)
+class _CurrentInput:
+    name: str
+    n_from: int
+    n_to: int
+
+
+class Circuit:
+    """A small netlist: nodes plus R / C / diode / current-input elements.
+
+    Node 0 is ground.  All other nodes are created by :meth:`add_node`
+    and referred to by the returned integer index (or looked up by name
+    via :meth:`node_index`).
+    """
+
+    GROUND = 0
+
+    def __init__(self, title: str = "circuit"):
+        self.title = title
+        self._node_names: dict[str, int] = {"gnd": 0}
+        self._resistors: list[_Resistor] = []
+        self._capacitors: list[_Capacitor] = []
+        self._diodes: list[_DiodeElement] = []
+        self._inputs: list[_CurrentInput] = []
+        self._element_names: set[str] = set()
+
+    # -- construction ---------------------------------------------------------
+
+    def add_node(self, name: str) -> int:
+        """Create a named node and return its index."""
+        if name in self._node_names:
+            raise ModelError(f"node {name!r} already exists")
+        index = len(self._node_names)
+        self._node_names[name] = index
+        return index
+
+    def node_index(self, name: str) -> int:
+        """Index of a named node (ground is ``'gnd'``)."""
+        try:
+            return self._node_names[name]
+        except KeyError:
+            raise ModelError(f"unknown node {name!r}") from None
+
+    @property
+    def node_names(self) -> dict[str, int]:
+        """Mapping of node name -> index (includes ground)."""
+        return dict(self._node_names)
+
+    def _check_nodes(self, name: str, *nodes: int) -> None:
+        if name in self._element_names:
+            raise ModelError(f"element name {name!r} already used")
+        n_total = len(self._node_names)
+        for node in nodes:
+            if not (0 <= node < n_total):
+                raise ModelError(f"element {name!r}: node {node} does not exist")
+        if len(nodes) == 2 and nodes[0] == nodes[1]:
+            raise ModelError(f"element {name!r}: both terminals on node {nodes[0]}")
+        self._element_names.add(name)
+
+    def add_resistor(self, name: str, n1: int, n2: int, resistance: float) -> None:
+        """Two-terminal resistor between nodes ``n1`` and ``n2``."""
+        if resistance <= 0.0:
+            raise ModelError(f"resistor {name!r}: resistance must be > 0")
+        self._check_nodes(name, n1, n2)
+        self._resistors.append(_Resistor(name, n1, n2, float(resistance)))
+
+    def add_capacitor(self, name: str, n1: int, n2: int, capacitance: float) -> None:
+        """Two-terminal capacitor between nodes ``n1`` and ``n2``."""
+        if capacitance <= 0.0:
+            raise ModelError(f"capacitor {name!r}: capacitance must be > 0")
+        self._check_nodes(name, n1, n2)
+        self._capacitors.append(_Capacitor(name, n1, n2, float(capacitance)))
+
+    def add_diode(self, name: str, anode: int, cathode: int, model: Diode) -> int:
+        """Diode from ``anode`` to ``cathode``; returns its mode-slot index."""
+        self._check_nodes(name, anode, cathode)
+        self._diodes.append(_DiodeElement(name, anode, cathode, model))
+        return len(self._diodes) - 1
+
+    def add_current_input(self, name: str, n_from: int, n_to: int) -> None:
+        """Named external current injection.
+
+        A positive input value drives current *from* ``n_from`` *to*
+        ``n_to`` through the external element (i.e. it is withdrawn
+        from ``n_from`` and injected into ``n_to``).
+        """
+        self._check_nodes(name, n_from, n_to)
+        self._inputs.append(_CurrentInput(name, n_from, n_to))
+
+    # -- assembly --------------------------------------------------------------
+
+    def assemble(self) -> "CircuitMatrices":
+        """Reduce the netlist to engine-ready matrices.
+
+        Raises:
+            ModelError: if the capacitance matrix is singular (some node
+                has no capacitive path to ground), because the network
+                would then be a DAE the explicit engines cannot step.
+        """
+        n = len(self._node_names) - 1  # non-ground nodes
+        if n == 0:
+            raise ModelError("circuit has no nodes besides ground")
+        cap = np.zeros((n, n))
+        for c in self._capacitors:
+            _stamp_conductance_like(cap, c.n1, c.n2, c.capacitance)
+        try:
+            np.linalg.cholesky(cap)
+        except np.linalg.LinAlgError:
+            floating = [
+                name
+                for name, idx in self._node_names.items()
+                if idx > 0 and cap[idx - 1, idx - 1] == 0.0
+            ]
+            hint = (
+                f"nodes without any capacitance: {floating}"
+                if floating
+                else "the capacitor network has a floating subcircuit"
+            )
+            raise ModelError(
+                f"singular capacitance matrix in {self.title!r}: {hint}; "
+                "add parasitic capacitance to ground"
+            ) from None
+        g_static = np.zeros((n, n))
+        for r in self._resistors:
+            _stamp_conductance_like(g_static, r.n1, r.n2, 1.0 / r.resistance)
+        input_vectors: dict[str, np.ndarray] = {}
+        for src in self._inputs:
+            e = np.zeros(n)
+            if src.n_to > 0:
+                e[src.n_to - 1] += 1.0
+            if src.n_from > 0:
+                e[src.n_from - 1] -= 1.0
+            input_vectors[src.name] = e
+        return CircuitMatrices(
+            title=self.title,
+            node_names=self.node_names,
+            cap_matrix=cap,
+            g_static=g_static,
+            diodes=tuple(self._diodes),
+            input_vectors=input_vectors,
+            capacitors=tuple(self._capacitors),
+        )
+
+
+def _stamp_conductance_like(matrix: np.ndarray, n1: int, n2: int, value: float) -> None:
+    """Standard two-terminal nodal stamp (ground rows/cols dropped)."""
+    i = n1 - 1
+    j = n2 - 1
+    if i >= 0:
+        matrix[i, i] += value
+    if j >= 0:
+        matrix[j, j] += value
+    if i >= 0 and j >= 0:
+        matrix[i, j] -= value
+        matrix[j, i] -= value
+
+
+class CircuitMatrices:
+    """Assembled matrices and per-mode stamping for one circuit.
+
+    Produced by :meth:`Circuit.assemble`; immutable from the caller's
+    point of view (all accessors return copies or read-only data).
+    """
+
+    def __init__(
+        self,
+        title: str,
+        node_names: dict[str, int],
+        cap_matrix: np.ndarray,
+        g_static: np.ndarray,
+        diodes: tuple[_DiodeElement, ...],
+        input_vectors: dict[str, np.ndarray],
+        capacitors: tuple[_Capacitor, ...],
+    ):
+        self.title = title
+        self.node_names = node_names
+        self._cap = cap_matrix
+        self._cap_inv = np.linalg.inv(cap_matrix)
+        self._g_static = g_static
+        self._diodes = diodes
+        self._inputs = input_vectors
+        self._capacitors = capacitors
+        # Per-diode incidence vector: current leaves the anode.
+        n = cap_matrix.shape[0]
+        self._diode_inc = np.zeros((len(diodes), n))
+        for k, d in enumerate(diodes):
+            if d.anode > 0:
+                self._diode_inc[k, d.anode - 1] = 1.0
+            if d.cathode > 0:
+                self._diode_inc[k, d.cathode - 1] = -1.0
+        # Vectorized Shockley parameters (hot path of the NR engine).
+        self._d_is = np.array([d.model.saturation_current for d in diodes])
+        self._d_nvt = np.array([d.model.n_vt for d in diodes])
+        self._d_goff = np.array([d.model.g_off for d in diodes])
+
+    # -- shapes and metadata ---------------------------------------------------
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of non-ground nodes (state dimension)."""
+        return self._cap.shape[0]
+
+    @property
+    def n_diodes(self) -> int:
+        return len(self._diodes)
+
+    @property
+    def diode_names(self) -> tuple[str, ...]:
+        return tuple(d.name for d in self._diodes)
+
+    @property
+    def input_names(self) -> tuple[str, ...]:
+        return tuple(self._inputs.keys())
+
+    @property
+    def cap_matrix(self) -> np.ndarray:
+        return self._cap.copy()
+
+    @property
+    def cap_inverse(self) -> np.ndarray:
+        return self._cap_inv.copy()
+
+    def input_vector(self, name: str) -> np.ndarray:
+        """Incidence vector of a named current input."""
+        try:
+            return self._inputs[name].copy()
+        except KeyError:
+            raise ModelError(f"unknown current input {name!r}") from None
+
+    def node_voltage(self, v: np.ndarray, name: str) -> float:
+        """Voltage of a named node given the state vector ``v``."""
+        idx = self.node_names.get(name)
+        if idx is None:
+            raise ModelError(f"unknown node {name!r}")
+        return 0.0 if idx == 0 else float(v[idx - 1])
+
+    # -- PWL view ----------------------------------------------------------------
+
+    def diode_voltages(self, v: np.ndarray) -> np.ndarray:
+        """Junction voltages v_anode - v_cathode for every diode."""
+        return self._diode_inc @ v
+
+    def mode_from_voltages(self, v: np.ndarray) -> tuple[int, ...]:
+        """Per-diode PWL segment indices implied by the node voltages."""
+        vd = self.diode_voltages(v)
+        return tuple(
+            d.model.pwl_state(float(vd_k)) for d, vd_k in zip(self._diodes, vd)
+        )
+
+    def resistor_conductance_matrix(self) -> np.ndarray:
+        """Pure-resistor conductance matrix, with *no* diode stamps.
+
+        The smooth (Shockley) view adds the diode currents — including
+        their reverse leakage ``g_off`` — through
+        :meth:`shockley_injection`, so the Newton-Raphson engine must
+        combine its diode model with this matrix rather than with
+        :meth:`conductance_matrix` to avoid double-counting the leak.
+        """
+        return self._g_static.copy()
+
+    def conductance_matrix(self, mode: tuple[int, ...]) -> np.ndarray:
+        """G(m): static resistor stamps plus PWL diode-segment stamps."""
+        self._check_mode(mode)
+        g = self._g_static.copy()
+        for d, state in zip(self._diodes, mode):
+            g_seg, _ = d.model.pwl_coefficients(state)
+            _stamp_conductance_like(g, d.anode, d.cathode, g_seg)
+        return g
+
+    def norton_vector(self, mode: tuple[int, ...]) -> np.ndarray:
+        """s(m): Norton offset currents of the active diode segments.
+
+        A segment ``i = g v_d + c`` drives the constant ``c`` out of the
+        anode and into the cathode, contributing ``-c`` / ``+c`` to the
+        respective rows of ``C v' = -G v + s``.
+        """
+        self._check_mode(mode)
+        s = np.zeros(self.n_nodes)
+        for d, inc, state in zip(self._diodes, self._diode_inc, mode):
+            _, c = d.model.pwl_coefficients(state)
+            if c != 0.0:
+                s -= inc * c
+        return s
+
+    def boundary_values(self, v: np.ndarray) -> np.ndarray:
+        """Signed segment-boundary distances, two per diode.
+
+        Layout: ``[d1_low, d1_high, d2_low, d2_high, ...]`` where
+        ``low``/``high`` are the off->knee and knee->on breakpoints.
+        """
+        vd = self.diode_voltages(v)
+        out = np.empty(2 * len(self._diodes))
+        for k, (d, x) in enumerate(zip(self._diodes, vd)):
+            low, high = d.model.boundaries(float(x))
+            out[2 * k] = low
+            out[2 * k + 1] = high
+        return out
+
+    @staticmethod
+    def segments_from_boundaries(b: np.ndarray) -> tuple[int, ...]:
+        """Per-diode segment indices from a boundary-value vector."""
+        states = []
+        for k in range(0, len(b), 2):
+            if b[k + 1] >= 0.0:
+                states.append(2)
+            elif b[k] >= 0.0:
+                states.append(1)
+            else:
+                states.append(0)
+        return tuple(states)
+
+    def _check_mode(self, mode: tuple[int, ...]) -> None:
+        if len(mode) != len(self._diodes):
+            raise ModelError(
+                f"mode has {len(mode)} entries for {len(self._diodes)} diodes"
+            )
+        for state in mode:
+            if state not in (0, 1, 2):
+                raise ModelError(f"invalid PWL segment {state} in mode {mode}")
+
+    # -- Shockley view -------------------------------------------------------------
+
+    def shockley_injection(
+        self, v: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Smooth diode currents and their Jacobian stamps.
+
+        Returns:
+            (injection, jacobian): ``injection`` is the nodal current
+            vector contributed by the diodes (to be *added* to
+            ``C v' = -G_static v + ...``, i.e. already carries the minus
+            sign of current leaving the anode); ``jacobian`` is
+            d(injection)/dv.
+        """
+        if not self._diodes:
+            n = self.n_nodes
+            return np.zeros(n), np.zeros((n, n))
+        vd = self._diode_inc @ v
+        x = vd / self._d_nvt
+        clamped = np.minimum(x, 60.0)
+        exp_part = np.exp(clamped)
+        # Beyond the exponent clamp the curve continues with its
+        # tangent (matches Diode.current / Diode.conductance).
+        value = np.where(
+            x > 60.0, exp_part * (1.0 + (x - 60.0)) - 1.0, exp_part - 1.0
+        )
+        currents = self._d_is * value + self._d_goff * vd
+        slopes = self._d_is * exp_part / self._d_nvt + self._d_goff
+        inj = -(self._diode_inc.T @ currents)
+        jac = -(self._diode_inc.T * slopes) @ self._diode_inc
+        return inj, jac
+
+    def shockley_diode_currents(self, v: np.ndarray) -> np.ndarray:
+        """Per-diode Shockley currents (anode -> cathode), amperes."""
+        vd = self._diode_inc @ v
+        return np.array(
+            [d.model.current(float(x)) for d, x in zip(self._diodes, vd)]
+        )
+
+    def pwl_diode_currents(
+        self, v: np.ndarray, mode: tuple[int, ...]
+    ) -> np.ndarray:
+        """Per-diode PWL currents in the given mode, amperes."""
+        self._check_mode(mode)
+        vd = self._diode_inc @ v
+        return np.array(
+            [
+                d.model.pwl_current(float(x), state)
+                for d, x, state in zip(self._diodes, vd, mode)
+            ]
+        )
+
+    # -- bookkeeping ------------------------------------------------------------------
+
+    def capacitor_energy(self, v: np.ndarray) -> float:
+        """Total energy stored in the capacitor network, joules."""
+        full = np.concatenate(([0.0], np.asarray(v, dtype=float)))
+        total = 0.0
+        for c in self._capacitors:
+            dv = full[c.n1] - full[c.n2]
+            total += 0.5 * c.capacitance * dv**2
+        return total
+
+    def resistive_power(self, v: np.ndarray) -> float:
+        """Instantaneous dissipation in the static resistors, watts."""
+        vv = np.asarray(v, dtype=float)
+        return float(vv @ self._g_static @ vv)

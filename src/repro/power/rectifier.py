@@ -1,0 +1,272 @@
+"""Power-circuit builders: bridge, doubler, Cockcroft-Walton ladder.
+
+Each builder returns a :class:`PowerCircuit`: the assembled
+:class:`~repro.power.netlist.CircuitMatrices` plus the node-name map the
+system model needs (coil terminals, bus, store).  All circuits share the
+same conventions:
+
+* ``coil`` current input — positive harvester coil current enters the
+  ``in_p`` terminal and returns via ``in_n`` (ground for the
+  single-ended topologies).
+* ``load`` current input — the regulator draws its input current from
+  the ``bus`` node.
+* the supercapacitor is stamped as ``bus --ESR-- store`` with the bulk
+  capacitance and leakage at ``store`` (see
+  :mod:`repro.power.supercap`).
+* every internal node carries a small parasitic capacitance to ground
+  so the capacitance matrix is positive definite (a netlist assembly
+  requirement — see :mod:`repro.power.netlist`).
+
+The voltage-multiplier ladder follows the classical Greinacher /
+Cockcroft-Walton arrangement: ``n_stages`` stages use ``2 n`` diodes and
+``2 n`` pump/smoothing capacitors and ideally produce ``2 n`` times the
+peak input voltage at no load.  ``n_stages = 1`` is the voltage doubler.
+The companion HDL paper drives its node from exactly such a multiplier,
+because the microgenerator's open-circuit EMF (hundreds of mV) is below
+practical regulator input ranges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.power.diode import Diode
+from repro.power.netlist import Circuit, CircuitMatrices
+from repro.power.supercap import Supercapacitor
+
+#: Parasitic node capacitance to ground, farads.  Represents wiring and
+#: device capacitance; its only job is to keep the ODE well posed, and
+#: it is small enough (10 nF) not to influence 60-80 Hz behaviour.
+PARASITIC_CAPACITANCE = 10.0e-9
+
+#: Decoupling capacitance at the bus terminal, farads (ceramic across
+#: the supercap terminals on the real board).
+BUS_CAPACITANCE = 1.0e-6
+
+
+@dataclass
+class PowerCircuit:
+    """An assembled power-processing circuit plus its terminal map.
+
+    Attributes:
+        matrices: engine-ready matrices from :meth:`Circuit.assemble`.
+        topology: human-readable name ("bridge", "doubler",
+            "multiplier-3", "resistive").
+        supercap: the storage element, or None for the resistive-load
+            validation circuit.
+        input_plus / input_minus: coil terminal node names.
+        bus_node: rectifier output / load terminal node name.
+        store_node: internal supercapacitor node name (None when there
+            is no store).
+        n_stages: multiplier stage count (0 = bridge, 1 = doubler...).
+    """
+
+    matrices: CircuitMatrices
+    topology: str
+    supercap: Supercapacitor | None
+    input_plus: str = "in_p"
+    input_minus: str = "gnd"
+    bus_node: str = "bus"
+    store_node: str | None = "store"
+    n_stages: int = 0
+    extra: dict = field(default_factory=dict)
+
+    # -- state helpers ---------------------------------------------------------
+
+    def initial_voltages(self) -> np.ndarray:
+        """Initial node-voltage vector.
+
+        The store and bus start at the supercapacitor's initial voltage
+        (they are connected through the ESR and carry no current at
+        t=0); every other node starts discharged.
+        """
+        v = np.zeros(self.matrices.n_nodes)
+        if self.supercap is not None and self.store_node is not None:
+            v0 = self.supercap.v_initial
+            v[self.matrices.node_names[self.store_node] - 1] = v0
+            v[self.matrices.node_names[self.bus_node] - 1] = v0
+        return v
+
+    def store_voltage(self, v: np.ndarray) -> float:
+        """Internal supercap voltage from a node-voltage vector."""
+        if self.store_node is None:
+            raise ModelError(f"{self.topology!r} circuit has no store node")
+        return self.matrices.node_voltage(v, self.store_node)
+
+    def bus_voltage(self, v: np.ndarray) -> float:
+        """Bus (load terminal) voltage from a node-voltage vector."""
+        return self.matrices.node_voltage(v, self.bus_node)
+
+    def coil_terminal_voltage(self, v: np.ndarray) -> float:
+        """Voltage the circuit presents at the coil, v(in_p) - v(in_n)."""
+        vp = self.matrices.node_voltage(v, self.input_plus)
+        vn = (
+            0.0
+            if self.input_minus == "gnd"
+            else self.matrices.node_voltage(v, self.input_minus)
+        )
+        return vp - vn
+
+
+def _attach_store(circuit: Circuit, bus: int, supercap: Supercapacitor) -> None:
+    """Stamp bus --ESR-- store, C_store and leakage at store."""
+    store = circuit.add_node("store")
+    esr = max(supercap.esr, 1.0e-3)  # an exactly-zero ESR would short nodes
+    circuit.add_resistor("esr", bus, store, esr)
+    circuit.add_capacitor("c_store", store, Circuit.GROUND, supercap.capacitance)
+    circuit.add_resistor(
+        "r_leak", store, Circuit.GROUND, supercap.leakage_resistance
+    )
+
+
+def build_bridge_circuit(
+    supercap: Supercapacitor,
+    diode: Diode | None = None,
+) -> PowerCircuit:
+    """Full-wave diode bridge charging the supercapacitor.
+
+    The coil floats between ``in_p`` and ``in_n``; the four bridge
+    diodes steer both half-cycles into the bus.
+    """
+    d = diode if diode is not None else Diode.schottky()
+    circuit = Circuit("bridge")
+    in_p = circuit.add_node("in_p")
+    in_n = circuit.add_node("in_n")
+    bus = circuit.add_node("bus")
+    circuit.add_capacitor("c_par_p", in_p, Circuit.GROUND, PARASITIC_CAPACITANCE)
+    circuit.add_capacitor("c_par_n", in_n, Circuit.GROUND, PARASITIC_CAPACITANCE)
+    circuit.add_capacitor("c_bus", bus, Circuit.GROUND, BUS_CAPACITANCE)
+    circuit.add_diode("d_p_bus", in_p, bus, d)
+    circuit.add_diode("d_n_bus", in_n, bus, d)
+    circuit.add_diode("d_gnd_p", Circuit.GROUND, in_p, d)
+    circuit.add_diode("d_gnd_n", Circuit.GROUND, in_n, d)
+    _attach_store(circuit, bus, supercap)
+    circuit.add_current_input("coil", in_n, in_p)
+    circuit.add_current_input("load", bus, Circuit.GROUND)
+    return PowerCircuit(
+        matrices=circuit.assemble(),
+        topology="bridge",
+        supercap=supercap,
+        input_plus="in_p",
+        input_minus="in_n",
+        n_stages=0,
+    )
+
+
+def build_multiplier_circuit(
+    supercap: Supercapacitor,
+    n_stages: int,
+    diode: Diode | None = None,
+    stage_capacitance: float = 4.7e-6,
+) -> PowerCircuit:
+    """N-stage Greinacher / Cockcroft-Walton voltage multiplier.
+
+    Stage ``k`` adds a pump capacitor on the odd (push) column and a
+    smoothing capacitor on the even column; the ladder's top even node
+    is the bus.  At no load the ladder settles near ``2 n`` times the
+    peak coil voltage, which is what lets a sub-volt microgenerator
+    charge a multi-volt store.
+
+    Args:
+        supercap: storage element.
+        n_stages: number of doubling stages (>= 1; 1 = doubler).
+        diode: diode model (defaults to the Schottky).
+        stage_capacitance: pump/smoothing capacitor value, farads.
+    """
+    if n_stages < 1:
+        raise ModelError(f"n_stages must be >= 1, got {n_stages}")
+    if stage_capacitance <= 0.0:
+        raise ModelError(
+            f"stage_capacitance must be > 0, got {stage_capacitance}"
+        )
+    d = diode if diode is not None else Diode.schottky()
+    name = "doubler" if n_stages == 1 else f"multiplier-{n_stages}"
+    circuit = Circuit(name)
+    in_p = circuit.add_node("in_p")
+    circuit.add_capacitor("c_par_in", in_p, Circuit.GROUND, PARASITIC_CAPACITANCE)
+    # Ladder nodes x1..x_{2n}; the top even node is the bus.
+    nodes: list[int] = []
+    for k in range(1, 2 * n_stages + 1):
+        node_name = "bus" if k == 2 * n_stages else f"x{k}"
+        nodes.append(circuit.add_node(node_name))
+    # Push column capacitors: in_p -> x1 -> x3 -> ...
+    prev = in_p
+    for k in range(0, 2 * n_stages, 2):
+        circuit.add_capacitor(f"c_push_{k + 1}", prev, nodes[k], stage_capacitance)
+        prev = nodes[k]
+    # Smoothing column capacitors: gnd -> x2 -> x4 -> ...
+    prev = Circuit.GROUND
+    for k in range(1, 2 * n_stages, 2):
+        circuit.add_capacitor(
+            f"c_smooth_{k + 1}", prev, nodes[k], stage_capacitance
+        )
+        prev = nodes[k]
+    # Diode string gnd -> x1 -> x2 -> ... -> x_{2n}.
+    prev = Circuit.GROUND
+    for k, node in enumerate(nodes, start=1):
+        circuit.add_diode(f"d{k}", prev, node, d)
+        prev = node
+    # Parasitics keep every ladder node capacitively tied to ground.
+    for k, node in enumerate(nodes[:-1], start=1):
+        circuit.add_capacitor(
+            f"c_par_x{k}", node, Circuit.GROUND, PARASITIC_CAPACITANCE
+        )
+    bus = nodes[-1]
+    circuit.add_capacitor("c_bus", bus, Circuit.GROUND, BUS_CAPACITANCE)
+    _attach_store(circuit, bus, supercap)
+    circuit.add_current_input("coil", Circuit.GROUND, in_p)
+    circuit.add_current_input("load", bus, Circuit.GROUND)
+    return PowerCircuit(
+        matrices=circuit.assemble(),
+        topology=name,
+        supercap=supercap,
+        input_plus="in_p",
+        input_minus="gnd",
+        n_stages=n_stages,
+        extra={"stage_capacitance": stage_capacitance},
+    )
+
+
+def build_doubler_circuit(
+    supercap: Supercapacitor,
+    diode: Diode | None = None,
+    stage_capacitance: float = 4.7e-6,
+) -> PowerCircuit:
+    """Greinacher voltage doubler (one multiplier stage)."""
+    pc = build_multiplier_circuit(
+        supercap, n_stages=1, diode=diode, stage_capacitance=stage_capacitance
+    )
+    return pc
+
+
+def build_resistive_load_circuit(load_resistance: float) -> PowerCircuit:
+    """Plain resistive load across the coil — engine-validation circuit.
+
+    No diodes, no store: the transient engines must reproduce the
+    closed-form steady state of :mod:`repro.harvester.analytic` on this
+    circuit, which pins down the electromechanical coupling before any
+    rectifier nonlinearity enters the picture.
+    """
+    if load_resistance <= 0.0:
+        raise ModelError(
+            f"load_resistance must be > 0, got {load_resistance}"
+        )
+    circuit = Circuit("resistive")
+    in_p = circuit.add_node("in_p")
+    circuit.add_capacitor("c_par_in", in_p, Circuit.GROUND, PARASITIC_CAPACITANCE)
+    circuit.add_resistor("r_load", in_p, Circuit.GROUND, load_resistance)
+    circuit.add_current_input("coil", Circuit.GROUND, in_p)
+    return PowerCircuit(
+        matrices=circuit.assemble(),
+        topology="resistive",
+        supercap=None,
+        input_plus="in_p",
+        input_minus="gnd",
+        bus_node="in_p",
+        store_node=None,
+        n_stages=0,
+        extra={"load_resistance": load_resistance},
+    )

@@ -1,0 +1,93 @@
+"""Output regulator with brownout hysteresis.
+
+The sensor node's electronics run from a regulated 3.0 V rail derived
+from the supercapacitor bus.  Two behaviours matter to the energy
+management study:
+
+* the regulator reflects the load power back onto the bus as a
+  *constant-power* draw scaled by its efficiency, plus a quiescent
+  current, and
+* it disconnects the load below a brownout threshold and only
+  reconnects once the bus has recovered past a higher restart
+  threshold.  The hysteresis gap is what turns an energy deficit into
+  measurable *downtime* rather than rapid oscillation.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ModelError
+
+
+class Regulator:
+    """Constant-power regulator model with undervoltage lockout.
+
+    Args:
+        v_out: regulated output voltage, volts.
+        efficiency: conversion efficiency (0, 1].
+        quiescent_current: always-present input current while enabled, A.
+        v_brownout: bus voltage below which the output disconnects, V.
+        v_restart: bus voltage above which the output reconnects, V
+            (must exceed ``v_brownout``).
+    """
+
+    def __init__(
+        self,
+        v_out: float = 3.0,
+        efficiency: float = 0.85,
+        quiescent_current: float = 2.0e-6,
+        v_brownout: float = 2.2,
+        v_restart: float = 2.5,
+    ):
+        if v_out <= 0.0:
+            raise ModelError(f"v_out must be > 0, got {v_out}")
+        if not (0.0 < efficiency <= 1.0):
+            raise ModelError(f"efficiency must be in (0, 1], got {efficiency}")
+        if quiescent_current < 0.0:
+            raise ModelError(
+                f"quiescent_current must be >= 0, got {quiescent_current}"
+            )
+        if v_brownout <= 0.0:
+            raise ModelError(f"v_brownout must be > 0, got {v_brownout}")
+        if v_restart <= v_brownout:
+            raise ModelError(
+                f"v_restart ({v_restart}) must exceed v_brownout ({v_brownout})"
+            )
+        self.v_out = float(v_out)
+        self.efficiency = float(efficiency)
+        self.quiescent_current = float(quiescent_current)
+        self.v_brownout = float(v_brownout)
+        self.v_restart = float(v_restart)
+
+    def input_current(self, load_power: float, v_bus: float) -> float:
+        """Bus current drawn for a given output load power, amperes.
+
+        Constant-power behaviour: ``i = P / (eta * v_bus) + i_q``.  The
+        bus voltage is floored at the brownout threshold purely for
+        numerical safety — callers are expected to gate the load with
+        :meth:`next_enabled` before asking for current.
+        """
+        if load_power < 0.0:
+            raise ModelError(f"load_power must be >= 0, got {load_power}")
+        v = max(v_bus, self.v_brownout)
+        return load_power / (self.efficiency * v) + self.quiescent_current
+
+    def next_enabled(self, enabled: bool, v_bus: float) -> bool:
+        """Advance the undervoltage-lockout state machine.
+
+        While enabled, the output stays on until the bus falls below
+        ``v_brownout``; while disabled, it stays off until the bus rises
+        above ``v_restart``.
+        """
+        if enabled:
+            return v_bus >= self.v_brownout
+        return v_bus >= self.v_restart
+
+    def headroom(self, v_bus: float) -> float:
+        """Margin above the brownout threshold, volts (may be negative)."""
+        return v_bus - self.v_brownout
+
+    def __repr__(self) -> str:
+        return (
+            f"Regulator(v_out={self.v_out} V, eta={self.efficiency}, "
+            f"UVLO {self.v_brownout}/{self.v_restart} V)"
+        )

@@ -1,0 +1,121 @@
+"""Supercapacitor energy store.
+
+The node's energy buffer: a supercapacitor with equivalent series
+resistance (ESR) and a parallel leakage path.  The circuit builders in
+:mod:`repro.power.rectifier` stamp it into the netlist as
+
+.. code-block:: text
+
+    bus ──[ESR]── cap ──┐          bus: external terminal (rectifier
+                 C_store│ R_leak        output and load connection)
+                        │          cap: internal ideal-capacitor node
+    gnd ────────────────┴──
+
+so the *terminal* voltage sags under load current while the *internal*
+voltage integrates charge, as a real device does.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ModelError
+
+
+class Supercapacitor:
+    """Supercapacitor parameters and energy bookkeeping.
+
+    Args:
+        capacitance: nominal capacitance, farads.
+        esr: equivalent series resistance, ohms.
+        leakage_resistance: parallel self-discharge resistance, ohms.
+        v_rated: rated (maximum) voltage, volts.
+        v_initial: voltage at simulation start, volts.
+    """
+
+    def __init__(
+        self,
+        capacitance: float = 0.40,
+        esr: float = 25.0,
+        leakage_resistance: float = 500.0e3,
+        v_rated: float = 5.0,
+        v_initial: float = 2.6,
+    ):
+        if capacitance <= 0.0:
+            raise ModelError(f"capacitance must be > 0, got {capacitance}")
+        if esr < 0.0:
+            raise ModelError(f"esr must be >= 0, got {esr}")
+        if leakage_resistance <= 0.0:
+            raise ModelError(
+                f"leakage_resistance must be > 0, got {leakage_resistance}"
+            )
+        if v_rated <= 0.0:
+            raise ModelError(f"v_rated must be > 0, got {v_rated}")
+        if not (0.0 <= v_initial <= v_rated):
+            raise ModelError(
+                f"v_initial must lie in [0, v_rated], got {v_initial}"
+            )
+        self.capacitance = float(capacitance)
+        self.esr = float(esr)
+        self.leakage_resistance = float(leakage_resistance)
+        self.v_rated = float(v_rated)
+        self.v_initial = float(v_initial)
+
+    def energy(self, voltage: float) -> float:
+        """Stored energy 0.5*C*v^2 at the internal voltage, joules."""
+        return 0.5 * self.capacitance * voltage**2
+
+    def usable_energy(self, voltage: float, v_cutoff: float) -> float:
+        """Energy extractable before the voltage falls to ``v_cutoff``, J.
+
+        Negative inputs are a caller error; a voltage already below the
+        cutoff yields 0 (nothing usable), not a negative energy.
+        """
+        if v_cutoff < 0.0:
+            raise ModelError(f"v_cutoff must be >= 0, got {v_cutoff}")
+        if voltage <= v_cutoff:
+            return 0.0
+        return self.energy(voltage) - self.energy(v_cutoff)
+
+    def leakage_current(self, voltage: float) -> float:
+        """Self-discharge current at the given internal voltage, A."""
+        return voltage / self.leakage_resistance
+
+    def voltage_after_idle(self, voltage: float, duration: float) -> float:
+        """Internal voltage after self-discharging for ``duration`` s.
+
+        Exact RC decay ``v * exp(-t / (R_leak C))`` — used by the
+        envelope engine for long idle stretches and by tests as the
+        reference the transient engines must approach.
+        """
+        if duration < 0.0:
+            raise ModelError(f"duration must be >= 0, got {duration}")
+        tau = self.leakage_resistance * self.capacitance
+        import math
+
+        return voltage * math.exp(-duration / tau)
+
+    def charge_time_constant(self, source_resistance: float) -> float:
+        """RC constant for charging through ``source_resistance`` ohms."""
+        if source_resistance < 0.0:
+            raise ModelError(
+                f"source_resistance must be >= 0, got {source_resistance}"
+            )
+        return (source_resistance + self.esr) * self.capacitance
+
+    def replace(self, **changes: float) -> "Supercapacitor":
+        """Copy with fields changed (the DoE layer sweeps capacitance)."""
+        fields = {
+            "capacitance": self.capacitance,
+            "esr": self.esr,
+            "leakage_resistance": self.leakage_resistance,
+            "v_rated": self.v_rated,
+            "v_initial": self.v_initial,
+        }
+        fields.update(changes)
+        return Supercapacitor(**fields)
+
+    def __repr__(self) -> str:
+        return (
+            f"Supercapacitor(C={self.capacitance} F, ESR={self.esr} ohm, "
+            f"R_leak={self.leakage_resistance:.3g} ohm, "
+            f"v_rated={self.v_rated} V)"
+        )

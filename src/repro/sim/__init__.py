@@ -1,0 +1,40 @@
+"""Simulation engines substrate.
+
+Three engines integrate the same :class:`~repro.sim.system.SystemModel`:
+
+* :class:`~repro.sim.newton.NewtonRaphsonEngine` — classical implicit
+  transient analysis with per-step Newton-Raphson on the smooth diode
+  models.  The CPU-time baseline the paper's reference [4] argues
+  against.
+* :class:`~repro.sim.state_space.LinearizedStateSpaceEngine` — the
+  explicit linearized state-space technique of reference [4]: diodes as
+  piecewise-linear resistors, one cached discrete-time update per
+  conduction mode, no iteration.
+* :class:`~repro.sim.envelope.EnvelopeEngine` — a multi-rate envelope
+  engine for mission-scale (minutes-hours) runs: the fast electrical
+  dynamics are compressed into an average-charging-current map built
+  with the linearized engine, and only the slow store dynamics plus the
+  discrete node/controller events are integrated.
+
+:func:`repro.sim.runner.simulate` is the single entry point the rest of
+the toolkit uses.
+"""
+
+from repro.sim.system import SystemConfig, SystemModel
+from repro.sim.results import SimulationResult
+from repro.sim.runner import simulate, MissionConfig
+from repro.sim.newton import NewtonRaphsonEngine
+from repro.sim.state_space import LinearizedStateSpaceEngine
+from repro.sim.envelope import EnvelopeEngine, ChargingMap
+
+__all__ = [
+    "SystemConfig",
+    "SystemModel",
+    "SimulationResult",
+    "simulate",
+    "MissionConfig",
+    "NewtonRaphsonEngine",
+    "LinearizedStateSpaceEngine",
+    "EnvelopeEngine",
+    "ChargingMap",
+]

@@ -1,0 +1,68 @@
+"""Deterministic discrete-event queue.
+
+The mission layer (node task cycles, controller wake-ups, actuation
+milestones, recording ticks) is driven by a priority queue ordered by
+``(time, sequence)``: events scheduled earlier always pop first, and
+events at identical times pop in scheduling order, which makes every
+simulation exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass(order=True, frozen=True)
+class Event:
+    """A scheduled event.
+
+    Attributes:
+        time: firing time, s.
+        seq: tie-breaking sequence number (assigned by the queue).
+        kind: event type tag (compared only through time/seq).
+        payload: arbitrary event data.
+    """
+
+    time: float
+    seq: int
+    kind: str = field(compare=False)
+    payload: Any = field(compare=False, default=None)
+
+
+class EventQueue:
+    """Min-heap of :class:`Event` with deterministic tie-breaking."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._seq = 0
+
+    def push(self, time: float, kind: str, payload: Any = None) -> Event:
+        """Schedule an event; returns the stored record."""
+        if time < 0.0:
+            raise ValueError(f"event time must be >= 0, got {time}")
+        event = Event(time=time, seq=self._seq, kind=kind, payload=payload)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Event:
+        """Remove and return the earliest event."""
+        if not self._heap:
+            raise IndexError("pop from empty EventQueue")
+        return heapq.heappop(self._heap)
+
+    def peek_time(self) -> float | None:
+        """Firing time of the earliest event, or None when empty."""
+        return self._heap[0].time if self._heap else None
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def clear(self) -> None:
+        """Drop all pending events (sequence numbering continues)."""
+        self._heap.clear()

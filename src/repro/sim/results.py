@@ -1,0 +1,156 @@
+"""Simulation results.
+
+A :class:`SimulationResult` is the common product of all three engines:
+decimated traces, the mission event log, scalar counters (packets,
+retunes, brownouts), an energy ledger, and engine statistics.  The
+performance-indicator registry (:mod:`repro.indicators`) consumes this
+object, so every engine feeds the DoE flow through the same interface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one mission simulation.
+
+    Attributes:
+        engine: engine name ("newton", "linearized", "envelope").
+        t_end: simulated mission length, s.
+        traces: named arrays, always including ``'t'`` and ``'v_store'``.
+        events: mission log as (time, kind, info) tuples.
+        counters: integer-ish counters: ``packets_delivered``,
+            ``retunes``, ``controller_checks``, ``brownout_events``.
+        energies: joule ledger: ``harvested``, ``node``, ``tuning``,
+            ``leakage`` (where the engine can account for it).
+        downtime: total seconds the regulator output was disabled.
+        wall_time: CPU seconds the engine spent, for the R-T3 table.
+        meta: configuration echoes needed by indicators (payload bits,
+            engine step, policy description, ...).
+    """
+
+    engine: str
+    t_end: float
+    traces: dict[str, np.ndarray]
+    events: list[tuple[float, str, str]] = field(default_factory=list)
+    counters: dict[str, float] = field(default_factory=dict)
+    energies: dict[str, float] = field(default_factory=dict)
+    downtime: float = 0.0
+    wall_time: float = 0.0
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.t_end <= 0.0:
+            raise SimulationError(f"t_end must be > 0, got {self.t_end}")
+        if "t" not in self.traces:
+            raise SimulationError("traces must include the 't' axis")
+        n = len(self.traces["t"])
+        for name, arr in self.traces.items():
+            if len(arr) != n:
+                raise SimulationError(
+                    f"trace {name!r} has {len(arr)} rows, expected {n}"
+                )
+
+    # -- accessors ---------------------------------------------------------------
+
+    def trace(self, name: str) -> np.ndarray:
+        """A named trace channel (raises on unknown names)."""
+        try:
+            return self.traces[name]
+        except KeyError:
+            raise SimulationError(
+                f"result has no trace {name!r}; available: "
+                f"{sorted(self.traces)}"
+            ) from None
+
+    def has_trace(self, name: str) -> bool:
+        return name in self.traces
+
+    @property
+    def times(self) -> np.ndarray:
+        return self.traces["t"]
+
+    def final_store_voltage(self) -> float:
+        """Store voltage at the last recorded instant, V."""
+        v = self.trace("v_store")
+        if v.size == 0:
+            raise SimulationError("empty v_store trace")
+        return float(v[-1])
+
+    def min_store_voltage(self) -> float:
+        """Lowest recorded store voltage, V."""
+        v = self.trace("v_store")
+        if v.size == 0:
+            raise SimulationError("empty v_store trace")
+        return float(np.min(v))
+
+    def charge_time(self, v_target: float) -> float:
+        """First time the store reaches ``v_target``, s.
+
+        Returns ``t_end`` when the target is never reached — a finite
+        worst-case value the response-surface fits can digest (NaNs
+        would poison the regression).
+        """
+        t = self.times
+        v = self.trace("v_store")
+        reached = np.flatnonzero(v >= v_target)
+        if reached.size == 0:
+            return float(self.t_end)
+        k = int(reached[0])
+        if k == 0:
+            return float(t[0])
+        # Linear interpolation between the bracketing samples.
+        t0, t1 = t[k - 1], t[k]
+        v0, v1 = v[k - 1], v[k]
+        if v1 == v0:
+            return float(t1)
+        return float(t0 + (v_target - v0) * (t1 - t0) / (v1 - v0))
+
+    def counter(self, name: str, default: float = 0.0) -> float:
+        return float(self.counters.get(name, default))
+
+    def energy(self, name: str, default: float = 0.0) -> float:
+        return float(self.energies.get(name, default))
+
+    def downtime_fraction(self) -> float:
+        """Fraction of the mission with the node output disabled."""
+        return self.downtime / self.t_end
+
+    def tuning_error_rms(self) -> float:
+        """RMS of (dominant frequency - resonance) over the mission, Hz.
+
+        Requires the ``f_dom`` and ``f_res`` traces (all engines record
+        them); time-weighted via the trapezoidal rule.
+        """
+        t = self.times
+        err = self.trace("f_dom") - self.trace("f_res")
+        if t.size < 2:
+            return float(abs(err[0])) if t.size else 0.0
+        mean_sq = np.trapezoid(err**2, t) / (t[-1] - t[0])
+        return float(np.sqrt(mean_sq))
+
+    def summary(self) -> str:
+        """Multi-line human-readable mission summary."""
+        lines = [
+            f"engine={self.engine}  t_end={self.t_end:g} s  "
+            f"wall={self.wall_time:.3f} s",
+            f"store: final {self.final_store_voltage():.3f} V, "
+            f"min {self.min_store_voltage():.3f} V",
+            f"downtime: {self.downtime:.1f} s "
+            f"({100 * self.downtime_fraction():.1f}%)",
+        ]
+        if self.counters:
+            parts = [f"{k}={v:g}" for k, v in sorted(self.counters.items())]
+            lines.append("counters: " + ", ".join(parts))
+        if self.energies:
+            parts = [
+                f"{k}={v * 1e3:.3f} mJ" for k, v in sorted(self.energies.items())
+            ]
+            lines.append("energies: " + ", ".join(parts))
+        return "\n".join(lines)

@@ -1,0 +1,366 @@
+"""Mission runner: one entry point over all three engines.
+
+:func:`simulate` builds the :class:`~repro.sim.system.SystemModel`,
+instantiates the requested engine, and — for the full-fidelity engines
+— drives the mission layer (node task cycles as piecewise-constant
+loads, controller wake-ups, actuation ramps, brownout bookkeeping,
+trace recording).  The envelope engine implements its own mission loop
+(events collapse to energy withdrawals at its time scale) and is simply
+dispatched to.
+
+Full-fidelity missions are intended for seconds-scale studies (engine
+validation, the R-T3 CPU-time table, the R-F1 frequency sweeps); the
+envelope engine covers the minutes-to-hours missions the DoE flow
+sweeps over.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+from repro.sim.base import TransientEngine
+from repro.sim.envelope import EnvelopeEngine, EnvelopeOptions
+from repro.sim.events import EventQueue
+from repro.sim.newton import NewtonRaphsonEngine
+from repro.sim.results import SimulationResult
+from repro.sim.state_space import LinearizedStateSpaceEngine
+from repro.sim.system import SystemConfig, SystemModel
+from repro.sim.traces import TraceRecorder
+
+#: Engine registry used by :func:`simulate`.
+ENGINE_NAMES = ("newton", "linearized", "envelope")
+
+
+@dataclass
+class MissionConfig:
+    """How to run a mission.
+
+    Attributes:
+        t_end: mission length, s.
+        engine: one of :data:`ENGINE_NAMES`.
+        record_dt: trace decimation, s (defaults: 1 ms full-fidelity,
+            1 s envelope).
+        steps_per_period: full-fidelity micro steps per excitation
+            period (sets dt when ``dt`` is None).
+        dt: explicit micro step, s (overrides ``steps_per_period``).
+        gap_ramp_updates: how many stiffness updates approximate the
+            gap ramp during an actuation (full-fidelity engines).
+        envelope: envelope-engine options.
+    """
+
+    t_end: float
+    engine: str = "envelope"
+    record_dt: float | None = None
+    steps_per_period: int = 200
+    dt: float | None = None
+    gap_ramp_updates: int = 16
+    envelope: EnvelopeOptions | None = None
+
+    def __post_init__(self) -> None:
+        if self.t_end <= 0.0:
+            raise SimulationError(f"t_end must be > 0, got {self.t_end}")
+        if self.engine not in ENGINE_NAMES:
+            raise SimulationError(
+                f"unknown engine {self.engine!r}; pick one of {ENGINE_NAMES}"
+            )
+        if self.steps_per_period < 8:
+            raise SimulationError(
+                f"steps_per_period must be >= 8, got {self.steps_per_period}"
+            )
+        if self.dt is not None and self.dt <= 0.0:
+            raise SimulationError(f"dt must be > 0, got {self.dt}")
+        if self.gap_ramp_updates < 1:
+            raise SimulationError(
+                f"gap_ramp_updates must be >= 1, got {self.gap_ramp_updates}"
+            )
+
+    def resolve_record_dt(self) -> float:
+        if self.record_dt is not None:
+            if self.record_dt <= 0.0:
+                raise SimulationError(
+                    f"record_dt must be > 0, got {self.record_dt}"
+                )
+            return self.record_dt
+        return 1.0 if self.engine == "envelope" else 1.0e-3
+
+
+def simulate(config: SystemConfig, mission: MissionConfig) -> SimulationResult:
+    """Run one mission and return its :class:`SimulationResult`."""
+    if mission.engine == "envelope":
+        engine = EnvelopeEngine(config, mission.envelope)
+        return engine.run(mission.t_end, record_dt=mission.resolve_record_dt())
+    return _FullFidelityMission(config, mission).run()
+
+
+def _make_engine(
+    config: SystemConfig, mission: MissionConfig
+) -> TransientEngine:
+    system = SystemModel(config)
+    if mission.dt is not None:
+        dt = mission.dt
+    else:
+        f0 = max(config.vibration.dominant_frequency(0.0), 1.0)
+        dt = 1.0 / (mission.steps_per_period * f0)
+    if mission.engine == "newton":
+        return NewtonRaphsonEngine(system, dt)
+    return LinearizedStateSpaceEngine(system, dt)
+
+
+class _FullFidelityMission:
+    """Event-driven mission layer over a full-fidelity engine."""
+
+    _EPS = 1e-12
+
+    def __init__(self, config: SystemConfig, mission: MissionConfig):
+        self.config = config
+        self.mission = mission
+        self.engine = _make_engine(config, mission)
+        self.system = self.engine.system
+        self.reg = config.regulator
+        self.node = config.node
+        self.controller = config.controller
+        self.harvester = config.harvester
+        self.source = config.vibration
+        self.record_dt = mission.resolve_record_dt()
+        self.has_store = self.system.power.store_node is not None
+        self.recorder = TraceRecorder(
+            [
+                "v_store",
+                "v_bus",
+                "z",
+                "i_coil",
+                "p_transduced",
+                "gap",
+                "f_dom",
+                "f_res",
+                "i_load",
+                "enabled",
+                "packets",
+                "downtime",
+            ],
+            record_dt=0.0,
+        )
+        self.counters = {
+            "packets_delivered": 0.0,
+            "retunes": 0.0,
+            "controller_checks": 0.0,
+            "brownout_events": 0.0,
+        }
+        self.energies = {"harvested": 0.0, "node": 0.0, "tuning": 0.0}
+        self.downtime = 0.0
+        self.queue = EventQueue()
+        self.epoch = 0
+        self.rail_power = 0.0
+        v0 = self.engine.bus_voltage()
+        self.enabled = (v0 >= self.reg.v_restart) if self.has_store else True
+        self.next_record = 0.0
+
+    # -- small helpers -----------------------------------------------------------
+
+    def _sleep_power(self) -> float:
+        return self.node.sleep_power if self.node is not None else 0.0
+
+    def _set_rail_power(self, power: float) -> None:
+        """Set the rail-side demand; refreshes the bus current draw."""
+        self.rail_power = power
+        if not self.enabled or not self.has_store:
+            self.engine.set_load_current(0.0)
+            return
+        self.engine.set_load_current(
+            self.reg.input_current(power, self.engine.bus_voltage())
+        )
+
+    def _record_row(self) -> None:
+        t = self.engine.time
+        x = self.engine.state
+        system = self.system
+        self.recorder.offer(
+            t,
+            {
+                "v_store": system.store_voltage(x) if self.has_store else 0.0,
+                "v_bus": system.bus_voltage(x),
+                "z": system.proof_mass_displacement(x),
+                "i_coil": system.coil_current(x),
+                "p_transduced": system.transduced_power(x),
+                "gap": self.engine.gap,
+                "f_dom": self.source.dominant_frequency(t),
+                "f_res": self.harvester.resonant_frequency(self.engine.gap),
+                "i_load": self.engine.load_current,
+                "enabled": 1.0 if self.enabled else 0.0,
+                "packets": self.counters["packets_delivered"],
+                "downtime": self.downtime,
+            },
+            force=True,
+        )
+
+    def _update_regulator_state(self) -> None:
+        if not self.has_store:
+            return
+        v_bus = self.engine.bus_voltage()
+        new_state = self.reg.next_enabled(self.enabled, v_bus)
+        if new_state == self.enabled:
+            return
+        self.enabled = new_state
+        if not new_state:
+            self.counters["brownout_events"] += 1.0
+            self.epoch += 1
+            self.recorder.log_event(
+                self.engine.time, "brownout", f"v={v_bus:.3f}"
+            )
+            self.engine.set_load_current(0.0)
+        else:
+            self.recorder.log_event(
+                self.engine.time, "restart", f"v={v_bus:.3f}"
+            )
+            if self.node is not None:
+                self.node.policy.reset()
+                self.queue.push(self.engine.time, "measure", self.epoch)
+            self._set_rail_power(self._sleep_power())
+
+    def _advance_to(self, t_target: float) -> None:
+        """Advance the engine, recording and checking brownout en route."""
+        while self.engine.time < t_target - self._EPS:
+            t_stop = min(self.next_record, t_target)
+            was_enabled = self.enabled
+            span_start = self.engine.time
+            self.engine.step_to(t_stop)
+            if not was_enabled:
+                self.downtime += self.engine.time - span_start
+            self._update_regulator_state()
+            if self.engine.time >= self.next_record - self._EPS:
+                self._record_row()
+                self.next_record += self.record_dt
+                # Refresh the constant-power draw against the moving bus
+                # voltage without disturbing the commanded rail power.
+                self._set_rail_power(self.rail_power)
+
+    # -- event handlers --------------------------------------------------------------
+
+    def _handle_measure(self, payload: object, t_end: float) -> None:
+        node = self.node
+        if node is None or payload != self.epoch or not self.enabled:
+            return
+        for phase in node.phases:
+            self._set_rail_power(phase.power)
+            self._advance_to(min(self.engine.time + phase.duration, t_end))
+            if not self.enabled:
+                break  # browned out mid-cycle: packet lost
+        self._set_rail_power(self._sleep_power())
+        if self.enabled:
+            self.counters["packets_delivered"] += 1.0
+            v_for_policy = (
+                self.system.store_voltage(self.engine.state)
+                if self.has_store
+                else self.engine.bus_voltage()
+            )
+            period = node.policy.next_period(v_for_policy, self.engine.time)
+            self.queue.push(self.engine.time + period, "measure", self.epoch)
+
+    def _handle_check(self, t_end: float) -> None:
+        controller = self.controller
+        if controller is None:
+            return
+        self.queue.push(
+            self.engine.time + controller.check_interval, "check", None
+        )
+        if not self.enabled:
+            return
+        self.counters["controller_checks"] += 1.0
+        e_mark = self.engine.energy_load_bus
+        self._set_rail_power(self._sleep_power() + controller.measurement_power)
+        self._advance_to(min(self.engine.time + controller.capture_time, t_end))
+        self._set_rail_power(self._sleep_power())
+        decision = controller.decide(
+            self.engine.time, self.source, self.harvester, self.engine.gap
+        )
+        self.recorder.log_event(
+            self.engine.time,
+            "check",
+            f"f_est={decision.f_estimate:.2f} retune={decision.retune}",
+        )
+        if decision.retune and self.enabled:
+            self.counters["retunes"] += 1.0
+            duration, _energy = self.harvester.retune_cost(
+                self.engine.gap, decision.target_gap
+            )
+            gap_from = self.engine.gap
+            t0 = self.engine.time
+            n_updates = self.mission.gap_ramp_updates
+            self._set_rail_power(
+                self._sleep_power() + self.harvester.actuator.moving_power
+            )
+            for k in range(1, n_updates + 1):
+                t_k = min(t0 + duration * k / n_updates, t_end)
+                self._advance_to(t_k)
+                self.engine.set_gap(
+                    self.harvester.actuator.gap_trajectory(
+                        gap_from, decision.target_gap, self.engine.time - t0
+                    )
+                )
+                if not self.enabled or self.engine.time >= t_end - self._EPS:
+                    break
+            self._set_rail_power(self._sleep_power())
+            self.recorder.log_event(
+                self.engine.time,
+                "retune_done",
+                f"gap={self.engine.gap * 1e3:.2f}mm",
+            )
+        self.energies["tuning"] += self.engine.energy_load_bus - e_mark
+
+    # -- main loop ----------------------------------------------------------------------
+
+    def run(self) -> SimulationResult:
+        started = time.perf_counter()
+        t_end = self.mission.t_end
+        if self.node is not None:
+            self.node.policy.reset()
+        if self.node is not None and self.enabled:
+            self.queue.push(0.0, "measure", self.epoch)
+        if self.controller is not None:
+            self.queue.push(
+                min(self.controller.first_check, t_end), "check", None
+            )
+        self._record_row()
+        self.next_record = self.record_dt
+        self._set_rail_power(self._sleep_power())
+
+        while self.engine.time < t_end - self._EPS:
+            t_event = self.queue.peek_time()
+            t_next = min(t_event if t_event is not None else math.inf, t_end)
+            self._advance_to(t_next)
+            while True:
+                t_peek = self.queue.peek_time()
+                if t_peek is None or t_peek > self.engine.time + 1e-9:
+                    break
+                event = self.queue.pop()
+                if event.kind == "measure":
+                    self._handle_measure(event.payload, t_end)
+                elif event.kind == "check":
+                    self._handle_check(t_end)
+        self._record_row()
+
+        self.energies["harvested"] = self.engine.energy_transduced
+        self.energies["node"] = (
+            self.engine.energy_load_bus - self.energies["tuning"]
+        )
+        wall = time.perf_counter() - started
+        node = self.node
+        return SimulationResult(
+            engine=self.mission.engine,
+            t_end=t_end,
+            traces=self.recorder.as_arrays(),
+            events=self.recorder.events(),
+            counters=self.counters,
+            energies=self.energies,
+            downtime=self.downtime,
+            wall_time=wall,
+            meta={
+                "payload_bits": node.payload_bits if node is not None else 0,
+                "dt": self.engine.dt,
+                "stats": self.engine.stats,
+                "policy": node.policy.describe() if node is not None else "none",
+            },
+        )

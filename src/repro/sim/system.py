@@ -1,0 +1,286 @@
+"""The assembled plant: harvester + power circuit + load interfaces.
+
+:class:`SystemModel` stacks the electromechanical equations of the
+microgenerator, the coil branch, and the power-processing netlist into
+one state vector
+
+.. code-block:: text
+
+    x = [ z, z', i_coil, v_1 ... v_n ]       (n = circuit nodes)
+
+driven by the input vector ``u = [1, a(t), i_load]`` (a constant column
+for the PWL Norton offsets and the end-stop preload, the base
+acceleration, and the regulator's bus current draw).
+
+Two views of the same physics are exposed:
+
+* a **piecewise-linear** view for the explicit linearized state-space
+  engine — :meth:`SystemModel.linear_system` returns the ``(A, B)``
+  pair for a given conduction/end-stop *mode*, and
+  :meth:`SystemModel.boundaries` the signed distances whose zero
+  crossings mark mode changes; and
+* a **smooth** view for the Newton-Raphson engine —
+  :meth:`SystemModel.f_smooth` / :meth:`SystemModel.jac_smooth` with
+  exponential Shockley diodes.
+
+The *mode* is ``(end_stop_region, diode_states)`` with
+``end_stop_region`` in {-1, 0, +1} and ``diode_states`` a tuple of
+booleans, derived from the state via :meth:`SystemModel.mode_of`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.harvester.tuning import TunableHarvester
+from repro.node.controller import TuningController
+from repro.node.node import SensorNode
+from repro.power.rectifier import PowerCircuit
+from repro.power.regulator import Regulator
+from repro.vibration.sources import VibrationSource
+
+#: Mode type alias: (end-stop region, per-diode PWL segment indices).
+ModeKey = tuple[int, tuple[int, ...]]
+
+
+@dataclass
+class SystemConfig:
+    """Complete system description consumed by the simulators.
+
+    Attributes:
+        harvester: tunable harvester (mechanics + tuning law + actuator).
+        power: assembled power-processing circuit.
+        regulator: node-side regulator (brownout behaviour).
+        node: the sensor-node load, or None for source-only studies.
+        controller: tuning controller, or None for a fixed (untunable
+            in operation) harvester.
+        vibration: the ambient excitation.
+        initial_gap: starting magnet gap, m; None selects pre-tuning.
+        pretune: when ``initial_gap`` is None, True starts the harvester
+            tuned to the source's dominant frequency at t=0 (the usual
+            deployment assumption); False starts it fully detuned at
+            the maximum gap.
+    """
+
+    harvester: TunableHarvester
+    power: PowerCircuit
+    regulator: Regulator
+    node: SensorNode | None
+    controller: TuningController | None
+    vibration: VibrationSource
+    initial_gap: float | None = None
+    pretune: bool = True
+
+    def resolve_initial_gap(self) -> float:
+        """The gap the mission starts from (see ``pretune``)."""
+        law = self.harvester.tuning
+        if self.initial_gap is not None:
+            return min(max(self.initial_gap, law.gap_min), law.gap_max)
+        if self.pretune:
+            f0 = self.vibration.dominant_frequency(0.0)
+            return self.harvester.gap_for_frequency(law.clamp_frequency(f0))
+        return self.harvester.default_gap()
+
+
+class SystemModel:
+    """Engine-facing equations of a :class:`SystemConfig`."""
+
+    #: Input-vector layout: [constant 1, base acceleration, load current].
+    N_INPUTS = 3
+
+    def __init__(self, config: SystemConfig):
+        self.config = config
+        self.harvester = config.harvester
+        self.power = config.power
+        matrices = config.power.matrices
+        self.matrices = matrices
+        if "coil" not in matrices.input_names:
+            raise ModelError("power circuit must define a 'coil' current input")
+        self._n_nodes = matrices.n_nodes
+        self._n = 3 + self._n_nodes
+        self._c_inv = matrices.cap_inverse
+        self._g_static = matrices.resistor_conductance_matrix()
+        self._e_coil = matrices.input_vector("coil")
+        if "load" in matrices.input_names:
+            self._e_load = matrices.input_vector("load")
+        else:
+            self._e_load = np.zeros(self._n_nodes)
+        names = matrices.node_names
+        self._idx_in_p = names[config.power.input_plus] - 1
+        minus = config.power.input_minus
+        self._idx_in_n = -1 if minus == "gnd" else names[minus] - 1
+        p = self.harvester.params
+        self._mass = p.mass
+        self._c_p = p.parasitic_damping
+        self._phi = p.transduction_factor
+        self._r_c = p.coil_resistance
+        self._l_c = p.coil_inductance
+        self._z_max = p.max_displacement
+        self._k_stop = p.end_stop_stiffness
+        # Pre-multiplied circuit couplings.
+        self._cinv_e_coil = self._c_inv @ self._e_coil
+        self._cinv_e_load = self._c_inv @ self._e_load
+
+    # -- dimensions and state -----------------------------------------------------
+
+    @property
+    def state_size(self) -> int:
+        """Length of the state vector x."""
+        return self._n
+
+    @property
+    def n_boundaries(self) -> int:
+        """Two end-stop boundaries plus two segment boundaries per diode."""
+        return 2 + 2 * self.matrices.n_diodes
+
+    def initial_state(self) -> np.ndarray:
+        """Mechanics at rest, coil de-energized, circuit at its initial DC."""
+        x = np.zeros(self._n)
+        x[3:] = self.power.initial_voltages()
+        return x
+
+    def k_eff(self, gap: float) -> float:
+        """Effective suspension stiffness at a magnet gap, N/m."""
+        return self.harvester.effective_stiffness(gap)
+
+    # -- mode machinery --------------------------------------------------------------
+
+    def boundaries(self, x: np.ndarray) -> np.ndarray:
+        """Signed switching-boundary distances.
+
+        Layout: ``[z - z_max, -z - z_max, d1_low, d1_high, d2_low,
+        ...]`` — the two end-stop engagement boundaries followed by the
+        two PWL segment breakpoints of each diode.
+        """
+        z = x[0]
+        mech = np.array([z - self._z_max, -z - self._z_max])
+        return np.concatenate([mech, self.matrices.boundary_values(x[3:])])
+
+    @staticmethod
+    def mode_from_boundaries(b: np.ndarray) -> ModeKey:
+        """Derive the mode key from boundary signs."""
+        if b[0] >= 0.0:
+            region = 1
+        elif b[1] >= 0.0:
+            region = -1
+        else:
+            region = 0
+        from repro.power.netlist import CircuitMatrices
+
+        diodes = CircuitMatrices.segments_from_boundaries(b[2:])
+        return (region, diodes)
+
+    def mode_of(self, x: np.ndarray) -> ModeKey:
+        """Conduction/end-stop mode implied by a state vector."""
+        return self.mode_from_boundaries(self.boundaries(x))
+
+    # -- piecewise-linear view ----------------------------------------------------------
+
+    def linear_system(self, k_eff: float, mode: ModeKey) -> tuple[np.ndarray, np.ndarray]:
+        """(A, B) of ``x' = A x + B u`` in the given mode.
+
+        ``u = [1, a(t), i_load]``.  Rebuilt on every call — engines
+        cache the result keyed by ``(mode, k_eff, h)``.
+        """
+        region, diode_mode = mode
+        n = self._n
+        a_mat = np.zeros((n, n))
+        b_mat = np.zeros((n, self.N_INPUTS))
+        m = self._mass
+        # Mechanics: z' = vz.
+        a_mat[0, 1] = 1.0
+        k_total = k_eff + (self._k_stop if region != 0 else 0.0)
+        a_mat[1, 0] = -k_total / m
+        a_mat[1, 1] = -self._c_p / m
+        a_mat[1, 2] = -self._phi / m
+        b_mat[1, 0] = region * self._k_stop * self._z_max / m
+        b_mat[1, 1] = -1.0
+        # Coil branch: L i' = Phi vz - R_c i - (v_p - v_n).
+        a_mat[2, 1] = self._phi / self._l_c
+        a_mat[2, 2] = -self._r_c / self._l_c
+        a_mat[2, 3 + self._idx_in_p] = -1.0 / self._l_c
+        if self._idx_in_n >= 0:
+            a_mat[2, 3 + self._idx_in_n] = 1.0 / self._l_c
+        # Circuit nodes: C v' = -G(m) v + s(m) + e_coil i + e_load u_load.
+        g = self.matrices.conductance_matrix(diode_mode)
+        s = self.matrices.norton_vector(diode_mode)
+        a_mat[3:, 3:] = -self._c_inv @ g
+        a_mat[3:, 2] = self._cinv_e_coil
+        b_mat[3:, 0] = self._c_inv @ s
+        b_mat[3:, 2] = self._cinv_e_load
+        return a_mat, b_mat
+
+    # -- smooth view -------------------------------------------------------------------------
+
+    def f_smooth(
+        self, x: np.ndarray, accel: float, i_load: float, k_eff: float
+    ) -> np.ndarray:
+        """Right-hand side with exponential diodes (NR engine)."""
+        z, vz, ic = x[0], x[1], x[2]
+        v = x[3:]
+        f = np.empty(self._n)
+        f[0] = vz
+        stop = self.harvester.generator.end_stop_force(z)
+        f[1] = (
+            -(k_eff * z) - stop - self._c_p * vz - self._phi * ic
+        ) / self._mass - accel
+        v_p = v[self._idx_in_p]
+        v_n = v[self._idx_in_n] if self._idx_in_n >= 0 else 0.0
+        f[2] = (self._phi * vz - self._r_c * ic - (v_p - v_n)) / self._l_c
+        inj, _ = self.matrices.shockley_injection(v)
+        rhs = (
+            -(self._g_static @ v)
+            + inj
+            + self._e_coil * ic
+            + self._e_load * i_load
+        )
+        f[3:] = self._c_inv @ rhs
+        return f
+
+    def jac_smooth(self, x: np.ndarray, k_eff: float) -> np.ndarray:
+        """Jacobian of :meth:`f_smooth` with respect to x."""
+        z = x[0]
+        v = x[3:]
+        jac = np.zeros((self._n, self._n))
+        jac[0, 1] = 1.0
+        region = self.harvester.generator.end_stop_region(z)
+        k_total = k_eff + (self._k_stop if region != 0 else 0.0)
+        jac[1, 0] = -k_total / self._mass
+        jac[1, 1] = -self._c_p / self._mass
+        jac[1, 2] = -self._phi / self._mass
+        jac[2, 1] = self._phi / self._l_c
+        jac[2, 2] = -self._r_c / self._l_c
+        jac[2, 3 + self._idx_in_p] = -1.0 / self._l_c
+        if self._idx_in_n >= 0:
+            jac[2, 3 + self._idx_in_n] = 1.0 / self._l_c
+        _, diode_jac = self.matrices.shockley_injection(v)
+        jac[3:, 3:] = self._c_inv @ (-self._g_static + diode_jac)
+        jac[3:, 2] = self._cinv_e_coil
+        return jac
+
+    # -- measurement helpers ----------------------------------------------------------------------
+
+    def store_voltage(self, x: np.ndarray) -> float:
+        """Internal supercap voltage, V (0 when there is no store)."""
+        if self.power.store_node is None:
+            return 0.0
+        return self.power.store_voltage(x[3:])
+
+    def bus_voltage(self, x: np.ndarray) -> float:
+        """Bus (load terminal) voltage, V."""
+        return self.power.bus_voltage(x[3:])
+
+    def coil_current(self, x: np.ndarray) -> float:
+        """Coil current, A."""
+        return float(x[2])
+
+    def transduced_power(self, x: np.ndarray) -> float:
+        """Instantaneous electromechanical power Phi z' i, W."""
+        return self._phi * float(x[1]) * float(x[2])
+
+    def proof_mass_displacement(self, x: np.ndarray) -> float:
+        """Relative proof-mass displacement z, m."""
+        return float(x[0])

@@ -1,0 +1,101 @@
+"""Simulation trace recording.
+
+A :class:`TraceRecorder` collects named scalar channels at a decimated
+cadence (full-fidelity engines step at tens of microseconds; recording
+every step would swamp memory for no analytical gain) plus a free-form
+event log.  Channels are declared up front so a typo'd channel name is
+an immediate error rather than a silently separate series.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+
+class TraceRecorder:
+    """Decimated multi-channel scalar recorder.
+
+    Args:
+        channels: channel names (recorded together, one row per tick).
+        record_dt: minimum spacing between recorded rows, s; 0 records
+            every offered sample.
+    """
+
+    def __init__(self, channels: Iterable[str], record_dt: float = 0.0):
+        names = list(channels)
+        if not names:
+            raise SimulationError("TraceRecorder needs at least one channel")
+        if len(set(names)) != len(names):
+            raise SimulationError(f"duplicate channel names in {names}")
+        if record_dt < 0.0:
+            raise SimulationError(f"record_dt must be >= 0, got {record_dt}")
+        self._channels = names
+        self._record_dt = record_dt
+        self._time: list[float] = []
+        self._data: dict[str, list[float]] = {name: [] for name in names}
+        self._events: list[tuple[float, str, str]] = []
+        self._next_time = 0.0
+
+    @property
+    def channels(self) -> tuple[str, ...]:
+        return tuple(self._channels)
+
+    def offer(self, t: float, values: Mapping[str, float], force: bool = False) -> bool:
+        """Record a row if the decimation window has elapsed.
+
+        Args:
+            t: sample time, s (must not decrease).
+            values: one value per declared channel.
+            force: record regardless of decimation (used at events and
+                at the final instant so features are never missed).
+
+        Returns:
+            True if the row was recorded.
+        """
+        if self._time and t < self._time[-1]:
+            raise SimulationError(
+                f"trace time went backwards: {t} after {self._time[-1]}"
+            )
+        if not force and t < self._next_time:
+            return False
+        missing = [name for name in self._channels if name not in values]
+        if missing:
+            raise SimulationError(f"missing channels in trace row: {missing}")
+        self._time.append(t)
+        for name in self._channels:
+            self._data[name].append(float(values[name]))
+        self._next_time = t + self._record_dt
+        return True
+
+    def log_event(self, t: float, kind: str, info: str = "") -> None:
+        """Append to the free-form event log."""
+        self._events.append((t, kind, info))
+
+    # -- retrieval -------------------------------------------------------------
+
+    @property
+    def n_rows(self) -> int:
+        return len(self._time)
+
+    def times(self) -> np.ndarray:
+        return np.asarray(self._time, dtype=float)
+
+    def channel(self, name: str) -> np.ndarray:
+        try:
+            return np.asarray(self._data[name], dtype=float)
+        except KeyError:
+            raise SimulationError(f"unknown trace channel {name!r}") from None
+
+    def as_arrays(self) -> dict[str, np.ndarray]:
+        """All channels (plus ``'t'``) as numpy arrays."""
+        out = {"t": self.times()}
+        for name in self._channels:
+            out[name] = self.channel(name)
+        return out
+
+    def events(self) -> list[tuple[float, str, str]]:
+        return list(self._events)

@@ -1,0 +1,83 @@
+"""Unit constants and small conversion helpers.
+
+The toolkit works internally in strict SI units (metres, kilograms,
+seconds, volts, amperes, farads, henries, watts, joules, hertz).  The
+constants below exist so that model parameter tables can be written the
+way datasheets write them (``4.7 * MILLI`` metres, ``220 * MICRO`` watts)
+without sprinkling bare ``1e-3`` literals through the code.
+
+A handful of conversion helpers cover the quantities that appear in the
+energy-harvesting literature with non-SI habits: acceleration in "g",
+frequency/angular-frequency, and dB ratios used in reporting.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Standard gravity, m/s^2.  Vibration amplitudes are often quoted in
+#: milli-g in the harvester literature.
+GRAVITY = 9.80665
+
+#: SI prefixes -------------------------------------------------------------
+PICO = 1e-12
+NANO = 1e-9
+MICRO = 1e-6
+MILLI = 1e-3
+KILO = 1e3
+MEGA = 1e6
+
+#: Two-pi, for readable frequency <-> angular-frequency conversions.
+TWO_PI = 2.0 * math.pi
+
+
+def hz_to_rad(frequency_hz: float) -> float:
+    """Convert a frequency in hertz to angular frequency in rad/s."""
+    return TWO_PI * frequency_hz
+
+
+def rad_to_hz(omega: float) -> float:
+    """Convert an angular frequency in rad/s to hertz."""
+    return omega / TWO_PI
+
+
+def g_to_ms2(acceleration_g: float) -> float:
+    """Convert an acceleration expressed in "g" to m/s^2."""
+    return acceleration_g * GRAVITY
+
+
+def ms2_to_g(acceleration: float) -> float:
+    """Convert an acceleration in m/s^2 to "g"."""
+    return acceleration / GRAVITY
+
+
+def db(ratio: float) -> float:
+    """Express a power ratio in decibels (10*log10).
+
+    Raises:
+        ValueError: if ``ratio`` is not strictly positive.
+    """
+    if ratio <= 0.0:
+        raise ValueError(f"dB of non-positive ratio {ratio!r}")
+    return 10.0 * math.log10(ratio)
+
+
+def from_db(decibels: float) -> float:
+    """Invert :func:`db`: return the power ratio for a dB value."""
+    return 10.0 ** (decibels / 10.0)
+
+
+def celsius_to_kelvin(temp_c: float) -> float:
+    """Convert Celsius to Kelvin (used by the diode thermal voltage)."""
+    return temp_c + 273.15
+
+
+def thermal_voltage(temp_c: float = 27.0) -> float:
+    """Diode thermal voltage kT/q at the given temperature in Celsius.
+
+    Defaults to the customary SPICE temperature of 27 C (300.15 K),
+    giving approximately 25.9 mV.
+    """
+    boltzmann = 1.380649e-23
+    electron_charge = 1.602176634e-19
+    return boltzmann * celsius_to_kelvin(temp_c) / electron_charge

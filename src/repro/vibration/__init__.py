@@ -1,0 +1,46 @@
+"""Vibration environment substrate.
+
+Everything the harvester sees from the outside world: base-excitation
+acceleration sources (:mod:`repro.vibration.sources`), dominant-frequency
+estimation used by the tuning controller
+(:mod:`repro.vibration.spectrum`), and canonical application profiles
+(:mod:`repro.vibration.profiles`).
+"""
+
+from repro.vibration.sources import (
+    VibrationSource,
+    SineVibration,
+    MultiToneVibration,
+    DriftingSineVibration,
+    SteppedFrequencyVibration,
+    BandNoiseVibration,
+    CompositeVibration,
+)
+from repro.vibration.spectrum import (
+    estimate_dominant_frequency,
+    fft_dominant_frequency,
+    zero_crossing_frequency,
+)
+from repro.vibration.profiles import (
+    machine_room_profile,
+    bridge_profile,
+    human_motion_profile,
+    PROFILES,
+)
+
+__all__ = [
+    "VibrationSource",
+    "SineVibration",
+    "MultiToneVibration",
+    "DriftingSineVibration",
+    "SteppedFrequencyVibration",
+    "BandNoiseVibration",
+    "CompositeVibration",
+    "estimate_dominant_frequency",
+    "fft_dominant_frequency",
+    "zero_crossing_frequency",
+    "machine_room_profile",
+    "bridge_profile",
+    "human_motion_profile",
+    "PROFILES",
+]

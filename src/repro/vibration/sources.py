@@ -1,0 +1,370 @@
+"""Base-excitation acceleration sources.
+
+A :class:`VibrationSource` produces the base acceleration ``a(t)`` (in
+m/s^2) that drives the harvester's proof mass, plus a ground-truth
+``dominant_frequency(t)`` that the tuning-controller models can compare
+their own estimates against and that the envelope simulation engine uses
+to parameterize its steady-state maps.
+
+The concrete sources cover the situations the paper's application
+domains (environmental sensing, structural monitoring, pervasive
+healthcare) expose a tunable harvester to:
+
+* :class:`SineVibration` — stationary machinery tone.
+* :class:`MultiToneVibration` — a dominant tone plus harmonics/sidebands.
+* :class:`DriftingSineVibration` — machinery whose speed ramps slowly,
+  the canonical case *for* frequency tuning.
+* :class:`SteppedFrequencyVibration` — discrete operating-point changes.
+* :class:`BandNoiseVibration` — band-limited random excitation built
+  from many incommensurate tones (deterministic given a seed).
+* :class:`CompositeVibration` — superposition of any of the above.
+
+All sources are deterministic functions of time so the two transient
+engines (which step at different instants) see the same waveform.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from bisect import bisect_right
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.units import TWO_PI
+
+
+class VibrationSource(ABC):
+    """Deterministic base-acceleration waveform ``a(t)``."""
+
+    @abstractmethod
+    def acceleration(self, t: float) -> float:
+        """Instantaneous base acceleration in m/s^2 at time ``t``."""
+
+    @abstractmethod
+    def dominant_frequency(self, t: float) -> float:
+        """Ground-truth dominant frequency in Hz at time ``t``."""
+
+    def amplitude(self, t: float) -> float:
+        """Amplitude (peak m/s^2) of the dominant component at ``t``.
+
+        Subclasses with a meaningful notion of a dominant-tone amplitude
+        override this; the default returns the RMS-derived peak of a
+        short window, which is adequate for reporting.
+        """
+        window = np.linspace(t, t + 0.25, 256)
+        samples = self.acceleration_array(window)
+        return float(np.sqrt(2.0) * np.sqrt(np.mean(samples**2)))
+
+    def acceleration_array(self, times: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`acceleration` over an array of times.
+
+        The base implementation loops; subclasses override with closed
+        forms where that matters for speed (the envelope engine samples
+        thousands of points when it builds steady-state maps).
+        """
+        return np.array([self.acceleration(float(t)) for t in times])
+
+
+class SineVibration(VibrationSource):
+    """Single stationary tone: ``a(t) = A sin(2 pi f t + phase)``."""
+
+    def __init__(self, amplitude: float, frequency: float, phase: float = 0.0):
+        if amplitude < 0.0:
+            raise ModelError(f"vibration amplitude must be >= 0, got {amplitude}")
+        if frequency <= 0.0:
+            raise ModelError(f"vibration frequency must be > 0, got {frequency}")
+        self._amplitude = float(amplitude)
+        self._frequency = float(frequency)
+        self._phase = float(phase)
+
+    def acceleration(self, t: float) -> float:
+        return self._amplitude * math.sin(TWO_PI * self._frequency * t + self._phase)
+
+    def acceleration_array(self, times: np.ndarray) -> np.ndarray:
+        return self._amplitude * np.sin(TWO_PI * self._frequency * times + self._phase)
+
+    def dominant_frequency(self, t: float) -> float:
+        return self._frequency
+
+    def amplitude(self, t: float) -> float:
+        return self._amplitude
+
+    def __repr__(self) -> str:
+        return (
+            f"SineVibration(amplitude={self._amplitude}, "
+            f"frequency={self._frequency}, phase={self._phase})"
+        )
+
+
+class MultiToneVibration(VibrationSource):
+    """Superposition of stationary tones ``(amplitude, frequency, phase)``.
+
+    The dominant frequency is that of the largest-amplitude tone; ties
+    resolve to the lowest such frequency, which matches what a
+    peak-picking spectral estimator would report.
+    """
+
+    def __init__(self, tones: Sequence[tuple[float, float, float]]):
+        if not tones:
+            raise ModelError("MultiToneVibration requires at least one tone")
+        cleaned = []
+        for amp, freq, phase in tones:
+            if amp < 0.0:
+                raise ModelError(f"tone amplitude must be >= 0, got {amp}")
+            if freq <= 0.0:
+                raise ModelError(f"tone frequency must be > 0, got {freq}")
+            cleaned.append((float(amp), float(freq), float(phase)))
+        self._tones = tuple(cleaned)
+        best = max(self._tones, key=lambda tone: (tone[0], -tone[1]))
+        self._dominant = best[1]
+        self._dominant_amplitude = best[0]
+
+    @property
+    def tones(self) -> tuple[tuple[float, float, float], ...]:
+        """The ``(amplitude, frequency, phase)`` triples, as given."""
+        return self._tones
+
+    def acceleration(self, t: float) -> float:
+        return sum(
+            amp * math.sin(TWO_PI * freq * t + phase)
+            for amp, freq, phase in self._tones
+        )
+
+    def acceleration_array(self, times: np.ndarray) -> np.ndarray:
+        total = np.zeros_like(times, dtype=float)
+        for amp, freq, phase in self._tones:
+            total += amp * np.sin(TWO_PI * freq * times + phase)
+        return total
+
+    def dominant_frequency(self, t: float) -> float:
+        return self._dominant
+
+    def amplitude(self, t: float) -> float:
+        return self._dominant_amplitude
+
+
+class DriftingSineVibration(VibrationSource):
+    """A tone whose frequency ramps linearly from ``f_start`` to ``f_end``.
+
+    The instantaneous frequency is ``f_start + rate * t`` clamped at
+    ``f_end`` after ``t_ramp = (f_end - f_start) / rate`` (the drift can
+    go in either direction).  The phase is integrated exactly so the
+    waveform is continuous:
+
+    ``a(t) = A sin(2 pi * integral_0^t f(u) du)``.
+
+    This is the canonical motivating case for a tunable harvester: a
+    fixed-frequency device loses resonance as the machine speeds up,
+    while the tuning controller can follow the drift.
+    """
+
+    def __init__(
+        self,
+        amplitude: float,
+        f_start: float,
+        f_end: float,
+        drift_rate: float,
+    ):
+        if amplitude < 0.0:
+            raise ModelError(f"vibration amplitude must be >= 0, got {amplitude}")
+        if f_start <= 0.0 or f_end <= 0.0:
+            raise ModelError("drift frequencies must be > 0")
+        if drift_rate <= 0.0:
+            raise ModelError(f"drift_rate must be > 0 Hz/s, got {drift_rate}")
+        self._amplitude = float(amplitude)
+        self._f_start = float(f_start)
+        self._f_end = float(f_end)
+        signed = math.copysign(drift_rate, f_end - f_start)
+        self._rate = signed if f_end != f_start else 0.0
+        self._t_ramp = (
+            abs(f_end - f_start) / drift_rate if f_end != f_start else 0.0
+        )
+
+    @property
+    def ramp_duration(self) -> float:
+        """Seconds until the frequency settles at ``f_end``."""
+        return self._t_ramp
+
+    def dominant_frequency(self, t: float) -> float:
+        if t <= 0.0:
+            return self._f_start
+        if t >= self._t_ramp:
+            return self._f_end
+        return self._f_start + self._rate * t
+
+    def _phase(self, t: float) -> float:
+        """Exact integral of 2*pi*f(u) du from 0 to t."""
+        if t <= 0.0:
+            return 0.0
+        t_lin = min(t, self._t_ramp)
+        phase = TWO_PI * (self._f_start * t_lin + 0.5 * self._rate * t_lin**2)
+        if t > self._t_ramp:
+            phase += TWO_PI * self._f_end * (t - self._t_ramp)
+        return phase
+
+    def acceleration(self, t: float) -> float:
+        return self._amplitude * math.sin(self._phase(t))
+
+    def acceleration_array(self, times: np.ndarray) -> np.ndarray:
+        t = np.asarray(times, dtype=float)
+        t_lin = np.clip(t, 0.0, self._t_ramp)
+        phase = TWO_PI * (self._f_start * t_lin + 0.5 * self._rate * t_lin**2)
+        phase += TWO_PI * self._f_end * np.clip(t - self._t_ramp, 0.0, None)
+        return self._amplitude * np.sin(phase)
+
+    def amplitude(self, t: float) -> float:
+        return self._amplitude
+
+
+class SteppedFrequencyVibration(VibrationSource):
+    """Piecewise-constant frequency schedule (machine operating points).
+
+    ``steps`` is a sequence of ``(start_time, frequency)`` pairs sorted
+    by start time; the first entry must start at ``t = 0``.  Amplitude is
+    common to all steps.  Phase is kept continuous across the switch
+    instants so the waveform has no jumps.
+    """
+
+    def __init__(self, amplitude: float, steps: Sequence[tuple[float, float]]):
+        if amplitude < 0.0:
+            raise ModelError(f"vibration amplitude must be >= 0, got {amplitude}")
+        if not steps:
+            raise ModelError("SteppedFrequencyVibration requires at least one step")
+        times = [float(t) for t, _ in steps]
+        freqs = [float(f) for _, f in steps]
+        if times[0] != 0.0:
+            raise ModelError("first step must start at t=0")
+        if any(t2 <= t1 for t1, t2 in zip(times, times[1:])):
+            raise ModelError("step start times must be strictly increasing")
+        if any(f <= 0.0 for f in freqs):
+            raise ModelError("step frequencies must be > 0")
+        self._amplitude = float(amplitude)
+        self._times = times
+        self._freqs = freqs
+        # Accumulated phase at the start of each step keeps continuity.
+        self._phase_at = [0.0]
+        for i in range(1, len(times)):
+            span = times[i] - times[i - 1]
+            self._phase_at.append(
+                self._phase_at[-1] + TWO_PI * freqs[i - 1] * span
+            )
+
+    def _segment(self, t: float) -> int:
+        return max(0, bisect_right(self._times, t) - 1)
+
+    def dominant_frequency(self, t: float) -> float:
+        return self._freqs[self._segment(t)]
+
+    def acceleration(self, t: float) -> float:
+        seg = self._segment(t)
+        phase = self._phase_at[seg] + TWO_PI * self._freqs[seg] * (
+            t - self._times[seg]
+        )
+        return self._amplitude * math.sin(phase)
+
+    def amplitude(self, t: float) -> float:
+        return self._amplitude
+
+
+class BandNoiseVibration(VibrationSource):
+    """Band-limited pseudo-random excitation.
+
+    Deterministic sum of ``n_tones`` tones with frequencies drawn
+    uniformly in ``[f_low, f_high]`` and random phases, scaled so the
+    whole waveform has the requested RMS level.  Being a fixed, seeded
+    tone set rather than streaming noise keeps the waveform an exact
+    function of ``t`` — both simulation engines and the repeated
+    envelope-map builds all see identical excitation.
+
+    The nominal dominant frequency is the amplitude-weighted... in fact
+    simply the largest-amplitude tone, as a spectral peak-pick would
+    find.
+    """
+
+    def __init__(
+        self,
+        rms: float,
+        f_low: float,
+        f_high: float,
+        n_tones: int = 24,
+        seed: int = 0,
+    ):
+        if rms < 0.0:
+            raise ModelError(f"rms must be >= 0, got {rms}")
+        if not (0.0 < f_low < f_high):
+            raise ModelError(f"need 0 < f_low < f_high, got [{f_low}, {f_high}]")
+        if n_tones < 1:
+            raise ModelError("n_tones must be >= 1")
+        rng = np.random.default_rng(seed)
+        freqs = np.sort(rng.uniform(f_low, f_high, size=n_tones))
+        amps = rng.uniform(0.3, 1.0, size=n_tones)
+        phases = rng.uniform(0.0, TWO_PI, size=n_tones)
+        # RMS of a sum of incommensurate tones: sqrt(sum(a_i^2)/2).
+        raw_rms = math.sqrt(float(np.sum(amps**2)) / 2.0)
+        scale = rms / raw_rms if raw_rms > 0.0 else 0.0
+        self._freqs = freqs
+        self._amps = amps * scale
+        self._phases = phases
+        self._rms = float(rms)
+        peak = int(np.argmax(self._amps))
+        self._dominant = float(freqs[peak])
+        self._dominant_amplitude = float(self._amps[peak])
+
+    def acceleration(self, t: float) -> float:
+        return float(
+            np.sum(self._amps * np.sin(TWO_PI * self._freqs * t + self._phases))
+        )
+
+    def acceleration_array(self, times: np.ndarray) -> np.ndarray:
+        t = np.asarray(times, dtype=float)
+        args = TWO_PI * np.outer(t, self._freqs) + self._phases
+        return np.sin(args) @ self._amps
+
+    def dominant_frequency(self, t: float) -> float:
+        return self._dominant
+
+    def amplitude(self, t: float) -> float:
+        return self._dominant_amplitude
+
+    @property
+    def rms(self) -> float:
+        """Requested RMS acceleration of the whole band, m/s^2."""
+        return self._rms
+
+
+class CompositeVibration(VibrationSource):
+    """Superposition of arbitrary sources.
+
+    Dominant frequency is delegated to the component whose
+    :meth:`~VibrationSource.amplitude` is largest at the queried time,
+    which tracks regime changes when e.g. a drifting tone rides on top
+    of background noise.
+    """
+
+    def __init__(self, sources: Sequence[VibrationSource]):
+        if not sources:
+            raise ModelError("CompositeVibration requires at least one source")
+        self._sources = tuple(sources)
+
+    @property
+    def sources(self) -> tuple[VibrationSource, ...]:
+        return self._sources
+
+    def acceleration(self, t: float) -> float:
+        return sum(source.acceleration(t) for source in self._sources)
+
+    def acceleration_array(self, times: np.ndarray) -> np.ndarray:
+        total = np.zeros(np.shape(times), dtype=float)
+        for source in self._sources:
+            total = total + source.acceleration_array(times)
+        return total
+
+    def dominant_frequency(self, t: float) -> float:
+        best = max(self._sources, key=lambda source: source.amplitude(t))
+        return best.dominant_frequency(t)
+
+    def amplitude(self, t: float) -> float:
+        return max(source.amplitude(t) for source in self._sources)

@@ -1,0 +1,133 @@
+"""Dominant-frequency estimation.
+
+The tuning controller on the real node estimates the dominant ambient
+vibration frequency from a short accelerometer capture before deciding
+whether to spend energy re-tuning the harvester.  Two standard
+estimators are provided:
+
+* :func:`fft_dominant_frequency` — windowed FFT peak pick with parabolic
+  interpolation between bins.  This is what the published tuning
+  controllers use; its resolution is limited by the capture length and
+  improved by the interpolation step.
+* :func:`zero_crossing_frequency` — counts positive-going zero
+  crossings; cheaper on a microcontroller, adequate for clean
+  single-tone inputs, biased for multi-tone input.
+
+:func:`estimate_dominant_frequency` is the convenience front-end used by
+the controller model: it samples a :class:`~repro.vibration.sources.VibrationSource`
+over a capture window and runs the chosen estimator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.vibration.sources import VibrationSource
+
+
+def fft_dominant_frequency(samples: np.ndarray, sample_rate: float) -> float:
+    """Dominant frequency of a real signal by FFT peak with interpolation.
+
+    A Hann window suppresses leakage; the peak bin is refined by fitting
+    a parabola through the log-magnitude of the peak and its neighbours,
+    which recovers sub-bin resolution (standard quadratic interpolation).
+
+    Args:
+        samples: real time-domain samples, length >= 8.
+        sample_rate: sampling rate in Hz.
+
+    Returns:
+        Estimated dominant frequency in Hz (0.0 for an all-zero signal).
+    """
+    samples = np.asarray(samples, dtype=float)
+    if samples.ndim != 1 or samples.size < 8:
+        raise ModelError("need a 1-D capture of at least 8 samples")
+    if sample_rate <= 0.0:
+        raise ModelError(f"sample_rate must be > 0, got {sample_rate}")
+    if not np.any(samples):
+        return 0.0
+    window = np.hanning(samples.size)
+    spectrum = np.abs(np.fft.rfft(samples * window))
+    spectrum[0] = 0.0  # ignore DC
+    peak = int(np.argmax(spectrum))
+    if spectrum[peak] == 0.0:
+        return 0.0
+    # Parabolic interpolation around the peak (guard the edges).
+    if 1 <= peak < spectrum.size - 1:
+        left, centre, right = spectrum[peak - 1 : peak + 2]
+        # Work in log magnitude; add a floor to avoid log(0).
+        floor = 1e-300
+        a = np.log(max(left, floor))
+        b = np.log(max(centre, floor))
+        c = np.log(max(right, floor))
+        denom = a - 2.0 * b + c
+        shift = 0.5 * (a - c) / denom if denom != 0.0 else 0.0
+        shift = float(np.clip(shift, -0.5, 0.5))
+    else:
+        shift = 0.0
+    bin_width = sample_rate / samples.size
+    return (peak + shift) * bin_width
+
+
+def zero_crossing_frequency(samples: np.ndarray, sample_rate: float) -> float:
+    """Frequency estimate from positive-going zero crossings.
+
+    Counts the sign changes from negative to non-negative and divides by
+    the elapsed time between the first and last crossing, which avoids
+    the half-period truncation bias of dividing by the whole window.
+
+    Returns 0.0 when fewer than two crossings are seen.
+    """
+    samples = np.asarray(samples, dtype=float)
+    if samples.ndim != 1 or samples.size < 4:
+        raise ModelError("need a 1-D capture of at least 4 samples")
+    if sample_rate <= 0.0:
+        raise ModelError(f"sample_rate must be > 0, got {sample_rate}")
+    signs = samples >= 0.0
+    rising = np.flatnonzero(~signs[:-1] & signs[1:])
+    if rising.size < 2:
+        return 0.0
+    # Linear interpolation of each crossing instant for sub-sample accuracy.
+    i = rising
+    frac = samples[i] / (samples[i] - samples[i + 1])
+    crossing_times = (i + frac) / sample_rate
+    span = crossing_times[-1] - crossing_times[0]
+    if span <= 0.0:
+        return 0.0
+    return (rising.size - 1) / span
+
+
+def estimate_dominant_frequency(
+    source: VibrationSource,
+    t_start: float,
+    capture_time: float = 0.5,
+    sample_rate: float = 1024.0,
+    method: str = "fft",
+) -> float:
+    """Sample ``source`` over a window and estimate its dominant frequency.
+
+    This mimics the controller firmware: capture ``capture_time`` seconds
+    of accelerometer data at ``sample_rate`` starting at ``t_start``,
+    then run the selected estimator.
+
+    Args:
+        source: the vibration environment.
+        t_start: capture start time, s.
+        capture_time: window length, s (longer = finer FFT resolution).
+        sample_rate: accelerometer sampling rate, Hz.
+        method: ``"fft"`` or ``"zero-crossing"``.
+
+    Returns:
+        Estimated dominant frequency in Hz.
+    """
+    if capture_time <= 0.0:
+        raise ModelError(f"capture_time must be > 0, got {capture_time}")
+    n = max(8, int(round(capture_time * sample_rate)))
+    times = t_start + np.arange(n) / sample_rate
+    samples = source.acceleration_array(times)
+    if method == "fft":
+        return fft_dominant_frequency(samples, sample_rate)
+    if method == "zero-crossing":
+        return zero_crossing_frequency(samples, sample_rate)
+    raise ModelError(f"unknown estimation method {method!r}")

@@ -1,0 +1,312 @@
+"""DoE generators: factorials, fractions, PB, CCD, BBD, LHS, diagnostics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.doe import (
+    box_behnken,
+    central_composite,
+    design_resolution,
+    fractional_factorial,
+    full_factorial,
+    latin_hypercube,
+    plackett_burman,
+    two_level_factorial,
+)
+from repro.core.doe.diagnostics import (
+    condition_number,
+    d_efficiency,
+    design_summary,
+    leverage,
+    max_column_correlation,
+)
+from repro.core.rsm.terms import ModelSpec
+from repro.errors import DesignError
+
+
+class TestTwoLevelFactorial:
+    @pytest.mark.parametrize("k", [1, 2, 3, 5])
+    def test_shape_and_levels(self, k):
+        d = two_level_factorial(k)
+        assert d.matrix.shape == (2**k, k)
+        assert set(np.unique(d.matrix)) == {-1.0, 1.0}
+
+    @given(st.integers(1, 8))
+    def test_balance_property(self, k):
+        d = two_level_factorial(k)
+        # Every column sums to zero (balance).
+        assert np.allclose(d.matrix.sum(axis=0), 0.0)
+
+    @given(st.integers(2, 8))
+    def test_orthogonality_property(self, k):
+        d = two_level_factorial(k)
+        gram = d.matrix.T @ d.matrix
+        assert np.allclose(gram, 2**k * np.eye(k))
+
+    def test_all_runs_distinct(self):
+        d = two_level_factorial(4)
+        assert len({tuple(r) for r in d.matrix}) == 16
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(DesignError):
+            two_level_factorial(0)
+
+    def test_run_cap(self):
+        with pytest.raises(DesignError):
+            two_level_factorial(25)
+
+
+class TestFullFactorial:
+    def test_mixed_levels(self):
+        d = full_factorial([2, 3])
+        assert d.n_runs == 6
+        assert set(np.unique(d.matrix[:, 1])) == {-1.0, 0.0, 1.0}
+
+    def test_rejects_single_level(self):
+        with pytest.raises(DesignError):
+            full_factorial([2, 1])
+
+
+class TestFractionalFactorial:
+    def test_half_fraction_structure(self):
+        d = fractional_factorial(5, ["E=ABCD"])
+        assert d.n_runs == 16
+        assert d.meta["resolution"] == 5
+        # Column E equals the product of A..D on every run.
+        prod = np.prod(d.matrix[:, :4], axis=1)
+        assert np.allclose(d.matrix[:, 4], prod)
+
+    def test_quarter_fraction_resolution(self):
+        d = fractional_factorial(5, ["D=AB", "E=AC"])
+        assert d.n_runs == 8
+        assert d.meta["resolution"] == 3
+        assert len(d.meta["defining_relation"]) == 3
+
+    def test_alias_structure_res3(self):
+        d = fractional_factorial(3, ["C=AB"])
+        # In the 2^(3-1) with I=ABC, A aliases BC.
+        assert "BC" in d.meta["aliases"]["A"]
+
+    def test_res5_mains_clean_of_two_factor(self):
+        d = fractional_factorial(5, ["E=ABCD"])
+        for letter in "ABCDE":
+            assert d.meta["aliases"][letter] == []
+
+    def test_columns_orthogonal(self):
+        d = fractional_factorial(6, ["E=ABC", "F=BCD"])
+        gram = d.matrix.T @ d.matrix
+        assert np.allclose(gram, d.n_runs * np.eye(6))
+
+    @pytest.mark.parametrize(
+        "k,gens",
+        [
+            (3, ["X=AB"]),          # left side not an added factor
+            (3, ["C=A"]),           # rhs too short
+            (3, ["C=AZ"]),          # unknown base letter
+            (4, ["D=AB", "D=AC"]),  # duplicate definition
+            (3, []),                # no generators
+        ],
+    )
+    def test_generator_validation(self, k, gens):
+        with pytest.raises(DesignError):
+            fractional_factorial(k, gens)
+
+    def test_design_resolution_helper(self):
+        words = [frozenset("ABD"), frozenset("ABCE")]
+        assert design_resolution(words) == 3
+
+
+class TestPlackettBurman:
+    @pytest.mark.parametrize("k", [3, 7, 11, 15, 19, 23])
+    def test_sizes(self, k):
+        d = plackett_burman(k)
+        assert d.n_runs % 4 == 0
+        assert d.n_runs > k
+        assert d.matrix.shape[1] == k
+
+    @pytest.mark.parametrize("k", [3, 5, 8, 11, 16, 20, 23])
+    def test_orthogonality(self, k):
+        d = plackett_burman(k)
+        assert max_column_correlation(d) == pytest.approx(0.0, abs=1e-12)
+
+    def test_levels(self):
+        d = plackett_burman(11)
+        assert set(np.unique(d.matrix)) == {-1.0, 1.0}
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(DesignError):
+            plackett_burman(0)
+        with pytest.raises(DesignError):
+            plackett_burman(24)
+
+
+class TestCentralComposite:
+    def test_rotatable_alpha(self):
+        d = central_composite(2, alpha="rotatable", n_center=5)
+        assert d.meta["alpha"] == pytest.approx(4**0.25)
+        assert d.n_runs == 4 + 4 + 5
+
+    def test_face_centered(self):
+        d = central_composite(3, alpha="face")
+        assert d.meta["alpha"] == 1.0
+        assert np.max(np.abs(d.matrix)) == 1.0
+
+    def test_explicit_alpha(self):
+        d = central_composite(2, alpha=1.3)
+        axial = d.matrix[4:8]
+        assert np.max(np.abs(axial)) == pytest.approx(1.3)
+
+    def test_fractional_core_for_five_factors(self):
+        full = central_composite(5, fraction=False)
+        frac = central_composite(5, fraction=True)
+        assert frac.meta["n_factorial"] == 16
+        assert full.meta["n_factorial"] == 32
+        assert frac.n_runs < full.n_runs
+
+    def test_supports_quadratic_model(self):
+        d = central_composite(3, n_center=3)
+        model = ModelSpec.quadratic(3)
+        x = model.build_matrix(d.matrix)
+        assert np.linalg.matrix_rank(x) == model.p
+
+    def test_orthogonal_alpha_positive(self):
+        d = central_composite(3, alpha="orthogonal", n_center=4)
+        assert d.meta["alpha"] > 0.0
+
+    def test_validation(self):
+        with pytest.raises(DesignError):
+            central_composite(1)
+        with pytest.raises(DesignError):
+            central_composite(2, alpha="magic")
+        with pytest.raises(DesignError):
+            central_composite(2, alpha=-1.0)
+        with pytest.raises(DesignError):
+            central_composite(4, fraction=True)  # no built-in res-V core
+
+
+class TestBoxBehnken:
+    @pytest.mark.parametrize("k,expected_runs", [(3, 12), (4, 24), (5, 40)])
+    def test_run_counts(self, k, expected_runs):
+        d = box_behnken(k, n_center=0)
+        assert d.n_runs == expected_runs
+
+    def test_no_corner_points(self):
+        d = box_behnken(4)
+        # Never more than 2 factors away from centre simultaneously.
+        active = np.sum(np.abs(d.matrix) > 0.5, axis=1)
+        assert np.max(active) == 2
+
+    def test_three_levels_only(self):
+        d = box_behnken(3)
+        assert set(np.unique(d.matrix)) <= {-1.0, 0.0, 1.0}
+
+    def test_supports_quadratic_model(self):
+        for k in (3, 5, 6, 7):
+            d = box_behnken(k)
+            model = ModelSpec.quadratic(k)
+            x = model.build_matrix(d.matrix)
+            assert np.linalg.matrix_rank(x) == model.p
+
+    def test_k6_uses_triples(self):
+        d = box_behnken(6, n_center=0)
+        active = np.sum(np.abs(d.matrix) > 0.5, axis=1)
+        assert np.max(active) == 3
+
+    def test_validation(self):
+        with pytest.raises(DesignError):
+            box_behnken(2)
+        with pytest.raises(DesignError):
+            box_behnken(8)
+
+
+class TestLatinHypercube:
+    def test_stratification(self):
+        d = latin_hypercube(20, 3, variant="random", seed=1)
+        for j in range(3):
+            # Exactly one point per stratum of width 2/n.
+            strata = np.floor((d.matrix[:, j] + 1.0) / (2.0 / 20)).astype(int)
+            strata = np.clip(strata, 0, 19)
+            assert sorted(strata) == list(range(20))
+
+    def test_centered_midpoints(self):
+        d = latin_hypercube(10, 2, variant="centered", seed=2)
+        expected = np.sort(2.0 * (np.arange(10) + 0.5) / 10 - 1.0)
+        for j in range(2):
+            assert np.allclose(np.sort(d.matrix[:, j]), expected)
+
+    def test_maximin_no_worse_than_random(self):
+        from repro.core.doe.lhs import _min_pairwise_distance
+
+        rand = latin_hypercube(15, 2, variant="random", seed=3, n_candidates=1)
+        maximin = latin_hypercube(15, 2, variant="maximin", seed=3)
+        assert _min_pairwise_distance(maximin.matrix) >= _min_pairwise_distance(
+            rand.matrix
+        )
+
+    def test_reproducible(self):
+        a = latin_hypercube(12, 4, seed=9)
+        b = latin_hypercube(12, 4, seed=9)
+        assert np.array_equal(a.matrix, b.matrix)
+
+    def test_bounds(self):
+        d = latin_hypercube(30, 5, seed=4)
+        assert np.all(d.matrix >= -1.0) and np.all(d.matrix <= 1.0)
+
+    def test_validation(self):
+        with pytest.raises(DesignError):
+            latin_hypercube(1, 2)
+        with pytest.raises(DesignError):
+            latin_hypercube(5, 0)
+        with pytest.raises(DesignError):
+            latin_hypercube(5, 2, variant="quasi")
+
+
+class TestDesignMethods:
+    def test_with_center_points(self):
+        d = two_level_factorial(2).with_center_points(3)
+        assert d.n_runs == 7
+        assert np.allclose(d.matrix[-3:], 0.0)
+
+    def test_replicated(self):
+        d = two_level_factorial(2).replicated(2)
+        assert d.n_runs == 8
+
+    def test_describe(self):
+        text = central_composite(3).describe()
+        assert "ccd" in text and "alpha" in text
+
+
+class TestDiagnostics:
+    def test_factorial_is_d_optimal_for_linear(self):
+        d = two_level_factorial(3)
+        eff = d_efficiency(d, ModelSpec.linear(3))
+        assert eff == pytest.approx(1.0)
+
+    def test_lhs_less_efficient_than_factorial(self):
+        lhs = latin_hypercube(8, 3, seed=1)
+        fact = two_level_factorial(3)
+        model = ModelSpec.linear(3)
+        assert d_efficiency(lhs, model) < d_efficiency(fact, model)
+
+    def test_leverage_sums_to_p(self):
+        d = central_composite(2, n_center=3)
+        model = ModelSpec.quadratic(2)
+        lev = leverage(d, model)
+        assert np.sum(lev) == pytest.approx(model.p)
+        assert np.all((lev >= 0.0) & (lev <= 1.0 + 1e-12))
+
+    def test_leverage_needs_identifiable_model(self):
+        d = two_level_factorial(2)  # 4 runs
+        with pytest.raises(DesignError):
+            leverage(d, ModelSpec.quadratic(2))  # 6 terms
+
+    def test_condition_number_reasonable(self):
+        d = two_level_factorial(3)
+        assert condition_number(d, ModelSpec.linear(3)) == pytest.approx(1.0)
+
+    def test_design_summary_keys(self):
+        summary = design_summary(central_composite(2))
+        assert {"kind", "n_runs", "max_correlation", "d_efficiency"} <= set(
+            summary
+        )

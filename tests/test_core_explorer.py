@@ -1,0 +1,157 @@
+"""Explorer and toolkit on synthetic evaluators (fast) plus analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.ascii_plot import ascii_contour, ascii_line_plot
+from repro.analysis.io import write_csv
+from repro.analysis.tables import format_table
+from repro.core.doe import central_composite, latin_hypercube
+from repro.core.explorer import DesignExplorer
+from repro.core.factors import DesignSpace, Factor
+from repro.errors import DesignError, FitError, ReproError
+
+
+def _space():
+    return DesignSpace(
+        [Factor("a", 0.0, 2.0), Factor("b", 10.0, 1000.0, transform="log")]
+    )
+
+
+def _evaluator(point):
+    a = point["a"]
+    b = np.log10(point["b"])
+    return {
+        "y1": 3.0 + a**2 - b,
+        "y2": a * b,
+    }
+
+
+class TestDesignExplorer:
+    def setup_method(self):
+        self.explorer = DesignExplorer(_space(), _evaluator, ["y1", "y2"])
+
+    def test_run_design_collects_all_responses(self):
+        design = central_composite(2, alpha="face", n_center=2)
+        result = self.explorer.run_design(design)
+        assert result.n_runs == design.n_runs
+        assert set(result.responses) == {"y1", "y2"}
+        assert result.total_seconds >= 0.0
+
+    def test_fit_and_predict(self):
+        design = central_composite(2, alpha="face", n_center=2)
+        result = self.explorer.run_design(design)
+        surfaces = self.explorer.fit_surfaces(result, model="quadratic")
+        # y1 is quadratic in coded units too (linear transform on 'a');
+        # prediction at a fresh point should be accurate.
+        point = np.array([[0.37, -0.42]])
+        physical = _space().point_to_dict(point[0])
+        truth = _evaluator(physical)["y1"]
+        assert surfaces["y1"].predict(point)[0] == pytest.approx(
+            truth, rel=0.02
+        )
+
+    def test_validation_report(self):
+        result = self.explorer.run_design(
+            central_composite(2, alpha="face", n_center=2)
+        )
+        surfaces = self.explorer.fit_surfaces(result)
+        report = self.explorer.validate(surfaces, n_points=8, seed=3)
+        assert set(report.metrics) == {"y1", "y2"}
+        for metric in report.metrics.values():
+            assert metric["rmse"] >= 0.0
+
+    def test_anova_per_response(self):
+        result = self.explorer.run_design(
+            central_composite(2, alpha="face", n_center=3)
+        )
+        surfaces = self.explorer.fit_surfaces(result)
+        tables = self.explorer.anova(surfaces)
+        assert set(tables) == {"y1", "y2"}
+
+    def test_stepwise_path(self):
+        result = self.explorer.run_design(
+            central_composite(2, alpha="face", n_center=3)
+        )
+        surfaces = self.explorer.fit_surfaces(result, stepwise_alpha=0.05)
+        # y2 = a*b has no pure quadratic terms: stepwise should shrink.
+        assert surfaces["y2"].model.p < 6
+
+    def test_wrong_design_width_rejected(self):
+        with pytest.raises(DesignError):
+            self.explorer.run_design(central_composite(3))
+
+    def test_evaluator_must_cover_responses(self):
+        explorer = DesignExplorer(
+            _space(), lambda p: {"y1": 0.0}, ["y1", "y2"]
+        )
+        with pytest.raises(DesignError, match="omitted"):
+            explorer.run_design(latin_hypercube(4, 2, seed=0))
+
+    def test_duplicate_responses_rejected(self):
+        with pytest.raises(DesignError):
+            DesignExplorer(_space(), _evaluator, ["y1", "y1"])
+
+    def test_unknown_model_rejected(self):
+        result = self.explorer.run_design(latin_hypercube(10, 2, seed=0))
+        with pytest.raises(FitError):
+            self.explorer.fit_surfaces(result, model="septic")
+
+
+class TestTables:
+    def test_alignment_and_nan(self):
+        text = format_table(
+            ["name", "value"],
+            [["alpha", 1.5], ["beta", float("nan")]],
+            title="demo",
+        )
+        assert "demo" in text
+        assert "alpha" in text and "-" in text
+
+    def test_row_width_checked(self):
+        with pytest.raises(ReproError):
+            format_table(["a", "b"], [[1]])
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(ReproError):
+            format_table([], [])
+
+
+class TestAsciiPlots:
+    def test_line_plot_contains_markers(self):
+        x = np.linspace(0, 1, 50)
+        text = ascii_line_plot(
+            {"rise": (x, x), "fall": (x, 1 - x)}, title="t"
+        )
+        assert "o rise" in text and "x fall" in text
+
+    def test_line_plot_rejects_empty(self):
+        with pytest.raises(ReproError):
+            ascii_line_plot({})
+
+    def test_contour_shades(self):
+        grid = np.outer(np.linspace(0, 1, 10), np.linspace(0, 1, 10))
+        text = ascii_contour(grid, (0, 1), (0, 1))
+        assert "@" in text  # the hottest shade appears
+
+    def test_contour_rejects_bad_grid(self):
+        with pytest.raises(ReproError):
+            ascii_contour(np.zeros((0, 0)), (0, 1), (0, 1))
+
+
+class TestCsv:
+    def test_write_and_readback(self, tmp_path):
+        path = write_csv(
+            "demo.csv",
+            {"x": [1.0, 2.0], "y": [3.0, 4.0]},
+            directory=str(tmp_path),
+        )
+        content = open(path).read().splitlines()
+        assert content[0] == "x,y"
+        assert len(content) == 3
+
+    def test_length_mismatch_rejected(self, tmp_path):
+        with pytest.raises(ReproError):
+            write_csv(
+                "bad.csv", {"x": [1.0], "y": [1.0, 2.0]}, directory=str(tmp_path)
+            )

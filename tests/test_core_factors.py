@@ -1,0 +1,128 @@
+"""Factors, design space, coded/physical transforms."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.factors import DesignSpace, Factor, canonical_space
+from repro.errors import DesignError
+
+
+class TestFactor:
+    def test_linear_endpoints(self):
+        f = Factor("c", 0.1, 1.0)
+        assert f.to_physical(-1.0) == pytest.approx(0.1)
+        assert f.to_physical(1.0) == pytest.approx(1.0)
+        assert f.centre == pytest.approx(0.55)
+
+    def test_log_endpoints_and_centre(self):
+        f = Factor("t", 2.0, 60.0, transform="log")
+        assert f.to_physical(-1.0) == pytest.approx(2.0)
+        assert f.to_physical(1.0) == pytest.approx(60.0)
+        assert f.centre == pytest.approx(np.sqrt(120.0))  # geometric mean
+
+    @given(st.floats(-1.0, 1.0))
+    def test_linear_roundtrip(self, coded):
+        f = Factor("x", -3.0, 7.0)
+        assert f.to_coded(f.to_physical(coded)) == pytest.approx(
+            coded, abs=1e-12
+        )
+
+    @given(st.floats(-1.0, 1.0))
+    def test_log_roundtrip(self, coded):
+        f = Factor("x", 0.5, 500.0, transform="log")
+        assert f.to_coded(f.to_physical(coded)) == pytest.approx(
+            coded, abs=1e-9
+        )
+
+    def test_integer_rounding(self):
+        f = Factor("bits", 64, 1024, transform="log", integer=True)
+        value = f.to_physical(0.3)
+        assert value == round(value)
+
+    def test_validation(self):
+        with pytest.raises(DesignError):
+            Factor("x", 2.0, 1.0)
+        with pytest.raises(DesignError):
+            Factor("x", -1.0, 1.0, transform="log")
+        with pytest.raises(DesignError):
+            Factor("x", 0.0, 1.0, transform="exp")
+        with pytest.raises(DesignError):
+            Factor("", 0.0, 1.0)
+
+    def test_log_encode_rejects_nonpositive(self):
+        f = Factor("x", 1.0, 10.0, transform="log")
+        with pytest.raises(DesignError):
+            f.to_coded(-2.0)
+
+
+class TestDesignSpace:
+    def setup_method(self):
+        self.space = DesignSpace(
+            [Factor("a", 0.0, 10.0), Factor("b", 1.0, 100.0, transform="log")]
+        )
+
+    def test_basic_properties(self):
+        assert self.space.k == 2
+        assert self.space.names == ("a", "b")
+        assert self.space["a"].low == 0.0
+        assert self.space.index("b") == 1
+
+    def test_matrix_roundtrip(self):
+        coded = np.array([[-1.0, 0.0], [0.5, 1.0]])
+        physical = self.space.to_physical(coded)
+        back = self.space.to_coded(physical)
+        assert np.allclose(back, coded, atol=1e-9)
+
+    def test_point_dict_roundtrip(self):
+        row = np.array([0.25, -0.5])
+        point = self.space.point_to_dict(row)
+        assert set(point) == {"a", "b"}
+        back = self.space.dict_to_coded(point)
+        assert np.allclose(back, row, atol=1e-9)
+
+    def test_missing_factors_default_to_centre(self):
+        row = self.space.dict_to_coded({"a": 5.0})
+        assert row[1] == 0.0
+
+    def test_unknown_factor_rejected(self):
+        with pytest.raises(DesignError):
+            self.space.dict_to_coded({"zzz": 1.0})
+        with pytest.raises(DesignError):
+            self.space["zzz"]
+        with pytest.raises(DesignError):
+            self.space.index("zzz")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(DesignError):
+            DesignSpace([Factor("a", 0, 1), Factor("a", 0, 1)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(DesignError):
+            DesignSpace([])
+
+    def test_wrong_width_rejected(self):
+        with pytest.raises(DesignError):
+            self.space.to_physical(np.zeros((3, 5)))
+
+    def test_clip(self):
+        clipped = self.space.clip(np.array([[2.0, -3.0]]))
+        assert np.array_equal(clipped, [[1.0, -1.0]])
+
+
+class TestCanonicalSpace:
+    def test_five_factors(self):
+        space = canonical_space()
+        assert space.k == 5
+        assert "capacitance" in space.names
+        assert "payload_bits" in space.names
+
+    def test_payload_is_integer(self):
+        space = canonical_space()
+        value = space["payload_bits"].to_physical(0.123)
+        assert value == round(value)
+
+    def test_log_factors(self):
+        space = canonical_space()
+        assert space["tx_interval"].transform == "log"
+        assert space["check_interval"].transform == "log"

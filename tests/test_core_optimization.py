@@ -1,0 +1,236 @@
+"""Desirability, Pareto, and RSM-based optimizers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.desirability import CompositeDesirability, Desirability
+from repro.core.doe import latin_hypercube
+from repro.core.optimize import optimize_desirability, optimize_surface
+from repro.core.pareto import hypervolume_2d, pareto_front
+from repro.core.rsm import ModelSpec, fit_response_surface
+from repro.errors import OptimizationError
+
+
+class TestDesirability:
+    def test_maximize_ramp(self):
+        d = Desirability("maximize", 0.0, 10.0)
+        assert d(-1.0) == 0.0
+        assert d(5.0) == pytest.approx(0.5)
+        assert d(12.0) == 1.0
+
+    def test_minimize_ramp(self):
+        d = Desirability("minimize", 0.0, 0.1)
+        assert d(0.0) == 1.0
+        assert d(0.05) == pytest.approx(0.5)
+        assert d(0.2) == 0.0
+
+    def test_target_peak(self):
+        d = Desirability("target", 2.0, 4.0, target=3.0)
+        assert d(3.0) == 1.0
+        assert d(2.5) == pytest.approx(0.5)
+        assert d(3.5) == pytest.approx(0.5)
+        assert d(1.0) == 0.0 and d(5.0) == 0.0
+
+    def test_weight_shapes_ramp(self):
+        strict = Desirability("maximize", 0.0, 1.0, weight=3.0)
+        lax = Desirability("maximize", 0.0, 1.0, weight=0.5)
+        assert strict(0.5) < 0.5 < lax(0.5)
+
+    @given(st.floats(-100, 100))
+    def test_bounded_property(self, value):
+        for d in (
+            Desirability("maximize", -1.0, 1.0),
+            Desirability("minimize", -1.0, 1.0),
+            Desirability("target", -1.0, 1.0, target=0.0),
+        ):
+            assert 0.0 <= d(value) <= 1.0
+
+    @given(st.floats(-10, 10), st.floats(-10, 10))
+    def test_maximize_monotone(self, a, b):
+        d = Desirability("maximize", -5.0, 5.0)
+        lo, hi = sorted((a, b))
+        assert d(lo) <= d(hi)
+
+    def test_validation(self):
+        with pytest.raises(OptimizationError):
+            Desirability("maximize", 1.0, 0.0)
+        with pytest.raises(OptimizationError):
+            Desirability("target", 0.0, 1.0)  # missing target
+        with pytest.raises(OptimizationError):
+            Desirability("target", 0.0, 1.0, target=2.0)
+        with pytest.raises(OptimizationError):
+            Desirability("maximize", 0.0, 1.0, target=0.5)
+        with pytest.raises(OptimizationError):
+            Desirability("best", 0.0, 1.0)
+
+
+class TestCompositeDesirability:
+    def _composite(self):
+        return CompositeDesirability(
+            {
+                "rate": Desirability("maximize", 0.0, 10.0),
+                "downtime": Desirability("minimize", 0.0, 0.1),
+            }
+        )
+
+    def test_geometric_mean(self):
+        comp = self._composite()
+        score = comp({"rate": 5.0, "downtime": 0.05})
+        assert score == pytest.approx(np.sqrt(0.5 * 0.5))
+
+    def test_zero_vetoes(self):
+        comp = self._composite()
+        assert comp({"rate": 20.0, "downtime": 0.5}) == 0.0
+
+    def test_importance_weights(self):
+        weighted = CompositeDesirability(
+            {
+                "a": Desirability("maximize", 0.0, 1.0),
+                "b": Desirability("maximize", 0.0, 1.0),
+            },
+            importances={"a": 3.0},
+        )
+        # a=1 (good), b=0.25 (poor): weighting toward a raises score
+        # above the unweighted geometric mean.
+        unweighted = CompositeDesirability(
+            {
+                "a": Desirability("maximize", 0.0, 1.0),
+                "b": Desirability("maximize", 0.0, 1.0),
+            }
+        )
+        values = {"a": 1.0, "b": 0.25}
+        assert weighted(values) > unweighted(values)
+
+    def test_missing_response_rejected(self):
+        with pytest.raises(OptimizationError):
+            self._composite()({"rate": 1.0})
+
+    def test_validation(self):
+        with pytest.raises(OptimizationError):
+            CompositeDesirability({})
+        with pytest.raises(OptimizationError):
+            CompositeDesirability(
+                {"a": Desirability("maximize", 0, 1)},
+                importances={"zzz": 1.0},
+            )
+
+
+class TestParetoFront:
+    def test_simple_front(self):
+        obj = np.array(
+            [
+                [1.0, 1.0],  # dominated by [2, 2]
+                [2.0, 2.0],
+                [3.0, 0.5],
+                [0.5, 3.0],
+            ]
+        )
+        idx = pareto_front(obj, [True, True])
+        assert set(idx) == {1, 2, 3}
+
+    def test_direction_flip(self):
+        obj = np.array([[1.0, 1.0], [2.0, 2.0]])
+        assert set(pareto_front(obj, [True, False])) == {0, 1}
+
+    def test_front_is_mutually_nondominated(self):
+        rng = np.random.default_rng(21)
+        obj = rng.uniform(0, 1, (60, 3))
+        idx = pareto_front(obj, [True, True, False])
+        front = obj[idx]
+        signs = np.array([1.0, 1.0, -1.0])
+        work = front * signs
+        for i in range(len(front)):
+            for j in range(len(front)):
+                if i == j:
+                    continue
+                dominates = np.all(work[j] >= work[i]) and np.any(
+                    work[j] > work[i]
+                )
+                assert not dominates
+
+    def test_duplicates_kept(self):
+        obj = np.array([[1.0, 1.0], [1.0, 1.0]])
+        assert len(pareto_front(obj, [True, True])) == 2
+
+    def test_nonfinite_rejected(self):
+        with pytest.raises(OptimizationError):
+            pareto_front(np.array([[np.nan, 1.0]]), [True, True])
+
+    def test_hypervolume_known_case(self):
+        obj = np.array([[1.0, 2.0], [2.0, 1.0]])
+        hv = hypervolume_2d(obj, [True, True], reference=[0.0, 0.0])
+        # Union of 1x2 and 2x1 rectangles = 3.
+        assert hv == pytest.approx(3.0)
+
+    def test_hypervolume_monotone_in_points(self):
+        base = np.array([[1.0, 1.0]])
+        more = np.array([[1.0, 1.0], [2.0, 0.5]])
+        ref = [0.0, 0.0]
+        assert hypervolume_2d(more, [True, True], ref) >= hypervolume_2d(
+            base, [True, True], ref
+        )
+
+
+class TestOptimizeSurface:
+    def _surface(self):
+        x = latin_hypercube(40, 2, seed=20).matrix
+        y = -((x[:, 0] - 0.3) ** 2) - 2 * (x[:, 1] + 0.2) ** 2
+        return fit_response_surface(x, y, ModelSpec.quadratic(2))
+
+    def test_finds_interior_maximum(self):
+        outcome = optimize_surface(self._surface(), maximize=True)
+        assert outcome.x_coded == pytest.approx([0.3, -0.2], abs=1e-3)
+        assert outcome.value == pytest.approx(0.0, abs=1e-6)
+
+    def test_minimize_runs_to_boundary(self):
+        outcome = optimize_surface(self._surface(), maximize=False)
+        assert np.any(np.abs(outcome.x_coded) >= 1.0 - 1e-6)
+
+    def test_stays_in_box(self):
+        outcome = optimize_surface(self._surface(), maximize=False)
+        assert np.all(np.abs(outcome.x_coded) <= 1.0 + 1e-9)
+
+    def test_validation(self):
+        with pytest.raises(OptimizationError):
+            optimize_surface(self._surface(), points_per_axis=1)
+
+
+class TestOptimizeDesirability:
+    def _surfaces(self):
+        x = latin_hypercube(40, 2, seed=22).matrix
+        rate = 5.0 + 4.0 * x[:, 0]
+        downtime = 0.05 + 0.04 * x[:, 0] - 0.02 * x[:, 1]
+        return {
+            "rate": fit_response_surface(x, rate, ModelSpec.quadratic(2)),
+            "downtime": fit_response_surface(
+                x, downtime, ModelSpec.quadratic(2)
+            ),
+        }
+
+    def test_balances_conflicting_goals(self):
+        comp = CompositeDesirability(
+            {
+                "rate": Desirability("maximize", 0.0, 10.0),
+                "downtime": Desirability("minimize", 0.0, 0.1),
+            }
+        )
+        outcome = optimize_desirability(self._surfaces(), comp)
+        assert 0.0 < outcome.value <= 1.0
+        # x2 only helps downtime: must be pushed high.
+        assert outcome.x_coded[1] == pytest.approx(1.0, abs=1e-3)
+        assert set(outcome.responses) == {"rate", "downtime"}
+
+    def test_unsatisfiable_raises(self):
+        comp = CompositeDesirability(
+            {"rate": Desirability("maximize", 100.0, 200.0)}
+        )
+        with pytest.raises(OptimizationError, match="zero everywhere"):
+            optimize_desirability(self._surfaces(), comp)
+
+    def test_missing_surface_rejected(self):
+        comp = CompositeDesirability(
+            {"bogus": Desirability("maximize", 0.0, 1.0)}
+        )
+        with pytest.raises(OptimizationError, match="no surface"):
+            optimize_desirability(self._surfaces(), comp)

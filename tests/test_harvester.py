@@ -1,0 +1,227 @@
+"""Harvester parameters, microgenerator mechanics, tuning, actuator."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ModelError
+from repro.harvester.actuator import TuningActuator
+from repro.harvester.microgenerator import MechanicalState, Microgenerator
+from repro.harvester.parameters import (
+    MicrogeneratorParameters,
+    default_parameters,
+    scaled_parameters,
+)
+from repro.harvester.tuning import MagneticTuningLaw, TunableHarvester
+
+
+class TestParameters:
+    def test_derived_quantities_consistent(self):
+        p = default_parameters()
+        assert p.spring_constant == pytest.approx(
+            p.mass * (2 * math.pi * p.natural_frequency) ** 2
+        )
+        assert p.quality_factor == pytest.approx(1 / (2 * p.damping_ratio))
+        assert p.parasitic_damping == pytest.approx(
+            2 * p.damping_ratio * p.mass * p.angular_frequency
+        )
+
+    def test_replace_revalidates(self):
+        p = default_parameters()
+        q = p.replace(mass=1e-3)
+        assert q.mass == 1e-3
+        with pytest.raises(ModelError):
+            p.replace(mass=-1.0)
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("mass", 0.0),
+            ("natural_frequency", -5.0),
+            ("damping_ratio", 0.0),
+            ("damping_ratio", 1.5),
+            ("transduction_factor", 0.0),
+            ("coil_resistance", -1.0),
+            ("coil_inductance", 0.0),
+            ("max_displacement", 0.0),
+            ("end_stop_stiffness_ratio", -2.0),
+        ],
+    )
+    def test_validation(self, field, value):
+        with pytest.raises(ModelError):
+            default_parameters().replace(**{field: value})
+
+    def test_electrical_damping_decreases_with_load(self):
+        p = default_parameters()
+        assert p.electrical_damping(100.0) > p.electrical_damping(10000.0)
+
+    def test_scaled_parameters_frequency_scaling(self):
+        small = scaled_parameters(0.5)
+        # f ~ sqrt(k/m) ~ sqrt(s / s^3) = 1/s.
+        assert small.natural_frequency == pytest.approx(
+            default_parameters().natural_frequency / 0.5, rel=1e-9
+        )
+
+    def test_summary_mentions_key_values(self):
+        text = default_parameters().summary()
+        assert "Hz" in text and "ohm" in text
+
+
+class TestMicrogenerator:
+    def setup_method(self):
+        self.gen = Microgenerator(default_parameters())
+
+    def test_end_stop_free_region(self):
+        z_max = self.gen.params.max_displacement
+        assert self.gen.end_stop_force(0.5 * z_max) == 0.0
+        assert self.gen.end_stop_region(0.5 * z_max) == 0
+
+    def test_end_stop_engages_symmetric(self):
+        z_max = self.gen.params.max_displacement
+        up = self.gen.end_stop_force(1.2 * z_max)
+        down = self.gen.end_stop_force(-1.2 * z_max)
+        assert up > 0.0
+        assert down == pytest.approx(-up)
+        assert self.gen.end_stop_region(1.2 * z_max) == 1
+        assert self.gen.end_stop_region(-1.2 * z_max) == -1
+
+    def test_restoring_acceleration_sign(self):
+        state = MechanicalState(displacement=1e-4, velocity=0.0)
+        acc = self.gen.acceleration(state, coil_current=0.0, base_acceleration=0.0)
+        assert acc < 0.0  # spring pulls back
+
+    def test_em_reaction_opposes_current(self):
+        state = MechanicalState(displacement=0.0, velocity=0.0)
+        base = self.gen.acceleration(state, 0.0, 0.0)
+        with_current = self.gen.acceleration(state, 1e-3, 0.0)
+        assert with_current < base
+
+    def test_emf_proportional_to_velocity(self):
+        assert self.gen.emf(0.1) == pytest.approx(
+            self.gen.params.transduction_factor * 0.1
+        )
+
+    def test_transduced_power_identity(self):
+        # P = EMF * i.
+        assert self.gen.transduced_power(0.05, 2e-3) == pytest.approx(
+            self.gen.emf(0.05) * 2e-3
+        )
+
+    def test_stored_energy_nonnegative(self):
+        state = MechanicalState(displacement=1e-4, velocity=0.02)
+        assert self.gen.stored_energy(state, 1e-3) > 0.0
+
+    def test_rejects_nonpositive_stiffness(self):
+        state = MechanicalState(0.0, 0.0)
+        with pytest.raises(ModelError):
+            self.gen.acceleration(state, 0.0, 0.0, k_eff=0.0)
+
+
+class TestTuningLaw:
+    def setup_method(self):
+        self.law = MagneticTuningLaw()
+
+    def test_monotonic_decreasing_in_gap(self):
+        gaps = np.linspace(self.law.gap_min, self.law.gap_max, 50)
+        freqs = [self.law.frequency_for_gap(g) for g in gaps]
+        assert all(a >= b for a, b in zip(freqs, freqs[1:]))
+
+    def test_band_limits(self):
+        lo, hi = self.law.achievable_band
+        assert self.law.f_min < lo < hi < self.law.f_max
+
+    @given(st.floats(64.5, 77.0))
+    def test_roundtrip_inverse(self, freq):
+        lo, hi = self.law.achievable_band
+        target = min(max(freq, lo), hi)
+        gap = self.law.gap_for_frequency(target)
+        assert self.law.frequency_for_gap(gap) == pytest.approx(
+            target, abs=1e-6
+        )
+
+    def test_out_of_band_clamps_to_stops(self):
+        assert self.law.gap_for_frequency(10.0) == self.law.gap_max
+        assert self.law.gap_for_frequency(500.0) == self.law.gap_min
+
+    def test_added_stiffness_positive_and_monotonic(self):
+        m = 5e-3
+        near = self.law.added_stiffness(self.law.gap_min, m)
+        far = self.law.added_stiffness(self.law.gap_max, m)
+        assert near > far >= 0.0
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            MagneticTuningLaw(f_min=70.0, f_max=60.0)
+        with pytest.raises(ModelError):
+            MagneticTuningLaw(gap_half=-1.0)
+
+
+class TestActuator:
+    def setup_method(self):
+        self.act = TuningActuator()
+
+    def test_zero_move_is_free(self):
+        duration, energy = self.act.move_cost(0.01, 0.01)
+        assert duration == 0.0 and energy == 0.0
+
+    def test_cost_scales_with_distance(self):
+        d1, e1 = self.act.move_cost(0.005, 0.010)
+        d2, e2 = self.act.move_cost(0.005, 0.015)
+        assert d2 == pytest.approx(2 * d1)
+        # Energy has a fixed overhead, so strictly between 1x and 2x.
+        assert e1 < e2 < 2 * e1
+
+    def test_cost_symmetric(self):
+        assert self.act.move_cost(0.005, 0.015) == self.act.move_cost(
+            0.015, 0.005
+        )
+
+    def test_trajectory_saturates_at_target(self):
+        gap = self.act.gap_trajectory(0.005, 0.010, t=1e9)
+        assert gap == pytest.approx(0.010)
+
+    def test_trajectory_speed(self):
+        g0, g1 = 0.005, 0.010
+        t = 2.0
+        expected = g0 + self.act.speed * t
+        assert self.act.gap_trajectory(g0, g1, t) == pytest.approx(expected)
+
+    def test_moving_power(self):
+        assert self.act.moving_power == pytest.approx(
+            self.act.speed * self.act.energy_per_metre
+        )
+
+    def test_clamps_to_travel(self):
+        assert self.act.clamp(1.0) == self.act.gap_travel_max
+        assert self.act.clamp(0.0) == self.act.gap_travel_min
+
+
+class TestTunableHarvester:
+    def test_default_composition(self):
+        h = TunableHarvester()
+        assert h.resonant_frequency(h.default_gap()) == pytest.approx(
+            h.tuning.achievable_band[0]
+        )
+
+    def test_frequency_mismatch_raises(self):
+        params = default_parameters().replace(natural_frequency=50.0)
+        with pytest.raises(ModelError):
+            TunableHarvester(params=params)
+
+    def test_effective_stiffness_matches_frequency(self):
+        h = TunableHarvester()
+        gap = 5e-3
+        k = h.effective_stiffness(gap)
+        f = h.resonant_frequency(gap)
+        assert math.sqrt(k / h.params.mass) / (2 * math.pi) == pytest.approx(f)
+
+    def test_retune_cost_clamps_gaps(self):
+        h = TunableHarvester()
+        duration, energy = h.retune_cost(-1.0, 1.0)
+        expected_distance = h.tuning.gap_max - h.tuning.gap_min
+        assert duration == pytest.approx(
+            expected_distance / h.actuator.speed
+        )
+        assert energy > 0.0

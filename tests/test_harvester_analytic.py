@@ -1,0 +1,146 @@
+"""Closed-form steady-state solutions and their identities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ModelError
+from repro.harvester import analytic
+from repro.harvester.parameters import MicrogeneratorParameters, default_parameters
+
+
+class TestPowerBalance:
+    def test_identity_at_default(self):
+        p = default_parameters()
+        balance = analytic.power_balance(p, 0.6, 64.0, 5000.0)
+        assert balance["input"] == pytest.approx(
+            balance["load"] + balance["coil_loss"] + balance["parasitic"]
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.floats(0.1, 2.0),
+        st.floats(30.0, 120.0),
+        st.floats(10.0, 1e6),
+    )
+    def test_identity_property(self, amp, freq, load):
+        p = default_parameters()
+        balance = analytic.power_balance(p, amp, freq, load)
+        total = balance["load"] + balance["coil_loss"] + balance["parasitic"]
+        assert balance["input"] == pytest.approx(total, rel=1e-9)
+        assert all(v >= 0.0 for v in balance.values())
+
+
+class TestResonance:
+    def test_peak_power_near_resonance(self):
+        p = default_parameters()
+        freqs = np.linspace(55.0, 75.0, 400)
+        powers = analytic.power_vs_frequency(p, 0.6, freqs, 5000.0)
+        peak = freqs[np.argmax(powers)]
+        assert peak == pytest.approx(p.natural_frequency, abs=0.5)
+
+    def test_tuned_resonance_moves_peak(self):
+        p = default_parameters()
+        freqs = np.linspace(60.0, 85.0, 600)
+        powers = analytic.power_vs_frequency(p, 0.6, freqs, 5000.0, resonance=75.0)
+        peak = freqs[np.argmax(powers)]
+        assert peak == pytest.approx(75.0, abs=0.5)
+
+    def test_off_resonance_much_weaker_lightly_loaded(self):
+        # With a light load the bandwidth is parasitic-limited (~1 Hz
+        # at Q=62), so 6 Hz off resonance loses well over 10x.
+        p = default_parameters()
+        at_res = analytic.load_power(p, 0.6, 64.0, 1.0e6)
+        off = analytic.load_power(p, 0.6, 70.0, 1.0e6)
+        assert off < 0.1 * at_res
+
+    def test_heavy_load_widens_response(self):
+        # The corollary: a heavily loaded harvester keeps a larger
+        # fraction of its power off resonance than a light one.
+        p = default_parameters()
+        heavy_ratio = analytic.load_power(p, 0.6, 70.0, 5.0e3) / (
+            analytic.load_power(p, 0.6, 64.0, 5.0e3)
+        )
+        light_ratio = analytic.load_power(p, 0.6, 70.0, 1.0e6) / (
+            analytic.load_power(p, 0.6, 64.0, 1.0e6)
+        )
+        assert heavy_ratio > light_ratio
+
+
+class TestOptimalLoad:
+    def test_optimum_beats_neighbors(self):
+        p = default_parameters()
+        r_opt = analytic.optimal_load_resistance(p, 0.6, 64.0)
+        best = analytic.load_power(p, 0.6, 64.0, r_opt)
+        assert best >= analytic.load_power(p, 0.6, 64.0, r_opt * 2)
+        assert best >= analytic.load_power(p, 0.6, 64.0, r_opt / 2)
+
+    def test_below_theoretical_bound(self):
+        p = default_parameters()
+        r_opt = analytic.optimal_load_resistance(p, 0.6, 64.0)
+        best = analytic.load_power(p, 0.6, 64.0, r_opt)
+        assert best <= analytic.max_power_bound(p, 0.6)
+
+    def test_bound_scales_with_amplitude_squared(self):
+        p = default_parameters()
+        assert analytic.max_power_bound(p, 1.0) == pytest.approx(
+            4 * analytic.max_power_bound(p, 0.5)
+        )
+
+
+class TestDisplacement:
+    def test_open_circuit_amplitude(self):
+        # At resonance with negligible electrical damping:
+        # Z = A / (2 zeta w_n^2).
+        p = default_parameters()
+        z = analytic.displacement_amplitude(p, 0.6, 64.0, 1e9)
+        expected = 0.6 / (2 * p.damping_ratio * p.angular_frequency**2)
+        assert z == pytest.approx(expected, rel=0.01)
+
+    def test_loaded_amplitude_smaller(self):
+        p = default_parameters()
+        open_c = analytic.displacement_amplitude(p, 0.6, 64.0, 1e9)
+        loaded = analytic.displacement_amplitude(p, 0.6, 64.0, 1000.0)
+        assert loaded < open_c
+
+    def test_short_circuit_damps_most(self):
+        p = default_parameters()
+        short = analytic.displacement_amplitude(p, 0.6, 64.0, 0.0)
+        loaded = analytic.displacement_amplitude(p, 0.6, 64.0, 10000.0)
+        assert short < loaded
+
+
+class TestBandwidth:
+    def test_half_power_bandwidth_reasonable(self):
+        # Parasitic-only bandwidth is f/Q; the loaded value must exceed it.
+        p = default_parameters()
+        bw = analytic.half_power_bandwidth(p, 0.6, 5000.0)
+        assert bw >= p.natural_frequency / p.quality_factor * 0.9
+        assert bw < 20.0
+
+    def test_heavier_damping_widens(self):
+        p = default_parameters()
+        heavy = p.replace(damping_ratio=0.05)
+        assert analytic.half_power_bandwidth(
+            heavy, 0.6, 5000.0
+        ) > analytic.half_power_bandwidth(p, 0.6, 5000.0)
+
+
+class TestValidation:
+    def test_rejects_negative_amplitude(self):
+        with pytest.raises(ModelError):
+            analytic.load_power(default_parameters(), -1.0, 64.0, 100.0)
+
+    def test_rejects_zero_frequency(self):
+        with pytest.raises(ModelError):
+            analytic.load_power(default_parameters(), 1.0, 0.0, 100.0)
+
+    def test_rejects_negative_load(self):
+        with pytest.raises(ModelError):
+            analytic.load_power(default_parameters(), 1.0, 64.0, -5.0)
+
+    def test_rejects_bad_resonance(self):
+        with pytest.raises(ModelError):
+            analytic.displacement_amplitude(
+                default_parameters(), 1.0, 64.0, 100.0, resonance=-3.0
+            )

@@ -1,0 +1,150 @@
+"""MCU, radio, sensor, task cycle, node composition."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.node.mcu import MCUModel
+from repro.node.node import SensorNode
+from repro.node.policies import FixedPeriodPolicy
+from repro.node.radio import RadioModel
+from repro.node.sensing import SensorModel
+from repro.node.tasks import measurement_phases, phases_duration, phases_energy
+
+
+class TestMCU:
+    def test_powers_scale_with_rail(self):
+        mcu = MCUModel()
+        assert mcu.active_power(3.0) == pytest.approx(mcu.active_current * 3.0)
+        assert mcu.sleep_power(3.0) < mcu.active_power(3.0)
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            MCUModel(sleep_current=-1e-6)
+        with pytest.raises(ModelError):
+            MCUModel(active_current=1e-6, sleep_current=2e-6)
+        with pytest.raises(ModelError):
+            MCUModel().active_power(0.0)
+
+
+class TestRadio:
+    def setup_method(self):
+        self.radio = RadioModel()
+
+    def test_airtime_scales_with_payload(self):
+        assert self.radio.airtime(1024) > self.radio.airtime(128)
+
+    def test_airtime_value(self):
+        # (256 + 144) bits at 250 kbit/s = 1.6 ms.
+        assert self.radio.airtime(256) == pytest.approx(400 / 250e3)
+
+    def test_tx_time_includes_startup(self):
+        assert self.radio.tx_time(256) == pytest.approx(
+            self.radio.startup_time + self.radio.airtime(256)
+        )
+
+    def test_tx_energy(self):
+        e = self.radio.tx_energy(256, 3.0)
+        assert e == pytest.approx(
+            self.radio.tx_power(3.0) * self.radio.tx_time(256)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            self.radio.airtime(0)
+        with pytest.raises(ModelError):
+            RadioModel(bitrate=0.0)
+
+
+class TestSensor:
+    def test_energy(self):
+        s = SensorModel()
+        assert s.energy(3.0) == pytest.approx(
+            s.power(3.0) * s.acquisition_time
+        )
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            SensorModel(current=0.0)
+        with pytest.raises(ModelError):
+            SensorModel().power(-3.0)
+
+
+class TestTaskCycle:
+    def setup_method(self):
+        self.mcu = MCUModel()
+        self.radio = RadioModel()
+        self.sensor = SensorModel()
+        self.phases = measurement_phases(
+            self.mcu, self.radio, self.sensor, payload_bits=256, v_rail=3.0
+        )
+
+    def test_phase_order(self):
+        names = [p.name for p in self.phases]
+        assert names == ["wake", "sense", "process", "tx"]
+
+    def test_tx_phase_is_most_powerful(self):
+        by_name = {p.name: p for p in self.phases}
+        assert by_name["tx"].power == max(p.power for p in self.phases)
+
+    def test_sense_stacks_peripheral_on_mcu(self):
+        by_name = {p.name: p for p in self.phases}
+        assert by_name["sense"].power == pytest.approx(
+            self.mcu.active_power(3.0) + self.sensor.power(3.0)
+        )
+
+    def test_energy_sum(self):
+        total = phases_energy(self.phases)
+        assert total == pytest.approx(sum(p.energy for p in self.phases))
+        # Order of magnitude: hundreds of microjoules.
+        assert 5e-5 < total < 5e-3
+
+    def test_duration_sum(self):
+        assert phases_duration(self.phases) == pytest.approx(
+            sum(p.duration for p in self.phases)
+        )
+
+    def test_zero_wake_time_drops_phase(self):
+        mcu = MCUModel(wake_time=0.0)
+        phases = measurement_phases(mcu, self.radio, self.sensor, 256, 3.0)
+        assert [p.name for p in phases][0] == "sense"
+
+
+class TestSensorNode:
+    def setup_method(self):
+        self.node = SensorNode(policy=FixedPeriodPolicy(10.0))
+
+    def test_average_power_decreases_with_period(self):
+        assert self.node.average_power(5.0) > self.node.average_power(50.0)
+
+    def test_average_power_floor_is_sleep(self):
+        assert self.node.average_power(1e6) == pytest.approx(
+            self.node.sleep_power, rel=0.05
+        )
+
+    def test_min_sustainable_period_inverts_average_power(self):
+        period = 12.0
+        budget = self.node.average_power(period)
+        assert self.node.min_sustainable_period(budget) == pytest.approx(
+            period, rel=1e-9
+        )
+
+    def test_min_sustainable_rejects_starvation(self):
+        with pytest.raises(ModelError):
+            self.node.min_sustainable_period(self.node.sleep_power * 0.5)
+
+    def test_data_rate(self):
+        assert self.node.data_rate(8.0) == pytest.approx(
+            self.node.payload_bits / 8.0
+        )
+
+    def test_period_shorter_than_cycle_rejected(self):
+        with pytest.raises(ModelError):
+            self.node.average_power(self.node.cycle_duration / 2)
+
+    def test_payload_changes_cycle_energy(self):
+        small = SensorNode(payload_bits=64)
+        large = SensorNode(payload_bits=1024)
+        assert large.cycle_energy > small.cycle_energy
+
+    def test_describe_mentions_policy(self):
+        assert "fixed" in self.node.describe()

@@ -1,0 +1,143 @@
+"""Duty-cycle policies and the tuning controller."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ModelError
+from repro.harvester.tuning import TunableHarvester
+from repro.node.controller import TuningController
+from repro.node.policies import (
+    EnergyNeutralPolicy,
+    FixedPeriodPolicy,
+    ThresholdAdaptivePolicy,
+)
+from repro.vibration.sources import SineVibration
+
+
+class TestFixedPolicy:
+    def test_constant(self):
+        p = FixedPeriodPolicy(10.0)
+        assert p.next_period(0.5, 0.0) == 10.0
+        assert p.next_period(4.9, 1e6) == 10.0
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            FixedPeriodPolicy(0.0)
+
+
+class TestThresholdPolicy:
+    def setup_method(self):
+        self.p = ThresholdAdaptivePolicy(
+            period_min=5.0, period_max=60.0, v_low=2.6, v_high=4.0
+        )
+
+    def test_extremes(self):
+        assert self.p.next_period(4.5, 0.0) == 5.0
+        assert self.p.next_period(2.0, 0.0) == 60.0
+
+    def test_midpoint_interpolates(self):
+        mid = self.p.next_period(3.3, 0.0)
+        assert 5.0 < mid < 60.0
+
+    @given(st.floats(0.0, 5.0), st.floats(0.0, 5.0))
+    def test_monotone_in_voltage(self, v1, v2):
+        lo, hi = sorted((v1, v2))
+        assert self.p.next_period(hi, 0.0) <= self.p.next_period(lo, 0.0)
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            ThresholdAdaptivePolicy(5.0, 4.0)
+        with pytest.raises(ModelError):
+            ThresholdAdaptivePolicy(5.0, 60.0, v_low=4.0, v_high=3.0)
+
+
+class TestEnergyNeutralPolicy:
+    def test_speeds_up_above_target(self):
+        p = EnergyNeutralPolicy(v_target=3.3, period_initial=30.0)
+        first = p.next_period(4.0, 0.0)
+        assert first < 30.0
+
+    def test_backs_off_below_target(self):
+        p = EnergyNeutralPolicy(v_target=3.3, period_initial=30.0)
+        first = p.next_period(2.8, 0.0)
+        assert first > 30.0
+
+    def test_clamped_to_range(self):
+        p = EnergyNeutralPolicy(period_min=1.0, period_max=300.0)
+        for _ in range(100):
+            period = p.next_period(0.5, 0.0)
+        assert period == 300.0
+
+    def test_reset_restores_initial(self):
+        p = EnergyNeutralPolicy(period_initial=30.0)
+        p.next_period(5.0, 0.0)
+        p.reset()
+        assert p.current_period == 30.0
+
+    def test_at_target_holds(self):
+        p = EnergyNeutralPolicy(v_target=3.3, period_initial=30.0)
+        assert p.next_period(3.3, 0.0) == pytest.approx(30.0)
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            EnergyNeutralPolicy(gain=0.0)
+        with pytest.raises(ModelError):
+            EnergyNeutralPolicy(period_initial=1e9)
+
+
+class TestTuningController:
+    def setup_method(self):
+        self.harvester = TunableHarvester()
+        self.controller = TuningController(dead_band=1.0)
+
+    def test_no_retune_when_matched(self):
+        source = SineVibration(0.6, 67.0)
+        gap = self.harvester.gap_for_frequency(67.0)
+        decision = self.controller.decide(0.0, source, self.harvester, gap)
+        assert decision.retune is False
+        assert decision.f_estimate == pytest.approx(67.0, abs=0.4)
+
+    def test_retunes_on_large_mismatch(self):
+        source = SineVibration(0.6, 72.0)
+        gap = self.harvester.gap_for_frequency(66.0)
+        decision = self.controller.decide(0.0, source, self.harvester, gap)
+        assert decision.retune is True
+        target_f = self.harvester.resonant_frequency(decision.target_gap)
+        assert target_f == pytest.approx(72.0, abs=0.5)
+
+    def test_dead_band_suppresses_small_mismatch(self):
+        source = SineVibration(0.6, 67.5)
+        gap = self.harvester.gap_for_frequency(67.0)
+        decision = self.controller.decide(0.0, source, self.harvester, gap)
+        assert decision.retune is False
+
+    def test_out_of_band_clamps_to_stop(self):
+        # 100 Hz is above the tuning band: the controller commands the
+        # closest achievable resonance (the minimum gap).
+        controller = TuningController(dead_band=0.5)
+        source = SineVibration(0.6, 100.0)
+        gap = self.harvester.gap_for_frequency(70.0)
+        decision = controller.decide(0.0, source, self.harvester, gap)
+        assert decision.retune is True
+        assert decision.target_gap == pytest.approx(
+            self.harvester.tuning.gap_min
+        )
+
+    def test_already_at_stop_is_noop(self):
+        controller = TuningController(dead_band=0.5)
+        source = SineVibration(0.6, 100.0)
+        gap = self.harvester.tuning.gap_min
+        decision = controller.decide(0.0, source, self.harvester, gap)
+        assert decision.retune is False
+
+    def test_measurement_energy(self):
+        c = TuningController(measurement_power=9e-3, capture_time=0.5)
+        assert c.measurement_energy == pytest.approx(4.5e-3)
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            TuningController(check_interval=0.0)
+        with pytest.raises(ModelError):
+            TuningController(dead_band=-1.0)
+        with pytest.raises(ModelError):
+            TuningController(method="wavelet")

@@ -1,0 +1,177 @@
+"""Supercapacitor, regulator, rectifier builders, behavioural path."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ModelError
+from repro.harvester.parameters import default_parameters
+from repro.power.behavioral import BehavioralPowerPath
+from repro.power.rectifier import (
+    build_bridge_circuit,
+    build_doubler_circuit,
+    build_multiplier_circuit,
+    build_resistive_load_circuit,
+)
+from repro.power.regulator import Regulator
+from repro.power.supercap import Supercapacitor
+
+
+class TestSupercapacitor:
+    def setup_method(self):
+        self.sc = Supercapacitor()
+
+    def test_energy_quadratic(self):
+        assert self.sc.energy(2.0) == pytest.approx(4 * self.sc.energy(1.0))
+
+    def test_usable_energy(self):
+        usable = self.sc.usable_energy(3.0, 2.2)
+        assert usable == pytest.approx(self.sc.energy(3.0) - self.sc.energy(2.2))
+        assert self.sc.usable_energy(2.0, 2.2) == 0.0
+
+    def test_leakage_current(self):
+        assert self.sc.leakage_current(2.5) == pytest.approx(
+            2.5 / self.sc.leakage_resistance
+        )
+
+    def test_idle_decay_matches_rc(self):
+        tau = self.sc.leakage_resistance * self.sc.capacitance
+        v = self.sc.voltage_after_idle(3.0, tau)
+        assert v == pytest.approx(3.0 / math.e, rel=1e-9)
+
+    @given(st.floats(0.0, 5.0), st.floats(0.0, 1e5))
+    def test_idle_never_increases(self, v0, dt):
+        assert self.sc.voltage_after_idle(v0, dt) <= v0 + 1e-12
+
+    def test_replace(self):
+        bigger = self.sc.replace(capacitance=1.0)
+        assert bigger.capacitance == 1.0
+        assert bigger.esr == self.sc.esr
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"capacitance": 0.0},
+            {"esr": -1.0},
+            {"leakage_resistance": 0.0},
+            {"v_rated": -5.0},
+            {"v_initial": 9.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ModelError):
+            Supercapacitor(**kwargs)
+
+
+class TestRegulator:
+    def setup_method(self):
+        self.reg = Regulator()
+
+    def test_constant_power_draw(self):
+        i3 = self.reg.input_current(3e-3, 3.0)
+        i4 = self.reg.input_current(3e-3, 4.0)
+        assert i4 < i3  # higher bus voltage, less current
+
+    def test_quiescent_floor(self):
+        assert self.reg.input_current(0.0, 3.0) == pytest.approx(
+            self.reg.quiescent_current
+        )
+
+    def test_efficiency_scales_current(self):
+        lossy = Regulator(efficiency=0.5)
+        perfect = Regulator(efficiency=1.0)
+        assert lossy.input_current(1e-3, 3.0) > perfect.input_current(1e-3, 3.0)
+
+    def test_hysteresis_state_machine(self):
+        r = self.reg
+        assert r.next_enabled(True, r.v_brownout + 0.1) is True
+        assert r.next_enabled(True, r.v_brownout - 0.01) is False
+        # Once off, needs to exceed restart, not just brownout.
+        between = 0.5 * (r.v_brownout + r.v_restart)
+        assert r.next_enabled(False, between) is False
+        assert r.next_enabled(False, r.v_restart + 0.01) is True
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            Regulator(v_restart=2.0, v_brownout=2.2)
+        with pytest.raises(ModelError):
+            Regulator(efficiency=0.0)
+        with pytest.raises(ModelError):
+            self.reg.input_current(-1.0, 3.0)
+
+
+class TestRectifierBuilders:
+    def test_bridge_structure(self):
+        pc = build_bridge_circuit(Supercapacitor())
+        assert pc.topology == "bridge"
+        assert pc.matrices.n_diodes == 4
+        assert {"in_p", "in_n", "bus", "store"} <= set(pc.matrices.node_names)
+        assert set(pc.matrices.input_names) == {"coil", "load"}
+
+    def test_doubler_is_one_stage(self):
+        pc = build_doubler_circuit(Supercapacitor())
+        assert pc.n_stages == 1
+        assert pc.matrices.n_diodes == 2
+
+    def test_multiplier_scaling(self):
+        for n in (1, 2, 3):
+            pc = build_multiplier_circuit(Supercapacitor(), n_stages=n)
+            assert pc.matrices.n_diodes == 2 * n
+
+    def test_initial_voltages_puts_store_at_v_initial(self):
+        sc = Supercapacitor(v_initial=2.5)
+        pc = build_bridge_circuit(sc)
+        v = pc.initial_voltages()
+        assert pc.store_voltage(v) == pytest.approx(2.5)
+        assert pc.bus_voltage(v) == pytest.approx(2.5)
+
+    def test_resistive_circuit_has_no_store(self):
+        pc = build_resistive_load_circuit(5000.0)
+        assert pc.supercap is None
+        with pytest.raises(ModelError):
+            pc.store_voltage(np.zeros(pc.matrices.n_nodes))
+
+    def test_coil_terminal_voltage_differential(self):
+        pc = build_bridge_circuit(Supercapacitor())
+        v = np.zeros(pc.matrices.n_nodes)
+        names = pc.matrices.node_names
+        v[names["in_p"] - 1] = 1.5
+        v[names["in_n"] - 1] = 0.5
+        assert pc.coil_terminal_voltage(v) == pytest.approx(1.0)
+
+    def test_multiplier_validation(self):
+        with pytest.raises(ModelError):
+            build_multiplier_circuit(Supercapacitor(), n_stages=0)
+        with pytest.raises(ModelError):
+            build_resistive_load_circuit(0.0)
+
+
+class TestBehavioralPath:
+    def setup_method(self):
+        self.path = BehavioralPowerPath()
+        self.params = default_parameters()
+
+    def test_tuned_beats_detuned(self):
+        tuned = self.path.charging_power(self.params, 0.6, 67.0, 67.0, 2.5)
+        detuned = self.path.charging_power(self.params, 0.6, 67.0, 64.0, 2.5)
+        assert tuned > detuned
+
+    def test_taper_to_zero_at_vmax(self):
+        assert self.path.charging_power(
+            self.params, 0.6, 67.0, 67.0, self.path.v_max
+        ) == pytest.approx(0.0)
+
+    def test_power_decreases_with_store_voltage(self):
+        low = self.path.charging_power(self.params, 0.6, 67.0, 67.0, 1.0)
+        high = self.path.charging_power(self.params, 0.6, 67.0, 67.0, 4.0)
+        assert low > high
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            BehavioralPowerPath(efficiency=1.5)
+        with pytest.raises(ModelError):
+            BehavioralPowerPath(v_max=0.0, v_min_charge=1.0)
+        with pytest.raises(ModelError):
+            self.path.charging_power(self.params, 0.6, 67.0, 67.0, -1.0)

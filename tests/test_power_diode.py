@@ -1,0 +1,144 @@
+"""Diode models: Shockley curve, PWL segments, consistency."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ModelError
+from repro.power.diode import Diode
+
+
+class TestShockley:
+    def setup_method(self):
+        self.d = Diode.schottky()
+
+    def test_zero_bias_zero_current(self):
+        assert self.d.current(0.0) == pytest.approx(0.0, abs=1e-15)
+
+    def test_forward_exponential_growth(self):
+        i1 = self.d.current(0.2)
+        i2 = self.d.current(0.3)
+        assert i2 > 10 * i1 > 0.0
+
+    def test_reverse_leakage_small(self):
+        i = self.d.current(-1.0)
+        assert -1e-6 < i < 0.0
+
+    def test_conductance_is_derivative(self):
+        for v in [-0.5, 0.0, 0.15, 0.25]:
+            eps = 1e-7
+            numeric = (self.d.current(v + eps) - self.d.current(v - eps)) / (
+                2 * eps
+            )
+            assert self.d.conductance(v) == pytest.approx(numeric, rel=1e-4)
+
+    def test_exponent_clamp_keeps_finite(self):
+        i = self.d.current(100.0)
+        g = self.d.conductance(100.0)
+        assert np.isfinite(i) and np.isfinite(g)
+        assert i > 0.0 and g > 0.0
+
+    def test_clamped_region_continuous(self):
+        # The tangent continuation must join the exponential smoothly.
+        v_clamp = 60.0 * self.d.n_vt
+        below = self.d.current(v_clamp - 1e-9)
+        above = self.d.current(v_clamp + 1e-9)
+        assert above == pytest.approx(below, rel=1e-6)
+
+    def test_junction_limiting_caps_forward_jumps(self):
+        v_new = self.d.limit_junction_update(0.2, 5.0)
+        assert v_new < 5.0
+
+    def test_junction_limiting_passes_small_steps(self):
+        assert self.d.limit_junction_update(0.1, 0.12) == pytest.approx(0.12)
+
+
+class TestPWLSegments:
+    def setup_method(self):
+        self.d = Diode.schottky()
+
+    def test_three_states_ordered(self):
+        assert self.d.pwl_state(-1.0) == 0
+        mid = 0.5 * (self.d.v_knee_low + self.d.v_knee_high)
+        assert self.d.pwl_state(mid) == 1
+        assert self.d.pwl_state(self.d.v_knee_high + 0.1) == 2
+
+    def test_breakpoints_ordered(self):
+        assert 0.0 < self.d.v_knee_low < self.d.v_knee_high
+
+    def test_continuity_at_breakpoints(self):
+        for v in (self.d.v_knee_low, self.d.v_knee_high):
+            below = self.d.pwl_current(v - 1e-12)
+            above = self.d.pwl_current(v + 1e-12)
+            assert above == pytest.approx(below, abs=1e-9)
+
+    def test_pwl_tracks_shockley_at_match_points(self):
+        # The knee chord is anchored at i_knee by construction.
+        i_pwl = self.d.pwl_current(self.d.v_knee_high)
+        assert i_pwl == pytest.approx(self.d.i_knee, rel=1e-9)
+
+    def test_pwl_monotonic(self):
+        voltages = np.linspace(-0.5, 0.6, 300)
+        currents = [self.d.pwl_current(float(v)) for v in voltages]
+        assert all(b >= a for a, b in zip(currents, currents[1:]))
+
+    @given(st.floats(-1.0, 1.0))
+    def test_pwl_state_matches_boundaries(self, v):
+        low, high = self.d.boundaries(v)
+        state = self.d.pwl_state(v)
+        if high >= 0:
+            assert state == 2
+        elif low >= 0:
+            assert state == 1
+        else:
+            assert state == 0
+
+    def test_coefficients_reproduce_current(self):
+        for v in [-0.3, 0.1, 0.3]:
+            state = self.d.pwl_state(v)
+            g, c = self.d.pwl_coefficients(state)
+            assert g * v + c == pytest.approx(self.d.pwl_current(v))
+
+    def test_invalid_state_rejected(self):
+        with pytest.raises(ModelError):
+            self.d.pwl_coefficients(7)
+
+    def test_pwl_chord_bounded_over_its_segment(self):
+        # Inside the knee segment the chord stays within an order of
+        # magnitude of the exponential (it is a secant approximation —
+        # this looseness is exactly the fidelity limit documented in
+        # DESIGN.md).  Below the segment the off branch deliberately
+        # neglects the sub-knee exponential tail.
+        for v in np.linspace(
+            self.d.v_knee_low * 1.01, self.d.v_knee_high, 20
+        ):
+            ratio = self.d.pwl_current(float(v)) / self.d.current(float(v))
+            assert 0.1 < ratio < 10.0
+
+
+class TestConstruction:
+    def test_derived_von_positive(self):
+        d = Diode()
+        assert d.v_on > 0.0 and d.r_on > 0.0
+
+    def test_explicit_von_ron(self):
+        d = Diode(v_on=0.3, r_on=50.0)
+        assert d.v_on == 0.3 and d.r_on == 50.0
+
+    def test_silicon_higher_threshold_than_schottky(self):
+        assert Diode.silicon().v_on > Diode.schottky().v_on
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"saturation_current": 0.0},
+            {"ideality": -1.0},
+            {"g_off": 0.0},
+            {"i_knee": -1e-6},
+            {"v_on": -0.1},
+            {"r_on": 0.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ModelError):
+            Diode(**kwargs)

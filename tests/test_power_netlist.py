@@ -1,0 +1,219 @@
+"""Netlist construction, MNA stamping, mode machinery."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.power.diode import Diode
+from repro.power.netlist import Circuit
+
+
+def _rc_circuit():
+    c = Circuit("rc")
+    a = c.add_node("a")
+    c.add_capacitor("c1", a, Circuit.GROUND, 1e-6)
+    c.add_resistor("r1", a, Circuit.GROUND, 1000.0)
+    c.add_current_input("src", Circuit.GROUND, a)
+    return c
+
+
+class TestConstruction:
+    def test_node_indices_sequential(self):
+        c = Circuit()
+        assert c.add_node("a") == 1
+        assert c.add_node("b") == 2
+        assert c.node_index("gnd") == 0
+
+    def test_duplicate_node_rejected(self):
+        c = Circuit()
+        c.add_node("a")
+        with pytest.raises(ModelError):
+            c.add_node("a")
+
+    def test_unknown_node_rejected(self):
+        c = Circuit()
+        with pytest.raises(ModelError):
+            c.node_index("nope")
+
+    def test_duplicate_element_name_rejected(self):
+        c = Circuit()
+        a = c.add_node("a")
+        c.add_resistor("r", a, 0, 10.0)
+        with pytest.raises(ModelError):
+            c.add_capacitor("r", a, 0, 1e-6)
+
+    def test_self_loop_rejected(self):
+        c = Circuit()
+        a = c.add_node("a")
+        with pytest.raises(ModelError):
+            c.add_resistor("r", a, a, 10.0)
+
+    def test_nonpositive_values_rejected(self):
+        c = Circuit()
+        a = c.add_node("a")
+        with pytest.raises(ModelError):
+            c.add_resistor("r", a, 0, 0.0)
+        with pytest.raises(ModelError):
+            c.add_capacitor("c", a, 0, -1e-6)
+
+    def test_floating_node_fails_assembly(self):
+        c = Circuit("bad")
+        a = c.add_node("a")
+        b = c.add_node("b")
+        c.add_capacitor("c1", a, 0, 1e-6)
+        c.add_resistor("r1", a, b, 100.0)  # b has no capacitance
+        with pytest.raises(ModelError, match="capacitance"):
+            c.assemble()
+
+    def test_empty_circuit_fails(self):
+        with pytest.raises(ModelError):
+            Circuit().assemble()
+
+
+class TestStamps:
+    def test_rc_matrices(self):
+        m = _rc_circuit().assemble()
+        assert m.cap_matrix == pytest.approx(np.array([[1e-6]]))
+        g = m.conductance_matrix(())
+        assert g == pytest.approx(np.array([[1e-3]]))
+
+    def test_input_vector_signs(self):
+        m = _rc_circuit().assemble()
+        e = m.input_vector("src")
+        assert e == pytest.approx(np.array([1.0]))
+
+    def test_two_node_resistor_stamp(self):
+        c = Circuit()
+        a = c.add_node("a")
+        b = c.add_node("b")
+        c.add_capacitor("ca", a, 0, 1e-6)
+        c.add_capacitor("cb", b, 0, 1e-6)
+        c.add_resistor("r", a, b, 100.0)
+        m = c.assemble()
+        g = m.conductance_matrix(())
+        assert g == pytest.approx(np.array([[0.01, -0.01], [-0.01, 0.01]]))
+
+    def test_unknown_input_rejected(self):
+        m = _rc_circuit().assemble()
+        with pytest.raises(ModelError):
+            m.input_vector("nope")
+
+    def test_rc_step_response(self):
+        # Forward-Euler a step of current, compare to 1 - exp(-t/RC).
+        m = _rc_circuit().assemble()
+        e = m.input_vector("src")
+        ci = m.cap_inverse
+        g = m.conductance_matrix(())
+        v = np.zeros(1)
+        dt = 1e-6
+        i_in = 1e-3
+        for _ in range(3000):
+            v = v + dt * (ci @ (-(g @ v) + e * i_in))
+        t = 3000 * dt
+        expected = i_in * 1000.0 * (1 - np.exp(-t / (1000.0 * 1e-6)))
+        assert v[0] == pytest.approx(expected, rel=1e-3)
+
+
+class TestDiodeStamps:
+    def _diode_circuit(self):
+        c = Circuit()
+        a = c.add_node("a")
+        b = c.add_node("b")
+        c.add_capacitor("ca", a, 0, 1e-6)
+        c.add_capacitor("cb", b, 0, 1e-6)
+        d = Diode.schottky()
+        c.add_diode("d1", a, b, d)
+        return c.assemble(), d
+
+    def test_mode_from_voltages(self):
+        m, d = self._diode_circuit()
+        v_on = np.array([d.v_knee_high + 0.2, 0.0])
+        assert m.mode_from_voltages(v_on) == (2,)
+        v_knee = np.array([0.5 * (d.v_knee_low + d.v_knee_high), 0.0])
+        assert m.mode_from_voltages(v_knee) == (1,)
+        assert m.mode_from_voltages(np.array([-0.5, 0.0])) == (0,)
+
+    def test_conductance_grows_with_state(self):
+        m, _ = self._diode_circuit()
+        g_off = m.conductance_matrix((0,))[0, 0]
+        g_knee = m.conductance_matrix((1,))[0, 0]
+        g_on = m.conductance_matrix((2,))[0, 0]
+        assert g_off < g_knee < g_on
+
+    def test_norton_offsets(self):
+        m, d = self._diode_circuit()
+        s_off = m.norton_vector((0,))
+        assert s_off == pytest.approx(np.zeros(2))
+        s_on = m.norton_vector((2,))
+        # On segment i = g v + c with c < 0: +|c| into the anode row.
+        _, c_on = d.pwl_coefficients(2)
+        assert s_on[0] == pytest.approx(-c_on)
+        assert s_on[1] == pytest.approx(c_on)
+
+    def test_pwl_linear_system_consistency(self):
+        # -G v + s must equal the negated PWL branch currents stamped
+        # onto the nodes, for a random voltage in each mode.
+        m, d = self._diode_circuit()
+        for v_test in ([-0.4, 0.1], [0.12, 0.0], [0.5, 0.0]):
+            v = np.array(v_test)
+            mode = m.mode_from_voltages(v)
+            g = m.conductance_matrix(mode)
+            s = m.norton_vector(mode)
+            rhs = -(g @ v) + s
+            i_d = d.pwl_current(float(v[0] - v[1]))
+            assert rhs == pytest.approx(np.array([-i_d, i_d]), abs=1e-12)
+
+    def test_boundary_layout_two_per_diode(self):
+        m, d = self._diode_circuit()
+        b = m.boundary_values(np.array([0.3, 0.0]))
+        assert b.shape == (2,)
+        assert b[0] == pytest.approx(0.3 - d.v_knee_low)
+        assert b[1] == pytest.approx(0.3 - d.v_knee_high)
+
+    def test_segments_from_boundaries(self):
+        from repro.power.netlist import CircuitMatrices
+
+        assert CircuitMatrices.segments_from_boundaries(
+            np.array([-1.0, -2.0])
+        ) == (0,)
+        assert CircuitMatrices.segments_from_boundaries(
+            np.array([0.5, -0.5])
+        ) == (1,)
+        assert CircuitMatrices.segments_from_boundaries(
+            np.array([0.5, 0.1])
+        ) == (2,)
+
+    def test_shockley_injection_consistent_with_scalar(self):
+        m, d = self._diode_circuit()
+        v = np.array([0.31, -0.05])
+        inj, jac = m.shockley_injection(v)
+        i = d.current(0.36)
+        g = d.conductance(0.36)
+        assert inj == pytest.approx(np.array([-i, i]))
+        assert jac == pytest.approx(np.array([[-g, g], [g, -g]]))
+
+    def test_invalid_mode_rejected(self):
+        m, _ = self._diode_circuit()
+        with pytest.raises(ModelError):
+            m.conductance_matrix((5,))
+        with pytest.raises(ModelError):
+            m.norton_vector((0, 0))
+
+
+class TestEnergyBookkeeping:
+    def test_capacitor_energy(self):
+        c = Circuit()
+        a = c.add_node("a")
+        b = c.add_node("b")
+        c.add_capacitor("ca", a, 0, 2e-6)
+        c.add_capacitor("cab", a, b, 1e-6)
+        c.add_capacitor("cb", b, 0, 1e-6)
+        m = c.assemble()
+        v = np.array([3.0, 1.0])
+        expected = 0.5 * 2e-6 * 9 + 0.5 * 1e-6 * 4 + 0.5 * 1e-6 * 1
+        assert m.capacitor_energy(v) == pytest.approx(expected)
+
+    def test_resistive_power(self):
+        m = _rc_circuit().assemble()
+        v = np.array([2.0])
+        assert m.resistive_power(v) == pytest.approx(4.0 / 1000.0)

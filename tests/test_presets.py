@@ -1,0 +1,103 @@
+"""System presets and vibration profiles."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.presets import default_harvester, default_system, scenario_system
+from repro.vibration.profiles import (
+    PROFILES,
+    bridge_profile,
+    duty_shift_profile,
+    human_motion_profile,
+    machine_room_profile,
+)
+
+
+class TestDefaultSystem:
+    def test_factor_knobs_wire_through(self):
+        cfg = default_system(
+            capacitance=0.7,
+            tx_interval=17.0,
+            dead_band=0.5,
+            check_interval=200.0,
+            payload_bits=512,
+        )
+        assert cfg.power.supercap.capacitance == 0.7
+        assert cfg.node.policy.period == 17.0
+        assert cfg.controller.dead_band == 0.5
+        assert cfg.controller.check_interval == 200.0
+        assert cfg.node.payload_bits == 512
+
+    def test_topologies(self):
+        assert default_system(topology="bridge").power.topology == "bridge"
+        multi = default_system(topology="multiplier", n_stages=2)
+        assert multi.power.topology == "multiplier-2"
+        with pytest.raises(ModelError):
+            default_system(topology="boost")
+
+    def test_controller_optional(self):
+        assert default_system(with_controller=False).controller is None
+
+    def test_pretunes_to_source(self):
+        cfg = default_system()
+        gap = cfg.resolve_initial_gap()
+        assert cfg.harvester.resonant_frequency(gap) == pytest.approx(
+            67.0, abs=0.1
+        )
+
+    def test_harvester_band(self):
+        h = default_harvester()
+        lo, hi = h.tuning.achievable_band
+        assert lo < 67.0 < hi
+
+
+class TestScenarios:
+    @pytest.mark.parametrize("name", ["structural", "drift", "burst"])
+    def test_scenarios_build(self, name):
+        cfg = scenario_system(name)
+        assert cfg.node is not None
+        assert cfg.controller is not None
+
+    def test_scenario_overrides(self):
+        cfg = scenario_system("structural", capacitance=0.9)
+        assert cfg.power.supercap.capacitance == 0.9
+
+    def test_unknown_scenario(self):
+        with pytest.raises(ModelError):
+            scenario_system("lunar")
+
+    def test_drift_scenario_actually_drifts(self):
+        cfg = scenario_system("drift")
+        f0 = cfg.vibration.dominant_frequency(0.0)
+        f1 = cfg.vibration.dominant_frequency(1800.0)
+        assert f1 > f0 + 2.0
+
+
+class TestProfiles:
+    def test_registry_complete(self):
+        assert {"machine", "bridge", "human", "duty-shift"} <= set(PROFILES)
+
+    def test_machine_dominant_near_base(self):
+        src = machine_room_profile(base_frequency=67.0)
+        assert src.dominant_frequency(0.0) == pytest.approx(67.0, abs=0.5)
+
+    def test_machine_drift_option(self):
+        src = machine_room_profile(
+            base_frequency=66.0, drift_hz=4.0, drift_rate=0.01
+        )
+        assert src.dominant_frequency(1e6) == pytest.approx(70.0, abs=0.5)
+
+    def test_bridge_has_harmonics(self):
+        src = bridge_profile(fundamental=64.5)
+        assert src.dominant_frequency(0.0) == pytest.approx(64.5, abs=0.5)
+
+    def test_human_low_frequency(self):
+        src = human_motion_profile(cadence=2.0)
+        assert src.dominant_frequency(0.0) == pytest.approx(2.0)
+
+    def test_duty_shift_steps(self):
+        src = duty_shift_profile(
+            frequencies=(65.0, 70.0), dwell=100.0
+        )
+        assert src.dominant_frequency(50.0) == 65.0
+        assert src.dominant_frequency(150.0) == 70.0

@@ -1,0 +1,192 @@
+"""Envelope engine: charging map, mission loop, energy accounting."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.node.policies import FixedPeriodPolicy
+from repro.presets import default_system
+from repro.sim.envelope import (
+    ChargingMap,
+    EnvelopeEngine,
+    EnvelopeOptions,
+    charging_cache_size,
+    clear_charging_cache,
+)
+from repro.sim.runner import MissionConfig, simulate
+
+#: Fast map options shared by the tests (fewer cycles than production).
+FAST = EnvelopeOptions(
+    map_v_points=4,
+    map_nr_warmup_cycles=4,
+    map_warmup_cycles=8,
+    map_measure_cycles=6,
+    map_max_blocks=3,
+    map_steps_per_period=80,
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_charging_cache()
+    yield
+    clear_charging_cache()
+
+
+class TestChargingMap:
+    def test_monotone_decreasing_in_voltage(self):
+        cfg = default_system()
+        cmap = ChargingMap(cfg, FAST)
+        gap = cfg.resolve_initial_gap()
+        currents = [
+            cmap.current(v, 67.0, 0.6, gap) for v in (0.5, 2.0, 3.5, 4.8)
+        ]
+        assert currents[0] > currents[-1]
+        assert currents[0] > 1e-6  # microamps of charging when tuned
+
+    def test_detuned_charges_less(self):
+        cfg = default_system()
+        cmap = ChargingMap(cfg, FAST)
+        tuned = cmap.current(2.0, 67.0, 0.6, cfg.resolve_initial_gap())
+        detuned = cmap.current(2.0, 67.0, 0.6, cfg.harvester.default_gap())
+        assert detuned < 0.3 * tuned
+
+    def test_zero_amplitude_gives_zero(self):
+        cfg = default_system()
+        cmap = ChargingMap(cfg, FAST)
+        assert cmap.current(2.0, 67.0, 0.0, cfg.resolve_initial_gap()) == 0.0
+
+    def test_cache_shared_across_capacitances(self):
+        # C_store must not change the charging current (it is a
+        # voltage source on the fast scale) nor the cache key.
+        cfg_a = default_system(capacitance=0.2)
+        cfg_b = default_system(capacitance=0.8)
+        map_a = ChargingMap(cfg_a, FAST)
+        gap = cfg_a.resolve_initial_gap()
+        i_a = map_a.current(2.0, 67.0, 0.6, gap)
+        size_after_a = charging_cache_size()
+        map_b = ChargingMap(cfg_b, FAST)
+        i_b = map_b.current(2.0, 67.0, 0.6, gap)
+        assert charging_cache_size() == size_after_a  # no new bins
+        assert i_b == pytest.approx(i_a, rel=1e-9)
+
+    def test_mismatch_keying_collapses_bins(self):
+        cfg = default_system()
+        cmap = ChargingMap(cfg, FAST)
+        gap = cfg.resolve_initial_gap()
+        cmap.current(2.0, 67.0, 0.6, gap)
+        n1 = charging_cache_size()
+        # Same mismatch at a nearby absolute frequency, same resonance
+        # bin: must reuse the grid.
+        gap2 = cfg.harvester.gap_for_frequency(67.1)
+        cmap.current(2.0, 67.1, 0.6, gap2)
+        assert charging_cache_size() == n1
+
+    def test_requires_store(self):
+        from repro.power.rectifier import build_resistive_load_circuit
+        from repro.sim.system import SystemConfig
+
+        cfg = default_system()
+        bare = SystemConfig(
+            harvester=cfg.harvester,
+            power=build_resistive_load_circuit(1000.0),
+            regulator=cfg.regulator,
+            node=None,
+            controller=None,
+            vibration=cfg.vibration,
+        )
+        with pytest.raises(SimulationError):
+            ChargingMap(bare, FAST)
+
+
+class TestEnvelopeMission:
+    def test_packets_match_fixed_period(self):
+        cfg = default_system(tx_interval=10.0, check_interval=600.0)
+        engine = EnvelopeEngine(cfg, FAST)
+        result = engine.run(300.0, record_dt=1.0)
+        # One measurement at t=0 plus one every 10 s.
+        assert result.counter("packets_delivered") == pytest.approx(31, abs=1)
+
+    def test_energy_ledger_balances(self):
+        cfg = default_system(tx_interval=10.0)
+        engine = EnvelopeEngine(cfg, FAST)
+        result = engine.run(600.0)
+        cap = cfg.power.supercap.capacitance
+        v0 = cfg.power.supercap.v_initial
+        v1 = result.final_store_voltage()
+        delta_store = 0.5 * cap * (v1**2 - v0**2)
+        net = (
+            result.energy("harvested")
+            - result.energy("leakage")
+            - result.energy("node")
+            - result.energy("tuning")
+        )
+        scale = max(abs(result.energy("harvested")), abs(delta_store), 1e-6)
+        assert delta_store == pytest.approx(net, abs=0.08 * scale)
+
+    def test_heavier_duty_cycle_drains_store(self):
+        slow = simulate(
+            default_system(tx_interval=60.0),
+            MissionConfig(t_end=600.0, engine="envelope", envelope=FAST),
+        )
+        fast = simulate(
+            default_system(tx_interval=2.0),
+            MissionConfig(t_end=600.0, engine="envelope", envelope=FAST),
+        )
+        assert fast.final_store_voltage() < slow.final_store_voltage()
+
+    def test_cold_start_brownout_then_recovery(self):
+        # Tens of microamps into a small store: the node boots after a
+        # few hundred seconds of charging.  (With the default 0.4 F a
+        # cold start takes hours — physically correct, tested at R-F2
+        # scale in the benchmarks.)
+        cfg = default_system(
+            tx_interval=20.0, v_initial=2.3, capacitance=0.05
+        )
+        result = simulate(
+            cfg, MissionConfig(t_end=1500.0, engine="envelope", envelope=FAST)
+        )
+        # Starts below restart: node disabled, store charges up, node
+        # eventually boots and reports.
+        assert result.downtime > 0.0
+        assert result.counter("packets_delivered") > 0
+        assert result.final_store_voltage() > 2.2
+
+    def test_overdraw_causes_brownout_event(self):
+        cfg = default_system(
+            tx_interval=2.0, capacitance=0.05, v_initial=2.6,
+            check_interval=600.0,
+        )
+        result = simulate(
+            cfg, MissionConfig(t_end=900.0, engine="envelope", envelope=FAST)
+        )
+        assert result.counter("brownout_events") >= 1
+        assert result.downtime > 0.0
+
+    def test_traces_present(self):
+        cfg = default_system()
+        result = simulate(
+            cfg, MissionConfig(t_end=120.0, engine="envelope", envelope=FAST)
+        )
+        for channel in ("v_store", "f_dom", "f_res", "gap", "packets"):
+            assert result.has_trace(channel)
+        assert result.times[-1] == pytest.approx(120.0)
+
+    def test_rejects_nonpositive_horizon(self):
+        engine = EnvelopeEngine(default_system(), FAST)
+        with pytest.raises(SimulationError):
+            engine.run(0.0)
+
+
+class TestEnvelopeOptionsValidation:
+    def test_bad_dt_max(self):
+        with pytest.raises(SimulationError):
+            EnvelopeOptions(dt_max=0.0)
+
+    def test_bad_v_points(self):
+        with pytest.raises(SimulationError):
+            EnvelopeOptions(map_v_points=1)
+
+    def test_bad_cycles(self):
+        with pytest.raises(SimulationError):
+            EnvelopeOptions(map_measure_cycles=0)

@@ -1,0 +1,162 @@
+"""Event queue, trace recorder, results container."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.events import EventQueue
+from repro.sim.results import SimulationResult
+from repro.sim.traces import TraceRecorder
+
+
+class TestEventQueue:
+    def test_orders_by_time(self):
+        q = EventQueue()
+        q.push(2.0, "b")
+        q.push(1.0, "a")
+        q.push(3.0, "c")
+        assert [q.pop().kind for _ in range(3)] == ["a", "b", "c"]
+
+    def test_ties_break_by_insertion_order(self):
+        q = EventQueue()
+        q.push(1.0, "first")
+        q.push(1.0, "second")
+        assert q.pop().kind == "first"
+        assert q.pop().kind == "second"
+
+    def test_peek_does_not_remove(self):
+        q = EventQueue()
+        q.push(5.0, "x")
+        assert q.peek_time() == 5.0
+        assert len(q) == 1
+
+    def test_empty_behaviour(self):
+        q = EventQueue()
+        assert q.peek_time() is None
+        assert not q
+        with pytest.raises(IndexError):
+            q.pop()
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            EventQueue().push(-1.0, "bad")
+
+    def test_payload_carried(self):
+        q = EventQueue()
+        q.push(1.0, "evt", payload={"k": 3})
+        assert q.pop().payload == {"k": 3}
+
+    def test_clear(self):
+        q = EventQueue()
+        q.push(1.0, "x")
+        q.clear()
+        assert not q
+
+
+class TestTraceRecorder:
+    def test_decimation(self):
+        rec = TraceRecorder(["v"], record_dt=0.1)
+        for t in np.arange(0.0, 1.0, 0.01):
+            rec.offer(float(t), {"v": float(t)})
+        assert 9 <= rec.n_rows <= 11
+
+    def test_force_overrides_decimation(self):
+        rec = TraceRecorder(["v"], record_dt=10.0)
+        rec.offer(0.0, {"v": 1.0})
+        rec.offer(0.5, {"v": 2.0}, force=True)
+        assert rec.n_rows == 2
+
+    def test_time_must_not_decrease(self):
+        rec = TraceRecorder(["v"])
+        rec.offer(1.0, {"v": 0.0}, force=True)
+        with pytest.raises(SimulationError):
+            rec.offer(0.5, {"v": 0.0}, force=True)
+
+    def test_missing_channel_rejected(self):
+        rec = TraceRecorder(["a", "b"])
+        with pytest.raises(SimulationError):
+            rec.offer(0.0, {"a": 1.0}, force=True)
+
+    def test_unknown_channel_read_rejected(self):
+        rec = TraceRecorder(["a"])
+        with pytest.raises(SimulationError):
+            rec.channel("zzz")
+
+    def test_as_arrays(self):
+        rec = TraceRecorder(["v"], record_dt=0.0)
+        rec.offer(0.0, {"v": 1.0})
+        rec.offer(1.0, {"v": 2.0})
+        arrays = rec.as_arrays()
+        assert np.array_equal(arrays["t"], [0.0, 1.0])
+        assert np.array_equal(arrays["v"], [1.0, 2.0])
+
+    def test_event_log(self):
+        rec = TraceRecorder(["v"])
+        rec.log_event(1.0, "retune", "info")
+        assert rec.events() == [(1.0, "retune", "info")]
+
+    def test_duplicate_channels_rejected(self):
+        with pytest.raises(SimulationError):
+            TraceRecorder(["a", "a"])
+
+
+def _result(v_trace, t_end=10.0, **kwargs):
+    t = np.linspace(0.0, t_end, len(v_trace))
+    defaults = dict(
+        engine="envelope",
+        t_end=t_end,
+        traces={"t": t, "v_store": np.asarray(v_trace, dtype=float)},
+    )
+    defaults.update(kwargs)
+    return SimulationResult(**defaults)
+
+
+class TestSimulationResult:
+    def test_final_and_min(self):
+        r = _result([2.0, 3.0, 2.5])
+        assert r.final_store_voltage() == 2.5
+        assert r.min_store_voltage() == 2.0
+
+    def test_charge_time_interpolates(self):
+        r = _result([0.0, 1.0, 2.0])  # t = 0, 5, 10
+        assert r.charge_time(0.5) == pytest.approx(2.5)
+
+    def test_charge_time_unreached_returns_t_end(self):
+        r = _result([0.0, 1.0, 2.0])
+        assert r.charge_time(99.0) == 10.0
+
+    def test_charge_time_already_reached(self):
+        r = _result([3.0, 3.5, 4.0])
+        assert r.charge_time(2.0) == 0.0
+
+    def test_downtime_fraction(self):
+        r = _result([3.0, 3.0], downtime=2.5)
+        assert r.downtime_fraction() == pytest.approx(0.25)
+
+    def test_tuning_error_rms(self):
+        t = np.linspace(0, 10, 11)
+        traces = {
+            "t": t,
+            "v_store": np.full(11, 3.0),
+            "f_dom": np.full(11, 67.0),
+            "f_res": np.full(11, 65.0),
+        }
+        r = SimulationResult(engine="envelope", t_end=10.0, traces=traces)
+        assert r.tuning_error_rms() == pytest.approx(2.0)
+
+    def test_mismatched_trace_lengths_rejected(self):
+        with pytest.raises(SimulationError):
+            SimulationResult(
+                engine="x",
+                t_end=1.0,
+                traces={"t": np.zeros(3), "v_store": np.zeros(2)},
+            )
+
+    def test_missing_time_axis_rejected(self):
+        with pytest.raises(SimulationError):
+            SimulationResult(engine="x", t_end=1.0, traces={"v": np.zeros(2)})
+
+    def test_summary_readable(self):
+        r = _result([2.0, 2.5], counters={"packets_delivered": 5})
+        text = r.summary()
+        assert "packets_delivered=5" in text

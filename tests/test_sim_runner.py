@@ -1,0 +1,155 @@
+"""Mission runner over the full-fidelity engines, plus indicators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError, SimulationError
+from repro.indicators import (
+    evaluate_indicators,
+    get_indicator,
+    indicator_names,
+    register_indicator,
+)
+from repro.node.node import SensorNode
+from repro.node.policies import FixedPeriodPolicy
+from repro.presets import default_system
+from repro.sim.results import SimulationResult
+from repro.sim.runner import MissionConfig, simulate
+
+
+class TestMissionConfig:
+    def test_defaults(self):
+        m = MissionConfig(t_end=10.0)
+        assert m.engine == "envelope"
+        assert m.resolve_record_dt() == 1.0
+
+    def test_full_fidelity_record_default(self):
+        m = MissionConfig(t_end=1.0, engine="linearized")
+        assert m.resolve_record_dt() == pytest.approx(1e-3)
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            MissionConfig(t_end=0.0)
+        with pytest.raises(SimulationError):
+            MissionConfig(t_end=1.0, engine="spice")
+        with pytest.raises(SimulationError):
+            MissionConfig(t_end=1.0, steps_per_period=2)
+        with pytest.raises(SimulationError):
+            MissionConfig(t_end=1.0, dt=-1e-4)
+
+
+class TestFullFidelityMission:
+    def test_short_linearized_mission(self):
+        cfg = default_system(
+            tx_interval=0.5, with_controller=False, v_initial=3.0
+        )
+        result = simulate(
+            cfg,
+            MissionConfig(
+                t_end=2.0, engine="linearized", steps_per_period=100,
+                record_dt=0.01,
+            ),
+        )
+        # Four-ish task cycles in 2 s at 0.5 s period.
+        assert 3 <= result.counter("packets_delivered") <= 5
+        assert result.energy("harvested") > 0.0
+        assert result.has_trace("z") and result.has_trace("i_coil")
+
+    def test_newton_mission_matches_linearized_packets(self):
+        cfg = default_system(
+            tx_interval=0.5, with_controller=False, v_initial=3.0
+        )
+        lss = simulate(
+            cfg,
+            MissionConfig(
+                t_end=1.5, engine="linearized", steps_per_period=80,
+                record_dt=0.05,
+            ),
+        )
+        nr = simulate(
+            cfg,
+            MissionConfig(
+                t_end=1.5, engine="newton", steps_per_period=80,
+                record_dt=0.05,
+            ),
+        )
+        assert nr.counter("packets_delivered") == lss.counter(
+            "packets_delivered"
+        )
+        assert nr.final_store_voltage() == pytest.approx(
+            lss.final_store_voltage(), abs=0.02
+        )
+
+    def test_linearized_faster_than_newton(self):
+        cfg = default_system(with_controller=False, tx_interval=10.0)
+        mission = dict(t_end=1.0, steps_per_period=100, record_dt=0.1)
+        lss = simulate(cfg, MissionConfig(engine="linearized", **mission))
+        nr = simulate(cfg, MissionConfig(engine="newton", **mission))
+        assert lss.wall_time < nr.wall_time
+
+    def test_node_load_drains_faster_than_idle(self):
+        idle_cfg = default_system(with_controller=False)
+        idle_cfg.node = None
+        idle = simulate(
+            idle_cfg,
+            MissionConfig(
+                t_end=1.0, engine="linearized", steps_per_period=80,
+                record_dt=0.1,
+            ),
+        )
+        busy = simulate(
+            default_system(tx_interval=0.2, with_controller=False),
+            MissionConfig(
+                t_end=1.0, engine="linearized", steps_per_period=80,
+                record_dt=0.1,
+            ),
+        )
+        assert busy.final_store_voltage() < idle.final_store_voltage()
+
+
+class TestIndicators:
+    def _mission_result(self):
+        cfg = default_system(tx_interval=10.0)
+        from repro.sim.envelope import EnvelopeOptions
+
+        fast = EnvelopeOptions(
+            map_v_points=4,
+            map_nr_warmup_cycles=4,
+            map_warmup_cycles=8,
+            map_measure_cycles=6,
+            map_max_blocks=3,
+            map_steps_per_period=80,
+        )
+        return simulate(
+            cfg, MissionConfig(t_end=300.0, engine="envelope", envelope=fast)
+        )
+
+    def test_all_builtins_evaluate(self):
+        result = self._mission_result()
+        values = evaluate_indicators(result)
+        assert set(values) == set(indicator_names())
+        assert all(np.isfinite(v) for v in values.values())
+
+    def test_data_rate_consistent_with_packets(self):
+        result = self._mission_result()
+        values = evaluate_indicators(
+            result, ["packets_delivered", "effective_data_rate"]
+        )
+        expected = values["packets_delivered"] * 256 / 300.0
+        assert values["effective_data_rate"] == pytest.approx(expected)
+
+    def test_uptime_complements_downtime(self):
+        result = self._mission_result()
+        v = evaluate_indicators(result, ["uptime_fraction", "downtime_fraction"])
+        assert v["uptime_fraction"] + v["downtime_fraction"] == pytest.approx(1.0)
+
+    def test_unknown_indicator_rejected(self):
+        with pytest.raises(ReproError):
+            get_indicator("nope")
+
+    def test_register_and_overwrite_guard(self):
+        register_indicator("test_custom", lambda r: 1.0)
+        assert get_indicator("test_custom") is not None
+        with pytest.raises(ReproError):
+            register_indicator("test_custom", lambda r: 2.0)
+        register_indicator("test_custom", lambda r: 2.0, overwrite=True)

@@ -1,0 +1,146 @@
+"""End-to-end toolkit flow on the real simulator (reduced budget).
+
+The canonical 5-factor study runs in the benchmarks; here a 2-factor
+sub-space keeps the suite fast while still exercising the whole chain:
+design -> envelope simulation -> RSM fit -> validation -> instant
+exploration -> optimization.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.desirability import CompositeDesirability, Desirability
+from repro.core.factors import DesignSpace, Factor
+from repro.core.toolkit import (
+    SensorNodeDesignToolkit,
+    standard_desirability,
+)
+from repro.errors import DesignError
+from repro.sim.envelope import EnvelopeOptions, clear_charging_cache
+
+FAST_ENVELOPE = EnvelopeOptions(
+    map_v_points=4,
+    map_nr_warmup_cycles=4,
+    map_warmup_cycles=8,
+    map_measure_cycles=6,
+    map_max_blocks=3,
+    map_steps_per_period=80,
+)
+
+
+@pytest.fixture(scope="module")
+def study():
+    clear_charging_cache()
+    space = DesignSpace(
+        [
+            Factor("capacitance", 0.10, 1.00, units="F"),
+            Factor("tx_interval", 2.0, 60.0, transform="log", units="s"),
+        ]
+    )
+    toolkit = SensorNodeDesignToolkit(
+        space=space,
+        mission_time=600.0,
+        envelope=FAST_ENVELOPE,
+    )
+    return toolkit.run_study(design="ccd", validate_points=5)
+
+
+class TestStudyFlow:
+    def test_design_ran(self, study):
+        assert study.exploration.n_runs >= 11
+
+    def test_surfaces_fit_well(self, study):
+        # Data rate is dominated by the reporting period: near-perfect.
+        assert study.surfaces["effective_data_rate"].stats.r_squared > 0.95
+
+    def test_validation_populated(self, study):
+        assert study.validation is not None
+        rate = study.validation.metrics["effective_data_rate"]
+        assert rate["normalized_rmse"] < 0.25
+
+    def test_rsm_evaluation_fast(self, study):
+        # "Practically instant": thousands of times faster than a
+        # mission simulation.
+        assert study.speedup_sim_vs_rsm > 1000.0
+
+    def test_predict_physical_units(self, study):
+        out = study.predict(capacitance=0.5, tx_interval=10.0)
+        assert set(out) == set(study.surfaces)
+        # 256 bits / 10 s = 25.6 bit/s within surface error.
+        assert out["effective_data_rate"] == pytest.approx(25.6, rel=0.3)
+
+    def test_predict_monotone_in_interval(self, study):
+        fast = study.predict(capacitance=0.5, tx_interval=3.0)
+        slow = study.predict(capacitance=0.5, tx_interval=50.0)
+        assert (
+            fast["effective_data_rate"] > slow["effective_data_rate"]
+        )
+
+    def test_surface_slice_shapes(self, study):
+        x, y, grid = study.surface_slice(
+            "effective_data_rate", "capacitance", "tx_interval", n=11
+        )
+        assert x.shape == (11,) and y.shape == (11,)
+        assert grid.shape == (11, 11)
+        # Physical axes span the factor ranges.
+        assert x[0] == pytest.approx(0.10) and x[-1] == pytest.approx(1.00)
+
+    def test_trade_off_front(self, study):
+        points, values = study.trade_off(
+            ["effective_data_rate", "downtime_fraction"],
+            maximize=[True, False],
+            points_per_axis=9,
+        )
+        assert points.shape[0] == values.shape[0] > 0
+
+    def test_optimize_desirability(self, study):
+        comp = CompositeDesirability(
+            {
+                "effective_data_rate": Desirability("maximize", 0.0, 60.0),
+                "min_store_voltage": Desirability("maximize", 2.2, 2.6),
+            }
+        )
+        outcome, physical = study.optimize(comp)
+        assert 0.0 < outcome.value <= 1.0
+        assert set(physical) == {"capacitance", "tx_interval"}
+
+    def test_report_renders(self, study):
+        text = study.report()
+        assert "== fit quality ==" in text
+        assert "speedup" in text
+
+    def test_unknown_surface_rejected(self, study):
+        with pytest.raises(DesignError):
+            study.surface_slice("bogus", "capacitance", "tx_interval")
+
+
+class TestToolkitConfig:
+    def test_build_design_kinds(self):
+        toolkit = SensorNodeDesignToolkit(
+            space=DesignSpace(
+                [Factor("capacitance", 0.1, 1.0), Factor("tx_interval", 2, 60)]
+            )
+        )
+        assert toolkit.build_design("ccd").kind == "ccd"
+        assert toolkit.build_design("lhs").kind == "lhs"
+        with pytest.raises(DesignError):
+            toolkit.build_design("taguchi")
+
+    def test_standard_desirability_shape(self):
+        comp = standard_desirability()
+        good = comp(
+            {
+                "effective_data_rate": 50.0,
+                "downtime_fraction": 0.0,
+                "final_store_voltage": 3.4,
+            }
+        )
+        bad = comp(
+            {
+                "effective_data_rate": 50.0,
+                "downtime_fraction": 0.5,
+                "final_store_voltage": 3.4,
+            }
+        )
+        assert good > 0.5
+        assert bad == 0.0

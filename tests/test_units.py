@@ -1,0 +1,53 @@
+"""Units and constants."""
+
+import math
+
+import pytest
+
+from repro import units
+
+
+def test_hz_rad_roundtrip():
+    assert units.rad_to_hz(units.hz_to_rad(67.0)) == pytest.approx(67.0)
+
+
+def test_hz_to_rad_value():
+    assert units.hz_to_rad(1.0) == pytest.approx(2.0 * math.pi)
+
+
+def test_g_conversion_roundtrip():
+    assert units.ms2_to_g(units.g_to_ms2(0.06)) == pytest.approx(0.06)
+
+
+def test_one_g_is_standard_gravity():
+    assert units.g_to_ms2(1.0) == pytest.approx(9.80665)
+
+
+def test_db_of_ten_is_ten():
+    assert units.db(10.0) == pytest.approx(10.0)
+
+
+def test_db_roundtrip():
+    assert units.from_db(units.db(3.7)) == pytest.approx(3.7)
+
+
+def test_db_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        units.db(0.0)
+    with pytest.raises(ValueError):
+        units.db(-1.0)
+
+
+def test_thermal_voltage_at_27c():
+    # kT/q at 300.15 K is about 25.9 mV.
+    assert units.thermal_voltage(27.0) == pytest.approx(0.02585, rel=1e-3)
+
+
+def test_thermal_voltage_increases_with_temperature():
+    assert units.thermal_voltage(85.0) > units.thermal_voltage(27.0)
+
+
+def test_prefixes():
+    assert units.MICRO * units.MEGA == pytest.approx(1.0)
+    assert units.MILLI * units.KILO == pytest.approx(1.0)
+    assert units.NANO * 1e9 == pytest.approx(1.0)

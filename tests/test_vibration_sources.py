@@ -1,0 +1,171 @@
+"""Vibration sources: waveforms, dominant frequency, vectorization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ModelError
+from repro.vibration.sources import (
+    BandNoiseVibration,
+    CompositeVibration,
+    DriftingSineVibration,
+    MultiToneVibration,
+    SineVibration,
+    SteppedFrequencyVibration,
+)
+
+
+class TestSineVibration:
+    def test_amplitude_and_frequency(self):
+        src = SineVibration(amplitude=0.6, frequency=67.0)
+        t = np.linspace(0.0, 1.0, 6701)
+        a = src.acceleration_array(t)
+        assert np.max(np.abs(a)) == pytest.approx(0.6, rel=1e-3)
+        assert src.dominant_frequency(0.0) == 67.0
+
+    def test_scalar_matches_array(self):
+        src = SineVibration(0.5, 40.0, phase=0.3)
+        times = np.array([0.0, 0.01, 0.37])
+        array = src.acceleration_array(times)
+        scalars = [src.acceleration(float(t)) for t in times]
+        assert np.allclose(array, scalars)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ModelError):
+            SineVibration(-1.0, 50.0)
+        with pytest.raises(ModelError):
+            SineVibration(1.0, 0.0)
+
+    @given(st.floats(0.01, 10.0), st.floats(1.0, 500.0))
+    def test_amplitude_bound_property(self, amp, freq):
+        src = SineVibration(amp, freq)
+        t = np.linspace(0.0, 0.1, 257)
+        assert np.all(np.abs(src.acceleration_array(t)) <= amp * (1 + 1e-12))
+
+
+class TestMultiTone:
+    def test_dominant_is_largest_amplitude(self):
+        src = MultiToneVibration([(0.1, 50.0, 0.0), (0.5, 67.0, 0.0), (0.2, 120.0, 0.0)])
+        assert src.dominant_frequency(0.0) == 67.0
+        assert src.amplitude(0.0) == 0.5
+
+    def test_tie_resolves_to_lowest_frequency(self):
+        src = MultiToneVibration([(0.3, 90.0, 0.0), (0.3, 60.0, 0.0)])
+        assert src.dominant_frequency(0.0) == 60.0
+
+    def test_superposition(self):
+        tones = [(0.2, 30.0, 0.1), (0.4, 70.0, 1.0)]
+        src = MultiToneVibration(tones)
+        parts = [SineVibration(a, f, p) for a, f, p in tones]
+        t = 0.123
+        assert src.acceleration(t) == pytest.approx(
+            sum(p.acceleration(t) for p in parts)
+        )
+
+    def test_rejects_empty(self):
+        with pytest.raises(ModelError):
+            MultiToneVibration([])
+
+
+class TestDriftingSine:
+    def test_frequency_ramp(self):
+        src = DriftingSineVibration(0.6, 64.0, 72.0, drift_rate=0.02)
+        assert src.dominant_frequency(0.0) == 64.0
+        assert src.dominant_frequency(src.ramp_duration) == 72.0
+        assert src.dominant_frequency(src.ramp_duration * 10) == 72.0
+        mid = src.dominant_frequency(src.ramp_duration / 2)
+        assert mid == pytest.approx(68.0)
+
+    def test_downward_drift(self):
+        src = DriftingSineVibration(0.6, 72.0, 64.0, drift_rate=0.02)
+        assert src.dominant_frequency(0.0) == 72.0
+        assert src.dominant_frequency(1e9) == 64.0
+
+    def test_waveform_continuous(self):
+        src = DriftingSineVibration(1.0, 10.0, 20.0, drift_rate=1.0)
+        t = np.linspace(0.0, 15.0, 200001)
+        a = src.acceleration_array(t)
+        # No jumps: the max sample-to-sample delta is bounded by
+        # amplitude * max angular frequency * dt.
+        dt = t[1] - t[0]
+        max_step = 1.0 * 2 * np.pi * 20.0 * dt
+        assert np.max(np.abs(np.diff(a))) <= max_step * 1.05
+
+    def test_scalar_matches_array(self):
+        src = DriftingSineVibration(0.5, 30.0, 40.0, drift_rate=0.5)
+        times = np.array([0.0, 5.0, 19.9, 25.0])
+        array = src.acceleration_array(times)
+        scalars = [src.acceleration(float(x)) for x in times]
+        assert np.allclose(array, scalars)
+
+
+class TestSteppedFrequency:
+    def test_segments(self):
+        src = SteppedFrequencyVibration(0.5, [(0.0, 50.0), (10.0, 70.0)])
+        assert src.dominant_frequency(5.0) == 50.0
+        assert src.dominant_frequency(10.0) == 70.0
+        assert src.dominant_frequency(100.0) == 70.0
+
+    def test_phase_continuity_at_switch(self):
+        src = SteppedFrequencyVibration(1.0, [(0.0, 50.0), (1.0, 80.0)])
+        eps = 1e-7
+        before = src.acceleration(1.0 - eps)
+        after = src.acceleration(1.0 + eps)
+        assert abs(after - before) < 1e-3
+
+    def test_must_start_at_zero(self):
+        with pytest.raises(ModelError):
+            SteppedFrequencyVibration(0.5, [(1.0, 50.0)])
+
+    def test_increasing_times_required(self):
+        with pytest.raises(ModelError):
+            SteppedFrequencyVibration(0.5, [(0.0, 50.0), (0.0, 60.0)])
+
+
+class TestBandNoise:
+    def test_rms_level(self):
+        src = BandNoiseVibration(rms=0.2, f_low=20.0, f_high=120.0, seed=3)
+        t = np.linspace(0.0, 20.0, 2**16)
+        a = src.acceleration_array(t)
+        assert np.sqrt(np.mean(a**2)) == pytest.approx(0.2, rel=0.05)
+
+    def test_deterministic_given_seed(self):
+        a = BandNoiseVibration(0.1, 10.0, 50.0, seed=7)
+        b = BandNoiseVibration(0.1, 10.0, 50.0, seed=7)
+        t = np.linspace(0, 1, 100)
+        assert np.array_equal(a.acceleration_array(t), b.acceleration_array(t))
+
+    def test_different_seeds_differ(self):
+        a = BandNoiseVibration(0.1, 10.0, 50.0, seed=1)
+        b = BandNoiseVibration(0.1, 10.0, 50.0, seed=2)
+        t = np.linspace(0, 1, 100)
+        assert not np.array_equal(a.acceleration_array(t), b.acceleration_array(t))
+
+    def test_dominant_inside_band(self):
+        src = BandNoiseVibration(0.1, 30.0, 90.0, seed=5)
+        assert 30.0 <= src.dominant_frequency(0.0) <= 90.0
+
+    def test_rejects_bad_band(self):
+        with pytest.raises(ModelError):
+            BandNoiseVibration(0.1, 50.0, 50.0)
+
+
+class TestComposite:
+    def test_sum_of_components(self):
+        s1 = SineVibration(0.3, 40.0)
+        s2 = SineVibration(0.2, 90.0)
+        comp = CompositeVibration([s1, s2])
+        t = 0.0314
+        assert comp.acceleration(t) == pytest.approx(
+            s1.acceleration(t) + s2.acceleration(t)
+        )
+
+    def test_dominant_follows_strongest(self):
+        comp = CompositeVibration(
+            [SineVibration(0.5, 67.0), SineVibration(0.1, 33.0)]
+        )
+        assert comp.dominant_frequency(0.0) == 67.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ModelError):
+            CompositeVibration([])

@@ -1,0 +1,100 @@
+"""Dominant-frequency estimators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.vibration.sources import MultiToneVibration, SineVibration
+from repro.vibration.spectrum import (
+    estimate_dominant_frequency,
+    fft_dominant_frequency,
+    zero_crossing_frequency,
+)
+
+
+def _sine_samples(freq, rate=1024.0, n=1024, amp=1.0, phase=0.4):
+    t = np.arange(n) / rate
+    return amp * np.sin(2 * np.pi * freq * t + phase)
+
+
+class TestFFTEstimator:
+    def test_on_bin_tone(self):
+        # 64 Hz with 1024 samples at 1024 Hz sits exactly on a bin.
+        samples = _sine_samples(64.0)
+        assert fft_dominant_frequency(samples, 1024.0) == pytest.approx(
+            64.0, abs=0.05
+        )
+
+    def test_off_bin_interpolation(self):
+        samples = _sine_samples(67.3)
+        est = fft_dominant_frequency(samples, 1024.0)
+        assert est == pytest.approx(67.3, abs=0.2)
+
+    def test_zero_signal_returns_zero(self):
+        assert fft_dominant_frequency(np.zeros(256), 1000.0) == 0.0
+
+    def test_picks_strongest_of_two_tones(self):
+        t = np.arange(2048) / 2048.0
+        samples = 0.2 * np.sin(2 * np.pi * 50 * t) + 1.0 * np.sin(
+            2 * np.pi * 120 * t
+        )
+        assert fft_dominant_frequency(samples, 2048.0) == pytest.approx(
+            120.0, abs=0.5
+        )
+
+    def test_rejects_short_capture(self):
+        with pytest.raises(ModelError):
+            fft_dominant_frequency(np.zeros(4), 100.0)
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ModelError):
+            fft_dominant_frequency(np.zeros(64), 0.0)
+
+
+class TestZeroCrossing:
+    def test_clean_tone(self):
+        samples = _sine_samples(67.0, n=2048)
+        est = zero_crossing_frequency(samples, 1024.0)
+        assert est == pytest.approx(67.0, abs=0.3)
+
+    def test_silence_returns_zero(self):
+        assert zero_crossing_frequency(np.zeros(64), 1000.0) == 0.0
+
+    def test_dc_offset_bias(self):
+        # Zero-crossing estimation degrades with DC offset; it should
+        # still return something positive, not crash.
+        samples = _sine_samples(50.0, n=2048) + 0.5
+        est = zero_crossing_frequency(samples, 1024.0)
+        assert est > 0.0
+
+
+class TestEstimateFromSource:
+    def test_fft_on_source(self):
+        src = SineVibration(0.6, 67.0)
+        est = estimate_dominant_frequency(src, t_start=3.0, capture_time=0.5)
+        assert est == pytest.approx(67.0, abs=0.3)
+
+    def test_zero_crossing_method(self):
+        src = SineVibration(0.6, 67.0)
+        est = estimate_dominant_frequency(
+            src, t_start=0.0, method="zero-crossing"
+        )
+        assert est == pytest.approx(67.0, abs=0.5)
+
+    def test_longer_capture_is_finer(self):
+        src = MultiToneVibration([(0.6, 67.4, 0.0), (0.1, 50.0, 0.0)])
+        short = estimate_dominant_frequency(src, 0.0, capture_time=0.25)
+        long = estimate_dominant_frequency(src, 0.0, capture_time=2.0)
+        assert abs(long - 67.4) <= abs(short - 67.4) + 0.05
+
+    def test_unknown_method(self):
+        with pytest.raises(ModelError):
+            estimate_dominant_frequency(
+                SineVibration(1.0, 10.0), 0.0, method="wavelet"
+            )
+
+    def test_bad_capture_time(self):
+        with pytest.raises(ModelError):
+            estimate_dominant_frequency(
+                SineVibration(1.0, 10.0), 0.0, capture_time=0.0
+            )
