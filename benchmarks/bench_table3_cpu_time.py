@@ -15,7 +15,7 @@ import time
 
 import numpy as np
 
-from benchmarks.conftest import BENCH_ENVELOPE, print_banner
+from benchmarks.conftest import BENCH_ENVELOPE, SMOKE, print_banner
 from repro.analysis.io import write_csv
 from repro.analysis.tables import format_table
 from repro.presets import default_system
@@ -24,8 +24,9 @@ from repro.sim.state_space import LinearizedStateSpaceEngine
 from repro.sim.runner import MissionConfig, simulate
 from repro.sim.system import SystemModel
 
-HORIZON = 1.0  # seconds of full-fidelity transient
+HORIZON = 0.25 if SMOKE else 1.0  # seconds of full-fidelity transient
 FREQ = 67.0
+MISSION = 300.0 if SMOKE else 900.0
 
 
 def _run_engine(engine_cls):
@@ -49,7 +50,9 @@ def test_table3_cpu_time(benchmark, canonical_study):
     started = time.perf_counter()
     simulate(
         config,
-        MissionConfig(t_end=900.0, engine="envelope", envelope=BENCH_ENVELOPE),
+        MissionConfig(
+            t_end=MISSION, engine="envelope", envelope=BENCH_ENVELOPE
+        ),
     )
     t_env = time.perf_counter() - started
 
@@ -64,9 +67,9 @@ def test_table3_cpu_time(benchmark, canonical_study):
     t_rsm = canonical_study.rsm_eval_seconds
 
     rows = [
-        ["Newton-Raphson transient (1 s)", t_nr, 1.0],
-        ["linearized state-space (1 s)", t_lss, t_nr / t_lss],
-        ["envelope mission (900 s)", t_env, float("nan")],
+        [f"Newton-Raphson transient ({HORIZON:g} s)", t_nr, 1.0],
+        [f"linearized state-space ({HORIZON:g} s)", t_lss, t_nr / t_lss],
+        [f"envelope mission ({MISSION:.0f} s)", t_env, float("nan")],
         ["RSM evaluation (all responses)", t_rsm, t_nr / t_rsm],
     ]
     print(

@@ -11,26 +11,44 @@ Run everything with::
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
 from repro.core.toolkit import SensorNodeDesignToolkit
 from repro.sim.envelope import EnvelopeOptions
 
+#: Reduced-budget mode for CI smoke runs: set ``REPRO_BENCH_SMOKE=1``
+#: to shrink mission lengths and map budgets so the key benchmarks
+#: finish inside a one-minute gate while exercising the same code.
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
 #: Envelope settings shared by every benchmark: production keying with
 #: a slightly reduced measurement budget so the whole suite stays in
 #: minutes.
-BENCH_ENVELOPE = EnvelopeOptions(
-    map_v_points=5,
-    map_nr_warmup_cycles=5,
-    map_warmup_cycles=12,
-    map_measure_cycles=8,
-    map_max_blocks=4,
-    map_steps_per_period=90,
+BENCH_ENVELOPE = (
+    EnvelopeOptions(
+        map_v_points=4,
+        map_nr_warmup_cycles=4,
+        map_warmup_cycles=8,
+        map_measure_cycles=6,
+        map_max_blocks=3,
+        map_steps_per_period=80,
+    )
+    if SMOKE
+    else EnvelopeOptions(
+        map_v_points=5,
+        map_nr_warmup_cycles=5,
+        map_warmup_cycles=12,
+        map_measure_cycles=8,
+        map_max_blocks=4,
+        map_steps_per_period=90,
+    )
 )
 
 #: Mission length for the DoE studies, s.
-STUDY_MISSION_TIME = 900.0
+STUDY_MISSION_TIME = 300.0 if SMOKE else 900.0
 
 
 @pytest.fixture(scope="session")
@@ -39,7 +57,7 @@ def canonical_study():
     toolkit = SensorNodeDesignToolkit(
         mission_time=STUDY_MISSION_TIME, envelope=BENCH_ENVELOPE
     )
-    return toolkit.run_study(design="ccd", validate_points=8)
+    return toolkit.run_study(design="ccd", validate_points=4 if SMOKE else 8)
 
 
 @pytest.fixture(scope="session")

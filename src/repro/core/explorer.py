@@ -12,7 +12,6 @@ functions.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Callable, Mapping, Sequence
 
@@ -28,6 +27,7 @@ from repro.core.rsm.surface import ResponseSurface
 from repro.core.rsm.terms import ModelSpec
 from repro.core.rsm.transforms import TransformedSurface, forward_transform
 from repro.errors import DesignError, FitError
+from repro.exec.engine import EvaluationEngine
 
 Evaluator = Callable[[Mapping[str, float]], Mapping[str, float]]
 
@@ -40,13 +40,17 @@ class ExplorationResult:
         design: the coded design that was run.
         x_coded: its matrix (copy, for convenience).
         responses: response name -> vector over runs.
-        run_seconds: wall time per run.
+        run_seconds: wall time per run (0.0 for runs served from the
+            evaluation cache or collapsed onto a replicate).
+        exec_stats: backend/cache statistics snapshot from the
+            evaluation engine that produced this result.
     """
 
     design: Design
     x_coded: np.ndarray
     responses: dict[str, np.ndarray]
     run_seconds: np.ndarray
+    exec_stats: dict = field(default_factory=dict)
 
     @property
     def n_runs(self) -> int:
@@ -84,7 +88,16 @@ class DesignExplorer:
         space: DesignSpace,
         evaluate: Evaluator,
         responses: Sequence[str],
+        engine: EvaluationEngine | None = None,
     ):
+        """Args:
+            space: the coded factor space.
+            evaluate: black-box point evaluator.
+            responses: response names the evaluator must produce.
+            engine: evaluation engine wrapping ``evaluate`` (backend
+                selection, memoization).  Defaults to a serial,
+                uncached engine — exactly the legacy semantics.
+        """
         if not responses:
             raise DesignError("need at least one response name")
         if len(set(responses)) != len(responses):
@@ -92,6 +105,11 @@ class DesignExplorer:
         self.space = space
         self.evaluate = evaluate
         self.responses = tuple(responses)
+        self.engine = (
+            engine
+            if engine is not None
+            else EvaluationEngine(evaluate, backend="serial", cache=False)
+        )
 
     # -- running -----------------------------------------------------------------
 
@@ -102,13 +120,13 @@ class DesignExplorer:
                 f"design has {design.k} factors, space has {self.space.k}"
             )
         n = design.n_runs
+        points = [self.space.point_to_dict(row) for row in design.matrix]
+        evaluations = self.engine.map_points(points)
         columns = {name: np.empty(n) for name in self.responses}
         run_seconds = np.empty(n)
-        for i, row in enumerate(design.matrix):
-            point = self.space.point_to_dict(row)
-            started = time.perf_counter()
-            outcome = self.evaluate(point)
-            run_seconds[i] = time.perf_counter() - started
+        for i, evaluation in enumerate(evaluations):
+            outcome = evaluation.responses
+            run_seconds[i] = evaluation.seconds
             missing = set(self.responses) - set(outcome)
             if missing:
                 raise DesignError(
@@ -121,6 +139,7 @@ class DesignExplorer:
             x_coded=design.matrix.copy(),
             responses=columns,
             run_seconds=run_seconds,
+            exec_stats=self.engine.stats(),
         )
 
     # -- fitting ------------------------------------------------------------------
@@ -222,9 +241,11 @@ class DesignExplorer:
             design = latin_hypercube(n_points, self.space.k, seed=seed)
             x_coded = design.matrix
         x_coded = np.atleast_2d(np.asarray(x_coded, dtype=float))
+        points = [self.space.point_to_dict(row) for row in x_coded]
+        evaluations = self.engine.map_points(points)
         reference = {name: np.empty(x_coded.shape[0]) for name in surfaces}
-        for i, row in enumerate(x_coded):
-            outcome = self.evaluate(self.space.point_to_dict(row))
+        for i, evaluation in enumerate(evaluations):
+            outcome = evaluation.responses
             for name in surfaces:
                 reference[name][i] = float(outcome[name])
         predicted = {

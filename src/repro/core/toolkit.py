@@ -42,8 +42,10 @@ from repro.core.rsm.anova import AnovaTable
 from repro.core.rsm.surface import ResponseSurface
 from repro.core.rsm.terms import ModelSpec
 from repro.errors import DesignError, OptimizationError
+from repro.exec.cache import EvalCache
+from repro.exec.engine import EvaluationEngine
 from repro.indicators import evaluate_indicators
-from repro.presets import default_system
+from repro.presets import default_harvester, default_system
 from repro.sim.envelope import EnvelopeOptions
 from repro.sim.runner import MissionConfig, simulate
 from repro.vibration.sources import VibrationSource
@@ -197,9 +199,36 @@ class ToolkitStudy:
             f"({self.sim_seconds_per_run:.2f} s/run)",
             f"RSM evaluation: {self.rsm_eval_seconds * 1e6:.1f} us/point "
             f"(speedup x{self.speedup_sim_vs_rsm:.0f})",
-            "",
-            "== fit quality ==",
         ]
+        exec_stats = self.meta.get("exec") or self.exploration.exec_stats
+        if exec_stats:
+            parts.append("")
+            parts.append("== evaluation backend ==")
+            line = f"backend: {exec_stats.get('backend', '?')}"
+            if exec_stats.get("backend") == "process":
+                line += (
+                    f" (workers={exec_stats.get('workers')}, "
+                    f"chunk={exec_stats.get('last_chunk_size')})"
+                )
+            parts.append(line)
+            parts.append(
+                f"points evaluated: {exec_stats.get('points_evaluated', 0)} "
+                f"in {exec_stats.get('batches_dispatched', 0)} batches "
+                f"(+{exec_stats.get('replicate_hits', 0)} replicate collapses)"
+            )
+            cache = exec_stats.get("cache")
+            if cache:
+                parts.append(
+                    f"evaluation cache: {cache['hits']} hits / "
+                    f"{cache['misses']} misses "
+                    f"(hit rate {cache['hit_rate'] * 100.0:.0f}%, "
+                    f"{exec_stats.get('cache_entries', 0)} entries, "
+                    f"{cache['evictions']} evictions)"
+                )
+            else:
+                parts.append("evaluation cache: disabled")
+        parts.append("")
+        parts.append("== fit quality ==")
         rows = []
         for name, surface in self.surfaces.items():
             s = surface.stats
@@ -259,6 +288,15 @@ class SensorNodeDesignToolkit:
         system_kwargs: extra keyword arguments forwarded to
             :func:`repro.presets.default_system` for every run (e.g.
             ``topology="bridge"``).
+        backend: design-point evaluation backend — ``"serial"`` or
+            ``"process"`` (chunked ``multiprocessing`` fan-out), or a
+            ready :class:`~repro.exec.backends.EvaluationBackend`.
+        workers: process-backend pool size (default: all CPUs).
+        chunk_size: process-backend points per dispatched chunk.
+        cache: memoize evaluations content-addressed by (physical
+            point, evaluation context) so design replicates, validation
+            revisits and repeated studies never re-simulate.
+        cache_max_entries: optional LRU bound on the evaluation cache.
     """
 
     def __init__(
@@ -270,21 +308,65 @@ class SensorNodeDesignToolkit:
         engine: str = "envelope",
         envelope: EnvelopeOptions | None = None,
         system_kwargs: Mapping[str, object] | None = None,
+        backend: str | object = "serial",
+        workers: int | None = None,
+        chunk_size: int | None = None,
+        cache: bool = True,
+        cache_max_entries: int | None = None,
     ):
         self.space = space if space is not None else canonical_space()
+        self.responses = tuple(responses)
         self.mission_time = float(mission_time)
         self.engine = engine
         self.envelope = envelope
         self.vibration = vibration
         self.system_kwargs = dict(system_kwargs) if system_kwargs else {}
-        self.explorer = DesignExplorer(
-            self.space, self.evaluate_point, responses
+        self._shared_harvester = None
+        self.exec_engine = EvaluationEngine(
+            self.evaluate_point,
+            backend=backend,
+            cache=(
+                EvalCache(max_entries=cache_max_entries) if cache else False
+            ),
+            # Passed as a callable: re-snapshotted per batch, so
+            # reassigning e.g. ``mission_time`` after construction
+            # cannot alias cache entries from the old configuration.
+            context=self._evaluation_context,
+            workers=workers,
+            chunk_size=chunk_size,
+            batch_evaluate=self.evaluate_points_timed,
         )
+        self.explorer = DesignExplorer(
+            self.space, self.evaluate_point, responses, engine=self.exec_engine
+        )
+
+    def _evaluation_context(self) -> dict:
+        """Everything besides the point that shapes an evaluation.
+
+        Folded into every cache fingerprint, so toolkits with different
+        missions, engines, envelope options, excitations or system
+        overrides never share entries even when handed the same cache.
+        """
+        return {
+            "schema": "toolkit-eval-v1",
+            "mission_time": self.mission_time,
+            "engine": self.engine,
+            "envelope": self.envelope,
+            "vibration": self.vibration,
+            "system_kwargs": self.system_kwargs,
+            "responses": list(self.responses),
+        }
 
     # -- the black box ------------------------------------------------------------
 
-    def evaluate_point(self, params: Mapping[str, float]) -> dict[str, float]:
-        """Simulate one mission at a physical design point."""
+    def _mission_config(self) -> MissionConfig:
+        return MissionConfig(
+            t_end=self.mission_time,
+            engine=self.engine,
+            envelope=self.envelope,
+        )
+
+    def _build_config(self, params: Mapping[str, float], harvester=None):
         kwargs = dict(self.system_kwargs)
         for name, value in params.items():
             if name == "payload_bits":
@@ -293,14 +375,61 @@ class SensorNodeDesignToolkit:
                 kwargs[name] = float(value)
         if self.vibration is not None:
             kwargs["vibration"] = self.vibration
-        config = default_system(**kwargs)
-        mission = MissionConfig(
-            t_end=self.mission_time,
-            engine=self.engine,
-            envelope=self.envelope,
-        )
-        result = simulate(config, mission)
-        return evaluate_indicators(result, self.explorer.responses)
+        if harvester is not None:
+            # A harvester handed in via system_kwargs always wins; the
+            # shared instance only replaces the default construction.
+            kwargs.setdefault("harvester", harvester)
+        return default_system(**kwargs)
+
+    def evaluate_point(self, params: Mapping[str, float]) -> dict[str, float]:
+        """Simulate one mission at a physical design point."""
+        result = simulate(self._build_config(params), self._mission_config())
+        return evaluate_indicators(result, self.responses)
+
+    def evaluate_points(
+        self, points: Sequence[Mapping[str, float]]
+    ) -> list[dict[str, float]]:
+        """Batch evaluation amortizing shared construction across points.
+
+        The mission config and the (immutable) harvester are built once
+        for the whole batch; only the per-point storage/node/controller
+        pieces are rebuilt.  Ordering follows the input.
+        """
+        return [
+            responses for responses, _ in self.evaluate_points_timed(points)
+        ]
+
+    def evaluate_points_timed(
+        self, points: Sequence[Mapping[str, float]]
+    ) -> list[tuple[dict[str, float], float]]:
+        """:meth:`evaluate_points` with per-point wall seconds."""
+        mission = self._mission_config()
+        if self._shared_harvester is None:
+            self._shared_harvester = default_harvester()
+        out = []
+        for params in points:
+            started = time.perf_counter()
+            config = self._build_config(
+                params, harvester=self._shared_harvester
+            )
+            result = simulate(config, mission)
+            responses = evaluate_indicators(result, self.responses)
+            out.append((responses, time.perf_counter() - started))
+        return out
+
+    def prewarm(self, params: Mapping[str, float] | None = None) -> dict[str, float]:
+        """Evaluate one point (default: the space centre) in-process.
+
+        Populates the global envelope charging-map grids — and the
+        evaluation cache — in the parent before a process-backend study
+        forks its workers, so every worker inherits warm maps instead
+        of re-measuring them.
+        """
+        if params is None:
+            params = self.space.point_to_dict(
+                np.zeros(self.space.k)
+            )
+        return self.exec_engine.prime(params)
 
     # -- designs -------------------------------------------------------------------
 
@@ -363,18 +492,25 @@ class SensorNodeDesignToolkit:
                 surfaces, n_points=validate_points, seed=validation_seed
             )
         rsm_eval_seconds = self._time_rsm_eval(surfaces)
+        # Mean over runs that actually simulated; cache hits and
+        # replicate collapses cost (essentially) nothing.
+        executed = exploration.run_seconds[exploration.run_seconds > 0.0]
+        sim_seconds_per_run = (
+            float(np.mean(executed)) if executed.size else 0.0
+        )
         return ToolkitStudy(
             space=self.space,
             exploration=exploration,
             surfaces=surfaces,
             anova=anova,
             validation=validation,
-            sim_seconds_per_run=float(np.mean(exploration.run_seconds)),
+            sim_seconds_per_run=sim_seconds_per_run,
             rsm_eval_seconds=rsm_eval_seconds,
             meta={
                 "mission_time": self.mission_time,
                 "engine": self.engine,
                 "model": model if isinstance(model, str) else model.describe(),
+                "exec": self.exec_engine.stats(),
             },
         )
 

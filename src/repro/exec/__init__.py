@@ -1,0 +1,31 @@
+"""Parallel & memoized design-point evaluation.
+
+This package is the execution layer between the DoE/RSM flow and the
+simulation engines: a pluggable backend (serial loop or a chunked
+``multiprocessing`` fan-out) composed with a content-addressed
+evaluation cache, behind :class:`EvaluationEngine`'s single
+``map_points`` API.  :class:`~repro.core.explorer.DesignExplorer` and
+:class:`~repro.core.toolkit.SensorNodeDesignToolkit` route every
+design run, validation sweep and study through it.
+"""
+
+from repro.exec.backends import (
+    EvaluationBackend,
+    ProcessBackend,
+    SerialBackend,
+    resolve_backend,
+)
+from repro.exec.cache import CacheStats, EvalCache, point_fingerprint
+from repro.exec.engine import EvaluationEngine, PointEvaluation
+
+__all__ = [
+    "CacheStats",
+    "EvalCache",
+    "EvaluationBackend",
+    "EvaluationEngine",
+    "PointEvaluation",
+    "ProcessBackend",
+    "SerialBackend",
+    "point_fingerprint",
+    "resolve_backend",
+]

@@ -1,0 +1,208 @@
+"""Evaluation backends: how a batch of design points gets executed.
+
+A backend turns ``(evaluate, points)`` into one timed result per point,
+in the order given — result ordering is part of the contract, so a
+design's response vectors are bit-identical no matter which backend ran
+them.  Two implementations ship:
+
+* :class:`SerialBackend` — today's semantics: one point after another
+  in the calling process.  When the evaluator's owner provides a batch
+  variant (see :class:`~repro.exec.engine.EvaluationEngine`), the
+  serial backend routes through it so per-point construction work is
+  amortized.
+* :class:`ProcessBackend` — fans points out over a ``multiprocessing``
+  pool with chunked dispatch.  On fork platforms the workers inherit
+  the parent's warm global caches (notably the envelope charging-map
+  grids), so prewarming one point in the parent before a study keeps
+  the children from re-measuring grids; on spawn platforms the
+  evaluator must be picklable.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import os
+import time
+from abc import ABC, abstractmethod
+from typing import Callable, Mapping, Sequence
+
+from repro.errors import ReproError
+
+#: One evaluated point: (responses, wall seconds spent evaluating it).
+PointResult = tuple[dict[str, float], float]
+
+Evaluator = Callable[[Mapping[str, float]], Mapping[str, float]]
+BatchEvaluator = Callable[[Sequence[Mapping[str, float]]], list[PointResult]]
+
+# Evaluator handed to fork-started workers via process inheritance
+# (avoids pickling closures / bound methods on the hot path).
+_WORKER_EVALUATE: Evaluator | None = None
+
+
+def _init_worker(evaluate: Evaluator | None = None) -> None:
+    global _WORKER_EVALUATE
+    if evaluate is not None:
+        _WORKER_EVALUATE = evaluate
+
+
+def _call_point(item: tuple[int, Mapping[str, float]]) -> tuple[int, dict, float]:
+    index, point = item
+    if _WORKER_EVALUATE is None:  # pragma: no cover - defensive
+        raise ReproError("worker started without an evaluator")
+    started = time.perf_counter()
+    responses = dict(_WORKER_EVALUATE(point))
+    return index, responses, time.perf_counter() - started
+
+
+class EvaluationBackend(ABC):
+    """Executes a batch of point evaluations."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def run(
+        self, evaluate: Evaluator, points: Sequence[Mapping[str, float]]
+    ) -> list[PointResult]:
+        """Evaluate every point, returning results in input order."""
+
+    def describe(self) -> dict:
+        """Backend parameters for reports and benchmark manifests."""
+        return {"backend": self.name}
+
+    def close(self) -> None:
+        """Release any held resources (pools); idempotent."""
+
+
+class SerialBackend(EvaluationBackend):
+    """In-process, in-order evaluation (the reference semantics).
+
+    Args:
+        batch_evaluate: optional amortized batch evaluator; when given
+            it replaces the per-point loop (it must honour the same
+            ordering contract and time each point itself).
+    """
+
+    name = "serial"
+
+    def __init__(self, batch_evaluate: BatchEvaluator | None = None):
+        self.batch_evaluate = batch_evaluate
+
+    def run(
+        self, evaluate: Evaluator, points: Sequence[Mapping[str, float]]
+    ) -> list[PointResult]:
+        if self.batch_evaluate is not None:
+            results = self.batch_evaluate(points)
+            if len(results) != len(points):
+                raise ReproError(
+                    f"batch evaluator returned {len(results)} results "
+                    f"for {len(points)} points"
+                )
+            return [(dict(responses), seconds) for responses, seconds in results]
+        out: list[PointResult] = []
+        for point in points:
+            started = time.perf_counter()
+            responses = dict(evaluate(point))
+            out.append((responses, time.perf_counter() - started))
+        return out
+
+    def describe(self) -> dict:
+        return {
+            "backend": self.name,
+            "batched": self.batch_evaluate is not None,
+        }
+
+
+class ProcessBackend(EvaluationBackend):
+    """Chunked fan-out over a ``multiprocessing`` pool.
+
+    Args:
+        workers: pool size (default: all visible CPUs).
+        chunk_size: points per dispatched chunk; None picks
+            ``ceil(n / (4 * workers))`` so each worker sees a few
+            chunks (dynamic load balancing without per-point IPC).
+        start_method: multiprocessing start method; None prefers
+            ``"fork"`` where available (evaluators need not pickle and
+            workers inherit warm caches) and falls back to the
+            platform default.
+    """
+
+    name = "process"
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        chunk_size: int | None = None,
+        start_method: str | None = None,
+    ):
+        if workers is not None and workers < 1:
+            raise ReproError(f"workers must be >= 1, got {workers}")
+        if chunk_size is not None and chunk_size < 1:
+            raise ReproError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.workers = workers if workers is not None else (os.cpu_count() or 1)
+        self.chunk_size = chunk_size
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else None
+        self._context = multiprocessing.get_context(start_method)
+        self.start_method = self._context.get_start_method()
+        self.last_chunk_size: int | None = None
+
+    def resolve_chunk_size(self, n_points: int) -> int:
+        if self.chunk_size is not None:
+            return self.chunk_size
+        return max(1, math.ceil(n_points / (4 * self.workers)))
+
+    def run(
+        self, evaluate: Evaluator, points: Sequence[Mapping[str, float]]
+    ) -> list[PointResult]:
+        if not points:
+            return []
+        chunk = self.resolve_chunk_size(len(points))
+        self.last_chunk_size = chunk
+        global _WORKER_EVALUATE
+        previous = _WORKER_EVALUATE
+        # Fork workers inherit the module global; spawn workers receive
+        # it through the (pickled) initializer argument.
+        _WORKER_EVALUATE = evaluate
+        initargs = () if self.start_method == "fork" else (evaluate,)
+        try:
+            with self._context.Pool(
+                processes=min(self.workers, len(points)),
+                initializer=_init_worker,
+                initargs=initargs,
+            ) as pool:
+                indexed = pool.map(
+                    _call_point, list(enumerate(points)), chunksize=chunk
+                )
+        finally:
+            _WORKER_EVALUATE = previous
+        indexed.sort(key=lambda triple: triple[0])
+        return [(responses, seconds) for _, responses, seconds in indexed]
+
+    def describe(self) -> dict:
+        return {
+            "backend": self.name,
+            "workers": self.workers,
+            "chunk_size": self.chunk_size,
+            "last_chunk_size": self.last_chunk_size,
+            "start_method": self.start_method,
+        }
+
+
+def resolve_backend(
+    spec: str | EvaluationBackend,
+    workers: int | None = None,
+    chunk_size: int | None = None,
+    batch_evaluate: BatchEvaluator | None = None,
+) -> EvaluationBackend:
+    """Build a backend from a name ("serial" / "process") or pass one through."""
+    if isinstance(spec, EvaluationBackend):
+        return spec
+    if spec == "serial":
+        return SerialBackend(batch_evaluate=batch_evaluate)
+    if spec == "process":
+        return ProcessBackend(workers=workers, chunk_size=chunk_size)
+    raise ReproError(
+        f"unknown evaluation backend {spec!r}; pick 'serial' or 'process'"
+    )

@@ -1,0 +1,151 @@
+"""Content-addressed cache for design-point evaluations.
+
+A design point is identified by the *canonical hash* of its physical
+factor dictionary plus an evaluation-context fingerprint (mission
+length, engine choice, envelope options, system overrides — anything
+that changes the mapping from factors to responses).  CCD axial/centre
+replicates, validation points revisiting study points, and repeated
+studies over the same configuration therefore share one simulation.
+
+The cache is deliberately process-local and in-memory: evaluations are
+deterministic, so re-populating it is always safe, and keeping it out
+of the filesystem avoids stale-artefact hazards across code changes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from repro.errors import ReproError
+
+
+def _canonical(obj: object, depth: int = 0) -> object:
+    """Reduce an object to a JSON-stable structure.
+
+    Floats go through ``repr`` so the key reflects the exact bit
+    pattern handed to the evaluator (1.0 and 1.0000000000000002 are
+    different design points); containers and plain attribute-bag
+    objects (vibration sources, option dataclasses) are recursed;
+    anything else falls back to ``repr`` of its type and value.
+    """
+    if depth > 8:
+        return f"{type(obj).__name__}:{obj!r}"
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        return repr(obj)
+    if isinstance(obj, (np.floating, np.integer)):
+        return repr(obj.item())
+    if isinstance(obj, np.ndarray):
+        return [_canonical(v, depth + 1) for v in obj.tolist()]
+    if isinstance(obj, Mapping):
+        return {
+            str(k): _canonical(obj[k], depth + 1)
+            for k in sorted(obj, key=str)
+        }
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        items = sorted(obj, key=repr) if isinstance(obj, (set, frozenset)) else obj
+        return [_canonical(v, depth + 1) for v in items]
+    attrs = getattr(obj, "__dict__", None)
+    if attrs:
+        return {
+            "__type__": type(obj).__name__,
+            **{
+                str(k): _canonical(v, depth + 1)
+                for k, v in sorted(attrs.items(), key=lambda kv: str(kv[0]))
+            },
+        }
+    return f"{type(obj).__name__}:{obj!r}"
+
+
+def point_fingerprint(
+    point: Mapping[str, float], context: object = None
+) -> str:
+    """Canonical hash of a physical factor dict within a context."""
+    payload = json.dumps(
+        {"point": _canonical(point), "context": _canonical(context)},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting exposed through the study reports."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0 when unused)."""
+        total = self.lookups
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class EvalCache:
+    """LRU map from point fingerprints to response dictionaries.
+
+    Args:
+        max_entries: bound on stored evaluations; None keeps every
+            entry (study-scale workloads are thousands of points of a
+            few floats each, so unbounded is the sensible default).
+    """
+
+    def __init__(self, max_entries: int | None = None):
+        if max_entries is not None and max_entries < 1:
+            raise ReproError(
+                f"max_entries must be >= 1 or None, got {max_entries}"
+            )
+        self.max_entries = max_entries
+        self.stats = CacheStats()
+        self._entries: OrderedDict[str, dict[str, float]] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return fingerprint in self._entries
+
+    def get(self, fingerprint: str) -> dict[str, float] | None:
+        """Responses for a fingerprint, or None (counts hit/miss)."""
+        entry = self._entries.get(fingerprint)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(fingerprint)
+        self.stats.hits += 1
+        return dict(entry)
+
+    def put(self, fingerprint: str, responses: Mapping[str, float]) -> None:
+        """Store an evaluation (refreshes recency on overwrite)."""
+        self._entries[fingerprint] = dict(responses)
+        self._entries.move_to_end(fingerprint)
+        if self.max_entries is not None:
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+
+    def clear(self) -> None:
+        """Drop all entries (statistics are kept)."""
+        self._entries.clear()

@@ -1,0 +1,231 @@
+"""The evaluation engine: backend + cache behind one ``map_points``.
+
+:class:`EvaluationEngine` is what :class:`~repro.core.explorer.DesignExplorer`
+and :class:`~repro.core.toolkit.SensorNodeDesignToolkit` actually call.
+For a batch of physical design points it:
+
+1. fingerprints every point against the evaluation context,
+2. answers what it can from the content-addressed cache,
+3. deduplicates the remaining points *within the batch* (a CCD's
+   centre replicates collapse to one simulation),
+4. dispatches the unique misses to the configured backend, and
+5. reassembles results in input order and feeds the cache.
+
+Determinism: evaluators in this codebase are pure functions of the
+point (simulations are seeded/closed-form), so serving replicates and
+cache hits from one evaluation is exact, not approximate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.errors import ReproError
+from repro.exec.backends import (
+    BatchEvaluator,
+    EvaluationBackend,
+    Evaluator,
+    resolve_backend,
+)
+from repro.exec.cache import EvalCache, point_fingerprint
+
+
+@dataclass
+class PointEvaluation:
+    """One evaluated design point.
+
+    Attributes:
+        responses: response name -> value.
+        seconds: wall time spent evaluating *this call* (0.0 for
+            cache hits and within-batch replicates).
+        cached: served from the evaluation cache.
+        fingerprint: content hash of (point, context).
+    """
+
+    responses: dict[str, float]
+    seconds: float
+    cached: bool
+    fingerprint: str
+
+
+class EvaluationEngine:
+    """Pluggable, memoizing executor for design-point batches.
+
+    Args:
+        evaluate: the black-box point evaluator.
+        backend: "serial", "process", or a backend instance.
+        cache: True for an unbounded :class:`EvalCache`, False/None to
+            disable memoization, or a ready cache instance (sharable
+            across engines).
+        context: structure folded into every fingerprint; anything
+            that changes evaluator behaviour (mission length, engine
+            options, system overrides) belongs here.  A callable is
+            re-invoked per batch, so owners whose configuration is
+            mutable can hand a live snapshot function instead of a
+            stale init-time value.
+        workers / chunk_size: forwarded to the process backend.
+        batch_evaluate: amortized batch variant used by the serial
+            backend when given.
+    """
+
+    def __init__(
+        self,
+        evaluate: Evaluator,
+        backend: str | EvaluationBackend = "serial",
+        *,
+        cache: bool | EvalCache | None = True,
+        context: object = None,
+        workers: int | None = None,
+        chunk_size: int | None = None,
+        batch_evaluate: BatchEvaluator | None = None,
+    ):
+        self.evaluate = evaluate
+        self.backend = resolve_backend(
+            backend,
+            workers=workers,
+            chunk_size=chunk_size,
+            batch_evaluate=batch_evaluate,
+        )
+        if cache is True:
+            self.cache: EvalCache | None = EvalCache()
+        elif cache is False or cache is None:
+            self.cache = None
+        elif isinstance(cache, EvalCache):
+            self.cache = cache
+        else:
+            raise ReproError(
+                f"cache must be bool, None or EvalCache, got {type(cache)!r}"
+            )
+        self.context = context
+        self.points_evaluated = 0
+        self.batches_dispatched = 0
+        self.replicate_hits = 0
+
+    def _context_value(self) -> object:
+        return self.context() if callable(self.context) else self.context
+
+    # -- the one entry point ---------------------------------------------------
+
+    def map_points(
+        self, points: Sequence[Mapping[str, float]]
+    ) -> list[PointEvaluation]:
+        """Evaluate a batch of physical points, in order."""
+        n = len(points)
+        context = self._context_value()
+        fingerprints = [
+            point_fingerprint(point, context) for point in points
+        ]
+        results: list[PointEvaluation | None] = [None] * n
+
+        if self.cache is None:
+            # No memoization: every point runs, replicates included,
+            # which reproduces the legacy evaluation behaviour exactly.
+            self.batches_dispatched += 1
+            evaluated = self.backend.run(self.evaluate, points)
+            if len(evaluated) != n:
+                raise ReproError(
+                    f"backend returned {len(evaluated)} results for "
+                    f"{n} points"
+                )
+            self.points_evaluated += n
+            return [
+                PointEvaluation(
+                    responses=dict(responses),
+                    seconds=seconds,
+                    cached=False,
+                    fingerprint=fp,
+                )
+                for fp, (responses, seconds) in zip(fingerprints, evaluated)
+            ]
+
+        # Cache pass: answer hits, collapse within-batch replicates.
+        pending: dict[str, list[int]] = {}
+        pending_points: list[Mapping[str, float]] = []
+        for i, (point, fp) in enumerate(zip(points, fingerprints)):
+            slots = pending.get(fp)
+            if slots is not None:
+                # Within-batch replicate: one simulation serves all
+                # (checked before the cache so the hit/miss stats only
+                # count unique points).
+                slots.append(i)
+                self.replicate_hits += 1
+                continue
+            hit = self.cache.get(fp)
+            if hit is not None:
+                results[i] = PointEvaluation(
+                    responses=hit, seconds=0.0, cached=True, fingerprint=fp
+                )
+                continue
+            pending[fp] = [i]
+            pending_points.append(point)
+
+        # Backend pass over the unique misses.
+        if pending_points:
+            self.batches_dispatched += 1
+            evaluated = self.backend.run(self.evaluate, pending_points)
+            if len(evaluated) != len(pending_points):
+                raise ReproError(
+                    f"backend returned {len(evaluated)} results for "
+                    f"{len(pending_points)} points"
+                )
+            self.points_evaluated += len(evaluated)
+            for (fp, slots), (responses, seconds) in zip(
+                pending.items(), evaluated
+            ):
+                self.cache.put(fp, responses)
+                for j, i in enumerate(slots):
+                    results[i] = PointEvaluation(
+                        responses=dict(responses),
+                        seconds=seconds if j == 0 else 0.0,
+                        cached=j > 0,
+                        fingerprint=fp,
+                    )
+        missing = [i for i, r in enumerate(results) if r is None]
+        if missing:  # pragma: no cover - defensive
+            raise ReproError(f"points never evaluated: {missing}")
+        return results  # type: ignore[return-value]
+
+    def __call__(self, point: Mapping[str, float]) -> dict[str, float]:
+        """Single-point convenience (same caching path)."""
+        return self.map_points([point])[0].responses
+
+    def prime(self, point: Mapping[str, float]) -> dict[str, float]:
+        """Evaluate one point *in the calling process*, bypassing the backend.
+
+        This is the prewarm path: a process backend would run the point
+        in a forked worker, whose freshly-built global caches (the
+        envelope charging-map grids) die with the pool.  Evaluating
+        in-parent builds them where every future worker will inherit
+        them.  The result still lands in the evaluation cache.
+        """
+        fp = point_fingerprint(point, self._context_value())
+        if self.cache is not None:
+            hit = self.cache.get(fp)
+            if hit is not None:
+                return hit
+        responses = dict(self.evaluate(point))
+        self.points_evaluated += 1
+        if self.cache is not None:
+            self.cache.put(fp, responses)
+        return responses
+
+    # -- bookkeeping -----------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Backend and cache statistics for reports/benchmarks."""
+        out = dict(self.backend.describe())
+        out.update(
+            points_evaluated=self.points_evaluated,
+            batches_dispatched=self.batches_dispatched,
+            replicate_hits=self.replicate_hits,
+        )
+        if self.cache is not None:
+            out["cache"] = self.cache.stats.as_dict()
+            out["cache_entries"] = len(self.cache)
+        else:
+            out["cache"] = None
+        return out
+
+    def close(self) -> None:
+        self.backend.close()

@@ -52,6 +52,7 @@ def default_system(
     with_controller: bool = True,
     topology: str = "bridge",
     n_stages: int = 1,
+    harvester: TunableHarvester | None = None,
 ) -> SystemConfig:
     """The canonical node with the 5-factor design knobs exposed.
 
@@ -73,8 +74,12 @@ def default_system(
             simulate it with the Newton engine — see the fidelity
             finding in DESIGN.md).
         n_stages: multiplier stages when ``topology="multiplier"``.
+        harvester: pre-built harvester to reuse (the batch evaluation
+            path shares one immutable harvester across design points
+            instead of rebuilding it per call).
     """
-    harvester = default_harvester()
+    if harvester is None:
+        harvester = default_harvester()
     supercap = Supercapacitor(capacitance=capacitance, v_initial=v_initial)
     if topology == "multiplier":
         power = build_multiplier_circuit(supercap, n_stages=n_stages)

@@ -105,6 +105,15 @@ class TransientEngine(ABC):
         return self._x.copy()
 
     @property
+    def state_view(self) -> np.ndarray:
+        """The live state vector, without the defensive copy.
+
+        For read-only observation on hot paths (trace recording reads
+        the state every record tick); callers must not mutate it.
+        """
+        return self._x
+
+    @property
     def gap(self) -> float:
         return self._gap
 

@@ -46,15 +46,27 @@ from repro.vibration.sources import SineVibration
 #: current — property-tested).
 _GLOBAL_MAP_CACHE: dict[tuple, tuple[np.ndarray, np.ndarray]] = {}
 
+#: Lookup accounting for the global grid cache (benchmarks and the
+#: study reports surface these; forked workers inherit the parent's
+#: counters but their increments stay in the child).
+_GLOBAL_MAP_STATS = {"hits": 0, "misses": 0}
+
 
 def clear_charging_cache() -> None:
     """Drop all cached charging-current grids (tests use this)."""
     _GLOBAL_MAP_CACHE.clear()
+    _GLOBAL_MAP_STATS["hits"] = 0
+    _GLOBAL_MAP_STATS["misses"] = 0
 
 
 def charging_cache_size() -> int:
     """Number of cached (frequency, amplitude, gap) grid entries."""
     return len(_GLOBAL_MAP_CACHE)
+
+
+def charging_cache_stats() -> dict[str, int]:
+    """Grid-cache lookup counters: {'hits': ..., 'misses': ...}."""
+    return dict(_GLOBAL_MAP_STATS)
 
 
 @dataclass
@@ -215,7 +227,9 @@ class ChargingMap:
         key = (self._physics_key, key_tail)
         hit = _GLOBAL_MAP_CACHE.get(key)
         if hit is not None:
+            _GLOBAL_MAP_STATS["hits"] += 1
             return hit
+        _GLOBAL_MAP_STATS["misses"] += 1
         currents = np.array(
             [self._measure(float(v), f_rep, a_bin, gap_rep) for v in self._v_grid]
         )

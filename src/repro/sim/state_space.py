@@ -34,6 +34,8 @@ measures the ratio achieved here against
 
 from __future__ import annotations
 
+from collections import OrderedDict
+
 import numpy as np
 from scipy.linalg import expm
 
@@ -46,13 +48,22 @@ from repro.sim.system import ModeKey, SystemModel
 #: (prevents chattering from stalling the simulation).
 _MAX_SWITCHES_PER_STEP = 16
 
+#: LRU bound on cached (A_d, B_d) pairs.  Keys carry k_eff, so every
+#: ``set_gap`` during a retune strands the previous stiffness's
+#: entries; long drift missions would otherwise grow the cache without
+#: limit.  A mission needs one entry per *active* PWL mode at the
+#: current stiffness — a few dozen covers every topology shipped here.
+_CACHE_MAX_ENTRIES = 64
+
 
 class LinearizedStateSpaceEngine(TransientEngine):
     """Iteration-free PWL engine with per-mode cached updates."""
 
     def __init__(self, system: SystemModel, dt: float):
         super().__init__(system, dt)
-        self._cache: dict[tuple, tuple[np.ndarray, np.ndarray]] = {}
+        self._cache: OrderedDict[tuple, tuple[np.ndarray, np.ndarray]] = (
+            OrderedDict()
+        )
         self._mode: ModeKey = system.mode_of(self._x)
 
     # -- cache management ---------------------------------------------------------
@@ -65,6 +76,7 @@ class LinearizedStateSpaceEngine(TransientEngine):
         if cacheable:
             hit = self._cache.get(key)
             if hit is not None:
+                self._cache.move_to_end(key)
                 return hit
         a_mat, b_mat = self.system.linear_system(self._k_eff, mode)
         n = a_mat.shape[0]
@@ -78,13 +90,12 @@ class LinearizedStateSpaceEngine(TransientEngine):
         self.stats.n_matrix_builds += 1
         if cacheable:
             self._cache[key] = (a_d, b_d)
+            while len(self._cache) > _CACHE_MAX_ENTRIES:
+                self._cache.popitem(last=False)
+                self.stats.extra["cache_evictions"] = (
+                    self.stats.extra.get("cache_evictions", 0) + 1
+                )
         return a_d, b_d
-
-    def _on_k_eff_changed(self) -> None:
-        # Stale stiffness entries are left in the cache (keys carry
-        # k_eff); prune when it grows past a sane bound.
-        if len(self._cache) > 512:
-            self._cache.clear()
 
     def _on_state_replaced(self) -> None:
         self._mode = self.system.mode_of(self._x)

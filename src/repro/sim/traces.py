@@ -9,7 +9,7 @@ an immediate error rather than a silently separate series.
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping
+from typing import Iterable, Mapping, Sequence
 
 import numpy as np
 
@@ -37,6 +37,9 @@ class TraceRecorder:
         self._record_dt = record_dt
         self._time: list[float] = []
         self._data: dict[str, list[float]] = {name: [] for name in names}
+        # Column views in declaration order for the tuple fast path
+        # (same list objects as ``_data`` — one storage, two indexes).
+        self._columns: list[list[float]] = [self._data[name] for name in names]
         self._events: list[tuple[float, str, str]] = []
         self._next_time = 0.0
 
@@ -68,6 +71,34 @@ class TraceRecorder:
         self._time.append(t)
         for name in self._channels:
             self._data[name].append(float(values[name]))
+        self._next_time = t + self._record_dt
+        return True
+
+    def offer_row(
+        self, t: float, values: Sequence[float], force: bool = False
+    ) -> bool:
+        """Positional fast path of :meth:`offer`.
+
+        ``values`` must follow the declared channel order; skipping the
+        per-channel dict construction and membership checks matters on
+        per-step record paths (see
+        :meth:`repro.sim.runner._FullFidelityMission._record_row`).
+        """
+        time_axis = self._time
+        if time_axis and t < time_axis[-1]:
+            raise SimulationError(
+                f"trace time went backwards: {t} after {time_axis[-1]}"
+            )
+        if not force and t < self._next_time:
+            return False
+        if len(values) != len(self._columns):
+            raise SimulationError(
+                f"row has {len(values)} values for {len(self._columns)} "
+                "channels"
+            )
+        time_axis.append(t)
+        for column, value in zip(self._columns, values):
+            column.append(value)
         self._next_time = t + self._record_dt
         return True
 

@@ -1,0 +1,473 @@
+"""The evaluation subsystem: backends, cache, and the rewired flow.
+
+Covers the acceptance properties of the execution layer: serial and
+process backends produce bit-identical results in deterministic order,
+the content-addressed cache collapses replicates and repeated studies,
+and the LRU bound on the linearized engine's matrix-exponential cache
+holds under retune-heavy gap schedules.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.doe import central_composite, latin_hypercube
+from repro.core.explorer import DesignExplorer
+from repro.core.factors import DesignSpace, Factor
+from repro.core.toolkit import SensorNodeDesignToolkit
+from repro.errors import ReproError, SimulationError
+from repro.exec import (
+    EvalCache,
+    EvaluationEngine,
+    ProcessBackend,
+    SerialBackend,
+    point_fingerprint,
+    resolve_backend,
+)
+from repro.harvester.tuning import TunableHarvester
+from repro.power.rectifier import build_bridge_circuit
+from repro.power.regulator import Regulator
+from repro.power.supercap import Supercapacitor
+from repro.sim.envelope import EnvelopeOptions, clear_charging_cache
+from repro.sim.state_space import _CACHE_MAX_ENTRIES, LinearizedStateSpaceEngine
+from repro.sim.system import SystemConfig, SystemModel
+from repro.sim.traces import TraceRecorder
+from repro.vibration.sources import SineVibration
+
+FAST_ENVELOPE = EnvelopeOptions(
+    map_v_points=4,
+    map_nr_warmup_cycles=4,
+    map_warmup_cycles=8,
+    map_measure_cycles=6,
+    map_max_blocks=3,
+    map_steps_per_period=80,
+)
+
+
+def _synthetic(point):
+    """Deterministic, picklable stand-in for a mission simulation."""
+    a = point["a"]
+    b = point["b"]
+    return {
+        "y1": math.sin(a) * b + a * a,
+        "y2": math.exp(-abs(b)) + 3.0 * a,
+    }
+
+
+def _space():
+    return DesignSpace([Factor("a", -1.0, 1.0), Factor("b", 0.5, 4.0)])
+
+
+class TestPointFingerprint:
+    def test_key_order_irrelevant(self):
+        assert point_fingerprint({"a": 1.0, "b": 2.0}) == point_fingerprint(
+            {"b": 2.0, "a": 1.0}
+        )
+
+    def test_value_bits_matter(self):
+        assert point_fingerprint({"a": 1.0}) != point_fingerprint(
+            {"a": 1.0 + 2.3e-16}  # one ulp away
+        )
+
+    def test_context_partitions_keys(self):
+        point = {"a": 1.0}
+        assert point_fingerprint(point, context=("m", 600.0)) != (
+            point_fingerprint(point, context=("m", 900.0))
+        )
+
+    def test_object_context_is_stable(self):
+        point = {"a": 1.0}
+        ctx_a = {"vibration": SineVibration(0.6, 67.0)}
+        ctx_b = {"vibration": SineVibration(0.6, 67.0)}
+        assert point_fingerprint(point, ctx_a) == point_fingerprint(
+            point, ctx_b
+        )
+        ctx_c = {"vibration": SineVibration(0.6, 68.0)}
+        assert point_fingerprint(point, ctx_a) != point_fingerprint(
+            point, ctx_c
+        )
+
+
+class TestEvalCache:
+    def test_put_get_and_stats(self):
+        cache = EvalCache()
+        assert cache.get("k") is None
+        cache.put("k", {"y": 1.0})
+        assert cache.get("k") == {"y": 1.0}
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.hit_rate == pytest.approx(0.5)
+
+    def test_returned_dict_is_a_copy(self):
+        cache = EvalCache()
+        cache.put("k", {"y": 1.0})
+        cache.get("k")["y"] = 99.0
+        assert cache.get("k") == {"y": 1.0}
+
+    def test_lru_eviction(self):
+        cache = EvalCache(max_entries=2)
+        cache.put("a", {"y": 1.0})
+        cache.put("b", {"y": 2.0})
+        assert cache.get("a") is not None  # refresh 'a'
+        cache.put("c", {"y": 3.0})  # evicts 'b'
+        assert "b" not in cache
+        assert "a" in cache and "c" in cache
+        assert cache.stats.evictions == 1
+
+    def test_bad_bound_rejected(self):
+        with pytest.raises(ReproError):
+            EvalCache(max_entries=0)
+
+
+class TestEvaluationEngine:
+    def test_replicates_collapse_to_one_evaluation(self):
+        calls = []
+
+        def evaluate(point):
+            calls.append(dict(point))
+            return _synthetic(point)
+
+        engine = EvaluationEngine(evaluate, backend="serial", cache=True)
+        point = {"a": 0.3, "b": 1.5}
+        out = engine.map_points([point, dict(point), {"a": -0.2, "b": 2.0}])
+        assert len(calls) == 2
+        assert out[0].responses == out[1].responses
+        assert out[1].cached and not out[0].cached
+        assert out[1].seconds == 0.0
+        assert engine.replicate_hits == 1
+        # Replicates must not pollute the hit/miss stats: two unique
+        # points means two misses, not three.
+        assert engine.cache.stats.misses == 2
+        assert engine.cache.stats.hits == 0
+
+    def test_second_batch_fully_cached(self):
+        engine = EvaluationEngine(_synthetic, backend="serial", cache=True)
+        points = [{"a": float(i) / 7.0, "b": 1.0 + i} for i in range(5)]
+        first = engine.map_points(points)
+        second = engine.map_points(points)
+        assert all(e.cached for e in second)
+        assert [e.responses for e in first] == [e.responses for e in second]
+        assert engine.points_evaluated == 5
+
+    def test_cache_disabled_reruns_everything(self):
+        calls = []
+
+        def evaluate(point):
+            calls.append(1)
+            return _synthetic(point)
+
+        engine = EvaluationEngine(evaluate, backend="serial", cache=False)
+        point = {"a": 0.5, "b": 2.0}
+        engine.map_points([point, dict(point)])
+        engine.map_points([point])
+        assert len(calls) == 3
+        assert engine.stats()["cache"] is None
+
+    def test_single_point_call(self):
+        engine = EvaluationEngine(_synthetic, backend="serial", cache=True)
+        point = {"a": 0.1, "b": 1.0}
+        assert engine(point) == _synthetic(point)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ReproError):
+            EvaluationEngine(_synthetic, backend="threads")
+
+    def test_callable_context_is_resnapshotted(self):
+        calls = []
+
+        def evaluate(point):
+            calls.append(1)
+            return _synthetic(point)
+
+        config = {"mission_time": 900.0}
+        engine = EvaluationEngine(
+            evaluate,
+            backend="serial",
+            cache=True,
+            context=lambda: dict(config),
+        )
+        point = {"a": 0.4, "b": 1.0}
+        engine.map_points([point])
+        engine.map_points([point])
+        assert len(calls) == 1  # same context -> cache hit
+        config["mission_time"] = 300.0
+        engine.map_points([point])
+        assert len(calls) == 2  # changed context -> re-evaluated
+
+    def test_batch_evaluator_used_by_serial_backend(self):
+        def batch(points):
+            return [(_synthetic(p), 0.25) for p in points]
+
+        engine = EvaluationEngine(
+            _synthetic, backend="serial", cache=False, batch_evaluate=batch
+        )
+        out = engine.map_points([{"a": 0.2, "b": 1.0}])
+        assert out[0].seconds == 0.25
+        assert engine.stats()["batched"] is True
+
+
+class TestProcessBackend:
+    def test_matches_serial_bitwise_on_lhs(self):
+        design = latin_hypercube(12, 2, seed=7)
+        space = _space()
+        points = [space.point_to_dict(row) for row in design.matrix]
+        serial = SerialBackend().run(_synthetic, points)
+        process = ProcessBackend(workers=2, chunk_size=3).run(
+            _synthetic, points
+        )
+        for (r_s, _), (r_p, _) in zip(serial, process):
+            assert r_s == r_p  # exact float equality, order preserved
+
+    def test_empty_batch(self):
+        assert ProcessBackend(workers=2).run(_synthetic, []) == []
+
+    def test_chunk_size_resolution(self):
+        backend = ProcessBackend(workers=4)
+        assert backend.resolve_chunk_size(64) == 4
+        assert backend.resolve_chunk_size(1) == 1
+        assert ProcessBackend(workers=4, chunk_size=9).resolve_chunk_size(64) == 9
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ReproError):
+            ProcessBackend(workers=0)
+        with pytest.raises(ReproError):
+            ProcessBackend(chunk_size=0)
+
+    def test_resolve_backend_passthrough(self):
+        backend = ProcessBackend(workers=2)
+        assert resolve_backend(backend) is backend
+        assert resolve_backend("serial").name == "serial"
+
+    def test_worker_exception_propagates(self):
+        def broken(point):
+            raise ValueError("boom")
+
+        with pytest.raises(ValueError):
+            ProcessBackend(workers=2).run(broken, [{"a": 1.0}])
+
+
+class TestExplorerThroughEngine:
+    def test_run_design_records_exec_stats(self):
+        engine = EvaluationEngine(_synthetic, backend="serial", cache=True)
+        explorer = DesignExplorer(
+            _space(), _synthetic, ["y1", "y2"], engine=engine
+        )
+        design = central_composite(2, alpha="face", n_center=3)
+        result = explorer.run_design(design)
+        assert result.exec_stats["backend"] == "serial"
+        # The three centre replicates collapse onto one simulation.
+        assert result.exec_stats["points_evaluated"] == design.n_runs - 2
+        assert result.exec_stats["replicate_hits"] == 2
+        assert np.count_nonzero(result.run_seconds == 0.0) >= 2
+
+    def test_rerun_is_fully_cached_and_identical(self):
+        engine = EvaluationEngine(_synthetic, backend="serial", cache=True)
+        explorer = DesignExplorer(
+            _space(), _synthetic, ["y1", "y2"], engine=engine
+        )
+        design = latin_hypercube(8, 2, seed=3)
+        first = explorer.run_design(design)
+        evaluated_before = engine.points_evaluated
+        second = explorer.run_design(design)
+        assert engine.points_evaluated == evaluated_before
+        for name in ("y1", "y2"):
+            assert np.array_equal(first.responses[name], second.responses[name])
+        assert np.all(second.run_seconds == 0.0)
+
+    def test_default_engine_preserves_legacy_semantics(self):
+        calls = []
+
+        def evaluate(point):
+            calls.append(1)
+            return _synthetic(point)
+
+        explorer = DesignExplorer(_space(), evaluate, ["y1", "y2"])
+        design = central_composite(2, alpha="face", n_center=3)
+        explorer.run_design(design)
+        assert len(calls) == design.n_runs  # replicates re-evaluated
+
+
+def _retune_config():
+    return SystemConfig(
+        harvester=TunableHarvester(),
+        power=build_bridge_circuit(Supercapacitor(capacitance=0.1)),
+        regulator=Regulator(),
+        node=None,
+        controller=None,
+        vibration=SineVibration(0.6, 67.0),
+        pretune=True,
+    )
+
+
+class TestStateSpaceCacheBound:
+    def test_retune_churn_stays_bounded(self):
+        engine = LinearizedStateSpaceEngine(
+            SystemModel(_retune_config()), 1e-4
+        )
+        law = engine.system.harvester.tuning
+        gaps = np.linspace(law.gap_min, law.gap_max, 120)
+        for gap in gaps:
+            engine.set_gap(float(gap))
+            engine.step_to(engine.time + 5e-4)
+        assert engine.cache_size() <= _CACHE_MAX_ENTRIES
+        assert engine.stats.extra.get("cache_evictions", 0) > 0
+
+    def test_hot_path_reuses_entries(self):
+        engine = LinearizedStateSpaceEngine(
+            SystemModel(_retune_config()), 1e-4
+        )
+        engine.step_to(0.05)
+        builds_early = engine.stats.n_matrix_builds
+        steps_early = engine.stats.n_steps
+        engine.step_to(0.10)
+        # Full-step updates come from the LRU; the only rebuilds left
+        # are the uncacheable fractional steps at mode crossings.
+        delta_builds = engine.stats.n_matrix_builds - builds_early
+        delta_steps = engine.stats.n_steps - steps_early
+        assert delta_builds < delta_steps / 3
+
+
+class TestTraceRecorderFastPath:
+    def test_offer_row_matches_offer(self):
+        slow = TraceRecorder(["a", "b"], record_dt=0.0)
+        fast = TraceRecorder(["a", "b"], record_dt=0.0)
+        for i in range(5):
+            t = 0.1 * i
+            slow.offer(t, {"a": float(i), "b": -float(i)})
+            fast.offer_row(t, (float(i), -float(i)))
+        for name in ("t", "a", "b"):
+            assert np.array_equal(slow.as_arrays()[name], fast.as_arrays()[name])
+
+    def test_offer_row_decimates(self):
+        rec = TraceRecorder(["v"], record_dt=0.5)
+        assert rec.offer_row(0.0, (1.0,))
+        assert not rec.offer_row(0.2, (2.0,))
+        assert rec.offer_row(0.2, (2.0,), force=True)
+
+    def test_offer_row_validates(self):
+        rec = TraceRecorder(["a", "b"])
+        with pytest.raises(SimulationError):
+            rec.offer_row(0.0, (1.0,), force=True)
+        rec.offer_row(1.0, (1.0, 2.0), force=True)
+        with pytest.raises(SimulationError):
+            rec.offer_row(0.5, (1.0, 2.0), force=True)
+
+
+@pytest.fixture(scope="module")
+def small_toolkit_space():
+    return DesignSpace(
+        [
+            Factor("capacitance", 0.10, 1.00, units="F"),
+            Factor("tx_interval", 2.0, 60.0, transform="log", units="s"),
+        ]
+    )
+
+
+class TestToolkitExecution:
+    """Real-simulator checks (small space, short missions)."""
+
+    def test_serial_process_identical_on_real_evaluator(
+        self, small_toolkit_space
+    ):
+        clear_charging_cache()
+        toolkit = SensorNodeDesignToolkit(
+            space=small_toolkit_space,
+            mission_time=120.0,
+            envelope=FAST_ENVELOPE,
+            cache=False,
+        )
+        design = latin_hypercube(6, 2, seed=11)
+        serial_result = toolkit.explorer.run_design(design)
+        # Forked workers inherit the now-warm charging-map grids, so
+        # both backends interpolate the same tables.
+        process_explorer = DesignExplorer(
+            toolkit.space,
+            toolkit.evaluate_point,
+            toolkit.responses,
+            engine=EvaluationEngine(
+                toolkit.evaluate_point,
+                backend="process",
+                cache=False,
+                workers=2,
+            ),
+        )
+        process_result = process_explorer.run_design(design)
+        for name in toolkit.responses:
+            assert np.array_equal(
+                serial_result.responses[name], process_result.responses[name]
+            ), name
+
+    def test_repeated_study_hits_cache(self, small_toolkit_space):
+        clear_charging_cache()
+        toolkit = SensorNodeDesignToolkit(
+            space=small_toolkit_space,
+            mission_time=120.0,
+            envelope=FAST_ENVELOPE,
+        )
+        first = toolkit.run_study(design="ccd", validate_points=4)
+        stats_before = toolkit.exec_engine.cache.stats
+        hits_before = stats_before.hits
+        lookups_before = stats_before.lookups
+        second = toolkit.run_study(design="ccd", validate_points=4)
+        stats_after = toolkit.exec_engine.cache.stats
+        new_lookups = stats_after.lookups - lookups_before
+        new_hits = stats_after.hits - hits_before
+        assert new_lookups > 0
+        # Every previously-seen point must come from the cache.
+        assert new_hits / new_lookups >= 0.90
+        for name in toolkit.responses:
+            assert np.array_equal(
+                first.exploration.responses[name],
+                second.exploration.responses[name],
+            )
+        report = second.report()
+        assert "== evaluation backend ==" in report
+        assert "evaluation cache" in report
+
+    def test_prewarm_populates_eval_cache(self, small_toolkit_space):
+        toolkit = SensorNodeDesignToolkit(
+            space=small_toolkit_space,
+            mission_time=120.0,
+            envelope=FAST_ENVELOPE,
+        )
+        toolkit.prewarm()
+        assert len(toolkit.exec_engine.cache) == 1
+        toolkit.prewarm()  # second call is a cache hit
+        assert toolkit.exec_engine.cache.stats.hits >= 1
+
+    def test_batch_evaluate_matches_per_point(self, small_toolkit_space):
+        toolkit = SensorNodeDesignToolkit(
+            space=small_toolkit_space,
+            mission_time=120.0,
+            envelope=FAST_ENVELOPE,
+            cache=False,
+        )
+        points = [
+            {"capacitance": 0.4, "tx_interval": 10.0},
+            {"capacitance": 0.7, "tx_interval": 4.0},
+        ]
+        single = [toolkit.evaluate_point(p) for p in points]
+        batched = toolkit.evaluate_points(points)
+        assert single == batched
+
+    def test_batch_respects_custom_harvester(self, small_toolkit_space):
+        from repro.harvester.parameters import MicrogeneratorParameters
+        from repro.harvester.tuning import TunableHarvester
+
+        custom = TunableHarvester(
+            params=MicrogeneratorParameters(transduction_factor=25.0)
+        )
+        toolkit = SensorNodeDesignToolkit(
+            space=small_toolkit_space,
+            mission_time=120.0,
+            envelope=FAST_ENVELOPE,
+            cache=False,
+            system_kwargs={"harvester": custom},
+        )
+        point = {"capacitance": 0.4, "tx_interval": 10.0}
+        # The batched path must not swap the custom device for the
+        # shared default one.
+        assert toolkit.evaluate_points([point]) == [
+            toolkit.evaluate_point(point)
+        ]
