@@ -8,7 +8,12 @@ three ways:
 * ``serial``  — the in-process reference backend (batched API),
 * ``process`` — chunked ``multiprocessing`` fan-out (4+ workers),
 * ``cached``  — a repeat of the same design against a warm
-  content-addressed evaluation cache.
+  content-addressed evaluation cache,
+* ``store``   — a cold run persisting every evaluation to a
+  :class:`~repro.exec.store.FileStore`, then warm reruns from *fresh*
+  toolkits (fresh engine, fresh in-memory cache — the cross-process /
+  cross-host scenario) reading that directory and a SQLite store
+  migrated from it, each expected to simulate zero points.
 
 Charging-map grids are prewarmed in the parent before any timing so
 every configuration interpolates the same tables — which also makes
@@ -22,6 +27,7 @@ from __future__ import annotations
 
 import json
 import os
+import tempfile
 import time
 
 import numpy as np
@@ -37,7 +43,7 @@ from repro.analysis.tables import format_table
 from repro.core.doe.lhs import latin_hypercube
 from repro.core.explorer import DesignExplorer
 from repro.core.toolkit import SensorNodeDesignToolkit
-from repro.exec import EvaluationEngine
+from repro.exec import EvaluationEngine, SQLiteStore
 
 N_POINTS = 16 if SMOKE else 64
 WORKERS = max(4, os.cpu_count() or 1)
@@ -86,6 +92,33 @@ def test_explorer_throughput():
         stats.lookups - lookups_before
     )
 
+    # Persistent store: cold run writes a FileStore; warm reruns come
+    # from fresh toolkits (fresh engine + cache, as a new process or
+    # another host would build) sharing only the store path.
+    store_tmp = tempfile.TemporaryDirectory(prefix="repro-eval-store-")
+    store_dir = os.path.join(store_tmp.name, "evals")
+    store_cold_toolkit = _toolkit(backend="serial", cache_dir=store_dir)
+    started = time.perf_counter()
+    store_cold_result = store_cold_toolkit.explorer.run_design(design)
+    t_store_cold = time.perf_counter() - started
+
+    store_warm_toolkit = _toolkit(backend="serial", cache_dir=store_dir)
+    started = time.perf_counter()
+    store_warm_result = store_warm_toolkit.explorer.run_design(design)
+    t_store_warm = time.perf_counter() - started
+    store_warm_stats = store_warm_result.exec_stats
+
+    # Same evaluations through SQLite: migrate the blobs, rerun warm.
+    sqlite_path = os.path.join(store_tmp.name, "evals.sqlite")
+    sqlite_store = SQLiteStore(sqlite_path)
+    for fingerprint, responses in store_cold_toolkit.exec_engine.cache.items():
+        sqlite_store.persist(fingerprint, responses)
+    sqlite_toolkit = _toolkit(backend="serial", cache_store=sqlite_store)
+    started = time.perf_counter()
+    sqlite_warm_result = sqlite_toolkit.explorer.run_design(design)
+    t_sqlite_warm = time.perf_counter() - started
+    sqlite_warm_stats = sqlite_warm_result.exec_stats
+
     # Determinism contract: backends must agree bit-for-bit.
     for name in serial.responses:
         assert np.array_equal(
@@ -94,6 +127,14 @@ def test_explorer_throughput():
         assert np.array_equal(
             serial_result.responses[name], cached_result.responses[name]
         ), f"serial/cached divergence in {name}"
+        for label, persisted in (
+            ("file-cold", store_cold_result),
+            ("file-warm", store_warm_result),
+            ("sqlite-warm", sqlite_warm_result),
+        ):
+            assert np.array_equal(
+                serial_result.responses[name], persisted.responses[name]
+            ), f"serial/{label} divergence in {name}"
 
     def _series(seconds: float) -> dict:
         return {
@@ -118,6 +159,21 @@ def test_explorer_throughput():
         "speedup_cached_vs_serial": t_serial / t_cached,
         "cache_hit_rate_on_rerun": rerun_hit_rate,
         "exec_stats_process": process.exec_engine.stats(),
+        "store": {
+            "file_cold": _series(t_store_cold),
+            "file_warm": _series(t_store_warm),
+            "sqlite_warm": _series(t_sqlite_warm),
+            "file_warm_points_evaluated": store_warm_stats[
+                "points_evaluated"
+            ],
+            "file_warm_hit_rate": store_warm_stats["cache"]["hit_rate"],
+            "sqlite_warm_points_evaluated": sqlite_warm_stats[
+                "points_evaluated"
+            ],
+            "sqlite_warm_hit_rate": sqlite_warm_stats["cache"]["hit_rate"],
+            "speedup_file_warm_vs_cold": t_store_cold / t_store_warm,
+            "speedup_sqlite_warm_vs_cold": t_store_cold / t_sqlite_warm,
+        },
     }
     path = os.path.join(
         ensure_results_dir(), "BENCH_explorer_throughput.json"
@@ -129,6 +185,24 @@ def test_explorer_throughput():
         ["serial", t_serial, N_POINTS / t_serial, 1.0],
         ["process", t_process, N_POINTS / t_process, t_serial / t_process],
         ["cached", t_cached, N_POINTS / t_cached, t_serial / t_cached],
+        [
+            "store cold (file)",
+            t_store_cold,
+            N_POINTS / t_store_cold,
+            t_serial / t_store_cold,
+        ],
+        [
+            "store warm (file)",
+            t_store_warm,
+            N_POINTS / t_store_warm,
+            t_serial / t_store_warm,
+        ],
+        [
+            "store warm (sqlite)",
+            t_sqlite_warm,
+            N_POINTS / t_sqlite_warm,
+            t_serial / t_sqlite_warm,
+        ],
     ]
     print(
         format_table(
@@ -145,6 +219,14 @@ def test_explorer_throughput():
     # A warm cache answers a repeated design without re-simulating.
     assert rerun_hit_rate >= 0.90
     assert t_cached < 0.25 * t_serial
+    # The warm-start proof: fresh engines over a persisted store
+    # simulate nothing and answer everything from storage.
+    assert store_warm_stats["points_evaluated"] == 0
+    assert store_warm_stats["cache"]["hit_rate"] == 1.0
+    assert sqlite_warm_stats["points_evaluated"] == 0
+    assert sqlite_warm_stats["cache"]["hit_rate"] == 1.0
+    sqlite_store.close()
+    store_tmp.cleanup()
     # Parallel scaling needs real CPUs; only gate on it where they
     # exist (the JSON records the measurement either way).  Smoke mode
     # (16 short points on shared CI runners) uses a looser floor as a

@@ -1,0 +1,125 @@
+"""Cross-process cache-persistence smoke, driven by CI.
+
+Runs one small LHS design on the real envelope evaluator against a
+persistent evaluation store, then writes a JSON summary.  CI invokes
+it twice with the same ``--store`` path: the first (cold) invocation
+simulates every point and persists it; the second runs in a genuinely
+fresh process and, invoked with ``--expect-warm``, must answer the
+whole design from the store — 0 points evaluated, 100% hit rate —
+or exit non-zero.
+
+Usage::
+
+    python benchmarks/store_persistence_smoke.py --store /tmp/evals \
+        --json results/store_smoke_cold.json
+    python benchmarks/store_persistence_smoke.py --store /tmp/evals \
+        --json results/store_smoke_warm.json --expect-warm
+
+A ``--store`` path ending in ``.sqlite``/``.db`` exercises the SQLite
+store; any other path is a file-per-fingerprint directory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.core.doe.lhs import latin_hypercube
+from repro.core.factors import DesignSpace, Factor
+from repro.core.toolkit import SensorNodeDesignToolkit
+from repro.sim.envelope import EnvelopeOptions
+
+SMOKE_ENVELOPE = EnvelopeOptions(
+    map_v_points=4,
+    map_nr_warmup_cycles=4,
+    map_warmup_cycles=8,
+    map_measure_cycles=6,
+    map_max_blocks=3,
+    map_steps_per_period=80,
+)
+
+
+def _space() -> DesignSpace:
+    return DesignSpace(
+        [
+            Factor("capacitance", 0.10, 1.00, units="F"),
+            Factor("tx_interval", 2.0, 60.0, transform="log", units="s"),
+        ]
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--store",
+        required=True,
+        help="store path: a directory (file store) or *.sqlite/*.db",
+    )
+    parser.add_argument(
+        "--json", default=None, help="where to write the summary JSON"
+    )
+    parser.add_argument(
+        "--points", type=int, default=6, help="LHS design size"
+    )
+    parser.add_argument(
+        "--expect-warm",
+        action="store_true",
+        help="fail unless the store answered everything",
+    )
+    args = parser.parse_args(argv)
+
+    toolkit = SensorNodeDesignToolkit(
+        space=_space(),
+        mission_time=120.0,
+        envelope=SMOKE_ENVELOPE,
+        cache_dir=args.store,
+    )
+    design = latin_hypercube(args.points, 2, seed=23)
+    started = time.perf_counter()
+    result = toolkit.explorer.run_design(design)
+    elapsed = time.perf_counter() - started
+
+    stats = result.exec_stats
+    summary = {
+        "benchmark": "store_persistence_smoke",
+        "store": toolkit.exec_engine.cache.describe(),
+        "n_points": args.points,
+        "seconds": elapsed,
+        "points_evaluated": stats["points_evaluated"],
+        "cache": stats["cache"],
+        "expect_warm": args.expect_warm,
+        "responses": {
+            name: list(values) for name, values in result.responses.items()
+        },
+    }
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(summary, handle, indent=2, sort_keys=True)
+    print(json.dumps(summary["cache"], sort_keys=True))
+    print(
+        f"store={summary['store']} points_evaluated="
+        f"{summary['points_evaluated']}/{args.points} in {elapsed:.2f}s"
+    )
+
+    if args.expect_warm:
+        if stats["points_evaluated"] != 0:
+            print(
+                "FAIL: warm run simulated "
+                f"{stats['points_evaluated']} points",
+                file=sys.stderr,
+            )
+            return 1
+        if stats["cache"]["hit_rate"] != 1.0:
+            print(
+                f"FAIL: warm hit rate {stats['cache']['hit_rate']}",
+                file=sys.stderr,
+            )
+            return 1
+        print("warm start verified: 0 points evaluated, 100% hit rate")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

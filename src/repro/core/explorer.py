@@ -27,7 +27,9 @@ from repro.core.rsm.surface import ResponseSurface
 from repro.core.rsm.terms import ModelSpec
 from repro.core.rsm.transforms import TransformedSurface, forward_transform
 from repro.errors import DesignError, FitError
+from repro.exec.cache import EvalCache
 from repro.exec.engine import EvaluationEngine
+from repro.exec.store import CacheStore, resolve_store
 
 Evaluator = Callable[[Mapping[str, float]], Mapping[str, float]]
 
@@ -42,8 +44,10 @@ class ExplorationResult:
         responses: response name -> vector over runs.
         run_seconds: wall time per run (0.0 for runs served from the
             evaluation cache or collapsed onto a replicate).
-        exec_stats: backend/cache statistics snapshot from the
-            evaluation engine that produced this result.
+        exec_stats: backend/cache statistics for *this design run*
+            (counters are deltas over the run, not engine-lifetime
+            totals, so a second study on the same engine does not
+            inherit the first study's traffic).
     """
 
     design: Design
@@ -89,6 +93,7 @@ class DesignExplorer:
         evaluate: Evaluator,
         responses: Sequence[str],
         engine: EvaluationEngine | None = None,
+        cache_store: CacheStore | str | None = None,
     ):
         """Args:
             space: the coded factor space.
@@ -97,6 +102,13 @@ class DesignExplorer:
             engine: evaluation engine wrapping ``evaluate`` (backend
                 selection, memoization).  Defaults to a serial,
                 uncached engine — exactly the legacy semantics.
+            cache_store: shortcut for the common persistent-cache
+                setup without building an engine by hand — a
+                :class:`~repro.exec.store.CacheStore` (or a path spec
+                for :func:`~repro.exec.store.resolve_store`) behind a
+                serial cached engine.  A path spec builds a store the
+                engine owns and closes; a ready instance stays
+                caller-owned.  Mutually exclusive with ``engine``.
         """
         if not responses:
             raise DesignError("need at least one response name")
@@ -105,11 +117,33 @@ class DesignExplorer:
         self.space = space
         self.evaluate = evaluate
         self.responses = tuple(responses)
-        self.engine = (
-            engine
-            if engine is not None
-            else EvaluationEngine(evaluate, backend="serial", cache=False)
-        )
+        if engine is not None and cache_store is not None:
+            raise DesignError(
+                "pass either a ready engine or a cache_store, not both"
+            )
+        if engine is not None:
+            self.engine = engine
+        elif cache_store is not None:
+            self.engine = EvaluationEngine(
+                evaluate,
+                backend="serial",
+                # A ready instance stays caller-owned (wrapped); a
+                # path spec resolves to a store the engine owns.
+                cache=(
+                    EvalCache(store=cache_store)
+                    if isinstance(cache_store, CacheStore)
+                    else resolve_store(cache_store)
+                ),
+            )
+        else:
+            self.engine = EvaluationEngine(
+                evaluate, backend="serial", cache=False
+            )
+
+    def close(self) -> None:
+        """Release engine resources (pools; a store built here from a
+        ``cache_store`` path spec).  Idempotent."""
+        self.engine.close()
 
     # -- running -----------------------------------------------------------------
 
@@ -121,6 +155,7 @@ class DesignExplorer:
             )
         n = design.n_runs
         points = [self.space.point_to_dict(row) for row in design.matrix]
+        stats_before = self.engine.stats_snapshot()
         evaluations = self.engine.map_points(points)
         columns = {name: np.empty(n) for name in self.responses}
         run_seconds = np.empty(n)
@@ -139,7 +174,7 @@ class DesignExplorer:
             x_coded=design.matrix.copy(),
             responses=columns,
             run_seconds=run_seconds,
-            exec_stats=self.engine.stats(),
+            exec_stats=self.engine.stats(since=stats_before),
         )
 
     # -- fitting ------------------------------------------------------------------

@@ -18,6 +18,7 @@ Typical use::
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence
@@ -44,6 +45,7 @@ from repro.core.rsm.terms import ModelSpec
 from repro.errors import DesignError, OptimizationError
 from repro.exec.cache import EvalCache
 from repro.exec.engine import EvaluationEngine
+from repro.exec.store import CacheStore, resolve_store
 from repro.indicators import evaluate_indicators
 from repro.presets import default_harvester, default_system
 from repro.sim.envelope import EnvelopeOptions
@@ -296,7 +298,19 @@ class SensorNodeDesignToolkit:
         cache: memoize evaluations content-addressed by (physical
             point, evaluation context) so design replicates, validation
             revisits and repeated studies never re-simulate.
-        cache_max_entries: optional LRU bound on the evaluation cache.
+        cache_max_entries: optional LRU bound on the in-memory
+            evaluation cache (incompatible with a persistent store).
+        cache_dir: persist the evaluation cache at this path — a
+            directory becomes a file-per-fingerprint
+            :class:`~repro.exec.store.FileStore`, a
+            ``.sqlite``/``.db`` path a WAL-mode
+            :class:`~repro.exec.store.SQLiteStore` — so a repeated
+            study in a fresh process, or another toolkit pointed at
+            the same path, re-simulates nothing.
+        cache_store: a ready :class:`~repro.exec.store.CacheStore` to
+            back the cache with (mutually exclusive with
+            ``cache_dir``); lets several toolkits share one store
+            instance.
     """
 
     def __init__(
@@ -313,6 +327,8 @@ class SensorNodeDesignToolkit:
         chunk_size: int | None = None,
         cache: bool = True,
         cache_max_entries: int | None = None,
+        cache_dir: str | os.PathLike | None = None,
+        cache_store: CacheStore | None = None,
     ):
         self.space = space if space is not None else canonical_space()
         self.responses = tuple(responses)
@@ -322,12 +338,33 @@ class SensorNodeDesignToolkit:
         self.vibration = vibration
         self.system_kwargs = dict(system_kwargs) if system_kwargs else {}
         self._shared_harvester = None
+        if cache_dir is not None and cache_store is not None:
+            raise DesignError(
+                "pass either cache_dir or cache_store, not both"
+            )
+        store = cache_store if cache_store is not None else cache_dir
+        if store is not None and not cache:
+            raise DesignError(
+                "a cache store requires cache=True; "
+                "drop cache=False or the store"
+            )
+        if not cache:
+            cache_arg: object = False
+        elif store is None:
+            cache_arg = EvalCache(max_entries=cache_max_entries)
+        elif isinstance(store, CacheStore):
+            # A ready store instance stays caller-owned (it may be
+            # shared between toolkits): wrap it so close() leaves the
+            # store open.
+            cache_arg = EvalCache(max_entries=cache_max_entries, store=store)
+        else:
+            # Built here from cache_dir: hand the bare store to the
+            # engine, which then owns it and closes it in close().
+            cache_arg = resolve_store(store, max_entries=cache_max_entries)
         self.exec_engine = EvaluationEngine(
             self.evaluate_point,
             backend=backend,
-            cache=(
-                EvalCache(max_entries=cache_max_entries) if cache else False
-            ),
+            cache=cache_arg,
             # Passed as a callable: re-snapshotted per batch, so
             # reassigning e.g. ``mission_time`` after construction
             # cannot alias cache entries from the old configuration.
@@ -431,6 +468,12 @@ class SensorNodeDesignToolkit:
             )
         return self.exec_engine.prime(params)
 
+    def close(self) -> None:
+        """Release execution resources (pools; stores built from
+        ``cache_dir`` — a shared ``cache_store`` stays open).
+        Idempotent."""
+        self.exec_engine.close()
+
     # -- designs -------------------------------------------------------------------
 
     def build_design(self, kind: str = "ccd", **options) -> Design:
@@ -473,6 +516,7 @@ class SensorNodeDesignToolkit:
         chosen = (
             design if isinstance(design, Design) else self.build_design(design)
         )
+        exec_before = self.exec_engine.stats_snapshot()
         exploration = self.explorer.run_design(chosen)
         transforms = {
             name: t
@@ -510,7 +554,11 @@ class SensorNodeDesignToolkit:
                 "mission_time": self.mission_time,
                 "engine": self.engine,
                 "model": model if isinstance(model, str) else model.describe(),
-                "exec": self.exec_engine.stats(),
+                # This study's traffic (design + validation), not the
+                # engine's lifetime totals — a second run_study() on
+                # one toolkit reports only its own points and hits.
+                "exec": self.exec_engine.stats(since=exec_before),
+                "exec_lifetime": self.exec_engine.stats(),
             },
         )
 

@@ -6,7 +6,10 @@ simulation engines: a pluggable backend (serial loop or a chunked
 evaluation cache, behind :class:`EvaluationEngine`'s single
 ``map_points`` API.  :class:`~repro.core.explorer.DesignExplorer` and
 :class:`~repro.core.toolkit.SensorNodeDesignToolkit` route every
-design run, validation sweep and study through it.
+design run, validation sweep and study through it.  Cache entries live
+in a pluggable :class:`CacheStore` — in-memory by default, or a
+file-per-fingerprint directory / WAL-mode SQLite database that shares
+evaluations across processes, CI runs and hosts.
 """
 
 from repro.exec.backends import (
@@ -17,15 +20,31 @@ from repro.exec.backends import (
 )
 from repro.exec.cache import CacheStats, EvalCache, point_fingerprint
 from repro.exec.engine import EvaluationEngine, PointEvaluation
+from repro.exec.store import (
+    SCHEMA_VERSION,
+    CacheStore,
+    FileStore,
+    MemoryStore,
+    SQLiteStore,
+    StoreStats,
+    resolve_store,
+)
 
 __all__ = [
     "CacheStats",
+    "CacheStore",
     "EvalCache",
     "EvaluationBackend",
     "EvaluationEngine",
+    "FileStore",
+    "MemoryStore",
     "PointEvaluation",
     "ProcessBackend",
+    "SCHEMA_VERSION",
+    "SQLiteStore",
     "SerialBackend",
+    "StoreStats",
     "point_fingerprint",
     "resolve_backend",
+    "resolve_store",
 ]

@@ -7,22 +7,63 @@ that changes the mapping from factors to responses).  CCD axial/centre
 replicates, validation points revisiting study points, and repeated
 studies over the same configuration therefore share one simulation.
 
-The cache is deliberately process-local and in-memory: evaluations are
-deterministic, so re-populating it is always safe, and keeping it out
-of the filesystem avoids stale-artefact hazards across code changes.
+Where the entries live is pluggable (:mod:`repro.exec.store`): the
+default :class:`~repro.exec.store.MemoryStore` keeps the cache
+process-local exactly as before, while a
+:class:`~repro.exec.store.FileStore` or
+:class:`~repro.exec.store.SQLiteStore` shares evaluations across
+processes, CI runs and hosts.  Evaluations are deterministic, so a
+lost or invalidated entry is never a correctness problem — the engine
+simply re-simulates.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
-from collections import OrderedDict
+import os
 from dataclasses import dataclass
-from typing import Mapping
+from typing import Iterator, Mapping
 
 import numpy as np
 
 from repro.errors import ReproError
+from repro.exec.store import CacheStore, MemoryStore, resolve_store
+
+
+def _canonical_key(key: object) -> str:
+    """Type-tagged string form of a mapping key.
+
+    ``{1: x}`` and ``{"1": x}`` are different contexts, so keys carry
+    their type in the canonical form instead of collapsing through
+    ``str``.  The tags also keep marker keys like ``__type__`` (used
+    for attribute-bag objects) out of the user-key namespace: a real
+    string key canonicalizes to ``s:__type__``, never ``__type__``.
+    """
+    if isinstance(key, str):
+        return f"s:{key}"
+    # numpy scalars first: np.float64 *subclasses* float, and its repr
+    # ("np.float64(1.5)") is numpy-version-dependent — normalize to
+    # the Python scalar so persisted fingerprints match across hosts.
+    if isinstance(key, (np.floating, np.integer)):
+        return _canonical_key(key.item())
+    if isinstance(key, np.bool_):
+        return _canonical_key(bool(key))
+    if isinstance(key, bool):  # before int: bool subclasses int
+        return f"b:{key!r}"
+    if isinstance(key, int):
+        return f"i:{key!r}"
+    if isinstance(key, float):
+        return f"f:{key!r}"
+    if isinstance(key, tuple):
+        # Recurse instead of repr-ing, so numpy scalars inside tuple
+        # keys normalize like every other scalar; length-prefix each
+        # element so payloads containing the delimiter cannot make
+        # ('a,s:b',) collide with ('a', 'b').
+        parts = [_canonical_key(v) for v in key]
+        joined = ",".join(f"{len(p)}~{p}" for p in parts)
+        return f"t:({joined})"
+    return f"{type(key).__name__}:{key!r}"
 
 
 def _canonical(obj: object, depth: int = 0) -> object:
@@ -33,32 +74,55 @@ def _canonical(obj: object, depth: int = 0) -> object:
     different design points); containers and plain attribute-bag
     objects (vibration sources, option dataclasses) are recursed;
     anything else falls back to ``repr`` of its type and value.
+    Mapping keys, set elements, strings and floats are type-tagged so
+    values that merely print alike (``1`` vs ``"1"``, ``1.5`` vs
+    ``"1.5"``) cannot share a fingerprint, and sets are marked
+    distinct from lists.
     """
     if depth > 8:
         return f"{type(obj).__name__}:{obj!r}"
-    if obj is None or isinstance(obj, (bool, int, str)):
-        return obj
-    if isinstance(obj, float):
-        return repr(obj)
+    # numpy scalars before the Python branches: np.float64 subclasses
+    # float and np.bool_ prints like bool, but their reprs vary with
+    # the numpy version — persisted fingerprints must not.
     if isinstance(obj, (np.floating, np.integer)):
-        return repr(obj.item())
+        return _canonical(obj.item(), depth)
+    if isinstance(obj, np.bool_):
+        return bool(obj)
+    if obj is None or isinstance(obj, (bool, int)):
+        return obj
+    # Strings and floats are both tagged: a float canonicalizes via
+    # repr, so an untagged 1.5 would be indistinguishable from the
+    # *string* "1.5" (and an untagged string could forge any tagged
+    # form).  None/bool/int stay native — JSON already separates them
+    # from strings.
+    if isinstance(obj, str):
+        return f"s:{obj}"
+    if isinstance(obj, float):
+        return f"f:{obj!r}"
     if isinstance(obj, np.ndarray):
         return [_canonical(v, depth + 1) for v in obj.tolist()]
     if isinstance(obj, Mapping):
         return {
-            str(k): _canonical(obj[k], depth + 1)
-            for k in sorted(obj, key=str)
+            _canonical_key(k): _canonical(obj[k], depth + 1)
+            for k in sorted(obj, key=_canonical_key)
         }
-    if isinstance(obj, (list, tuple, set, frozenset)):
-        items = sorted(obj, key=repr) if isinstance(obj, (set, frozenset)) else obj
-        return [_canonical(v, depth + 1) for v in items]
+    if isinstance(obj, (set, frozenset)):
+        # Ordered by the tagged key, so mixed-type contents sort
+        # deterministically without repr collisions; the marker key
+        # cannot clash with a real mapping (those keys are tagged).
+        items = sorted(obj, key=_canonical_key)
+        return {"__set__": [_canonical(v, depth + 1) for v in items]}
+    if isinstance(obj, (list, tuple)):
+        return [_canonical(v, depth + 1) for v in obj]
     attrs = getattr(obj, "__dict__", None)
     if attrs:
         return {
             "__type__": type(obj).__name__,
             **{
-                str(k): _canonical(v, depth + 1)
-                for k, v in sorted(attrs.items(), key=lambda kv: str(kv[0]))
+                _canonical_key(k): _canonical(v, depth + 1)
+                for k, v in sorted(
+                    attrs.items(), key=lambda kv: _canonical_key(kv[0])
+                )
             },
         }
     return f"{type(obj).__name__}:{obj!r}"
@@ -78,11 +142,21 @@ def point_fingerprint(
 
 @dataclass
 class CacheStats:
-    """Hit/miss accounting exposed through the study reports."""
+    """Hit/miss and store-traffic accounting for the study reports.
+
+    All counters are *this cache's* traffic: the store-level ones
+    (``loads``, ``persists``, ``invalidations``, ``evictions``) count
+    only operations issued through this cache, so per-study deltas
+    stay clean even when several caches share one store.  The store's
+    own lifetime totals live on ``EvalCache.store.stats``.
+    """
 
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    loads: int = 0
+    persists: int = 0
+    invalidations: int = 0
 
     @property
     def lookups(self) -> int:
@@ -99,53 +173,114 @@ class CacheStats:
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
+            "loads": self.loads,
+            "persists": self.persists,
+            "invalidations": self.invalidations,
             "hit_rate": self.hit_rate,
         }
 
 
 class EvalCache:
-    """LRU map from point fingerprints to response dictionaries.
+    """Map from point fingerprints to response dictionaries.
 
     Args:
-        max_entries: bound on stored evaluations; None keeps every
-            entry (study-scale workloads are thousands of points of a
-            few floats each, so unbounded is the sensible default).
+        max_entries: LRU bound for the default in-memory store; None
+            keeps every entry.  Rejected alongside an explicit
+            ``store`` — bound the store itself instead.
+        store: where entries live — a ready
+            :class:`~repro.exec.store.CacheStore`, a directory path
+            (file store), a ``.sqlite``/``.db`` path (SQLite store),
+            or None for the process-local memory store.
     """
 
-    def __init__(self, max_entries: int | None = None):
-        if max_entries is not None and max_entries < 1:
-            raise ReproError(
-                f"max_entries must be >= 1 or None, got {max_entries}"
-            )
-        self.max_entries = max_entries
+    def __init__(
+        self,
+        max_entries: int | None = None,
+        store: CacheStore | str | os.PathLike | None = None,
+    ):
+        self.store = resolve_store(store, max_entries=max_entries)
         self.stats = CacheStats()
-        self._entries: OrderedDict[str, dict[str, float]] = OrderedDict()
+
+    def _store_counters(self) -> tuple[int, int, int, int]:
+        stats = self.store.stats
+        return (
+            stats.loads,
+            stats.persists,
+            stats.invalidations,
+            stats.evictions,
+        )
+
+    def _absorb_store_delta(
+        self, before: tuple[int, int, int, int]
+    ) -> None:
+        """Credit this cache with the store traffic it just caused."""
+        loads, persists, invalidations, evictions = self._store_counters()
+        self.stats.loads += loads - before[0]
+        self.stats.persists += persists - before[1]
+        self.stats.invalidations += invalidations - before[2]
+        self.stats.evictions += evictions - before[3]
+
+    @property
+    def max_entries(self) -> int | None:
+        return getattr(self.store, "max_entries", None)
 
     def __len__(self) -> int:
-        return len(self._entries)
+        return len(self.store)
 
     def __contains__(self, fingerprint: str) -> bool:
-        return fingerprint in self._entries
+        return fingerprint in self.store
 
     def get(self, fingerprint: str) -> dict[str, float] | None:
         """Responses for a fingerprint, or None (counts hit/miss)."""
-        entry = self._entries.get(fingerprint)
+        before = self._store_counters()
+        entry = self.store.load(fingerprint)
+        self._absorb_store_delta(before)
         if entry is None:
             self.stats.misses += 1
             return None
-        self._entries.move_to_end(fingerprint)
         self.stats.hits += 1
         return dict(entry)
 
     def put(self, fingerprint: str, responses: Mapping[str, float]) -> None:
         """Store an evaluation (refreshes recency on overwrite)."""
-        self._entries[fingerprint] = dict(responses)
-        self._entries.move_to_end(fingerprint)
-        if self.max_entries is not None:
-            while len(self._entries) > self.max_entries:
-                self._entries.popitem(last=False)
-                self.stats.evictions += 1
+        if not isinstance(fingerprint, str):
+            raise ReproError(
+                f"fingerprint must be a string, got {type(fingerprint)!r}"
+            )
+        before = self._store_counters()
+        self.store.persist(fingerprint, dict(responses))
+        self._absorb_store_delta(before)
+
+    def discard(self, fingerprint: str) -> bool:
+        """Drop one entry; True if it existed."""
+        before = self._store_counters()
+        existed = self.store.discard(fingerprint)
+        self._absorb_store_delta(before)
+        return existed
+
+    def items(self) -> Iterator[tuple[str, dict[str, float]]]:
+        """Iterate stored ``(fingerprint, responses)`` pairs."""
+        return self.store.items()
 
     def clear(self) -> None:
-        """Drop all entries (statistics are kept)."""
-        self._entries.clear()
+        """Drop all entries (lookup statistics are kept)."""
+        before = self._store_counters()
+        self.store.clear()
+        self._absorb_store_delta(before)
+
+    def close(self) -> None:
+        """Close the backing store (idempotent)."""
+        self.store.close()
+
+    def describe(self) -> dict:
+        """Store parameters for reports and manifests."""
+        return self.store.describe()
+
+
+# Re-exported for callers that treated this module as the cache API.
+__all__ = [
+    "CacheStats",
+    "EvalCache",
+    "MemoryStore",
+    "point_fingerprint",
+]

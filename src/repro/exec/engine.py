@@ -29,6 +29,20 @@ from repro.exec.backends import (
     resolve_backend,
 )
 from repro.exec.cache import EvalCache, point_fingerprint
+from repro.exec.store import CacheStore
+
+#: Engine counters that participate in snapshot/delta accounting.
+_ENGINE_COUNTERS = ("points_evaluated", "batches_dispatched", "replicate_hits")
+
+#: Cache counters that participate in snapshot/delta accounting.
+_CACHE_COUNTERS = (
+    "hits",
+    "misses",
+    "evictions",
+    "loads",
+    "persists",
+    "invalidations",
+)
 
 
 @dataclass
@@ -55,9 +69,12 @@ class EvaluationEngine:
     Args:
         evaluate: the black-box point evaluator.
         backend: "serial", "process", or a backend instance.
-        cache: True for an unbounded :class:`EvalCache`, False/None to
-            disable memoization, or a ready cache instance (sharable
-            across engines).
+        cache: True for an unbounded in-memory :class:`EvalCache`,
+            False/None to disable memoization, a ready cache instance
+            (sharable across engines), or a
+            :class:`~repro.exec.store.CacheStore` to wrap — a
+            persistent store makes evaluations reusable across
+            processes and hosts.
         context: structure folded into every fingerprint; anything
             that changes evaluator behaviour (mission length, engine
             options, system overrides) belongs here.  A callable is
@@ -74,7 +91,7 @@ class EvaluationEngine:
         evaluate: Evaluator,
         backend: str | EvaluationBackend = "serial",
         *,
-        cache: bool | EvalCache | None = True,
+        cache: bool | EvalCache | CacheStore | None = True,
         context: object = None,
         workers: int | None = None,
         chunk_size: int | None = None,
@@ -87,15 +104,23 @@ class EvaluationEngine:
             chunk_size=chunk_size,
             batch_evaluate=batch_evaluate,
         )
+        # Ownership follows construction: the engine closes what it
+        # wrapped itself (cache=True, or a bare store handed over),
+        # while a ready EvalCache stays caller-owned so a shared
+        # (possibly persistent) store survives this engine's close().
+        self._owns_cache = cache is True or isinstance(cache, CacheStore)
         if cache is True:
             self.cache: EvalCache | None = EvalCache()
         elif cache is False or cache is None:
             self.cache = None
         elif isinstance(cache, EvalCache):
             self.cache = cache
+        elif isinstance(cache, CacheStore):
+            self.cache = EvalCache(store=cache)
         else:
             raise ReproError(
-                f"cache must be bool, None or EvalCache, got {type(cache)!r}"
+                "cache must be bool, None, EvalCache or CacheStore, "
+                f"got {type(cache)!r}"
             )
         self.context = context
         self.points_evaluated = 0
@@ -197,13 +222,13 @@ class EvaluationEngine:
         in a forked worker, whose freshly-built global caches (the
         envelope charging-map grids) die with the pool.  Evaluating
         in-parent builds them where every future worker will inherit
-        them.  The result still lands in the evaluation cache.
+        them.  The point runs even when the evaluation cache already
+        knows its responses — the side effect (warm process-global
+        grids) is the purpose, and a shared or persisted cache would
+        otherwise silently skip the warm-up.  The result still lands
+        in the evaluation cache.
         """
         fp = point_fingerprint(point, self._context_value())
-        if self.cache is not None:
-            hit = self.cache.get(fp)
-            if hit is not None:
-                return hit
         responses = dict(self.evaluate(point))
         self.points_evaluated += 1
         if self.cache is not None:
@@ -212,8 +237,29 @@ class EvaluationEngine:
 
     # -- bookkeeping -----------------------------------------------------------
 
-    def stats(self) -> dict:
-        """Backend and cache statistics for reports/benchmarks."""
+    def stats_snapshot(self) -> dict:
+        """Freeze the counters, for later per-interval deltas.
+
+        Engines are long-lived (one per toolkit), so raw counters are
+        lifetime totals; callers that want *this study's* traffic take
+        a snapshot first and pass it to :meth:`stats` as ``since``.
+        """
+        snap: dict = {key: getattr(self, key) for key in _ENGINE_COUNTERS}
+        snap["cache"] = (
+            self.cache.stats.as_dict() if self.cache is not None else None
+        )
+        return snap
+
+    def stats(self, since: Mapping | None = None) -> dict:
+        """Backend and cache statistics for reports/benchmarks.
+
+        Args:
+            since: a :meth:`stats_snapshot`; when given, every counter
+                (engine and cache) is reported as the delta since that
+                snapshot, with the hit rate recomputed over the
+                interval.  ``cache_entries`` stays absolute — it is a
+                size, not a counter.
+        """
         out = dict(self.backend.describe())
         out.update(
             points_evaluated=self.points_evaluated,
@@ -223,9 +269,23 @@ class EvaluationEngine:
         if self.cache is not None:
             out["cache"] = self.cache.stats.as_dict()
             out["cache_entries"] = len(self.cache)
+            out["store"] = self.cache.describe()
         else:
             out["cache"] = None
+        if since is not None:
+            for key in _ENGINE_COUNTERS:
+                out[key] -= since.get(key, 0)
+            baseline = since.get("cache")
+            if out["cache"] is not None and baseline is not None:
+                for key in _CACHE_COUNTERS:
+                    out["cache"][key] -= baseline.get(key, 0)
+                lookups = out["cache"]["hits"] + out["cache"]["misses"]
+                out["cache"]["hit_rate"] = (
+                    out["cache"]["hits"] / lookups if lookups else 0.0
+                )
         return out
 
     def close(self) -> None:
         self.backend.close()
+        if self._owns_cache and self.cache is not None:
+            self.cache.close()

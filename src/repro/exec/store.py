@@ -1,0 +1,580 @@
+"""Pluggable storage behind the evaluation cache.
+
+:class:`~repro.exec.cache.EvalCache` fronts a :class:`CacheStore` — the
+seam the ROADMAP names for sharing evaluations beyond one process.
+Three stores ship:
+
+* :class:`MemoryStore` — the process-local ``OrderedDict`` semantics
+  the cache has always had (LRU-bounded when asked); the default.
+* :class:`FileStore` — one JSON blob per fingerprint in a directory,
+  written via atomic rename, so independent processes (CI jobs, hosts
+  sharing a network mount) can populate and read one store without
+  coordination.
+* :class:`SQLiteStore` — a single-file database in WAL mode with a
+  busy timeout, safe for concurrent writers on one filesystem.
+
+Every persisted blob is versioned (:data:`SCHEMA_VERSION`) and
+self-identifying (it records its own fingerprint).  Loads are
+corruption-tolerant: an unreadable, mis-versioned or mismatched entry
+is dropped and counted as an invalidation, never raised — evaluations
+are deterministic, so re-simulating a lost point is always correct.
+
+Store traffic (loads, persists, invalidations, evictions) is tracked
+in :class:`StoreStats` and mirrored into the fronting cache's
+:class:`~repro.exec.cache.CacheStats`, so ``study.report()`` and the
+benchmark manifests see one merged picture.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import tempfile
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, Mapping
+
+from repro.errors import ReproError
+
+#: On-disk schema version shared by every persistent store.  Bump it
+#: whenever the fingerprint canonicalization or the blob layout
+#: changes; old entries then invalidate themselves on load instead of
+#: serving stale responses.
+SCHEMA_VERSION = 1
+
+
+@dataclass
+class StoreStats:
+    """Traffic counters of one store (store-lifetime, monotonic).
+
+    Attributes:
+        loads: lookups answered from storage.
+        persists: evaluations written to storage.
+        invalidations: entries dropped — corrupt payloads, schema
+            mismatches, explicit discards and clears.
+        evictions: entries displaced by a capacity bound (memory
+            store only).
+    """
+
+    loads: int = 0
+    persists: int = 0
+    invalidations: int = 0
+    evictions: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "loads": self.loads,
+            "persists": self.persists,
+            "invalidations": self.invalidations,
+            "evictions": self.evictions,
+        }
+
+
+def _validate_blob(blob: object, fingerprint: str) -> dict[str, float] | None:
+    """Responses from a persisted blob, or None if it cannot be trusted."""
+    if not isinstance(blob, dict):
+        return None
+    if blob.get("schema") != SCHEMA_VERSION:
+        return None
+    if blob.get("fingerprint") != fingerprint:
+        return None
+    responses = blob.get("responses")
+    if not isinstance(responses, dict):
+        return None
+    out: dict[str, float] = {}
+    for name, value in responses.items():
+        if not isinstance(name, str) or not isinstance(value, (int, float)):
+            return None
+        out[name] = float(value)
+    return out
+
+
+def _encode_blob(fingerprint: str, responses: Mapping[str, float]) -> dict:
+    return {
+        "schema": SCHEMA_VERSION,
+        "fingerprint": fingerprint,
+        "responses": {str(k): float(v) for k, v in responses.items()},
+    }
+
+
+class CacheStore(ABC):
+    """Where evaluation-cache entries live.
+
+    The contract is a string-keyed blob map with deterministic values:
+    ``persist`` may be called repeatedly for one fingerprint (always
+    with an identical payload, evaluations being pure), ``load``
+    returns None for anything absent or untrustworthy, and no method
+    raises for data-level problems — a store that cannot answer simply
+    misses and the engine re-simulates.
+    """
+
+    name: str = "abstract"
+
+    def __init__(self) -> None:
+        self.stats = StoreStats()
+
+    @abstractmethod
+    def load(self, fingerprint: str) -> dict[str, float] | None:
+        """Responses persisted under a fingerprint, or None."""
+
+    @abstractmethod
+    def persist(self, fingerprint: str, responses: Mapping[str, float]) -> None:
+        """Durably associate responses with a fingerprint."""
+
+    @abstractmethod
+    def discard(self, fingerprint: str) -> bool:
+        """Drop one entry; True if it existed."""
+
+    @abstractmethod
+    def clear(self) -> None:
+        """Drop every entry (counted as invalidations)."""
+
+    @abstractmethod
+    def __len__(self) -> int:
+        """Number of stored entries."""
+
+    @abstractmethod
+    def __contains__(self, fingerprint: str) -> bool:
+        """Entry presence without counting a load."""
+
+    @abstractmethod
+    def items(self) -> Iterator[tuple[str, dict[str, float]]]:
+        """Iterate valid ``(fingerprint, responses)`` pairs.
+
+        Used for inspection and store-to-store migration (e.g. seeding
+        a :class:`SQLiteStore` from a :class:`FileStore` directory).
+        """
+
+    def describe(self) -> dict:
+        """Store parameters for reports and benchmark manifests."""
+        return {"store": self.name}
+
+    def close(self) -> None:
+        """Release held resources (connections); idempotent."""
+
+
+class MemoryStore(CacheStore):
+    """Process-local dict store — today's cache semantics, the default.
+
+    Args:
+        max_entries: optional LRU bound; None keeps every entry
+            (study-scale workloads are thousands of points of a few
+            floats each, so unbounded is the sensible default).
+    """
+
+    name = "memory"
+
+    def __init__(self, max_entries: int | None = None):
+        super().__init__()
+        if max_entries is not None and max_entries < 1:
+            raise ReproError(
+                f"max_entries must be >= 1 or None, got {max_entries}"
+            )
+        self.max_entries = max_entries
+        from collections import OrderedDict
+
+        self._entries: OrderedDict[str, dict[str, float]] = OrderedDict()
+
+    def load(self, fingerprint: str) -> dict[str, float] | None:
+        entry = self._entries.get(fingerprint)
+        if entry is None:
+            return None
+        self._entries.move_to_end(fingerprint)
+        self.stats.loads += 1
+        return dict(entry)
+
+    def persist(self, fingerprint: str, responses: Mapping[str, float]) -> None:
+        self._entries[fingerprint] = dict(responses)
+        self._entries.move_to_end(fingerprint)
+        self.stats.persists += 1
+        if self.max_entries is not None:
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+
+    def discard(self, fingerprint: str) -> bool:
+        existed = self._entries.pop(fingerprint, None) is not None
+        if existed:
+            self.stats.invalidations += 1
+        return existed
+
+    def clear(self) -> None:
+        self.stats.invalidations += len(self._entries)
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return fingerprint in self._entries
+
+    def items(self) -> Iterator[tuple[str, dict[str, float]]]:
+        for fingerprint, responses in list(self._entries.items()):
+            yield fingerprint, dict(responses)
+
+    def describe(self) -> dict:
+        return {"store": self.name, "max_entries": self.max_entries}
+
+
+class FileStore(CacheStore):
+    """One JSON blob per fingerprint under a directory.
+
+    Writes go to a temporary file in the same directory and land via
+    ``os.replace``, so a reader never observes a half-written blob and
+    concurrent writers of the same fingerprint (which, evaluations
+    being deterministic, carry identical payloads) simply race to an
+    equivalent rename.  Loads tolerate corruption: an unparsable,
+    mis-versioned or mismatched file is unlinked and treated as a
+    miss.
+
+    Args:
+        directory: store root; created if absent.
+    """
+
+    name = "file"
+    _SUFFIX = ".json"
+
+    def __init__(self, directory: str | os.PathLike):
+        super().__init__()
+        self.directory = Path(directory)
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        except OSError as error:
+            raise ReproError(
+                f"cannot create cache store directory {self.directory}: {error}"
+            ) from error
+        # mkstemp creates 0600 files; on a shared mount other users
+        # must be able to read the blobs, so persisted entries get
+        # ordinary umask-honouring permissions instead.
+        umask = os.umask(0)
+        os.umask(umask)
+        self._blob_mode = 0o666 & ~umask
+
+    def _path(self, fingerprint: str) -> Path:
+        return self.directory / f"{fingerprint}{self._SUFFIX}"
+
+    def load(self, fingerprint: str) -> dict[str, float] | None:
+        path = self._path(fingerprint)
+        try:
+            raw = path.read_text(encoding="utf-8")
+        except OSError:
+            # Any unreadable entry — absent, permissions, transient
+            # I/O — is a plain miss: evaluations are deterministic,
+            # so the engine just re-simulates.
+            return None
+        try:
+            blob = json.loads(raw)
+        except ValueError:
+            blob = None
+        responses = _validate_blob(blob, fingerprint)
+        if responses is None:
+            self._drop(path)
+            return None
+        self.stats.loads += 1
+        return responses
+
+    def _drop(self, path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:  # pragma: no cover - racing unlink is fine
+            pass
+        self.stats.invalidations += 1
+
+    def persist(self, fingerprint: str, responses: Mapping[str, float]) -> None:
+        blob = _encode_blob(fingerprint, responses)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=self.directory, prefix=".write-", suffix=".part"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(blob, handle, sort_keys=True)
+            os.chmod(tmp_name, self._blob_mode)
+            os.replace(tmp_name, self._path(fingerprint))
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.stats.persists += 1
+
+    def discard(self, fingerprint: str) -> bool:
+        try:
+            self._path(fingerprint).unlink()
+        except FileNotFoundError:
+            return False
+        self.stats.invalidations += 1
+        return True
+
+    def _blob_paths(self) -> list[Path]:
+        return sorted(
+            path
+            for path in self.directory.glob(f"*{self._SUFFIX}")
+            if not path.name.startswith(".")
+        )
+
+    def clear(self) -> None:
+        for path in self._blob_paths():
+            self._drop(path)
+
+    def __len__(self) -> int:
+        # Unsorted scandir: len() runs on every stats() call, so keep
+        # it one directory pass (the sort only matters for items()).
+        count = 0
+        with os.scandir(self.directory) as entries:
+            for entry in entries:
+                if entry.name.endswith(self._SUFFIX) and not (
+                    entry.name.startswith(".")
+                ):
+                    count += 1
+        return count
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return self._path(fingerprint).exists()
+
+    def items(self) -> Iterator[tuple[str, dict[str, float]]]:
+        for path in self._blob_paths():
+            fingerprint = path.name[: -len(self._SUFFIX)]
+            responses = self.load(fingerprint)
+            if responses is not None:
+                yield fingerprint, responses
+
+    def describe(self) -> dict:
+        return {"store": self.name, "directory": str(self.directory)}
+
+
+class SQLiteStore(CacheStore):
+    """Single-file SQLite store, WAL mode, safe for concurrent writers.
+
+    WAL journaling lets readers proceed under a writer; the busy
+    timeout makes simultaneous commits from several processes queue
+    instead of erroring.  A *corrupt* database (SQLite header present
+    but unreadable) is deleted and recreated — the store holds
+    nothing that cannot be re-simulated — but a foreign file at the
+    path (no SQLite header) is refused, never deleted: that is a
+    mistyped path, not a cache artefact.
+
+    Args:
+        path: database file; parent directories are created.
+        timeout: seconds a writer waits on a locked database.
+    """
+
+    name = "sqlite"
+
+    _SQLITE_MAGIC = b"SQLite format 3\x00"
+
+    def __init__(self, path: str | os.PathLike, timeout: float = 30.0):
+        super().__init__()
+        self.path = Path(path)
+        self.timeout = float(timeout)
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+        except OSError as error:
+            raise ReproError(
+                f"cannot create cache store directory "
+                f"{self.path.parent}: {error}"
+            ) from error
+        self._closed = False
+        try:
+            self._conn = self._open()
+        except sqlite3.OperationalError:
+            # Environmental, not corruption: locked past the busy
+            # timeout, permissions, disk full.  The database may be
+            # live under another process — never delete it for this.
+            raise
+        except sqlite3.DatabaseError as error:
+            if not self._is_rebuildable():
+                raise ReproError(
+                    f"{self.path} exists but is not a SQLite database "
+                    f"({error}); refusing to replace a file this store "
+                    "did not create — point the store elsewhere or "
+                    "remove the file yourself"
+                ) from error
+            # Corrupt database: rebuild from nothing rather than fail
+            # the study over a cache artefact.
+            self._remove_database_files()
+            self.stats.invalidations += 1
+            self._conn = self._open()
+
+    def _is_rebuildable(self) -> bool:
+        """Only ever delete what was plausibly this store's own file:
+        an empty/absent file or one carrying the SQLite header."""
+        try:
+            with open(self.path, "rb") as handle:
+                header = handle.read(len(self._SQLITE_MAGIC))
+        except FileNotFoundError:
+            return True
+        except OSError:
+            return False
+        return header == b"" or header == self._SQLITE_MAGIC
+
+    def _open(self) -> sqlite3.Connection:
+        conn = sqlite3.connect(str(self.path), timeout=self.timeout)
+        try:
+            conn.execute("PRAGMA journal_mode=WAL")
+            conn.execute("PRAGMA synchronous=NORMAL")
+            conn.execute(
+                "CREATE TABLE IF NOT EXISTS evaluations ("
+                " fingerprint TEXT PRIMARY KEY,"
+                " schema_version INTEGER NOT NULL,"
+                " payload TEXT NOT NULL)"
+            )
+            conn.commit()
+        except sqlite3.DatabaseError:
+            conn.close()
+            raise
+        return conn
+
+    def _remove_database_files(self) -> None:
+        for suffix in ("", "-wal", "-shm"):
+            try:
+                os.unlink(f"{self.path}{suffix}")
+            except OSError:
+                pass
+
+    def load(self, fingerprint: str) -> dict[str, float] | None:
+        row = self._conn.execute(
+            "SELECT schema_version, payload FROM evaluations"
+            " WHERE fingerprint = ?",
+            (fingerprint,),
+        ).fetchone()
+        if row is None:
+            return None
+        responses = self._decode_row(fingerprint, row)
+        if responses is None:
+            self.discard(fingerprint)
+            return None
+        self.stats.loads += 1
+        return responses
+
+    @staticmethod
+    def _decode_row(
+        fingerprint: str, row: tuple[int, str]
+    ) -> dict[str, float] | None:
+        schema_version, payload = row
+        if schema_version != SCHEMA_VERSION:
+            return None
+        try:
+            blob = json.loads(payload)
+        except ValueError:
+            return None
+        return _validate_blob(blob, fingerprint)
+
+    def persist(self, fingerprint: str, responses: Mapping[str, float]) -> None:
+        payload = json.dumps(
+            _encode_blob(fingerprint, responses), sort_keys=True
+        )
+        with self._conn:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO evaluations"
+                " (fingerprint, schema_version, payload) VALUES (?, ?, ?)",
+                (fingerprint, SCHEMA_VERSION, payload),
+            )
+        self.stats.persists += 1
+
+    def discard(self, fingerprint: str) -> bool:
+        with self._conn:
+            cursor = self._conn.execute(
+                "DELETE FROM evaluations WHERE fingerprint = ?",
+                (fingerprint,),
+            )
+        if cursor.rowcount > 0:
+            self.stats.invalidations += 1
+            return True
+        return False
+
+    def clear(self) -> None:
+        with self._conn:
+            cursor = self._conn.execute("DELETE FROM evaluations")
+        self.stats.invalidations += max(cursor.rowcount, 0)
+
+    def __len__(self) -> int:
+        row = self._conn.execute(
+            "SELECT COUNT(*) FROM evaluations"
+        ).fetchone()
+        return int(row[0])
+
+    def __contains__(self, fingerprint: str) -> bool:
+        row = self._conn.execute(
+            "SELECT 1 FROM evaluations WHERE fingerprint = ?",
+            (fingerprint,),
+        ).fetchone()
+        return row is not None
+
+    def items(self) -> Iterator[tuple[str, dict[str, float]]]:
+        rows = self._conn.execute(
+            "SELECT fingerprint, schema_version, payload FROM evaluations"
+            " ORDER BY fingerprint"
+        ).fetchall()
+        for fingerprint, schema_version, payload in rows:
+            responses = self._decode_row(
+                fingerprint, (schema_version, payload)
+            )
+            if responses is not None:
+                yield fingerprint, responses
+
+    def describe(self) -> dict:
+        return {
+            "store": self.name,
+            "path": str(self.path),
+            "timeout": self.timeout,
+        }
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self._conn.close()
+
+    # sqlite3 connections cannot pickle, but the store must: spawn
+    # start methods pickle the evaluator graph (toolkit -> engine ->
+    # cache -> store) into every worker.  Ship the path, reconnect on
+    # arrival.
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        del state["_conn"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._closed = False
+        self._conn = self._open()
+
+
+#: File suffixes that make :func:`resolve_store` pick SQLite for a path.
+_SQLITE_SUFFIXES = (".sqlite", ".sqlite3", ".db")
+
+
+def resolve_store(
+    spec: CacheStore | str | os.PathLike | None,
+    max_entries: int | None = None,
+) -> CacheStore:
+    """Build a store from a spec, or pass a ready one through.
+
+    * None — a :class:`MemoryStore` (honouring ``max_entries``).
+    * A path ending in ``.sqlite`` / ``.sqlite3`` / ``.db`` — a
+      :class:`SQLiteStore` on that file.
+    * Any other path — a :class:`FileStore` on that directory (no
+      string is treated as a sentinel: ``"memory"`` is the directory
+      ``./memory``, construct :class:`MemoryStore` explicitly for the
+      in-memory behaviour).
+    """
+    if isinstance(spec, CacheStore):
+        if max_entries is not None:
+            raise ReproError(
+                "max_entries cannot be applied to a ready store; "
+                "bound the store itself"
+            )
+        return spec
+    if spec is None:
+        return MemoryStore(max_entries=max_entries)
+    if max_entries is not None:
+        raise ReproError(
+            "max_entries applies to the in-memory store only; "
+            f"got a persistent store spec {spec!r}"
+        )
+    path = Path(spec)
+    if path.suffix.lower() in _SQLITE_SUFFIXES:
+        return SQLiteStore(path)
+    return FileStore(path)

@@ -421,6 +421,15 @@ class TestToolkitExecution:
                 first.exploration.responses[name],
                 second.exploration.responses[name],
             )
+        # meta["exec"] is a per-study delta: the second study is pure
+        # cache traffic and must not inherit the first study's
+        # simulated points; lifetime totals live in exec_lifetime.
+        assert first.meta["exec"]["points_evaluated"] > 0
+        assert second.meta["exec"]["points_evaluated"] == 0
+        assert second.meta["exec"]["cache"]["hit_rate"] == 1.0
+        assert second.meta["exec_lifetime"]["points_evaluated"] == (
+            first.meta["exec"]["points_evaluated"]
+        )
         report = second.report()
         assert "== evaluation backend ==" in report
         assert "evaluation cache" in report
@@ -433,8 +442,13 @@ class TestToolkitExecution:
         )
         toolkit.prewarm()
         assert len(toolkit.exec_engine.cache) == 1
-        toolkit.prewarm()  # second call is a cache hit
-        assert toolkit.exec_engine.cache.stats.hits >= 1
+        # Prewarming exists for its side effect (warm process-global
+        # charging maps in the parent), so a second call — or a call
+        # against a cache persisted by some other process — must
+        # re-evaluate rather than return early on the cache hit.
+        toolkit.prewarm()
+        assert toolkit.exec_engine.points_evaluated == 2
+        assert len(toolkit.exec_engine.cache) == 1
 
     def test_batch_evaluate_matches_per_point(self, small_toolkit_space):
         toolkit = SensorNodeDesignToolkit(

@@ -1,0 +1,696 @@
+"""The persistent evaluation store and the exec-layer contracts around it.
+
+Covers the pluggable :class:`~repro.exec.store.CacheStore` layer (one
+behavioural contract for memory / file / SQLite stores, plus each
+store's durability specifics), the type-tagged fingerprint
+canonicalization, per-study statistics deltas, and the acceptance
+properties: a study persisted through a store re-simulates nothing in
+a fresh process, and serial / serial-batched / process / store-backed
+engines return bit-identical response vectors.
+"""
+
+import json
+import math
+import os
+import subprocess
+import sys
+import textwrap
+
+import numpy as np
+import pytest
+
+from repro.core.doe import latin_hypercube
+from repro.core.explorer import DesignExplorer
+from repro.core.factors import DesignSpace, Factor
+from repro.core.toolkit import SensorNodeDesignToolkit
+from repro.errors import DesignError, ReproError
+from repro.exec import (
+    SCHEMA_VERSION,
+    EvalCache,
+    EvaluationEngine,
+    FileStore,
+    MemoryStore,
+    SQLiteStore,
+    point_fingerprint,
+    resolve_store,
+)
+from repro.sim.envelope import EnvelopeOptions, clear_charging_cache
+
+FAST_ENVELOPE = EnvelopeOptions(
+    map_v_points=4,
+    map_nr_warmup_cycles=4,
+    map_warmup_cycles=8,
+    map_measure_cycles=6,
+    map_max_blocks=3,
+    map_steps_per_period=80,
+)
+
+
+def _synthetic(point):
+    a = point["a"]
+    b = point["b"]
+    return {
+        "y1": math.sin(a) * b + a * a,
+        "y2": math.exp(-abs(b)) + 3.0 * a,
+    }
+
+
+def _space():
+    return DesignSpace([Factor("a", -1.0, 1.0), Factor("b", 0.5, 4.0)])
+
+
+def _store_factories(tmp_path):
+    return {
+        "memory": lambda: MemoryStore(),
+        "file": lambda: FileStore(tmp_path / "file-store"),
+        "sqlite": lambda: SQLiteStore(tmp_path / "store.sqlite"),
+    }
+
+
+@pytest.fixture(params=["memory", "file", "sqlite"])
+def store(request, tmp_path):
+    built = _store_factories(tmp_path)[request.param]()
+    yield built
+    built.close()
+
+
+class TestStoreContract:
+    """One behavioural contract, every store implementation."""
+
+    def test_roundtrip_and_len(self, store):
+        assert store.load("fp1") is None
+        store.persist("fp1", {"y": 1.5, "z": -2.0})
+        store.persist("fp2", {"y": 0.25})
+        assert store.load("fp1") == {"y": 1.5, "z": -2.0}
+        assert len(store) == 2
+        assert "fp1" in store and "missing" not in store
+        assert store.stats.persists == 2
+        assert store.stats.loads == 1
+
+    def test_persist_overwrites(self, store):
+        store.persist("fp", {"y": 1.0})
+        store.persist("fp", {"y": 1.0})
+        assert len(store) == 1
+        assert store.load("fp") == {"y": 1.0}
+
+    def test_discard_and_clear(self, store):
+        store.persist("fp1", {"y": 1.0})
+        store.persist("fp2", {"y": 2.0})
+        assert store.discard("fp1") is True
+        assert store.discard("fp1") is False
+        assert len(store) == 1
+        store.clear()
+        assert len(store) == 0
+        assert store.stats.invalidations == 2
+
+    def test_items_iterates_everything(self, store):
+        entries = {f"fp{i}": {"y": float(i)} for i in range(4)}
+        for fingerprint, responses in entries.items():
+            store.persist(fingerprint, responses)
+        assert dict(store.items()) == entries
+
+    def test_values_survive_bit_exactly(self, store):
+        # Shortest-repr JSON roundtrips doubles exactly; the store
+        # must preserve that (the cross-backend bit-identity contract
+        # depends on it).
+        values = {
+            "tiny": 5e-324,
+            "pi": math.pi,
+            "third": 1.0 / 3.0,
+            "big": 1.7976931348623157e308,
+            "neg": -0.0,
+        }
+        store.persist("fp", values)
+        loaded = store.load("fp")
+        for name, value in values.items():
+            assert loaded[name] == value
+            assert math.copysign(1.0, loaded[name]) == math.copysign(
+                1.0, value
+            )
+
+    def test_describe_names_the_store(self, store):
+        assert store.describe()["store"] == store.name
+
+
+class TestFileStore:
+    def test_no_partial_files_left_behind(self, tmp_path):
+        store = FileStore(tmp_path)
+        for i in range(5):
+            store.persist(f"fp{i}", {"y": float(i)})
+        leftovers = [
+            p for p in tmp_path.iterdir() if not p.name.endswith(".json")
+        ]
+        assert leftovers == []
+        assert len(store) == 5
+
+    def test_corrupt_blob_is_invalidated_not_raised(self, tmp_path):
+        store = FileStore(tmp_path)
+        store.persist("fp", {"y": 1.0})
+        (tmp_path / "fp.json").write_text("{not json", encoding="utf-8")
+        assert store.load("fp") is None
+        assert store.stats.invalidations == 1
+        assert "fp" not in store  # the corpse was unlinked
+
+    def test_schema_mismatch_is_invalidated(self, tmp_path):
+        store = FileStore(tmp_path)
+        blob = {
+            "schema": SCHEMA_VERSION + 1,
+            "fingerprint": "fp",
+            "responses": {"y": 1.0},
+        }
+        (tmp_path / "fp.json").write_text(json.dumps(blob), encoding="utf-8")
+        assert store.load("fp") is None
+        assert store.stats.invalidations == 1
+
+    def test_fingerprint_mismatch_is_invalidated(self, tmp_path):
+        # A renamed/copied blob must not serve responses under the
+        # wrong key.
+        store = FileStore(tmp_path)
+        store.persist("fp-original", {"y": 1.0})
+        os.replace(tmp_path / "fp-original.json", tmp_path / "fp-other.json")
+        assert store.load("fp-other") is None
+        assert store.stats.invalidations == 1
+
+    def test_blobs_are_not_mkstemp_private(self, tmp_path):
+        # mkstemp creates 0600 files; persisted blobs must honour the
+        # umask instead so other users of a shared mount can read them.
+        store = FileStore(tmp_path)
+        store.persist("fp", {"y": 1.0})
+        umask = os.umask(0)
+        os.umask(umask)
+        mode = (tmp_path / "fp.json").stat().st_mode & 0o777
+        assert mode == 0o666 & ~umask
+
+    def test_two_stores_share_a_directory(self, tmp_path):
+        writer = FileStore(tmp_path)
+        reader = FileStore(tmp_path)
+        writer.persist("fp", {"y": 4.25})
+        assert reader.load("fp") == {"y": 4.25}
+
+
+class TestSQLiteStore:
+    def test_two_connections_share_the_file(self, tmp_path):
+        path = tmp_path / "shared.sqlite"
+        writer = SQLiteStore(path)
+        reader = SQLiteStore(path)
+        writer.persist("fp", {"y": 4.25})
+        assert reader.load("fp") == {"y": 4.25}
+        reader.persist("fp2", {"y": 1.0})
+        assert writer.load("fp2") == {"y": 1.0}
+        writer.close()
+        reader.close()
+
+    def test_corrupt_database_is_recreated(self, tmp_path):
+        # A torn/corrupt database still carries the SQLite header;
+        # that is a cache artefact and safe to rebuild from nothing.
+        path = tmp_path / "broken.sqlite"
+        path.write_bytes(b"SQLite format 3\x00" + b"\xff" * 4096)
+        store = SQLiteStore(path)
+        assert store.stats.invalidations == 1
+        store.persist("fp", {"y": 1.0})
+        assert store.load("fp") == {"y": 1.0}
+        store.close()
+
+    def test_foreign_file_is_refused_not_deleted(self, tmp_path):
+        # A mistyped path pointing at somebody's data file must never
+        # be deleted: no SQLite header means it was not ours.
+        path = tmp_path / "precious.db"
+        payload = b"definitely not a sqlite database" * 8
+        path.write_bytes(payload)
+        with pytest.raises(ReproError):
+            SQLiteStore(path)
+        assert path.read_bytes() == payload
+
+    def test_empty_file_is_adopted(self, tmp_path):
+        # sqlite itself treats an empty file as a fresh database.
+        path = tmp_path / "empty.sqlite"
+        path.touch()
+        store = SQLiteStore(path)
+        store.persist("fp", {"y": 1.0})
+        assert store.load("fp") == {"y": 1.0}
+        store.close()
+
+    def test_corrupt_payload_row_is_dropped(self, tmp_path):
+        path = tmp_path / "store.sqlite"
+        store = SQLiteStore(path)
+        store.persist("fp", {"y": 1.0})
+        store._conn.execute(
+            "UPDATE evaluations SET payload = '{oops' WHERE fingerprint = ?",
+            ("fp",),
+        )
+        store._conn.commit()
+        assert store.load("fp") is None
+        assert store.stats.invalidations == 1
+        assert len(store) == 0
+        store.close()
+
+    def test_close_is_idempotent(self, tmp_path):
+        store = SQLiteStore(tmp_path / "store.sqlite")
+        store.close()
+        store.close()
+
+    def test_store_pickles_for_spawn_workers(self, tmp_path):
+        # Spawn-start-method process backends pickle the evaluator
+        # graph (toolkit -> engine -> cache -> store) into workers;
+        # the connection is re-opened on arrival.
+        import pickle
+
+        store = SQLiteStore(tmp_path / "store.sqlite")
+        store.persist("fp", {"y": 1.0})
+        clone = pickle.loads(pickle.dumps(EvalCache(store=store)))
+        assert clone.get("fp") == {"y": 1.0}
+        clone.put("fp2", {"y": 2.0})
+        assert store.load("fp2") == {"y": 2.0}
+        clone.close()
+        store.close()
+
+
+class TestResolveStore:
+    def test_none_spec(self):
+        assert isinstance(resolve_store(None), MemoryStore)
+        assert resolve_store(None, max_entries=3).max_entries == 3
+
+    def test_path_specs(self, tmp_path):
+        assert isinstance(resolve_store(tmp_path / "dir"), FileStore)
+        # No string sentinels: "memory" is a directory like any other.
+        built = resolve_store(str(tmp_path / "memory"))
+        assert isinstance(built, FileStore)
+        for suffix in (".sqlite", ".sqlite3", ".db"):
+            built = resolve_store(tmp_path / f"cache{suffix}")
+            assert isinstance(built, SQLiteStore)
+            built.close()
+
+    def test_passthrough(self, tmp_path):
+        store = FileStore(tmp_path)
+        assert resolve_store(store) is store
+
+    def test_max_entries_rejected_for_persistent_stores(self, tmp_path):
+        with pytest.raises(ReproError):
+            resolve_store(tmp_path / "dir", max_entries=4)
+        with pytest.raises(ReproError):
+            resolve_store(FileStore(tmp_path), max_entries=4)
+
+
+class TestEvalCacheOverStores:
+    def test_store_counters_merged_into_cache_stats(self, tmp_path):
+        cache = EvalCache(store=FileStore(tmp_path))
+        assert cache.get("fp") is None
+        cache.put("fp", {"y": 1.0})
+        assert cache.get("fp") == {"y": 1.0}
+        stats = cache.stats.as_dict()
+        assert stats["misses"] == 1 and stats["hits"] == 1
+        assert stats["persists"] == 1 and stats["loads"] == 1
+        assert cache.discard("fp") is True
+        assert cache.stats.invalidations == 1
+
+    def test_string_spec_resolves_to_a_store(self, tmp_path):
+        cache = EvalCache(store=str(tmp_path / "blobs"))
+        cache.put("fp", {"y": 2.0})
+        assert cache.store.name == "file"
+        assert (tmp_path / "blobs" / "fp.json").exists()
+
+    def test_max_entries_with_store_rejected(self, tmp_path):
+        with pytest.raises(ReproError):
+            EvalCache(max_entries=5, store=FileStore(tmp_path))
+
+    def test_shared_store_traffic_is_attributed_per_cache(self, tmp_path):
+        # Two caches over one store: each CacheStats counts only its
+        # own store operations, so per-study deltas stay clean; the
+        # store's lifetime totals live on store.stats.
+        store = SQLiteStore(tmp_path / "shared.sqlite")
+        first = EvalCache(store=store)
+        second = EvalCache(store=store)
+        for i in range(5):
+            first.put(f"fp{i}", {"y": float(i)})
+        assert second.get("fp0") == {"y": 0.0}
+        assert first.stats.persists == 5 and first.stats.loads == 0
+        assert second.stats.persists == 0 and second.stats.loads == 1
+        assert store.stats.persists == 5 and store.stats.loads == 1
+        store.close()
+
+    def test_engine_accepts_a_bare_store(self, tmp_path):
+        engine = EvaluationEngine(
+            _synthetic, cache=SQLiteStore(tmp_path / "c.sqlite")
+        )
+        point = {"a": 0.5, "b": 1.0}
+        engine.map_points([point])
+        engine.map_points([point])
+        assert engine.points_evaluated == 1
+        engine.close()  # engine owns the wrapped store
+        # Entries survived on disk for the next process.
+        fresh = SQLiteStore(tmp_path / "c.sqlite")
+        assert len(fresh) == 1
+        fresh.close()
+
+
+class TestFingerprintKeyTagging:
+    """Regression tests for the str(key) collision family."""
+
+    def test_int_and_str_keys_differ(self):
+        assert point_fingerprint({"a": 1.0}, {1: "x"}) != point_fingerprint(
+            {"a": 1.0}, {"1": "x"}
+        )
+
+    def test_bool_int_and_str_keys_differ(self):
+        fingerprints = {
+            point_fingerprint({"a": 1.0}, context)
+            for context in ({True: "x"}, {"True": "x"}, {1: "x"})
+        }
+        assert len(fingerprints) == 3
+
+    def test_float_and_str_keys_differ(self):
+        assert point_fingerprint({"a": 1.0}, {2.5: "x"}) != point_fingerprint(
+            {"a": 1.0}, {"2.5": "x"}
+        )
+
+    def test_set_differs_from_list(self):
+        assert point_fingerprint({"a": 1.0}, [1, 2]) != point_fingerprint(
+            {"a": 1.0}, {1, 2}
+        )
+
+    def test_mixed_type_sets_are_order_stable_and_distinct(self):
+        assert point_fingerprint({"a": 1.0}, {1, "1"}) == point_fingerprint(
+            {"a": 1.0}, {"1", 1}
+        )
+        assert point_fingerprint({"a": 1.0}, {1, "1"}) != point_fingerprint(
+            {"a": 1.0}, {1}
+        )
+        assert point_fingerprint({"a": 1.0}, {"1"}) != point_fingerprint(
+            {"a": 1.0}, {1}
+        )
+
+    def test_numpy_scalars_normalize_to_python_scalars(self):
+        # np.float64 subclasses float and its repr is numpy-version-
+        # dependent ("np.float64(1.5)" on 2.x); persisted fingerprints
+        # must match across hosts, so np scalars canonicalize as their
+        # Python values — in keys, values and set elements alike.
+        point = {"a": 1.0}
+        assert point_fingerprint(
+            point, {np.float64(2.5): "x"}
+        ) == point_fingerprint(point, {2.5: "x"})
+        assert point_fingerprint(
+            point, {np.int64(2): "x"}
+        ) == point_fingerprint(point, {2: "x"})
+        assert point_fingerprint(
+            point, {"v": np.float64(2.5)}
+        ) == point_fingerprint(point, {"v": 2.5})
+        assert point_fingerprint(
+            point, {np.float64(2.5)}
+        ) == point_fingerprint(point, {2.5})
+        assert point_fingerprint(
+            point, {"flag": np.bool_(True)}
+        ) == point_fingerprint(point, {"flag": True})
+        assert point_fingerprint(
+            point, {np.bool_(True): "x"}
+        ) == point_fingerprint(point, {True: "x"})
+        assert point_fingerprint(
+            point, {(1, np.float64(1.5)): "x"}
+        ) == point_fingerprint(point, {(1, 1.5): "x"})
+
+    def test_float_and_str_values_differ(self):
+        point = {"a": 1.0}
+        assert point_fingerprint(
+            point, {"v": 1.5}
+        ) != point_fingerprint(point, {"v": "1.5"})
+        assert point_fingerprint(
+            point, {"v": 1}
+        ) != point_fingerprint(point, {"v": "1"})
+        # A crafted string cannot forge a tagged float either.
+        assert point_fingerprint(
+            point, {"v": "f:1.5"}
+        ) != point_fingerprint(point, {"v": 1.5})
+
+    def test_tuple_key_elements_are_delimiter_safe(self):
+        point = {"a": 1.0}
+        assert point_fingerprint(
+            point, {("a,s:b",): 1}
+        ) != point_fingerprint(point, {("a", "b"): 1})
+
+    def test_marker_keys_cannot_be_forged(self):
+        # A real mapping key "__set__" canonicalizes tagged, so it can
+        # never collide with the set marker.
+        assert point_fingerprint(
+            {"a": 1.0}, {"__set__": [1, 2]}
+        ) != point_fingerprint({"a": 1.0}, {1, 2})
+
+
+class TestPerStudyStatsDeltas:
+    def test_second_run_reports_only_its_own_traffic(self):
+        engine = EvaluationEngine(_synthetic, backend="serial", cache=True)
+        explorer = DesignExplorer(
+            _space(), _synthetic, ["y1", "y2"], engine=engine
+        )
+        design = latin_hypercube(8, 2, seed=3)
+        first = explorer.run_design(design)
+        second = explorer.run_design(design)
+        assert first.exec_stats["points_evaluated"] == 8
+        assert first.exec_stats["cache"]["misses"] == 8
+        # The rerun is pure cache traffic — and reports exactly that,
+        # not the cumulative totals of both runs.
+        assert second.exec_stats["points_evaluated"] == 0
+        assert second.exec_stats["batches_dispatched"] == 0
+        assert second.exec_stats["cache"]["hits"] == 8
+        assert second.exec_stats["cache"]["misses"] == 0
+        assert second.exec_stats["cache"]["hit_rate"] == 1.0
+        # Lifetime totals stay available on the engine itself.
+        lifetime = engine.stats()
+        assert lifetime["points_evaluated"] == 8
+        assert lifetime["cache"]["hits"] == 8
+        assert lifetime["cache"]["misses"] == 8
+
+    def test_snapshot_delta_roundtrip(self):
+        engine = EvaluationEngine(_synthetic, backend="serial", cache=True)
+        engine.map_points([{"a": 0.1, "b": 1.0}])
+        snapshot = engine.stats_snapshot()
+        engine.map_points([{"a": 0.1, "b": 1.0}, {"a": 0.2, "b": 1.0}])
+        delta = engine.stats(since=snapshot)
+        assert delta["points_evaluated"] == 1
+        assert delta["cache"]["hits"] == 1
+        assert delta["cache"]["misses"] == 1
+        assert delta["cache"]["hit_rate"] == pytest.approx(0.5)
+
+    def test_uncached_engine_delta(self):
+        engine = EvaluationEngine(_synthetic, backend="serial", cache=False)
+        snapshot = engine.stats_snapshot()
+        engine.map_points([{"a": 0.1, "b": 1.0}])
+        delta = engine.stats(since=snapshot)
+        assert delta["points_evaluated"] == 1
+        assert delta["cache"] is None
+
+
+SPACE_FACTORS = (
+    ("capacitance", 0.10, 1.00),
+    ("tx_interval", 2.0, 60.0),
+)
+
+
+def _toolkit_space():
+    return DesignSpace(
+        [
+            Factor("capacitance", 0.10, 1.00, units="F"),
+            Factor(
+                "tx_interval", 2.0, 60.0, transform="log", units="s"
+            ),
+        ]
+    )
+
+
+def _toolkit(**kwargs) -> SensorNodeDesignToolkit:
+    return SensorNodeDesignToolkit(
+        space=_toolkit_space(),
+        mission_time=120.0,
+        envelope=FAST_ENVELOPE,
+        **kwargs,
+    )
+
+
+class TestToolkitStoreWiring:
+    def test_cache_dir_and_cache_store_are_exclusive(self, tmp_path):
+        with pytest.raises(DesignError):
+            _toolkit(
+                cache_dir=tmp_path, cache_store=MemoryStore()
+            )
+
+    def test_store_with_cache_disabled_rejected(self, tmp_path):
+        with pytest.raises(DesignError):
+            _toolkit(cache=False, cache_dir=tmp_path)
+
+    def test_two_toolkits_share_a_store_directory(self, tmp_path):
+        clear_charging_cache()
+        design = latin_hypercube(4, 2, seed=5)
+        first = _toolkit(cache_dir=tmp_path / "evals")
+        cold = first.explorer.run_design(design)
+        assert cold.exec_stats["points_evaluated"] == design.n_runs
+        # A different toolkit instance — fresh engine, fresh EvalCache,
+        # same directory — answers the whole design from the store.
+        second = _toolkit(cache_dir=tmp_path / "evals")
+        warm = second.explorer.run_design(design)
+        assert warm.exec_stats["points_evaluated"] == 0
+        assert warm.exec_stats["cache"]["hit_rate"] == 1.0
+        for name in first.responses:
+            assert np.array_equal(
+                cold.responses[name], warm.responses[name]
+            ), name
+
+    def test_close_ownership(self, tmp_path):
+        # A store built from cache_dir belongs to the toolkit and is
+        # closed with it; a ready cache_store instance stays open for
+        # the other toolkits sharing it.
+        owned = _toolkit(cache_dir=tmp_path / "owned.sqlite")
+        owned_store = owned.exec_engine.cache.store
+        owned.close()
+        assert owned_store._closed is True
+        shared_store = SQLiteStore(tmp_path / "shared.sqlite")
+        sharer = _toolkit(cache_store=shared_store)
+        sharer.close()
+        assert shared_store._closed is False
+        shared_store.close()
+
+    def test_sqlite_cache_dir_spec(self, tmp_path):
+        clear_charging_cache()
+        design = latin_hypercube(3, 2, seed=6)
+        path = tmp_path / "evals.sqlite"
+        first = _toolkit(cache_dir=path)
+        first.explorer.run_design(design)
+        assert path.exists()
+        second = _toolkit(cache_dir=path)
+        warm = second.explorer.run_design(design)
+        assert warm.exec_stats["points_evaluated"] == 0
+        assert warm.exec_stats["store"]["store"] == "sqlite"
+
+
+class TestCrossBackendBitIdentity:
+    """Serial, serial-batched, process and store-backed engines must
+    agree bit-for-bit on one design."""
+
+    def test_all_engine_flavours_agree(self, tmp_path):
+        clear_charging_cache()
+        design = latin_hypercube(4, 2, seed=13)
+        # Serial batched (the toolkit default: shared harvester in
+        # evaluate_points_timed) — run first so every later
+        # configuration interpolates the same warm charging maps.
+        batched_toolkit = _toolkit(cache=False)
+        batched = batched_toolkit.explorer.run_design(design)
+
+        # The shared TunableHarvester must carry no mutable
+        # cross-mission state: its canonical form (recursed __dict__)
+        # is identical before and after another full design run.
+        harvester = batched_toolkit._shared_harvester
+        assert harvester is not None
+        shape_before = point_fingerprint({}, harvester)
+        batched_again = batched_toolkit.explorer.run_design(design)
+        assert point_fingerprint({}, harvester) == shape_before
+        for name in batched_toolkit.responses:
+            assert np.array_equal(
+                batched.responses[name], batched_again.responses[name]
+            ), name
+
+        # Serial per-point (no batch amortization, fresh harvester
+        # per point).
+        perpoint_toolkit = _toolkit(cache=False)
+        perpoint = DesignExplorer(
+            perpoint_toolkit.space,
+            perpoint_toolkit.evaluate_point,
+            perpoint_toolkit.responses,
+            engine=EvaluationEngine(
+                perpoint_toolkit.evaluate_point,
+                backend="serial",
+                cache=False,
+            ),
+        ).run_design(design)
+
+        # Process fan-out.
+        process_toolkit = _toolkit(
+            backend="process", workers=2, cache=False
+        )
+        process = process_toolkit.explorer.run_design(design)
+
+        # Store-backed: cold through a FileStore, then warm from a
+        # fresh toolkit reading the same directory.
+        store_toolkit = _toolkit(cache_dir=tmp_path / "evals")
+        store_cold = store_toolkit.explorer.run_design(design)
+        store_warm_toolkit = _toolkit(cache_dir=tmp_path / "evals")
+        store_warm = store_warm_toolkit.explorer.run_design(design)
+        assert store_warm.exec_stats["points_evaluated"] == 0
+
+        for name in batched_toolkit.responses:
+            reference = perpoint.responses[name]
+            for label, result in (
+                ("serial-batched", batched),
+                ("process", process),
+                ("store-cold", store_cold),
+                ("store-warm", store_warm),
+            ):
+                assert np.array_equal(
+                    reference, result.responses[name]
+                ), f"{label} diverged on {name}"
+
+
+WARM_START_SCRIPT = textwrap.dedent(
+    """
+    import json, math, sys
+
+    from repro.exec import EvalCache, EvaluationEngine
+
+    def evaluate(point):
+        a = point["a"]
+        b = point["b"]
+        return {
+            "y1": math.sin(a) * b + a * a,
+            "y2": math.exp(-abs(b)) + 3.0 * a,
+        }
+
+    engine = EvaluationEngine(
+        evaluate,
+        cache=EvalCache(store=sys.argv[1]),
+        context={"mission": 120.0, "schema": {1: "tagged"}},
+    )
+    points = [
+        {"a": 0.1 * i, "b": 1.0 + 0.5 * i} for i in range(6)
+    ]
+    evaluations = engine.map_points(points)
+    print(
+        json.dumps(
+            {
+                "points_evaluated": engine.points_evaluated,
+                "hit_rate": engine.cache.stats.hit_rate,
+                "responses": [e.responses for e in evaluations],
+            }
+        )
+    )
+    engine.close()
+    """
+)
+
+
+def _run_warm_start(store_spec, tmp_path):
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+    env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + env.get(
+        "PYTHONPATH", ""
+    )
+    script = tmp_path / "warm_start_probe.py"
+    script.write_text(WARM_START_SCRIPT, encoding="utf-8")
+    out = subprocess.run(
+        [sys.executable, str(script), str(store_spec)],
+        env=env,
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    return json.loads(out.stdout)
+
+
+class TestFreshProcessWarmStart:
+    """The acceptance property: persist in one process, re-run in
+    another, simulate nothing."""
+
+    @pytest.mark.parametrize("spec", ["blobs", "evals.sqlite"])
+    def test_second_process_evaluates_zero_points(self, tmp_path, spec):
+        store_spec = tmp_path / spec
+        cold = _run_warm_start(store_spec, tmp_path)
+        warm = _run_warm_start(store_spec, tmp_path)
+        assert cold["points_evaluated"] == 6
+        assert warm["points_evaluated"] == 0
+        assert warm["hit_rate"] == 1.0
+        assert warm["responses"] == cold["responses"]
