@@ -29,6 +29,7 @@ from repro.core.rsm.transforms import TransformedSurface, forward_transform
 from repro.errors import DesignError, FitError
 from repro.exec.cache import EvalCache
 from repro.exec.engine import EvaluationEngine
+from repro.exec.lifecycle import GCBudget
 from repro.exec.store import CacheStore, resolve_store
 
 Evaluator = Callable[[Mapping[str, float]], Mapping[str, float]]
@@ -94,6 +95,7 @@ class DesignExplorer:
         responses: Sequence[str],
         engine: EvaluationEngine | None = None,
         cache_store: CacheStore | str | None = None,
+        cache_gc: GCBudget | Mapping | None = None,
     ):
         """Args:
             space: the coded factor space.
@@ -109,6 +111,12 @@ class DesignExplorer:
                 serial cached engine.  A path spec builds a store the
                 engine owns and closes; a ready instance stays
                 caller-owned.  Mutually exclusive with ``engine``.
+            cache_gc: auto-GC budget for the ``cache_store`` engine
+                (a :class:`~repro.exec.lifecycle.GCBudget` or a
+                mapping of its fields); the store is collected back
+                under the budget after every persisting batch.
+                Requires ``cache_store``; configure a ready engine's
+                budget on the engine itself.
         """
         if not responses:
             raise DesignError("need at least one response name")
@@ -120,6 +128,11 @@ class DesignExplorer:
         if engine is not None and cache_store is not None:
             raise DesignError(
                 "pass either a ready engine or a cache_store, not both"
+            )
+        if cache_gc is not None and cache_store is None:
+            raise DesignError(
+                "cache_gc requires a cache_store here; a ready "
+                "engine carries its own budget"
             )
         if engine is not None:
             self.engine = engine
@@ -134,6 +147,7 @@ class DesignExplorer:
                     if isinstance(cache_store, CacheStore)
                     else resolve_store(cache_store)
                 ),
+                cache_gc=cache_gc,
             )
         else:
             self.engine = EvaluationEngine(

@@ -45,6 +45,7 @@ from repro.core.rsm.terms import ModelSpec
 from repro.errors import DesignError, OptimizationError
 from repro.exec.cache import EvalCache
 from repro.exec.engine import EvaluationEngine
+from repro.exec.lifecycle import GCBudget
 from repro.exec.store import CacheStore, resolve_store
 from repro.indicators import evaluate_indicators
 from repro.presets import default_harvester, default_system
@@ -227,6 +228,12 @@ class ToolkitStudy:
                     f"{exec_stats.get('cache_entries', 0)} entries, "
                     f"{cache['evictions']} evictions)"
                 )
+                if cache.get("gc_evictions") or cache.get("compactions"):
+                    parts.append(
+                        f"store lifecycle: {cache['gc_evictions']} GC "
+                        f"evictions, {cache['compactions']} compactions, "
+                        f"{cache['bytes_reclaimed']} bytes reclaimed"
+                    )
             else:
                 parts.append("evaluation cache: disabled")
         parts.append("")
@@ -311,6 +318,13 @@ class SensorNodeDesignToolkit:
             back the cache with (mutually exclusive with
             ``cache_dir``); lets several toolkits share one store
             instance.
+        cache_gc: optional auto-GC budget — a
+            :class:`~repro.exec.lifecycle.GCBudget` or a mapping of
+            its fields (``max_bytes`` / ``max_age_seconds`` /
+            ``max_entries`` / ``policy``).  The cache's store is
+            collected back under the budget after every batch that
+            persisted entries, so a bounded long-lived deployment
+            never needs manual ``repro-cache prune`` runs.
     """
 
     def __init__(
@@ -329,6 +343,7 @@ class SensorNodeDesignToolkit:
         cache_max_entries: int | None = None,
         cache_dir: str | os.PathLike | None = None,
         cache_store: CacheStore | None = None,
+        cache_gc: GCBudget | Mapping | None = None,
     ):
         self.space = space if space is not None else canonical_space()
         self.responses = tuple(responses)
@@ -365,6 +380,7 @@ class SensorNodeDesignToolkit:
             self.evaluate_point,
             backend=backend,
             cache=cache_arg,
+            cache_gc=cache_gc,
             # Passed as a callable: re-snapshotted per batch, so
             # reassigning e.g. ``mission_time`` after construction
             # cannot alias cache entries from the old configuration.

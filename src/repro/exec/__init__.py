@@ -9,7 +9,10 @@ evaluation cache, behind :class:`EvaluationEngine`'s single
 design run, validation sweep and study through it.  Cache entries live
 in a pluggable :class:`CacheStore` — in-memory by default, or a
 file-per-fingerprint directory / WAL-mode SQLite database that shares
-evaluations across processes, CI runs and hosts.
+evaluations across processes, CI runs and hosts.  Store *lifecycle*
+(GC budgets, compaction, verification, export/merge) lives in
+:mod:`repro.exec.lifecycle`, surfaced to operators as the
+``repro-cache`` CLI (:mod:`repro.exec.cli`).
 """
 
 from repro.exec.backends import (
@@ -20,23 +23,38 @@ from repro.exec.backends import (
 )
 from repro.exec.cache import CacheStats, EvalCache, point_fingerprint
 from repro.exec.engine import EvaluationEngine, PointEvaluation
+from repro.exec.lifecycle import (
+    GCBudget,
+    GCReport,
+    TransferReport,
+    collect,
+    merge_stores,
+    register_policy,
+)
 from repro.exec.store import (
     SCHEMA_VERSION,
     CacheStore,
+    CompactionReport,
+    EntryMeta,
     FileStore,
     MemoryStore,
     SQLiteStore,
     StoreStats,
+    VerifyReport,
     resolve_store,
 )
 
 __all__ = [
     "CacheStats",
     "CacheStore",
+    "CompactionReport",
+    "EntryMeta",
     "EvalCache",
     "EvaluationBackend",
     "EvaluationEngine",
     "FileStore",
+    "GCBudget",
+    "GCReport",
     "MemoryStore",
     "PointEvaluation",
     "ProcessBackend",
@@ -44,7 +62,12 @@ __all__ = [
     "SQLiteStore",
     "SerialBackend",
     "StoreStats",
+    "TransferReport",
+    "VerifyReport",
+    "collect",
+    "merge_stores",
     "point_fingerprint",
+    "register_policy",
     "resolve_backend",
     "resolve_store",
 ]

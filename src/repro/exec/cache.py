@@ -28,7 +28,12 @@ from typing import Iterator, Mapping
 import numpy as np
 
 from repro.errors import ReproError
-from repro.exec.store import CacheStore, MemoryStore, resolve_store
+from repro.exec.store import (
+    MIRRORED_COUNTERS,
+    CacheStore,
+    MemoryStore,
+    resolve_store,
+)
 
 
 def _canonical_key(key: object) -> str:
@@ -145,10 +150,12 @@ class CacheStats:
     """Hit/miss and store-traffic accounting for the study reports.
 
     All counters are *this cache's* traffic: the store-level ones
-    (``loads``, ``persists``, ``invalidations``, ``evictions``) count
-    only operations issued through this cache, so per-study deltas
-    stay clean even when several caches share one store.  The store's
-    own lifetime totals live on ``EvalCache.store.stats``.
+    (``loads``, ``persists``, ``invalidations``, ``evictions``, and
+    the GC/compaction family ``gc_evictions`` / ``bytes_reclaimed`` /
+    ``compactions``) count only operations issued through this cache,
+    so per-study deltas stay clean even when several caches share one
+    store.  The store's own lifetime totals live on
+    ``EvalCache.store.stats``.
     """
 
     hits: int = 0
@@ -157,6 +164,9 @@ class CacheStats:
     loads: int = 0
     persists: int = 0
     invalidations: int = 0
+    gc_evictions: int = 0
+    bytes_reclaimed: int = 0
+    compactions: int = 0
 
     @property
     def lookups(self) -> int:
@@ -169,15 +179,14 @@ class CacheStats:
         return self.hits / total if total else 0.0
 
     def as_dict(self) -> dict:
-        return {
+        out = {
             "hits": self.hits,
             "misses": self.misses,
-            "evictions": self.evictions,
-            "loads": self.loads,
-            "persists": self.persists,
-            "invalidations": self.invalidations,
             "hit_rate": self.hit_rate,
         }
+        for name in MIRRORED_COUNTERS:
+            out[name] = getattr(self, name)
+        return out
 
 
 class EvalCache:
@@ -201,24 +210,15 @@ class EvalCache:
         self.store = resolve_store(store, max_entries=max_entries)
         self.stats = CacheStats()
 
-    def _store_counters(self) -> tuple[int, int, int, int]:
+    def _store_counters(self) -> tuple[int, ...]:
         stats = self.store.stats
-        return (
-            stats.loads,
-            stats.persists,
-            stats.invalidations,
-            stats.evictions,
-        )
+        return tuple(getattr(stats, name) for name in MIRRORED_COUNTERS)
 
-    def _absorb_store_delta(
-        self, before: tuple[int, int, int, int]
-    ) -> None:
+    def _absorb_store_delta(self, before: tuple[int, ...]) -> None:
         """Credit this cache with the store traffic it just caused."""
-        loads, persists, invalidations, evictions = self._store_counters()
-        self.stats.loads += loads - before[0]
-        self.stats.persists += persists - before[1]
-        self.stats.invalidations += invalidations - before[2]
-        self.stats.evictions += evictions - before[3]
+        after = self._store_counters()
+        for name, was, now in zip(MIRRORED_COUNTERS, before, after):
+            setattr(self.stats, name, getattr(self.stats, name) + now - was)
 
     @property
     def max_entries(self) -> int | None:
@@ -267,6 +267,34 @@ class EvalCache:
         before = self._store_counters()
         self.store.clear()
         self._absorb_store_delta(before)
+
+    # -- lifecycle passthroughs (traffic credited to this cache) ---------------
+
+    def collect(self, budget) -> "object":
+        """Garbage-collect the backing store to a budget; see
+        :func:`repro.exec.lifecycle.collect`."""
+        from repro.exec.lifecycle import collect
+
+        before = self._store_counters()
+        report = collect(self.store, budget)
+        self._absorb_store_delta(before)
+        return report
+
+    def compact(self, *, grace_seconds: float = 60.0) -> "object":
+        """Compact the backing store; see
+        :meth:`repro.exec.store.CacheStore.compact`."""
+        before = self._store_counters()
+        report = self.store.compact(grace_seconds=grace_seconds)
+        self._absorb_store_delta(before)
+        return report
+
+    def verify(self, repair: bool = False) -> "object":
+        """Integrity-scan the backing store; see
+        :meth:`repro.exec.store.CacheStore.verify`."""
+        before = self._store_counters()
+        report = self.store.verify(repair=repair)
+        self._absorb_store_delta(before)
+        return report
 
     def close(self) -> None:
         """Close the backing store (idempotent)."""

@@ -1,0 +1,509 @@
+"""``repro-cache`` — operator CLI over persistent evaluation stores.
+
+A long-lived deployment's cache is an operational artefact: it grows
+without bound, it gets shipped between hosts, and when something looks
+wrong an operator needs to inspect it without writing Python.  This
+CLI surfaces the :mod:`repro.exec.lifecycle` layer over any store
+:func:`~repro.exec.store.resolve_store` understands — a
+file-per-fingerprint directory or a ``.sqlite``/``.db`` database —
+with one uniform command set::
+
+    python -m repro.exec.cli stats  ~/evals
+    python -m repro.exec.cli ls     ~/evals --sort size --limit 20
+    python -m repro.exec.cli show   ~/evals 3f2a9c
+    python -m repro.exec.cli prune  ~/evals --max-bytes 512MB --policy lru
+    python -m repro.exec.cli vacuum ~/evals.sqlite
+    python -m repro.exec.cli export ~/evals /mnt/share/evals.sqlite
+    python -m repro.exec.cli merge  ~/evals /mnt/share/other-host
+    python -m repro.exec.cli verify ~/evals --repair
+
+(Installed as the ``repro-cache`` console script; ``python -m
+repro.exec.cli`` always works from a checkout.)  Every subcommand
+accepts ``--json`` for machine-readable output.  ``verify`` exits 0
+on a clean store and 2 when problems remain, so CI can gate on it.
+
+Sizes accept ``k``/``M``/``G`` suffixes (binary, e.g. ``512MB`` =
+512*1024² bytes); durations accept ``s``/``m``/``h``/``d``/``w``
+(e.g. ``--max-age 7d``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from datetime import datetime
+from pathlib import Path
+from typing import Callable, Sequence
+
+from repro.errors import ReproError
+from repro.exec.lifecycle import GCBudget, POLICIES, collect
+from repro.exec.store import CacheStore, FileStore, resolve_store
+
+PROG = "repro-cache"
+
+_SIZE_SUFFIXES = {
+    "k": 1024,
+    "kb": 1024,
+    "kib": 1024,
+    "m": 1024**2,
+    "mb": 1024**2,
+    "mib": 1024**2,
+    "g": 1024**3,
+    "gb": 1024**3,
+    "gib": 1024**3,
+    "b": 1,
+}
+
+_DURATION_SUFFIXES = {
+    "s": 1.0,
+    "m": 60.0,
+    "h": 3600.0,
+    "d": 86400.0,
+    "w": 7 * 86400.0,
+}
+
+
+def parse_bytes(text: str) -> int:
+    """``"500"``, ``"512k"``, ``"100MB"``, ``"2GiB"`` -> bytes."""
+    cleaned = text.strip().lower()
+    for suffix in sorted(_SIZE_SUFFIXES, key=len, reverse=True):
+        if cleaned.endswith(suffix):
+            number = cleaned[: -len(suffix)].strip()
+            try:
+                return int(float(number) * _SIZE_SUFFIXES[suffix])
+            except ValueError:
+                break
+    try:
+        return int(cleaned)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"cannot parse size {text!r}; try e.g. 512k, 100MB, 2GiB"
+        ) from None
+
+
+def parse_duration(text: str) -> float:
+    """``"90"``, ``"90s"``, ``"15m"``, ``"12h"``, ``"7d"`` -> seconds."""
+    cleaned = text.strip().lower()
+    suffix = cleaned[-1:] if cleaned else ""
+    if suffix in _DURATION_SUFFIXES:
+        number = cleaned[:-1].strip()
+        try:
+            return float(number) * _DURATION_SUFFIXES[suffix]
+        except ValueError:
+            pass
+    else:
+        try:
+            return float(cleaned)
+        except ValueError:
+            pass
+    raise argparse.ArgumentTypeError(
+        f"cannot parse duration {text!r}; try e.g. 90s, 15m, 12h, 7d"
+    )
+
+
+def _fmt_bytes(count: int) -> str:
+    value = float(count)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if value < 1024.0 or unit == "GiB":
+            return (
+                f"{int(value)} {unit}"
+                if unit == "B"
+                else f"{value:.1f} {unit}"
+            )
+        value /= 1024.0
+    return f"{count} B"  # pragma: no cover - unreachable
+
+
+def _fmt_stamp(stamp: float | None) -> str:
+    if not stamp:
+        return "-"
+    return datetime.fromtimestamp(stamp).strftime("%Y-%m-%d %H:%M:%S")
+
+
+class CliError(Exception):
+    """Operator-facing failure; message printed to stderr, exit 1."""
+
+
+def _open_store(spec: str) -> CacheStore:
+    """Resolve a CLI store argument; a mistyped path must error, not
+    spring a fresh empty store into existence.  (Only ``export``
+    creates stores, and its destination goes through ``export_to``.)"""
+    path = Path(spec)
+    if not path.exists():
+        raise CliError(
+            f"no store at {spec!r} (a directory or *.sqlite/*.db file); "
+            f"pass an existing store"
+        )
+    try:
+        return resolve_store(spec)
+    except ReproError as error:
+        raise CliError(str(error)) from error
+
+
+def _emit(args: argparse.Namespace, payload: dict, text: list[str]) -> None:
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        for line in text:
+            print(line)
+
+
+# -- subcommands ---------------------------------------------------------------
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    store = _open_store(args.store)
+    try:
+        metas = list(store.entries())
+        total = sum(meta.size_bytes for meta in metas)
+        created = [m.created_at for m in metas if m.created_at]
+        used = [m.last_used_at for m in metas if m.last_used_at]
+        hits = [m.hits for m in metas if m.hits is not None]
+        partials = (
+            len(store.partial_files())
+            if isinstance(store, FileStore)
+            else 0
+        )
+        payload = {
+            **store.describe(),
+            "entries": len(metas),
+            "total_bytes": total,
+            "partial_files": partials,
+            "oldest_created": min(created) if created else None,
+            "newest_created": max(created) if created else None,
+            "last_used": max(used) if used else None,
+            "total_hits": sum(hits) if hits else None,
+        }
+        text = [
+            f"store:     {store.name} @ {args.store}",
+            f"entries:   {len(metas)} ({_fmt_bytes(total)})",
+            f"partials:  {partials}",
+            f"created:   {_fmt_stamp(payload['oldest_created'])} .. "
+            f"{_fmt_stamp(payload['newest_created'])}",
+            f"last used: {_fmt_stamp(payload['last_used'])}",
+        ]
+        if hits:
+            text.append(f"hits:      {sum(hits)}")
+        _emit(args, payload, text)
+        return 0
+    finally:
+        store.close()
+
+
+_LS_KEYS: dict[str, Callable] = {
+    "fingerprint": lambda m: m.fingerprint,
+    "created": lambda m: m.created_at or 0.0,
+    "used": lambda m: m.last_used_at or 0.0,
+    "size": lambda m: m.size_bytes,
+    "hits": lambda m: m.hits or 0,
+}
+
+
+def _cmd_ls(args: argparse.Namespace) -> int:
+    store = _open_store(args.store)
+    try:
+        metas = sorted(
+            store.entries(), key=_LS_KEYS[args.sort], reverse=args.reverse
+        )
+        if args.limit:
+            metas = metas[: args.limit]
+        payload = {"entries": [meta.as_dict() for meta in metas]}
+        text = [
+            f"{'fingerprint':16}  {'size':>10}  {'created':19}  "
+            f"{'last used':19}  hits"
+        ]
+        for meta in metas:
+            hits = "-" if meta.hits is None else str(meta.hits)
+            text.append(
+                f"{meta.fingerprint[:16]:16}  "
+                f"{_fmt_bytes(meta.size_bytes):>10}  "
+                f"{_fmt_stamp(meta.created_at):19}  "
+                f"{_fmt_stamp(meta.last_used_at):19}  {hits}"
+            )
+        _emit(args, payload, text)
+        return 0
+    finally:
+        store.close()
+
+
+def _resolve_prefix(store: CacheStore, prefix: str) -> str:
+    matches = [
+        meta.fingerprint
+        for meta in store.entries()
+        if meta.fingerprint.startswith(prefix)
+    ]
+    if not matches:
+        raise CliError(f"no entry matches fingerprint prefix {prefix!r}")
+    if len(matches) > 1:
+        raise CliError(
+            f"fingerprint prefix {prefix!r} is ambiguous "
+            f"({len(matches)} matches); give more characters"
+        )
+    return matches[0]
+
+
+def _cmd_show(args: argparse.Namespace) -> int:
+    store = _open_store(args.store)
+    try:
+        fingerprint = _resolve_prefix(store, args.fingerprint)
+        # peek, not load: inspecting an entry must neither promote it
+        # under LRU (hits/recency) nor drop it if it turns out to be
+        # corrupt — that is verify --repair's explicit job.
+        responses = store.peek(fingerprint)
+        if responses is None:
+            raise CliError(
+                f"entry {fingerprint} fails validation; run "
+                f"`verify --repair` to drop it"
+            )
+        meta = store.entry_meta(fingerprint)
+        payload = {
+            "meta": meta.as_dict() if meta else {"fingerprint": fingerprint},
+            "responses": responses,
+        }
+        text = [f"fingerprint: {fingerprint}"]
+        if meta:
+            text += [
+                f"created:     {_fmt_stamp(meta.created_at)}",
+                f"last used:   {_fmt_stamp(meta.last_used_at)}",
+                f"size:        {_fmt_bytes(meta.size_bytes)}",
+                f"hits:        "
+                f"{'-' if meta.hits is None else meta.hits}",
+            ]
+        text.append("responses:")
+        text += [
+            f"  {name} = {value!r}"
+            for name, value in sorted(responses.items())
+        ]
+        _emit(args, payload, text)
+        return 0
+    finally:
+        store.close()
+
+
+def _cmd_prune(args: argparse.Namespace) -> int:
+    if (
+        args.max_bytes is None
+        and args.max_age is None
+        and args.max_entries is None
+    ):
+        raise CliError(
+            "prune needs at least one bound: "
+            "--max-bytes / --max-age / --max-entries"
+        )
+    store = _open_store(args.store)
+    try:
+        budget = GCBudget(
+            max_bytes=args.max_bytes,
+            max_age_seconds=args.max_age,
+            max_entries=args.max_entries,
+            policy=args.policy,
+        )
+        report = collect(store, budget, dry_run=args.dry_run)
+        verb = "would evict" if args.dry_run else "evicted"
+        text = [
+            f"{verb} {report.evicted} of {report.scanned} entries "
+            f"({report.ttl_evicted} by age, {report.budget_evicted} by "
+            f"budget, policy {report.policy})",
+            f"reclaimed: {_fmt_bytes(report.bytes_reclaimed)}"
+            if not args.dry_run
+            else f"survivors: {report.entries_after} entries, "
+            f"{_fmt_bytes(report.bytes_after)}",
+        ]
+        if not args.dry_run:
+            text.append(
+                f"store now: {report.entries_after} entries, "
+                f"{_fmt_bytes(report.bytes_after)}"
+            )
+        _emit(args, report.as_dict(), text)
+        return 0
+    finally:
+        store.close()
+
+
+def _cmd_vacuum(args: argparse.Namespace) -> int:
+    store = _open_store(args.store)
+    try:
+        report = store.compact(grace_seconds=args.grace)
+        _emit(
+            args,
+            report.as_dict(),
+            [
+                f"swept {report.partials_removed} partial files, "
+                f"{report.orphans_removed} orphans",
+                f"reclaimed: {_fmt_bytes(report.bytes_reclaimed)}",
+            ],
+        )
+        return 0
+    finally:
+        store.close()
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    store = _open_store(args.store)
+    try:
+        report = store.export_to(args.dest)
+        _emit(
+            args,
+            report.as_dict(),
+            [
+                f"exported {report.copied} of {report.scanned} entries "
+                f"to {args.dest} ({_fmt_bytes(report.bytes_copied)}; "
+                f"{report.skipped} already newer there)"
+            ],
+        )
+        return 0
+    finally:
+        store.close()
+
+
+def _cmd_merge(args: argparse.Namespace) -> int:
+    store = _open_store(args.store)
+    try:
+        source = _open_store(args.source)
+        try:
+            report = store.merge_from(source)
+        finally:
+            source.close()
+        _emit(
+            args,
+            report.as_dict(),
+            [
+                f"merged {report.copied} of {report.scanned} entries "
+                f"from {args.source} ({_fmt_bytes(report.bytes_copied)}; "
+                f"{report.skipped} kept local newest)"
+            ],
+        )
+        return 0
+    finally:
+        store.close()
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    store = _open_store(args.store)
+    try:
+        report = store.verify(repair=args.repair)
+        status = "clean" if report.clean else "PROBLEMS FOUND"
+        _emit(
+            args,
+            report.as_dict(),
+            [
+                f"{status}: {report.valid}/{report.scanned} entries valid, "
+                f"{report.invalid} invalid "
+                f"({report.repaired} repaired), "
+                f"{report.partials} partial files, "
+                f"{_fmt_bytes(report.total_bytes)} held"
+            ],
+        )
+        return 0 if report.clean else 2
+    finally:
+        store.close()
+
+
+# -- wiring --------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog=PROG,
+        description="Inspect and manage persistent evaluation stores.",
+    )
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "store",
+        help="store path: a directory (file store) or *.sqlite/*.db",
+    )
+    common.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser(
+        "stats", parents=[common], help="occupancy and age summary"
+    ).set_defaults(func=_cmd_stats)
+
+    ls = sub.add_parser("ls", parents=[common], help="list entries")
+    ls.add_argument(
+        "--sort",
+        choices=sorted(_LS_KEYS),
+        default="created",
+        help="sort column (default: created)",
+    )
+    ls.add_argument("--reverse", action="store_true", help="descending")
+    ls.add_argument(
+        "--limit", type=int, default=0, help="show at most N entries"
+    )
+    ls.set_defaults(func=_cmd_ls)
+
+    show = sub.add_parser(
+        "show", parents=[common], help="one entry's metadata + responses"
+    )
+    show.add_argument("fingerprint", help="full fingerprint or unique prefix")
+    show.set_defaults(func=_cmd_show)
+
+    prune = sub.add_parser(
+        "prune", parents=[common], help="garbage-collect to a budget"
+    )
+    prune.add_argument(
+        "--max-bytes", type=parse_bytes, default=None,
+        help="byte ceiling, e.g. 512MB",
+    )
+    prune.add_argument(
+        "--max-age", type=parse_duration, default=None,
+        help="drop entries unused for longer, e.g. 7d",
+    )
+    prune.add_argument("--max-entries", type=int, default=None)
+    prune.add_argument(
+        "--policy", choices=sorted(POLICIES), default="lru",
+        help="eviction order for the size/count bounds",
+    )
+    prune.add_argument(
+        "--dry-run", action="store_true", help="plan without deleting"
+    )
+    prune.set_defaults(func=_cmd_prune)
+
+    vacuum = sub.add_parser(
+        "vacuum", parents=[common],
+        help="compact: SQLite VACUUM / sweep stale partial files",
+    )
+    vacuum.add_argument(
+        "--grace", type=parse_duration, default=60.0,
+        help="minimum partial-file age before sweeping (default 60s)",
+    )
+    vacuum.set_defaults(func=_cmd_vacuum)
+
+    export = sub.add_parser(
+        "export", parents=[common], help="copy all entries to another store"
+    )
+    export.add_argument("dest", help="destination store path (created)")
+    export.set_defaults(func=_cmd_export)
+
+    merge = sub.add_parser(
+        "merge", parents=[common],
+        help="union another store into this one (newest wins)",
+    )
+    merge.add_argument("source", help="source store path")
+    merge.set_defaults(func=_cmd_merge)
+
+    verify = sub.add_parser(
+        "verify", parents=[common],
+        help="integrity scan; exit 2 if problems remain",
+    )
+    verify.add_argument(
+        "--repair", action="store_true", help="drop invalid entries"
+    )
+    verify.set_defaults(func=_cmd_verify)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except (CliError, ReproError) as error:
+        print(f"{PROG}: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

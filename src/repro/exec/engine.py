@@ -29,6 +29,7 @@ from repro.exec.backends import (
     resolve_backend,
 )
 from repro.exec.cache import EvalCache, point_fingerprint
+from repro.exec.lifecycle import GCBudget
 from repro.exec.store import CacheStore
 
 #: Engine counters that participate in snapshot/delta accounting.
@@ -42,6 +43,9 @@ _CACHE_COUNTERS = (
     "loads",
     "persists",
     "invalidations",
+    "gc_evictions",
+    "bytes_reclaimed",
+    "compactions",
 )
 
 
@@ -84,6 +88,12 @@ class EvaluationEngine:
         workers / chunk_size: forwarded to the process backend.
         batch_evaluate: amortized batch variant used by the serial
             backend when given.
+        cache_gc: optional auto-GC budget — a
+            :class:`~repro.exec.lifecycle.GCBudget` or a mapping of
+            its fields.  After every batch that persisted entries the
+            cache's store is collected back under the budget, so a
+            bounded deployment never needs manual pruning.  Requires
+            an enabled cache.
     """
 
     def __init__(
@@ -96,6 +106,7 @@ class EvaluationEngine:
         workers: int | None = None,
         chunk_size: int | None = None,
         batch_evaluate: BatchEvaluator | None = None,
+        cache_gc: GCBudget | Mapping | None = None,
     ):
         self.evaluate = evaluate
         self.backend = resolve_backend(
@@ -121,6 +132,12 @@ class EvaluationEngine:
             raise ReproError(
                 "cache must be bool, None, EvalCache or CacheStore, "
                 f"got {type(cache)!r}"
+            )
+        self.cache_gc = GCBudget.of(cache_gc)
+        if self.cache_gc is not None and self.cache is None:
+            raise ReproError(
+                "cache_gc needs an enabled cache; drop cache=False "
+                "or the budget"
             )
         self.context = context
         self.points_evaluated = 0
@@ -206,6 +223,7 @@ class EvaluationEngine:
                         cached=j > 0,
                         fingerprint=fp,
                     )
+            self._auto_collect()
         missing = [i for i, r in enumerate(results) if r is None]
         if missing:  # pragma: no cover - defensive
             raise ReproError(f"points never evaluated: {missing}")
@@ -233,7 +251,18 @@ class EvaluationEngine:
         self.points_evaluated += 1
         if self.cache is not None:
             self.cache.put(fp, responses)
+            self._auto_collect()
         return responses
+
+    def _auto_collect(self) -> None:
+        """Enforce the auto-GC budget after a batch of persists.
+
+        One metadata scan per *dispatched batch* (not per point), so
+        the cost is amortized the same way system construction is;
+        an unbounded budget or no budget is free.
+        """
+        if self.cache_gc is not None and self.cache_gc.bounded:
+            self.cache.collect(self.cache_gc)
 
     # -- bookkeeping -----------------------------------------------------------
 

@@ -19,10 +19,18 @@ corruption-tolerant: an unreadable, mis-versioned or mismatched entry
 is dropped and counted as an invalidation, never raised — evaluations
 are deterministic, so re-simulating a lost point is always correct.
 
-Store traffic (loads, persists, invalidations, evictions) is tracked
-in :class:`StoreStats` and mirrored into the fronting cache's
-:class:`~repro.exec.cache.CacheStats`, so ``study.report()`` and the
-benchmark manifests see one merged picture.
+Entries carry *lifecycle metadata* (:class:`EntryMeta`): creation and
+last-use timestamps, approximate byte size, and hit counts where they
+are cheap to maintain (memory and SQLite; the file store would have to
+rewrite a blob per hit, so it reports None).  The metadata feeds
+:mod:`repro.exec.lifecycle` — garbage collection under size/age/count
+budgets, compaction, verification and store-to-store transfer — and
+the ``repro-cache`` CLI (:mod:`repro.exec.cli`).
+
+Store traffic (loads, persists, invalidations, evictions, GC and
+compaction work) is tracked in :class:`StoreStats` and mirrored into
+the fronting cache's :class:`~repro.exec.cache.CacheStats`, so
+``study.report()`` and the benchmark manifests see one merged picture.
 """
 
 from __future__ import annotations
@@ -31,6 +39,7 @@ import json
 import os
 import sqlite3
 import tempfile
+import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from pathlib import Path
@@ -44,6 +53,18 @@ from repro.errors import ReproError
 #: serving stale responses.
 SCHEMA_VERSION = 1
 
+#: Counters mirrored from :class:`StoreStats` into the fronting
+#: cache's :class:`~repro.exec.cache.CacheStats` as per-cache deltas.
+MIRRORED_COUNTERS = (
+    "loads",
+    "persists",
+    "invalidations",
+    "evictions",
+    "gc_evictions",
+    "bytes_reclaimed",
+    "compactions",
+)
+
 
 @dataclass
 class StoreStats:
@@ -53,22 +74,123 @@ class StoreStats:
         loads: lookups answered from storage.
         persists: evaluations written to storage.
         invalidations: entries dropped — corrupt payloads, schema
-            mismatches, explicit discards and clears.
+            mismatches, explicit discards and clears (GC evictions
+            included; ``gc_evictions`` counts that subset separately).
         evictions: entries displaced by a capacity bound (memory
             store only).
+        gc_evictions: entries removed by lifecycle garbage collection
+            (:func:`repro.exec.lifecycle.collect`).
+        bytes_reclaimed: approximate bytes freed by GC and compaction.
+        compactions: ``compact()`` passes run against this store.
     """
 
     loads: int = 0
     persists: int = 0
     invalidations: int = 0
     evictions: int = 0
+    gc_evictions: int = 0
+    bytes_reclaimed: int = 0
+    compactions: int = 0
+
+    def as_dict(self) -> dict:
+        return {name: getattr(self, name) for name in MIRRORED_COUNTERS}
+
+
+@dataclass
+class EntryMeta:
+    """Lifecycle metadata of one stored entry.
+
+    Attributes:
+        fingerprint: the entry's content hash.
+        created_at: epoch seconds the entry was persisted (None when
+            the backing store cannot say).
+        last_used_at: epoch seconds of the last successful load
+            (falls back to ``created_at`` for never-loaded entries).
+        size_bytes: approximate stored size of the entry's blob.
+        hits: loads served from this entry, where counting is cheap
+            (memory/SQLite); None for the file store, which would
+            have to rewrite the blob per hit.
+    """
+
+    fingerprint: str
+    created_at: float | None = None
+    last_used_at: float | None = None
+    size_bytes: int = 0
+    hits: int | None = None
 
     def as_dict(self) -> dict:
         return {
-            "loads": self.loads,
-            "persists": self.persists,
-            "invalidations": self.invalidations,
-            "evictions": self.evictions,
+            "fingerprint": self.fingerprint,
+            "created_at": self.created_at,
+            "last_used_at": self.last_used_at,
+            "size_bytes": self.size_bytes,
+            "hits": self.hits,
+        }
+
+
+@dataclass
+class VerifyReport:
+    """Outcome of a full store integrity scan.
+
+    Attributes:
+        scanned: raw slots examined (valid + invalid entries).
+        valid: entries whose blob decoded, matched the schema version
+            and carried the fingerprint they are filed under.
+        invalid: entries that failed any of those checks.
+        partials: leftover temp/partial writer files (file store).
+        repaired: invalid entries dropped because ``repair`` was set.
+        total_bytes: approximate bytes held by valid entries.
+    """
+
+    store: str
+    scanned: int = 0
+    valid: int = 0
+    invalid: int = 0
+    partials: int = 0
+    repaired: int = 0
+    total_bytes: int = 0
+
+    @property
+    def clean(self) -> bool:
+        """No invalid entries and no partial files left behind."""
+        return self.invalid - self.repaired == 0 and self.partials == 0
+
+    def as_dict(self) -> dict:
+        return {
+            "store": self.store,
+            "scanned": self.scanned,
+            "valid": self.valid,
+            "invalid": self.invalid,
+            "partials": self.partials,
+            "repaired": self.repaired,
+            "total_bytes": self.total_bytes,
+            "clean": self.clean,
+        }
+
+
+@dataclass
+class CompactionReport:
+    """Outcome of one ``compact()`` pass.
+
+    Attributes:
+        partials_removed: temp/partial files swept (file store).
+        orphans_removed: structurally hopeless blobs swept without a
+            full read — today, zero-byte files (file store).
+        bytes_reclaimed: approximate bytes freed (for SQLite, the
+            database file shrink achieved by checkpoint + VACUUM).
+    """
+
+    store: str
+    partials_removed: int = 0
+    orphans_removed: int = 0
+    bytes_reclaimed: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "store": self.store,
+            "partials_removed": self.partials_removed,
+            "orphans_removed": self.orphans_removed,
+            "bytes_reclaimed": self.bytes_reclaimed,
         }
 
 
@@ -99,6 +221,10 @@ def _encode_blob(fingerprint: str, responses: Mapping[str, float]) -> dict:
     }
 
 
+def _encode_payload(fingerprint: str, responses: Mapping[str, float]) -> str:
+    return json.dumps(_encode_blob(fingerprint, responses), sort_keys=True)
+
+
 class CacheStore(ABC):
     """Where evaluation-cache entries live.
 
@@ -108,6 +234,13 @@ class CacheStore(ABC):
     returns None for anything absent or untrustworthy, and no method
     raises for data-level problems — a store that cannot answer simply
     misses and the engine re-simulates.
+
+    On top of the map, every store exposes the lifecycle surface that
+    :mod:`repro.exec.lifecycle` and the ``repro-cache`` CLI build on:
+    per-entry metadata (:meth:`entries` / :meth:`entry_meta` /
+    :meth:`total_bytes`), integrity scanning (:meth:`verify`),
+    space reclamation (:meth:`compact`) and store-to-store transfer
+    (:meth:`export_to` / :meth:`merge_from`).
     """
 
     name: str = "abstract"
@@ -120,8 +253,30 @@ class CacheStore(ABC):
         """Responses persisted under a fingerprint, or None."""
 
     @abstractmethod
-    def persist(self, fingerprint: str, responses: Mapping[str, float]) -> None:
-        """Durably associate responses with a fingerprint."""
+    def persist(
+        self,
+        fingerprint: str,
+        responses: Mapping[str, float],
+        *,
+        meta: EntryMeta | None = None,
+    ) -> None:
+        """Durably associate responses with a fingerprint.
+
+        ``meta`` carries timestamps/hits to preserve when an entry is
+        copied between stores (export/merge); plain evaluation traffic
+        leaves it None and the store stamps the entry itself.
+        """
+
+    @abstractmethod
+    def peek(self, fingerprint: str) -> dict[str, float] | None:
+        """Read an entry with *no side effects at all*.
+
+        Unlike :meth:`load`, peeking never counts as a use (no hit
+        counter, no recency bump — an entry an operator inspected
+        must not outlive hotter ones under LRU GC), never drops an
+        invalid entry (it just returns None, leaving the evidence in
+        place for ``verify``), and touches no statistics.
+        """
 
     @abstractmethod
     def discard(self, fingerprint: str) -> bool:
@@ -146,6 +301,86 @@ class CacheStore(ABC):
         Used for inspection and store-to-store migration (e.g. seeding
         a :class:`SQLiteStore` from a :class:`FileStore` directory).
         """
+
+    # -- lifecycle surface -----------------------------------------------------
+
+    @abstractmethod
+    def entries(self) -> Iterator[EntryMeta]:
+        """Iterate metadata for every stored entry."""
+
+    def entry_meta(self, fingerprint: str) -> EntryMeta | None:
+        """Metadata for one entry, or None if absent."""
+        for meta in self.entries():
+            if meta.fingerprint == fingerprint:
+                return meta
+        return None
+
+    def total_bytes(self) -> int:
+        """Approximate bytes held by all entries."""
+        return sum(meta.size_bytes for meta in self.entries())
+
+    @abstractmethod
+    def verify(self, repair: bool = False) -> VerifyReport:
+        """Scan every entry for integrity without serving any of them.
+
+        Unlike :meth:`load`, verification is non-destructive by
+        default: invalid entries are *reported*, and only dropped when
+        ``repair`` is set.
+        """
+
+    def compact(self, *, grace_seconds: float = 60.0) -> CompactionReport:
+        """Reclaim dead space; see each store for what that means.
+
+        Args:
+            grace_seconds: minimum age of a temp/partial file before
+                the file store sweeps it (a younger one may belong to
+                a live writer); ignored by other stores.
+        """
+        report = self._compact(grace_seconds=grace_seconds)
+        self.stats.compactions += 1
+        self.stats.bytes_reclaimed += max(report.bytes_reclaimed, 0)
+        return report
+
+    def _compact(self, *, grace_seconds: float) -> CompactionReport:
+        return CompactionReport(store=self.name)
+
+    def export_to(
+        self, dest: "CacheStore | str | os.PathLike"
+    ) -> "object":
+        """Copy every valid entry into another store (newest wins).
+
+        ``dest`` may be a ready store or a path spec for
+        :func:`resolve_store`; a store built here from a path spec is
+        closed before returning (its entries are durable).  Returns a
+        :class:`repro.exec.lifecycle.TransferReport`.
+        """
+        from repro.exec.lifecycle import merge_stores
+
+        dest_store = resolve_store(dest)
+        try:
+            return merge_stores(dest_store, self)
+        finally:
+            if not isinstance(dest, CacheStore):
+                dest_store.close()
+
+    def merge_from(
+        self, source: "CacheStore | str | os.PathLike"
+    ) -> "object":
+        """Union another store's valid entries into this one.
+
+        Fingerprint collisions resolve newest-wins by creation time;
+        a mismatched or corrupt source blob is never copied (the
+        source's own validation filters it out).  Returns a
+        :class:`repro.exec.lifecycle.TransferReport`.
+        """
+        from repro.exec.lifecycle import merge_stores
+
+        source_store = resolve_store(source)
+        try:
+            return merge_stores(self, source_store)
+        finally:
+            if not isinstance(source, CacheStore):
+                source_store.close()
 
     def describe(self) -> dict:
         """Store parameters for reports and benchmark manifests."""
@@ -176,26 +411,54 @@ class MemoryStore(CacheStore):
         from collections import OrderedDict
 
         self._entries: OrderedDict[str, dict[str, float]] = OrderedDict()
+        self._meta: dict[str, EntryMeta] = {}
 
     def load(self, fingerprint: str) -> dict[str, float] | None:
         entry = self._entries.get(fingerprint)
         if entry is None:
             return None
         self._entries.move_to_end(fingerprint)
+        meta = self._meta[fingerprint]
+        meta.last_used_at = time.time()
+        meta.hits = (meta.hits or 0) + 1
         self.stats.loads += 1
         return dict(entry)
 
-    def persist(self, fingerprint: str, responses: Mapping[str, float]) -> None:
-        self._entries[fingerprint] = dict(responses)
+    def peek(self, fingerprint: str) -> dict[str, float] | None:
+        entry = self._entries.get(fingerprint)
+        return dict(entry) if entry is not None else None
+
+    def persist(
+        self,
+        fingerprint: str,
+        responses: Mapping[str, float],
+        *,
+        meta: EntryMeta | None = None,
+    ) -> None:
+        responses = dict(responses)
+        self._entries[fingerprint] = responses
         self._entries.move_to_end(fingerprint)
+        now = time.time()
+        size = len(_encode_payload(fingerprint, responses))
+        self._meta[fingerprint] = EntryMeta(
+            fingerprint=fingerprint,
+            created_at=meta.created_at if meta else now,
+            last_used_at=(meta.last_used_at or meta.created_at)
+            if meta
+            else now,
+            size_bytes=size,
+            hits=(meta.hits or 0) if meta else 0,
+        )
         self.stats.persists += 1
         if self.max_entries is not None:
             while len(self._entries) > self.max_entries:
-                self._entries.popitem(last=False)
+                evicted, _ = self._entries.popitem(last=False)
+                self._meta.pop(evicted, None)
                 self.stats.evictions += 1
 
     def discard(self, fingerprint: str) -> bool:
         existed = self._entries.pop(fingerprint, None) is not None
+        self._meta.pop(fingerprint, None)
         if existed:
             self.stats.invalidations += 1
         return existed
@@ -203,6 +466,7 @@ class MemoryStore(CacheStore):
     def clear(self) -> None:
         self.stats.invalidations += len(self._entries)
         self._entries.clear()
+        self._meta.clear()
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -213,6 +477,24 @@ class MemoryStore(CacheStore):
     def items(self) -> Iterator[tuple[str, dict[str, float]]]:
         for fingerprint, responses in list(self._entries.items()):
             yield fingerprint, dict(responses)
+
+    def entries(self) -> Iterator[EntryMeta]:
+        for meta in list(self._meta.values()):
+            yield EntryMeta(**meta.as_dict())
+
+    def entry_meta(self, fingerprint: str) -> EntryMeta | None:
+        meta = self._meta.get(fingerprint)
+        return EntryMeta(**meta.as_dict()) if meta else None
+
+    def verify(self, repair: bool = False) -> VerifyReport:
+        # In-memory entries can only hold what persist() accepted, so
+        # the scan reduces to counting them.
+        report = VerifyReport(store=self.name)
+        for meta in self._meta.values():
+            report.scanned += 1
+            report.valid += 1
+            report.total_bytes += meta.size_bytes
+        return report
 
     def describe(self) -> dict:
         return {"store": self.name, "max_entries": self.max_entries}
@@ -229,12 +511,24 @@ class FileStore(CacheStore):
     mis-versioned or mismatched file is unlinked and treated as a
     miss.
 
+    Metadata maps onto the filesystem: creation time is the blob's
+    mtime (pinned via ``os.utime`` so export/merge can preserve it),
+    last use is the atime (bumped explicitly on every served load —
+    relatime mounts would otherwise freeze it), size is ``st_size``.
+    Hit counts would need a write per hit, so they are None.
+
+    A writer killed mid-``persist`` leaves a ``.write-*.part`` temp
+    file behind.  Those are never entries: :meth:`items` and
+    ``len()`` skip them, :meth:`partial_files` counts them, and
+    :meth:`compact` sweeps the stale ones.
+
     Args:
         directory: store root; created if absent.
     """
 
     name = "file"
     _SUFFIX = ".json"
+    _PART_SUFFIX = ".part"
 
     def __init__(self, directory: str | os.PathLike):
         super().__init__()
@@ -255,6 +549,10 @@ class FileStore(CacheStore):
     def _path(self, fingerprint: str) -> Path:
         return self.directory / f"{fingerprint}{self._SUFFIX}"
 
+    @classmethod
+    def _is_blob_name(cls, name: str) -> bool:
+        return name.endswith(cls._SUFFIX) and not name.startswith(".")
+
     def load(self, fingerprint: str) -> dict[str, float] | None:
         path = self._path(fingerprint)
         try:
@@ -272,8 +570,36 @@ class FileStore(CacheStore):
         if responses is None:
             self._drop(path)
             return None
+        self._touch_atime(path)
         self.stats.loads += 1
         return responses
+
+    def peek(self, fingerprint: str) -> dict[str, float] | None:
+        path = self._path(fingerprint)
+        try:
+            stat = path.stat()
+            raw = path.read_text(encoding="utf-8")
+            # The read itself bumps atime on relatime mounts, and
+            # atime *is* this store's last-used stamp — put it back
+            # so inspection never counts as use.
+            os.utime(path, times=(stat.st_atime, stat.st_mtime))
+        except OSError:
+            return None
+        try:
+            blob = json.loads(raw)
+        except ValueError:
+            return None
+        return _validate_blob(blob, fingerprint)
+
+    @staticmethod
+    def _touch_atime(path: Path) -> None:
+        """Record the load as the entry's last use (atime), keeping
+        mtime — the creation stamp — intact."""
+        try:
+            stat = path.stat()
+            os.utime(path, times=(time.time(), stat.st_mtime))
+        except OSError:  # pragma: no cover - entry raced away
+            pass
 
     def _drop(self, path: Path) -> None:
         try:
@@ -282,15 +608,29 @@ class FileStore(CacheStore):
             pass
         self.stats.invalidations += 1
 
-    def persist(self, fingerprint: str, responses: Mapping[str, float]) -> None:
+    def persist(
+        self,
+        fingerprint: str,
+        responses: Mapping[str, float],
+        *,
+        meta: EntryMeta | None = None,
+    ) -> None:
         blob = _encode_blob(fingerprint, responses)
         fd, tmp_name = tempfile.mkstemp(
-            dir=self.directory, prefix=".write-", suffix=".part"
+            dir=self.directory, prefix=".write-", suffix=self._PART_SUFFIX
         )
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
                 json.dump(blob, handle, sort_keys=True)
             os.chmod(tmp_name, self._blob_mode)
+            if meta is not None and meta.created_at is not None:
+                os.utime(
+                    tmp_name,
+                    times=(
+                        meta.last_used_at or meta.created_at,
+                        meta.created_at,
+                    ),
+                )
             os.replace(tmp_name, self._path(fingerprint))
         except BaseException:
             try:
@@ -311,8 +651,26 @@ class FileStore(CacheStore):
     def _blob_paths(self) -> list[Path]:
         return sorted(
             path
-            for path in self.directory.glob(f"*{self._SUFFIX}")
-            if not path.name.startswith(".")
+            for path in self.directory.iterdir()
+            if self._is_blob_name(path.name)
+        )
+
+    @classmethod
+    def _is_partial_name(cls, name: str) -> bool:
+        # Only *writer debris* counts: our own mkstemp pattern and
+        # anything ending in .part.  A foreign file in the directory
+        # (a README, a .gitignore) is neither an entry nor ours to
+        # sweep — it is ignored, never deleted.
+        return name.endswith(cls._PART_SUFFIX) or name.startswith(".write-")
+
+    def partial_files(self) -> list[Path]:
+        """Temp/partial files left by killed writers — never served,
+        never counted by ``len()``/``items()``, swept by
+        :meth:`compact` once past the grace period."""
+        return sorted(
+            path
+            for path in self.directory.iterdir()
+            if path.is_file() and self._is_partial_name(path.name)
         )
 
     def clear(self) -> None:
@@ -325,9 +683,7 @@ class FileStore(CacheStore):
         count = 0
         with os.scandir(self.directory) as entries:
             for entry in entries:
-                if entry.name.endswith(self._SUFFIX) and not (
-                    entry.name.startswith(".")
-                ):
+                if self._is_blob_name(entry.name):
                     count += 1
         return count
 
@@ -340,6 +696,84 @@ class FileStore(CacheStore):
             responses = self.load(fingerprint)
             if responses is not None:
                 yield fingerprint, responses
+
+    def entries(self) -> Iterator[EntryMeta]:
+        for path in self._blob_paths():
+            meta = self._stat_meta(path)
+            if meta is not None:
+                yield meta
+
+    def entry_meta(self, fingerprint: str) -> EntryMeta | None:
+        return self._stat_meta(self._path(fingerprint))
+
+    def _stat_meta(self, path: Path) -> EntryMeta | None:
+        try:
+            stat = path.stat()
+        except OSError:
+            return None
+        return EntryMeta(
+            fingerprint=path.name[: -len(self._SUFFIX)],
+            created_at=stat.st_mtime,
+            # A fresh blob's atime can trail its mtime (utime in
+            # persist writes them together, but copies may not);
+            # last use is never before creation.
+            last_used_at=max(stat.st_atime, stat.st_mtime),
+            size_bytes=stat.st_size,
+            hits=None,
+        )
+
+    def verify(self, repair: bool = False) -> VerifyReport:
+        report = VerifyReport(store=self.name)
+        for path in self._blob_paths():
+            report.scanned += 1
+            fingerprint = path.name[: -len(self._SUFFIX)]
+            try:
+                blob = json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, ValueError):
+                blob = None
+            if _validate_blob(blob, fingerprint) is None:
+                report.invalid += 1
+                if repair:
+                    self._drop(path)
+                    report.repaired += 1
+            else:
+                report.valid += 1
+                try:
+                    report.total_bytes += path.stat().st_size
+                except OSError:  # pragma: no cover - raced away
+                    pass
+        report.partials = len(self.partial_files())
+        return report
+
+    def _compact(self, *, grace_seconds: float) -> CompactionReport:
+        """Sweep leftovers a crashed writer cannot reclaim itself:
+        temp/partial files and zero-byte blobs older than the grace
+        period (younger ones may belong to a live writer).  Files
+        matching neither the blob nor the partial pattern are foreign
+        and left strictly alone."""
+        report = CompactionReport(store=self.name)
+        cutoff = time.time() - max(grace_seconds, 0.0)
+        for path in self.partial_files():
+            try:
+                stat = path.stat()
+                if stat.st_mtime > cutoff:
+                    continue
+                path.unlink()
+            except OSError:  # pragma: no cover - raced away
+                continue
+            report.partials_removed += 1
+            report.bytes_reclaimed += stat.st_size
+        for path in self._blob_paths():
+            try:
+                stat = path.stat()
+                if stat.st_size > 0 or stat.st_mtime > cutoff:
+                    continue
+                path.unlink()
+            except OSError:  # pragma: no cover - raced away
+                continue
+            report.orphans_removed += 1
+            self.stats.invalidations += 1
+        return report
 
     def describe(self) -> dict:
         return {"store": self.name, "directory": str(self.directory)}
@@ -356,6 +790,12 @@ class SQLiteStore(CacheStore):
     path (no SQLite header) is refused, never deleted: that is a
     mistyped path, not a cache artefact.
 
+    Rows carry lifecycle columns (created/last-used timestamps, hit
+    count, payload size); databases written before those columns
+    existed are migrated in place on open.  Served loads bump the hit
+    count and last-use stamp best-effort — a locked database never
+    turns a hit into a failure.
+
     Args:
         path: database file; parent directories are created.
         timeout: seconds a writer waits on a locked database.
@@ -364,6 +804,15 @@ class SQLiteStore(CacheStore):
     name = "sqlite"
 
     _SQLITE_MAGIC = b"SQLite format 3\x00"
+
+    #: Lifecycle columns added to databases created before they
+    #: existed (PRAGMA table_info drives the in-place migration).
+    _LIFECYCLE_COLUMNS = (
+        ("created_at", "REAL NOT NULL DEFAULT 0"),
+        ("last_used_at", "REAL NOT NULL DEFAULT 0"),
+        ("hits", "INTEGER NOT NULL DEFAULT 0"),
+        ("size_bytes", "INTEGER NOT NULL DEFAULT 0"),
+    )
 
     def __init__(self, path: str | os.PathLike, timeout: float = 30.0):
         super().__init__()
@@ -419,13 +868,41 @@ class SQLiteStore(CacheStore):
                 "CREATE TABLE IF NOT EXISTS evaluations ("
                 " fingerprint TEXT PRIMARY KEY,"
                 " schema_version INTEGER NOT NULL,"
-                " payload TEXT NOT NULL)"
+                " payload TEXT NOT NULL,"
+                + ", ".join(
+                    f" {name} {spec}"
+                    for name, spec in self._LIFECYCLE_COLUMNS
+                )
+                + ")"
             )
+            self._migrate_lifecycle_columns(conn)
             conn.commit()
         except sqlite3.DatabaseError:
             conn.close()
             raise
         return conn
+
+    def _migrate_lifecycle_columns(self, conn: sqlite3.Connection) -> None:
+        """Bring a pre-lifecycle database up to the current table
+        shape without invalidating its (perfectly good) entries."""
+        present = {
+            row[1]
+            for row in conn.execute("PRAGMA table_info(evaluations)")
+        }
+        migrated = False
+        for name, spec in self._LIFECYCLE_COLUMNS:
+            if name not in present:
+                conn.execute(
+                    f"ALTER TABLE evaluations ADD COLUMN {name} {spec}"
+                )
+                migrated = True
+        if migrated:
+            conn.execute(
+                "UPDATE evaluations SET created_at = ?,"
+                " last_used_at = ?, size_bytes = length(payload)"
+                " WHERE created_at = 0",
+                (time.time(), time.time()),
+            )
 
     def _remove_database_files(self) -> None:
         for suffix in ("", "-wal", "-shm"):
@@ -446,8 +923,38 @@ class SQLiteStore(CacheStore):
         if responses is None:
             self.discard(fingerprint)
             return None
+        # Usage tracking is best-effort and must never stall a hit:
+        # a writer holding the database for longer than a blink
+        # (batch persist, VACUUM from another process) forfeits this
+        # bump rather than blocking the read path for the full busy
+        # timeout.
+        try:
+            self._conn.execute("PRAGMA busy_timeout=100")
+            try:
+                with self._conn:
+                    self._conn.execute(
+                        "UPDATE evaluations SET last_used_at = ?,"
+                        " hits = hits + 1 WHERE fingerprint = ?",
+                        (time.time(), fingerprint),
+                    )
+            finally:
+                self._conn.execute(
+                    f"PRAGMA busy_timeout={int(self.timeout * 1000)}"
+                )
+        except sqlite3.Error:  # pragma: no cover - tracking is best-effort
+            pass
         self.stats.loads += 1
         return responses
+
+    def peek(self, fingerprint: str) -> dict[str, float] | None:
+        row = self._conn.execute(
+            "SELECT schema_version, payload FROM evaluations"
+            " WHERE fingerprint = ?",
+            (fingerprint,),
+        ).fetchone()
+        if row is None:
+            return None
+        return self._decode_row(fingerprint, row)
 
     @staticmethod
     def _decode_row(
@@ -462,15 +969,37 @@ class SQLiteStore(CacheStore):
             return None
         return _validate_blob(blob, fingerprint)
 
-    def persist(self, fingerprint: str, responses: Mapping[str, float]) -> None:
-        payload = json.dumps(
-            _encode_blob(fingerprint, responses), sort_keys=True
-        )
+    def persist(
+        self,
+        fingerprint: str,
+        responses: Mapping[str, float],
+        *,
+        meta: EntryMeta | None = None,
+    ) -> None:
+        payload = _encode_payload(fingerprint, responses)
+        now = time.time()
+        created = meta.created_at if meta and meta.created_at else now
+        last_used = (
+            meta.last_used_at or meta.created_at
+            if meta
+            else now
+        ) or now
+        hits = (meta.hits or 0) if meta else 0
         with self._conn:
             self._conn.execute(
                 "INSERT OR REPLACE INTO evaluations"
-                " (fingerprint, schema_version, payload) VALUES (?, ?, ?)",
-                (fingerprint, SCHEMA_VERSION, payload),
+                " (fingerprint, schema_version, payload, created_at,"
+                "  last_used_at, hits, size_bytes)"
+                " VALUES (?, ?, ?, ?, ?, ?, ?)",
+                (
+                    fingerprint,
+                    SCHEMA_VERSION,
+                    payload,
+                    created,
+                    last_used,
+                    hits,
+                    len(payload),
+                ),
             )
         self.stats.persists += 1
 
@@ -514,6 +1043,88 @@ class SQLiteStore(CacheStore):
             )
             if responses is not None:
                 yield fingerprint, responses
+
+    def entries(self) -> Iterator[EntryMeta]:
+        rows = self._conn.execute(
+            "SELECT fingerprint, created_at, last_used_at, hits,"
+            " size_bytes FROM evaluations ORDER BY fingerprint"
+        ).fetchall()
+        for fingerprint, created, last_used, hits, size in rows:
+            yield EntryMeta(
+                fingerprint=fingerprint,
+                created_at=created or None,
+                last_used_at=(last_used or created) or None,
+                size_bytes=int(size or 0),
+                hits=int(hits or 0),
+            )
+
+    def entry_meta(self, fingerprint: str) -> EntryMeta | None:
+        row = self._conn.execute(
+            "SELECT created_at, last_used_at, hits, size_bytes"
+            " FROM evaluations WHERE fingerprint = ?",
+            (fingerprint,),
+        ).fetchone()
+        if row is None:
+            return None
+        created, last_used, hits, size = row
+        return EntryMeta(
+            fingerprint=fingerprint,
+            created_at=created or None,
+            last_used_at=(last_used or created) or None,
+            size_bytes=int(size or 0),
+            hits=int(hits or 0),
+        )
+
+    def total_bytes(self) -> int:
+        row = self._conn.execute(
+            "SELECT COALESCE(SUM(size_bytes), 0) FROM evaluations"
+        ).fetchone()
+        return int(row[0])
+
+    def verify(self, repair: bool = False) -> VerifyReport:
+        report = VerifyReport(store=self.name)
+        rows = self._conn.execute(
+            "SELECT fingerprint, schema_version, payload, size_bytes"
+            " FROM evaluations"
+        ).fetchall()
+        for fingerprint, schema_version, payload, size in rows:
+            report.scanned += 1
+            if self._decode_row(fingerprint, (schema_version, payload)) is None:
+                report.invalid += 1
+                if repair and self.discard(fingerprint):
+                    report.repaired += 1
+            else:
+                report.valid += 1
+                report.total_bytes += int(size or len(payload))
+        return report
+
+    def _compact(self, *, grace_seconds: float) -> CompactionReport:
+        """Checkpoint the WAL and VACUUM the database back to its
+        live size (deleted rows only return pages to SQLite's free
+        list; the file itself shrinks here)."""
+        report = CompactionReport(store=self.name)
+        before = self._database_bytes()
+        self._conn.commit()
+        previous = self._conn.isolation_level
+        try:
+            # VACUUM refuses to run inside a transaction; autocommit
+            # mode for the duration keeps sqlite3 from opening one.
+            self._conn.isolation_level = None
+            self._conn.execute("PRAGMA wal_checkpoint(TRUNCATE)")
+            self._conn.execute("VACUUM")
+        finally:
+            self._conn.isolation_level = previous
+        report.bytes_reclaimed = max(before - self._database_bytes(), 0)
+        return report
+
+    def _database_bytes(self) -> int:
+        total = 0
+        for suffix in ("", "-wal"):
+            try:
+                total += os.stat(f"{self.path}{suffix}").st_size
+            except OSError:
+                pass
+        return total
 
     def describe(self) -> dict:
         return {

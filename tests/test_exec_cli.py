@@ -1,0 +1,286 @@
+"""The ``repro-cache`` CLI: every subcommand over file and SQLite stores.
+
+The CLI is the operator surface of the lifecycle subsystem; these
+tests drive :func:`repro.exec.cli.main` in-process (fast, assertable
+output) and cover the exit-code contract CI gates on: 0 for success /
+clean, 1 for operator errors, 2 when ``verify`` leaves problems.
+"""
+
+import argparse
+import json
+import math
+
+import pytest
+
+from repro.exec import (
+    EntryMeta,
+    EvaluationEngine,
+    FileStore,
+    SQLiteStore,
+    resolve_store,
+)
+from repro.exec.cli import main, parse_bytes, parse_duration
+
+
+@pytest.fixture(params=["file", "sqlite"])
+def populated(request, tmp_path):
+    """(cli store argument, entry count) for both persistent kinds."""
+    if request.param == "file":
+        spec = tmp_path / "evals"
+        store = FileStore(spec)
+    else:
+        spec = tmp_path / "evals.sqlite"
+        store = SQLiteStore(spec)
+    for i in range(6):
+        store.persist(
+            f"{i:02d}" + "ab" * 29,  # 60-char hex-ish fingerprints
+            {"power": 1.5 * i, "rate": 2.0 + i},
+            meta=EntryMeta(
+                fingerprint="",
+                created_at=1_700_000_000.0 + 100.0 * i,
+                last_used_at=1_700_000_000.0 + 100.0 * i,
+            ),
+        )
+    store.close()
+    return str(spec), 6
+
+
+class TestParsers:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("500", 500),
+            ("512k", 512 * 1024),
+            ("100MB", 100 * 1024**2),
+            ("2GiB", 2 * 1024**3),
+            ("1.5m", int(1.5 * 1024**2)),
+            ("64b", 64),
+        ],
+    )
+    def test_sizes(self, text, expected):
+        assert parse_bytes(text) == expected
+
+    @pytest.mark.parametrize(
+        "text,expected",
+        [("90", 90.0), ("90s", 90.0), ("15m", 900.0), ("12h", 43200.0),
+         ("7d", 604800.0), ("2w", 1209600.0), ("1.5h", 5400.0)],
+    )
+    def test_durations(self, text, expected):
+        assert parse_duration(text) == expected
+
+    def test_garbage_rejected(self):
+        with pytest.raises(argparse.ArgumentTypeError):
+            parse_bytes("lots")
+        with pytest.raises(argparse.ArgumentTypeError):
+            parse_duration("soon")
+
+
+class TestInspection:
+    def test_stats(self, populated, capsys):
+        spec, n = populated
+        assert main(["stats", spec, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["entries"] == n
+        assert payload["total_bytes"] > 0
+        assert payload["partial_files"] == 0
+
+    def test_stats_human(self, populated, capsys):
+        spec, n = populated
+        assert main(["stats", spec]) == 0
+        out = capsys.readouterr().out
+        assert f"entries:   {n}" in out
+
+    def test_ls_sort_and_limit(self, populated, capsys):
+        spec, _ = populated
+        assert main(
+            ["ls", spec, "--json", "--sort", "created", "--reverse",
+             "--limit", "3"]
+        ) == 0
+        entries = json.loads(capsys.readouterr().out)["entries"]
+        assert len(entries) == 3
+        stamps = [e["created_at"] for e in entries]
+        assert stamps == sorted(stamps, reverse=True)
+
+    def test_show_by_unique_prefix(self, populated, capsys):
+        spec, _ = populated
+        assert main(["show", spec, "03", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["responses"] == {"power": 4.5, "rate": 5.0}
+        assert payload["meta"]["fingerprint"].startswith("03")
+
+    def test_show_ambiguous_prefix(self, populated, capsys):
+        spec, _ = populated
+        assert main(["show", spec, "0"]) == 1
+        assert "ambiguous" in capsys.readouterr().err
+
+    def test_show_unknown(self, populated, capsys):
+        spec, _ = populated
+        assert main(["show", spec, "zz"]) == 1
+        assert "no entry" in capsys.readouterr().err
+
+    def test_show_is_non_destructive_on_corrupt_entries(
+        self, tmp_path, capsys
+    ):
+        store = FileStore(tmp_path / "evals")
+        store.persist("deadbeef", {"y": 1.0})
+        store.close()
+        (tmp_path / "evals" / "deadbeef.json").write_text(
+            "{not json", encoding="utf-8"
+        )
+        spec = str(tmp_path / "evals")
+        assert main(["show", spec, "dead"]) == 1
+        assert "verify --repair" in capsys.readouterr().err
+        # Inspecting did not eat the evidence.
+        assert (tmp_path / "evals" / "deadbeef.json").exists()
+        assert main(["verify", spec]) == 2
+
+    def test_missing_store_is_an_error(self, tmp_path, capsys):
+        assert main(["stats", str(tmp_path / "nope")]) == 1
+        assert "no store" in capsys.readouterr().err
+
+
+class TestPrune:
+    def test_needs_a_bound(self, populated, capsys):
+        spec, _ = populated
+        assert main(["prune", spec]) == 1
+        assert "at least one bound" in capsys.readouterr().err
+
+    def test_max_entries(self, populated, capsys):
+        spec, n = populated
+        assert main(
+            ["prune", spec, "--max-entries", "2", "--json"]
+        ) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["evicted"] == n - 2
+        assert report["entries_after"] == 2
+
+    def test_max_bytes_reduces_disk_usage(self, populated, capsys):
+        spec, _ = populated
+        assert main(["stats", spec, "--json"]) == 0
+        before = json.loads(capsys.readouterr().out)["total_bytes"]
+        cap = before // 2
+        assert main(
+            ["prune", spec, "--max-bytes", str(cap), "--json"]
+        ) == 0
+        assert json.loads(capsys.readouterr().out)["bytes_after"] <= cap
+        assert main(["stats", spec, "--json"]) == 0
+        assert json.loads(capsys.readouterr().out)["total_bytes"] <= cap
+
+    def test_max_age_with_oldest_policy(self, populated, capsys):
+        spec, _ = populated
+        # All entries were created around epoch 1.7e9 — far older
+        # than any sane TTL measured from now.
+        assert main(
+            ["prune", spec, "--max-age", "30d", "--policy", "oldest",
+             "--json"]
+        ) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["ttl_evicted"] == 6
+        assert report["entries_after"] == 0
+
+    def test_dry_run_deletes_nothing_and_names_victims(
+        self, populated, capsys
+    ):
+        spec, n = populated
+        assert main(
+            ["prune", spec, "--max-entries", "1", "--dry-run", "--json"]
+        ) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["dry_run"] is True
+        # The plan is reviewable: every would-be victim is named.
+        assert len(report["victims"]) == n - 1
+        assert main(["stats", spec, "--json"]) == 0
+        assert json.loads(capsys.readouterr().out)["entries"] == n
+
+    def test_invalid_budget_is_a_clean_error(self, populated, capsys):
+        spec, _ = populated
+        assert main(["prune", spec, "--max-entries", "-3"]) == 1
+        assert "max_entries" in capsys.readouterr().err
+
+
+class TestLifecycleCommands:
+    def test_vacuum(self, populated, capsys):
+        spec, _ = populated
+        assert main(["vacuum", spec, "--grace", "0", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["partials_removed"] == 0
+
+    def test_export_then_merge_roundtrip(self, populated, tmp_path, capsys):
+        spec, n = populated
+        dest = str(tmp_path / "shipped.sqlite")
+        assert main(["export", spec, dest, "--json"]) == 0
+        assert json.loads(capsys.readouterr().out)["copied"] == n
+        # Merging straight back copies nothing: every collision is
+        # equal-aged and the local side wins.
+        assert main(["merge", spec, dest, "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["copied"] == 0 and report["skipped"] == n
+        assert main(["stats", dest, "--json"]) == 0
+        assert json.loads(capsys.readouterr().out)["entries"] == n
+
+    def test_merge_missing_source(self, populated, tmp_path, capsys):
+        spec, _ = populated
+        assert main(["merge", spec, str(tmp_path / "ghost")]) == 1
+
+    def test_verify_clean_and_dirty(self, tmp_path, capsys):
+        store = FileStore(tmp_path / "evals")
+        store.persist("good", {"y": 1.0})
+        store.close()
+        spec = str(tmp_path / "evals")
+        assert main(["verify", spec, "--json"]) == 0
+        assert json.loads(capsys.readouterr().out)["clean"] is True
+
+        (tmp_path / "evals" / "bad.json").write_text(
+            "{not json", encoding="utf-8"
+        )
+        assert main(["verify", spec, "--json"]) == 2
+        report = json.loads(capsys.readouterr().out)
+        assert report["invalid"] == 1 and report["clean"] is False
+
+        assert main(["verify", spec, "--repair", "--json"]) == 0
+        assert json.loads(capsys.readouterr().out)["repaired"] == 1
+        assert main(["verify", spec, "--json"]) == 0
+
+    @pytest.mark.parametrize("spec_name", ["evals", "evals.sqlite"])
+    def test_prune_survivors_still_serve_warm_hits(
+        self, tmp_path, spec_name, capsys
+    ):
+        # The acceptance property: prune to a byte budget, then a
+        # warm engine in a "fresh process" (new engine over the same
+        # path) still gets hits on every surviving entry — pruning
+        # never poisons what it spares.
+        spec = str(tmp_path / spec_name)
+
+        def evaluate(point):
+            return {"y": math.sin(point["a"]) + 2.0 * point["a"]}
+
+        points = [{"a": 0.1 * i} for i in range(8)]
+        engine = EvaluationEngine(evaluate, cache=resolve_store(spec))
+        engine.map_points(points)
+        engine.close()
+
+        assert main(["stats", spec, "--json"]) == 0
+        total = json.loads(capsys.readouterr().out)["total_bytes"]
+        cap = total // 2
+        assert main(["prune", spec, "--max-bytes", str(cap), "--json"]) == 0
+        survivors = 8 - json.loads(capsys.readouterr().out)["evicted"]
+        assert 0 < survivors < 8
+        assert main(["stats", spec, "--json"]) == 0
+        assert json.loads(capsys.readouterr().out)["total_bytes"] <= cap
+
+        warm = EvaluationEngine(evaluate, cache=resolve_store(spec))
+        warm.map_points(points)
+        assert warm.cache.stats.hits == survivors
+        assert warm.points_evaluated == 8 - survivors
+        warm.close()
+
+    def test_verify_counts_partials_as_dirty(self, tmp_path, capsys):
+        store = FileStore(tmp_path / "evals")
+        store.persist("good", {"y": 1.0})
+        store.close()
+        (tmp_path / "evals" / ".write-dead.part").write_text("junk")
+        spec = str(tmp_path / "evals")
+        assert main(["verify", spec]) == 2
+        # vacuum sweeps the debris; verify then agrees it is clean.
+        assert main(["vacuum", spec, "--grace", "0"]) == 0
+        assert main(["verify", spec]) == 0

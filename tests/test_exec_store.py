@@ -1,8 +1,10 @@
 """The persistent evaluation store and the exec-layer contracts around it.
 
-Covers the pluggable :class:`~repro.exec.store.CacheStore` layer (one
-behavioural contract for memory / file / SQLite stores, plus each
-store's durability specifics), the type-tagged fingerprint
+Covers each store's durability specifics (the *shared* behavioural
+contract lives in :mod:`store_contract`, bound to every store by
+:mod:`test_store_contract`), schema migration of pre-lifecycle
+databases, partial-file handling, auto-GC threading through
+engine/explorer/toolkit, the type-tagged fingerprint
 canonicalization, per-study statistics deltas, and the acceptance
 properties: a study persisted through a store re-simulates nothing in
 a fresh process, and serial / serial-batched / process / store-backed
@@ -12,6 +14,7 @@ engines return bit-identical response vectors.
 import json
 import math
 import os
+import sqlite3
 import subprocess
 import sys
 import textwrap
@@ -29,6 +32,7 @@ from repro.exec import (
     EvalCache,
     EvaluationEngine,
     FileStore,
+    GCBudget,
     MemoryStore,
     SQLiteStore,
     point_fingerprint,
@@ -59,79 +63,6 @@ def _space():
     return DesignSpace([Factor("a", -1.0, 1.0), Factor("b", 0.5, 4.0)])
 
 
-def _store_factories(tmp_path):
-    return {
-        "memory": lambda: MemoryStore(),
-        "file": lambda: FileStore(tmp_path / "file-store"),
-        "sqlite": lambda: SQLiteStore(tmp_path / "store.sqlite"),
-    }
-
-
-@pytest.fixture(params=["memory", "file", "sqlite"])
-def store(request, tmp_path):
-    built = _store_factories(tmp_path)[request.param]()
-    yield built
-    built.close()
-
-
-class TestStoreContract:
-    """One behavioural contract, every store implementation."""
-
-    def test_roundtrip_and_len(self, store):
-        assert store.load("fp1") is None
-        store.persist("fp1", {"y": 1.5, "z": -2.0})
-        store.persist("fp2", {"y": 0.25})
-        assert store.load("fp1") == {"y": 1.5, "z": -2.0}
-        assert len(store) == 2
-        assert "fp1" in store and "missing" not in store
-        assert store.stats.persists == 2
-        assert store.stats.loads == 1
-
-    def test_persist_overwrites(self, store):
-        store.persist("fp", {"y": 1.0})
-        store.persist("fp", {"y": 1.0})
-        assert len(store) == 1
-        assert store.load("fp") == {"y": 1.0}
-
-    def test_discard_and_clear(self, store):
-        store.persist("fp1", {"y": 1.0})
-        store.persist("fp2", {"y": 2.0})
-        assert store.discard("fp1") is True
-        assert store.discard("fp1") is False
-        assert len(store) == 1
-        store.clear()
-        assert len(store) == 0
-        assert store.stats.invalidations == 2
-
-    def test_items_iterates_everything(self, store):
-        entries = {f"fp{i}": {"y": float(i)} for i in range(4)}
-        for fingerprint, responses in entries.items():
-            store.persist(fingerprint, responses)
-        assert dict(store.items()) == entries
-
-    def test_values_survive_bit_exactly(self, store):
-        # Shortest-repr JSON roundtrips doubles exactly; the store
-        # must preserve that (the cross-backend bit-identity contract
-        # depends on it).
-        values = {
-            "tiny": 5e-324,
-            "pi": math.pi,
-            "third": 1.0 / 3.0,
-            "big": 1.7976931348623157e308,
-            "neg": -0.0,
-        }
-        store.persist("fp", values)
-        loaded = store.load("fp")
-        for name, value in values.items():
-            assert loaded[name] == value
-            assert math.copysign(1.0, loaded[name]) == math.copysign(
-                1.0, value
-            )
-
-    def test_describe_names_the_store(self, store):
-        assert store.describe()["store"] == store.name
-
-
 class TestFileStore:
     def test_no_partial_files_left_behind(self, tmp_path):
         store = FileStore(tmp_path)
@@ -142,25 +73,6 @@ class TestFileStore:
         ]
         assert leftovers == []
         assert len(store) == 5
-
-    def test_corrupt_blob_is_invalidated_not_raised(self, tmp_path):
-        store = FileStore(tmp_path)
-        store.persist("fp", {"y": 1.0})
-        (tmp_path / "fp.json").write_text("{not json", encoding="utf-8")
-        assert store.load("fp") is None
-        assert store.stats.invalidations == 1
-        assert "fp" not in store  # the corpse was unlinked
-
-    def test_schema_mismatch_is_invalidated(self, tmp_path):
-        store = FileStore(tmp_path)
-        blob = {
-            "schema": SCHEMA_VERSION + 1,
-            "fingerprint": "fp",
-            "responses": {"y": 1.0},
-        }
-        (tmp_path / "fp.json").write_text(json.dumps(blob), encoding="utf-8")
-        assert store.load("fp") is None
-        assert store.stats.invalidations == 1
 
     def test_fingerprint_mismatch_is_invalidated(self, tmp_path):
         # A renamed/copied blob must not serve responses under the
@@ -186,6 +98,114 @@ class TestFileStore:
         reader = FileStore(tmp_path)
         writer.persist("fp", {"y": 4.25})
         assert reader.load("fp") == {"y": 4.25}
+
+
+class TestFileStorePartials:
+    """Temp/partial files from killed writers are never entries."""
+
+    @staticmethod
+    def _killed_writer_leftovers(tmp_path):
+        # What a SIGKILLed persist() leaves behind: the mkstemp temp
+        # file, plus a foreign .part from some other tool.
+        (tmp_path / ".write-a1b2c3.part").write_text(
+            '{"schema": 1, "fingerprint"', encoding="utf-8"
+        )
+        (tmp_path / "stray.part").write_text("x", encoding="utf-8")
+
+    def test_len_and_items_skip_partials(self, tmp_path):
+        store = FileStore(tmp_path)
+        store.persist("fp", {"y": 1.0})
+        self._killed_writer_leftovers(tmp_path)
+        assert len(store) == 1
+        assert dict(store.items()) == {"fp": {"y": 1.0}}
+        assert [m.fingerprint for m in store.entries()] == ["fp"]
+
+    def test_partials_are_counted_not_hidden(self, tmp_path):
+        store = FileStore(tmp_path)
+        store.persist("fp", {"y": 1.0})
+        self._killed_writer_leftovers(tmp_path)
+        assert len(store.partial_files()) == 2
+        report = store.verify()
+        assert report.partials == 2
+        assert not report.clean  # an operator should see the debris
+        assert report.valid == 1 and report.invalid == 0
+
+    def test_compact_sweeps_stale_partials_only(self, tmp_path):
+        store = FileStore(tmp_path)
+        store.persist("fp", {"y": 1.0})
+        self._killed_writer_leftovers(tmp_path)
+        # A generous grace keeps the (brand-new) files: they could
+        # belong to a live writer mid-persist.
+        untouched = store.compact(grace_seconds=3600.0)
+        assert untouched.partials_removed == 0
+        assert len(store.partial_files()) == 2
+        swept = store.compact(grace_seconds=0.0)
+        assert swept.partials_removed == 2
+        assert swept.bytes_reclaimed > 0
+        assert store.partial_files() == []
+        assert store.verify().clean
+        assert store.load("fp") == {"y": 1.0}
+
+    def test_compact_sweeps_zero_byte_orphans(self, tmp_path):
+        store = FileStore(tmp_path)
+        store.persist("fp", {"y": 1.0})
+        (tmp_path / "orphan.json").touch()
+        report = store.compact(grace_seconds=0.0)
+        assert report.orphans_removed == 1
+        assert len(store) == 1
+
+    def test_foreign_files_are_never_touched(self, tmp_path):
+        # A README or .gitignore in the store directory is neither an
+        # entry, a "partial", nor sweepable debris: vacuum on a
+        # mistyped path must not eat anybody's data.
+        store = FileStore(tmp_path)
+        store.persist("fp", {"y": 1.0})
+        (tmp_path / "README").write_text("notes", encoding="utf-8")
+        (tmp_path / ".gitignore").write_text("*", encoding="utf-8")
+        assert len(store) == 1
+        assert store.partial_files() == []
+        assert store.verify().clean
+        report = store.compact(grace_seconds=0.0)
+        assert report.partials_removed == 0
+        assert (tmp_path / "README").read_text() == "notes"
+        assert (tmp_path / ".gitignore").exists()
+
+
+class TestSQLiteMigration:
+    def test_pre_lifecycle_database_is_migrated_in_place(self, tmp_path):
+        # A database written before the lifecycle columns existed
+        # (PR 2 layout) must keep serving its entries, with metadata
+        # backfilled rather than invalidated.
+        path = tmp_path / "old.sqlite"
+        conn = sqlite3.connect(str(path))
+        conn.execute(
+            "CREATE TABLE evaluations ("
+            " fingerprint TEXT PRIMARY KEY,"
+            " schema_version INTEGER NOT NULL,"
+            " payload TEXT NOT NULL)"
+        )
+        payload = json.dumps(
+            {
+                "schema": SCHEMA_VERSION,
+                "fingerprint": "fp",
+                "responses": {"y": 1.5},
+            }
+        )
+        conn.execute(
+            "INSERT INTO evaluations VALUES (?, ?, ?)",
+            ("fp", SCHEMA_VERSION, payload),
+        )
+        conn.commit()
+        conn.close()
+
+        store = SQLiteStore(path)
+        assert store.load("fp") == {"y": 1.5}
+        meta = store.entry_meta("fp")
+        assert meta.created_at is not None
+        assert meta.size_bytes == len(payload)
+        assert store.total_bytes() > 0
+        assert store.verify().clean
+        store.close()
 
 
 class TestSQLiteStore:
@@ -228,20 +248,6 @@ class TestSQLiteStore:
         store = SQLiteStore(path)
         store.persist("fp", {"y": 1.0})
         assert store.load("fp") == {"y": 1.0}
-        store.close()
-
-    def test_corrupt_payload_row_is_dropped(self, tmp_path):
-        path = tmp_path / "store.sqlite"
-        store = SQLiteStore(path)
-        store.persist("fp", {"y": 1.0})
-        store._conn.execute(
-            "UPDATE evaluations SET payload = '{oops' WHERE fingerprint = ?",
-            ("fp",),
-        )
-        store._conn.commit()
-        assert store.load("fp") is None
-        assert store.stats.invalidations == 1
-        assert len(store) == 0
         store.close()
 
     def test_close_is_idempotent(self, tmp_path):
@@ -341,6 +347,85 @@ class TestEvalCacheOverStores:
         fresh = SQLiteStore(tmp_path / "c.sqlite")
         assert len(fresh) == 1
         fresh.close()
+
+
+class TestEngineAutoGC:
+    """The cache_gc budget threaded through engine/explorer/toolkit."""
+
+    def test_engine_enforces_budget_per_batch(self, tmp_path):
+        engine = EvaluationEngine(
+            _synthetic,
+            cache=FileStore(tmp_path / "gc"),
+            cache_gc=GCBudget(max_entries=3),
+        )
+        engine.map_points(
+            [{"a": 0.1 * i, "b": 1.0} for i in range(8)]
+        )
+        assert len(engine.cache) == 3
+        stats = engine.stats()
+        assert stats["cache"]["gc_evictions"] == 5
+        # Survivors still serve hits.
+        second = engine.map_points(
+            [{"a": 0.1 * i, "b": 1.0} for i in range(5, 8)]
+        )
+        assert all(e.cached for e in second)
+        engine.close()
+
+    def test_mapping_spec_and_delta_accounting(self, tmp_path):
+        engine = EvaluationEngine(
+            _synthetic,
+            cache=SQLiteStore(tmp_path / "gc.sqlite"),
+            cache_gc={"max_entries": 2, "policy": "oldest"},
+        )
+        snapshot = engine.stats_snapshot()
+        engine.map_points([{"a": 0.1 * i, "b": 1.0} for i in range(6)])
+        delta = engine.stats(since=snapshot)
+        assert delta["cache"]["gc_evictions"] == 4
+        # A second snapshot interval with no GC reports zero, not the
+        # lifetime total.
+        snapshot = engine.stats_snapshot()
+        engine.map_points([{"a": 0.5, "b": 1.0}])
+        assert engine.stats(since=snapshot)["cache"]["gc_evictions"] == 0
+        engine.close()
+
+    def test_budget_requires_a_cache(self):
+        with pytest.raises(ReproError):
+            EvaluationEngine(
+                _synthetic, cache=False, cache_gc={"max_entries": 2}
+            )
+
+    def test_explorer_threads_cache_gc(self, tmp_path):
+        explorer = DesignExplorer(
+            _space(),
+            _synthetic,
+            ["y1", "y2"],
+            cache_store=str(tmp_path / "evals"),
+            cache_gc={"max_entries": 4},
+        )
+        explorer.run_design(latin_hypercube(10, 2, seed=7))
+        assert len(explorer.engine.cache) == 4
+        explorer.close()
+
+    def test_explorer_cache_gc_requires_cache_store(self):
+        with pytest.raises(DesignError):
+            DesignExplorer(
+                _space(),
+                _synthetic,
+                ["y1"],
+                cache_gc={"max_entries": 4},
+            )
+
+    def test_toolkit_threads_cache_gc(self, tmp_path):
+        clear_charging_cache()
+        toolkit = _toolkit(
+            cache_dir=tmp_path / "evals",
+            cache_gc={"max_entries": 2},
+        )
+        toolkit.explorer.run_design(latin_hypercube(4, 2, seed=9))
+        assert len(toolkit.exec_engine.cache) == 2
+        lifetime = toolkit.exec_engine.stats()
+        assert lifetime["cache"]["gc_evictions"] == 2
+        toolkit.close()
 
 
 class TestFingerprintKeyTagging:

@@ -1,0 +1,143 @@
+"""Fingerprint stability: frozen canonical hashes for real shapes.
+
+Persistent stores index evaluations by ``point_fingerprint``.  An
+accidental change to the canonicalization — a reordered tag, a float
+repr tweak, a new field leaking into an attribute bag — would
+silently *orphan every persisted cache in every deployment*: nothing
+breaks, every lookup just misses, and whole study archives
+re-simulate from scratch.  This suite freezes the fingerprints of a
+representative case set in a checked-in fixture so that change fails
+loudly instead.
+
+If a failure here is *intentional* (the canonicalization or a
+fingerprinted structure legitimately changed), bump
+``repro.exec.store.SCHEMA_VERSION`` so old stores invalidate cleanly,
+then regenerate the fixture::
+
+    PYTHONPATH=src python tests/test_fingerprint_golden.py --regen
+"""
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.exec import point_fingerprint
+from repro.sim.envelope import EnvelopeOptions
+
+GOLDEN_PATH = Path(__file__).parent / "data" / "fingerprint_golden.json"
+
+
+class GoldenOptions:
+    """Stable attribute-bag stand-in for option objects (vibration
+    sources, engine options) that canonicalize via ``__dict__``."""
+
+    def __init__(self):
+        self.alpha = 0.5
+        self.mode = "fast"
+        self.flags = (True, False)
+
+
+def golden_cases() -> dict:
+    """Name -> (point, context) pairs spanning the canonical forms."""
+    return {
+        "plain_point": ({"a": 1.0, "b": 2.5}, None),
+        "float_bit_patterns": (
+            {
+                "tiny": 5e-324,
+                "third": 1.0 / 3.0,
+                "neg_zero": -0.0,
+                "big": 1.7976931348623157e308,
+            },
+            None,
+        ),
+        "int_vs_str_keys": ({"a": 1.0}, {1: "x", "1": "y"}),
+        "bool_key": ({"a": 1.0}, {True: "x"}),
+        "float_key": ({"a": 1.0}, {2.5: "x"}),
+        "tuple_key": ({"a": 1.0}, {(1, "b", 2.5): "x"}),
+        "numpy_scalars": (
+            {"a": 1.0},
+            {
+                "f": np.float64(2.5),
+                "i": np.int64(3),
+                "flag": np.bool_(True),
+            },
+        ),
+        "numpy_array": ({"a": 1.0}, np.array([1.0, 2.5, -3.0])),
+        "nested_containers": (
+            {"a": 1.0},
+            {"outer": [{"inner": (1, 2)}, [3.5, "s"]]},
+        ),
+        "set_vs_list": ({"a": 1.0}, {"s": {1, 2}, "l": [1, 2]}),
+        "attribute_bag": ({"a": 1.0}, GoldenOptions()),
+        "toolkit_like_context": (
+            {"capacitance": 0.55, "tx_interval": 8.0},
+            {
+                "schema": "toolkit-eval-v1",
+                "mission_time": 1800.0,
+                "engine": "envelope",
+                "envelope": None,
+                "vibration": None,
+                "system_kwargs": {},
+                "responses": [
+                    "average_harvested_power",
+                    "effective_data_rate",
+                ],
+            },
+        ),
+        "envelope_options": (
+            {"capacitance": 0.55},
+            EnvelopeOptions(),
+        ),
+        "string_float_distinction": (
+            {"a": 1.0},
+            {"v": "1.5", "w": 1.5, "x": "f:1.5"},
+        ),
+    }
+
+
+def compute_fingerprints() -> dict[str, str]:
+    return {
+        name: point_fingerprint(point, context)
+        for name, (point, context) in golden_cases().items()
+    }
+
+
+def test_fixture_exists_and_covers_every_case():
+    golden = json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
+    assert sorted(golden) == sorted(golden_cases())
+
+
+@pytest.mark.parametrize("name", sorted(golden_cases()))
+def test_fingerprint_matches_golden(name):
+    golden = json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
+    point, context = golden_cases()[name]
+    actual = point_fingerprint(point, context)
+    assert actual == golden[name], (
+        f"canonical fingerprint for {name!r} changed — this silently "
+        f"orphans every persisted evaluation cache.  If intentional, "
+        f"bump SCHEMA_VERSION and regenerate the fixture (see module "
+        f"docstring)."
+    )
+
+
+def test_fingerprints_are_distinct():
+    values = list(compute_fingerprints().values())
+    assert len(set(values)) == len(values)
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regen" in sys.argv:
+        GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+        GOLDEN_PATH.write_text(
+            json.dumps(compute_fingerprints(), indent=2, sort_keys=True)
+            + "\n",
+            encoding="utf-8",
+        )
+        print(f"wrote {GOLDEN_PATH}")
+    else:
+        print("run with --regen to rewrite the fixture", file=sys.stderr)
+        sys.exit(2)

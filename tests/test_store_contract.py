@@ -1,0 +1,77 @@
+"""One parametrized contract, every store implementation.
+
+The behavioural suite lives in :mod:`store_contract`; this module
+binds it to the three shipped stores.  A new store earns the whole
+contract — blob-map semantics, metadata, GC, verify/compact,
+export/merge, corruption tolerance — by adding one subclass here.
+"""
+
+import json
+
+from repro.exec import SCHEMA_VERSION, FileStore, MemoryStore, SQLiteStore
+
+from store_contract import StoreContract
+
+
+class TestMemoryStoreContract(StoreContract):
+    supports_persistence = False
+    supports_corruption = False
+    counts_hits = True
+
+    def make_store(self, tmp_path):
+        return MemoryStore()
+
+
+class TestFileStoreContract(StoreContract):
+    supports_persistence = True
+    supports_corruption = True
+    counts_hits = False  # a hit counter would rewrite the blob per hit
+
+    def make_store(self, tmp_path):
+        return FileStore(tmp_path / "file-store")
+
+    def reopen(self, tmp_path):
+        return FileStore(tmp_path / "file-store")
+
+    def corrupt_entry(self, store, tmp_path, fingerprint):
+        (store.directory / f"{fingerprint}.json").write_text(
+            "{not json", encoding="utf-8"
+        )
+
+    def write_version_mismatch(self, store, tmp_path, fingerprint):
+        blob = {
+            "schema": SCHEMA_VERSION + 1,
+            "fingerprint": fingerprint,
+            "responses": {"y": 1.0},
+        }
+        (store.directory / f"{fingerprint}.json").write_text(
+            json.dumps(blob), encoding="utf-8"
+        )
+
+
+class TestSQLiteStoreContract(StoreContract):
+    supports_persistence = True
+    supports_corruption = True
+    counts_hits = True
+
+    def make_store(self, tmp_path):
+        return SQLiteStore(tmp_path / "store.sqlite")
+
+    def reopen(self, tmp_path):
+        return SQLiteStore(tmp_path / "store.sqlite")
+
+    def corrupt_entry(self, store, tmp_path, fingerprint):
+        with store._conn:
+            store._conn.execute(
+                "UPDATE evaluations SET payload = '{oops'"
+                " WHERE fingerprint = ?",
+                (fingerprint,),
+            )
+
+    def write_version_mismatch(self, store, tmp_path, fingerprint):
+        with store._conn:
+            store._conn.execute(
+                "UPDATE evaluations SET schema_version = ?"
+                " WHERE fingerprint = ?",
+                (SCHEMA_VERSION + 1, fingerprint),
+            )

@@ -1,0 +1,156 @@
+"""Multi-process store stress: concurrent writers, one store, no loss.
+
+N genuinely separate Python processes hammer one persistent store
+with *overlapping* fingerprints — the exact pattern of a study fanned
+out across hosts sharing a cache, where several workers race to
+persist the same deterministic evaluation.  Afterwards every
+fingerprint must hold its correct payload (no lost or torn entries),
+``verify`` must report a clean cache, and the lifecycle operations
+must work on the store the melee produced.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import textwrap
+
+import pytest
+
+from repro.exec import resolve_store
+
+#: Overlapping-fingerprint pool shared by every writer.
+POOL = 40
+WRITERS = 4
+ROUNDS = 3
+
+WRITER_SCRIPT = textwrap.dedent(
+    """
+    import random, sys
+
+    from repro.exec import resolve_store
+
+    store_spec, writer_id = sys.argv[1], int(sys.argv[2])
+    pool, rounds = int(sys.argv[3]), int(sys.argv[4])
+
+    def payload(j):
+        # Deterministic across writers: racing persists of one
+        # fingerprint must carry identical payloads, like the real
+        # evaluation cache (evaluations are pure).
+        return {"y1": j * 0.5, "y2": 1.0 / (j + 1), "y3": float(j % 7)}
+
+    store = resolve_store(store_spec)
+    rng = random.Random(writer_id)
+    for _ in range(rounds):
+        order = list(range(pool))
+        rng.shuffle(order)
+        for j in order:
+            store.persist(f"fp{j:04d}", payload(j))
+            if rng.random() < 0.3:
+                probe = f"fp{rng.randrange(pool):04d}"
+                loaded = store.load(probe)
+                if loaded is not None and loaded != payload(
+                    int(probe[2:])
+                ):
+                    print(f"TORN READ at {probe}: {loaded}")
+                    sys.exit(3)
+    store.close()
+    print("ok")
+    """
+)
+
+
+def _spawn_writers(store_spec, tmp_path):
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+    env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + env.get(
+        "PYTHONPATH", ""
+    )
+    script = tmp_path / "stress_writer.py"
+    script.write_text(WRITER_SCRIPT, encoding="utf-8")
+    procs = [
+        subprocess.Popen(
+            [
+                sys.executable,
+                str(script),
+                str(store_spec),
+                str(writer_id),
+                str(POOL),
+                str(ROUNDS),
+            ],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        for writer_id in range(WRITERS)
+    ]
+    failures = []
+    for writer_id, proc in enumerate(procs):
+        out, err = proc.communicate(timeout=120)
+        if proc.returncode != 0 or out.strip() != "ok":
+            failures.append((writer_id, proc.returncode, out, err))
+    return failures
+
+
+@pytest.mark.parametrize("spec", ["blobs", "evals.sqlite"])
+def test_concurrent_writers_lose_nothing(tmp_path, spec):
+    store_spec = tmp_path / spec
+    failures = _spawn_writers(store_spec, tmp_path)
+    assert not failures, f"writer processes failed: {failures}"
+
+    store = resolve_store(store_spec)
+    try:
+        # Every fingerprint present, every payload exact.
+        assert len(store) == POOL
+        seen = dict(store.items())
+        assert len(seen) == POOL
+        for j in range(POOL):
+            expected = {
+                "y1": j * 0.5,
+                "y2": 1.0 / (j + 1),
+                "y3": float(j % 7),
+            }
+            assert seen[f"fp{j:04d}"] == expected, f"fp{j:04d}"
+
+        # The melee left a clean store: nothing corrupt, nothing
+        # partial, and the lifecycle ops work on what it produced.
+        report = store.verify()
+        assert report.clean, report.as_dict()
+        assert report.valid == POOL
+        compaction = store.compact(grace_seconds=0.0)
+        assert compaction.partials_removed == 0
+        assert store.verify().clean
+        assert store.total_bytes() > 0
+    finally:
+        store.close()
+
+
+def test_writers_then_cli_verify_agrees(tmp_path):
+    """The CLI's verify — what CI gates on — sees the same cleanliness."""
+    store_spec = tmp_path / "shared.sqlite"
+    failures = _spawn_writers(store_spec, tmp_path)
+    assert not failures, f"writer processes failed: {failures}"
+
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+    env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + env.get(
+        "PYTHONPATH", ""
+    )
+    out = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "repro.exec.cli",
+            "verify",
+            str(store_spec),
+            "--json",
+        ],
+        env=env,
+        capture_output=True,
+        text=True,
+    )
+    assert out.returncode == 0, out.stderr
+    report = json.loads(out.stdout)
+    assert report["clean"] is True
+    assert report["valid"] == POOL
