@@ -1,0 +1,186 @@
+"""R-X2 — distributed evaluation scaling: points/sec vs worker count.
+
+One LHS design over the 2-factor smoke space is completed through the
+job-queue architecture by fleets of 1, 2 (and, outside smoke mode, 4)
+*real* ``repro-worker`` subprocesses draining one shared SQLite
+substrate, with the submitter in pure assembly mode
+(``cooperate=False``).  Every fleet's responses must be bit-identical
+to the serial reference; the recorded series is wall-clock points/sec
+per worker count, plus the dispatch overhead of the one-worker fleet
+against the serial baseline (queue round-trips + store polling).
+
+Numbers land in ``results/BENCH_distributed_scaling.json``.  As with
+the process backend, parallel *speedup* needs real CPUs — the JSON
+records ``cpu_count`` so single-core CI runs are read as overhead
+measurements, not scaling claims.  Worker start-up (interpreter +
+per-process charging-map warm-up) is measured separately via a
+one-point barrier batch; fleet members that join after the barrier
+amortize their own map warm-up into the first timed batch, which is
+exactly what a real elastic fleet pays.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+
+from benchmarks.conftest import SMOKE, print_banner
+from benchmarks.distributed_smoke import (
+    MISSION_TIME,
+    _space,
+    make_evaluator,
+    spawn_worker,
+)
+from repro.analysis.io import ensure_results_dir
+from repro.analysis.tables import format_table
+from repro.core.doe.lhs import latin_hypercube
+from repro.exec import DistributedBackend, SQLiteStore, queue_for_store
+
+N_POINTS = 8 if SMOKE else 24
+WORKER_COUNTS = [1, 2] if SMOKE else [1, 2, 4]
+
+
+def test_distributed_scaling(tmp_path):
+    print_banner("R-X2: distributed scaling (points/sec vs workers)")
+    space = _space()
+    design = latin_hypercube(N_POINTS, 2, seed=31)
+    points = [space.point_to_dict(row) for row in design.matrix]
+
+    # Serial reference in this process, on the same batched path the
+    # workers use, with charging maps prewarmed outside the timing —
+    # so the per-fleet overhead numbers compare like with like.
+    toolkit = make_evaluator()
+    toolkit.evaluate_point(points[0])
+    started = time.perf_counter()
+    reference = [
+        responses
+        for responses, _ in toolkit.evaluate_points_timed(points)
+    ]
+    t_serial = time.perf_counter() - started
+
+    series = {}
+    for workers in WORKER_COUNTS:
+        store_path = tmp_path / f"scaling-{workers}.sqlite"
+        store = SQLiteStore(store_path)
+        backend = DistributedBackend(
+            store, cooperate=False, poll_interval=0.02, timeout=900.0
+        )
+        fingerprints = [f"scale-{i:03d}" for i in range(N_POINTS)]
+        # Spawn the fleet first and use a one-point warm-up batch as
+        # the "fleet is live" barrier, so the timed study measures
+        # queue throughput rather than interpreter start-up.  The
+        # fleet exits on idleness (not --drain): between the warm-up
+        # and the timed batch the queue is momentarily empty, and a
+        # draining worker would mistake that for the end of the study.
+        fleet = [
+            spawn_worker(
+                str(store_path),
+                "--idle-timeout",
+                "8",
+                "--batch",
+                "1",
+                "--poll",
+                "0.02",
+            )
+            for _ in range(workers)
+        ]
+        warm_started = time.perf_counter()
+        backend.run(
+            toolkit.evaluate_point,
+            [points[0]],
+            fingerprints=["warmup"],
+        )
+        t_startup = time.perf_counter() - warm_started
+
+        started = time.perf_counter()
+        results = backend.run(
+            toolkit.evaluate_point, points, fingerprints=fingerprints
+        )
+        elapsed = time.perf_counter() - started
+        for proc in fleet:
+            out, err = proc.communicate(timeout=600)
+            assert proc.returncode == 0, err
+
+        # Bit-identity against serial, whichever worker evaluated.
+        for i, ((responses, _), expected) in enumerate(
+            zip(results, reference)
+        ):
+            assert responses == expected, f"divergence at point {i}"
+        queue = queue_for_store(store)
+        stats = queue.stats()
+        assert stats.outstanding == 0 and stats.failed == 0
+        completed_by = {
+            record.worker_id
+            for record in queue.jobs()
+            if record.status == "done"
+        }
+        series[str(workers)] = {
+            "seconds": elapsed,
+            "points_per_sec": N_POINTS / elapsed,
+            "startup_seconds": t_startup,
+            "distinct_workers": len(completed_by),
+            "speedup_vs_serial": t_serial / elapsed,
+        }
+        backend.close()
+        store.close()
+
+    payload = {
+        "benchmark": "distributed_scaling",
+        "smoke": SMOKE,
+        "n_points": N_POINTS,
+        "mission_time_s": MISSION_TIME,
+        "cpu_count": os.cpu_count(),
+        "serial": {
+            "seconds": t_serial,
+            "points_per_sec": N_POINTS / t_serial,
+        },
+        "workers": series,
+        "dispatch_overhead_one_worker": (
+            series["1"]["seconds"] - t_serial
+        ),
+    }
+    path = os.path.join(
+        ensure_results_dir(), "BENCH_distributed_scaling.json"
+    )
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+
+    rows = [["serial", t_serial, N_POINTS / t_serial, 1.0, "-"]]
+    for workers in WORKER_COUNTS:
+        entry = series[str(workers)]
+        rows.append(
+            [
+                f"{workers} worker(s)",
+                entry["seconds"],
+                entry["points_per_sec"],
+                entry["speedup_vs_serial"],
+                entry["distinct_workers"],
+            ]
+        )
+    print(
+        format_table(
+            ["fleet", "wall [s]", "points/s", "vs serial", "workers used"],
+            rows,
+            title=(
+                f"{N_POINTS}-point LHS, {MISSION_TIME:.0f} s missions, "
+                f"on {os.cpu_count()} CPU(s); JSON: {path}"
+            ),
+        )
+    )
+
+    # Multi-worker fleets must actually split the work when there is
+    # work to split (every fleet member completed at least one job is
+    # too strict under OS scheduling; two distinct workers is the
+    # cooperative floor).
+    if max(WORKER_COUNTS) >= 2:
+        top = series[str(max(WORKER_COUNTS))]
+        assert top["distinct_workers"] >= 2
+    # Parallel speedup needs real CPUs; gate only where they exist.
+    if (os.cpu_count() or 1) >= 4 and not SMOKE:
+        assert series["2"]["seconds"] < t_serial
+
+    m = np.asarray([series[str(w)]["points_per_sec"] for w in WORKER_COUNTS])
+    assert np.all(m > 0.0)

@@ -1,0 +1,347 @@
+"""Distributed-evaluation smoke, driven by CI.
+
+Proves the two acceptance properties of the job-queue architecture
+with *real* ``repro-worker`` processes against one shared substrate:
+
+1. **Cooperative completion** — a study submitted with the
+   distributed backend (``cooperate=False``, so the submitter never
+   simulates) is completed by two independent worker processes, and
+   the assembled responses are bit-identical to an in-process serial
+   run.  Both workers must have completed jobs.
+2. **Lease reclamation** — a worker SIGKILLed mid-lease loses
+   nothing: its leased points are reclaimed after the TTL and
+   finished by a survivor worker, and the final responses are still
+   bit-identical to serial.
+
+Usage::
+
+    python benchmarks/distributed_smoke.py \
+        --store /tmp/dist-evals.sqlite --json results/distributed_smoke.json
+
+A ``--store`` path ending in ``.sqlite``/``.db`` keeps results and
+queue in one database; any other path is a file store + ``.queue/``
+directory.  Exit status is non-zero on any property violation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+from repro.core.doe.lhs import latin_hypercube
+from repro.core.factors import DesignSpace, Factor
+from repro.core.toolkit import SensorNodeDesignToolkit
+from repro.exec import DistributedBackend, queue_for_store, resolve_store
+from repro.sim.envelope import EnvelopeOptions
+
+SMOKE_ENVELOPE = EnvelopeOptions(
+    map_v_points=4,
+    map_nr_warmup_cycles=4,
+    map_warmup_cycles=8,
+    map_measure_cycles=6,
+    map_max_blocks=3,
+    map_steps_per_period=80,
+)
+
+MISSION_TIME = 120.0
+
+#: Evaluator spec worker subprocesses are pointed at.
+EVALUATOR_SPEC = "benchmarks.distributed_smoke:make_evaluator"
+
+
+def _space() -> DesignSpace:
+    return DesignSpace(
+        [
+            Factor("capacitance", 0.10, 1.00, units="F"),
+            Factor("tx_interval", 2.0, 60.0, transform="log", units="s"),
+        ]
+    )
+
+
+def make_evaluator() -> SensorNodeDesignToolkit:
+    """Worker-side factory: a toolkit configured like the submitter.
+
+    Returned object exposes ``evaluate_points_timed``, so leased
+    batches ride the amortized serial path inside each worker.
+    """
+    return SensorNodeDesignToolkit(
+        space=_space(),
+        mission_time=MISSION_TIME,
+        envelope=SMOKE_ENVELOPE,
+        cache=False,
+    )
+
+
+def spawn_worker(store: str, *extra: str) -> subprocess.Popen:
+    """A real ``python -m repro.exec.worker`` subprocess."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(REPO_ROOT / "src"), str(REPO_ROOT)]
+        + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
+    return subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.exec.worker",
+            store,
+            "--evaluator",
+            EVALUATOR_SPEC,
+            "--json",
+            *extra,
+        ],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+
+
+class SmokeFailure(AssertionError):
+    pass
+
+
+def check(condition: bool, message: str) -> None:
+    if not condition:
+        raise SmokeFailure(message)
+
+
+def _phase_cooperative(
+    store_spec: str, points, fingerprints, reference
+) -> dict:
+    """Two workers drain one queue; the submitter only assembles."""
+    store = resolve_store(store_spec)
+    backend = DistributedBackend(
+        store, cooperate=False, poll_interval=0.05, timeout=600.0
+    )
+    toolkit = make_evaluator()
+    started = time.perf_counter()
+    handle = backend.submit(
+        toolkit.evaluate_point, points, fingerprints=fingerprints
+    )
+    workers = [
+        spawn_worker(
+            store_spec,
+            "--drain",
+            "--idle-timeout",
+            "120",
+            "--batch",
+            "1",
+            "--poll",
+            "0.05",
+            "--throttle",
+            "0.25",
+        )
+        for _ in range(2)
+    ]
+    results = handle.result()
+    elapsed = time.perf_counter() - started
+    reports = []
+    for proc in workers:
+        out, err = proc.communicate(timeout=300)
+        check(proc.returncode == 0, f"worker failed: {err}")
+        reports.append(json.loads(out))
+
+    for i, ((responses, _), expected) in enumerate(zip(results, reference)):
+        check(
+            responses == expected,
+            f"cooperative responses diverge from serial at point {i}",
+        )
+    completed = [r["jobs_completed"] for r in reports]
+    check(
+        sum(completed) == len(points),
+        f"workers completed {sum(completed)} of {len(points)} jobs",
+    )
+    check(
+        all(c > 0 for c in completed),
+        f"study was not cooperative: per-worker completions {completed}",
+    )
+    queue = queue_for_store(store)
+    stats = queue.stats()
+    check(
+        stats.done == len(points) and stats.outstanding == 0,
+        f"queue not drained: {stats.as_dict()}",
+    )
+    worker_ids = {
+        record.worker_id for record in queue.jobs() if record.status == "done"
+    }
+    check(
+        len(worker_ids) >= 2,
+        f"fewer than 2 distinct workers completed jobs: {worker_ids}",
+    )
+    backend.close()
+    store.close()
+    return {
+        "seconds": elapsed,
+        "points_per_sec": len(points) / elapsed,
+        "per_worker_completed": completed,
+        "distinct_workers": len(worker_ids),
+        "worker_reports": reports,
+    }
+
+
+def _phase_kill_reclaim(
+    store_spec: str, points, fingerprints, reference
+) -> dict:
+    """A SIGKILLed worker's leases are finished by the survivor."""
+    store = resolve_store(store_spec)
+    backend = DistributedBackend(
+        store, cooperate=False, poll_interval=0.05, timeout=600.0
+    )
+    toolkit = make_evaluator()
+    handle = backend.submit(
+        toolkit.evaluate_point, points, fingerprints=fingerprints
+    )
+    queue = queue_for_store(store)
+    # The victim leases with a short TTL and a throttle far past it,
+    # so SIGKILL lands while it provably holds leases.
+    victim = spawn_worker(
+        store_spec,
+        "--batch",
+        "2",
+        "--lease-seconds",
+        "2",
+        "--poll",
+        "0.05",
+        "--throttle",
+        "600",
+    )
+    deadline = time.monotonic() + 120.0
+    while time.monotonic() < deadline:
+        if queue.stats().leased > 0:
+            break
+        time.sleep(0.1)
+    else:
+        victim.kill()
+        raise SmokeFailure("victim worker never leased any jobs")
+    leased_before_kill = queue.stats().leased
+    victim.send_signal(signal.SIGKILL)
+    victim.wait(timeout=30)
+
+    survivor = spawn_worker(
+        store_spec,
+        "--drain",
+        "--idle-timeout",
+        "120",
+        "--batch",
+        "1",
+        "--poll",
+        "0.05",
+    )
+    results = handle.result()
+    out, err = survivor.communicate(timeout=300)
+    check(survivor.returncode == 0, f"survivor worker failed: {err}")
+    survivor_report = json.loads(out)
+
+    for i, ((responses, _), expected) in enumerate(zip(results, reference)):
+        check(
+            responses == expected,
+            f"post-kill responses diverge from serial at point {i}",
+        )
+    stats = queue.stats()
+    check(
+        stats.done == len(points) and stats.outstanding == 0,
+        f"points lost after kill: {stats.as_dict()}",
+    )
+    check(
+        survivor_report["jobs_completed"] == len(points),
+        f"survivor completed {survivor_report['jobs_completed']} "
+        f"of {len(points)}",
+    )
+    reclaimed = [
+        record.job_id
+        for record in queue.jobs()
+        if record.attempts >= 2 and record.status == "done"
+    ]
+    check(
+        len(reclaimed) >= 1,
+        "no job shows a reclaimed (second) lease attempt",
+    )
+    backend.close()
+    store.close()
+    return {
+        "leased_at_kill": leased_before_kill,
+        "reclaimed_jobs": len(reclaimed),
+        "survivor_completed": survivor_report["jobs_completed"],
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--store",
+        required=True,
+        help="shared substrate path: directory or *.sqlite/*.db "
+        "(two derived paths are used, one per phase)",
+    )
+    parser.add_argument(
+        "--json", default=None, help="where to write the summary JSON"
+    )
+    parser.add_argument(
+        "--points", type=int, default=8, help="LHS design size"
+    )
+    args = parser.parse_args(argv)
+
+    space = _space()
+    design = latin_hypercube(args.points, 2, seed=29)
+    points = [space.point_to_dict(row) for row in design.matrix]
+    fingerprints = [f"smoke-{i:03d}" for i in range(len(points))]
+
+    # Serial reference in this process (also prewarms charging maps).
+    toolkit = make_evaluator()
+    started = time.perf_counter()
+    reference = [toolkit.evaluate_point(point) for point in points]
+    t_serial = time.perf_counter() - started
+
+    base = Path(args.store)
+    if base.suffix:
+        coop_spec = str(base.with_name(f"coop-{base.name}"))
+        kill_spec = str(base.with_name(f"kill-{base.name}"))
+    else:
+        coop_spec = str(base / "coop")
+        kill_spec = str(base / "kill")
+
+    summary = {
+        "benchmark": "distributed_smoke",
+        "n_points": args.points,
+        "mission_time_s": MISSION_TIME,
+        "serial_seconds": t_serial,
+        "cpu_count": os.cpu_count(),
+    }
+    try:
+        print("== phase 1: cooperative two-worker study ==")
+        summary["cooperative"] = _phase_cooperative(
+            coop_spec, points, fingerprints, reference
+        )
+        print(json.dumps(summary["cooperative"], sort_keys=True))
+        print("== phase 2: kill a worker mid-lease ==")
+        summary["kill_reclaim"] = _phase_kill_reclaim(
+            kill_spec, points, fingerprints, reference
+        )
+        print(json.dumps(summary["kill_reclaim"], sort_keys=True))
+        summary["ok"] = True
+    except SmokeFailure as failure:
+        summary["ok"] = False
+        summary["failure"] = str(failure)
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(summary, handle, indent=2, sort_keys=True)
+    if summary["ok"]:
+        print(
+            "distributed smoke verified: bit-identical cooperative "
+            "completion + lease reclamation with no lost points"
+        )
+    return 0 if summary["ok"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

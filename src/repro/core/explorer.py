@@ -96,6 +96,7 @@ class DesignExplorer:
         engine: EvaluationEngine | None = None,
         cache_store: CacheStore | str | None = None,
         cache_gc: GCBudget | Mapping | None = None,
+        backend: str | object = "serial",
     ):
         """Args:
             space: the coded factor space.
@@ -108,7 +109,7 @@ class DesignExplorer:
                 setup without building an engine by hand — a
                 :class:`~repro.exec.store.CacheStore` (or a path spec
                 for :func:`~repro.exec.store.resolve_store`) behind a
-                serial cached engine.  A path spec builds a store the
+                cached engine.  A path spec builds a store the
                 engine owns and closes; a ready instance stays
                 caller-owned.  Mutually exclusive with ``engine``.
             cache_gc: auto-GC budget for the ``cache_store`` engine
@@ -117,6 +118,13 @@ class DesignExplorer:
                 under the budget after every persisting batch.
                 Requires ``cache_store``; configure a ready engine's
                 budget on the engine itself.
+            backend: evaluation backend for the engine built here —
+                ``"serial"`` (default), ``"process"``, ``"thread"``,
+                ``"distributed"`` (requires ``cache_store``: the
+                shared store then carries results between this
+                explorer and any ``repro-worker`` processes on the
+                same path), or a ready backend instance.  A ready
+                ``engine`` carries its own backend.
         """
         if not responses:
             raise DesignError("need at least one response name")
@@ -129,6 +137,11 @@ class DesignExplorer:
             raise DesignError(
                 "pass either a ready engine or a cache_store, not both"
             )
+        if engine is not None and backend != "serial":
+            raise DesignError(
+                "a ready engine carries its own backend; pass one or "
+                "the other"
+            )
         if cache_gc is not None and cache_store is None:
             raise DesignError(
                 "cache_gc requires a cache_store here; a ready "
@@ -139,7 +152,7 @@ class DesignExplorer:
         elif cache_store is not None:
             self.engine = EvaluationEngine(
                 evaluate,
-                backend="serial",
+                backend=backend,
                 # A ready instance stays caller-owned (wrapped); a
                 # path spec resolves to a store the engine owns.
                 cache=(
@@ -151,7 +164,7 @@ class DesignExplorer:
             )
         else:
             self.engine = EvaluationEngine(
-                evaluate, backend="serial", cache=False
+                evaluate, backend=backend, cache=False
             )
 
     def close(self) -> None:

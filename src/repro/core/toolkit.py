@@ -297,10 +297,17 @@ class SensorNodeDesignToolkit:
         system_kwargs: extra keyword arguments forwarded to
             :func:`repro.presets.default_system` for every run (e.g.
             ``topology="bridge"``).
-        backend: design-point evaluation backend — ``"serial"`` or
-            ``"process"`` (chunked ``multiprocessing`` fan-out), or a
-            ready :class:`~repro.exec.backends.EvaluationBackend`.
-        workers: process-backend pool size (default: all CPUs).
+        backend: design-point evaluation backend — ``"serial"``,
+            ``"process"`` (chunked ``multiprocessing`` fan-out),
+            ``"thread"`` (``ThreadPoolExecutor`` fan-out for
+            I/O-bound evaluators), ``"distributed"`` (requires
+            ``cache_dir``/``cache_store``: design points are enqueued
+            on the durable work queue co-located with the store and
+            the study is completed cooperatively by this process and
+            any ``repro-worker`` processes attached to the same
+            path), or a ready
+            :class:`~repro.exec.backends.EvaluationBackend`.
+        workers: process/thread-backend pool size (default: all CPUs).
         chunk_size: process-backend points per dispatched chunk.
         cache: memoize evaluations content-addressed by (physical
             point, evaluation context) so design replicates, validation

@@ -1,24 +1,34 @@
-"""Parallel & memoized design-point evaluation.
+"""Parallel, memoized & distributed design-point evaluation.
 
 This package is the execution layer between the DoE/RSM flow and the
-simulation engines: a pluggable backend (serial loop or a chunked
-``multiprocessing`` fan-out) composed with a content-addressed
-evaluation cache, behind :class:`EvaluationEngine`'s single
-``map_points`` API.  :class:`~repro.core.explorer.DesignExplorer` and
+simulation engines: pluggable backends behind a futures-style
+submit/drain contract (serial loop, chunked ``multiprocessing``
+fan-out, thread pool, or a store-leased distributed backend) composed
+with a content-addressed evaluation cache, behind
+:class:`EvaluationEngine`'s single ``map_points`` API.
+:class:`~repro.core.explorer.DesignExplorer` and
 :class:`~repro.core.toolkit.SensorNodeDesignToolkit` route every
 design run, validation sweep and study through it.  Cache entries live
 in a pluggable :class:`CacheStore` — in-memory by default, or a
 file-per-fingerprint directory / WAL-mode SQLite database that shares
-evaluations across processes, CI runs and hosts.  Store *lifecycle*
-(GC budgets, compaction, verification, export/merge) lives in
-:mod:`repro.exec.lifecycle`, surfaced to operators as the
-``repro-cache`` CLI (:mod:`repro.exec.cli`).
+evaluations across processes, CI runs and hosts.  A persistent store
+doubles as the substrate of the distributed backend: a durable
+:class:`WorkQueue` (:mod:`repro.exec.queue`) co-located with the store
+hands leased design points to any number of ``repro-worker``
+processes (:mod:`repro.exec.worker`), which publish results back
+through the store.  Store *lifecycle* (GC budgets, compaction,
+verification, export/merge) lives in :mod:`repro.exec.lifecycle`,
+surfaced to operators as the ``repro-cache`` CLI
+(:mod:`repro.exec.cli`, including the ``queue`` subcommands).
 """
 
 from repro.exec.backends import (
     EvaluationBackend,
+    JobHandle,
     ProcessBackend,
     SerialBackend,
+    SynchronousBackend,
+    ThreadBackend,
     resolve_backend,
 )
 from repro.exec.cache import CacheStats, EvalCache, point_fingerprint
@@ -30,6 +40,18 @@ from repro.exec.lifecycle import (
     collect,
     merge_stores,
     register_policy,
+)
+from repro.exec.queue import (
+    QUEUE_SCHEMA_VERSION,
+    DistributedBackend,
+    FileWorkQueue,
+    Job,
+    JobRecord,
+    QueueStats,
+    SQLiteWorkQueue,
+    WorkQueue,
+    queue_for_store,
+    resolve_queue,
 )
 from repro.exec.store import (
     SCHEMA_VERSION,
@@ -43,31 +65,47 @@ from repro.exec.store import (
     VerifyReport,
     resolve_store,
 )
+from repro.exec.worker import Worker, WorkerReport
 
 __all__ = [
     "CacheStats",
     "CacheStore",
     "CompactionReport",
+    "DistributedBackend",
     "EntryMeta",
     "EvalCache",
     "EvaluationBackend",
     "EvaluationEngine",
     "FileStore",
+    "FileWorkQueue",
     "GCBudget",
     "GCReport",
+    "Job",
+    "JobHandle",
+    "JobRecord",
     "MemoryStore",
     "PointEvaluation",
     "ProcessBackend",
+    "QUEUE_SCHEMA_VERSION",
+    "QueueStats",
     "SCHEMA_VERSION",
     "SQLiteStore",
+    "SQLiteWorkQueue",
     "SerialBackend",
     "StoreStats",
+    "SynchronousBackend",
+    "ThreadBackend",
     "TransferReport",
     "VerifyReport",
+    "Worker",
+    "WorkerReport",
+    "WorkQueue",
     "collect",
     "merge_stores",
     "point_fingerprint",
+    "queue_for_store",
     "register_policy",
     "resolve_backend",
+    "resolve_queue",
     "resolve_store",
 ]

@@ -1,21 +1,43 @@
 """Evaluation backends: how a batch of design points gets executed.
 
-A backend turns ``(evaluate, points)`` into one timed result per point,
-in the order given — result ordering is part of the contract, so a
-design's response vectors are bit-identical no matter which backend ran
-them.  Two implementations ship:
+The backend contract is *futures-style*: :meth:`EvaluationBackend.submit`
+accepts ``(evaluate, points)`` and returns a :class:`JobHandle` whose
+:meth:`~JobHandle.result` yields one timed result per point, in the
+order given — result ordering is part of the contract, so a design's
+response vectors are bit-identical no matter which backend ran them.
+:meth:`EvaluationBackend.run` is the blocking convenience (submit +
+result), and :meth:`EvaluationBackend.drain` blocks until every
+outstanding handle has resolved.
 
-* :class:`SerialBackend` — today's semantics: one point after another
-  in the calling process.  When the evaluator's owner provides a batch
-  variant (see :class:`~repro.exec.engine.EvaluationEngine`), the
-  serial backend routes through it so per-point construction work is
-  amortized.
+Four implementations ship:
+
+* :class:`SerialBackend` — the reference semantics: one point after
+  another in the calling process.  When the evaluator's owner provides
+  a batch variant (see :class:`~repro.exec.engine.EvaluationEngine`),
+  the serial backend routes through it so per-point construction work
+  is amortized.
 * :class:`ProcessBackend` — fans points out over a ``multiprocessing``
   pool with chunked dispatch.  On fork platforms the workers inherit
   the parent's warm global caches (notably the envelope charging-map
   grids), so prewarming one point in the parent before a study keeps
   the children from re-measuring grids; on spawn platforms the
   evaluator must be picklable.
+* :class:`ThreadBackend` — a ``ThreadPoolExecutor`` fan-out whose
+  submit is genuinely asynchronous; the in-process reference for the
+  submit/drain contract, and the right choice for I/O-bound
+  evaluators (network services, subprocess wrappers) where the GIL is
+  released while waiting.
+* :class:`~repro.exec.queue.DistributedBackend` — enqueues points on a
+  durable :class:`~repro.exec.queue.WorkQueue` and assembles results
+  from a shared :class:`~repro.exec.store.CacheStore`, so any number
+  of ``repro-worker`` processes (or hosts) complete the batch
+  cooperatively.  Resolved by name (``"distributed"``) when the engine
+  has a persistent store.
+
+Blocking backends (serial/process) adapt to the submit/drain contract
+through the :class:`SynchronousBackend` shim: the batch executes
+eagerly at submit time and the handle is born resolved, which is
+exactly the old call-and-wait behaviour.
 """
 
 from __future__ import annotations
@@ -25,6 +47,7 @@ import multiprocessing
 import os
 import time
 from abc import ABC, abstractmethod
+from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Mapping, Sequence
 
 from repro.errors import ReproError
@@ -55,26 +78,183 @@ def _call_point(item: tuple[int, Mapping[str, float]]) -> tuple[int, dict, float
     return index, responses, time.perf_counter() - started
 
 
+def _timed_point(evaluate: Evaluator, point: Mapping[str, float]) -> PointResult:
+    started = time.perf_counter()
+    responses = dict(evaluate(point))
+    return responses, time.perf_counter() - started
+
+
+class JobHandle(ABC):
+    """One submitted batch of points, resolving to ordered results."""
+
+    @abstractmethod
+    def result(self) -> list[PointResult]:
+        """Block until every point is evaluated; results in submit
+        order.  Idempotent — repeated calls return the same list.
+        Evaluator exceptions propagate from here."""
+
+    @abstractmethod
+    def done(self) -> bool:
+        """Whether :meth:`result` would return without blocking."""
+
+    def collected(self) -> bool:
+        """Whether this handle has delivered its outcome to a caller.
+
+        ``done()`` is *not* enough to forget a handle: a batch whose
+        evaluator raised is done, but its error has not surfaced
+        until someone calls :meth:`result` — dropping it early would
+        swallow the exception ``drain`` promises to propagate.
+        """
+        return False
+
+
+class CompletedJob(JobHandle):
+    """A handle born resolved (synchronous backends)."""
+
+    def __init__(self, results: list[PointResult]):
+        self._results = results
+
+    def result(self) -> list[PointResult]:
+        return self._results
+
+    def done(self) -> bool:
+        return True
+
+    def collected(self) -> bool:
+        # Born resolved and structurally unable to carry an error —
+        # the submitting call would have raised instead.
+        return True
+
+
+class FutureJob(JobHandle):
+    """A handle over per-point ``concurrent.futures`` futures."""
+
+    def __init__(self, futures: Sequence) -> None:
+        self._futures = list(futures)
+        self._results: list[PointResult] | None = None
+
+    def result(self) -> list[PointResult]:
+        if self._results is None:
+            self._results = [future.result() for future in self._futures]
+        return self._results
+
+    def done(self) -> bool:
+        return self._results is not None or all(
+            future.done() for future in self._futures
+        )
+
+    def collected(self) -> bool:
+        return self._results is not None
+
+
 class EvaluationBackend(ABC):
-    """Executes a batch of point evaluations."""
+    """Executes batches of point evaluations (submit/drain contract)."""
 
     name: str = "abstract"
 
+    def __init__(self) -> None:
+        self._outstanding: list[JobHandle] = []
+
     @abstractmethod
+    def _submit(
+        self,
+        evaluate: Evaluator,
+        points: Sequence[Mapping[str, float]],
+        *,
+        fingerprints: Sequence[str] | None = None,
+    ) -> JobHandle:
+        """Backend-specific submission; return an unresolved handle."""
+
+    def submit(
+        self,
+        evaluate: Evaluator,
+        points: Sequence[Mapping[str, float]],
+        *,
+        fingerprints: Sequence[str] | None = None,
+    ) -> JobHandle:
+        """Submit a batch for evaluation, returning its handle.
+
+        ``fingerprints`` (optional, aligned with ``points``) are the
+        caller's content-addressed identities for the points; backends
+        that key shared storage by them (the distributed backend) use
+        them verbatim, everything else ignores them.
+        """
+        if fingerprints is not None and len(fingerprints) != len(points):
+            raise ReproError(
+                f"{len(fingerprints)} fingerprints for {len(points)} points"
+            )
+        handle = self._submit(evaluate, points, fingerprints=fingerprints)
+        # Forget only handles whose outcome someone has already taken
+        # (done-but-uncollected handles may hold an error drain() owes
+        # its caller).
+        self._outstanding = [
+            h for h in self._outstanding if not h.collected()
+        ]
+        self._outstanding.append(handle)
+        return handle
+
     def run(
-        self, evaluate: Evaluator, points: Sequence[Mapping[str, float]]
+        self,
+        evaluate: Evaluator,
+        points: Sequence[Mapping[str, float]],
+        *,
+        fingerprints: Sequence[str] | None = None,
     ) -> list[PointResult]:
-        """Evaluate every point, returning results in input order."""
+        """Evaluate every point, returning results in input order
+        (the blocking convenience: submit + result)."""
+        handle = self.submit(evaluate, points, fingerprints=fingerprints)
+        try:
+            return handle.result()
+        finally:
+            self._outstanding = [h for h in self._outstanding if h is not handle]
+
+    def drain(self) -> None:
+        """Block until every outstanding handle has resolved.
+
+        Errors propagate from the first failing handle; the remaining
+        handles stay tracked so a second drain resolves them too.
+        """
+        while self._outstanding:
+            handle = self._outstanding[0]
+            handle.result()
+            self._outstanding = [
+                h for h in self._outstanding if h is not handle
+            ]
 
     def describe(self) -> dict:
         """Backend parameters for reports and benchmark manifests."""
         return {"backend": self.name}
 
     def close(self) -> None:
-        """Release any held resources (pools); idempotent."""
+        """Release any held resources (pools, executors); idempotent."""
 
 
-class SerialBackend(EvaluationBackend):
+class SynchronousBackend(EvaluationBackend):
+    """Shim adapting blocking batch execution to submit/drain.
+
+    Subclasses implement :meth:`_execute` (the old call-and-wait
+    ``run``); submit runs the batch eagerly and hands back a handle
+    that is born resolved, so the ordering contract — and the exact
+    legacy timing behaviour — is preserved unchanged.
+    """
+
+    @abstractmethod
+    def _execute(
+        self, evaluate: Evaluator, points: Sequence[Mapping[str, float]]
+    ) -> list[PointResult]:
+        """Evaluate the whole batch, blocking, results in order."""
+
+    def _submit(
+        self,
+        evaluate: Evaluator,
+        points: Sequence[Mapping[str, float]],
+        *,
+        fingerprints: Sequence[str] | None = None,
+    ) -> JobHandle:
+        return CompletedJob(self._execute(evaluate, points))
+
+
+class SerialBackend(SynchronousBackend):
     """In-process, in-order evaluation (the reference semantics).
 
     Args:
@@ -86,9 +266,10 @@ class SerialBackend(EvaluationBackend):
     name = "serial"
 
     def __init__(self, batch_evaluate: BatchEvaluator | None = None):
+        super().__init__()
         self.batch_evaluate = batch_evaluate
 
-    def run(
+    def _execute(
         self, evaluate: Evaluator, points: Sequence[Mapping[str, float]]
     ) -> list[PointResult]:
         if self.batch_evaluate is not None:
@@ -99,12 +280,7 @@ class SerialBackend(EvaluationBackend):
                     f"for {len(points)} points"
                 )
             return [(dict(responses), seconds) for responses, seconds in results]
-        out: list[PointResult] = []
-        for point in points:
-            started = time.perf_counter()
-            responses = dict(evaluate(point))
-            out.append((responses, time.perf_counter() - started))
-        return out
+        return [_timed_point(evaluate, point) for point in points]
 
     def describe(self) -> dict:
         return {
@@ -113,8 +289,15 @@ class SerialBackend(EvaluationBackend):
         }
 
 
-class ProcessBackend(EvaluationBackend):
+class ProcessBackend(SynchronousBackend):
     """Chunked fan-out over a ``multiprocessing`` pool.
+
+    The pool's lifetime is strictly scoped to one batch: it is joined
+    on every exit path (evaluator exceptions included), and the
+    module-global evaluator handed to fork workers is restored even
+    when pool construction itself fails — so two engines in one
+    process can never cross-wire evaluators through a half-torn-down
+    run.
 
     Args:
         workers: pool size (default: all visible CPUs).
@@ -135,6 +318,7 @@ class ProcessBackend(EvaluationBackend):
         chunk_size: int | None = None,
         start_method: str | None = None,
     ):
+        super().__init__()
         if workers is not None and workers < 1:
             raise ReproError(f"workers must be >= 1, got {workers}")
         if chunk_size is not None and chunk_size < 1:
@@ -153,7 +337,7 @@ class ProcessBackend(EvaluationBackend):
             return self.chunk_size
         return max(1, math.ceil(n_points / (4 * self.workers)))
 
-    def run(
+    def _execute(
         self, evaluate: Evaluator, points: Sequence[Mapping[str, float]]
     ) -> list[PointResult]:
         if not points:
@@ -165,17 +349,28 @@ class ProcessBackend(EvaluationBackend):
         # Fork workers inherit the module global; spawn workers receive
         # it through the (pickled) initializer argument.
         _WORKER_EVALUATE = evaluate
-        initargs = () if self.start_method == "fork" else (evaluate,)
+        pool = None
         try:
-            with self._context.Pool(
+            initargs = () if self.start_method == "fork" else (evaluate,)
+            pool = self._context.Pool(
                 processes=min(self.workers, len(points)),
                 initializer=_init_worker,
                 initargs=initargs,
-            ) as pool:
-                indexed = pool.map(
-                    _call_point, list(enumerate(points)), chunksize=chunk
-                )
+            )
+            indexed = pool.map(
+                _call_point, list(enumerate(points)), chunksize=chunk
+            )
+            pool.close()
+        except BaseException:
+            if pool is not None:
+                pool.terminate()
+            raise
         finally:
+            # Join on every exit path: an evaluator exception must not
+            # leave unjoined workers behind, and the global must be
+            # restored even when Pool construction itself raised.
+            if pool is not None:
+                pool.join()
             _WORKER_EVALUATE = previous
         indexed.sort(key=lambda triple: triple[0])
         return [(responses, seconds) for _, responses, seconds in indexed]
@@ -190,19 +385,95 @@ class ProcessBackend(EvaluationBackend):
         }
 
 
+class ThreadBackend(EvaluationBackend):
+    """Per-point fan-out over a ``ThreadPoolExecutor``.
+
+    Submission is genuinely asynchronous — ``submit`` returns while
+    the points evaluate on pool threads, and several submitted batches
+    make progress concurrently until ``drain``/``result`` collects
+    them.  For the CPU-bound mission simulators the GIL serializes the
+    work (use the process backend for those); the thread backend is
+    for I/O-bound evaluators and as the in-process reference
+    implementation of the submit/drain contract.
+
+    Args:
+        workers: pool threads (default: all visible CPUs).
+    """
+
+    name = "thread"
+
+    def __init__(self, workers: int | None = None):
+        super().__init__()
+        if workers is not None and workers < 1:
+            raise ReproError(f"workers must be >= 1, got {workers}")
+        self.workers = workers if workers is not None else (os.cpu_count() or 1)
+        self._executor: ThreadPoolExecutor | None = None
+
+    def _ensure_executor(self) -> ThreadPoolExecutor:
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=self.workers,
+                thread_name_prefix="repro-eval",
+            )
+        return self._executor
+
+    def _submit(
+        self,
+        evaluate: Evaluator,
+        points: Sequence[Mapping[str, float]],
+        *,
+        fingerprints: Sequence[str] | None = None,
+    ) -> JobHandle:
+        executor = self._ensure_executor()
+        futures = [
+            executor.submit(_timed_point, evaluate, point)
+            for point in points
+        ]
+        return FutureJob(futures)
+
+    def describe(self) -> dict:
+        return {"backend": self.name, "workers": self.workers}
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+
 def resolve_backend(
-    spec: str | EvaluationBackend,
+    spec: "str | EvaluationBackend",
     workers: int | None = None,
     chunk_size: int | None = None,
     batch_evaluate: BatchEvaluator | None = None,
+    store: object = None,
 ) -> EvaluationBackend:
-    """Build a backend from a name ("serial" / "process") or pass one through."""
+    """Build a backend from a name or pass a ready one through.
+
+    Names: ``"serial"``, ``"process"``, ``"thread"``, or
+    ``"distributed"`` (which needs ``store`` — the persistent
+    :class:`~repro.exec.store.CacheStore` workers publish results
+    into; the work queue is derived from it, see
+    :func:`~repro.exec.queue.queue_for_store`).
+    """
     if isinstance(spec, EvaluationBackend):
         return spec
     if spec == "serial":
         return SerialBackend(batch_evaluate=batch_evaluate)
     if spec == "process":
         return ProcessBackend(workers=workers, chunk_size=chunk_size)
+    if spec == "thread":
+        return ThreadBackend(workers=workers)
+    if spec == "distributed":
+        from repro.exec.queue import DistributedBackend
+
+        if store is None:
+            raise ReproError(
+                "the distributed backend needs a persistent cache store "
+                "to publish results through; pass cache_dir=/cache_store= "
+                "(or construct DistributedBackend yourself)"
+            )
+        return DistributedBackend(store=store)
     raise ReproError(
-        f"unknown evaluation backend {spec!r}; pick 'serial' or 'process'"
+        f"unknown evaluation backend {spec!r}; pick 'serial', 'process', "
+        f"'thread' or 'distributed'"
     )

@@ -16,6 +16,15 @@ with one uniform command set::
     python -m repro.exec.cli export ~/evals /mnt/share/evals.sqlite
     python -m repro.exec.cli merge  ~/evals /mnt/share/other-host
     python -m repro.exec.cli verify ~/evals --repair
+    python -m repro.exec.cli queue stats   ~/evals
+    python -m repro.exec.cli queue ls      ~/evals --status failed
+    python -m repro.exec.cli queue requeue ~/evals --failed --expired
+
+The ``queue`` family inspects and repairs the distributed work queue
+co-located with a store (see :mod:`repro.exec.queue`): ``stats``
+counts jobs by status (exit 2 when failed jobs remain, so CI can
+gate), ``ls`` lists job rows, and ``requeue`` returns failed /
+lease-expired / named jobs to pending for the next worker.
 
 (Installed as the ``repro-cache`` console script; ``python -m
 repro.exec.cli`` always works from a checkout.)  Every subcommand
@@ -38,6 +47,7 @@ from typing import Callable, Sequence
 
 from repro.errors import ReproError
 from repro.exec.lifecycle import GCBudget, POLICIES, collect
+from repro.exec.queue import JOB_STATUSES, WorkQueue, resolve_queue
 from repro.exec.store import CacheStore, FileStore, resolve_store
 
 PROG = "repro-cache"
@@ -400,6 +410,124 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         store.close()
 
 
+# -- queue subcommands ---------------------------------------------------------
+
+
+def _open_queue(spec: str) -> WorkQueue:
+    """Resolve the work queue co-located with an existing store path
+    (same no-store-springs-into-existence rule as ``_open_store``)."""
+    path = Path(spec)
+    if not path.exists():
+        raise CliError(
+            f"no store at {spec!r} (a directory or *.sqlite/*.db file); "
+            f"pass an existing store"
+        )
+    try:
+        return resolve_queue(spec)
+    except ReproError as error:
+        raise CliError(str(error)) from error
+
+
+def _cmd_queue_stats(args: argparse.Namespace) -> int:
+    queue = _open_queue(args.store)
+    try:
+        stats = queue.stats()
+        payload = {**queue.describe(), **stats.as_dict()}
+        text = [
+            f"queue:    {queue.name} @ {args.store}",
+            f"pending:  {stats.pending}",
+            f"leased:   {stats.leased} ({stats.expired} lease-expired)",
+            f"done:     {stats.done}",
+            f"failed:   {stats.failed}",
+        ]
+        if stats.invalid:
+            text.append(f"invalid:  {stats.invalid} unreadable payloads")
+        _emit(args, payload, text)
+        # Failed jobs are work the fleet silently lost; make CI see it.
+        return 2 if stats.failed > 0 else 0
+    finally:
+        queue.close()
+
+
+def _cmd_queue_ls(args: argparse.Namespace) -> int:
+    queue = _open_queue(args.store)
+    try:
+        records = [
+            record
+            for record in queue.jobs()
+            if args.status is None or record.status == args.status
+        ]
+        if args.limit:
+            records = records[: args.limit]
+        payload = {"jobs": [record.as_dict() for record in records]}
+        text = [
+            f"{'job':16}  {'status':8}  {'attempts':>8}  "
+            f"{'worker':20}  {'enqueued':19}  error"
+        ]
+        for record in records:
+            text.append(
+                f"{record.job_id[:16]:16}  {record.status:8}  "
+                f"{record.attempts:>8}  "
+                f"{(record.worker_id or '-')[:20]:20}  "
+                f"{_fmt_stamp(record.enqueued_at):19}  "
+                f"{record.error or '-'}"
+            )
+        _emit(args, payload, text)
+        return 0
+    finally:
+        queue.close()
+
+
+def _resolve_job_prefix(queue: WorkQueue, prefix: str) -> str:
+    matches = [
+        record.job_id
+        for record in queue.jobs()
+        if record.job_id.startswith(prefix)
+    ]
+    if not matches:
+        raise CliError(f"no job matches id prefix {prefix!r}")
+    if len(matches) > 1:
+        raise CliError(
+            f"job id prefix {prefix!r} is ambiguous "
+            f"({len(matches)} matches); give more characters"
+        )
+    return matches[0]
+
+
+def _cmd_queue_requeue(args: argparse.Namespace) -> int:
+    if not args.jobs and not args.failed and not args.expired:
+        raise CliError(
+            "requeue needs job id prefixes, --failed, or --expired"
+        )
+    queue = _open_queue(args.store)
+    try:
+        requeued = 0
+        reclaimed = 0
+        if args.expired:
+            reclaimed = queue.reclaim()
+        if args.failed:
+            for record in list(queue.jobs()):
+                if record.status == "failed" and queue.requeue(
+                    record.job_id
+                ):
+                    requeued += 1
+        for prefix in args.jobs:
+            if queue.requeue(_resolve_job_prefix(queue, prefix)):
+                requeued += 1
+        payload = {"requeued": requeued, "reclaimed": reclaimed}
+        _emit(
+            args,
+            payload,
+            [
+                f"requeued {requeued} jobs, reclaimed {reclaimed} "
+                f"expired leases"
+            ],
+        )
+        return 0
+    finally:
+        queue.close()
+
+
 # -- wiring --------------------------------------------------------------------
 
 
@@ -493,6 +621,42 @@ def build_parser() -> argparse.ArgumentParser:
         "--repair", action="store_true", help="drop invalid entries"
     )
     verify.set_defaults(func=_cmd_verify)
+
+    queue = sub.add_parser(
+        "queue", help="inspect/manage the work queue beside a store"
+    )
+    qsub = queue.add_subparsers(dest="queue_command", required=True)
+
+    qsub.add_parser(
+        "stats", parents=[common],
+        help="job counts by status; exit 2 if failed jobs remain",
+    ).set_defaults(func=_cmd_queue_stats)
+
+    qls = qsub.add_parser("ls", parents=[common], help="list job rows")
+    qls.add_argument(
+        "--status", choices=JOB_STATUSES, default=None,
+        help="only this status",
+    )
+    qls.add_argument(
+        "--limit", type=int, default=0, help="show at most N jobs"
+    )
+    qls.set_defaults(func=_cmd_queue_ls)
+
+    qrequeue = qsub.add_parser(
+        "requeue", parents=[common],
+        help="return failed/expired/named jobs to pending",
+    )
+    qrequeue.add_argument(
+        "jobs", nargs="*", help="job id prefixes to requeue"
+    )
+    qrequeue.add_argument(
+        "--failed", action="store_true", help="requeue every failed job"
+    )
+    qrequeue.add_argument(
+        "--expired", action="store_true",
+        help="reclaim every lease-expired job",
+    )
+    qrequeue.set_defaults(func=_cmd_queue_requeue)
     return parser
 
 

@@ -72,7 +72,10 @@ class EvaluationEngine:
 
     Args:
         evaluate: the black-box point evaluator.
-        backend: "serial", "process", or a backend instance.
+        backend: "serial", "process", "thread", "distributed" (needs
+            a persistent cache store — results then travel through it
+            and any number of ``repro-worker`` processes share the
+            work), or a ready backend instance.
         cache: True for an unbounded in-memory :class:`EvalCache`,
             False/None to disable memoization, a ready cache instance
             (sharable across engines), or a
@@ -109,12 +112,6 @@ class EvaluationEngine:
         cache_gc: GCBudget | Mapping | None = None,
     ):
         self.evaluate = evaluate
-        self.backend = resolve_backend(
-            backend,
-            workers=workers,
-            chunk_size=chunk_size,
-            batch_evaluate=batch_evaluate,
-        )
         # Ownership follows construction: the engine closes what it
         # wrapped itself (cache=True, or a bare store handed over),
         # while a ready EvalCache stays caller-owned so a shared
@@ -133,6 +130,16 @@ class EvaluationEngine:
                 "cache must be bool, None, EvalCache or CacheStore, "
                 f"got {type(cache)!r}"
             )
+        # Resolved after the cache so backend="distributed" can share
+        # its store: workers then publish results under exactly the
+        # fingerprints this engine's cache looks up.
+        self.backend = resolve_backend(
+            backend,
+            workers=workers,
+            chunk_size=chunk_size,
+            batch_evaluate=batch_evaluate,
+            store=self.cache.store if self.cache is not None else None,
+        )
         self.cache_gc = GCBudget.of(cache_gc)
         if self.cache_gc is not None and self.cache is None:
             raise ReproError(
@@ -164,7 +171,9 @@ class EvaluationEngine:
             # No memoization: every point runs, replicates included,
             # which reproduces the legacy evaluation behaviour exactly.
             self.batches_dispatched += 1
-            evaluated = self.backend.run(self.evaluate, points)
+            evaluated = self.backend.run(
+                self.evaluate, points, fingerprints=fingerprints
+            )
             if len(evaluated) != n:
                 raise ReproError(
                     f"backend returned {len(evaluated)} results for "
@@ -205,17 +214,29 @@ class EvaluationEngine:
         # Backend pass over the unique misses.
         if pending_points:
             self.batches_dispatched += 1
-            evaluated = self.backend.run(self.evaluate, pending_points)
+            evaluated = self.backend.run(
+                self.evaluate, pending_points, fingerprints=list(pending)
+            )
             if len(evaluated) != len(pending_points):
                 raise ReproError(
                     f"backend returned {len(evaluated)} results for "
                     f"{len(pending_points)} points"
                 )
             self.points_evaluated += len(evaluated)
+            # A backend that already published every result into this
+            # cache's own store (the distributed backend routes them
+            # through it) would make cache.put a second, byte-identical
+            # write per point — skip the redundant persist.
+            persist = not (
+                getattr(self.backend, "publishes_results", False)
+                and getattr(self.backend, "store", None)
+                is self.cache.store
+            )
             for (fp, slots), (responses, seconds) in zip(
                 pending.items(), evaluated
             ):
-                self.cache.put(fp, responses)
+                if persist:
+                    self.cache.put(fp, responses)
                 for j, i in enumerate(slots):
                     results[i] = PointEvaluation(
                         responses=dict(responses),

@@ -1,0 +1,1371 @@
+"""Durable work queues and the store-leased distributed backend.
+
+A :class:`WorkQueue` is the dispatch half of the shared substrate the
+persistent :class:`~repro.exec.store.CacheStore` began: submitters
+enqueue design points as durable *jobs*, any number of workers —
+other processes, other hosts — atomically :meth:`~WorkQueue.lease`
+them, publish responses into the shared store, and
+:meth:`~WorkQueue.complete` the job.  Leases carry a TTL and can be
+:meth:`~WorkQueue.heartbeat`-extended; a worker that dies mid-lease
+simply stops renewing, and its jobs are reclaimed for the survivors —
+no point is ever lost, because every state transition is atomic and
+evaluations are deterministic (the worst crash window duplicates an
+evaluation whose payload is identical, never corrupts one).
+
+Two implementations mirror the store pair:
+
+* :class:`SQLiteWorkQueue` — a ``queue_jobs`` table in a WAL-mode
+  database, which may be *the same file* as a
+  :class:`~repro.exec.store.SQLiteStore`: one ``.sqlite`` path then
+  carries both halves of the substrate.  Leasing is a single
+  ``BEGIN IMMEDIATE`` transaction, and an expired lease is reclaimed
+  by the next lease call automatically.
+* :class:`FileWorkQueue` — one JSON file per job whose *filename*
+  carries the status (``<job>.pending.json`` → ``.leased`` → ``.done``
+  / ``.failed``); claims are exclusive because ``os.rename`` has
+  exactly one winner.  Inside a store directory it lives in the
+  ``.queue/`` subdirectory (dot-prefixed, so the file store never
+  mistakes queue rows for cache blobs).
+
+:func:`resolve_queue` maps one path spec to the right queue the same
+way :func:`~repro.exec.store.resolve_store` does for stores, and
+:func:`queue_for_store` derives the queue co-located with a store —
+the topology every worker and submitter shares by just pointing at
+one path.
+
+:class:`DistributedBackend` is the execution side: ``submit`` checks
+the shared store, enqueues the misses, and the returned handle
+assembles ordered results as they appear in the store — optionally
+*cooperating* (leasing and evaluating jobs itself while it waits), so
+one process completes alone, and N processes running the same study
+against one path split the work between them.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import tempfile
+import time
+import uuid
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, Mapping, Sequence
+
+from repro.errors import ReproError
+from repro.exec.backends import (
+    EvaluationBackend,
+    Evaluator,
+    JobHandle,
+    PointResult,
+)
+from repro.exec.store import CacheStore, FileStore, SQLiteStore, resolve_store
+
+#: On-disk schema version of queue rows/files; a mismatched job is
+#: marked failed (never silently evaluated under stale semantics).
+QUEUE_SCHEMA_VERSION = 1
+
+#: Subdirectory a file queue occupies inside a store directory.
+QUEUE_SUBDIR = ".queue"
+
+#: Every status a job can be in.  pending -> leased -> done, with
+#: failed as the terminal state after ``max_attempts`` leases.
+JOB_STATUSES = ("pending", "leased", "done", "failed")
+
+#: Lease horizon assumed for a leased job whose record predates its
+#: worker writing the lease stamp (a claim crashed mid-transition).
+_FALLBACK_LEASE_SECONDS = 60.0
+
+
+@dataclass
+class Job:
+    """One unit of work: evaluate a physical design point.
+
+    ``job_id`` is the submitter's content-addressed identity for the
+    point (the cache fingerprint), so the queue deduplicates
+    concurrent submitters for free and workers publish results under
+    exactly the key the submitter polls.
+    """
+
+    job_id: str
+    point: dict[str, float]
+
+
+@dataclass
+class JobRecord:
+    """One job's queue row, for inspection and the CLI.
+
+    Attributes:
+        job_id: content hash the job is filed under.
+        status: one of :data:`JOB_STATUSES`.
+        point: the payload (None when unreadable).
+        worker_id: current/last lease holder.
+        attempts: leases taken so far.
+        enqueued_at / lease_expires_at / completed_at: epoch stamps.
+        seconds: evaluation wall time reported on completion.
+        error: last failure message, if any.
+    """
+
+    job_id: str
+    status: str
+    point: dict[str, float] | None = None
+    worker_id: str | None = None
+    attempts: int = 0
+    enqueued_at: float | None = None
+    lease_expires_at: float | None = None
+    completed_at: float | None = None
+    seconds: float | None = None
+    error: str | None = None
+
+    def as_dict(self) -> dict:
+        return {
+            "job_id": self.job_id,
+            "status": self.status,
+            "point": self.point,
+            "worker_id": self.worker_id,
+            "attempts": self.attempts,
+            "enqueued_at": self.enqueued_at,
+            "lease_expires_at": self.lease_expires_at,
+            "completed_at": self.completed_at,
+            "seconds": self.seconds,
+            "error": self.error,
+        }
+
+
+@dataclass
+class QueueStats:
+    """Occupancy of one queue, by status.
+
+    ``expired`` counts the subset of leased jobs whose lease has
+    lapsed (reclaimable by the next lease/reclaim call); ``invalid``
+    counts rows whose payload no longer decodes.
+    """
+
+    pending: int = 0
+    leased: int = 0
+    done: int = 0
+    failed: int = 0
+    expired: int = 0
+    invalid: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.pending + self.leased + self.done + self.failed
+
+    @property
+    def outstanding(self) -> int:
+        """Jobs not yet finished (pending + leased)."""
+        return self.pending + self.leased
+
+    def as_dict(self) -> dict:
+        return {
+            "pending": self.pending,
+            "leased": self.leased,
+            "done": self.done,
+            "failed": self.failed,
+            "expired": self.expired,
+            "invalid": self.invalid,
+            "total": self.total,
+            "outstanding": self.outstanding,
+        }
+
+
+def _validate_point(payload: object) -> dict[str, float] | None:
+    """A job's point from its decoded payload, or None."""
+    if not isinstance(payload, dict):
+        return None
+    out: dict[str, float] = {}
+    for name, value in payload.items():
+        if not isinstance(name, str) or not isinstance(value, (int, float)):
+            return None
+        out[name] = float(value)
+    return out
+
+
+def default_worker_id() -> str:
+    """A worker identity unique across hosts and processes."""
+    import socket
+
+    return f"{socket.gethostname()}-{os.getpid()}-{uuid.uuid4().hex[:6]}"
+
+
+class WorkQueue(ABC):
+    """Durable, multi-process job queue over design points.
+
+    The contract: :meth:`submit` deduplicates on ``job_id`` (a job
+    already known in any status is not re-added), :meth:`lease`
+    atomically claims up to ``n`` runnable jobs (pending ones plus
+    leased ones whose TTL lapsed — reclamation is built into the
+    claim), :meth:`complete`/:meth:`fail` only honour the current
+    lease holder (a late call from a worker whose lease was reclaimed
+    is a no-op returning False), and every transition is atomic, so a
+    killed worker can delay a point but never lose one.
+
+    Args:
+        max_attempts: leases after which a job goes terminally
+            ``failed`` instead of back to pending.
+    """
+
+    name: str = "abstract"
+
+    def __init__(self, max_attempts: int = 3):
+        if max_attempts < 1:
+            raise ReproError(
+                f"max_attempts must be >= 1, got {max_attempts}"
+            )
+        self.max_attempts = max_attempts
+
+    @abstractmethod
+    def submit(self, jobs: Sequence[Job]) -> int:
+        """Enqueue jobs; returns how many were actually new."""
+
+    @abstractmethod
+    def lease(
+        self,
+        worker_id: str,
+        n: int = 1,
+        lease_seconds: float = 60.0,
+        now: float | None = None,
+    ) -> list[Job]:
+        """Atomically claim up to ``n`` runnable jobs for a worker."""
+
+    @abstractmethod
+    def complete(
+        self,
+        worker_id: str,
+        job_id: str,
+        *,
+        seconds: float = 0.0,
+        now: float | None = None,
+    ) -> bool:
+        """Mark a leased job done; False if the lease is not held."""
+
+    @abstractmethod
+    def fail(
+        self,
+        worker_id: str,
+        job_id: str,
+        error: str = "",
+        now: float | None = None,
+    ) -> bool:
+        """Record a failed attempt — back to pending, or terminally
+        failed once ``max_attempts`` leases are spent."""
+
+    @abstractmethod
+    def heartbeat(
+        self,
+        worker_id: str,
+        lease_seconds: float = 60.0,
+        now: float | None = None,
+    ) -> int:
+        """Extend every lease a worker holds; returns how many."""
+
+    @abstractmethod
+    def reclaim(self, now: float | None = None) -> int:
+        """Return expired leases to pending; returns how many."""
+
+    @abstractmethod
+    def requeue(self, job_id: str, now: float | None = None) -> bool:
+        """Force a non-pending job back to pending with fresh
+        attempts (operator override; False if absent or pending)."""
+
+    @abstractmethod
+    def purge(
+        self,
+        statuses: Sequence[str] = ("done", "failed"),
+        older_than_seconds: float = 0.0,
+        now: float | None = None,
+    ) -> int:
+        """Drop finished rows older than a horizon; returns count."""
+
+    @abstractmethod
+    def job(self, job_id: str) -> JobRecord | None:
+        """One job's record, or None."""
+
+    @abstractmethod
+    def jobs(self) -> Iterator[JobRecord]:
+        """Iterate every job record."""
+
+    @abstractmethod
+    def __len__(self) -> int:
+        """Total rows, all statuses."""
+
+    def stats(self, now: float | None = None) -> QueueStats:
+        """Occupancy by status (one scan)."""
+        clock = time.time() if now is None else now
+        stats = QueueStats()
+        for record in self.jobs():
+            if record.status == "pending":
+                stats.pending += 1
+            elif record.status == "leased":
+                stats.leased += 1
+                expiry = record.lease_expires_at
+                if expiry is not None and expiry < clock:
+                    stats.expired += 1
+            elif record.status == "done":
+                stats.done += 1
+            elif record.status == "failed":
+                stats.failed += 1
+            if record.point is None:
+                stats.invalid += 1
+        return stats
+
+    def describe(self) -> dict:
+        """Queue parameters for reports and manifests."""
+        return {"queue": self.name, "max_attempts": self.max_attempts}
+
+    def close(self) -> None:
+        """Release held resources (connections); idempotent."""
+
+
+class SQLiteWorkQueue(WorkQueue):
+    """Job rows in a WAL-mode SQLite database.
+
+    The ``queue_jobs`` table happily shares a database file with
+    :class:`~repro.exec.store.SQLiteStore`'s ``evaluations`` table —
+    one ``.sqlite`` path is then the whole distributed substrate
+    (results + work).  Unlike the store, the queue never deletes a
+    corrupt database (it may hold a healthy evaluations table it has
+    no right to destroy); open errors propagate.
+
+    Args:
+        path: database file; parent directories are created.
+        timeout: seconds a writer waits on a locked database.
+        max_attempts: see :class:`WorkQueue`.
+    """
+
+    name = "sqlite"
+
+    def __init__(
+        self,
+        path: str | os.PathLike,
+        timeout: float = 30.0,
+        max_attempts: int = 3,
+    ):
+        super().__init__(max_attempts=max_attempts)
+        self.path = Path(path)
+        self.timeout = float(timeout)
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+        except OSError as error:
+            raise ReproError(
+                f"cannot create queue directory {self.path.parent}: {error}"
+            ) from error
+        self._closed = False
+        self._conn = self._open()
+
+    def _open(self) -> sqlite3.Connection:
+        conn = sqlite3.connect(str(self.path), timeout=self.timeout)
+        # Autocommit mode: leasing needs an explicit BEGIN IMMEDIATE,
+        # and sqlite3's implicit transactions would fight it.
+        conn.isolation_level = None
+        try:
+            conn.execute("PRAGMA journal_mode=WAL")
+            conn.execute("PRAGMA synchronous=NORMAL")
+            conn.execute(
+                "CREATE TABLE IF NOT EXISTS queue_jobs ("
+                " job_id TEXT PRIMARY KEY,"
+                " schema_version INTEGER NOT NULL,"
+                " payload TEXT NOT NULL,"
+                " status TEXT NOT NULL DEFAULT 'pending',"
+                " worker_id TEXT,"
+                " attempts INTEGER NOT NULL DEFAULT 0,"
+                " enqueued_at REAL NOT NULL,"
+                " lease_expires_at REAL,"
+                " completed_at REAL,"
+                " seconds REAL,"
+                " error TEXT)"
+            )
+            conn.execute(
+                "CREATE INDEX IF NOT EXISTS queue_jobs_status"
+                " ON queue_jobs (status, enqueued_at)"
+            )
+        except sqlite3.DatabaseError:
+            conn.close()
+            raise
+        return conn
+
+    def submit(self, jobs: Sequence[Job]) -> int:
+        now = time.time()
+        added = 0
+        for job in jobs:
+            cursor = self._conn.execute(
+                "INSERT OR IGNORE INTO queue_jobs"
+                " (job_id, schema_version, payload, status, enqueued_at)"
+                " VALUES (?, ?, ?, 'pending', ?)",
+                (
+                    job.job_id,
+                    QUEUE_SCHEMA_VERSION,
+                    json.dumps(dict(job.point), sort_keys=True),
+                    now,
+                ),
+            )
+            added += max(cursor.rowcount, 0)
+        return added
+
+    def lease(
+        self,
+        worker_id: str,
+        n: int = 1,
+        lease_seconds: float = 60.0,
+        now: float | None = None,
+    ) -> list[Job]:
+        if n < 1:
+            raise ReproError(f"lease size must be >= 1, got {n}")
+        clock = time.time() if now is None else now
+        claimed: list[Job] = []
+        self._conn.execute("BEGIN IMMEDIATE")
+        try:
+            rows = self._conn.execute(
+                "SELECT job_id, schema_version, payload, attempts"
+                " FROM queue_jobs"
+                " WHERE status = 'pending'"
+                "    OR (status = 'leased' AND lease_expires_at < ?)"
+                " ORDER BY enqueued_at, job_id LIMIT ?",
+                (clock, n),
+            ).fetchall()
+            for job_id, schema_version, payload, attempts in rows:
+                point = self._decode_payload(schema_version, payload)
+                if point is None:
+                    # Unreadable work is unrunnable work: fail it in
+                    # place so it cannot wedge a drain loop.
+                    self._conn.execute(
+                        "UPDATE queue_jobs SET status = 'failed',"
+                        " worker_id = NULL, lease_expires_at = NULL,"
+                        " error = 'corrupt or mis-versioned payload'"
+                        " WHERE job_id = ?",
+                        (job_id,),
+                    )
+                    continue
+                if attempts >= self.max_attempts:
+                    # An expired lease that already spent its attempts
+                    # goes terminal instead of cycling forever.
+                    self._conn.execute(
+                        "UPDATE queue_jobs SET status = 'failed',"
+                        " worker_id = NULL, lease_expires_at = NULL,"
+                        " error = COALESCE(error, 'lease attempts exhausted')"
+                        " WHERE job_id = ?",
+                        (job_id,),
+                    )
+                    continue
+                self._conn.execute(
+                    "UPDATE queue_jobs SET status = 'leased',"
+                    " worker_id = ?, lease_expires_at = ?,"
+                    " attempts = attempts + 1 WHERE job_id = ?",
+                    (worker_id, clock + lease_seconds, job_id),
+                )
+                claimed.append(Job(job_id=job_id, point=point))
+            self._conn.execute("COMMIT")
+        except BaseException:
+            self._conn.execute("ROLLBACK")
+            raise
+        return claimed
+
+    @staticmethod
+    def _decode_payload(
+        schema_version: int, payload: str
+    ) -> dict[str, float] | None:
+        if schema_version != QUEUE_SCHEMA_VERSION:
+            return None
+        try:
+            decoded = json.loads(payload)
+        except ValueError:
+            return None
+        return _validate_point(decoded)
+
+    def complete(
+        self,
+        worker_id: str,
+        job_id: str,
+        *,
+        seconds: float = 0.0,
+        now: float | None = None,
+    ) -> bool:
+        clock = time.time() if now is None else now
+        cursor = self._conn.execute(
+            "UPDATE queue_jobs SET status = 'done', completed_at = ?,"
+            " seconds = ?, lease_expires_at = NULL, error = NULL"
+            " WHERE job_id = ? AND status = 'leased' AND worker_id = ?",
+            (clock, seconds, job_id, worker_id),
+        )
+        return cursor.rowcount > 0
+
+    def fail(
+        self,
+        worker_id: str,
+        job_id: str,
+        error: str = "",
+        now: float | None = None,
+    ) -> bool:
+        cursor = self._conn.execute(
+            "UPDATE queue_jobs SET"
+            " status = CASE WHEN attempts >= ? THEN 'failed'"
+            "               ELSE 'pending' END,"
+            " worker_id = NULL, lease_expires_at = NULL, error = ?"
+            " WHERE job_id = ? AND status = 'leased' AND worker_id = ?",
+            (self.max_attempts, error or None, job_id, worker_id),
+        )
+        return cursor.rowcount > 0
+
+    def heartbeat(
+        self,
+        worker_id: str,
+        lease_seconds: float = 60.0,
+        now: float | None = None,
+    ) -> int:
+        clock = time.time() if now is None else now
+        cursor = self._conn.execute(
+            "UPDATE queue_jobs SET lease_expires_at = ?"
+            " WHERE status = 'leased' AND worker_id = ?",
+            (clock + lease_seconds, worker_id),
+        )
+        return max(cursor.rowcount, 0)
+
+    def reclaim(self, now: float | None = None) -> int:
+        clock = time.time() if now is None else now
+        cursor = self._conn.execute(
+            "UPDATE queue_jobs SET status = 'pending',"
+            " worker_id = NULL, lease_expires_at = NULL"
+            " WHERE status = 'leased' AND lease_expires_at < ?",
+            (clock,),
+        )
+        return max(cursor.rowcount, 0)
+
+    def requeue(self, job_id: str, now: float | None = None) -> bool:
+        cursor = self._conn.execute(
+            "UPDATE queue_jobs SET status = 'pending', worker_id = NULL,"
+            " lease_expires_at = NULL, completed_at = NULL,"
+            " seconds = NULL, error = NULL, attempts = 0"
+            " WHERE job_id = ? AND status != 'pending'",
+            (job_id,),
+        )
+        return cursor.rowcount > 0
+
+    def purge(
+        self,
+        statuses: Sequence[str] = ("done", "failed"),
+        older_than_seconds: float = 0.0,
+        now: float | None = None,
+    ) -> int:
+        clock = time.time() if now is None else now
+        cutoff = clock - max(older_than_seconds, 0.0)
+        marks = ",".join("?" for _ in statuses)
+        cursor = self._conn.execute(
+            f"DELETE FROM queue_jobs WHERE status IN ({marks})"
+            " AND COALESCE(completed_at, enqueued_at) < ?",
+            (*statuses, cutoff),
+        )
+        return max(cursor.rowcount, 0)
+
+    _ROW_COLUMNS = (
+        "job_id, schema_version, payload, status, worker_id, attempts,"
+        " enqueued_at, lease_expires_at, completed_at, seconds, error"
+    )
+
+    def _record(self, row: tuple) -> JobRecord:
+        (
+            job_id,
+            schema_version,
+            payload,
+            status,
+            worker_id,
+            attempts,
+            enqueued_at,
+            lease_expires_at,
+            completed_at,
+            seconds,
+            error,
+        ) = row
+        return JobRecord(
+            job_id=job_id,
+            status=status,
+            point=self._decode_payload(schema_version, payload),
+            worker_id=worker_id,
+            attempts=int(attempts or 0),
+            enqueued_at=enqueued_at,
+            lease_expires_at=lease_expires_at,
+            completed_at=completed_at,
+            seconds=seconds,
+            error=error,
+        )
+
+    def job(self, job_id: str) -> JobRecord | None:
+        row = self._conn.execute(
+            f"SELECT {self._ROW_COLUMNS} FROM queue_jobs"
+            " WHERE job_id = ?",
+            (job_id,),
+        ).fetchone()
+        return self._record(row) if row is not None else None
+
+    def jobs(self) -> Iterator[JobRecord]:
+        rows = self._conn.execute(
+            f"SELECT {self._ROW_COLUMNS} FROM queue_jobs"
+            " ORDER BY enqueued_at, job_id"
+        ).fetchall()
+        for row in rows:
+            yield self._record(row)
+
+    def __len__(self) -> int:
+        row = self._conn.execute(
+            "SELECT COUNT(*) FROM queue_jobs"
+        ).fetchone()
+        return int(row[0])
+
+    def describe(self) -> dict:
+        return {
+            "queue": self.name,
+            "path": str(self.path),
+            "max_attempts": self.max_attempts,
+        }
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self._conn.close()
+
+    # Mirror SQLiteStore: connections cannot pickle, paths can.
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        del state["_conn"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._closed = False
+        self._conn = self._open()
+
+
+class FileWorkQueue(WorkQueue):
+    """One JSON file per job; the filename carries the status.
+
+    A job lives at ``<dir>/<job_id>.<status>.json`` and moves between
+    statuses by ``os.rename`` — atomic on POSIX, with exactly one
+    winner, which is the whole claim protocol: the worker that renames
+    ``.pending`` to ``.claim`` owns the job, stamps its lease into the
+    payload and renames on to ``.leased``.  A crash between those
+    steps leaves a single file whose *content* status is ahead of its
+    *name*; :meth:`reclaim` heals such strays (content wins), so the
+    worst a kill can do is hand a deterministic evaluation to two
+    workers — never lose it.
+
+    Args:
+        directory: queue root; created if absent.
+        max_attempts: see :class:`WorkQueue`.
+    """
+
+    name = "file"
+
+    def __init__(self, directory: str | os.PathLike, max_attempts: int = 3):
+        super().__init__(max_attempts=max_attempts)
+        self.directory = Path(directory)
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        except OSError as error:
+            raise ReproError(
+                f"cannot create queue directory {self.directory}: {error}"
+            ) from error
+
+    # -- paths ---------------------------------------------------------------
+
+    def _path(self, job_id: str, status: str) -> Path:
+        return self.directory / f"{job_id}.{status}.json"
+
+    @staticmethod
+    def _parse_name(name: str) -> tuple[str, str] | None:
+        if not name.endswith(".json") or name.startswith("."):
+            return None
+        stem = name[: -len(".json")]
+        job_id, dot, status = stem.rpartition(".")
+        if not dot or status not in (*JOB_STATUSES, "claim"):
+            return None
+        return job_id, status
+
+    def _job_files(self) -> list[tuple[str, str, Path]]:
+        out = []
+        try:
+            names = sorted(os.listdir(self.directory))
+        except OSError:  # pragma: no cover - directory raced away
+            return []
+        for name in names:
+            parsed = self._parse_name(name)
+            if parsed is not None:
+                out.append((*parsed, self.directory / name))
+        return out
+
+    def _read(self, path: Path) -> dict | None:
+        try:
+            blob = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None
+        if (
+            not isinstance(blob, dict)
+            or blob.get("schema") != QUEUE_SCHEMA_VERSION
+        ):
+            return None
+        return blob
+
+    def _write(self, path: Path, blob: Mapping) -> None:
+        fd, tmp_name = tempfile.mkstemp(
+            dir=self.directory, prefix=".write-", suffix=".part"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(blob, handle, sort_keys=True)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    def _record_from(self, job_id: str, status: str, blob: dict | None) -> JobRecord:
+        if blob is None:
+            return JobRecord(job_id=job_id, status=status, point=None)
+        return JobRecord(
+            job_id=job_id,
+            # Content status is the truth when a rename crashed
+            # between the payload rewrite and the move.
+            status=blob.get("status", status),
+            point=_validate_point(blob.get("point")),
+            worker_id=blob.get("worker_id"),
+            attempts=int(blob.get("attempts") or 0),
+            enqueued_at=blob.get("enqueued_at"),
+            lease_expires_at=blob.get("lease_expires_at"),
+            completed_at=blob.get("completed_at"),
+            seconds=blob.get("seconds"),
+            error=blob.get("error"),
+        )
+
+    # -- the queue contract --------------------------------------------------
+
+    def submit(self, jobs: Sequence[Job]) -> int:
+        now = time.time()
+        added = 0
+        known = {job_id for job_id, _, _ in self._job_files()}
+        for job in jobs:
+            if job.job_id in known:
+                continue
+            self._write(
+                self._path(job.job_id, "pending"),
+                {
+                    "schema": QUEUE_SCHEMA_VERSION,
+                    "job_id": job.job_id,
+                    "status": "pending",
+                    "point": dict(job.point),
+                    "attempts": 0,
+                    "enqueued_at": now,
+                },
+            )
+            known.add(job.job_id)
+            added += 1
+        return added
+
+    def _transition(
+        self, path_from: Path, blob: Mapping, status_to: str, job_id: str
+    ) -> None:
+        """Rewrite the payload in place, then rename to the new
+        status.  A crash in between leaves content ahead of the name;
+        reclaim() heals it by trusting the content."""
+        self._write(path_from, blob)
+        os.rename(path_from, self._path(job_id, status_to))
+
+    def lease(
+        self,
+        worker_id: str,
+        n: int = 1,
+        lease_seconds: float = 60.0,
+        now: float | None = None,
+    ) -> list[Job]:
+        if n < 1:
+            raise ReproError(f"lease size must be >= 1, got {n}")
+        clock = time.time() if now is None else now
+        self.reclaim(now=clock)
+        claimed: list[Job] = []
+        for job_id, status, path in self._job_files():
+            if len(claimed) >= n:
+                break
+            if status != "pending":
+                continue
+            claim_path = self._path(job_id, "claim")
+            try:
+                os.rename(path, claim_path)
+            except OSError:
+                continue  # another worker won this job
+            try:
+                os.utime(claim_path, times=(clock, clock))
+            except OSError:  # pragma: no cover - claim raced away
+                pass
+            blob = self._read(claim_path)
+            point = _validate_point(blob.get("point")) if blob else None
+            if blob is None or point is None:
+                self._transition(
+                    claim_path,
+                    {
+                        **(blob or {"schema": QUEUE_SCHEMA_VERSION}),
+                        "job_id": job_id,
+                        "status": "failed",
+                        "worker_id": None,
+                        "lease_expires_at": None,
+                        "error": "corrupt or mis-versioned payload",
+                    },
+                    "failed",
+                    job_id,
+                )
+                continue
+            attempts = int(blob.get("attempts") or 0)
+            if attempts >= self.max_attempts:
+                self._transition(
+                    claim_path,
+                    {
+                        **blob,
+                        "status": "failed",
+                        "worker_id": None,
+                        "lease_expires_at": None,
+                        "error": blob.get("error")
+                        or "lease attempts exhausted",
+                    },
+                    "failed",
+                    job_id,
+                )
+                continue
+            self._transition(
+                claim_path,
+                {
+                    **blob,
+                    "status": "leased",
+                    "worker_id": worker_id,
+                    "attempts": attempts + 1,
+                    "lease_expires_at": clock + lease_seconds,
+                },
+                "leased",
+                job_id,
+            )
+            claimed.append(Job(job_id=job_id, point=point))
+        return claimed
+
+    def complete(
+        self,
+        worker_id: str,
+        job_id: str,
+        *,
+        seconds: float = 0.0,
+        now: float | None = None,
+    ) -> bool:
+        clock = time.time() if now is None else now
+        path = self._path(job_id, "leased")
+        blob = self._read(path)
+        if blob is None or blob.get("worker_id") != worker_id:
+            return False
+        try:
+            self._transition(
+                path,
+                {
+                    **blob,
+                    "status": "done",
+                    "completed_at": clock,
+                    "seconds": seconds,
+                    "lease_expires_at": None,
+                    "error": None,
+                },
+                "done",
+                job_id,
+            )
+        except OSError:  # pragma: no cover - lease reclaimed mid-write
+            return False
+        return True
+
+    def fail(
+        self,
+        worker_id: str,
+        job_id: str,
+        error: str = "",
+        now: float | None = None,
+    ) -> bool:
+        path = self._path(job_id, "leased")
+        blob = self._read(path)
+        if blob is None or blob.get("worker_id") != worker_id:
+            return False
+        attempts = int(blob.get("attempts") or 0)
+        status = "failed" if attempts >= self.max_attempts else "pending"
+        try:
+            self._transition(
+                path,
+                {
+                    **blob,
+                    "status": status,
+                    "worker_id": None,
+                    "lease_expires_at": None,
+                    "error": error or None,
+                },
+                status,
+                job_id,
+            )
+        except OSError:  # pragma: no cover - lease reclaimed mid-write
+            return False
+        return True
+
+    def heartbeat(
+        self,
+        worker_id: str,
+        lease_seconds: float = 60.0,
+        now: float | None = None,
+    ) -> int:
+        clock = time.time() if now is None else now
+        extended = 0
+        for job_id, status, path in self._job_files():
+            if status != "leased":
+                continue
+            blob = self._read(path)
+            if blob is None or blob.get("worker_id") != worker_id:
+                continue
+            self._write(
+                path, {**blob, "lease_expires_at": clock + lease_seconds}
+            )
+            extended += 1
+        return extended
+
+    def reclaim(self, now: float | None = None) -> int:
+        clock = time.time() if now is None else now
+        reclaimed = 0
+        for job_id, status, path in self._job_files():
+            if status == "claim":
+                # A claim older than the fallback lease belongs to a
+                # worker that died between rename and stamp.
+                try:
+                    if path.stat().st_mtime < clock - _FALLBACK_LEASE_SECONDS:
+                        os.rename(path, self._path(job_id, "pending"))
+                        reclaimed += 1
+                except OSError:  # pragma: no cover - claim resolved
+                    pass
+                continue
+            if status != "leased":
+                continue
+            blob = self._read(path)
+            if blob is None:
+                continue  # unreadable; lease() will fail it on claim
+            content_status = blob.get("status", status)
+            if content_status in ("done", "failed", "pending"):
+                # Heal a crashed transition: the content got ahead of
+                # the filename; finish the rename it was owed.
+                try:
+                    os.rename(path, self._path(job_id, content_status))
+                except OSError:  # pragma: no cover - raced away
+                    pass
+                continue
+            expiry = blob.get("lease_expires_at")
+            if expiry is None:
+                try:
+                    expiry = path.stat().st_mtime + _FALLBACK_LEASE_SECONDS
+                except OSError:  # pragma: no cover - raced away
+                    continue
+            if expiry < clock:
+                try:
+                    self._transition(
+                        path,
+                        {
+                            **blob,
+                            "status": "pending",
+                            "worker_id": None,
+                            "lease_expires_at": None,
+                        },
+                        "pending",
+                        job_id,
+                    )
+                except OSError:  # pragma: no cover - raced away
+                    continue
+                reclaimed += 1
+        return reclaimed
+
+    def requeue(self, job_id: str, now: float | None = None) -> bool:
+        for known_id, status, path in self._job_files():
+            if known_id != job_id or status in ("pending", "claim"):
+                continue
+            blob = self._read(path)
+            if blob is None:
+                continue
+            try:
+                self._transition(
+                    path,
+                    {
+                        **blob,
+                        "status": "pending",
+                        "worker_id": None,
+                        "lease_expires_at": None,
+                        "completed_at": None,
+                        "seconds": None,
+                        "error": None,
+                        "attempts": 0,
+                    },
+                    "pending",
+                    job_id,
+                )
+            except OSError:  # pragma: no cover - raced away
+                continue
+            return True
+        return False
+
+    def purge(
+        self,
+        statuses: Sequence[str] = ("done", "failed"),
+        older_than_seconds: float = 0.0,
+        now: float | None = None,
+    ) -> int:
+        clock = time.time() if now is None else now
+        cutoff = clock - max(older_than_seconds, 0.0)
+        removed = 0
+        for job_id, status, path in self._job_files():
+            if status not in statuses:
+                continue
+            blob = self._read(path)
+            stamp = None
+            if blob is not None:
+                stamp = blob.get("completed_at") or blob.get("enqueued_at")
+            if stamp is None:
+                try:
+                    stamp = path.stat().st_mtime
+                except OSError:  # pragma: no cover - raced away
+                    continue
+            if stamp >= cutoff:
+                continue
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - raced away
+                continue
+            removed += 1
+        return removed
+
+    def job(self, job_id: str) -> JobRecord | None:
+        for known_id, status, path in self._job_files():
+            if known_id == job_id:
+                return self._record_from(job_id, status, self._read(path))
+        return None
+
+    def jobs(self) -> Iterator[JobRecord]:
+        for job_id, status, path in self._job_files():
+            yield self._record_from(job_id, status, self._read(path))
+
+    def __len__(self) -> int:
+        return len(self._job_files())
+
+    def describe(self) -> dict:
+        return {
+            "queue": self.name,
+            "directory": str(self.directory),
+            "max_attempts": self.max_attempts,
+        }
+
+
+#: File suffixes that make :func:`resolve_queue` pick SQLite.
+_SQLITE_SUFFIXES = (".sqlite", ".sqlite3", ".db")
+
+
+def resolve_queue(
+    spec: "WorkQueue | str | os.PathLike",
+    max_attempts: int = 3,
+) -> WorkQueue:
+    """Build a queue from a path spec, or pass a ready one through.
+
+    The spec convention mirrors :func:`~repro.exec.store.resolve_store`
+    so *one path* names the whole substrate: a ``.sqlite``/``.db``
+    path keeps queue rows in that database (beside the store's
+    ``evaluations`` table), any other path is treated as a store
+    directory whose queue lives in its ``.queue/`` subdirectory.
+    """
+    if isinstance(spec, WorkQueue):
+        return spec
+    path = Path(spec)
+    if path.suffix.lower() in _SQLITE_SUFFIXES:
+        return SQLiteWorkQueue(path, max_attempts=max_attempts)
+    return FileWorkQueue(path / QUEUE_SUBDIR, max_attempts=max_attempts)
+
+
+def queue_for_store(store: CacheStore, max_attempts: int = 3) -> WorkQueue:
+    """The work queue co-located with a persistent store."""
+    if isinstance(store, SQLiteStore):
+        return SQLiteWorkQueue(store.path, max_attempts=max_attempts)
+    if isinstance(store, FileStore):
+        return FileWorkQueue(
+            store.directory / QUEUE_SUBDIR, max_attempts=max_attempts
+        )
+    raise ReproError(
+        f"no work queue can be co-located with a {store.name!r} store; "
+        "distributed evaluation needs a persistent (file or SQLite) store"
+    )
+
+
+class DistributedJobHandle(JobHandle):
+    """A submitted batch resolving through the shared store.
+
+    ``result()`` polls the store for the batch's fingerprints and, in
+    cooperate mode, leases and evaluates queued jobs while it waits —
+    the submitter is then just another worker, so a study completes
+    even with zero external workers attached, and N submitters of the
+    same study split its points between them.
+    """
+
+    def __init__(
+        self,
+        backend: "DistributedBackend",
+        evaluate: Evaluator,
+        fingerprints: Sequence[str],
+        points: Sequence[Mapping[str, float]],
+    ):
+        self._backend = backend
+        self._evaluate = evaluate
+        self._fingerprints = list(fingerprints)
+        self._point_for = {
+            fp: dict(point)
+            for fp, point in zip(self._fingerprints, points)
+        }
+        self._resolved: dict[str, PointResult] = {}
+        self._results: list[PointResult] | None = None
+
+    def done(self) -> bool:
+        return self._results is not None
+
+    def collected(self) -> bool:
+        return self._results is not None
+
+    def result(self) -> list[PointResult]:
+        if self._results is not None:
+            return self._results
+        backend = self._backend
+        unresolved = set(self._point_for) - set(self._resolved)
+        deadline = (
+            time.monotonic() + backend.timeout
+            if backend.timeout is not None
+            else None
+        )
+        while unresolved:
+            progress = self._poll_store(unresolved)
+            if not unresolved:
+                break
+            if backend.cooperate:
+                progress |= self._work_one_lease(unresolved)
+            else:
+                backend.queue.reclaim()
+            if progress:
+                # The timeout bounds *stalls*, not total study time:
+                # as long as points keep landing, a long study must
+                # not trip it — re-arm on every bit of progress.
+                if backend.timeout is not None:
+                    deadline = time.monotonic() + backend.timeout
+                continue
+            # Only stalled ticks pay for the failure scan; a steadily
+            # progressing batch never touches it, and a terminally
+            # failed job stalls its fingerprint so the scan is
+            # guaranteed to see it eventually.
+            self._check_failures(unresolved)
+            if deadline is not None and time.monotonic() > deadline:
+                missing = sorted(fp[:16] for fp in unresolved)
+                raise ReproError(
+                    f"distributed evaluation stalled for "
+                    f"{backend.timeout:.0f}s with {len(unresolved)} "
+                    f"points unresolved ({missing[:4]}...); are any "
+                    f"repro-worker processes attached to the queue?"
+                )
+            time.sleep(backend.poll_interval)
+        self._results = [
+            self._resolved[fp] for fp in self._fingerprints
+        ]
+        return self._results
+
+    def _poll_store(self, unresolved: set[str]) -> bool:
+        """Collect any fingerprints the store can now answer."""
+        backend = self._backend
+        progress = False
+        for fp in list(unresolved):
+            responses = backend.store.peek(fp)
+            if responses is None:
+                continue
+            record = backend.queue.job(fp)
+            seconds = (
+                record.seconds
+                if record is not None and record.seconds is not None
+                else 0.0
+            )
+            self._resolved[fp] = (responses, seconds)
+            unresolved.discard(fp)
+            progress = True
+        return progress
+
+    def _work_one_lease(self, unresolved: set[str]) -> bool:
+        """Lease and evaluate a batch of jobs (cooperate mode)."""
+        backend = self._backend
+        jobs = backend.queue.lease(
+            backend.worker_id,
+            n=backend.batch,
+            lease_seconds=backend.lease_seconds,
+        )
+        for job in jobs:
+            started = time.perf_counter()
+            try:
+                responses = dict(self._evaluate(job.point))
+            except Exception as error:
+                backend.queue.fail(
+                    backend.worker_id, job.job_id, error=str(error)
+                )
+                raise
+            seconds = time.perf_counter() - started
+            backend.store.persist(job.job_id, responses)
+            backend.queue.complete(
+                backend.worker_id, job.job_id, seconds=seconds
+            )
+            if job.job_id in unresolved:
+                self._resolved[job.job_id] = (responses, seconds)
+                unresolved.discard(job.job_id)
+        return bool(jobs)
+
+    def _check_failures(self, unresolved: set[str]) -> None:
+        """Surface terminally failed jobs; re-enqueue vanished ones.
+
+        One ``jobs()`` scan answers every unresolved fingerprint —
+        per-fingerprint ``job()`` lookups would make each stalled
+        tick O(queue size x unresolved) directory/table scans.
+        """
+        backend = self._backend
+        records = {
+            record.job_id: record for record in backend.queue.jobs()
+        }
+        for fp in list(unresolved):
+            record = records.get(fp)
+            if record is None:
+                # Purged (or never landed): the batch still owns the
+                # point, so put it back rather than wait forever.
+                backend.queue.submit([Job(fp, self._point_for[fp])])
+                continue
+            if record.status == "failed":
+                raise ReproError(
+                    f"distributed job {fp[:16]}... failed after "
+                    f"{record.attempts} attempts: "
+                    f"{record.error or 'unknown error'}"
+                )
+
+
+class DistributedBackend(EvaluationBackend):
+    """Evaluate through a shared store + durable work queue.
+
+    ``submit`` answers what the store already knows, enqueues the
+    misses (deduplicated against concurrent submitters by job id),
+    and returns a handle that assembles ordered, bit-identical
+    results as workers publish them.  Workers are plain
+    ``repro-worker`` processes (:mod:`repro.exec.worker`) pointed at
+    the same path — or, in cooperate mode (the default), the
+    submitting process itself.
+
+    Args:
+        store: the shared :class:`~repro.exec.store.CacheStore`
+            results travel through — a ready instance (caller-owned)
+            or a path spec (resolved and owned here).  Must be
+            persistent (file or SQLite).
+        queue: the work queue — a ready instance (caller-owned), a
+            path spec, or None to co-locate one with the store.
+        cooperate: lease and evaluate jobs locally while waiting, so
+            the submitter is itself a worker.  Set False to make the
+            submitter wait purely on external workers.
+        lease_seconds: lease TTL for cooperative/recovered leases.
+        poll_interval: seconds between store polls when idle.
+        timeout: give up after this many seconds *without progress*
+            — the deadline re-arms every time a point lands, so it
+            bounds stalls, never total study time (None waits
+            forever).
+        batch: jobs per cooperative lease.
+        worker_id: identity for cooperative leases (default: a
+            host/pid-unique string).
+        max_attempts: lease attempts before a job fails terminally.
+    """
+
+    name = "distributed"
+
+    #: Results come back already persisted in :attr:`store` (workers
+    #: and cooperative leases publish through it); an engine caching
+    #: into the same store can skip its own persist.
+    publishes_results = True
+
+    def __init__(
+        self,
+        store: CacheStore | str | os.PathLike,
+        queue: WorkQueue | str | os.PathLike | None = None,
+        *,
+        cooperate: bool = True,
+        lease_seconds: float = 60.0,
+        poll_interval: float = 0.05,
+        timeout: float | None = 600.0,
+        batch: int = 1,
+        worker_id: str | None = None,
+        max_attempts: int = 3,
+    ):
+        super().__init__()
+        if batch < 1:
+            raise ReproError(f"batch must be >= 1, got {batch}")
+        if lease_seconds <= 0:
+            raise ReproError(
+                f"lease_seconds must be > 0, got {lease_seconds}"
+            )
+        self._owns_store = not isinstance(store, CacheStore)
+        self.store = resolve_store(store)
+        if not isinstance(self.store, (FileStore, SQLiteStore)):
+            raise ReproError(
+                "the distributed backend needs a persistent store "
+                f"(file or SQLite), got {self.store.name!r}"
+            )
+        self._owns_queue = not isinstance(queue, WorkQueue)
+        if queue is None:
+            self.queue = queue_for_store(
+                self.store, max_attempts=max_attempts
+            )
+        else:
+            self.queue = resolve_queue(queue, max_attempts=max_attempts)
+        self.cooperate = cooperate
+        self.lease_seconds = float(lease_seconds)
+        self.poll_interval = float(poll_interval)
+        self.timeout = timeout
+        self.batch = batch
+        self.worker_id = worker_id or default_worker_id()
+
+    def _submit(
+        self,
+        evaluate: Evaluator,
+        points: Sequence[Mapping[str, float]],
+        *,
+        fingerprints: Sequence[str] | None = None,
+    ) -> JobHandle:
+        if fingerprints is None:
+            from repro.exec.cache import point_fingerprint
+
+            fingerprints = [point_fingerprint(point) for point in points]
+        # Enqueue only what the store cannot already answer; the
+        # queue's job-id dedup absorbs concurrent submitters racing
+        # the same study.
+        to_enqueue: dict[str, Mapping[str, float]] = {}
+        for fp, point in zip(fingerprints, points):
+            if fp in to_enqueue:
+                continue
+            if self.store.peek(fp) is not None:
+                continue
+            to_enqueue[fp] = point
+        if to_enqueue:
+            self.queue.submit(
+                [Job(fp, dict(point)) for fp, point in to_enqueue.items()]
+            )
+        return DistributedJobHandle(self, evaluate, fingerprints, points)
+
+    def describe(self) -> dict:
+        return {
+            "backend": self.name,
+            "cooperate": self.cooperate,
+            "lease_seconds": self.lease_seconds,
+            "batch": self.batch,
+            "worker_id": self.worker_id,
+            "store": self.store.describe(),
+            "queue": self.queue.describe(),
+        }
+
+    def close(self) -> None:
+        if self._owns_queue:
+            self.queue.close()
+        if self._owns_store:
+            self.store.close()

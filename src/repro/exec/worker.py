@@ -1,0 +1,365 @@
+"""``repro-worker`` — drain a shared work queue, publish to the store.
+
+A worker is the consumer half of the distributed substrate: it points
+at the same path a :class:`~repro.exec.queue.DistributedBackend`
+submitter uses, leases batches of design points, evaluates them with
+a locally constructed evaluator, persists the responses into the
+shared :class:`~repro.exec.store.CacheStore` under the submitter's
+fingerprints, and marks the jobs done.  Run as many as you like, on
+as many hosts as share the path::
+
+    python -m repro.exec.worker /mnt/share/evals.sqlite \
+        --evaluator mypkg.study:make_evaluator --drain --idle-timeout 60
+
+(Installed as the ``repro-worker`` console script.)  ``--evaluator``
+names a **zero-argument factory** (``module:callable``) built in the
+worker process; it may return either a plain point evaluator
+(``dict -> dict`` of responses) or a toolkit-like object exposing
+``evaluate_points_timed`` (e.g. a
+:class:`~repro.core.toolkit.SensorNodeDesignToolkit` configured like
+the submitter's), in which case leased batches ride the amortized
+serial path.  The factory must build the *same* evaluation the
+submitter fingerprinted — a mismatched worker publishes wrong
+responses under the right key, which no queue can detect.
+
+Failure semantics: an evaluator exception fails the leased jobs back
+to pending (terminally ``failed`` after the queue's ``max_attempts``);
+a killed worker simply stops heartbeating and its leases are
+reclaimed by any survivor.  Every publish is an atomic store write of
+a deterministic payload, so crash-duplicated work is harmless.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import json
+import sys
+import time
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+from repro.errors import ReproError
+from repro.exec.backends import Evaluator, SerialBackend
+from repro.exec.queue import (
+    WorkQueue,
+    default_worker_id,
+    resolve_queue,
+)
+from repro.exec.store import CacheStore, resolve_store
+
+PROG = "repro-worker"
+
+
+def load_evaluator(
+    spec: str,
+) -> tuple[Evaluator, Callable | None]:
+    """Build ``(evaluate, batch_evaluate)`` from a factory spec.
+
+    ``spec`` is ``module:attribute`` naming a zero-argument callable;
+    its return value is either the evaluator itself or an object with
+    ``evaluate_point``/``evaluate_points_timed`` (the toolkit shape).
+    """
+    module_name, sep, attr = spec.partition(":")
+    if not sep or not module_name or not attr:
+        raise ReproError(
+            f"evaluator spec {spec!r} is not of the form module:factory"
+        )
+    try:
+        module = importlib.import_module(module_name)
+    except ImportError as error:
+        raise ReproError(
+            f"cannot import evaluator module {module_name!r}: {error}"
+        ) from error
+    try:
+        factory = getattr(module, attr)
+    except AttributeError as error:
+        raise ReproError(
+            f"module {module_name!r} has no attribute {attr!r}"
+        ) from error
+    if not callable(factory):
+        raise ReproError(f"{spec!r} is not callable")
+    built = factory()
+    batch = getattr(built, "evaluate_points_timed", None)
+    if batch is not None:
+        evaluate = getattr(built, "evaluate_point", None)
+        if evaluate is None:  # pragma: no cover - defensive
+            raise ReproError(
+                f"{spec!r} returned an object with evaluate_points_timed "
+                "but no evaluate_point"
+            )
+        return evaluate, batch
+    if not callable(built):
+        raise ReproError(
+            f"{spec!r} must return an evaluator callable or a toolkit-"
+            f"like object, got {type(built)!r}"
+        )
+    return built, None
+
+
+@dataclass
+class WorkerReport:
+    """What one worker run did."""
+
+    worker_id: str
+    jobs_completed: int = 0
+    jobs_failed: int = 0
+    leases: int = 0
+    seconds: float = 0.0
+    eval_seconds: float = 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "worker_id": self.worker_id,
+            "jobs_completed": self.jobs_completed,
+            "jobs_failed": self.jobs_failed,
+            "leases": self.leases,
+            "seconds": self.seconds,
+            "eval_seconds": self.eval_seconds,
+        }
+
+
+class Worker:
+    """The lease → evaluate → publish → complete loop.
+
+    Args:
+        store: where results are published (shared with submitters).
+        queue: where work is leased from.
+        evaluate: point evaluator.
+        batch_evaluate: optional amortized batch evaluator (the
+            leased batch then rides the batched serial path).
+        worker_id: lease identity (default host/pid-unique).
+        batch: jobs per lease — small batches spread work across
+            workers and bound what a kill can delay.
+        lease_seconds: lease TTL; must comfortably exceed the time
+            one batch takes to evaluate — jobs are completed at batch
+            end and there is no mid-batch heartbeat (long-running
+            custom workers can call ``queue.heartbeat`` themselves).
+        poll_interval: idle sleep between empty lease attempts.
+        max_jobs: stop after this many jobs (None: unbounded).
+        drain: exit once the queue holds no runnable or leased work.
+        idle_timeout: with ``drain``, wait this long for work to
+            appear before giving up (None: exit immediately when the
+            queue is empty); without ``drain``, exit after this much
+            continuous idleness.
+        throttle: sleep this long before evaluating each leased batch
+            (a chaos/testing aid: makes lease-reclamation windows
+            reproducible).
+    """
+
+    def __init__(
+        self,
+        store: CacheStore,
+        queue: WorkQueue,
+        evaluate: Evaluator,
+        *,
+        batch_evaluate: Callable | None = None,
+        worker_id: str | None = None,
+        batch: int = 2,
+        lease_seconds: float = 60.0,
+        poll_interval: float = 0.2,
+        max_jobs: int | None = None,
+        drain: bool = False,
+        idle_timeout: float | None = None,
+        throttle: float = 0.0,
+    ):
+        if batch < 1:
+            raise ReproError(f"batch must be >= 1, got {batch}")
+        self.store = store
+        self.queue = queue
+        self.worker_id = worker_id or default_worker_id()
+        self.batch = batch
+        self.lease_seconds = float(lease_seconds)
+        self.poll_interval = float(poll_interval)
+        self.max_jobs = max_jobs
+        self.drain = drain
+        self.idle_timeout = idle_timeout
+        self.throttle = float(throttle)
+        self._backend = SerialBackend(batch_evaluate=batch_evaluate)
+        self._evaluate = evaluate
+
+    def run(self) -> WorkerReport:
+        """Work until drained / idle / at the job bound."""
+        report = WorkerReport(worker_id=self.worker_id)
+        started = time.perf_counter()
+        idle_since: float | None = None
+        seen_work = False
+        while True:
+            if (
+                self.max_jobs is not None
+                and report.jobs_completed + report.jobs_failed
+                >= self.max_jobs
+            ):
+                break
+            jobs = self.queue.lease(
+                self.worker_id,
+                n=self.batch,
+                lease_seconds=self.lease_seconds,
+            )
+            if not jobs:
+                stats = self.queue.stats()
+                if self.drain and stats.outstanding == 0:
+                    # Drained — but a worker started *before* the
+                    # submitter must not mistake a not-yet-fed queue
+                    # for a finished one: with an idle timeout it
+                    # keeps waiting for work to appear.  Finished
+                    # rows from *earlier* studies on a long-lived
+                    # substrate don't count as this run's work, so
+                    # only leases this worker actually took (or the
+                    # absence of an idle timeout) end the wait.
+                    if seen_work or self.idle_timeout is None:
+                        break
+                now = time.monotonic()
+                if idle_since is None:
+                    idle_since = now
+                if (
+                    self.idle_timeout is not None
+                    and now - idle_since >= self.idle_timeout
+                ):
+                    break
+                time.sleep(self.poll_interval)
+                continue
+            idle_since = None
+            seen_work = True
+            report.leases += 1
+            if self.throttle > 0.0:
+                time.sleep(self.throttle)
+            self._work(jobs, report)
+        report.seconds = time.perf_counter() - started
+        return report
+
+    def _work(self, jobs: Sequence, report: WorkerReport) -> None:
+        points = [job.point for job in jobs]
+        try:
+            results = self._backend.run(self._evaluate, points)
+        except Exception as error:
+            if len(jobs) > 1:
+                # A poison point must not take its batch-mates down
+                # with it (batched, they would re-pair on every lease
+                # until all of them failed terminally): retry one job
+                # at a time so only the points that actually raise
+                # are failed.
+                for job in jobs:
+                    self._work([job], report)
+                return
+            self.queue.fail(
+                self.worker_id, jobs[0].job_id, error=str(error)
+            )
+            report.jobs_failed += 1
+            return
+        for job, (responses, seconds) in zip(jobs, results):
+            self.store.persist(job.job_id, responses)
+            self.queue.complete(
+                self.worker_id, job.job_id, seconds=seconds
+            )
+            report.jobs_completed += 1
+            report.eval_seconds += seconds
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog=PROG,
+        description=(
+            "Attach to a shared evaluation store, lease queued design "
+            "points, evaluate them and publish the results."
+        ),
+    )
+    parser.add_argument(
+        "store",
+        help="shared store path: a directory (file store/queue) or "
+        "*.sqlite/*.db (store + queue in one database)",
+    )
+    parser.add_argument(
+        "--evaluator",
+        required=True,
+        help="module:factory — a zero-argument callable returning the "
+        "point evaluator (or a toolkit exposing evaluate_points_timed)",
+    )
+    parser.add_argument(
+        "--queue",
+        default=None,
+        help="queue path when it is not co-located with the store",
+    )
+    parser.add_argument("--worker-id", default=None)
+    parser.add_argument(
+        "--batch", type=int, default=2, help="jobs per lease (default 2)"
+    )
+    parser.add_argument(
+        "--lease-seconds", type=float, default=60.0,
+        help="lease TTL (default 60; must exceed one batch's eval time)",
+    )
+    parser.add_argument(
+        "--poll", type=float, default=0.2, dest="poll_interval",
+        help="idle sleep between empty lease attempts (default 0.2s)",
+    )
+    parser.add_argument(
+        "--max-jobs", type=int, default=None,
+        help="stop after this many jobs",
+    )
+    parser.add_argument(
+        "--drain", action="store_true",
+        help="exit once the queue holds no pending or leased work",
+    )
+    parser.add_argument(
+        "--idle-timeout", type=float, default=None,
+        help="exit after this long without work (with --drain: how "
+        "long to wait for work to appear)",
+    )
+    parser.add_argument(
+        "--throttle", type=float, default=0.0,
+        help="sleep before evaluating each leased batch (testing aid)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="machine-readable report"
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        evaluate, batch_evaluate = load_evaluator(args.evaluator)
+        store = resolve_store(args.store)
+        queue = (
+            resolve_queue(args.queue)
+            if args.queue is not None
+            else resolve_queue(args.store)
+        )
+    except ReproError as error:
+        print(f"{PROG}: {error}", file=sys.stderr)
+        return 1
+    try:
+        worker = Worker(
+            store,
+            queue,
+            evaluate,
+            batch_evaluate=batch_evaluate,
+            worker_id=args.worker_id,
+            batch=args.batch,
+            lease_seconds=args.lease_seconds,
+            poll_interval=args.poll_interval,
+            max_jobs=args.max_jobs,
+            drain=args.drain,
+            idle_timeout=args.idle_timeout,
+            throttle=args.throttle,
+        )
+        report = worker.run()
+        if args.json:
+            print(json.dumps(report.as_dict(), sort_keys=True))
+        else:
+            print(
+                f"{PROG}: {report.worker_id} completed "
+                f"{report.jobs_completed} jobs "
+                f"({report.jobs_failed} failed) in {report.seconds:.1f}s"
+            )
+        return 0
+    except ReproError as error:
+        print(f"{PROG}: {error}", file=sys.stderr)
+        return 1
+    finally:
+        queue.close()
+        store.close()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -43,8 +43,18 @@ from repro.vibration.sources import SineVibration
 #: full physical identity of the electrical path *except* the bulk
 #: storage capacitance (the store behaves as a voltage source on the
 #: fast time scale, so C_store does not influence the average charging
-#: current — property-tested).
+#: current — property-tested).  Grid contents are measured on a
+#: circuit rebuilt around :data:`MAP_CANONICAL_CAPACITANCE`, so each
+#: grid is a pure function of its key — independent processes
+#: (distributed workers, spawn pools) build bit-identical grids no
+#: matter which design point misses the cache first.
 _GLOBAL_MAP_CACHE: dict[tuple, tuple[np.ndarray, np.ndarray]] = {}
+
+#: Storage capacitance every charging-map measurement runs with,
+#: farads (the canonical supercap's nominal value).  Any fixed value
+#: works — the map is C-independent by design — but it must be *one*
+#: value, or grids become history-dependent.
+MAP_CANONICAL_CAPACITANCE = 0.40
 
 #: Lookup accounting for the global grid cache (benchmarks and the
 #: study reports surface these; forked workers inherit the parent's
@@ -149,7 +159,59 @@ class ChargingMap:
             )
         self.supercap = supercap
         self._v_grid = np.linspace(0.0, supercap.v_rated, options.map_v_points)
+        self._map_power, self._map_supercap = self._canonical_power()
         self._physics_key = self._make_physics_key()
+
+    def _canonical_power(self):
+        """The circuit map points are measured on: the mission's
+        topology rebuilt around a *canonical* storage capacitance.
+
+        The cache key deliberately omits ``C_store`` (on the fast time
+        scale the store is a voltage source), so the measurement must
+        not depend on it either — otherwise the grid's contents would
+        be those of whichever design point happened to miss the cache
+        first, and independent processes (distributed workers, spawn
+        pools) evaluating different subsets would disagree in the last
+        bits.  Pinning the measured circuit's capacitance makes every
+        grid a pure function of its key: any process, any evaluation
+        order, same bits.  A topology this module cannot rebuild falls
+        back to the mission's own circuit, and :meth:`_make_physics_key`
+        then keys the grid by the true capacitance instead.
+        """
+        from repro.power.rectifier import (
+            build_bridge_circuit,
+            build_multiplier_circuit,
+        )
+        from repro.power.supercap import Supercapacitor
+
+        power = self.config.power
+        sc = self.supercap
+        if abs(sc.capacitance - MAP_CANONICAL_CAPACITANCE) < 1e-15:
+            return power, sc
+        diodes = getattr(power.matrices, "_diodes", ())
+        diode = diodes[0].model if diodes else None
+        canonical = Supercapacitor(
+            capacitance=MAP_CANONICAL_CAPACITANCE,
+            esr=sc.esr,
+            leakage_resistance=sc.leakage_resistance,
+            v_rated=sc.v_rated,
+            v_initial=sc.v_initial,
+        )
+        if power.n_stages >= 1:
+            stage = power.extra.get("stage_capacitance")
+            if stage is not None:
+                return (
+                    build_multiplier_circuit(
+                        canonical,
+                        power.n_stages,
+                        diode=diode,
+                        stage_capacitance=stage,
+                    ),
+                    canonical,
+                )
+        elif power.topology == "bridge":
+            return build_bridge_circuit(canonical, diode=diode), canonical
+        return power, sc
 
     def _make_physics_key(self) -> tuple:
         p = self.config.harvester.params
@@ -175,6 +237,13 @@ class ChargingMap:
             power.topology,
             power.n_stages,
             power.extra.get("stage_capacitance"),
+            # Only when the measurement could not be made canonical
+            # does the true capacitance partition the cache.
+            None
+            if self._map_supercap is not self.supercap
+            or abs(self.supercap.capacitance - MAP_CANONICAL_CAPACITANCE)
+            < 1e-15
+            else self.supercap.capacitance,
             diode_keys,
             self.supercap.esr,
             self.supercap.leakage_resistance,
@@ -255,7 +324,7 @@ class ChargingMap:
             return 0.0
         bare = SystemConfig(
             harvester=self.config.harvester,
-            power=self.config.power,
+            power=self._map_power,
             regulator=self.config.regulator,
             node=None,
             controller=None,
@@ -266,7 +335,7 @@ class ChargingMap:
         period = 1.0 / frequency
         dt = period / opt.map_steps_per_period
         newton_only = (
-            opt.map_engine == "newton" or self.config.power.n_stages >= 1
+            opt.map_engine == "newton" or self._map_power.n_stages >= 1
         )
         x0 = self._warm_initial_state(system, v_store)
         nr = NewtonRaphsonEngine(system, dt)
@@ -285,8 +354,8 @@ class ChargingMap:
             engine.reset(nr.time, nr.state)
             engine.set_load_current(0.0)
             engine.step_to(nr.time + opt.map_warmup_cycles * period)
-        cap = self.supercap.capacitance
-        r_leak = self.supercap.leakage_resistance
+        cap = self._map_supercap.capacitance
+        r_leak = self._map_supercap.leakage_resistance
         estimate = 0.0
         previous: float | None = None
         for _ in range(opt.map_max_blocks):

@@ -1,0 +1,124 @@
+"""The reusable behavioural contract every evaluation backend obeys.
+
+One suite, every backend: :mod:`test_backend_contract` binds these
+tests to serial (plain and batched), process, thread and distributed
+backends, and any future implementation (an async remote fleet, say)
+gets the whole contract — ordering, bit-identity against the serial
+reference, the submit/drain life cycle, error propagation — by
+subclassing :class:`BackendContract` and filling in the factory hook.
+
+The synthetic evaluator is a module-level pure function so every
+backend can run it: process pools pickle it, distributed workers
+receive its points through a queue, and the results must be
+bit-identical wherever it executed.
+"""
+
+import math
+
+import pytest
+
+from repro.errors import ReproError
+from repro.exec import SerialBackend
+
+
+def synthetic_evaluate(point):
+    """Deterministic, picklable stand-in for a mission simulation."""
+    a = point["a"]
+    b = point["b"]
+    return {
+        "y1": math.sin(a) * b + a * a,
+        "y2": math.exp(-abs(b)) + 3.0 * a,
+    }
+
+
+def broken_evaluate(point):
+    raise ValueError("boom")
+
+
+def make_points(n=10):
+    return [
+        {"a": math.sin(i * 0.7) * 0.9, "b": 0.5 + 0.35 * i}
+        for i in range(n)
+    ]
+
+
+class BackendContract:
+    """Subclass per backend kind; provide the hook, inherit the tests."""
+
+    #: evaluator exceptions surface from result()/run().
+    propagates_errors = True
+
+    # -- hooks -----------------------------------------------------------------
+
+    def make_backend(self, tmp_path):
+        raise NotImplementedError
+
+    @pytest.fixture
+    def backend(self, tmp_path):
+        built = self.make_backend(tmp_path)
+        yield built
+        built.close()
+
+    # -- ordering and bit-identity ---------------------------------------------
+
+    def test_matches_serial_reference_bitwise(self, backend):
+        points = make_points()
+        reference = SerialBackend().run(synthetic_evaluate, points)
+        results = backend.run(synthetic_evaluate, points)
+        assert len(results) == len(points)
+        for (r_ref, _), (r_got, _) in zip(reference, results):
+            assert r_got == r_ref  # exact float equality, order kept
+
+    def test_empty_batch(self, backend):
+        assert backend.run(synthetic_evaluate, []) == []
+
+    def test_seconds_are_non_negative(self, backend):
+        results = backend.run(synthetic_evaluate, make_points(4))
+        for responses, seconds in results:
+            assert seconds >= 0.0
+            assert set(responses) == {"y1", "y2"}
+
+    # -- the submit/drain life cycle -------------------------------------------
+
+    def test_submit_returns_resolving_handle(self, backend):
+        points = make_points(5)
+        handle = backend.submit(synthetic_evaluate, points)
+        first = handle.result()
+        assert handle.done()
+        # result() is idempotent: same list, not a re-evaluation.
+        assert handle.result() is first
+        reference = SerialBackend().run(synthetic_evaluate, points)
+        assert [r for r, _ in first] == [r for r, _ in reference]
+
+    def test_drain_resolves_outstanding_handles(self, backend):
+        handles = [
+            backend.submit(synthetic_evaluate, make_points(3)),
+            backend.submit(synthetic_evaluate, make_points(4)),
+        ]
+        backend.drain()
+        assert all(handle.done() for handle in handles)
+        assert len(handles[0].result()) == 3
+        assert len(handles[1].result()) == 4
+
+    def test_fingerprint_count_mismatch_rejected(self, backend):
+        with pytest.raises(ReproError):
+            backend.submit(
+                synthetic_evaluate, make_points(3), fingerprints=["only-one"]
+            )
+
+    # -- error propagation -----------------------------------------------------
+
+    def test_evaluator_exception_propagates(self, backend):
+        if not self.propagates_errors:
+            pytest.skip("backend defers errors")
+        with pytest.raises(Exception, match="boom"):
+            backend.run(broken_evaluate, make_points(2))
+
+    # -- reporting -------------------------------------------------------------
+
+    def test_describe_names_the_backend(self, backend):
+        assert backend.describe()["backend"] == backend.name
+
+    def test_close_is_idempotent(self, backend):
+        backend.close()
+        backend.close()

@@ -1,0 +1,75 @@
+"""One parametrized contract, every evaluation backend.
+
+The behavioural suite lives in :mod:`backend_contract`; this module
+binds it to the shipped backends: serial (plain and batched),
+process, thread, and the distributed backend over both persistent
+substrates (file directory and SQLite database).  A new backend earns
+the whole contract — ordering, bit-identity, submit/drain, error
+propagation — by adding one subclass here.
+"""
+
+from backend_contract import BackendContract, synthetic_evaluate
+
+from repro.exec import (
+    DistributedBackend,
+    FileStore,
+    ProcessBackend,
+    SerialBackend,
+    SQLiteStore,
+    ThreadBackend,
+)
+
+
+class TestSerialBackendContract(BackendContract):
+    def make_backend(self, tmp_path):
+        return SerialBackend()
+
+
+class TestSerialBatchedBackendContract(BackendContract):
+    def make_backend(self, tmp_path):
+        def batch(points):
+            return [(synthetic_evaluate(p), 0.125) for p in points]
+
+        return SerialBackend(batch_evaluate=batch)
+
+    def test_evaluator_exception_propagates(self, backend):
+        # The batched path routes through batch_evaluate, which here
+        # never calls the broken per-point evaluator; exercise the
+        # plain serial binding for error propagation instead.
+        import pytest
+
+        def broken_batch(points):
+            raise ValueError("boom")
+
+        with pytest.raises(ValueError, match="boom"):
+            SerialBackend(batch_evaluate=broken_batch).run(
+                synthetic_evaluate, [{"a": 0.0, "b": 1.0}]
+            )
+
+
+class TestProcessBackendContract(BackendContract):
+    def make_backend(self, tmp_path):
+        return ProcessBackend(workers=2, chunk_size=2)
+
+
+class TestThreadBackendContract(BackendContract):
+    def make_backend(self, tmp_path):
+        return ThreadBackend(workers=3)
+
+
+class TestDistributedFileBackendContract(BackendContract):
+    def make_backend(self, tmp_path):
+        # Cooperate mode: the submitting process is its own worker,
+        # so the contract runs without external processes.
+        self._store = FileStore(tmp_path / "evals")
+        return DistributedBackend(
+            self._store, batch=2, lease_seconds=30.0, timeout=60.0
+        )
+
+
+class TestDistributedSQLiteBackendContract(BackendContract):
+    def make_backend(self, tmp_path):
+        self._store = SQLiteStore(tmp_path / "evals.sqlite")
+        return DistributedBackend(
+            self._store, batch=2, lease_seconds=30.0, timeout=60.0
+        )

@@ -284,3 +284,121 @@ class TestLifecycleCommands:
         # vacuum sweeps the debris; verify then agrees it is clean.
         assert main(["vacuum", spec, "--grace", "0"]) == 0
         assert main(["verify", spec]) == 0
+
+
+@pytest.fixture(params=["file", "sqlite"])
+def populated_queue(request, tmp_path):
+    """(cli store argument, queue) with jobs in every status."""
+    from repro.exec import Job, queue_for_store
+    from repro.exec.store import SQLiteStore
+
+    if request.param == "file":
+        spec = tmp_path / "evals"
+        store = FileStore(spec)
+    else:
+        spec = tmp_path / "evals.sqlite"
+        store = SQLiteStore(spec)
+    queue = queue_for_store(store)
+    queue.submit(
+        [Job(f"{i:02d}" + "cd" * 29, {"a": float(i)}) for i in range(5)]
+    )
+    queue.lease("w1", n=2, lease_seconds=600.0)
+    queue.complete("w1", "00" + "cd" * 29)
+    for _ in range(queue.max_attempts):
+        queue.fail("w1", "01" + "cd" * 29, error="sim exploded")
+        queue.lease("w1", n=1, lease_seconds=600.0)
+    queue.fail("w1", "01" + "cd" * 29, error="sim exploded")
+    store.close()
+    return str(spec), queue
+
+
+class TestQueueCommands:
+    def test_stats_exit_2_on_failed_jobs(self, populated_queue, capsys):
+        spec, _ = populated_queue
+        assert main(["queue", "stats", spec, "--json"]) == 2
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["done"] == 1
+        assert payload["failed"] == 1
+        assert payload["pending"] + payload["leased"] == 3
+        assert payload["total"] == 5
+
+    def test_stats_human_output(self, populated_queue, capsys):
+        spec, _ = populated_queue
+        main(["queue", "stats", spec])
+        out = capsys.readouterr().out
+        assert "done:     1" in out
+        assert "failed:   1" in out
+
+    def test_stats_clean_queue_exits_0(self, tmp_path, capsys):
+        FileStore(tmp_path / "evals")
+        assert main(["queue", "stats", str(tmp_path / "evals")]) == 0
+        assert "pending:  0" in capsys.readouterr().out
+
+    def test_ls_filters_by_status(self, populated_queue, capsys):
+        spec, _ = populated_queue
+        assert main(
+            ["queue", "ls", spec, "--status", "failed", "--json"]
+        ) == 0
+        jobs = json.loads(capsys.readouterr().out)["jobs"]
+        assert len(jobs) == 1
+        assert jobs[0]["error"] == "sim exploded"
+        assert jobs[0]["attempts"] >= 3
+
+    def test_ls_human_with_limit(self, populated_queue, capsys):
+        spec, _ = populated_queue
+        assert main(["queue", "ls", spec, "--limit", "2"]) == 0
+        out = capsys.readouterr().out.strip().splitlines()
+        assert len(out) == 3  # header + 2 rows
+
+    def test_requeue_failed_clears_the_backlog(
+        self, populated_queue, capsys
+    ):
+        spec, queue = populated_queue
+        assert main(["queue", "requeue", spec, "--failed", "--json"]) == 0
+        assert json.loads(capsys.readouterr().out)["requeued"] == 1
+        assert main(["queue", "stats", spec, "--json"]) == 0  # clean now
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["failed"] == 0
+
+    def test_requeue_by_prefix(self, populated_queue, capsys):
+        spec, queue = populated_queue
+        done_id = "00" + "cd" * 29
+        assert main(["queue", "requeue", spec, done_id[:4], "--json"]) == 0
+        assert json.loads(capsys.readouterr().out)["requeued"] == 1
+        assert queue.job(done_id).status == "pending"
+
+    def test_requeue_ambiguous_prefix(self, populated_queue, capsys):
+        spec, _ = populated_queue
+        assert main(["queue", "requeue", spec, "0"]) == 1
+        assert "ambiguous" in capsys.readouterr().err
+
+    def test_requeue_unknown_prefix(self, populated_queue, capsys):
+        spec, _ = populated_queue
+        assert main(["queue", "requeue", spec, "zz"]) == 1
+        assert "no job" in capsys.readouterr().err
+
+    def test_requeue_needs_a_selector(self, populated_queue, capsys):
+        spec, _ = populated_queue
+        assert main(["queue", "requeue", spec]) == 1
+        assert "requeue needs" in capsys.readouterr().err
+
+    def test_requeue_expired_reclaims(self, tmp_path, capsys):
+        import time as _time
+
+        from repro.exec import Job, queue_for_store
+
+        store = FileStore(tmp_path / "evals")
+        queue = queue_for_store(store)
+        queue.submit([Job("ab" * 30, {"a": 1.0})])
+        queue.lease("dead", n=1, lease_seconds=0.01)
+        _time.sleep(0.05)
+        assert main(
+            ["queue", "requeue", str(tmp_path / "evals"), "--expired",
+             "--json"]
+        ) == 0
+        assert json.loads(capsys.readouterr().out)["reclaimed"] == 1
+        assert queue.job("ab" * 30).status == "pending"
+
+    def test_missing_store_is_an_error(self, tmp_path, capsys):
+        assert main(["queue", "stats", str(tmp_path / "nope")]) == 1
+        assert "no store" in capsys.readouterr().err

@@ -246,6 +246,113 @@ class TestProcessBackend:
         with pytest.raises(ValueError):
             ProcessBackend(workers=2).run(broken, [{"a": 1.0}])
 
+    def test_worker_global_restored_after_evaluator_exception(self):
+        # Regression: a failing evaluator must not leave the module
+        # global behind, or a second engine in the same process would
+        # cross-wire onto the first engine's evaluator.
+        from repro.exec import backends as backends_module
+
+        def broken(point):
+            raise ValueError("boom")
+
+        assert backends_module._WORKER_EVALUATE is None
+        with pytest.raises(ValueError):
+            ProcessBackend(workers=2).run(broken, [{"a": 1.0}, {"a": 2.0}])
+        assert backends_module._WORKER_EVALUATE is None
+        # A fresh backend with a different evaluator works unpolluted.
+        results = ProcessBackend(workers=2).run(
+            _synthetic, [{"a": 0.5, "b": 1.0}]
+        )
+        assert results[0][0] == _synthetic({"a": 0.5, "b": 1.0})
+
+    def test_nested_engines_do_not_cross_wire_evaluators(self):
+        # Two engines interleaving process batches in one process:
+        # each run scopes the global to itself and restores the
+        # previous value, so the outer engine's evaluator survives an
+        # inner engine's batch (even a failing one).
+        def evaluate_a(point):
+            return {"y": point["a"] * 2.0}
+
+        def evaluate_b(point):
+            return {"y": point["a"] * 100.0}
+
+        backend = ProcessBackend(workers=2)
+        first = backend.run(evaluate_a, [{"a": 1.0}])
+        with pytest.raises(ValueError):
+            backend.run(
+                lambda p: (_ for _ in ()).throw(ValueError("boom")),
+                [{"a": 1.0}],
+            )
+        second = backend.run(evaluate_b, [{"a": 1.0}])
+        third = backend.run(evaluate_a, [{"a": 1.0}])
+        assert first[0][0] == {"y": 2.0}
+        assert second[0][0] == {"y": 100.0}
+        assert third[0][0] == {"y": 2.0}
+
+
+class TestThreadBackend:
+    def test_engine_routes_through_thread_backend(self):
+        engine = EvaluationEngine(
+            _synthetic, backend="thread", cache=True, workers=3
+        )
+        points = [{"a": float(i) / 5.0, "b": 1.0 + i} for i in range(7)]
+        out = engine.map_points(points)
+        assert [e.responses for e in out] == [_synthetic(p) for p in points]
+        assert engine.stats()["backend"] == "thread"
+        assert engine.stats()["workers"] == 3
+        engine.close()
+
+    def test_submit_is_asynchronous_and_drain_collects(self):
+        import threading
+
+        from repro.exec import ThreadBackend
+
+        gate = threading.Event()
+
+        def gated(point):
+            gate.wait(timeout=10.0)
+            return _synthetic(point)
+
+        backend = ThreadBackend(workers=2)
+        handle = backend.submit(gated, [{"a": 0.1, "b": 1.0}])
+        # The batch is genuinely in flight, not eagerly completed.
+        assert not handle.done()
+        gate.set()
+        backend.drain()
+        assert handle.done()
+        assert handle.result()[0][0] == _synthetic({"a": 0.1, "b": 1.0})
+        backend.close()
+        # close() is idempotent and the executor rebuilds on reuse.
+        backend.close()
+        assert backend.run(_synthetic, [{"a": 0.2, "b": 1.0}])
+        backend.close()
+
+    def test_invalid_workers_rejected(self):
+        from repro.exec import ThreadBackend
+
+        with pytest.raises(ReproError):
+            ThreadBackend(workers=0)
+
+    def test_drain_propagates_error_of_unread_failed_batch(self):
+        # A failed batch is done() the moment its futures complete,
+        # but its error has not surfaced until result() — submitting
+        # another batch must not make the backend forget it, or
+        # drain() would swallow the exception it owes its caller.
+        from repro.exec import ThreadBackend
+
+        def broken(point):
+            raise ValueError("boom")
+
+        backend = ThreadBackend(workers=2)
+        failed = backend.submit(broken, [{"a": 0.1, "b": 1.0}])
+        deadline = __import__("time").monotonic() + 10.0
+        while not failed.done():
+            assert __import__("time").monotonic() < deadline
+        backend.submit(_synthetic, [{"a": 0.2, "b": 1.0}])
+        with pytest.raises(ValueError, match="boom"):
+            backend.drain()
+        backend.close()
+
 
 class TestExplorerThroughEngine:
     def test_run_design_records_exec_stats(self):
@@ -464,6 +571,63 @@ class TestToolkitExecution:
         single = [toolkit.evaluate_point(p) for p in points]
         batched = toolkit.evaluate_points(points)
         assert single == batched
+
+    def test_distributed_study_matches_serial_bitwise(
+        self, small_toolkit_space, tmp_path
+    ):
+        # The tentpole acceptance property at toolkit level: a study
+        # run through the distributed backend (cooperate mode — the
+        # submitter is its own worker) is bit-identical to serial,
+        # and a second toolkit over the same substrate re-simulates
+        # nothing.
+        clear_charging_cache()
+        serial = SensorNodeDesignToolkit(
+            space=small_toolkit_space,
+            mission_time=120.0,
+            envelope=FAST_ENVELOPE,
+            cache=False,
+        )
+        design = latin_hypercube(5, 2, seed=17)
+        serial_result = serial.explorer.run_design(design)
+        substrate = str(tmp_path / "dist-evals.sqlite")
+        distributed = SensorNodeDesignToolkit(
+            space=small_toolkit_space,
+            mission_time=120.0,
+            envelope=FAST_ENVELOPE,
+            backend="distributed",
+            cache_dir=substrate,
+        )
+        dist_result = distributed.explorer.run_design(design)
+        for name in serial.responses:
+            assert np.array_equal(
+                serial_result.responses[name], dist_result.responses[name]
+            ), name
+        assert dist_result.exec_stats["backend"] == "distributed"
+        distributed.close()
+        # Fresh toolkit, same path: the whole design answers from the
+        # shared store with zero simulations.
+        warm = SensorNodeDesignToolkit(
+            space=small_toolkit_space,
+            mission_time=120.0,
+            envelope=FAST_ENVELOPE,
+            backend="distributed",
+            cache_dir=substrate,
+        )
+        warm_result = warm.explorer.run_design(design)
+        assert warm_result.exec_stats["points_evaluated"] == 0
+        assert warm_result.exec_stats["cache"]["hit_rate"] == 1.0
+        warm.close()
+
+    def test_distributed_requires_a_persistent_store(
+        self, small_toolkit_space
+    ):
+        with pytest.raises(ReproError):
+            SensorNodeDesignToolkit(
+                space=small_toolkit_space,
+                mission_time=120.0,
+                envelope=FAST_ENVELOPE,
+                backend="distributed",  # no cache_dir/cache_store
+            )
 
     def test_batch_respects_custom_harvester(self, small_toolkit_space):
         from repro.harvester.parameters import MicrogeneratorParameters

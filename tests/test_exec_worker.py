@@ -1,0 +1,464 @@
+"""The ``repro-worker`` loop and CLI.
+
+In-process tests drive :class:`repro.exec.worker.Worker` and
+:func:`repro.exec.worker.main` directly (fast, coverage-friendly);
+the subprocess tests start *real* ``python -m repro.exec.worker``
+processes against a shared substrate — including one that is
+SIGKILLed mid-lease to prove reclamation hands its points to the
+survivor with nothing lost.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from backend_contract import make_points, synthetic_evaluate
+
+from repro.errors import ReproError
+from repro.exec import (
+    DistributedBackend,
+    FileStore,
+    Job,
+    SQLiteStore,
+    Worker,
+    queue_for_store,
+)
+from repro.exec.worker import load_evaluator, main
+
+TESTS_DIR = Path(__file__).resolve().parent
+SRC_DIR = TESTS_DIR.parent / "src"
+
+
+def _jobs(n=6):
+    return [
+        Job(f"fp{i:02d}", point)
+        for i, point in enumerate(make_points(n))
+    ]
+
+
+def _substrate(tmp_path, kind="sqlite"):
+    if kind == "sqlite":
+        store = SQLiteStore(tmp_path / "evals.sqlite")
+    else:
+        store = FileStore(tmp_path / "evals")
+    return store, queue_for_store(store)
+
+
+class TestLoadEvaluator:
+    def test_plain_factory(self):
+        evaluate, batch = load_evaluator(
+            "worker_eval_fixtures:make_synthetic"
+        )
+        assert batch is None
+        point = make_points(1)[0]
+        assert evaluate(point) == synthetic_evaluate(point)
+
+    def test_toolkit_shaped_factory(self):
+        evaluate, batch = load_evaluator("worker_eval_fixtures:make_batched")
+        assert batch is not None
+        point = make_points(1)[0]
+        assert evaluate(point) == synthetic_evaluate(point)
+        [(responses, seconds)] = batch([point])
+        assert responses == synthetic_evaluate(point)
+        assert seconds >= 0.0
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "not-a-spec",
+            "worker_eval_fixtures:absent",
+            "no_such_module_xyz:factory",
+            "worker_eval_fixtures:_synthetic",  # evaluator, not factory
+        ],
+    )
+    def test_bad_specs_rejected(self, spec):
+        with pytest.raises((ReproError, TypeError)):
+            load_evaluator(spec)
+
+
+class TestWorkerLoop:
+    @pytest.mark.parametrize("kind", ["sqlite", "file"])
+    def test_drains_queue_and_publishes(self, kind, tmp_path):
+        store, queue = _substrate(tmp_path, kind)
+        jobs = _jobs(6)
+        queue.submit(jobs)
+        worker = Worker(
+            store, queue, synthetic_evaluate, drain=True, batch=2
+        )
+        report = worker.run()
+        assert report.jobs_completed == 6
+        assert report.jobs_failed == 0
+        assert report.leases == 3
+        stats = queue.stats()
+        assert stats.done == 6 and stats.outstanding == 0
+        for job in jobs:
+            assert store.peek(job.job_id) == synthetic_evaluate(job.point)
+
+    def test_max_jobs_bounds_the_run(self, tmp_path):
+        store, queue = _substrate(tmp_path)
+        queue.submit(_jobs(6))
+        report = Worker(
+            store, queue, synthetic_evaluate, max_jobs=3, batch=1
+        ).run()
+        assert report.jobs_completed == 3
+        assert queue.stats().pending == 3
+
+    def test_idle_timeout_expires_on_an_empty_queue(self, tmp_path):
+        store, queue = _substrate(tmp_path)
+        started = time.perf_counter()
+        report = Worker(
+            store,
+            queue,
+            synthetic_evaluate,
+            idle_timeout=0.2,
+            poll_interval=0.02,
+        ).run()
+        assert report.jobs_completed == 0
+        assert 0.15 < time.perf_counter() - started < 5.0
+
+    def test_drain_with_idle_timeout_waits_for_work(self, tmp_path):
+        # A worker started before the submitter must not mistake a
+        # not-yet-fed queue for a drained one.
+        import threading
+
+        store, queue = _substrate(tmp_path)
+
+        def feed_late():
+            time.sleep(0.15)
+            queue_for_store(store).submit(_jobs(2))
+
+        thread = threading.Thread(target=feed_late)
+        thread.start()
+        report = Worker(
+            store,
+            queue,
+            synthetic_evaluate,
+            drain=True,
+            idle_timeout=5.0,
+            poll_interval=0.02,
+        ).run()
+        thread.join()
+        assert report.jobs_completed == 2
+
+    def test_evaluator_failure_fails_the_lease(self, tmp_path):
+        store, queue = _substrate(tmp_path)
+        queue.submit(_jobs(2))
+
+        def broken(point):
+            raise ValueError("synthetic failure")
+
+        report = Worker(
+            store, queue, broken, drain=True, batch=2
+        ).run()
+        # max_attempts leases, every one failing, then terminal.
+        assert report.jobs_completed == 0
+        assert report.jobs_failed == 2 * queue.max_attempts
+        stats = queue.stats()
+        assert stats.failed == 2 and stats.outstanding == 0
+        assert queue.job("fp00").error == "synthetic failure"
+
+    def test_poison_point_does_not_fail_its_batch_mates(self, tmp_path):
+        # One always-failing point leased alongside a good one: the
+        # batch falls back to per-job evaluation, the good point
+        # completes, and only the poison one fails terminally.
+        store, queue = _substrate(tmp_path)
+        jobs = _jobs(2)
+        queue.submit(jobs)
+        poison_id = jobs[0].job_id
+
+        def sometimes(point):
+            if point == jobs[0].point:
+                raise ValueError("poison")
+            return synthetic_evaluate(point)
+
+        report = Worker(
+            store, queue, sometimes, drain=True, batch=2
+        ).run()
+        assert report.jobs_completed == 1
+        assert report.jobs_failed == queue.max_attempts
+        assert queue.job(poison_id).status == "failed"
+        assert queue.job(jobs[1].job_id).status == "done"
+        assert store.peek(jobs[1].job_id) == synthetic_evaluate(
+            jobs[1].point
+        )
+
+    def test_drain_waits_despite_finished_rows_from_older_studies(
+        self, tmp_path
+    ):
+        # A long-lived substrate holds yesterday's done rows; a
+        # worker started before today's submitter must still wait
+        # out its idle timeout for the new work.
+        import threading
+
+        store, queue = _substrate(tmp_path)
+        queue.submit(_jobs(1))
+        queue.lease("old-worker", n=1)
+        queue.complete("old-worker", "fp00")  # stale history
+
+        def feed_late():
+            time.sleep(0.15)
+            queue_for_store(store).submit(
+                [Job("fresh", make_points(1)[0])]
+            )
+
+        thread = threading.Thread(target=feed_late)
+        thread.start()
+        report = Worker(
+            store,
+            queue,
+            synthetic_evaluate,
+            drain=True,
+            idle_timeout=5.0,
+            poll_interval=0.02,
+        ).run()
+        thread.join()
+        assert report.jobs_completed == 1
+        assert queue.job("fresh").status == "done"
+
+    def test_batched_path_matches_per_point(self, tmp_path):
+        store, queue = _substrate(tmp_path)
+        jobs = _jobs(4)
+        queue.submit(jobs)
+
+        def batch(points):
+            out = []
+            for point in points:
+                out.append((synthetic_evaluate(point), 0.125))
+            return out
+
+        report = Worker(
+            store,
+            queue,
+            synthetic_evaluate,
+            batch_evaluate=batch,
+            drain=True,
+            batch=4,
+        ).run()
+        assert report.jobs_completed == 4
+        assert report.eval_seconds == pytest.approx(0.5)
+        for job in jobs:
+            assert store.peek(job.job_id) == synthetic_evaluate(job.point)
+
+    def test_bad_batch_rejected(self, tmp_path):
+        store, queue = _substrate(tmp_path)
+        with pytest.raises(ReproError):
+            Worker(store, queue, synthetic_evaluate, batch=0)
+
+
+class TestWorkerCli:
+    def test_main_drains_in_process(self, tmp_path, capsys):
+        store, queue = _substrate(tmp_path)
+        queue.submit(_jobs(3))
+        store.close()
+        queue.close()
+        rc = main(
+            [
+                str(tmp_path / "evals.sqlite"),
+                "--evaluator",
+                "worker_eval_fixtures:make_synthetic",
+                "--drain",
+                "--batch",
+                "2",
+                "--json",
+            ]
+        )
+        assert rc == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["jobs_completed"] == 3
+        fresh = SQLiteStore(tmp_path / "evals.sqlite")
+        assert len(fresh) == 3
+        fresh.close()
+
+    def test_main_human_output_and_worker_id(self, tmp_path, capsys):
+        store, queue = _substrate(tmp_path, "file")
+        queue.submit(_jobs(1))
+        rc = main(
+            [
+                str(tmp_path / "evals"),
+                "--evaluator",
+                "worker_eval_fixtures:make_batched",
+                "--drain",
+                "--worker-id",
+                "w-test",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "w-test completed 1 jobs" in out
+        assert queue_for_store(store).job("fp00").worker_id == "w-test"
+
+    def test_main_separate_queue_path(self, tmp_path, capsys):
+        from repro.exec import FileWorkQueue
+
+        queue = FileWorkQueue(tmp_path / "standalone-queue")
+        queue.submit(_jobs(2))
+        rc = main(
+            [
+                str(tmp_path / "evals.sqlite"),
+                "--evaluator",
+                "worker_eval_fixtures:make_synthetic",
+                "--queue",
+                str(tmp_path / "standalone-queue"),
+                "--drain",
+                "--json",
+            ]
+        )
+        assert rc == 0
+        # --queue on a directory resolves its .queue/ subdirectory —
+        # the same convention submitters use for store directories.
+        inner = FileWorkQueue(tmp_path / "standalone-queue" / ".queue")
+        assert inner.stats().done == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["jobs_completed"] == 0
+
+    def test_main_bad_evaluator_is_an_operator_error(self, tmp_path, capsys):
+        rc = main(
+            [
+                str(tmp_path / "evals.sqlite"),
+                "--evaluator",
+                "no_such_module_xyz:factory",
+            ]
+        )
+        assert rc == 1
+        assert "repro-worker:" in capsys.readouterr().err
+
+
+def _spawn_worker(store_path, *extra, evaluator="make_synthetic"):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(SRC_DIR), str(TESTS_DIR)]
+        + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
+    return subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.exec.worker",
+            str(store_path),
+            "--evaluator",
+            f"worker_eval_fixtures:{evaluator}",
+            "--json",
+            *extra,
+        ],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+
+
+class TestWorkerSubprocess:
+    def test_two_real_workers_drain_one_queue(self, tmp_path):
+        path = tmp_path / "evals.sqlite"
+        store = SQLiteStore(path)
+        queue = queue_for_store(store)
+        jobs = _jobs(8)
+        queue.submit(jobs)
+        workers = [
+            _spawn_worker(path, "--drain", "--batch", "1", "--poll", "0.05")
+            for _ in range(2)
+        ]
+        reports = []
+        for proc in workers:
+            out, err = proc.communicate(timeout=60)
+            assert proc.returncode == 0, err
+            reports.append(json.loads(out))
+        assert sum(r["jobs_completed"] for r in reports) == 8
+        stats = queue.stats()
+        assert stats.done == 8 and stats.outstanding == 0
+        for job in jobs:
+            assert store.peek(job.job_id) == synthetic_evaluate(job.point)
+        queue.close()
+        store.close()
+
+    def test_sigkilled_worker_is_reclaimed_by_survivor(self, tmp_path):
+        path = tmp_path / "evals.sqlite"
+        store = SQLiteStore(path)
+        queue = queue_for_store(store)
+        jobs = _jobs(4)
+        queue.submit(jobs)
+        # The victim leases with a short TTL and an evaluator that
+        # sleeps far past it; SIGKILL leaves its leases orphaned.
+        victim = _spawn_worker(
+            path,
+            "--batch",
+            "2",
+            "--lease-seconds",
+            "1",
+            "--poll",
+            "0.05",
+            evaluator="make_slow",
+        )
+        deadline = time.monotonic() + 30.0
+        while time.monotonic() < deadline:
+            if queue.stats().leased > 0:
+                break
+            time.sleep(0.05)
+        else:
+            victim.kill()
+            pytest.fail("victim worker never leased")
+        victim.send_signal(signal.SIGKILL)
+        victim.wait(timeout=10)
+        # The survivor drains everything, reclaimed leases included.
+        survivor = _spawn_worker(
+            path,
+            "--drain",
+            "--batch",
+            "1",
+            "--poll",
+            "0.05",
+            "--idle-timeout",
+            "30",
+        )
+        out, err = survivor.communicate(timeout=60)
+        assert survivor.returncode == 0, err
+        report = json.loads(out)
+        assert report["jobs_completed"] == 4
+        stats = queue.stats()
+        assert stats.done == 4 and stats.outstanding == 0
+        # Nothing lost: every point's responses are in the store,
+        # bit-identical to an in-process evaluation.
+        for job in jobs:
+            assert store.peek(job.job_id) == synthetic_evaluate(job.point)
+        records = [queue.job(job.job_id) for job in jobs]
+        assert any(record.attempts >= 2 for record in records)
+        queue.close()
+        store.close()
+
+    def test_distributed_submitter_with_external_worker(self, tmp_path):
+        # cooperate=False: the submitting backend waits purely on a
+        # real repro-worker process.
+        path = tmp_path / "evals.sqlite"
+        worker = _spawn_worker(
+            path,
+            "--drain",
+            "--idle-timeout",
+            "30",
+            "--poll",
+            "0.05",
+        )
+        store = SQLiteStore(path)
+        backend = DistributedBackend(
+            store, cooperate=False, poll_interval=0.05, timeout=60.0
+        )
+        points = make_points(5)
+        try:
+            results = backend.run(
+                synthetic_evaluate,
+                points,
+                fingerprints=[f"ext{i}" for i in range(5)],
+            )
+        finally:
+            out, err = worker.communicate(timeout=60)
+        assert worker.returncode == 0, err
+        assert json.loads(out)["jobs_completed"] == 5
+        for point, (responses, _) in zip(points, results):
+            assert responses == synthetic_evaluate(point)
+        backend.close()
+        store.close()

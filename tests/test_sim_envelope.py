@@ -190,3 +190,48 @@ class TestEnvelopeOptionsValidation:
     def test_bad_cycles(self):
         with pytest.raises(SimulationError):
             EnvelopeOptions(map_measure_cycles=0)
+
+
+class TestChargingMapDeterminism:
+    """Grid contents are a pure function of the cache key.
+
+    The key deliberately omits the storage capacitance; before maps
+    were measured on a canonical-capacitance rebuild of the circuit,
+    a grid held whatever the *first* design point to miss the key
+    happened to measure — so independent processes (distributed
+    workers, spawn pools) evaluating different subsets of a study
+    diverged in the last bits.
+    """
+
+    def _evaluate(self, cap, tx, order_tag):
+        cfg = default_system(capacitance=cap, tx_interval=tx)
+        result = simulate(
+            cfg, MissionConfig(t_end=120.0, engine="envelope", envelope=FAST)
+        )
+        from repro.indicators import evaluate_indicators
+
+        return evaluate_indicators(
+            result,
+            ("average_harvested_power", "final_store_voltage",
+             "effective_data_rate"),
+        )
+
+    def test_evaluation_order_does_not_change_responses(self):
+        clear_charging_cache()
+        a_first = self._evaluate(0.15, 5.0, "a1")
+        b_second = self._evaluate(0.90, 30.0, "b1")
+        clear_charging_cache()
+        b_first = self._evaluate(0.90, 30.0, "b2")
+        a_second = self._evaluate(0.15, 5.0, "a2")
+        # Exact float equality: whichever point builds the map, the
+        # grid must be bit-identical.
+        assert a_first == a_second
+        assert b_first == b_second
+
+    def test_capacitance_shares_one_grid(self):
+        clear_charging_cache()
+        self._evaluate(0.15, 5.0, "x")
+        grids_after_first = charging_cache_size()
+        self._evaluate(0.90, 5.0, "y")
+        # A different store capacitance reuses the canonical grids.
+        assert charging_cache_size() == grids_after_first

@@ -1,0 +1,63 @@
+"""Evaluator factories for ``repro-worker`` tests.
+
+The worker CLI loads its evaluator from a ``module:factory`` spec, so
+these live in an importable module (worker subprocesses get this
+directory on ``PYTHONPATH``).  Factories take no arguments, mirroring
+how a real deployment constructs a toolkit inside the worker process.
+"""
+
+import math
+import time
+
+
+def _synthetic(point):
+    a = point["a"]
+    b = point["b"]
+    return {
+        "y1": math.sin(a) * b + a * a,
+        "y2": math.exp(-abs(b)) + 3.0 * a,
+    }
+
+
+def make_synthetic():
+    """A plain point evaluator."""
+    return _synthetic
+
+
+def make_broken():
+    """An evaluator that always fails."""
+
+    def broken(point):
+        raise ValueError("synthetic failure")
+
+    return broken
+
+
+def make_slow():
+    """An evaluator slow enough to be killed mid-lease."""
+
+    def slow(point):
+        time.sleep(30.0)
+        return _synthetic(point)
+
+    return slow
+
+
+class _BatchedEvaluator:
+    """Toolkit-shaped object: exposes the batched serial path."""
+
+    def evaluate_point(self, point):
+        return _synthetic(point)
+
+    def evaluate_points_timed(self, points):
+        out = []
+        for point in points:
+            started = time.perf_counter()
+            responses = self.evaluate_point(point)
+            out.append((responses, time.perf_counter() - started))
+        return out
+
+
+def make_batched():
+    """A toolkit-like object driving the batched serial path."""
+    return _BatchedEvaluator()
