@@ -1,0 +1,182 @@
+"""Evaluations-to-optimum: one-shot CCD+grid vs adaptive campaign.
+
+The paper's flow spends its whole simulation budget up front — a CCD,
+a validation LHS, one fit, one grid optimization.  The adaptive
+campaign (:mod:`repro.campaign`) spends sequentially and stops when
+the optimum stabilises.  This benchmark runs both flows on the
+quickstart problem (the canonical node over its two headline knobs,
+supercapacitance and reporting interval, optimizing the standard
+desirability) and records *evaluations-to-optimum*: the campaign must
+land within tolerance of the one-shot optimum while simulating
+measurably fewer missions.
+
+Both optima are then checked against the simulator itself: one extra
+mission at each optimum (not counted in either budget) scores the
+*true* composite desirability there, so the comparison cannot be
+flattered by surrogate error.
+
+Series land in ``results/BENCH_campaign_convergence.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from benchmarks.conftest import (
+    BENCH_ENVELOPE,
+    SMOKE,
+    STUDY_MISSION_TIME,
+    print_banner,
+)
+from repro.analysis.io import ensure_results_dir
+from repro.analysis.tables import format_table
+from repro.core.factors import DesignSpace, Factor
+from repro.core.toolkit import (
+    SensorNodeDesignToolkit,
+    standard_desirability,
+)
+
+#: The quickstart problem's two headline knobs (the factors
+#: examples/quickstart.py varies around the canonical node).
+def _space() -> DesignSpace:
+    return DesignSpace(
+        [
+            Factor("capacitance", 0.10, 1.00, units="F"),
+            Factor("tx_interval", 2.0, 60.0, transform="log", units="s"),
+        ]
+    )
+
+
+def _toolkit() -> SensorNodeDesignToolkit:
+    return SensorNodeDesignToolkit(
+        space=_space(),
+        mission_time=STUDY_MISSION_TIME,
+        envelope=BENCH_ENVELOPE,
+    )
+
+
+#: Score tolerance (composite desirability is in [0, 1]): the campaign
+#: optimum's *simulated* score must not trail the one-shot's by more.
+SCORE_TOL = 0.10
+
+
+def _simulated_score(toolkit, desirability, point) -> float:
+    responses = toolkit.evaluate_point(point)
+    return float(desirability(responses))
+
+
+def test_campaign_convergence():
+    print_banner(
+        "Adaptive campaign vs one-shot CCD: evaluations-to-optimum"
+    )
+    desirability = standard_desirability()
+
+    # -- one-shot: the paper's flow (CCD + validation + grid optimum).
+    oneshot = _toolkit()
+    study = oneshot.run_study(design="ccd", validate_points=10)
+    outcome, oneshot_point = study.optimize(desirability)
+    oneshot_evals = study.meta["exec"]["points_evaluated"]
+
+    # -- adaptive: sequential fit -> diagnose -> acquire rounds.
+    adaptive = _toolkit()
+    result = adaptive.run_campaign(
+        objective=desirability,
+        config={
+            "max_rounds": 6,
+            "batch": 4,
+            "initial_design": "lhs",
+            "initial_runs": 8,
+            "seed": 17,
+            "optimum_tol": 0.1,
+            # The surrogate-accuracy stop: once the cross-validated
+            # error of the objective responses is under 8% of their
+            # span, further rounds only re-confirm the optimum.
+            "cv_floor": 0.08,
+        },
+    )
+    campaign_evals = result.evaluations["simulated"]
+    campaign_point = result.best["point"]
+
+    # -- referee: one uncounted mission at each claimed optimum.
+    referee = _toolkit()
+    score_oneshot = _simulated_score(
+        referee, desirability, oneshot_point
+    )
+    score_campaign = _simulated_score(
+        referee, desirability, campaign_point
+    )
+
+    rows = [
+        ["one-shot CCD+grid", oneshot_evals, outcome.value, score_oneshot],
+        [
+            "adaptive campaign",
+            campaign_evals,
+            result.best["value"],
+            score_campaign,
+        ],
+    ]
+    print(
+        format_table(
+            ["flow", "simulations", "predicted D", "simulated D"], rows
+        )
+    )
+    saved = oneshot_evals - campaign_evals
+    print(
+        f"campaign stop: {result.stop_reason} after {result.n_rounds} "
+        f"rounds; {saved} simulations saved "
+        f"({campaign_evals}/{oneshot_evals} = "
+        f"{campaign_evals / oneshot_evals:.2f}x one-shot budget)"
+    )
+
+    payload = {
+        "benchmark": "campaign_convergence",
+        "smoke": SMOKE,
+        "mission_time_s": STUDY_MISSION_TIME,
+        "cpu_count": os.cpu_count(),
+        "score_tolerance": SCORE_TOL,
+        "oneshot": {
+            "evaluations": int(oneshot_evals),
+            "optimum": oneshot_point,
+            "predicted_score": float(outcome.value),
+            "simulated_score": score_oneshot,
+        },
+        "campaign": {
+            "evaluations": int(campaign_evals),
+            "rounds": result.n_rounds,
+            "stop_reason": result.stop_reason,
+            "optimum": campaign_point,
+            "predicted_score": float(result.best["value"]),
+            "simulated_score": score_campaign,
+        },
+        "savings": {
+            "evaluations_saved": int(saved),
+            "budget_ratio": campaign_evals / oneshot_evals,
+            "score_gap": score_oneshot - score_campaign,
+        },
+    }
+    path = os.path.join(
+        ensure_results_dir(), "BENCH_campaign_convergence.json"
+    )
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+    print(f"series written to {path}")
+
+    # The acceptance pair: measurably fewer simulations, optimum
+    # within tolerance of the one-shot one (scored by the simulator).
+    assert campaign_evals < oneshot_evals, (
+        f"campaign used {campaign_evals} simulations, one-shot "
+        f"{oneshot_evals}"
+    )
+    assert score_campaign >= score_oneshot - SCORE_TOL, (
+        f"campaign optimum scores {score_campaign:.3f}, one-shot "
+        f"{score_oneshot:.3f} (tolerance {SCORE_TOL})"
+    )
+
+    oneshot.close()
+    adaptive.close()
+    referee.close()
+
+
+if __name__ == "__main__":
+    test_campaign_convergence()

@@ -1,0 +1,319 @@
+"""Campaign kill/resume smoke, driven by CI.
+
+Proves the durability acceptance property of the adaptive campaign
+subsystem with *real* ``repro-campaign`` subprocesses against one
+shared substrate:
+
+1. **Control** — a campaign run end-to-end on substrate A.
+2. **Kill** — the same campaign on substrate B is SIGKILLed mid-round
+   (a per-evaluation throttle makes the window deterministic), while
+   ``repro-campaign status`` reports it unfinished (exit 2).
+3. **Resume** — ``repro-campaign resume`` on substrate B finishes the
+   campaign.  The final result (round history, optima, per-round data
+   digests) must be **bit-identical** to the control run, and the
+   resumed session must have simulated exactly the points the killed
+   session had not yet persisted — zero lost, zero repeated: ::
+
+       resumed_simulated == control_simulated - store_entries_at_kill
+
+Usage::
+
+    python benchmarks/campaign_smoke.py \
+        --store /tmp/campaign-smoke --json results/campaign_smoke.json
+
+Exit status is non-zero on any property violation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+from repro.campaign.journal import SQLiteCampaignJournal
+from repro.core.factors import DesignSpace, Factor
+from repro.core.toolkit import SensorNodeDesignToolkit
+from repro.exec.store import SQLiteStore, resolve_store
+from repro.sim.envelope import EnvelopeOptions
+
+SMOKE_ENVELOPE = EnvelopeOptions(
+    map_v_points=4,
+    map_nr_warmup_cycles=4,
+    map_warmup_cycles=8,
+    map_measure_cycles=6,
+    map_max_blocks=3,
+    map_steps_per_period=80,
+)
+
+MISSION_TIME = 120.0
+
+#: Evaluator spec the campaign subprocesses are pointed at.
+EVALUATOR_SPEC = "benchmarks.campaign_smoke:make_toolkit"
+
+#: Per-evaluation sleep in the throttled (victim) process, seconds.
+THROTTLE_ENV = "REPRO_CAMPAIGN_EVAL_SLEEP"
+
+
+class ThrottledToolkit(SensorNodeDesignToolkit):
+    """Sleeps before each evaluation when the throttle env is set, so
+    the smoke can SIGKILL a campaign provably mid-round."""
+
+    @staticmethod
+    def _throttle() -> None:
+        delay = float(os.environ.get(THROTTLE_ENV, "0") or "0")
+        if delay > 0.0:
+            time.sleep(delay)
+
+    def evaluate_point(self, params):
+        self._throttle()
+        return super().evaluate_point(params)
+
+    def evaluate_points_timed(self, points):
+        out = []
+        for point in points:
+            self._throttle()
+            out.extend(super().evaluate_points_timed([point]))
+        return out
+
+
+def make_toolkit(store: str) -> ThrottledToolkit:
+    """Factory the ``repro-campaign`` subprocesses load."""
+    return ThrottledToolkit(
+        space=DesignSpace(
+            [
+                Factor("capacitance", 0.10, 1.00, units="F"),
+                Factor(
+                    "tx_interval", 2.0, 60.0, transform="log", units="s"
+                ),
+            ]
+        ),
+        mission_time=MISSION_TIME,
+        envelope=SMOKE_ENVELOPE,
+        cache_dir=store,
+    )
+
+
+CAMPAIGN_ARGS = [
+    "--objective",
+    "effective_data_rate",
+    "--rounds",
+    "4",
+    "--batch",
+    "6",
+    "--seed",
+    "23",
+]
+
+
+def _env(**extra: str) -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(REPO_ROOT / "src"), str(REPO_ROOT)]
+        + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
+    env.update(extra)
+    return env
+
+
+def _cli(args: list[str], **extra_env: str) -> subprocess.Popen:
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.campaign.cli", *args],
+        env=_env(**extra_env),
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+
+
+class SmokeFailure(AssertionError):
+    pass
+
+
+def check(condition: bool, message: str) -> None:
+    if not condition:
+        raise SmokeFailure(message)
+
+
+def _run_to_completion(store: str, command: str) -> dict:
+    proc = _cli(
+        [command, store, "--evaluator", EVALUATOR_SPEC, "--json"]
+        + (CAMPAIGN_ARGS if command == "run" else []),
+    )
+    out, err = proc.communicate(timeout=600)
+    check(
+        proc.returncode == 0,
+        f"campaign {command} failed ({proc.returncode}): {err}",
+    )
+    return json.loads(out)
+
+
+def _store_entries(store: str) -> int:
+    handle = resolve_store(store)
+    try:
+        return len(handle)
+    finally:
+        handle.close()
+
+
+def _identity(payload: dict) -> str:
+    """The deterministic portion of a campaign result."""
+    trimmed = {
+        k: v for k, v in payload.items() if k != "evaluations"
+    }
+    return json.dumps(trimmed, sort_keys=True)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--store",
+        required=True,
+        help="base path; two .sqlite substrates are derived from it "
+        "(control / kill)",
+    )
+    parser.add_argument(
+        "--json", default=None, help="where to write the summary JSON"
+    )
+    parser.add_argument(
+        "--throttle", type=float, default=0.4,
+        help="victim's per-evaluation sleep (default 0.4 s)",
+    )
+    args = parser.parse_args(argv)
+
+    base = Path(args.store)
+    base.parent.mkdir(parents=True, exist_ok=True)
+    control_spec = str(base) + "-control.sqlite"
+    kill_spec = str(base) + "-kill.sqlite"
+    for spec in (control_spec, kill_spec):
+        if os.path.exists(spec):
+            os.unlink(spec)
+        SQLiteStore(spec).close()  # the CLI requires an existing store
+
+    summary: dict = {
+        "benchmark": "campaign_smoke",
+        "mission_time_s": MISSION_TIME,
+        "cpu_count": os.cpu_count(),
+        "throttle_s": args.throttle,
+    }
+    try:
+        print("== phase 1: control campaign runs to completion ==")
+        control = _run_to_completion(control_spec, "run")
+        summary["control"] = {
+            "stop_reason": control["stop_reason"],
+            "rounds": control["n_rounds"],
+            "simulated": control["evaluations"]["simulated"],
+        }
+        print(json.dumps(summary["control"], sort_keys=True))
+
+        print("== phase 2: SIGKILL a campaign mid-round ==")
+        victim = _cli(
+            ["run", kill_spec, "--evaluator", EVALUATOR_SPEC, "--json"]
+            + CAMPAIGN_ARGS,
+            **{THROTTLE_ENV: str(args.throttle)},
+        )
+        journal = SQLiteCampaignJournal(kill_spec)
+        deadline = time.monotonic() + 300.0
+        killed_mid_round = False
+        while time.monotonic() < deadline:
+            record = journal.load("default")
+            if record is not None and record.status == "complete":
+                break
+            if record is not None and any(
+                entry.index >= 1 for entry in record.rounds
+            ):
+                # Round 1 is journaled; with the throttle its batch is
+                # mid-evaluation. Kill while it provably is.
+                time.sleep(args.throttle * 1.5)
+                victim.send_signal(signal.SIGKILL)
+                victim.wait(timeout=30)
+                killed_mid_round = True
+                break
+            if victim.poll() is not None:
+                break
+            time.sleep(0.05)
+        record = journal.load("default")
+        journal.close()
+        check(killed_mid_round, "victim finished before it could be killed")
+        check(
+            record is not None and record.status != "complete",
+            "journal claims completion after SIGKILL",
+        )
+        entries_at_kill = _store_entries(kill_spec)
+        planned_total = sum(
+            len(entry.planned.get("points", []))
+            for entry in record.rounds
+        )
+        check(
+            entries_at_kill < control["evaluations"]["simulated"],
+            f"kill landed too late: {entries_at_kill} points already "
+            "persisted",
+        )
+        summary["kill"] = {
+            "entries_at_kill": entries_at_kill,
+            "rounds_journaled": len(record.rounds),
+            "planned_points_journaled": planned_total,
+        }
+        print(json.dumps(summary["kill"], sort_keys=True))
+
+        status = _cli(["status", kill_spec])
+        out, _ = status.communicate(timeout=60)
+        check(
+            status.returncode == 2,
+            f"status of an interrupted campaign must exit 2, got "
+            f"{status.returncode}: {out}",
+        )
+
+        print("== phase 3: resume finishes bit-identical ==")
+        resumed = _run_to_completion(kill_spec, "resume")
+        check(
+            _identity(resumed) == _identity(control),
+            "resumed campaign result diverges from the uninterrupted "
+            "control run",
+        )
+        resumed_simulated = resumed["evaluations"]["simulated"]
+        expected = control["evaluations"]["simulated"] - entries_at_kill
+        check(
+            resumed_simulated == expected,
+            f"resume re-evaluated cached points: simulated "
+            f"{resumed_simulated}, expected {expected} "
+            f"(control {control['evaluations']['simulated']} - "
+            f"{entries_at_kill} already persisted)",
+        )
+        report = _cli(["report", kill_spec, "--json"])
+        out, err = report.communicate(timeout=60)
+        check(report.returncode == 0, f"report failed: {err}")
+        check(
+            _identity(json.loads(out)) == _identity(control),
+            "journaled report diverges from the control run",
+        )
+        summary["resume"] = {
+            "simulated": resumed_simulated,
+            "bit_identical": True,
+            "re_evaluated": 0,
+        }
+        print(json.dumps(summary["resume"], sort_keys=True))
+        summary["ok"] = True
+    except SmokeFailure as failure:
+        summary["ok"] = False
+        summary["failure"] = str(failure)
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(summary, handle, indent=2, sort_keys=True)
+    if summary["ok"]:
+        print(
+            "campaign smoke verified: SIGKILL mid-round, resume "
+            "bit-identical with zero lost and zero re-evaluated points"
+        )
+    return 0 if summary["ok"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,73 @@
+"""Adaptive campaigns: sequential surrogate-guided exploration.
+
+This package is the *driver* the distributed exec substrate was
+missing: where PRs 1-4 built the machinery to evaluate arbitrary
+design points fast (parallel backends, shared persistent caches,
+durable work queues, worker fleets), a :class:`Campaign` decides
+*which points are worth evaluating next* — fit the current response
+surface, diagnose it, acquire the next batch (trust-region zoom,
+space-filling infill, desirability exploitation, steepest-ascent
+walks), and stop when the optimum stabilises.  State is journaled
+durably beside the evaluation store (:mod:`repro.campaign.journal`),
+so a killed campaign resumes mid-round with zero lost evaluations;
+the ``repro-campaign`` console script (:mod:`repro.campaign.cli`)
+surfaces run / status / resume / report to operators.
+"""
+
+from repro.campaign.acquisition import (
+    ACQUISITIONS,
+    AcquisitionStrategy,
+    AutoAcquisition,
+    DesirabilityExploit,
+    FactorBox,
+    Proposal,
+    RoundContext,
+    SpaceFillingInfill,
+    SteepestAscent,
+    TrustRegionZoom,
+    resolve_acquisition,
+)
+from repro.campaign.campaign import (
+    Campaign,
+    CampaignConfig,
+    CampaignResult,
+    Objective,
+)
+from repro.campaign.journal import (
+    CAMPAIGN_SCHEMA_VERSION,
+    CampaignJournal,
+    CampaignRecord,
+    FileCampaignJournal,
+    MemoryCampaignJournal,
+    RoundEntry,
+    SQLiteCampaignJournal,
+    journal_for_store,
+    resolve_journal,
+)
+
+__all__ = [
+    "ACQUISITIONS",
+    "AcquisitionStrategy",
+    "AutoAcquisition",
+    "CAMPAIGN_SCHEMA_VERSION",
+    "Campaign",
+    "CampaignConfig",
+    "CampaignJournal",
+    "CampaignRecord",
+    "CampaignResult",
+    "DesirabilityExploit",
+    "FactorBox",
+    "FileCampaignJournal",
+    "MemoryCampaignJournal",
+    "Objective",
+    "Proposal",
+    "RoundContext",
+    "RoundEntry",
+    "SQLiteCampaignJournal",
+    "SpaceFillingInfill",
+    "SteepestAscent",
+    "TrustRegionZoom",
+    "journal_for_store",
+    "resolve_journal",
+    "resolve_acquisition",
+]

@@ -1,0 +1,573 @@
+"""Acquisition strategies: which design points to evaluate next.
+
+Classical sequential experimentation (Box-Wilson) alternates between
+*moving* the experimental region toward better responses and
+*shrinking* it around a promising optimum; modern surrogate-guided
+exploration adds *infill* where the model is uncertain and pure
+*exploitation* around the incumbent.  This module implements all four
+as pluggable :class:`AcquisitionStrategy` objects over a movable,
+shrinkable :class:`FactorBox` in global coded units, plus an
+:class:`AutoAcquisition` that picks between them from the round's
+diagnostics — the default driver of :class:`~repro.campaign.Campaign`.
+
+Every strategy is a pure, seeded function of its
+:class:`RoundContext`, which is what makes a resumed campaign
+bit-identical to an uninterrupted one: replaying the same context
+proposes the same points.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+from repro.core.doe.ccd import central_composite
+from repro.core.doe.lhs import latin_hypercube
+from repro.core.optimize import OptimizationOutcome
+from repro.errors import DesignError
+
+#: Local-coded magnitude past which an optimum counts as pinned to the
+#: trust-region boundary (the Box-Wilson "walk out of the box" cue).
+BOUNDARY_TOL = 0.95
+
+
+@dataclass(frozen=True)
+class FactorBox:
+    """A trust region in global coded units.
+
+    The campaign fits and optimizes in the *local* coordinates of this
+    box (where it spans ``[-1, 1]^k``, so every RSM tool applies
+    unchanged) and converts to *global* coded units — the design
+    space's own ``[-1, 1]^k`` — for evaluation, journaling and
+    deduplication.  Boxes only ever shrink or translate; the mapping
+    is affine per factor, so coded-unit semantics (orthogonality,
+    comparable coefficients) survive every zoom and pan.
+    """
+
+    center: np.ndarray
+    half_width: np.ndarray
+
+    def __post_init__(self) -> None:
+        center = np.asarray(self.center, dtype=float).ravel()
+        half_width = np.asarray(self.half_width, dtype=float).ravel()
+        if center.shape != half_width.shape:
+            raise DesignError(
+                f"box center has {center.size} entries, half_width "
+                f"{half_width.size}"
+            )
+        if np.any(half_width <= 0.0):
+            raise DesignError("box half_width must be positive everywhere")
+        object.__setattr__(self, "center", center)
+        object.__setattr__(self, "half_width", half_width)
+
+    @classmethod
+    def full(cls, k: int) -> "FactorBox":
+        """The whole design space: centre 0, half-width 1."""
+        return cls(center=np.zeros(k), half_width=np.ones(k))
+
+    @property
+    def k(self) -> int:
+        return self.center.size
+
+    # -- coordinate transforms -------------------------------------------------
+
+    def to_global(self, local: np.ndarray) -> np.ndarray:
+        """Local box coordinates ([-1,1]^k) -> global coded units."""
+        local = np.asarray(local, dtype=float)
+        return self.center + local * self.half_width
+
+    def to_local(self, global_coded: np.ndarray) -> np.ndarray:
+        """Global coded units -> local box coordinates."""
+        global_coded = np.asarray(global_coded, dtype=float)
+        return (global_coded - self.center) / self.half_width
+
+    def contains(self, global_coded: np.ndarray, tol: float = 1e-9) -> np.ndarray:
+        """Row mask of global points inside the box (inclusive)."""
+        local = np.atleast_2d(self.to_local(global_coded))
+        return np.all(np.abs(local) <= 1.0 + tol, axis=1)
+
+    # -- moves -----------------------------------------------------------------
+
+    def zoomed(
+        self,
+        center_global: np.ndarray,
+        shrink: float,
+        min_half_width: float,
+    ) -> "FactorBox":
+        """Shrink toward a new centre, clamped inside the global box.
+
+        The new half-width is ``shrink x`` the old one, floored at
+        ``min_half_width``; the centre is clamped so the zoomed box
+        stays inside global ``[-1, 1]^k`` (the physical factor limits
+        are hard).
+        """
+        if not (0.0 < shrink <= 1.0):
+            raise DesignError(f"shrink must be in (0, 1], got {shrink}")
+        half = np.maximum(self.half_width * shrink, min_half_width)
+        half = np.minimum(half, 1.0)
+        center = np.clip(
+            np.asarray(center_global, dtype=float).ravel(), -1.0 + half, 1.0 - half
+        )
+        return FactorBox(center=center, half_width=half)
+
+    def panned(
+        self, center_global: np.ndarray
+    ) -> "FactorBox":
+        """Translate (same size) to a new centre, clamped inside the
+        global box."""
+        half = np.minimum(self.half_width, 1.0)
+        center = np.clip(
+            np.asarray(center_global, dtype=float).ravel(), -1.0 + half, 1.0 - half
+        )
+        return FactorBox(center=center, half_width=half)
+
+    # -- serialization ---------------------------------------------------------
+
+    def as_dict(self) -> dict:
+        return {
+            "center": [float(v) for v in self.center],
+            "half_width": [float(v) for v in self.half_width],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "FactorBox":
+        return cls(
+            center=np.asarray(payload["center"], dtype=float),
+            half_width=np.asarray(payload["half_width"], dtype=float),
+        )
+
+
+@dataclass
+class RoundContext:
+    """Everything an acquisition strategy may condition on.
+
+    Attributes:
+        round_index: the round that just completed.
+        box: the trust region that round was fitted in.
+        surfaces: fitted surfaces in *local* coordinates of ``box``.
+        outcome: the objective optimum in local coordinates.
+        objective_surface: the single fitted surface the objective
+            optimizes (None for composite objectives) — gives
+            :class:`SteepestAscent` an analytic gradient.
+        optimum_global: that optimum in global coded units.
+        x_global: (n, k) all evaluated global coded points so far.
+        loo_error: per-point |leave-one-out residual| of the objective
+            response(s), aligned with the *fit* subset (see
+            ``fit_index``), normalized per response; used to weight
+            infill toward badly-modelled regions.
+        fit_index: indices into ``x_global`` of the rows the round's
+            fit used.
+        cv_error: the round's scalar cross-validation error
+            (normalized; None when undefined).
+        lack_of_fit_p: lack-of-fit p-value (None without replicates).
+        batch: target number of new points per round.
+        seed: deterministic per-round seed.
+        shrink: zoom factor from the campaign config.
+        min_half_width: smallest allowed box half-width.
+    """
+
+    round_index: int
+    box: FactorBox
+    surfaces: Mapping[str, object]
+    outcome: OptimizationOutcome
+    objective_surface: object | None
+    optimum_global: np.ndarray
+    x_global: np.ndarray
+    loo_error: np.ndarray
+    fit_index: np.ndarray
+    cv_error: float | None
+    lack_of_fit_p: float | None
+    batch: int
+    seed: int
+    shrink: float = 0.5
+    min_half_width: float = 0.05
+
+
+@dataclass
+class Proposal:
+    """What to run next: points now, and the box the next fit uses."""
+
+    points: np.ndarray
+    box: FactorBox
+    reason: str
+    strategy: str = ""
+
+
+class AcquisitionStrategy(ABC):
+    """Chooses the next round's batch (and trust region)."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def propose(self, ctx: RoundContext) -> Proposal:
+        """Return the next batch of *global coded* points + box."""
+
+    def params(self) -> dict:
+        """Constructor parameters, for journal round-trips.
+
+        A campaign journals its acquisition as ``{name, params}`` so a
+        resumed run rebuilds the *same* strategy — a strategy with
+        tunables must report them here or resume would silently fall
+        back to defaults and break bit-identical continuation.
+        """
+        return {}
+
+    def spec(self) -> "str | dict":
+        """Serialized form: the bare name, or ``{name, params}``."""
+        params = self.params()
+        return {"name": self.name, "params": params} if params else self.name
+
+    def describe(self) -> dict:
+        return {"acquisition": self.name, **self.params()}
+
+
+def _design_in_box(box: FactorBox, matrix_local: np.ndarray) -> np.ndarray:
+    """Map a local design matrix into clipped global coded points."""
+    return np.clip(box.to_global(np.atleast_2d(matrix_local)), -1.0, 1.0)
+
+
+def initial_design_matrix(
+    kind: str, k: int, n: int | None, seed: int
+) -> np.ndarray:
+    """The round-0 design, in local (box) coordinates.
+
+    ``"ccd"`` builds a face-centred CCD (fractional core at k=5..7,
+    3 centre replicates for pure error); ``"lhs"`` a seeded maximin
+    LHS of ``n`` (default ``max(4k, 12)``) runs plus one centre point.
+    """
+    if kind == "ccd":
+        design = central_composite(
+            k, alpha="face", n_center=3, fraction=k in (5, 6, 7)
+        )
+        return design.matrix
+    if kind == "lhs":
+        runs = n if n is not None else max(4 * k, 12)
+        design = latin_hypercube(runs, k, seed=seed)
+        return np.vstack([design.matrix, np.zeros((1, k))])
+    raise DesignError(
+        f"unknown initial design kind {kind!r}; pick ccd or lhs"
+    )
+
+
+class TrustRegionZoom(AcquisitionStrategy):
+    """Shrink the box toward the current surface optimum and re-design.
+
+    The Box-Wilson "second phase": once the optimum sits inside the
+    region, halve (by default) the region around it and run a compact
+    face-centred CCD there, so the next quadratic fit resolves the
+    curvature the old, wider fit averaged out.
+    """
+
+    name = "zoom"
+
+    def propose(self, ctx: RoundContext) -> Proposal:
+        box = ctx.box.zoomed(
+            ctx.optimum_global, ctx.shrink, ctx.min_half_width
+        )
+        design = central_composite(
+            box.k, alpha="face", n_center=1, fraction=box.k in (5, 6, 7)
+        )
+        # Budget-respecting subset: curvature resolution near the new
+        # centre first (centre, then axials), factorial corners last.
+        # Points already evaluated inside the zoomed box count toward
+        # the next fit, and the campaign tops the batch up if the
+        # model would be unidentifiable — so a small batch spends on
+        # what the old, wider sample resolves worst.
+        n_f = design.meta["n_factorial"]
+        n_axial = design.meta["n_axial"]
+        corners = design.matrix[:n_f]
+        axials = design.matrix[n_f : n_f + n_axial]
+        centre = design.matrix[n_f + n_axial :]
+        prioritized = np.vstack([centre, axials, corners])
+        local = prioritized[: max(ctx.batch, 1)]
+        return Proposal(
+            points=_design_in_box(box, local),
+            box=box,
+            reason=(
+                f"zoom x{ctx.shrink:g} toward optimum "
+                f"(half-width -> {float(np.max(box.half_width)):.3f})"
+            ),
+            strategy=self.name,
+        )
+
+
+class SpaceFillingInfill(AcquisitionStrategy):
+    """Fill the current box where the surrogate is least trustworthy.
+
+    Candidates come from a seeded maximin LHS over the box; each is
+    scored by its distance to the already-evaluated points times one
+    plus the leave-one-out error of the nearest fitted run — so the
+    batch lands in cells that are both empty *and* badly modelled.
+    The box does not move: infill is for rounds where the model, not
+    the region, is the problem.
+    """
+
+    name = "infill"
+
+    def __init__(self, oversample: int = 8):
+        if oversample < 1:
+            raise DesignError(f"oversample must be >= 1, got {oversample}")
+        self.oversample = oversample
+
+    def params(self) -> dict:
+        return {"oversample": self.oversample}
+
+    def propose(self, ctx: RoundContext) -> Proposal:
+        box = ctx.box
+        n_cand = max(ctx.batch * self.oversample, ctx.batch)
+        candidates = latin_hypercube(
+            max(n_cand, 2), box.k, seed=ctx.seed
+        ).matrix
+        cand_global = _design_in_box(box, candidates)
+        existing = np.atleast_2d(ctx.x_global)
+        fit_rows = existing[ctx.fit_index] if len(ctx.fit_index) else existing
+        errors = (
+            ctx.loo_error
+            if ctx.loo_error.size == fit_rows.shape[0]
+            else np.zeros(fit_rows.shape[0])
+        )
+        chosen: list[np.ndarray] = []
+        # Distances are measured in box-local units so a narrow box
+        # still spreads its batch.
+        cand_local = box.to_local(cand_global)
+        exist_local = np.atleast_2d(box.to_local(existing))
+        fit_local = np.atleast_2d(box.to_local(fit_rows))
+        dist = np.min(
+            np.linalg.norm(
+                cand_local[:, None, :] - exist_local[None, :, :], axis=-1
+            ),
+            axis=1,
+        )
+        nearest_fit = np.argmin(
+            np.linalg.norm(
+                cand_local[:, None, :] - fit_local[None, :, :], axis=-1
+            ),
+            axis=1,
+        )
+        weight = 1.0 + errors[nearest_fit]
+        available = np.ones(cand_global.shape[0], dtype=bool)
+        for _ in range(min(ctx.batch, cand_global.shape[0])):
+            score = np.where(available, dist * weight, -np.inf)
+            pick = int(np.argmax(score))
+            if not np.isfinite(score[pick]):
+                break
+            available[pick] = False
+            chosen.append(cand_global[pick])
+            # Greedy maximin update: future picks also keep their
+            # distance from this one.
+            dist = np.minimum(
+                dist,
+                np.linalg.norm(cand_local - cand_local[pick], axis=1),
+            )
+        points = (
+            np.array(chosen) if chosen else np.empty((0, box.k))
+        )
+        return Proposal(
+            points=points,
+            box=box,
+            reason=(
+                f"space-filling infill ({len(chosen)} points weighted "
+                "by LOO error)"
+            ),
+            strategy=self.name,
+        )
+
+
+class DesirabilityExploit(AcquisitionStrategy):
+    """Polish the incumbent: a tight seeded cloud around the optimum.
+
+    Pure exploitation for the endgame — the box stays put and the
+    batch samples a radius-``radius`` (in local units) ball around the
+    current optimum, clipped to the box, plus the optimum itself.
+    """
+
+    name = "exploit"
+
+    def __init__(self, radius: float = 0.15):
+        if radius <= 0.0:
+            raise DesignError(f"radius must be > 0, got {radius}")
+        self.radius = radius
+
+    def params(self) -> dict:
+        return {"radius": self.radius}
+
+    def propose(self, ctx: RoundContext) -> Proposal:
+        box = ctx.box
+        rng = np.random.default_rng(ctx.seed)
+        n_cloud = max(ctx.batch - 1, 0)
+        local_opt = box.to_local(ctx.optimum_global)
+        cloud = np.clip(
+            local_opt
+            + rng.uniform(-self.radius, self.radius, size=(n_cloud, box.k)),
+            -1.0,
+            1.0,
+        )
+        local = np.vstack([local_opt.reshape(1, -1), cloud])
+        return Proposal(
+            points=_design_in_box(box, local),
+            box=box,
+            reason=f"exploit around optimum (radius {self.radius:g})",
+            strategy=self.name,
+        )
+
+
+class SteepestAscent(AcquisitionStrategy):
+    """Walk out of the box toward a better region (Box-Wilson phase 1).
+
+    When the optimum pins to the trust-region boundary the true
+    optimum lies outside; this strategy proposes points along the
+    steepest-ascent path of the objective surface (for a
+    single-surface objective) or along the centre-to-optimum ray (for
+    composites, whose geometric-mean objective has no single
+    polynomial gradient), stepping in global coded units until the
+    global box edge, and pans the trust region to the far end of the
+    walk.
+    """
+
+    name = "ascent"
+
+    def __init__(self, step: float = 0.25):
+        if step <= 0.0:
+            raise DesignError(f"step must be > 0, got {step}")
+        self.step = step
+
+    def params(self) -> dict:
+        return {"step": self.step}
+
+    def _direction(self, ctx: RoundContext) -> np.ndarray:
+        surface = ctx.objective_surface
+        if surface is not None:
+            grad = surface.gradient(ctx.box.to_local(ctx.optimum_global))
+            norm = float(np.linalg.norm(grad))
+            if norm > 0.0:
+                # The gradient lives in local units; rescale to global
+                # so anisotropic boxes walk in true coded directions.
+                direction = grad / ctx.box.half_width
+                norm = float(np.linalg.norm(direction))
+                if norm > 0.0:
+                    return direction / norm
+        direction = ctx.optimum_global - ctx.box.center
+        norm = float(np.linalg.norm(direction))
+        if norm == 0.0:
+            # Degenerate (optimum at centre): fall back to +x1.
+            direction = np.zeros(ctx.box.k)
+            direction[0] = 1.0
+            return direction
+        return direction / norm
+
+    def propose(self, ctx: RoundContext) -> Proposal:
+        direction = self._direction(ctx)
+        points: list[np.ndarray] = []
+        seen: set[bytes] = set()
+        x = np.asarray(ctx.optimum_global, dtype=float).copy()
+        for _ in range(max(ctx.batch, 2)):
+            x = x + self.step * direction
+            clipped = np.round(np.clip(x, -1.0, 1.0), 12)
+            # Dedupe (clipping can pin successive steps to the same
+            # edge point) but preserve walk order: the last row must
+            # stay the far end of the walk, which the box pans to.
+            key = clipped.tobytes()
+            if key not in seen:
+                seen.add(key)
+                points.append(clipped)
+            if np.any(np.abs(x) > 1.0):
+                break  # hit the hard factor limits
+        matrix = np.array(points)
+        box = ctx.box.panned(matrix[-1])
+        return Proposal(
+            points=matrix,
+            box=box,
+            reason=(
+                f"steepest-ascent walk ({matrix.shape[0]} points, "
+                f"step {self.step:g})"
+            ),
+            strategy=self.name,
+        )
+
+
+class AutoAcquisition(AcquisitionStrategy):
+    """The default driver: pick the right move from the diagnostics.
+
+    * optimum pinned to the box boundary and the box can still move
+      -> :class:`SteepestAscent` (the optimum is elsewhere);
+    * cross-validation error above ``cv_threshold`` ->
+      :class:`SpaceFillingInfill` (the model is not trustworthy
+      enough to steer yet);
+    * box already at its minimum size -> :class:`DesirabilityExploit`
+      (nothing left to shrink; polish the incumbent);
+    * otherwise -> :class:`TrustRegionZoom` (converge on the basin).
+    """
+
+    name = "auto"
+
+    def __init__(self, cv_threshold: float = 0.25):
+        if cv_threshold <= 0.0:
+            raise DesignError(
+                f"cv_threshold must be > 0, got {cv_threshold}"
+            )
+        self.cv_threshold = cv_threshold
+        self._zoom = TrustRegionZoom()
+        self._infill = SpaceFillingInfill()
+        self._exploit = DesirabilityExploit()
+        self._ascent = SteepestAscent()
+
+    def params(self) -> dict:
+        return {"cv_threshold": self.cv_threshold}
+
+    def propose(self, ctx: RoundContext) -> Proposal:
+        local_opt = ctx.box.to_local(ctx.optimum_global)
+        pinned = bool(np.max(np.abs(local_opt)) >= BOUNDARY_TOL)
+        at_edge = np.abs(ctx.optimum_global) >= 1.0 - 1e-9
+        # Pinned against the box but not against the global limits:
+        # the surface says "better is outside this region".
+        movable = pinned and not bool(
+            np.all(at_edge[np.abs(local_opt) >= BOUNDARY_TOL])
+        )
+        if movable:
+            return self._ascent.propose(ctx)
+        if ctx.cv_error is not None and ctx.cv_error > self.cv_threshold:
+            return self._infill.propose(ctx)
+        if bool(
+            np.all(ctx.box.half_width <= ctx.min_half_width + 1e-12)
+        ):
+            return self._exploit.propose(ctx)
+        return self._zoom.propose(ctx)
+
+
+#: Registry of acquisition strategies by name.
+ACQUISITIONS: dict[str, type] = {
+    "auto": AutoAcquisition,
+    "zoom": TrustRegionZoom,
+    "infill": SpaceFillingInfill,
+    "exploit": DesirabilityExploit,
+    "ascent": SteepestAscent,
+}
+
+
+def resolve_acquisition(
+    spec: "str | Mapping | AcquisitionStrategy",
+) -> AcquisitionStrategy:
+    """Build a strategy from its serialized form, or pass one through.
+
+    Accepts a ready strategy, a bare name, or the journaled
+    ``{name, params}`` form (see
+    :meth:`AcquisitionStrategy.spec`) so a resumed campaign rebuilds
+    the exact strategy — tunables included — it was started with.
+    """
+    if isinstance(spec, AcquisitionStrategy):
+        return spec
+    params: dict = {}
+    if isinstance(spec, Mapping):
+        params = dict(spec.get("params") or {})
+        spec = spec.get("name")
+    try:
+        factory = ACQUISITIONS[spec]
+    except (KeyError, TypeError):
+        raise DesignError(
+            f"unknown acquisition strategy {spec!r}; available: "
+            f"{', '.join(sorted(ACQUISITIONS))}"
+        ) from None
+    return factory(**params)

@@ -1,0 +1,450 @@
+"""``repro-campaign`` — operate adaptive campaigns from the shell.
+
+A campaign is a long-lived, interruptible artefact: it may outlive
+the process that started it, share its substrate with worker fleets,
+and need inspection while (or after) it runs.  This CLI drives the
+:mod:`repro.campaign` subsystem over the same one-path substrate the
+store / queue / worker tools use::
+
+    repro-campaign run    ~/evals.sqlite --evaluator mypkg.study:make_toolkit \
+        --objective effective_data_rate --rounds 6 --budget 120
+    repro-campaign status ~/evals.sqlite
+    repro-campaign resume ~/evals.sqlite --evaluator mypkg.study:make_toolkit
+    repro-campaign report ~/evals.sqlite --json
+
+``run``/``resume`` need ``--evaluator``, a ``module:factory`` spec in
+the :mod:`repro.exec.worker` style.  The factory is called with the
+store path if it accepts one argument (the recommended shape — build
+the toolkit with ``cache_dir=<store>`` so evaluations, work queue and
+campaign journal share one substrate), else with no arguments; it
+must return a :class:`~repro.core.toolkit.SensorNodeDesignToolkit`
+(or any object exposing ``space``, ``responses`` and an ``explorer``).
+``status`` and ``report`` read the journal alone — no evaluator, no
+simulation.
+
+Objectives: ``--objective NAME`` (maximized; add ``--minimize`` to
+flip) optimizes one response; ``--desirability`` uses the toolkit's
+canonical multi-response objective
+(:func:`~repro.core.toolkit.standard_desirability`), and is the
+default when no objective is named.
+
+Exit codes: 0 on success (``run``/``resume``: the campaign finished —
+converged or stopped), 1 on operator error, 2 from ``status`` when
+the campaign is unfinished (so scripts can poll).
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import json
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.campaign.campaign import (
+    Campaign,
+    CampaignConfig,
+    CampaignResult,
+    Objective,
+)
+from repro.campaign.journal import CampaignJournal, resolve_journal
+from repro.errors import ReproError
+
+PROG = "repro-campaign"
+
+
+class CliError(Exception):
+    """Operator-facing failure; message printed to stderr, exit 1."""
+
+
+def load_toolkit(spec: str, store: str):
+    """Build the evaluator toolkit from a ``module:factory`` spec.
+
+    The factory is tried with the store path first (so it can point
+    its ``cache_dir`` at the shared substrate), then with no
+    arguments.
+    """
+    module_name, sep, attr = spec.partition(":")
+    if not sep or not module_name or not attr:
+        raise CliError(
+            f"evaluator spec {spec!r} is not of the form module:factory"
+        )
+    try:
+        module = importlib.import_module(module_name)
+    except ImportError as error:
+        raise CliError(
+            f"cannot import evaluator module {module_name!r}: {error}"
+        ) from error
+    try:
+        factory = getattr(module, attr)
+    except AttributeError as error:
+        raise CliError(
+            f"module {module_name!r} has no attribute {attr!r}"
+        ) from error
+    if not callable(factory):
+        raise CliError(f"{spec!r} is not callable")
+    # Decide by arity, not by try/except TypeError — a TypeError
+    # raised *inside* a store-aware factory must surface as that
+    # factory's error, not trigger a zero-argument retry that then
+    # fails with a misleading missing-argument message.
+    import inspect
+
+    try:
+        takes_store = bool(
+            inspect.signature(factory).parameters
+        )
+    except (TypeError, ValueError):  # builtins without signatures
+        takes_store = False
+    built = factory(store) if takes_store else factory()
+    for required in ("space", "responses", "explorer"):
+        if not hasattr(built, required):
+            raise CliError(
+                f"{spec!r} must return a toolkit-like object with "
+                f"space/responses/explorer; got {type(built)!r}"
+            )
+    return built
+
+
+def _objective_for(args: argparse.Namespace, toolkit) -> Objective:
+    if args.objective is not None:
+        if args.objective not in toolkit.responses:
+            raise CliError(
+                f"objective {args.objective!r} is not one of the "
+                f"toolkit's responses: {sorted(toolkit.responses)}"
+            )
+        if args.minimize:
+            return Objective.minimize_response(args.objective)
+        return Objective.maximize_response(args.objective)
+    from repro.core.toolkit import standard_desirability
+
+    objective = Objective.of_desirability(standard_desirability())
+    missing = set(objective.responses) - set(toolkit.responses)
+    if missing:
+        raise CliError(
+            "the standard desirability needs responses this toolkit "
+            f"does not model: {sorted(missing)}; name one with "
+            "--objective instead"
+        )
+    return objective
+
+
+def _config_for(args: argparse.Namespace) -> CampaignConfig:
+    kwargs: dict = {}
+    for name, attr in (
+        ("max_rounds", "rounds"),
+        ("batch", "batch"),
+        ("budget", "budget"),
+        ("seed", "seed"),
+        ("optimum_tol", "tol"),
+        ("cv_floor", "cv_floor"),
+        ("shrink", "shrink"),
+        ("acquisition", "acquisition"),
+        ("initial_design", "initial_design"),
+        ("model", "model"),
+        ("eval_chunk", "eval_chunk"),
+    ):
+        value = getattr(args, attr, None)
+        if value is not None:
+            kwargs[name] = value
+    return CampaignConfig(**kwargs)
+
+
+def _open_journal(spec: str) -> CampaignJournal:
+    """Resolve the journal beside an *existing* store path (the same
+    no-substrate-springs-into-existence rule the other CLIs use)."""
+    path = Path(spec)
+    if not path.exists():
+        raise CliError(
+            f"no store at {spec!r} (a directory or *.sqlite/*.db file); "
+            f"pass an existing substrate"
+        )
+    try:
+        return resolve_journal(spec)
+    except ReproError as error:
+        raise CliError(str(error)) from error
+
+
+def _emit_result(
+    args: argparse.Namespace, result: CampaignResult
+) -> None:
+    if args.json:
+        print(json.dumps(result.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(result.report())
+
+
+def _build_campaign(
+    args: argparse.Namespace, objective: Objective | None = None
+) -> Campaign:
+    toolkit = load_toolkit(args.evaluator, args.store)
+    if objective is None:
+        objective = _objective_for(args, toolkit)
+    from repro.core.toolkit import DEFAULT_TRANSFORMS
+
+    return Campaign(
+        toolkit.explorer,
+        objective,
+        journal=resolve_journal(args.store),
+        config=_config_for(args),
+        campaign_id=args.campaign_id,
+        transforms=DEFAULT_TRANSFORMS,
+    )
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    campaign = _build_campaign(args)
+    result = campaign.run(overwrite=args.fresh)
+    _emit_result(args, result)
+    return 0
+
+
+def _cmd_resume(args: argparse.Namespace) -> int:
+    # The journal's objective is authoritative on resume; read it
+    # first so the operator does not have to restate --objective.
+    journal = _open_journal(args.store)
+    try:
+        record = journal.load(args.campaign_id)
+    finally:
+        journal.close()
+    if record is None:
+        raise CliError(
+            f"no campaign {args.campaign_id!r} to resume at "
+            f"{args.store!r}; start one with `run`"
+        )
+    # The journaled configuration is authoritative — a resume under
+    # different knobs could not continue deterministically.  Say so
+    # instead of silently ignoring what the operator typed.
+    overridden = [
+        flag
+        for flag, attr in (
+            ("--rounds", "rounds"),
+            ("--batch", "batch"),
+            ("--budget", "budget"),
+            ("--seed", "seed"),
+            ("--tol", "tol"),
+            ("--cv-floor", "cv_floor"),
+            ("--shrink", "shrink"),
+            ("--acquisition", "acquisition"),
+            ("--initial-design", "initial_design"),
+            ("--model", "model"),
+            ("--eval-chunk", "eval_chunk"),
+            ("--objective", "objective"),
+        )
+        if getattr(args, attr, None) is not None
+    ]
+    if overridden:
+        print(
+            f"{PROG}: note: {', '.join(overridden)} ignored on resume — "
+            "the journaled campaign configuration is authoritative "
+            "(start a fresh campaign to change it)",
+            file=sys.stderr,
+        )
+    objective = None
+    if record.config.get("objective"):
+        objective = Objective.from_spec(record.config["objective"])
+    campaign = _build_campaign(args, objective=objective)
+    result = campaign.resume()
+    _emit_result(args, result)
+    return 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    journal = _open_journal(args.store)
+    try:
+        records = journal.campaigns()
+        if args.campaign_id != "default" or any(
+            r.campaign_id == "default" for r in records
+        ):
+            records = [
+                r for r in records if r.campaign_id == args.campaign_id
+            ]
+        if not records:
+            raise CliError(
+                f"no campaign {args.campaign_id!r} journaled at "
+                f"{args.store!r}"
+            )
+        unfinished = False
+        payload = []
+        text = []
+        for record in records:
+            done = [r for r in record.rounds if r.status == "complete"]
+            planned = [r for r in record.rounds if r.status == "planned"]
+            last = done[-1].completed if done else None
+            entry = {
+                "campaign_id": record.campaign_id,
+                "status": record.status,
+                "rounds_complete": len(done),
+                "rounds_planned": len(planned),
+                "last_score": (last or {}).get("score"),
+                "last_stop_reason": (last or {}).get("stop_reason"),
+                "stop_reason": (record.result or {}).get("stop_reason"),
+            }
+            payload.append(entry)
+            text.append(
+                f"campaign {record.campaign_id}: {record.status}, "
+                f"{len(done)} rounds complete"
+                + (f", {len(planned)} in flight" if planned else "")
+                + (
+                    f", last score {entry['last_score']:.5g}"
+                    if entry["last_score"] is not None
+                    else ""
+                )
+                + (
+                    f", stop: {entry['stop_reason']}"
+                    if entry["stop_reason"]
+                    else ""
+                )
+            )
+            if record.status != "complete":
+                unfinished = True
+        if args.json:
+            print(json.dumps({"campaigns": payload}, indent=2, sort_keys=True))
+        else:
+            for line in text:
+                print(line)
+        return 2 if unfinished else 0
+    finally:
+        journal.close()
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    journal = _open_journal(args.store)
+    try:
+        record = journal.load(args.campaign_id)
+        if record is None:
+            raise CliError(
+                f"no campaign {args.campaign_id!r} journaled at "
+                f"{args.store!r}"
+            )
+        if record.result is None:
+            raise CliError(
+                f"campaign {args.campaign_id!r} has no final result yet "
+                f"({record.status}); use status, or resume it to "
+                "completion"
+            )
+        result = CampaignResult.from_payload(record.result)
+        _emit_result(args, result)
+        return 0
+    finally:
+        journal.close()
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog=PROG,
+        description=(
+            "Run, resume and inspect adaptive design campaigns over a "
+            "shared evaluation substrate."
+        ),
+    )
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "store",
+        help="substrate path: a directory or *.sqlite/*.db (store + "
+        "queue + campaign journal in one place)",
+    )
+    common.add_argument(
+        "--campaign-id", default="default", help="campaign identity"
+    )
+    common.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+
+    driving = argparse.ArgumentParser(add_help=False)
+    driving.add_argument(
+        "--evaluator",
+        required=True,
+        help="module:factory returning the study toolkit (called with "
+        "the store path when it accepts one argument)",
+    )
+    driving.add_argument(
+        "--objective", default=None,
+        help="response to optimize (default: the standard desirability)",
+    )
+    driving.add_argument(
+        "--minimize", action="store_true",
+        help="minimize --objective instead of maximizing",
+    )
+    driving.add_argument(
+        "--rounds", type=int, default=None, help="max rounds"
+    )
+    driving.add_argument(
+        "--batch", type=int, default=None, help="points per round"
+    )
+    driving.add_argument(
+        "--budget", type=int, default=None,
+        help="simulated-evaluation ceiling",
+    )
+    driving.add_argument(
+        "--seed", type=int, default=None, help="base seed"
+    )
+    driving.add_argument(
+        "--tol", type=float, default=None,
+        help="optimum-shift convergence tolerance (coded units)",
+    )
+    driving.add_argument(
+        "--cv-floor", type=float, default=None, dest="cv_floor",
+        help="stop when normalized CV error falls to this",
+    )
+    driving.add_argument(
+        "--shrink", type=float, default=None,
+        help="trust-region zoom factor",
+    )
+    driving.add_argument(
+        "--acquisition", default=None,
+        help="acquisition strategy (auto/zoom/infill/exploit/ascent)",
+    )
+    driving.add_argument(
+        "--initial-design", default=None, dest="initial_design",
+        choices=("ccd", "lhs"), help="round-0 design",
+    )
+    driving.add_argument(
+        "--model", default=None,
+        choices=("linear", "interaction", "quadratic"),
+        help="RSM form fitted each round",
+    )
+    driving.add_argument(
+        "--eval-chunk", type=int, default=None, dest="eval_chunk",
+        help="points per engine dispatch (durability grain)",
+    )
+
+    sub = parser.add_subparsers(dest="command", required=True)
+    run = sub.add_parser(
+        "run", parents=[common, driving],
+        help="start a campaign and drive it to a stop criterion",
+    )
+    run.add_argument(
+        "--fresh", action="store_true",
+        help="overwrite an existing campaign of the same id",
+    )
+    run.set_defaults(func=_cmd_run)
+
+    sub.add_parser(
+        "resume", parents=[common, driving],
+        help="continue a journaled campaign (zero lost evaluations)",
+    ).set_defaults(func=_cmd_resume)
+
+    sub.add_parser(
+        "status", parents=[common],
+        help="journal summary; exit 2 while unfinished",
+    ).set_defaults(func=_cmd_status)
+
+    sub.add_parser(
+        "report", parents=[common],
+        help="final result of a finished campaign",
+    ).set_defaults(func=_cmd_report)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except (CliError, ReproError) as error:
+        print(f"{PROG}: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

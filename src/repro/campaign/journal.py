@@ -1,0 +1,718 @@
+"""Durable, resumable campaign state.
+
+A campaign is a *sequence of decisions* — which box to fit in, which
+points to spend simulation budget on next — and each decision is only
+as durable as the journal it is written to.  :class:`CampaignJournal`
+records the campaign's configuration, every round's *plan* (box +
+points, written **before** any evaluation is submitted) and every
+round's *outcome* (responses, fitted-optimum summary, diagnostics,
+convergence ledger), so a SIGKILLed campaign resumes mid-round: the
+interrupted round's plan is re-submitted through the evaluation
+engine, whose shared :class:`~repro.exec.store.CacheStore` answers the
+points that already ran — zero evaluations are lost and none repeat.
+
+Three substrates mirror the :class:`~repro.exec.queue.WorkQueue` pair
+plus the in-memory default:
+
+* :class:`MemoryCampaignJournal` — process-local dicts, for tests and
+  throwaway campaigns without a persistent cache.
+* :class:`SQLiteCampaignJournal` — ``campaigns`` / ``campaign_rounds``
+  tables in a WAL-mode database, which may be *the same file* as a
+  :class:`~repro.exec.store.SQLiteStore` and
+  :class:`~repro.exec.queue.SQLiteWorkQueue`: one ``.sqlite`` path
+  then carries results, work **and** campaign state.
+* :class:`FileCampaignJournal` — one JSON document per campaign in a
+  ``.campaign/`` directory beside a file store, rewritten atomically
+  (tmp + rename) on every mutation, so a crash always leaves the last
+  consistent state.
+
+:func:`resolve_journal` maps a path spec to the right journal the way
+:func:`~repro.exec.store.resolve_store` does for stores, and
+:func:`journal_for_store` derives the journal co-located with a store.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import tempfile
+import time
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import ReproError
+from repro.exec.store import CacheStore, FileStore, MemoryStore, SQLiteStore
+
+#: On-disk schema version of journal rows/files; a mismatched record
+#: is refused (never silently resumed under stale semantics).
+CAMPAIGN_SCHEMA_VERSION = 1
+
+#: Subdirectory a file journal occupies inside a store directory.
+CAMPAIGN_SUBDIR = ".campaign"
+
+#: Campaign lifecycle states.
+CAMPAIGN_STATUSES = ("running", "complete")
+
+#: Round lifecycle states: ``planned`` (points journaled, evaluation
+#: possibly in flight) -> ``complete`` (responses + fit recorded).
+ROUND_STATUSES = ("planned", "complete")
+
+
+@dataclass
+class RoundEntry:
+    """One round's journal row.
+
+    Attributes:
+        index: zero-based round number.
+        status: one of :data:`ROUND_STATUSES`.
+        planned: the plan written before evaluation (box, coded
+            points, acquisition reason, seed).
+        completed: the outcome written after fitting (responses,
+            optimum, diagnostics, next-round plan), or None.
+    """
+
+    index: int
+    status: str
+    planned: dict = field(default_factory=dict)
+    completed: dict | None = None
+
+    def as_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "status": self.status,
+            "planned": self.planned,
+            "completed": self.completed,
+        }
+
+
+@dataclass
+class CampaignRecord:
+    """One campaign's journal state.
+
+    Attributes:
+        campaign_id: the operator-facing identity.
+        status: one of :data:`CAMPAIGN_STATUSES`.
+        config: the serialized campaign configuration (objective,
+            convergence criteria, seeds) — everything a resume needs
+            besides the evaluator itself.
+        result: the final result payload once finished.
+        created_at / updated_at: epoch stamps.
+        rounds: round entries in index order.
+    """
+
+    campaign_id: str
+    status: str
+    config: dict
+    result: dict | None = None
+    created_at: float | None = None
+    updated_at: float | None = None
+    rounds: list[RoundEntry] = field(default_factory=list)
+
+    def as_dict(self) -> dict:
+        return {
+            "campaign_id": self.campaign_id,
+            "status": self.status,
+            "config": self.config,
+            "result": self.result,
+            "created_at": self.created_at,
+            "updated_at": self.updated_at,
+            "rounds": [entry.as_dict() for entry in self.rounds],
+        }
+
+
+class CampaignJournal(ABC):
+    """Durable record of campaign configuration, plans and outcomes.
+
+    The contract: :meth:`create` refuses to clobber an existing
+    campaign unless asked, :meth:`begin_round` journals a round's plan
+    *before* any evaluation is dispatched, :meth:`complete_round`
+    records its outcome, :meth:`finish` seals the campaign, and every
+    mutation is atomic on the backing substrate — a kill between any
+    two calls leaves a state :meth:`load` returns consistently.
+    """
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def create(
+        self, campaign_id: str, config: dict, overwrite: bool = False
+    ) -> None:
+        """Register a new campaign (status ``running``, no rounds)."""
+
+    @abstractmethod
+    def load(self, campaign_id: str) -> CampaignRecord | None:
+        """The full record (rounds included), or None."""
+
+    @abstractmethod
+    def campaigns(self) -> list[CampaignRecord]:
+        """Every campaign record, most recently updated last."""
+
+    @abstractmethod
+    def begin_round(
+        self, campaign_id: str, index: int, planned: dict
+    ) -> None:
+        """Journal a round's plan before evaluation starts."""
+
+    @abstractmethod
+    def complete_round(
+        self, campaign_id: str, index: int, completed: dict
+    ) -> None:
+        """Journal a round's outcome."""
+
+    @abstractmethod
+    def finish(self, campaign_id: str, result: dict) -> None:
+        """Seal the campaign with its final result payload."""
+
+    def describe(self) -> dict:
+        """Journal parameters for reports and manifests."""
+        return {"journal": self.name}
+
+    def close(self) -> None:
+        """Release held resources (connections); idempotent."""
+
+    # -- shared guards ---------------------------------------------------------
+
+    def _require(self, campaign_id: str) -> CampaignRecord:
+        record = self.load(campaign_id)
+        if record is None:
+            raise ReproError(
+                f"no campaign {campaign_id!r} in this journal; "
+                f"have {[c.campaign_id for c in self.campaigns()]}"
+            )
+        return record
+
+
+class MemoryCampaignJournal(CampaignJournal):
+    """Process-local journal (no durability; the testing default)."""
+
+    name = "memory"
+
+    def __init__(self) -> None:
+        self._records: dict[str, CampaignRecord] = {}
+
+    def create(
+        self, campaign_id: str, config: dict, overwrite: bool = False
+    ) -> None:
+        if campaign_id in self._records and not overwrite:
+            raise ReproError(
+                f"campaign {campaign_id!r} already exists; pass "
+                "overwrite=True (CLI: --fresh) to restart it"
+            )
+        now = time.time()
+        self._records[campaign_id] = CampaignRecord(
+            campaign_id=campaign_id,
+            status="running",
+            config=dict(config),
+            created_at=now,
+            updated_at=now,
+        )
+
+    def load(self, campaign_id: str) -> CampaignRecord | None:
+        return self._records.get(campaign_id)
+
+    def campaigns(self) -> list[CampaignRecord]:
+        return sorted(
+            self._records.values(), key=lambda r: r.updated_at or 0.0
+        )
+
+    def begin_round(
+        self, campaign_id: str, index: int, planned: dict
+    ) -> None:
+        record = self._require(campaign_id)
+        record.rounds = [r for r in record.rounds if r.index != index]
+        record.rounds.append(
+            RoundEntry(index=index, status="planned", planned=dict(planned))
+        )
+        record.rounds.sort(key=lambda r: r.index)
+        record.updated_at = time.time()
+
+    def complete_round(
+        self, campaign_id: str, index: int, completed: dict
+    ) -> None:
+        record = self._require(campaign_id)
+        for entry in record.rounds:
+            if entry.index == index:
+                entry.status = "complete"
+                entry.completed = dict(completed)
+                record.updated_at = time.time()
+                return
+        raise ReproError(
+            f"campaign {campaign_id!r} has no planned round {index}"
+        )
+
+    def finish(self, campaign_id: str, result: dict) -> None:
+        record = self._require(campaign_id)
+        record.status = "complete"
+        record.result = dict(result)
+        record.updated_at = time.time()
+
+
+class SQLiteCampaignJournal(CampaignJournal):
+    """Campaign rows in a WAL-mode SQLite database.
+
+    The ``campaigns`` / ``campaign_rounds`` tables happily share a
+    database file with the store's ``evaluations`` and the queue's
+    ``queue_jobs`` tables.  Like the queue — and unlike the store —
+    the journal never deletes a corrupt database; open errors
+    propagate.
+    """
+
+    name = "sqlite"
+
+    def __init__(self, path: str | os.PathLike, timeout: float = 30.0):
+        self.path = Path(path)
+        self.timeout = float(timeout)
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+        except OSError as error:
+            raise ReproError(
+                f"cannot create journal directory {self.path.parent}: "
+                f"{error}"
+            ) from error
+        self._closed = False
+        self._conn = self._open()
+
+    def _open(self) -> sqlite3.Connection:
+        conn = sqlite3.connect(str(self.path), timeout=self.timeout)
+        conn.isolation_level = None
+        try:
+            conn.execute("PRAGMA journal_mode=WAL")
+            conn.execute("PRAGMA synchronous=NORMAL")
+            conn.execute(
+                "CREATE TABLE IF NOT EXISTS campaigns ("
+                " campaign_id TEXT PRIMARY KEY,"
+                " schema_version INTEGER NOT NULL,"
+                " status TEXT NOT NULL DEFAULT 'running',"
+                " config TEXT NOT NULL,"
+                " result TEXT,"
+                " created_at REAL NOT NULL,"
+                " updated_at REAL NOT NULL)"
+            )
+            conn.execute(
+                "CREATE TABLE IF NOT EXISTS campaign_rounds ("
+                " campaign_id TEXT NOT NULL,"
+                " round INTEGER NOT NULL,"
+                " status TEXT NOT NULL DEFAULT 'planned',"
+                " planned TEXT NOT NULL,"
+                " completed TEXT,"
+                " updated_at REAL NOT NULL,"
+                " PRIMARY KEY (campaign_id, round))"
+            )
+        except sqlite3.DatabaseError:
+            conn.close()
+            raise
+        return conn
+
+    @staticmethod
+    def _decode(blob: str | None) -> dict | None:
+        if blob is None:
+            return None
+        try:
+            decoded = json.loads(blob)
+        except ValueError:
+            return None
+        return decoded if isinstance(decoded, dict) else None
+
+    def create(
+        self, campaign_id: str, config: dict, overwrite: bool = False
+    ) -> None:
+        now = time.time()
+        self._conn.execute("BEGIN IMMEDIATE")
+        try:
+            row = self._conn.execute(
+                "SELECT 1 FROM campaigns WHERE campaign_id = ?",
+                (campaign_id,),
+            ).fetchone()
+            if row is not None:
+                if not overwrite:
+                    self._conn.execute("ROLLBACK")
+                    raise ReproError(
+                        f"campaign {campaign_id!r} already exists; pass "
+                        "overwrite=True (CLI: --fresh) to restart it"
+                    )
+                self._conn.execute(
+                    "DELETE FROM campaign_rounds WHERE campaign_id = ?",
+                    (campaign_id,),
+                )
+                self._conn.execute(
+                    "DELETE FROM campaigns WHERE campaign_id = ?",
+                    (campaign_id,),
+                )
+            self._conn.execute(
+                "INSERT INTO campaigns"
+                " (campaign_id, schema_version, status, config,"
+                "  created_at, updated_at)"
+                " VALUES (?, ?, 'running', ?, ?, ?)",
+                (
+                    campaign_id,
+                    CAMPAIGN_SCHEMA_VERSION,
+                    json.dumps(config, sort_keys=True),
+                    now,
+                    now,
+                ),
+            )
+            self._conn.execute("COMMIT")
+        except BaseException:
+            try:
+                self._conn.execute("ROLLBACK")
+            except sqlite3.OperationalError:
+                pass
+            raise
+
+    def load(self, campaign_id: str) -> CampaignRecord | None:
+        row = self._conn.execute(
+            "SELECT schema_version, status, config, result,"
+            " created_at, updated_at FROM campaigns"
+            " WHERE campaign_id = ?",
+            (campaign_id,),
+        ).fetchone()
+        if row is None:
+            return None
+        schema_version, status, config, result, created_at, updated_at = row
+        if schema_version != CAMPAIGN_SCHEMA_VERSION:
+            raise ReproError(
+                f"campaign {campaign_id!r} was journaled under schema "
+                f"{schema_version}, this build speaks "
+                f"{CAMPAIGN_SCHEMA_VERSION}; not resuming under stale "
+                "semantics"
+            )
+        record = CampaignRecord(
+            campaign_id=campaign_id,
+            status=status,
+            config=self._decode(config) or {},
+            result=self._decode(result),
+            created_at=created_at,
+            updated_at=updated_at,
+        )
+        rows = self._conn.execute(
+            "SELECT round, status, planned, completed"
+            " FROM campaign_rounds WHERE campaign_id = ?"
+            " ORDER BY round",
+            (campaign_id,),
+        ).fetchall()
+        for index, round_status, planned, completed in rows:
+            record.rounds.append(
+                RoundEntry(
+                    index=int(index),
+                    status=round_status,
+                    planned=self._decode(planned) or {},
+                    completed=self._decode(completed),
+                )
+            )
+        return record
+
+    def campaigns(self) -> list[CampaignRecord]:
+        rows = self._conn.execute(
+            "SELECT campaign_id FROM campaigns ORDER BY updated_at, "
+            "campaign_id"
+        ).fetchall()
+        return [self.load(row[0]) for row in rows]
+
+    def begin_round(
+        self, campaign_id: str, index: int, planned: dict
+    ) -> None:
+        self._require(campaign_id)
+        self._conn.execute(
+            "INSERT OR REPLACE INTO campaign_rounds"
+            " (campaign_id, round, status, planned, completed, updated_at)"
+            " VALUES (?, ?, 'planned', ?, NULL, ?)",
+            (
+                campaign_id,
+                index,
+                json.dumps(planned, sort_keys=True),
+                time.time(),
+            ),
+        )
+        self._touch(campaign_id)
+
+    def complete_round(
+        self, campaign_id: str, index: int, completed: dict
+    ) -> None:
+        cursor = self._conn.execute(
+            "UPDATE campaign_rounds SET status = 'complete',"
+            " completed = ?, updated_at = ?"
+            " WHERE campaign_id = ? AND round = ?",
+            (
+                json.dumps(completed, sort_keys=True),
+                time.time(),
+                campaign_id,
+                index,
+            ),
+        )
+        if cursor.rowcount == 0:
+            raise ReproError(
+                f"campaign {campaign_id!r} has no planned round {index}"
+            )
+        self._touch(campaign_id)
+
+    def finish(self, campaign_id: str, result: dict) -> None:
+        cursor = self._conn.execute(
+            "UPDATE campaigns SET status = 'complete', result = ?,"
+            " updated_at = ? WHERE campaign_id = ?",
+            (json.dumps(result, sort_keys=True), time.time(), campaign_id),
+        )
+        if cursor.rowcount == 0:
+            raise ReproError(f"no campaign {campaign_id!r} in this journal")
+
+    def _touch(self, campaign_id: str) -> None:
+        self._conn.execute(
+            "UPDATE campaigns SET updated_at = ? WHERE campaign_id = ?",
+            (time.time(), campaign_id),
+        )
+
+    def describe(self) -> dict:
+        return {"journal": self.name, "path": str(self.path)}
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self._conn.close()
+
+    # Mirror SQLiteWorkQueue: connections cannot pickle, paths can.
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        del state["_conn"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._closed = False
+        self._conn = self._open()
+
+
+class FileCampaignJournal(CampaignJournal):
+    """One JSON document per campaign, rewritten atomically.
+
+    A campaign lives at ``<dir>/<campaign_id>.json``; every mutation
+    rewrites the whole document through a temp file and ``os.replace``
+    — atomic on POSIX — so a crash at any instant leaves the previous
+    consistent state on disk.  Campaign documents are small (round
+    payloads, not raw traces), so whole-document rewrites stay cheap.
+    """
+
+    name = "file"
+
+    def __init__(self, directory: str | os.PathLike):
+        self.directory = Path(directory)
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        except OSError as error:
+            raise ReproError(
+                f"cannot create journal directory {self.directory}: {error}"
+            ) from error
+
+    def _path(self, campaign_id: str) -> Path:
+        if not campaign_id or "/" in campaign_id or campaign_id.startswith("."):
+            raise ReproError(
+                f"campaign id {campaign_id!r} is not a valid journal name"
+            )
+        return self.directory / f"{campaign_id}.json"
+
+    def _read(self, campaign_id: str) -> dict | None:
+        try:
+            blob = json.loads(
+                self._path(campaign_id).read_text(encoding="utf-8")
+            )
+        except OSError:
+            return None
+        except ValueError as error:
+            raise ReproError(
+                f"campaign journal {self._path(campaign_id)} is corrupt: "
+                f"{error}"
+            ) from error
+        if not isinstance(blob, dict):
+            raise ReproError(
+                f"campaign journal {self._path(campaign_id)} is corrupt: "
+                "not a JSON object"
+            )
+        if blob.get("schema") != CAMPAIGN_SCHEMA_VERSION:
+            raise ReproError(
+                f"campaign {campaign_id!r} was journaled under schema "
+                f"{blob.get('schema')}, this build speaks "
+                f"{CAMPAIGN_SCHEMA_VERSION}; not resuming under stale "
+                "semantics"
+            )
+        return blob
+
+    def _write(self, campaign_id: str, blob: dict) -> None:
+        fd, tmp_name = tempfile.mkstemp(
+            dir=self.directory, prefix=".write-", suffix=".part"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(blob, handle, sort_keys=True)
+            os.replace(tmp_name, self._path(campaign_id))
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    @staticmethod
+    def _record_from(campaign_id: str, blob: dict) -> CampaignRecord:
+        record = CampaignRecord(
+            campaign_id=campaign_id,
+            status=blob.get("status", "running"),
+            config=blob.get("config") or {},
+            result=blob.get("result"),
+            created_at=blob.get("created_at"),
+            updated_at=blob.get("updated_at"),
+        )
+        for entry in blob.get("rounds", []):
+            record.rounds.append(
+                RoundEntry(
+                    index=int(entry["index"]),
+                    status=entry.get("status", "planned"),
+                    planned=entry.get("planned") or {},
+                    completed=entry.get("completed"),
+                )
+            )
+        record.rounds.sort(key=lambda r: r.index)
+        return record
+
+    def create(
+        self, campaign_id: str, config: dict, overwrite: bool = False
+    ) -> None:
+        path = self._path(campaign_id)
+        if path.exists() and not overwrite:
+            raise ReproError(
+                f"campaign {campaign_id!r} already exists; pass "
+                "overwrite=True (CLI: --fresh) to restart it"
+            )
+        now = time.time()
+        self._write(
+            campaign_id,
+            {
+                "schema": CAMPAIGN_SCHEMA_VERSION,
+                "campaign_id": campaign_id,
+                "status": "running",
+                "config": dict(config),
+                "result": None,
+                "created_at": now,
+                "updated_at": now,
+                "rounds": [],
+            },
+        )
+
+    def load(self, campaign_id: str) -> CampaignRecord | None:
+        blob = self._read(campaign_id)
+        if blob is None:
+            return None
+        return self._record_from(campaign_id, blob)
+
+    def campaigns(self) -> list[CampaignRecord]:
+        records = []
+        try:
+            names = sorted(os.listdir(self.directory))
+        except OSError:  # pragma: no cover - directory raced away
+            return []
+        for name in names:
+            if not name.endswith(".json") or name.startswith("."):
+                continue
+            record = self.load(name[: -len(".json")])
+            if record is not None:
+                records.append(record)
+        records.sort(key=lambda r: r.updated_at or 0.0)
+        return records
+
+    def _mutate(self, campaign_id: str, mutate) -> None:
+        blob = self._read(campaign_id)
+        if blob is None:
+            raise ReproError(
+                f"no campaign {campaign_id!r} in this journal"
+            )
+        mutate(blob)
+        blob["updated_at"] = time.time()
+        self._write(campaign_id, blob)
+
+    def begin_round(
+        self, campaign_id: str, index: int, planned: dict
+    ) -> None:
+        def mutate(blob: dict) -> None:
+            rounds = [
+                r for r in blob.get("rounds", []) if r["index"] != index
+            ]
+            rounds.append(
+                {
+                    "index": index,
+                    "status": "planned",
+                    "planned": dict(planned),
+                    "completed": None,
+                }
+            )
+            rounds.sort(key=lambda r: r["index"])
+            blob["rounds"] = rounds
+
+        self._mutate(campaign_id, mutate)
+
+    def complete_round(
+        self, campaign_id: str, index: int, completed: dict
+    ) -> None:
+        def mutate(blob: dict) -> None:
+            for entry in blob.get("rounds", []):
+                if entry["index"] == index:
+                    entry["status"] = "complete"
+                    entry["completed"] = dict(completed)
+                    return
+            raise ReproError(
+                f"campaign {campaign_id!r} has no planned round {index}"
+            )
+
+        self._mutate(campaign_id, mutate)
+
+    def finish(self, campaign_id: str, result: dict) -> None:
+        def mutate(blob: dict) -> None:
+            blob["status"] = "complete"
+            blob["result"] = dict(result)
+
+        self._mutate(campaign_id, mutate)
+
+    def describe(self) -> dict:
+        return {"journal": self.name, "directory": str(self.directory)}
+
+
+#: File suffixes that make :func:`resolve_journal` pick SQLite.
+_SQLITE_SUFFIXES = (".sqlite", ".sqlite3", ".db")
+
+
+def resolve_journal(
+    spec: "CampaignJournal | str | os.PathLike | None",
+) -> CampaignJournal:
+    """Build a journal from a path spec, or pass a ready one through.
+
+    The spec convention mirrors :func:`~repro.exec.queue.resolve_queue`
+    so *one path* names the whole substrate: None is an in-memory
+    journal, a ``.sqlite``/``.db`` path keeps campaign rows in that
+    database (beside the store's and queue's tables), any other path
+    is treated as a store directory whose journal lives in its
+    ``.campaign/`` subdirectory.
+    """
+    if spec is None:
+        return MemoryCampaignJournal()
+    if isinstance(spec, CampaignJournal):
+        return spec
+    path = Path(spec)
+    if path.suffix.lower() in _SQLITE_SUFFIXES:
+        return SQLiteCampaignJournal(path)
+    return FileCampaignJournal(path / CAMPAIGN_SUBDIR)
+
+
+def journal_for_store(store: CacheStore) -> CampaignJournal:
+    """The campaign journal co-located with an evaluation store.
+
+    Persistent stores get a durable journal sharing their substrate;
+    a memory store gets a memory journal (nothing to co-locate with).
+    """
+    if isinstance(store, SQLiteStore):
+        return SQLiteCampaignJournal(store.path)
+    if isinstance(store, FileStore):
+        return FileCampaignJournal(store.directory / CAMPAIGN_SUBDIR)
+    if isinstance(store, MemoryStore):
+        return MemoryCampaignJournal()
+    raise ReproError(
+        f"no campaign journal can be co-located with a {store.name!r} "
+        "store; use a file or SQLite store (or pass a journal explicitly)"
+    )

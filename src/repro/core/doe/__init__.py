@@ -26,6 +26,7 @@ from repro.core.doe.box_behnken import box_behnken
 from repro.core.doe.lhs import latin_hypercube
 from repro.core.doe.diagnostics import (
     column_correlations,
+    condition_number,
     d_efficiency,
     design_summary,
     leverage,
@@ -43,6 +44,7 @@ __all__ = [
     "box_behnken",
     "latin_hypercube",
     "column_correlations",
+    "condition_number",
     "d_efficiency",
     "design_summary",
     "leverage",

@@ -71,6 +71,74 @@ class Design:
             meta=meta,
         )
 
+    def augment(self, points: np.ndarray, kind: str | None = None) -> "Design":
+        """Merge extra coded runs into this design.
+
+        The sequential-experimentation path: a campaign round adds
+        infill or zoom points to what was already run, and the merged
+        design must keep working as one coded matrix (same factor
+        count, same coded-unit convention) so fits, ANOVA replicate
+        grouping and diagnostics see one consistent experiment.
+
+        Args:
+            points: (m, k) coded rows to append (a single row is
+                accepted and promoted).
+            kind: optional new generator tag; default keeps this
+                design's tag.
+
+        Returns:
+            A new :class:`Design`; ``meta["augmented"]`` accumulates
+            how many runs have been merged in over the design's life.
+        """
+        extra = np.atleast_2d(np.asarray(points, dtype=float))
+        if extra.size == 0:
+            return self
+        if extra.ndim != 2 or extra.shape[1] != self.k:
+            raise DesignError(
+                f"augmenting points have shape {extra.shape}; need "
+                f"(m, {self.k}) coded rows"
+            )
+        if not np.all(np.isfinite(extra)):
+            raise DesignError("augmenting points must be finite")
+        meta = dict(self.meta)
+        meta["augmented"] = meta.get("augmented", 0) + extra.shape[0]
+        return Design(
+            matrix=np.vstack([self.matrix, extra]),
+            kind=self.kind if kind is None else kind,
+            meta=meta,
+        )
+
+    def quality(self, model: object = None) -> dict:
+        """Design-quality metrics for the intended model.
+
+        Bundles the :mod:`repro.core.doe.diagnostics` scalars —
+        maximum column correlation, D-efficiency and model-matrix
+        condition number — so reports and the adaptive campaign can
+        judge a design before (or instead of) spending budget on it.
+
+        Args:
+            model: a :class:`~repro.core.rsm.terms.ModelSpec`, a model
+                name (``"linear"`` / ``"interaction"`` /
+                ``"quadratic"`` / ``"cubic"``), or None for linear.
+        """
+        # Imported lazily: diagnostics imports this module.
+        from repro.core.doe.diagnostics import design_summary
+        from repro.core.rsm.terms import ModelSpec
+
+        if isinstance(model, str):
+            builders = {
+                "linear": ModelSpec.linear,
+                "interaction": ModelSpec.interaction,
+                "quadratic": ModelSpec.quadratic,
+                "cubic": ModelSpec.cubic,
+            }
+            if model not in builders:
+                raise DesignError(
+                    f"unknown model {model!r}; pick from {sorted(builders)}"
+                )
+            model = builders[model](self.k)
+        return design_summary(self, model)
+
     def describe(self) -> str:
         """One-line summary for tables."""
         bits = [f"{self.kind}", f"{self.n_runs} runs", f"{self.k} factors"]
@@ -78,4 +146,6 @@ class Design:
             bits.append(f"resolution {self.meta['resolution']}")
         if "alpha" in self.meta:
             bits.append(f"alpha={self.meta['alpha']:.3f}")
+        if self.meta.get("augmented"):
+            bits.append(f"+{self.meta['augmented']} augmented")
         return ", ".join(bits)

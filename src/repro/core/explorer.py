@@ -204,6 +204,25 @@ class DesignExplorer:
             exec_stats=self.engine.stats(since=stats_before),
         )
 
+    def run_matrix(
+        self,
+        x_coded: np.ndarray,
+        kind: str = "adhoc",
+        meta: Mapping | None = None,
+    ) -> ExplorationResult:
+        """Evaluate an arbitrary coded matrix (no generator required).
+
+        The sequential-campaign path: acquisition strategies propose
+        raw coded rows, not :class:`Design` objects.  The rows are
+        wrapped in a design (so fits, ANOVA and diagnostics see the
+        normal shape) and run through :meth:`run_design`.
+        """
+        matrix = np.atleast_2d(np.asarray(x_coded, dtype=float))
+        design = Design(
+            matrix=matrix, kind=kind, meta=dict(meta) if meta else {}
+        )
+        return self.run_design(design)
+
     # -- fitting ------------------------------------------------------------------
 
     def fit_surfaces(

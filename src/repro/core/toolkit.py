@@ -30,6 +30,7 @@ from repro.core.desirability import CompositeDesirability, Desirability
 from repro.core.doe.base import Design
 from repro.core.doe.box_behnken import box_behnken
 from repro.core.doe.ccd import central_composite
+from repro.core.doe.factorial import two_level_factorial
 from repro.core.doe.lhs import latin_hypercube
 from repro.core.explorer import (
     DesignExplorer,
@@ -189,6 +190,31 @@ class ToolkitStudy:
 
     # -- reporting ---------------------------------------------------------------
 
+    def _design_quality_line(self) -> str:
+        """Design-quality metrics for the model that was fitted.
+
+        Operators should see what the campaign's acquisition layer
+        conditions on: D-efficiency and the model-matrix condition
+        number tell you whether the design actually supports the
+        model before trusting its coefficients.
+        """
+        model = self.meta.get("model")
+        if not (
+            isinstance(model, str)
+            and model in ("linear", "interaction", "quadratic", "cubic")
+        ):
+            model = "quadratic"
+        try:
+            quality = self.exploration.design.quality(model)
+        except DesignError:  # pragma: no cover - defensive
+            return "design quality: unavailable"
+        return (
+            f"design quality ({model} model): "
+            f"D-efficiency {quality['d_efficiency']:.3f}, "
+            f"max |corr| {quality['max_correlation']:.3f}, "
+            f"condition number {quality['condition_number']:.1f}"
+        )
+
     def report(self) -> str:
         """Multi-section text report of the whole study."""
         parts = [
@@ -197,6 +223,7 @@ class ToolkitStudy:
             "",
             "== design ==",
             self.exploration.design.describe(),
+            self._design_quality_line(),
             f"simulated runs: {self.exploration.n_runs}, total "
             f"{self.exploration.total_seconds:.1f} s "
             f"({self.sim_seconds_per_run:.2f} s/run)",
@@ -499,22 +526,48 @@ class SensorNodeDesignToolkit:
 
     # -- designs -------------------------------------------------------------------
 
-    def build_design(self, kind: str = "ccd", **options) -> Design:
-        """Construct a study design by name: ccd / box-behnken / lhs."""
+    def _build_ccd(self, **options) -> Design:
         k = self.space.k
-        if kind == "ccd":
-            defaults = dict(alpha="face", n_center=3, fraction=k in (5, 6, 7))
-            defaults.update(options)
-            return central_composite(k, **defaults)
-        if kind == "box-behnken":
-            return box_behnken(k, **options)
-        if kind == "lhs":
-            defaults = dict(n=max(4 * k, 20), seed=1)
-            defaults.update(options)
-            return latin_hypercube(k=k, **defaults)
-        raise DesignError(
-            f"unknown design kind {kind!r}; pick ccd, box-behnken or lhs"
-        )
+        defaults = dict(alpha="face", n_center=3, fraction=k in (5, 6, 7))
+        defaults.update(options)
+        return central_composite(k, **defaults)
+
+    def _build_box_behnken(self, **options) -> Design:
+        return box_behnken(self.space.k, **options)
+
+    def _build_lhs(self, **options) -> Design:
+        k = self.space.k
+        defaults = dict(n=max(4 * k, 20), seed=1)
+        defaults.update(options)
+        return latin_hypercube(k=k, **defaults)
+
+    def _build_factorial(self, **options) -> Design:
+        return two_level_factorial(self.space.k, **options)
+
+    @property
+    def design_kinds(self) -> tuple[str, ...]:
+        """Design kind names :meth:`build_design` understands."""
+        return tuple(sorted(self._design_builders()))
+
+    def _design_builders(self) -> dict:
+        return {
+            "ccd": self._build_ccd,
+            "box-behnken": self._build_box_behnken,
+            "lhs": self._build_lhs,
+            "factorial": self._build_factorial,
+        }
+
+    def build_design(self, kind: str = "ccd", **options) -> Design:
+        """Construct a study design by name (see :attr:`design_kinds`)."""
+        builders = self._design_builders()
+        try:
+            builder = builders[kind]
+        except (KeyError, TypeError):
+            raise DesignError(
+                f"unknown design kind {kind!r}; available kinds: "
+                f"{', '.join(sorted(builders))}"
+            ) from None
+        return builder(**options)
 
     # -- the flow --------------------------------------------------------------------
 
@@ -583,6 +636,63 @@ class SensorNodeDesignToolkit:
                 "exec": self.exec_engine.stats(since=exec_before),
                 "exec_lifetime": self.exec_engine.stats(),
             },
+        )
+
+    def run_campaign(
+        self,
+        objective=None,
+        config=None,
+        campaign_id: str = "default",
+        journal=None,
+        resume: bool = False,
+        overwrite: bool = False,
+    ):
+        """Run an adaptive sequential campaign instead of a one-shot
+        study.
+
+        Where :meth:`run_study` spends its whole budget on one fixed
+        design, a campaign alternates fit -> diagnose -> acquire ->
+        evaluate rounds (see :class:`repro.campaign.Campaign`) and
+        stops when the optimum stabilises — reaching the same optimum
+        with measurably fewer simulations.  Rounds ride this
+        toolkit's evaluation engine, so backend choice, caching and
+        the distributed substrate all apply unchanged; with a
+        persistent cache (``cache_dir=``), campaign state is
+        journaled beside the store and a killed campaign resumes with
+        zero lost evaluations.
+
+        Args:
+            objective: a :class:`repro.campaign.Objective`, a
+                :class:`~repro.core.desirability.CompositeDesirability`,
+                a response name (maximized), or None for
+                :func:`standard_desirability`.
+            config: a :class:`repro.campaign.CampaignConfig` or a
+                mapping of its fields.
+            campaign_id: identity in the journal.
+            journal: override the journal (default: co-located with
+                this toolkit's cache store).
+            resume: continue the journaled campaign instead of
+                starting fresh.
+            overwrite: with ``resume=False``, replace an existing
+                campaign of the same id.
+
+        Returns:
+            :class:`repro.campaign.CampaignResult`.
+        """
+        from repro.campaign import Campaign, Objective
+
+        if objective is None:
+            objective = Objective.of_desirability(standard_desirability())
+        campaign = Campaign(
+            self.explorer,
+            objective,
+            journal=journal,
+            config=config,
+            campaign_id=campaign_id,
+            transforms=DEFAULT_TRANSFORMS,
+        )
+        return campaign.resume() if resume else campaign.run(
+            overwrite=overwrite
         )
 
     @staticmethod

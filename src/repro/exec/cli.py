@@ -17,14 +17,17 @@ with one uniform command set::
     python -m repro.exec.cli merge  ~/evals /mnt/share/other-host
     python -m repro.exec.cli verify ~/evals --repair
     python -m repro.exec.cli queue stats   ~/evals
+    python -m repro.exec.cli queue stats   ~/evals --watch 2
     python -m repro.exec.cli queue ls      ~/evals --status failed
     python -m repro.exec.cli queue requeue ~/evals --failed --expired
 
 The ``queue`` family inspects and repairs the distributed work queue
 co-located with a store (see :mod:`repro.exec.queue`): ``stats``
 counts jobs by status (exit 2 when failed jobs remain, so CI can
-gate), ``ls`` lists job rows, and ``requeue`` returns failed /
-lease-expired / named jobs to pending for the next worker.
+gate; ``--watch SECONDS`` re-samples until interrupted for observing
+queue depth while a campaign round drains across workers), ``ls``
+lists job rows, and ``requeue`` returns failed / lease-expired /
+named jobs to pending for the next worker.
 
 (Installed as the ``repro-cache`` console script; ``python -m
 repro.exec.cli`` always works from a checkout.)  Every subcommand
@@ -41,6 +44,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from datetime import datetime
 from pathlib import Path
 from typing import Callable, Sequence
@@ -428,23 +432,43 @@ def _open_queue(spec: str) -> WorkQueue:
         raise CliError(str(error)) from error
 
 
+def _queue_stats_once(args: argparse.Namespace, queue: WorkQueue) -> int:
+    stats = queue.stats()
+    payload = {**queue.describe(), **stats.as_dict()}
+    text = [
+        f"queue:    {queue.name} @ {args.store}",
+        f"pending:  {stats.pending}",
+        f"leased:   {stats.leased} ({stats.expired} lease-expired)",
+        f"done:     {stats.done}",
+        f"failed:   {stats.failed}",
+    ]
+    if stats.invalid:
+        text.append(f"invalid:  {stats.invalid} unreadable payloads")
+    if getattr(args, "watch", None):
+        stamp = _fmt_stamp(time.time())
+        payload["at"] = stamp
+        text.insert(0, f"-- {stamp} --")
+    _emit(args, payload, text)
+    # Failed jobs are work the fleet silently lost; make CI see it.
+    return 2 if stats.failed > 0 else 0
+
+
 def _cmd_queue_stats(args: argparse.Namespace) -> int:
     queue = _open_queue(args.store)
     try:
-        stats = queue.stats()
-        payload = {**queue.describe(), **stats.as_dict()}
-        text = [
-            f"queue:    {queue.name} @ {args.store}",
-            f"pending:  {stats.pending}",
-            f"leased:   {stats.leased} ({stats.expired} lease-expired)",
-            f"done:     {stats.done}",
-            f"failed:   {stats.failed}",
-        ]
-        if stats.invalid:
-            text.append(f"invalid:  {stats.invalid} unreadable payloads")
-        _emit(args, payload, text)
-        # Failed jobs are work the fleet silently lost; make CI see it.
-        return 2 if stats.failed > 0 else 0
+        if not getattr(args, "watch", None):
+            return _queue_stats_once(args, queue)
+        # Watch mode: re-sample until interrupted — the operator's view
+        # of queue depth while a campaign round drains across workers.
+        # Ctrl-C is the normal exit and reports the last sample's code.
+        code = 0
+        try:
+            while True:
+                code = _queue_stats_once(args, queue)
+                sys.stdout.flush()
+                time.sleep(args.watch)
+        except KeyboardInterrupt:
+            return code
     finally:
         queue.close()
 
@@ -627,10 +651,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     qsub = queue.add_subparsers(dest="queue_command", required=True)
 
-    qsub.add_parser(
+    qstats = qsub.add_parser(
         "stats", parents=[common],
         help="job counts by status; exit 2 if failed jobs remain",
-    ).set_defaults(func=_cmd_queue_stats)
+    )
+    qstats.add_argument(
+        "--watch", type=parse_duration, default=None, metavar="SECONDS",
+        help="re-sample every SECONDS until interrupted (watch queue "
+        "depth while a campaign round drains across workers)",
+    )
+    qstats.set_defaults(func=_cmd_queue_stats)
 
     qls = qsub.add_parser("ls", parents=[common], help="list job rows")
     qls.add_argument(

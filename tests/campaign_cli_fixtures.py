@@ -1,0 +1,54 @@
+"""Toolkit factories for ``repro-campaign`` CLI tests.
+
+The campaign CLI loads its evaluator from a ``module:factory`` spec
+(:func:`repro.campaign.cli.load_toolkit`), so these live in an
+importable module like the ``repro-worker`` fixtures do.  The factory
+is called with the store path — the recommended shape, so cache, work
+queue and campaign journal share one substrate.
+"""
+
+from repro.core.explorer import DesignExplorer
+from repro.core.factors import DesignSpace, Factor
+
+
+class SyntheticToolkit:
+    """The toolkit-like shape the CLI requires: space / responses /
+    explorer, over a cheap closed-form evaluator."""
+
+    def __init__(self, store=None):
+        self.space = DesignSpace(
+            [Factor("a", -1.0, 1.0), Factor("b", -1.0, 1.0)]
+        )
+        self.responses = ("y", "z")
+        self.explorer = DesignExplorer(
+            self.space, self.evaluate_point, self.responses,
+            cache_store=store,
+        )
+
+    def evaluate_point(self, point):
+        a, b = point["a"], point["b"]
+        return {
+            "y": -((a - 0.3) ** 2) - 2.0 * (b + 0.2) ** 2,
+            "z": a + b,
+        }
+
+
+def make_toolkit(store):
+    """Store-aware factory (the recommended one-argument shape)."""
+    return SyntheticToolkit(store)
+
+
+def make_toolkit_no_store():
+    """Zero-argument factory (legacy worker-style shape)."""
+    return SyntheticToolkit()
+
+
+def make_not_a_toolkit():
+    """Returns something without the toolkit shape."""
+    return object()
+
+
+def make_typeerror_inside(store):
+    """A store-aware factory whose *body* raises TypeError — must
+    surface as this error, not trigger a zero-argument retry."""
+    raise TypeError("bad config inside factory")

@@ -1,0 +1,556 @@
+"""The adaptive campaign subsystem on cheap synthetic evaluators.
+
+Covers the acquisition layer (factor boxes, the four strategies, the
+auto driver), the objective abstraction, the round loop (convergence,
+budget, acquisitions, relaxed desirability), and — the durability
+headline — kill/resume: an interrupted campaign resumed over the same
+substrate finishes bit-identical to an uninterrupted control run with
+no cached point re-evaluated.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.campaign import (
+    ACQUISITIONS,
+    AutoAcquisition,
+    Campaign,
+    CampaignConfig,
+    DesirabilityExploit,
+    FactorBox,
+    Objective,
+    RoundContext,
+    SpaceFillingInfill,
+    SteepestAscent,
+    TrustRegionZoom,
+    resolve_acquisition,
+)
+from repro.campaign.acquisition import initial_design_matrix
+from repro.core.desirability import CompositeDesirability, Desirability
+from repro.core.explorer import DesignExplorer
+from repro.core.factors import DesignSpace, Factor
+from repro.core.optimize import OptimizationOutcome
+from repro.errors import DesignError, OptimizationError, ReproError
+
+
+def synthetic_space() -> DesignSpace:
+    # Physical == coded bounds, so assertions read naturally.
+    return DesignSpace(
+        [Factor("a", -1.0, 1.0), Factor("b", -1.0, 1.0)]
+    )
+
+
+def evaluate(point):
+    a, b = point["a"], point["b"]
+    return {
+        "y": -((a - 0.3) ** 2) - 2.0 * (b + 0.2) ** 2,
+        "z": a + b,
+    }
+
+
+def make_explorer(cache_store=None):
+    return DesignExplorer(
+        synthetic_space(), evaluate, ["y", "z"], cache_store=cache_store
+    )
+
+
+class TestFactorBox:
+    def test_roundtrip(self):
+        box = FactorBox(center=[0.5, -0.25], half_width=[0.25, 0.5])
+        local = np.array([[1.0, -1.0], [0.0, 0.0]])
+        global_coded = box.to_global(local)
+        assert np.allclose(global_coded, [[0.75, -0.75], [0.5, -0.25]])
+        assert np.allclose(box.to_local(global_coded), local)
+
+    def test_contains(self):
+        box = FactorBox(center=[0.0, 0.0], half_width=[0.5, 0.5])
+        mask = box.contains(np.array([[0.4, 0.4], [0.6, 0.0]]))
+        assert mask.tolist() == [True, False]
+
+    def test_zoom_clamps_inside_global_box(self):
+        box = FactorBox.full(2)
+        zoomed = box.zoomed(np.array([1.0, 1.0]), 0.5, 0.05)
+        assert np.allclose(zoomed.half_width, 0.5)
+        assert np.allclose(zoomed.center, [0.5, 0.5])  # clamped
+        assert np.all(np.abs(zoomed.center) + zoomed.half_width <= 1.0 + 1e-12)
+
+    def test_zoom_floors_at_min_half_width(self):
+        box = FactorBox(center=[0.0, 0.0], half_width=[0.08, 0.08])
+        zoomed = box.zoomed(np.zeros(2), 0.5, 0.05)
+        assert np.allclose(zoomed.half_width, 0.05)
+
+    def test_pan_keeps_size(self):
+        box = FactorBox(center=[0.0, 0.0], half_width=[0.25, 0.25])
+        panned = box.panned(np.array([2.0, -2.0]))
+        assert np.allclose(panned.half_width, 0.25)
+        assert np.allclose(panned.center, [0.75, -0.75])
+
+    def test_serialization_roundtrip(self):
+        box = FactorBox(center=[0.1, -0.2], half_width=[0.3, 0.4])
+        clone = FactorBox.from_dict(box.as_dict())
+        assert np.allclose(clone.center, box.center)
+        assert np.allclose(clone.half_width, box.half_width)
+
+    def test_validation(self):
+        with pytest.raises(DesignError):
+            FactorBox(center=[0.0], half_width=[0.0])
+        with pytest.raises(DesignError):
+            FactorBox(center=[0.0, 0.0], half_width=[0.5])
+
+
+def _context(box=None, optimum=None, cv=0.01, batch=4, seed=5):
+    """A minimal RoundContext over a fitted synthetic surface.
+
+    Mirrors the campaign's convention: the surface is fitted in the
+    *local* coordinates of the box (where it spans [-1, 1]^2), on
+    responses evaluated at the corresponding global points.
+    """
+    from repro.core.doe.lhs import latin_hypercube
+    from repro.core.rsm import ModelSpec, fit_response_surface
+
+    box = box if box is not None else FactorBox.full(2)
+    x_local = latin_hypercube(20, 2, seed=1).matrix
+    x = box.to_global(x_local)
+    y = -((x[:, 0] - 0.3) ** 2) - 2.0 * (x[:, 1] + 0.2) ** 2
+    surface = fit_response_surface(x_local, y, ModelSpec.quadratic(2))
+    optimum = (
+        np.asarray(optimum, dtype=float)
+        if optimum is not None
+        else np.array([0.3, -0.2])
+    )
+    outcome = OptimizationOutcome(
+        x_coded=box.to_local(optimum),
+        value=0.0,
+        responses={"y": 0.0},
+        evaluations=1,
+    )
+    return RoundContext(
+        round_index=0,
+        box=box,
+        surfaces={"y": surface},
+        outcome=outcome,
+        objective_surface=surface,
+        optimum_global=optimum,
+        x_global=box.to_global(x_local * 0.9),
+        loo_error=np.zeros(20),
+        fit_index=np.arange(20),
+        cv_error=cv,
+        lack_of_fit_p=None,
+        batch=batch,
+        seed=seed,
+    )
+
+
+class TestStrategies:
+    def test_zoom_shrinks_and_designs_inside(self):
+        proposal = TrustRegionZoom().propose(_context())
+        assert np.allclose(proposal.box.half_width, 0.5)
+        assert proposal.points.shape[1] == 2
+        assert np.all(proposal.box.contains(proposal.points))
+
+    def test_infill_spreads_within_box(self):
+        ctx = _context(batch=5)
+        proposal = SpaceFillingInfill().propose(ctx)
+        assert proposal.points.shape == (5, 2)
+        assert np.all(ctx.box.contains(proposal.points))
+        # maximin-ish: no two picks coincide
+        d = np.linalg.norm(
+            proposal.points[:, None] - proposal.points[None, :], axis=-1
+        )
+        d[np.arange(5), np.arange(5)] = np.inf
+        assert d.min() > 0.05
+
+    def test_exploit_clusters_around_optimum(self):
+        ctx = _context(batch=6)
+        proposal = DesirabilityExploit(radius=0.1).propose(ctx)
+        assert proposal.points.shape[0] == 6
+        assert np.allclose(proposal.points[0], ctx.optimum_global)
+        spread = np.abs(proposal.points - ctx.optimum_global)
+        assert np.max(spread) <= 0.1 * np.max(ctx.box.half_width) + 1e-9
+
+    def test_ascent_walks_toward_gradient_and_pans(self):
+        box = FactorBox(center=[0.0, 0.0], half_width=[0.25, 0.25])
+        # Optimum pinned on the +a edge of the box; the fitted
+        # surface's gradient there points toward a=0.3.
+        ctx = _context(box=box, optimum=[0.25, -0.2])
+        proposal = SteepestAscent(step=0.2).propose(ctx)
+        assert proposal.points.shape[0] >= 2
+        assert np.all(proposal.points[:, 0] > 0.25)  # walked outward
+        assert not np.allclose(proposal.box.center, box.center)
+
+    def test_ascent_negative_direction_pans_to_far_end(self):
+        # Regression: the walk's last row must be its far end in walk
+        # order (a lexicographic sort would pan the box back next to
+        # the optimum for any negative-direction walk).
+        box = FactorBox(center=[0.7, -0.2], half_width=[0.25, 0.25])
+        # Optimum pinned on the -a edge at a=0.45; the quadratic's
+        # gradient there (-2(a-0.3)) points toward a=0.3, i.e.
+        # further negative.
+        ctx = _context(box=box, optimum=[0.45, -0.2], batch=4)
+        proposal = SteepestAscent(step=0.2).propose(ctx)
+        # Walk order: strictly decreasing in a.
+        assert np.all(np.diff(proposal.points[:, 0]) < 0)
+        # The box pans toward the far (most negative-a) end.
+        assert proposal.box.center[0] < box.center[0]
+        assert proposal.box.center[0] == pytest.approx(
+            np.clip(proposal.points[-1][0], -0.75, 0.75)
+        )
+
+    def test_strategies_are_deterministic_in_seed(self):
+        for strategy in (SpaceFillingInfill(), DesirabilityExploit()):
+            p1 = strategy.propose(_context(seed=42))
+            p2 = strategy.propose(_context(seed=42))
+            assert np.array_equal(p1.points, p2.points)
+
+    def test_auto_routing(self):
+        auto = AutoAcquisition()
+        # Interior optimum, good model -> zoom.
+        assert auto.propose(_context()).strategy == "zoom"
+        # Bad model -> infill.
+        assert auto.propose(_context(cv=0.9)).strategy == "infill"
+        # Optimum pinned to a movable box edge -> ascent.
+        box = FactorBox(center=[0.0, 0.0], half_width=[0.25, 0.25])
+        pinned = _context(box=box, optimum=[0.25, 0.0])
+        assert auto.propose(pinned).strategy == "ascent"
+        # Minimum-size box -> exploit.
+        tiny = FactorBox(center=[0.3, -0.2], half_width=[0.05, 0.05])
+        ctx = _context(box=tiny, optimum=[0.3, -0.2])
+        ctx.min_half_width = 0.05
+        assert auto.propose(ctx).strategy == "exploit"
+
+    def test_registry(self):
+        assert set(ACQUISITIONS) == {
+            "auto", "zoom", "infill", "exploit", "ascent"
+        }
+        assert resolve_acquisition("zoom").name == "zoom"
+        ready = SteepestAscent()
+        assert resolve_acquisition(ready) is ready
+        with pytest.raises(DesignError, match="available"):
+            resolve_acquisition("bayesian")
+
+    def test_strategy_params_roundtrip_through_spec(self):
+        # Bit-identical resume needs tunables back, not defaults.
+        for strategy in (
+            SteepestAscent(step=0.1),
+            SpaceFillingInfill(oversample=16),
+            DesirabilityExploit(radius=0.3),
+            AutoAcquisition(cv_threshold=0.4),
+        ):
+            clone = resolve_acquisition(strategy.spec())
+            assert type(clone) is type(strategy)
+            assert clone.params() == strategy.params()
+        # Parameterless strategies serialize as the bare name.
+        assert TrustRegionZoom().spec() == "zoom"
+
+    def test_config_journals_strategy_tunables(self):
+        config = CampaignConfig(acquisition=SteepestAscent(step=0.1))
+        payload = config.as_dict()
+        assert payload["acquisition"] == {
+            "name": "ascent",
+            "params": {"step": 0.1},
+        }
+        restored = CampaignConfig.from_dict(payload)
+        rebuilt = resolve_acquisition(restored.acquisition)
+        assert isinstance(rebuilt, SteepestAscent)
+        assert rebuilt.step == 0.1
+        # And the restored config re-serializes identically.
+        assert restored.as_dict()["acquisition"] == payload["acquisition"]
+
+    def test_initial_designs(self):
+        ccd = initial_design_matrix("ccd", 2, None, 1)
+        assert ccd.shape[1] == 2 and ccd.shape[0] >= 9
+        lhs = initial_design_matrix("lhs", 3, 14, 1)
+        assert lhs.shape == (15, 3)  # + centre point
+        with pytest.raises(DesignError):
+            initial_design_matrix("sobol", 2, None, 1)
+
+
+class TestObjective:
+    def test_single_response_score(self):
+        objective = Objective.maximize_response("y")
+        assert objective.responses == ("y",)
+        assert objective.score({"y": 2.0}) == 2.0
+        assert Objective.minimize_response("y").score({"y": 2.0}) == -2.0
+
+    def test_desirability_score(self):
+        composite = CompositeDesirability(
+            {"y": Desirability("maximize", 0.0, 1.0)}
+        )
+        objective = Objective.of_desirability(composite)
+        assert objective.responses == ("y",)
+        assert objective.score({"y": 0.5}) == pytest.approx(0.5)
+
+    def test_spec_roundtrip(self):
+        single = Objective.minimize_response("z")
+        clone = Objective.from_spec(single.spec())
+        assert clone.response == "z" and clone.maximize is False
+        composite = Objective.of_desirability(
+            CompositeDesirability(
+                {
+                    "y": Desirability("target", 0.0, 2.0, target=1.0),
+                    "z": Desirability("minimize", 0.0, 5.0, weight=2.0),
+                },
+                importances={"z": 3.0},
+            )
+        )
+        clone = Objective.from_spec(composite.spec())
+        values = {"y": 0.8, "z": 1.5}
+        assert clone.score(values) == pytest.approx(
+            composite.score(values)
+        )
+
+    def test_validation(self):
+        with pytest.raises(OptimizationError):
+            Objective()
+        with pytest.raises(ReproError):
+            Objective.from_spec({"kind": "mystery"})
+
+
+class TestCampaignFlow:
+    def test_converges_to_interior_optimum(self):
+        campaign = Campaign(
+            make_explorer(),
+            "y",
+            config=CampaignConfig(max_rounds=8, batch=6, seed=3),
+        )
+        result = campaign.run()
+        assert result.converged
+        assert result.stop_reason == "optimum-converged"
+        assert result.best["point"]["a"] == pytest.approx(0.3, abs=0.02)
+        assert result.best["point"]["b"] == pytest.approx(-0.2, abs=0.02)
+        assert result.n_rounds >= 2
+        assert "y" in result.surfaces
+
+    def test_beats_oneshot_budget(self):
+        # The headline claim on the synthetic problem: the campaign
+        # reaches the optimum with fewer evaluations than a one-shot
+        # dense design of comparable accuracy would take.
+        campaign = Campaign(
+            make_explorer(),
+            "y",
+            config=CampaignConfig(max_rounds=8, batch=6, seed=3),
+        )
+        result = campaign.run()
+        assert result.evaluations["simulated"] <= 40
+
+    def test_boundary_optimum_reached(self):
+        campaign = Campaign(
+            make_explorer(),
+            "z",
+            config=CampaignConfig(max_rounds=6, batch=5, seed=11),
+        )
+        result = campaign.run()
+        assert result.best["point"]["a"] == pytest.approx(1.0, abs=0.02)
+        assert result.best["point"]["b"] == pytest.approx(1.0, abs=0.02)
+
+    def test_budget_stop(self):
+        campaign = Campaign(
+            make_explorer(),
+            "y",
+            config=CampaignConfig(
+                max_rounds=10, batch=5, seed=3, budget=12
+            ),
+        )
+        result = campaign.run()
+        assert result.stop_reason == "budget-exhausted"
+        assert not result.converged
+
+    def test_max_rounds_stop(self):
+        campaign = Campaign(
+            make_explorer(),
+            "y",
+            config=CampaignConfig(
+                max_rounds=1, batch=5, seed=3
+            ),
+        )
+        result = campaign.run()
+        assert result.stop_reason == "max-rounds"
+        assert result.n_rounds == 1
+
+    def test_cv_floor_stop(self):
+        campaign = Campaign(
+            make_explorer(),
+            "y",
+            config=CampaignConfig(
+                max_rounds=8, batch=6, seed=3, cv_floor=0.5,
+                patience=99,
+            ),
+        )
+        result = campaign.run()
+        # The quadratic is exactly representable: CV error collapses.
+        assert result.stop_reason == "cv-floor-reached"
+        assert result.converged
+
+    def test_relaxed_desirability_when_all_zero(self):
+        # y <= 0 everywhere but the desirability demands y >= 5: the
+        # hard objective vetoes the whole space, and the campaign must
+        # steer by the relaxed score instead of dying.
+        composite = CompositeDesirability(
+            {"y": Desirability("maximize", 5.0, 10.0)}
+        )
+        campaign = Campaign(
+            make_explorer(),
+            composite,
+            config=CampaignConfig(max_rounds=3, batch=5, seed=5),
+        )
+        result = campaign.run()
+        assert all(entry["relaxed"] for entry in result.history)
+
+    def test_history_entries_are_complete(self):
+        result = Campaign(
+            make_explorer(),
+            "y",
+            config=CampaignConfig(max_rounds=3, batch=5, seed=3),
+        ).run()
+        for entry in result.history:
+            assert {
+                "round", "box", "n_points", "optimum_coded", "score",
+                "cv_error", "design_quality", "data_digest", "strategy",
+            } <= set(entry)
+            assert entry["design_quality"]["condition_number"] > 0
+        # Everything must be JSON-serializable (the journal contract).
+        json.dumps(result.as_dict())
+
+    def test_report_is_textual(self):
+        result = Campaign(
+            make_explorer(),
+            "y",
+            config=CampaignConfig(max_rounds=2, batch=5, seed=3),
+        ).run()
+        text = result.report()
+        assert "== rounds ==" in text
+        assert "optimum" in text
+
+    def test_objective_must_be_fittable(self):
+        with pytest.raises(DesignError, match="does not produce"):
+            Campaign(make_explorer(), "missing_response")
+
+    def test_campaign_id_collision_needs_overwrite(self):
+        explorer = make_explorer()
+        campaign = Campaign(
+            explorer,
+            "y",
+            config=CampaignConfig(max_rounds=1, batch=4, seed=3),
+        )
+        campaign.run()
+        with pytest.raises(ReproError, match="already exists"):
+            Campaign(
+                explorer,
+                "y",
+                journal=campaign.journal,
+                config=CampaignConfig(max_rounds=1, batch=4, seed=3),
+            ).run()
+        # overwrite restarts cleanly
+        result = Campaign(
+            explorer,
+            "y",
+            journal=campaign.journal,
+            config=CampaignConfig(max_rounds=1, batch=4, seed=3),
+        ).run(overwrite=True)
+        assert result.n_rounds == 1
+
+
+class KillSwitch(RuntimeError):
+    pass
+
+
+def make_killable(limit):
+    count = {"n": 0}
+
+    def killable(point):
+        count["n"] += 1
+        if limit is not None and count["n"] > limit:
+            raise KillSwitch("simulated SIGKILL")
+        return evaluate(point)
+
+    return killable
+
+
+@pytest.mark.parametrize("store_kind", ["sqlite", "file"])
+class TestKillResume:
+    """The acceptance property, in-process: interrupted + resumed ==
+    uninterrupted, with zero cached points re-evaluated."""
+
+    def _store(self, tmp_path, kind, name):
+        return str(
+            tmp_path / (f"{name}.sqlite" if kind == "sqlite" else name)
+        )
+
+    def _campaign(self, spec, limit=None):
+        explorer = DesignExplorer(
+            synthetic_space(),
+            make_killable(limit),
+            ["y", "z"],
+            cache_store=spec,
+        )
+        return Campaign(
+            explorer,
+            "y",
+            config=CampaignConfig(max_rounds=8, batch=6, seed=3),
+        )
+
+    @staticmethod
+    def _identity(result):
+        payload = result.as_dict()
+        payload.pop("evaluations")  # session-dependent by design
+        return json.dumps(payload, sort_keys=True)
+
+    def test_kill_mid_round_resume_bit_identical(
+        self, tmp_path, store_kind
+    ):
+        control = self._campaign(
+            self._store(tmp_path, store_kind, "control")
+        ).run()
+
+        victim_spec = self._store(tmp_path, store_kind, "victim")
+        victim = self._campaign(victim_spec, limit=14)
+        with pytest.raises(KillSwitch):
+            victim.run()
+        victim.explorer.close()
+
+        resumed_campaign = self._campaign(victim_spec)
+        resumed = resumed_campaign.resume()
+
+        assert self._identity(resumed) == self._identity(control)
+        # Zero lost, zero repeated: the resumed session simulates
+        # exactly what the victim had not yet persisted.
+        assert (
+            resumed.evaluations["simulated"]
+            == control.evaluations["simulated"] - 14
+        )
+
+    def test_resume_of_finished_campaign_is_free(
+        self, tmp_path, store_kind
+    ):
+        spec = self._store(tmp_path, store_kind, "done")
+        finished = self._campaign(spec).run()
+        # An evaluator that dies on the first call proves resume never
+        # evaluates anything.
+        resumed = self._campaign(spec, limit=0).resume()
+        assert resumed.stop_reason == finished.stop_reason
+        assert self._identity(resumed) == self._identity(finished)
+
+    def test_resume_missing_campaign_rejected(
+        self, tmp_path, store_kind
+    ):
+        spec = self._store(tmp_path, store_kind, "empty")
+        campaign = self._campaign(spec)
+        with pytest.raises(ReproError, match="to resume"):
+            campaign.resume()
+
+    def test_resume_refuses_other_space(self, tmp_path, store_kind):
+        spec = self._store(tmp_path, store_kind, "spacecheck")
+        self._campaign(spec).run()
+        other_space = DesignSpace(
+            [Factor("a", -2.0, 2.0), Factor("b", -1.0, 1.0)]
+        )
+        explorer = DesignExplorer(
+            other_space, evaluate, ["y", "z"], cache_store=spec
+        )
+        campaign = Campaign(
+            explorer, "y", config=CampaignConfig(seed=3)
+        )
+        with pytest.raises(ReproError, match="different factor space"):
+            campaign.resume()

@@ -1,0 +1,227 @@
+"""The ``repro-campaign`` CLI: run / status / resume / report.
+
+Drives :func:`repro.campaign.cli.main` in-process (fast, assertable
+stdout/stderr) over synthetic toolkits from
+:mod:`campaign_cli_fixtures`, plus one real-subprocess round trip to
+pin the console-script wiring.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.campaign.cli import load_toolkit, main
+from repro.campaign.journal import SQLiteCampaignJournal
+from repro.exec.store import SQLiteStore
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+FACTORY = "campaign_cli_fixtures:make_toolkit"
+
+
+def _store(tmp_path) -> str:
+    # The CLI requires an existing substrate (mirrors repro-cache).
+    spec = tmp_path / "substrate.sqlite"
+    SQLiteStore(spec).close()
+    return str(spec)
+
+
+def _run_args(spec, *extra):
+    return [
+        "run", spec, "--evaluator", FACTORY, "--objective", "y",
+        "--rounds", "4", "--batch", "5", "--seed", "3", *extra,
+    ]
+
+
+class TestLoadToolkit:
+    def test_store_aware_factory(self, tmp_path):
+        toolkit = load_toolkit(FACTORY, _store(tmp_path))
+        assert toolkit.explorer.engine.cache is not None
+
+    def test_zero_arg_factory(self, tmp_path):
+        toolkit = load_toolkit(
+            "campaign_cli_fixtures:make_toolkit_no_store",
+            _store(tmp_path),
+        )
+        assert toolkit.responses == ("y", "z")
+
+    def test_bad_specs(self, tmp_path):
+        from repro.campaign.cli import CliError
+
+        store = _store(tmp_path)
+        for spec in (
+            "no-colon",
+            "campaign_cli_fixtures:absent",
+            "nosuchmodule:factory",
+            "campaign_cli_fixtures:make_not_a_toolkit",
+        ):
+            with pytest.raises(CliError):
+                load_toolkit(spec, store)
+
+    def test_factory_typeerror_surfaces_not_retried(self, tmp_path):
+        # A TypeError raised *inside* a store-aware factory must not
+        # be mistaken for wrong arity and retried zero-argument.
+        with pytest.raises(TypeError, match="bad config inside"):
+            load_toolkit(
+                "campaign_cli_fixtures:make_typeerror_inside",
+                _store(tmp_path),
+            )
+
+
+class TestRun:
+    def test_run_to_convergence(self, tmp_path, capsys):
+        spec = _store(tmp_path)
+        assert main(_run_args(spec, "--json")) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["stop_reason"] == "optimum-converged"
+        assert payload["best"]["point"]["a"] == pytest.approx(0.3, abs=0.02)
+        # State journaled beside the store, in the same database.
+        journal = SQLiteCampaignJournal(spec)
+        record = journal.load("default")
+        assert record.status == "complete"
+        assert record.result["n_rounds"] == payload["n_rounds"]
+        journal.close()
+
+    def test_run_human_report(self, tmp_path, capsys):
+        spec = _store(tmp_path)
+        assert main(_run_args(spec)) == 0
+        out = capsys.readouterr().out
+        assert "== rounds ==" in out and "optimum" in out
+
+    def test_rerun_needs_fresh(self, tmp_path, capsys):
+        spec = _store(tmp_path)
+        assert main(_run_args(spec)) == 0
+        capsys.readouterr()
+        assert main(_run_args(spec)) == 1
+        assert "already exists" in capsys.readouterr().err
+        assert main(_run_args(spec, "--fresh")) == 0
+
+    def test_unknown_objective_rejected(self, tmp_path, capsys):
+        spec = _store(tmp_path)
+        code = main(
+            [
+                "run", spec, "--evaluator", FACTORY,
+                "--objective", "nonsense",
+            ]
+        )
+        assert code == 1
+        assert "responses" in capsys.readouterr().err
+
+    def test_default_objective_requires_standard_responses(
+        self, tmp_path, capsys
+    ):
+        # The synthetic toolkit does not model the standard
+        # desirability's responses; the CLI must say so, not crash.
+        spec = _store(tmp_path)
+        assert main(["run", spec, "--evaluator", FACTORY]) == 1
+        assert "--objective" in capsys.readouterr().err
+
+    def test_missing_store_rejected(self, tmp_path, capsys):
+        code = main(
+            ["status", str(tmp_path / "nowhere.sqlite")]
+        )
+        assert code == 1
+        assert "no store" in capsys.readouterr().err
+
+
+class TestStatusReport:
+    def test_status_exit_codes_track_progress(self, tmp_path, capsys):
+        spec = _store(tmp_path)
+        # Nothing journaled yet.
+        assert main(["status", spec]) == 1
+        capsys.readouterr()
+        assert main(_run_args(spec)) == 0
+        capsys.readouterr()
+        assert main(["status", spec, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["campaigns"][0]["status"] == "complete"
+        assert payload["campaigns"][0]["rounds_complete"] >= 2
+
+    def test_status_exit_2_while_unfinished(self, tmp_path, capsys):
+        spec = _store(tmp_path)
+        journal = SQLiteCampaignJournal(spec)
+        journal.create("default", {"config": {}})
+        journal.begin_round("default", 0, {"points": []})
+        journal.close()
+        assert main(["status", spec]) == 2
+        out = capsys.readouterr().out
+        assert "running" in out and "in flight" in out
+
+    def test_report_roundtrips_result(self, tmp_path, capsys):
+        spec = _store(tmp_path)
+        assert main(_run_args(spec, "--json")) == 0
+        ran = json.loads(capsys.readouterr().out)
+        assert main(["report", spec, "--json"]) == 0
+        reported = json.loads(capsys.readouterr().out)
+        assert reported == ran
+
+    def test_report_before_finish_rejected(self, tmp_path, capsys):
+        spec = _store(tmp_path)
+        journal = SQLiteCampaignJournal(spec)
+        journal.create("default", {"config": {}})
+        journal.close()
+        assert main(["report", spec]) == 1
+        assert "no final result" in capsys.readouterr().err
+
+
+class TestResume:
+    def test_resume_finished_campaign_reprints_result(
+        self, tmp_path, capsys
+    ):
+        spec = _store(tmp_path)
+        assert main(_run_args(spec, "--json")) == 0
+        ran = json.loads(capsys.readouterr().out)
+        # Resume does not need --objective: the journal remembers.
+        assert main(
+            ["resume", spec, "--evaluator", FACTORY, "--json"]
+        ) == 0
+        resumed = json.loads(capsys.readouterr().out)
+        assert resumed == ran
+
+    def test_resume_notes_ignored_config_flags(self, tmp_path, capsys):
+        spec = _store(tmp_path)
+        assert main(_run_args(spec)) == 0
+        capsys.readouterr()
+        assert main(
+            [
+                "resume", spec, "--evaluator", FACTORY,
+                "--budget", "500", "--rounds", "20",
+            ]
+        ) == 0
+        err = capsys.readouterr().err
+        assert "ignored on resume" in err
+        assert "--budget" in err and "--rounds" in err
+
+    def test_resume_without_campaign_fails(self, tmp_path, capsys):
+        spec = _store(tmp_path)
+        assert main(
+            ["resume", spec, "--evaluator", FACTORY]
+        ) == 1
+        assert "resume" in capsys.readouterr().err
+
+
+class TestConsoleScript:
+    def test_module_entry_point_subprocess(self, tmp_path):
+        spec = _store(tmp_path)
+        env_path = [str(REPO_ROOT / "src"), str(REPO_ROOT / "tests")]
+        import os
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            env_path + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+        )
+        proc = subprocess.run(
+            [
+                sys.executable, "-m", "repro.campaign.cli",
+                *_run_args(spec, "--json"),
+            ],
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert proc.returncode == 0, proc.stderr
+        payload = json.loads(proc.stdout)
+        assert payload["converged"] is True

@@ -1,0 +1,206 @@
+"""Campaign journal contract over every substrate.
+
+One parametrized suite pins :class:`MemoryCampaignJournal`,
+:class:`FileCampaignJournal` and :class:`SQLiteCampaignJournal` to the
+same create/plan/complete/finish semantics — the same pattern the
+store- and backend-contract suites use, so a future journal substrate
+plugs into the identical pinning.
+"""
+
+import json
+
+import pytest
+
+from repro.campaign.journal import (
+    CAMPAIGN_SCHEMA_VERSION,
+    FileCampaignJournal,
+    MemoryCampaignJournal,
+    SQLiteCampaignJournal,
+    journal_for_store,
+    resolve_journal,
+)
+from repro.errors import ReproError
+from repro.exec.store import FileStore, MemoryStore, SQLiteStore
+
+
+@pytest.fixture(params=["memory", "file", "sqlite"])
+def journal(request, tmp_path):
+    if request.param == "memory":
+        j = MemoryCampaignJournal()
+    elif request.param == "file":
+        j = FileCampaignJournal(tmp_path / ".campaign")
+    else:
+        j = SQLiteCampaignJournal(tmp_path / "journal.sqlite")
+    yield j
+    j.close()
+
+
+CONFIG = {"config": {"seed": 3}, "objective": {"kind": "response"}}
+
+
+class TestJournalContract:
+    def test_create_and_load(self, journal):
+        journal.create("camp", CONFIG)
+        record = journal.load("camp")
+        assert record is not None
+        assert record.status == "running"
+        assert record.config == CONFIG
+        assert record.rounds == []
+        assert record.created_at is not None
+
+    def test_load_absent_returns_none(self, journal):
+        assert journal.load("ghost") is None
+
+    def test_create_refuses_to_clobber(self, journal):
+        journal.create("camp", CONFIG)
+        with pytest.raises(ReproError, match="already exists"):
+            journal.create("camp", CONFIG)
+
+    def test_create_overwrite_resets(self, journal):
+        journal.create("camp", CONFIG)
+        journal.begin_round("camp", 0, {"points": [[0.0]]})
+        journal.create("camp", {"config": {"seed": 9}}, overwrite=True)
+        record = journal.load("camp")
+        assert record.config == {"config": {"seed": 9}}
+        assert record.rounds == []
+        assert record.status == "running"
+
+    def test_round_lifecycle(self, journal):
+        journal.create("camp", CONFIG)
+        journal.begin_round("camp", 0, {"points": [[0.0, 1.0]]})
+        record = journal.load("camp")
+        assert [r.status for r in record.rounds] == ["planned"]
+        journal.complete_round("camp", 0, {"score": 1.5})
+        journal.begin_round("camp", 1, {"points": [[0.5, 0.5]]})
+        record = journal.load("camp")
+        assert [r.status for r in record.rounds] == ["complete", "planned"]
+        assert record.rounds[0].completed == {"score": 1.5}
+        assert record.rounds[1].planned == {"points": [[0.5, 0.5]]}
+
+    def test_complete_unplanned_round_rejected(self, journal):
+        journal.create("camp", CONFIG)
+        with pytest.raises(ReproError, match="no planned round"):
+            journal.complete_round("camp", 3, {})
+
+    def test_round_ops_need_campaign(self, journal):
+        with pytest.raises(ReproError):
+            journal.begin_round("ghost", 0, {})
+        with pytest.raises(ReproError):
+            journal.finish("ghost", {})
+
+    def test_finish_seals(self, journal):
+        journal.create("camp", CONFIG)
+        journal.begin_round("camp", 0, {"points": []})
+        journal.complete_round("camp", 0, {"score": 2.0})
+        journal.finish("camp", {"stop_reason": "max-rounds"})
+        record = journal.load("camp")
+        assert record.status == "complete"
+        assert record.result == {"stop_reason": "max-rounds"}
+
+    def test_begin_round_replaces_same_index(self, journal):
+        # A resume may re-plan an interrupted round deterministically;
+        # the journal keeps exactly one row per index.
+        journal.create("camp", CONFIG)
+        journal.begin_round("camp", 0, {"points": [[0.0]]})
+        journal.begin_round("camp", 0, {"points": [[1.0]]})
+        record = journal.load("camp")
+        assert len(record.rounds) == 1
+        assert record.rounds[0].planned == {"points": [[1.0]]}
+
+    def test_campaigns_lists_everything(self, journal):
+        journal.create("a", CONFIG)
+        journal.create("b", CONFIG)
+        ids = [r.campaign_id for r in journal.campaigns()]
+        assert set(ids) == {"a", "b"}
+
+    def test_floats_roundtrip_exactly(self, journal):
+        # Bit-identical resume rests on this: journaled responses must
+        # come back as the same float bits.
+        values = [0.1, 1.0000000000000002, 130.13333333333347, 1e-300]
+        journal.create("camp", CONFIG)
+        journal.begin_round("camp", 0, {"points": [values]})
+        record = journal.load("camp")
+        assert record.rounds[0].planned["points"][0] == values
+
+
+class TestFileJournal:
+    def test_rejects_bad_campaign_ids(self, tmp_path):
+        journal = FileCampaignJournal(tmp_path)
+        for bad in ("", "../escape", ".hidden"):
+            with pytest.raises(ReproError):
+                journal.create(bad, CONFIG)
+
+    def test_corrupt_document_is_loud(self, tmp_path):
+        journal = FileCampaignJournal(tmp_path)
+        journal.create("camp", CONFIG)
+        (tmp_path / "camp.json").write_text("{not json", encoding="utf-8")
+        with pytest.raises(ReproError, match="corrupt"):
+            journal.load("camp")
+
+    def test_schema_mismatch_refused(self, tmp_path):
+        journal = FileCampaignJournal(tmp_path)
+        journal.create("camp", CONFIG)
+        path = tmp_path / "camp.json"
+        blob = json.loads(path.read_text())
+        blob["schema"] = CAMPAIGN_SCHEMA_VERSION + 1
+        path.write_text(json.dumps(blob))
+        with pytest.raises(ReproError, match="schema"):
+            journal.load("camp")
+
+    def test_stray_files_ignored_in_listing(self, tmp_path):
+        journal = FileCampaignJournal(tmp_path)
+        journal.create("camp", CONFIG)
+        (tmp_path / ".write-stray.part").write_text("x")
+        (tmp_path / "notes.txt").write_text("x")
+        assert [r.campaign_id for r in journal.campaigns()] == ["camp"]
+
+
+class TestSQLiteJournal:
+    def test_shares_database_with_store_and_queue(self, tmp_path):
+        path = tmp_path / "substrate.sqlite"
+        store = SQLiteStore(path)
+        store.persist("fp", {"y": 1.0})
+        journal = SQLiteCampaignJournal(path)
+        journal.create("camp", CONFIG)
+        assert store.peek("fp") == {"y": 1.0}
+        assert journal.load("camp").status == "running"
+        journal.close()
+        store.close()
+
+    def test_pickles_by_path(self, tmp_path):
+        import pickle
+
+        journal = SQLiteCampaignJournal(tmp_path / "j.sqlite")
+        journal.create("camp", CONFIG)
+        clone = pickle.loads(pickle.dumps(journal))
+        assert clone.load("camp").status == "running"
+        clone.close()
+        journal.close()
+
+
+class TestResolution:
+    def test_resolve_none_is_memory(self):
+        assert resolve_journal(None).name == "memory"
+
+    def test_resolve_passthrough(self):
+        journal = MemoryCampaignJournal()
+        assert resolve_journal(journal) is journal
+
+    def test_resolve_by_suffix(self, tmp_path):
+        assert (
+            resolve_journal(tmp_path / "x.sqlite").name == "sqlite"
+        )
+        file_journal = resolve_journal(tmp_path / "store-dir")
+        assert file_journal.name == "file"
+        assert file_journal.directory.name == ".campaign"
+
+    def test_journal_for_store(self, tmp_path):
+        assert journal_for_store(MemoryStore()).name == "memory"
+        sq = SQLiteStore(tmp_path / "s.sqlite")
+        assert journal_for_store(sq).name == "sqlite"
+        sq.close()
+        fs = FileStore(tmp_path / "fs")
+        journal = journal_for_store(fs)
+        assert journal.name == "file"
+        assert journal.directory == fs.directory / ".campaign"
+        fs.close()

@@ -276,6 +276,76 @@ class TestDesignMethods:
         text = central_composite(3).describe()
         assert "ccd" in text and "alpha" in text
 
+    def test_augment_appends_rows(self):
+        base = central_composite(2, n_center=1)
+        extra = np.array([[0.25, -0.5], [0.75, 0.75]])
+        merged = base.augment(extra)
+        assert merged.n_runs == base.n_runs + 2
+        assert np.allclose(merged.matrix[-2:], extra)
+        assert merged.kind == base.kind
+        assert merged.meta["augmented"] == 2
+        # The original is untouched (augment returns a new design).
+        assert base.n_runs == merged.n_runs - 2
+        assert "augmented" not in base.meta
+
+    def test_augment_accumulates_and_tags(self):
+        design = two_level_factorial(2).augment([[0.0, 0.0]])
+        design = design.augment([[0.5, 0.5]], kind="campaign")
+        assert design.meta["augmented"] == 2
+        assert design.kind == "campaign"
+        assert "+2 augmented" in design.describe()
+
+    def test_augment_single_row_promoted(self):
+        design = two_level_factorial(2).augment(np.array([0.1, 0.2]))
+        assert design.n_runs == 5
+
+    def test_augment_empty_is_identity(self):
+        design = two_level_factorial(2)
+        assert design.augment(np.empty((0, 2))) is design
+
+    def test_augment_validation(self):
+        design = two_level_factorial(2)
+        with pytest.raises(DesignError):
+            design.augment([[1.0, 2.0, 3.0]])  # wrong k
+        with pytest.raises(DesignError):
+            design.augment([[np.nan, 0.0]])
+
+    def test_augmented_design_supports_coded_fits(self):
+        # The campaign contract: merging points must not break
+        # coded-unit semantics — the merged matrix fits the same model
+        # the base design supported, with more degrees of freedom.
+        from repro.core.rsm.fit import fit_response_surface
+
+        base = central_composite(2, n_center=1)
+        merged = base.augment(
+            latin_hypercube(6, 2, seed=4).matrix
+        )
+        y = merged.matrix[:, 0] ** 2 - merged.matrix[:, 1]
+        surface = fit_response_surface(
+            merged.matrix, y, ModelSpec.quadratic(2)
+        )
+        assert surface.stats.n == merged.n_runs
+        assert surface.stats.r_squared > 0.999
+
+    def test_quality_metrics(self):
+        design = two_level_factorial(3)
+        quality = design.quality()
+        assert quality["d_efficiency"] == pytest.approx(1.0)
+        assert quality["condition_number"] == pytest.approx(1.0)
+        quadratic = central_composite(2, n_center=3).quality("quadratic")
+        assert quadratic["condition_number"] > 1.0
+        assert 0.0 < quadratic["d_efficiency"] <= 1.0
+
+    def test_quality_accepts_modelspec_and_rejects_nonsense(self):
+        design = central_composite(2, n_center=1)
+        explicit = design.quality(ModelSpec.quadratic(2))
+        named = design.quality("quadratic")
+        assert explicit["condition_number"] == pytest.approx(
+            named["condition_number"]
+        )
+        with pytest.raises(DesignError, match="unknown model"):
+            design.quality("septic")
+
 
 class TestDiagnostics:
     def test_factorial_is_d_optimal_for_linear(self):

@@ -196,6 +196,119 @@ class TestOptimizeSurface:
             optimize_surface(self._surface(), points_per_axis=1)
 
 
+class TestOptimizeSurfaceEdgeCases:
+    """Degenerate topologies the campaign's acquisition loop hits."""
+
+    def _fit(self, fn, seed=31, n=60):
+        x = latin_hypercube(n, 2, seed=seed).matrix
+        return fit_response_surface(x, fn(x), ModelSpec.quadratic(2))
+
+    def test_tied_grid_optima_deterministic(self):
+        # y = x1^2 is symmetric: the scan grid ties at x1 = +/-1.  The
+        # optimizer must return one of the tied optima with the right
+        # value, and do so deterministically across calls.
+        surface = self._fit(lambda x: x[:, 0] ** 2)
+        first = optimize_surface(surface, maximize=True)
+        second = optimize_surface(surface, maximize=True)
+        assert abs(first.x_coded[0]) == pytest.approx(1.0, abs=1e-6)
+        assert first.value == pytest.approx(1.0, abs=1e-6)
+        assert np.array_equal(first.x_coded, second.x_coded)
+        assert first.value == second.value
+
+    def test_flat_surface_stays_in_box(self):
+        # A perfectly flat response ties *every* grid cell.
+        surface = self._fit(lambda x: np.full(x.shape[0], 3.0))
+        outcome = optimize_surface(surface, maximize=True)
+        assert outcome.value == pytest.approx(3.0, abs=1e-9)
+        assert np.all(np.abs(outcome.x_coded) <= 1.0 + 1e-9)
+
+    def test_optimum_pinned_to_box_boundary(self):
+        # A linear trend drives the optimum into the corner; the
+        # refinement must pin it there exactly, never step outside.
+        surface = self._fit(lambda x: 2.0 * x[:, 0] - x[:, 1])
+        outcome = optimize_surface(surface, maximize=True)
+        assert outcome.x_coded[0] == pytest.approx(1.0, abs=1e-9)
+        assert outcome.x_coded[1] == pytest.approx(-1.0, abs=1e-9)
+        assert np.all(np.abs(outcome.x_coded) <= 1.0 + 1e-12)
+        assert outcome.evaluations > 0
+
+    def test_boundary_ridge_single_active_factor(self):
+        # Only x1 matters: x2 ties everywhere along the optimal edge.
+        surface = self._fit(lambda x: x[:, 0])
+        outcome = optimize_surface(surface, maximize=True)
+        assert outcome.x_coded[0] == pytest.approx(1.0, abs=1e-9)
+        assert outcome.value == pytest.approx(1.0, abs=1e-6)
+
+
+class TestDesirabilityZeroRegions:
+    """Composite-desirability all-zero and near-all-zero regions."""
+
+    def _surfaces(self, seed=22):
+        x = latin_hypercube(40, 2, seed=seed).matrix
+        rate = 5.0 + 4.0 * x[:, 0]
+        downtime = 0.05 + 0.04 * x[:, 0] - 0.02 * x[:, 1]
+        return {
+            "rate": fit_response_surface(x, rate, ModelSpec.quadratic(2)),
+            "downtime": fit_response_surface(
+                x, downtime, ModelSpec.quadratic(2)
+            ),
+        }
+
+    def test_all_zero_region_raises_regardless_of_density(self):
+        comp = CompositeDesirability(
+            {"rate": Desirability("maximize", 100.0, 200.0)}
+        )
+        for density in (3, 7, 15):
+            with pytest.raises(OptimizationError, match="zero everywhere"):
+                optimize_desirability(
+                    self._surfaces(), comp, points_per_axis=density
+                )
+
+    def test_conflicting_goals_zero_region_vetoes_but_feasible_sliver_found(self):
+        # rate wants x1 high, downtime wants x1 low: each part zeroes
+        # out a half-space and only a band in between survives the
+        # geometric-mean veto.
+        comp = CompositeDesirability(
+            {
+                "rate": Desirability("maximize", 6.0, 9.0),
+                "downtime": Desirability("minimize", 0.03, 0.07),
+            }
+        )
+        outcome = optimize_desirability(self._surfaces(), comp)
+        assert 0.0 < outcome.value <= 1.0
+        # Inside the feasible band both hard constraints hold.
+        assert outcome.responses["rate"] > 6.0
+        assert outcome.responses["downtime"] < 0.07
+
+    def test_narrow_sliver_missed_by_coarse_grid(self):
+        # The feasible set requires rate >= 8.9, i.e. x1 >= 0.975 — a
+        # sliver the interior cells of a 3-point grid miss, but the
+        # boundary cell x1 = 1 catches.  Documents that feasibility
+        # detection is grid-resolution-bound: callers with thin
+        # feasible bands should raise points_per_axis.
+        comp = CompositeDesirability(
+            {"rate": Desirability("maximize", 8.9, 9.5)}
+        )
+        outcome = optimize_desirability(
+            self._surfaces(), comp, points_per_axis=3
+        )
+        assert outcome.x_coded[0] == pytest.approx(1.0, abs=1e-6)
+        assert outcome.value > 0.0
+
+    def test_zero_desirability_point_never_wins(self):
+        comp = CompositeDesirability(
+            {
+                "rate": Desirability("maximize", 6.0, 9.0),
+                "downtime": Desirability("minimize", 0.03, 0.07),
+            }
+        )
+        outcome = optimize_desirability(self._surfaces(), comp)
+        assert comp(outcome.responses) == pytest.approx(
+            outcome.value, rel=1e-9
+        )
+        assert outcome.value > 0.0
+
+
 class TestOptimizeDesirability:
     def _surfaces(self):
         x = latin_hypercube(40, 2, seed=22).matrix

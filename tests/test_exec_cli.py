@@ -382,6 +382,87 @@ class TestQueueCommands:
         assert main(["queue", "requeue", spec]) == 1
         assert "requeue needs" in capsys.readouterr().err
 
+
+class TestQueueStatsWatch:
+    """``queue stats --watch``: re-sample until interrupted."""
+
+    def _interrupt_after(self, monkeypatch, ticks):
+        import repro.exec.cli as cli_module
+
+        calls = {"n": 0, "delays": []}
+
+        def fake_sleep(seconds):
+            calls["n"] += 1
+            calls["delays"].append(seconds)
+            if calls["n"] >= ticks:
+                raise KeyboardInterrupt
+
+        monkeypatch.setattr(cli_module.time, "sleep", fake_sleep)
+        return calls
+
+    def test_watch_samples_until_interrupted(
+        self, populated_queue, capsys, monkeypatch
+    ):
+        spec, _ = populated_queue
+        calls = self._interrupt_after(monkeypatch, ticks=3)
+        # Exit code is the last sample's (failed jobs remain -> 2).
+        assert main(["queue", "stats", spec, "--watch", "2"]) == 2
+        out = capsys.readouterr().out
+        assert out.count("pending:") == 3
+        assert out.count("-- ") == 3  # timestamp header per sample
+        assert calls["delays"] == [2.0, 2.0, 2.0]
+
+    def test_watch_accepts_duration_suffix(
+        self, populated_queue, monkeypatch
+    ):
+        spec, _ = populated_queue
+        calls = self._interrupt_after(monkeypatch, ticks=1)
+        assert main(["queue", "stats", spec, "--watch", "1m"]) == 2
+        assert calls["delays"] == [60.0]
+
+    def test_watch_json_counts_progress(
+        self, populated_queue, capsys, monkeypatch
+    ):
+        spec, queue = populated_queue
+        import repro.exec.cli as cli_module
+
+        calls = {"n": 0}
+
+        def sleep_and_mutate(seconds):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                leased = queue.lease("w2", n=1, lease_seconds=600.0)
+                assert leased
+                queue.complete("w2", leased[0].job_id)
+            else:
+                raise KeyboardInterrupt
+
+        monkeypatch.setattr(cli_module.time, "sleep", sleep_and_mutate)
+        assert main(["queue", "stats", spec, "--watch", "1", "--json"]) == 2
+        raw = capsys.readouterr().out
+        decoder = json.JSONDecoder()
+        samples = []
+        index = 0
+        while index < len(raw):
+            chunk = raw[index:].lstrip()
+            if not chunk:
+                break
+            index = len(raw) - len(chunk)
+            payload, consumed = decoder.raw_decode(raw, index)
+            samples.append(payload)
+            index += consumed
+        assert len(samples) == 2
+        assert samples[1]["done"] == samples[0]["done"] + 1
+        assert all("at" in s for s in samples)
+
+    def test_plain_stats_unchanged_without_watch(
+        self, populated_queue, capsys
+    ):
+        spec, _ = populated_queue
+        assert main(["queue", "stats", spec]) == 2
+        out = capsys.readouterr().out
+        assert "-- " not in out  # no timestamp header
+
     def test_requeue_expired_reclaims(self, tmp_path, capsys):
         import time as _time
 

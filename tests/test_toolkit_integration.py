@@ -109,9 +109,59 @@ class TestStudyFlow:
         assert "== fit quality ==" in text
         assert "speedup" in text
 
+    def test_report_shows_design_quality(self, study):
+        # Operators see what the campaign conditions on: D-efficiency
+        # and the model-matrix condition number of the fitted model.
+        text = study.report()
+        assert "design quality" in text
+        assert "D-efficiency" in text
+        assert "condition number" in text
+        quality = study.exploration.design.quality("quadratic")
+        assert f"{quality['d_efficiency']:.3f}" in text
+
     def test_unknown_surface_rejected(self, study):
         with pytest.raises(DesignError):
             study.surface_slice("bogus", "capacitance", "tx_interval")
+
+
+class TestRunCampaign:
+    def test_campaign_over_real_simulator(self, tmp_path):
+        # Small budget on the 2-factor sub-space: the adaptive loop
+        # must converge toward the max-data-rate corner, journal its
+        # state beside the cache, and answer a resume for free.
+        space = DesignSpace(
+            [
+                Factor("capacitance", 0.10, 1.00, units="F"),
+                Factor(
+                    "tx_interval", 2.0, 60.0, transform="log", units="s"
+                ),
+            ]
+        )
+        store = str(tmp_path / "campaign.sqlite")
+        toolkit = SensorNodeDesignToolkit(
+            space=space,
+            mission_time=120.0,
+            envelope=FAST_ENVELOPE,
+            cache_dir=store,
+        )
+        result = toolkit.run_campaign(
+            objective="effective_data_rate",
+            config={"max_rounds": 3, "batch": 4, "seed": 3, "budget": 16},
+        )
+        assert result.n_rounds >= 1
+        assert result.best["value"] > 50.0  # fast reporting corner
+        assert result.best["point"]["tx_interval"] == pytest.approx(
+            2.0, rel=0.1
+        )
+        # State journaled in the store's database; resume is free.
+        resumed = toolkit.run_campaign(
+            objective="effective_data_rate",
+            config={"max_rounds": 3, "batch": 4, "seed": 3, "budget": 16},
+            resume=True,
+        )
+        assert resumed.stop_reason == result.stop_reason
+        assert resumed.history == result.history
+        toolkit.close()
 
 
 class TestToolkitConfig:
@@ -123,8 +173,26 @@ class TestToolkitConfig:
         )
         assert toolkit.build_design("ccd").kind == "ccd"
         assert toolkit.build_design("lhs").kind == "lhs"
+        assert toolkit.build_design("factorial").kind == "full-2k"
         with pytest.raises(DesignError):
             toolkit.build_design("taguchi")
+
+    def test_unknown_design_kind_lists_available(self):
+        # The error must be actionable: name every registered kind.
+        toolkit = SensorNodeDesignToolkit(
+            space=DesignSpace(
+                [Factor("capacitance", 0.1, 1.0), Factor("tx_interval", 2, 60)]
+            )
+        )
+        with pytest.raises(DesignError) as excinfo:
+            toolkit.build_design("taguchi")
+        message = str(excinfo.value)
+        assert "taguchi" in message
+        for kind in toolkit.design_kinds:
+            assert kind in message
+        assert set(toolkit.design_kinds) >= {
+            "ccd", "box-behnken", "lhs", "factorial"
+        }
 
     def test_standard_desirability_shape(self):
         comp = standard_desirability()
