@@ -1,0 +1,344 @@
+"""Chaos smoke: a full distributed study under a seeded fault plan.
+
+The resilience layer's claims, executed end-to-end: one study runs on
+a substrate wrapped in :class:`FaultyStore`/:class:`FaultyQueue`
+driving an aggressive seeded :class:`FaultPlan` (store transients and
+locked-database errors, a torn write, a lease granted already
+expired), with a real ``repro-worker`` process SIGKILLed while it
+holds leases.  The run must be indistinguishable from a calm one:
+
+1. **Bit-identical** — every response equals the fault-free control
+   evaluation, float-for-float.
+2. **Zero lost** — all points resolve, the store holds every result,
+   the queue drains to ``done`` with nothing outstanding.
+3. **Zero double-evaluated** — every evaluation (submitter or worker)
+   appends to a shared on-disk log; each unique point must appear
+   exactly once.  Reclaimed leases whose result was already published
+   are answered from the store, not re-simulated.
+4. **Replayable** — the same seed derives the same fault schedule,
+   so a chaos failure is a test case, not a flake.
+
+Usage::
+
+    python benchmarks/chaos_smoke.py \
+        --workdir /tmp/chaos --json results/chaos_smoke.json
+
+Exit status is non-zero on any violation.  The whole run is sized to
+finish in well under 90 s.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+from repro.exec import (
+    DistributedBackend,
+    FaultPlan,
+    FaultyQueue,
+    FaultyStore,
+    FileStore,
+    FileWorkQueue,
+    ResilientQueue,
+    ResilientStore,
+    RetryPolicy,
+)
+from repro.exec.queue import QUEUE_SUBDIR
+
+#: Evaluator spec worker subprocesses are pointed at.
+EVALUATOR_SPEC = "benchmarks.chaos_smoke:make_evaluator"
+
+#: Environment variable carrying the shared evaluation-log path.
+EVAL_LOG_ENV = "CHAOS_EVAL_LOG"
+
+#: Quick, deterministic retries sized for injected (not real) faults.
+SMOKE_RETRY = RetryPolicy(
+    max_attempts=5, base_delay=0.01, multiplier=2.0, max_delay=0.2,
+    max_elapsed=10.0,
+)
+
+
+def _simulate(point: dict) -> dict:
+    """A deterministic stand-in physics model (pure float math)."""
+    a, b = point["a"], point["b"]
+    return {
+        "y1": math.sin(a) * math.cos(b) + a * b,
+        "y2": math.exp(-abs(a - b)) + 0.5 * a,
+    }
+
+
+def _log_evaluation(point: dict) -> None:
+    """Append one evaluation to the shared audit log (O_APPEND —
+    atomic for lines this short, across processes)."""
+    path = os.environ.get(EVAL_LOG_ENV)
+    if not path:
+        return
+    line = json.dumps(point, sort_keys=True) + "\n"
+    fd = os.open(path, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644)
+    try:
+        os.write(fd, line.encode())
+    finally:
+        os.close(fd)
+
+
+def evaluate(point: dict) -> dict:
+    responses = _simulate(point)
+    _log_evaluation(point)
+    return responses
+
+
+def make_evaluator():
+    """Worker-side factory (``--evaluator`` spec)."""
+    return evaluate
+
+
+def _points(n: int) -> list[dict]:
+    return [
+        {"a": -1.0 + 2.0 * i / max(n - 1, 1), "b": 0.5 + 0.25 * i}
+        for i in range(n)
+    ]
+
+
+def spawn_victim(store_dir: str, eval_log: str) -> subprocess.Popen:
+    """A real worker that leases eagerly but evaluates nothing: the
+    long throttle sleeps between lease and evaluation, so SIGKILL
+    provably lands while it holds unevaluated leases."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(REPO_ROOT / "src"), str(REPO_ROOT)]
+        + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
+    env[EVAL_LOG_ENV] = eval_log
+    return subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.exec.worker",
+            store_dir,
+            "--evaluator",
+            EVALUATOR_SPEC,
+            "--batch",
+            "3",
+            "--lease-seconds",
+            "2",
+            "--poll",
+            "0.05",
+            "--throttle",
+            "600",
+            "--json",
+        ],
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+
+
+class SmokeFailure(AssertionError):
+    pass
+
+
+def check(condition: bool, message: str) -> None:
+    if not condition:
+        raise SmokeFailure(message)
+
+
+def _check_determinism(seed: int) -> dict:
+    """Same seed, same schedule — and a different seed, a different
+    one (the plan is worth replaying)."""
+    plan_a = FaultPlan.aggressive(seed, worker_kills=1)
+    plan_b = FaultPlan.aggressive(seed, worker_kills=1)
+    check(
+        plan_a.schedule() == plan_b.schedule(),
+        "same seed produced different fault schedules",
+    )
+    check(
+        plan_a.schedule() != FaultPlan.aggressive(seed + 1, worker_kills=1).schedule(),
+        "fault schedule ignores the seed",
+    )
+    return {"specs": len(plan_a.specs), "kill_points": len(plan_a.kill_points())}
+
+
+def _run_chaos(workdir: Path, seed: int, points, reference) -> dict:
+    plan = FaultPlan.aggressive(
+        seed,
+        store_ops=6,
+        queue_ops=4,
+        torn_writes=1,
+        lease_expiries=1,
+        worker_kills=1,
+        horizon=16,
+    )
+    store_dir = workdir / "chaos-evals"
+    eval_log = str(workdir / "evaluations.log")
+    fingerprints = [f"chaos-{i:03d}" for i in range(len(points))]
+
+    store = ResilientStore(
+        FaultyStore(FileStore(store_dir), plan),
+        retry=SMOKE_RETRY,
+    )
+    queue = ResilientQueue(
+        FaultyQueue(FileWorkQueue(store_dir / QUEUE_SUBDIR), plan),
+        retry=SMOKE_RETRY,
+    )
+    backend = DistributedBackend(
+        store,
+        queue=queue,
+        cooperate=True,
+        lease_seconds=5.0,
+        poll_interval=0.05,
+        timeout=120.0,
+    )
+    monitor = FileWorkQueue(store_dir / QUEUE_SUBDIR)  # fault-free view
+
+    os.environ[EVAL_LOG_ENV] = eval_log
+    started = time.perf_counter()
+    handle = backend.submit(evaluate, points, fingerprints=fingerprints)
+
+    # The kill_worker marker from the plan, executed at process level:
+    # a real worker leases a batch, is SIGKILLed inside its throttle
+    # window (leases held, nothing evaluated), and its leases must be
+    # reclaimed and finished by the cooperating submitter.
+    check(len(plan.kill_points()) >= 1, "plan carries no kill marker")
+    victim = spawn_victim(str(store_dir), eval_log)
+    deadline = time.monotonic() + 60.0
+    while time.monotonic() < deadline:
+        if monitor.stats().leased > 0:
+            break
+        time.sleep(0.05)
+    else:
+        victim.kill()
+        raise SmokeFailure("victim worker never leased any jobs")
+    leased_at_kill = monitor.stats().leased
+    victim.send_signal(signal.SIGKILL)
+    victim.wait(timeout=30)
+
+    results = handle.result()
+    elapsed = time.perf_counter() - started
+    os.environ.pop(EVAL_LOG_ENV, None)
+
+    # 1. Bit-identical to the fault-free control.
+    for i, ((responses, _), expected) in enumerate(zip(results, reference)):
+        check(
+            responses == expected,
+            f"chaos responses diverge from control at point {i}",
+        )
+
+    # 2. Zero lost: every result durable, queue fully drained.
+    fresh = FileStore(store_dir)
+    check(
+        all(fresh.peek(fp) is not None for fp in fingerprints),
+        "store is missing results after the chaos run",
+    )
+    stats = monitor.stats()
+    check(
+        stats.done == len(points) and stats.outstanding == 0,
+        f"queue not drained after chaos: {stats.as_dict()}",
+    )
+
+    # 3. Zero double-evaluated: the shared audit log holds each
+    # unique point exactly once.
+    lines = Path(eval_log).read_text().splitlines()
+    unique = set(lines)
+    check(
+        len(lines) == len(points) and len(unique) == len(points),
+        f"{len(lines)} evaluations of {len(points)} points "
+        f"({len(lines) - len(unique)} duplicates)",
+    )
+
+    # 4. The chaos actually happened.
+    check(
+        len(plan.fired) >= 4,
+        f"only {len(plan.fired)} faults fired; the run proved nothing",
+    )
+    masked = store.resilience.retried + queue.resilience.retried
+    check(masked >= 1, "no injected fault was absorbed by a retry")
+
+    reclaimed = [
+        record.job_id
+        for record in monitor.jobs()
+        if record.attempts >= 2 and record.status == "done"
+    ]
+    check(
+        len(reclaimed) >= 1,
+        "the killed worker's leases show no reclaimed attempt",
+    )
+
+    summary = {
+        "seconds": elapsed,
+        "n_points": len(points),
+        "faults_fired": plan.fired,
+        "retries_masked": masked,
+        "leased_at_kill": leased_at_kill,
+        "reclaimed_jobs": len(reclaimed),
+        "degraded_evaluations": backend.degraded_evaluations,
+        "store_resilience": store.resilience.as_dict(),
+        "queue_resilience": queue.resilience.as_dict(),
+    }
+    monitor.close()
+    fresh.close()
+    backend.close()
+    store.close()
+    return summary
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--workdir",
+        required=True,
+        help="scratch directory for the substrate and audit log",
+    )
+    parser.add_argument(
+        "--json", default=None, help="where to write the summary JSON"
+    )
+    parser.add_argument("--points", type=int, default=18)
+    parser.add_argument("--seed", type=int, default=20260808)
+    args = parser.parse_args(argv)
+
+    workdir = Path(args.workdir)
+    workdir.mkdir(parents=True, exist_ok=True)
+    points = _points(args.points)
+    reference = [_simulate(point) for point in points]
+
+    summary = {
+        "benchmark": "chaos_smoke",
+        "n_points": args.points,
+        "seed": args.seed,
+        "cpu_count": os.cpu_count(),
+    }
+    try:
+        print("== phase 1: fault schedule determinism ==")
+        summary["determinism"] = _check_determinism(args.seed)
+        print(json.dumps(summary["determinism"], sort_keys=True))
+        print("== phase 2: study under the fault plan ==")
+        summary["chaos"] = _run_chaos(workdir, args.seed, points, reference)
+        print(json.dumps(summary["chaos"], sort_keys=True))
+        summary["ok"] = True
+    except SmokeFailure as failure:
+        summary["ok"] = False
+        summary["failure"] = str(failure)
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(summary, handle, indent=2, sort_keys=True)
+    if summary["ok"]:
+        print(
+            "chaos smoke verified: bit-identical results, zero lost, "
+            "zero double-evaluated under "
+            f"{len(summary['chaos']['faults_fired'])} injected faults "
+            "+ one worker kill"
+        )
+    return 0 if summary["ok"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -424,6 +424,9 @@ class _State:
     streak: int = 0
     simulated: int = 0
     cached: int = 0
+    #: Points the distributed backend had to evaluate in-process
+    #: because the substrate degraded (queue down / fleet silent).
+    degraded: int = 0
     surfaces: dict = field(default_factory=dict)
     last_outcome: OptimizationOutcome | None = None
     last_box: FactorBox | None = None
@@ -680,8 +683,10 @@ class Campaign:
         delta = self.explorer.engine.stats(since=before)
         simulated = int(delta.get("points_evaluated", 0))
         cached = int((delta.get("cache") or {}).get("hits", 0))
+        degraded = int(delta.get("degraded_evaluations", 0))
         state.simulated += simulated
         state.cached += cached
+        state.degraded += degraded
 
         state.x_global = (
             np.vstack([state.x_global, points])
@@ -751,7 +756,11 @@ class Campaign:
             name: _jsonify(columns[name])
             for name in self.explorer.responses
         }
-        completed["exec"] = {"simulated": simulated, "cached": cached}
+        completed["exec"] = {
+            "simulated": simulated,
+            "cached": cached,
+            "degraded": degraded,
+        }
         if next_plan is not None:
             completed["next"] = next_plan
         completed.pop("_next", None)
@@ -1175,6 +1184,7 @@ class Campaign:
             evaluations={
                 "simulated": state.simulated,
                 "cached": state.cached,
+                "degraded": state.degraded,
                 "total_points": int(n),
             },
             surfaces=dict(state.surfaces),

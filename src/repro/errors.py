@@ -17,6 +17,19 @@ The hierarchy mirrors the major subsystems:
   than model terms, singular normal equations, unknown term).
 * :class:`OptimizationError` — an RSM-based optimization could not
   produce a usable answer (empty feasible set, no finite desirability).
+
+The execution substrate (stores, queues, workers) adds a second axis:
+**transient vs terminal**.  A transient failure (a locked SQLite
+database, a flaky filesystem, a lease that briefly cannot be stamped)
+is expected to clear on its own and is worth retrying; a terminal one
+(a mistyped path, a broken evaluator spec) is not.  The taxonomy
+encodes that axis structurally — :class:`TransientError` is a mixin,
+so ``isinstance(error, TransientError)`` answers "should I retry?"
+without string-matching messages — and :func:`is_transient` extends
+the answer to the stdlib errors third-party layers raise
+(:class:`sqlite3.OperationalError` lock/busy conditions, interrupted
+I/O).  :mod:`repro.exec.resilience` builds its retry policies and
+circuit breakers on exactly this classification.
 """
 
 from __future__ import annotations
@@ -44,3 +57,91 @@ class FitError(ReproError):
 
 class OptimizationError(ReproError):
     """An RSM-based optimization produced no usable result."""
+
+
+# -- execution-substrate taxonomy ----------------------------------------------
+
+
+class TransientError(ReproError):
+    """Mixin marking a failure expected to clear on its own.
+
+    Raisers combine it with a subsystem error class
+    (:class:`TransientStoreError`, :class:`TransientQueueError`);
+    retry layers catch it without caring which subsystem hiccuped.
+    """
+
+
+class StoreError(ReproError):
+    """A :class:`~repro.exec.store.CacheStore` operation failed."""
+
+
+class TransientStoreError(StoreError, TransientError):
+    """A store failure worth retrying (lock contention, flaky I/O)."""
+
+
+class QueueError(ReproError):
+    """A :class:`~repro.exec.queue.WorkQueue` operation failed."""
+
+
+class TransientQueueError(QueueError, TransientError):
+    """A queue failure worth retrying (lock contention, flaky I/O)."""
+
+
+class WorkerError(ReproError):
+    """A ``repro-worker`` process could not do its job."""
+
+
+class EvaluatorConfigError(WorkerError):
+    """The worker's ``--evaluator module:factory`` spec is unusable.
+
+    Importing the module, resolving the attribute, or *calling* the
+    factory failed — an operator configuration problem, not a crash.
+    ``repro-worker`` exits with a distinct code
+    (:data:`repro.exec.worker.EXIT_EVALUATOR_CONFIG`) so supervisors
+    never restart-loop a worker that can never start.
+    """
+
+
+class CircuitOpenError(ReproError):
+    """A circuit breaker is open: the protected component has failed
+    persistently and calls are being rejected fast instead of each
+    paying the full failure latency.  Carries when the breaker will
+    next allow a probe, for callers that want to wait it out."""
+
+    def __init__(self, message: str, retry_at: float | None = None):
+        super().__init__(message)
+        self.retry_at = retry_at
+
+
+#: ``sqlite3.OperationalError`` messages that signal lock contention —
+#: the database is healthy, somebody else is just holding it.
+_SQLITE_TRANSIENT_MARKERS = (
+    "database is locked",
+    "database is busy",
+    "database table is locked",
+    "locking protocol",
+)
+
+
+def is_transient(error: BaseException) -> bool:
+    """Whether an exception is worth retrying.
+
+    Recognizes this package's :class:`TransientError` taxonomy plus
+    the stdlib shapes the substrate's dependencies raise: SQLite
+    lock/busy conditions and interrupted/temporarily-failing I/O.
+    Everything else — including every other :class:`ReproError` — is
+    terminal: retrying a mistyped path or a corrupt-store refusal
+    only hides the real problem.
+    """
+    import sqlite3
+
+    if isinstance(error, TransientError):
+        return True
+    if isinstance(error, sqlite3.OperationalError):
+        message = str(error).lower()
+        return any(
+            marker in message for marker in _SQLITE_TRANSIENT_MARKERS
+        )
+    if isinstance(error, (BlockingIOError, InterruptedError, TimeoutError)):
+        return True
+    return False

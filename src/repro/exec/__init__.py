@@ -20,6 +20,17 @@ through the store.  Store *lifecycle* (GC budgets, compaction,
 verification, export/merge) lives in :mod:`repro.exec.lifecycle`,
 surfaced to operators as the ``repro-cache`` CLI
 (:mod:`repro.exec.cli`, including the ``queue`` subcommands).
+
+The substrate is hardened by a resilience layer
+(:mod:`repro.exec.resilience`): deterministic
+:class:`RetryPolicy` backoff around every store/queue call, a
+per-component :class:`CircuitBreaker`, graceful degradation
+(:class:`ResilientStore`'s memory overlay; the distributed backend's
+in-process fallback), and worker supervision (``repro-worker
+--supervise``).  Its claims are pinned by deterministic fault
+injection (:mod:`repro.exec.faults`): a seeded :class:`FaultPlan`
+executed by transparent :class:`FaultyStore`/:class:`FaultyQueue`
+wrappers, driven to full-study scale by ``benchmarks/chaos_smoke.py``.
 """
 
 from repro.exec.backends import (
@@ -40,6 +51,13 @@ from repro.exec.lifecycle import (
     collect,
     merge_stores,
     register_policy,
+)
+from repro.exec.faults import (
+    FAULT_KINDS,
+    FaultPlan,
+    FaultSpec,
+    FaultyQueue,
+    FaultyStore,
 )
 from repro.exec.queue import (
     QUEUE_SCHEMA_VERSION,
@@ -65,17 +83,35 @@ from repro.exec.store import (
     VerifyReport,
     resolve_store,
 )
-from repro.exec.worker import Worker, WorkerReport
+from repro.exec.resilience import (
+    CircuitBreaker,
+    ResilienceStats,
+    ResilientQueue,
+    ResilientStore,
+    RetryPolicy,
+)
+from repro.exec.worker import (
+    Supervisor,
+    SupervisorReport,
+    Worker,
+    WorkerReport,
+)
 
 __all__ = [
     "CacheStats",
     "CacheStore",
+    "CircuitBreaker",
     "CompactionReport",
     "DistributedBackend",
     "EntryMeta",
     "EvalCache",
     "EvaluationBackend",
     "EvaluationEngine",
+    "FAULT_KINDS",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultyQueue",
+    "FaultyStore",
     "FileStore",
     "FileWorkQueue",
     "GCBudget",
@@ -88,11 +124,17 @@ __all__ = [
     "ProcessBackend",
     "QUEUE_SCHEMA_VERSION",
     "QueueStats",
+    "ResilienceStats",
+    "ResilientQueue",
+    "ResilientStore",
+    "RetryPolicy",
     "SCHEMA_VERSION",
     "SQLiteStore",
     "SQLiteWorkQueue",
     "SerialBackend",
     "StoreStats",
+    "Supervisor",
+    "SupervisorReport",
     "SynchronousBackend",
     "ThreadBackend",
     "TransferReport",

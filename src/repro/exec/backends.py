@@ -446,6 +446,7 @@ def resolve_backend(
     chunk_size: int | None = None,
     batch_evaluate: BatchEvaluator | None = None,
     store: object = None,
+    **distributed_options,
 ) -> EvaluationBackend:
     """Build a backend from a name or pass a ready one through.
 
@@ -453,10 +454,20 @@ def resolve_backend(
     ``"distributed"`` (which needs ``store`` — the persistent
     :class:`~repro.exec.store.CacheStore` workers publish results
     into; the work queue is derived from it, see
-    :func:`~repro.exec.queue.queue_for_store`).
+    :func:`~repro.exec.queue.queue_for_store`).  Extra keyword
+    options (``retry``, ``fallback``, ``fallback_after``,
+    ``cooperate``, ``timeout``, ...) pass through to
+    :class:`~repro.exec.queue.DistributedBackend`; they are rejected
+    for backends that take none.
     """
     if isinstance(spec, EvaluationBackend):
         return spec
+    if spec != "distributed" and distributed_options:
+        unknown = ", ".join(sorted(distributed_options))
+        raise ReproError(
+            f"backend {spec!r} takes no such options: {unknown} "
+            "(these belong to the distributed backend)"
+        )
     if spec == "serial":
         return SerialBackend(batch_evaluate=batch_evaluate)
     if spec == "process":
@@ -472,7 +483,7 @@ def resolve_backend(
                 "to publish results through; pass cache_dir=/cache_store= "
                 "(or construct DistributedBackend yourself)"
             )
-        return DistributedBackend(store=store)
+        return DistributedBackend(store=store, **distributed_options)
     raise ReproError(
         f"unknown evaluation backend {spec!r}; pick 'serial', 'process', "
         f"'thread' or 'distributed'"

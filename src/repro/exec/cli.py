@@ -43,6 +43,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import sqlite3
 import sys
 import time
 from datetime import datetime
@@ -461,10 +462,26 @@ def _cmd_queue_stats(args: argparse.Namespace) -> int:
         # Watch mode: re-sample until interrupted — the operator's view
         # of queue depth while a campaign round drains across workers.
         # Ctrl-C is the normal exit and reports the last sample's code.
+        # A queue that vanishes mid-watch (concurrent purge, vacuum,
+        # an operator re-provisioning the substrate) is a thing to
+        # *report*, not to die over: say so, keep sampling, and pick
+        # the queue back up when it reappears.
         code = 0
         try:
             while True:
-                code = _queue_stats_once(args, queue)
+                try:
+                    code = _queue_stats_once(args, queue)
+                except (ReproError, OSError, sqlite3.Error) as error:
+                    print(
+                        f"-- queue unreadable ({error}); still "
+                        "watching --",
+                        file=sys.stderr,
+                    )
+                    try:
+                        queue.close()
+                        queue = resolve_queue(args.store)
+                    except (ReproError, OSError, sqlite3.Error):
+                        pass
                 sys.stdout.flush()
                 time.sleep(args.watch)
         except KeyboardInterrupt:

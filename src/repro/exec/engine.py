@@ -35,6 +35,10 @@ from repro.exec.store import CacheStore
 #: Engine counters that participate in snapshot/delta accounting.
 _ENGINE_COUNTERS = ("points_evaluated", "batches_dispatched", "replicate_hits")
 
+#: Counters read off the backend when it exposes them (the
+#: distributed backend's graceful-degradation accounting).
+_BACKEND_COUNTERS = ("degraded_evaluations",)
+
 #: Cache counters that participate in snapshot/delta accounting.
 _CACHE_COUNTERS = (
     "hits",
@@ -97,6 +101,19 @@ class EvaluationEngine:
             cache's store is collected back under the budget, so a
             bounded deployment never needs manual pruning.  Requires
             an enabled cache.
+        resilient: wrap a store-backed cache in a
+            :class:`~repro.exec.resilience.ResilientStore` so a
+            failing store degrades to a warn-once memory-only cache
+            mid-study (results kept, persistence deferred until the
+            store recovers) instead of aborting the study.  Only
+            meaningful when ``cache`` is a bare
+            :class:`~repro.exec.store.CacheStore`; a memory cache has
+            nothing to degrade to and a ready :class:`EvalCache` is
+            caller-assembled (wrap its store yourself).
+        backend_options: extra keyword options forwarded to the
+            backend constructor when ``backend`` is a name — e.g.
+            ``{"fallback_after": 30.0}`` to let a distributed study
+            finish in-process when its worker fleet dies.
     """
 
     def __init__(
@@ -110,8 +127,15 @@ class EvaluationEngine:
         chunk_size: int | None = None,
         batch_evaluate: BatchEvaluator | None = None,
         cache_gc: GCBudget | Mapping | None = None,
+        resilient: bool = False,
+        backend_options: Mapping | None = None,
     ):
         self.evaluate = evaluate
+        if resilient and isinstance(cache, CacheStore):
+            from repro.exec.resilience import ResilientStore
+
+            if not isinstance(cache, ResilientStore):
+                cache = ResilientStore(cache)
         # Ownership follows construction: the engine closes what it
         # wrapped itself (cache=True, or a bare store handed over),
         # while a ready EvalCache stays caller-owned so a shared
@@ -139,6 +163,7 @@ class EvaluationEngine:
             chunk_size=chunk_size,
             batch_evaluate=batch_evaluate,
             store=self.cache.store if self.cache is not None else None,
+            **dict(backend_options or {}),
         )
         self.cache_gc = GCBudget.of(cache_gc)
         if self.cache_gc is not None and self.cache is None:
@@ -295,6 +320,8 @@ class EvaluationEngine:
         a snapshot first and pass it to :meth:`stats` as ``since``.
         """
         snap: dict = {key: getattr(self, key) for key in _ENGINE_COUNTERS}
+        for key in _BACKEND_COUNTERS:
+            snap[key] = getattr(self.backend, key, 0)
         snap["cache"] = (
             self.cache.stats.as_dict() if self.cache is not None else None
         )
@@ -316,6 +343,8 @@ class EvaluationEngine:
             batches_dispatched=self.batches_dispatched,
             replicate_hits=self.replicate_hits,
         )
+        for key in _BACKEND_COUNTERS:
+            out[key] = getattr(self.backend, key, 0)
         if self.cache is not None:
             out["cache"] = self.cache.stats.as_dict()
             out["cache_entries"] = len(self.cache)
@@ -324,6 +353,8 @@ class EvaluationEngine:
             out["cache"] = None
         if since is not None:
             for key in _ENGINE_COUNTERS:
+                out[key] -= since.get(key, 0)
+            for key in _BACKEND_COUNTERS:
                 out[key] -= since.get(key, 0)
             baseline = since.get("cache")
             if out["cache"] is not None and baseline is not None:

@@ -49,10 +49,14 @@ import sqlite3
 import tempfile
 import time
 import uuid
+import warnings
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterator, Mapping, Sequence
+from typing import TYPE_CHECKING, Iterator, Mapping, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.exec.resilience import RetryPolicy
 
 from repro.errors import ReproError
 from repro.exec.backends import (
@@ -1084,6 +1088,10 @@ def resolve_queue(
 
 def queue_for_store(store: CacheStore, max_attempts: int = 3) -> WorkQueue:
     """The work queue co-located with a persistent store."""
+    # Look through resilient/faulty wrappers: co-location is decided
+    # by the real files underneath.
+    while isinstance(getattr(store, "inner", None), CacheStore):
+        store = store.inner
     if isinstance(store, SQLiteStore):
         return SQLiteWorkQueue(store.path, max_attempts=max_attempts)
     if isinstance(store, FileStore):
@@ -1139,33 +1147,57 @@ class DistributedJobHandle(JobHandle):
             if backend.timeout is not None
             else None
         )
+        fallback_at = (
+            time.monotonic() + backend.fallback_after
+            if backend.fallback_after is not None
+            else None
+        )
         while unresolved:
+            if backend.queue_down:
+                # The queue proved unreachable (here or at submit):
+                # there is nothing to wait on — evaluate locally.
+                self._evaluate_degraded(unresolved)
+                break
             progress = self._poll_store(unresolved)
             if not unresolved:
                 break
             if backend.cooperate:
                 progress |= self._work_one_lease(unresolved)
             else:
-                backend.queue.reclaim()
+                backend._queue_call(backend.queue.reclaim)
             if progress:
                 # The timeout bounds *stalls*, not total study time:
                 # as long as points keep landing, a long study must
                 # not trip it — re-arm on every bit of progress.
+                now = time.monotonic()
                 if backend.timeout is not None:
-                    deadline = time.monotonic() + backend.timeout
+                    deadline = now + backend.timeout
+                if backend.fallback_after is not None:
+                    fallback_at = now + backend.fallback_after
                 continue
             # Only stalled ticks pay for the failure scan; a steadily
             # progressing batch never touches it, and a terminally
             # failed job stalls its fingerprint so the scan is
             # guaranteed to see it eventually.
             self._check_failures(unresolved)
-            if deadline is not None and time.monotonic() > deadline:
+            now = time.monotonic()
+            if fallback_at is not None and now > fallback_at:
+                # Nobody — local or remote — is moving the batch.
+                # Unattended completion was asked for: stop waiting
+                # on the fleet and finish the points ourselves.
+                backend._warn_degraded(
+                    f"no progress for {backend.fallback_after:.0f}s"
+                )
+                self._evaluate_degraded(unresolved)
+                break
+            if deadline is not None and now > deadline:
                 missing = sorted(fp[:16] for fp in unresolved)
                 raise ReproError(
                     f"distributed evaluation stalled for "
                     f"{backend.timeout:.0f}s with {len(unresolved)} "
                     f"points unresolved ({missing[:4]}...); are any "
-                    f"repro-worker processes attached to the queue?"
+                    f"repro-worker processes attached to the queue? "
+                    f"[{backend.queue_snapshot()}]"
                 )
             time.sleep(backend.poll_interval)
         self._results = [
@@ -1173,15 +1205,35 @@ class DistributedJobHandle(JobHandle):
         ]
         return self._results
 
+    def _evaluate_degraded(self, unresolved: set[str]) -> None:
+        """Finish the batch in-process: the distributed substrate is
+        unavailable, but the evaluator is right here and results must
+        not be.  Store persists stay best-effort (shared-cache
+        citizenship); queue bookkeeping is skipped — a pending job a
+        recovered worker later evaluates just persists an identical
+        payload, which is the substrate's normal dedup story."""
+        backend = self._backend
+        for fp in list(unresolved):
+            responses = backend._store_peek(fp)
+            seconds = 0.0
+            if responses is None:
+                started = time.perf_counter()
+                responses = dict(self._evaluate(self._point_for[fp]))
+                seconds = time.perf_counter() - started
+                backend.degraded_evaluations += 1
+                backend._store_persist(fp, responses)
+            self._resolved[fp] = (responses, seconds)
+            unresolved.discard(fp)
+
     def _poll_store(self, unresolved: set[str]) -> bool:
         """Collect any fingerprints the store can now answer."""
         backend = self._backend
         progress = False
         for fp in list(unresolved):
-            responses = backend.store.peek(fp)
+            responses = backend._store_peek(fp)
             if responses is None:
                 continue
-            record = backend.queue.job(fp)
+            record = backend._queue_call(backend.queue.job, fp)
             seconds = (
                 record.seconds
                 if record is not None and record.seconds is not None
@@ -1195,24 +1247,49 @@ class DistributedJobHandle(JobHandle):
     def _work_one_lease(self, unresolved: set[str]) -> bool:
         """Lease and evaluate a batch of jobs (cooperate mode)."""
         backend = self._backend
-        jobs = backend.queue.lease(
+        jobs = backend._queue_call(
+            backend.queue.lease,
             backend.worker_id,
             n=backend.batch,
             lease_seconds=backend.lease_seconds,
         )
+        if jobs is None:
+            return False
         for job in jobs:
+            # A reclaimed lease may hand us a job somebody already
+            # finished (their lease expired *after* they persisted).
+            # The store is the source of truth: answer from it and
+            # never evaluate the same point twice.
+            responses = backend._store_peek(job.job_id)
+            if responses is not None:
+                backend._queue_call(
+                    backend.queue.complete,
+                    backend.worker_id,
+                    job.job_id,
+                    seconds=0.0,
+                )
+                if job.job_id in unresolved:
+                    self._resolved[job.job_id] = (responses, 0.0)
+                    unresolved.discard(job.job_id)
+                continue
             started = time.perf_counter()
             try:
                 responses = dict(self._evaluate(job.point))
             except Exception as error:
-                backend.queue.fail(
-                    backend.worker_id, job.job_id, error=str(error)
+                backend._queue_call(
+                    backend.queue.fail,
+                    backend.worker_id,
+                    job.job_id,
+                    error=str(error),
                 )
                 raise
             seconds = time.perf_counter() - started
-            backend.store.persist(job.job_id, responses)
-            backend.queue.complete(
-                backend.worker_id, job.job_id, seconds=seconds
+            backend._store_persist(job.job_id, responses)
+            backend._queue_call(
+                backend.queue.complete,
+                backend.worker_id,
+                job.job_id,
+                seconds=seconds,
             )
             if job.job_id in unresolved:
                 self._resolved[job.job_id] = (responses, seconds)
@@ -1227,15 +1304,20 @@ class DistributedJobHandle(JobHandle):
         tick O(queue size x unresolved) directory/table scans.
         """
         backend = self._backend
-        records = {
-            record.job_id: record for record in backend.queue.jobs()
-        }
+        listed = backend._queue_call(
+            lambda: list(backend.queue.jobs())
+        )
+        if listed is None:
+            return
+        records = {record.job_id: record for record in listed}
         for fp in list(unresolved):
             record = records.get(fp)
             if record is None:
                 # Purged (or never landed): the batch still owns the
                 # point, so put it back rather than wait forever.
-                backend.queue.submit([Job(fp, self._point_for[fp])])
+                backend._queue_call(
+                    backend.queue.submit, [Job(fp, self._point_for[fp])]
+                )
                 continue
             if record.status == "failed":
                 raise ReproError(
@@ -1276,6 +1358,21 @@ class DistributedBackend(EvaluationBackend):
         worker_id: identity for cooperative leases (default: a
             host/pid-unique string).
         max_attempts: lease attempts before a job fails terminally.
+        retry: :class:`~repro.exec.resilience.RetryPolicy` applied to
+            every queue operation (None: the default policy).
+        fallback: degrade to *in-process* evaluation instead of
+            raising when the queue is unreachable (submit or lease
+            keeps failing past the retry budget).  The study then
+            completes without distribution and reports how many
+            points took that path in :attr:`degraded_evaluations`.
+        fallback_after: seconds without *any* progress (no point
+            landing in the store, no cooperative lease) before the
+            handle stops waiting on workers and evaluates the
+            remaining points in-process.  None (default) keeps the
+            classic behaviour: wait until ``timeout`` and raise a
+            stall error.  Set it when unattended completion matters
+            more than distribution — e.g. an overnight campaign that
+            must survive its whole worker fleet dying.
     """
 
     name = "distributed"
@@ -1297,6 +1394,9 @@ class DistributedBackend(EvaluationBackend):
         batch: int = 1,
         worker_id: str | None = None,
         max_attempts: int = 3,
+        retry: "RetryPolicy | None" = None,
+        fallback: bool = True,
+        fallback_after: float | None = None,
     ):
         super().__init__()
         if batch < 1:
@@ -1305,9 +1405,18 @@ class DistributedBackend(EvaluationBackend):
             raise ReproError(
                 f"lease_seconds must be > 0, got {lease_seconds}"
             )
+        if fallback_after is not None and fallback_after <= 0:
+            raise ReproError(
+                f"fallback_after must be > 0, got {fallback_after}"
+            )
         self._owns_store = not isinstance(store, CacheStore)
         self.store = resolve_store(store)
-        if not isinstance(self.store, (FileStore, SQLiteStore)):
+        # Resilient/faulty wrappers expose the wrapped store as
+        # .inner — persistence is a property of what is underneath.
+        innermost = self.store
+        while isinstance(getattr(innermost, "inner", None), CacheStore):
+            innermost = innermost.inner
+        if not isinstance(innermost, (FileStore, SQLiteStore)):
             raise ReproError(
                 "the distributed backend needs a persistent store "
                 f"(file or SQLite), got {self.store.name!r}"
@@ -1325,6 +1434,111 @@ class DistributedBackend(EvaluationBackend):
         self.timeout = timeout
         self.batch = batch
         self.worker_id = worker_id or default_worker_id()
+        if retry is None:
+            from repro.exec.resilience import DEFAULT_RETRY
+
+            retry = DEFAULT_RETRY
+        self.retry = retry
+        self.fallback = fallback
+        self.fallback_after = fallback_after
+        #: Points evaluated in-process because the substrate was
+        #: unavailable (queue unreachable, or no progress within
+        #: ``fallback_after``).  Zero on a healthy run.
+        self.degraded_evaluations = 0
+        #: Latched once the queue proves unreachable; every handle
+        #: then degrades immediately instead of re-paying the retry
+        #: budget per call.
+        self.queue_down = False
+        self._warned_degraded = False
+        self._warned_store = False
+
+    # -- guarded substrate access ----------------------------------------------
+
+    def _warn_degraded(self, why: str) -> None:
+        if self._warned_degraded:
+            return
+        self._warned_degraded = True
+        warnings.warn(
+            f"distributed substrate degraded ({why}); evaluating "
+            "remaining points in-process — results are unaffected, "
+            "but this submitter is no longer distributing work",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+
+    def _queue_call(self, fn, *args, **kwargs):
+        """One queue op under the retry policy.
+
+        Returns None — after latching :attr:`queue_down` — when the
+        queue stays unreachable and :attr:`fallback` allows degrading;
+        re-raises otherwise.
+        """
+        if self.queue_down:
+            return None
+        try:
+            return self.retry.call(fn, *args, **kwargs)
+        except (ReproError, sqlite3.Error, OSError) as error:
+            if not self.fallback:
+                raise
+            self.queue_down = True
+            self._warn_degraded(f"queue unreachable: {error}")
+            return None
+
+    def _store_peek(self, fingerprint: str):
+        """Best-effort store peek: an unreadable store is a miss."""
+        try:
+            return self.retry.call(self.store.peek, fingerprint)
+        except Exception:
+            return None
+
+    def _store_persist(self, fingerprint: str, responses) -> None:
+        """Best-effort persist: the caller holds the responses, so a
+        failing store costs durability, never the result."""
+        try:
+            self.retry.call(self.store.persist, fingerprint, responses)
+        except Exception as error:
+            if not self._warned_store:
+                self._warned_store = True
+                warnings.warn(
+                    f"cache store persist failing ({error}); results "
+                    "are held in memory for this study but are not "
+                    "being shared through the store",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+
+    def queue_snapshot(self) -> str:
+        """One-line queue state for stall post-mortems."""
+        try:
+            stats = self.queue.stats()
+            now = time.time()
+            oldest: float | None = None
+            for record in self.queue.jobs():
+                if record.status != "leased":
+                    continue
+                expires = record.lease_expires_at
+                if expires is None:
+                    continue
+                # A lease's age is measured against its horizon:
+                # negative margin means it has already expired.
+                age = now - expires
+                if oldest is None or age > oldest:
+                    oldest = age
+            lease = (
+                "no leases outstanding"
+                if oldest is None
+                else (
+                    f"oldest lease expired {oldest:.1f}s ago"
+                    if oldest >= 0
+                    else f"oldest lease expires in {-oldest:.1f}s"
+                )
+            )
+            return (
+                f"queue snapshot: pending={stats.pending} "
+                f"leased={stats.leased} failed={stats.failed}, {lease}"
+            )
+        except Exception as error:  # pragma: no cover - diagnostics only
+            return f"queue snapshot unavailable: {error}"
 
     def _submit(
         self,
@@ -1344,12 +1558,13 @@ class DistributedBackend(EvaluationBackend):
         for fp, point in zip(fingerprints, points):
             if fp in to_enqueue:
                 continue
-            if self.store.peek(fp) is not None:
+            if self._store_peek(fp) is not None:
                 continue
             to_enqueue[fp] = point
         if to_enqueue:
-            self.queue.submit(
-                [Job(fp, dict(point)) for fp, point in to_enqueue.items()]
+            self._queue_call(
+                self.queue.submit,
+                [Job(fp, dict(point)) for fp, point in to_enqueue.items()],
             )
         return DistributedJobHandle(self, evaluate, fingerprints, points)
 
@@ -1360,6 +1575,11 @@ class DistributedBackend(EvaluationBackend):
             "lease_seconds": self.lease_seconds,
             "batch": self.batch,
             "worker_id": self.worker_id,
+            "fallback": self.fallback,
+            "fallback_after": self.fallback_after,
+            "degraded_evaluations": self.degraded_evaluations,
+            "queue_down": self.queue_down,
+            "retry": self.retry.describe(),
             "store": self.store.describe(),
             "queue": self.queue.describe(),
         }

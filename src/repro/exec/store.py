@@ -41,11 +41,12 @@ import sqlite3
 import tempfile
 import time
 from abc import ABC, abstractmethod
+from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterator, Mapping
 
-from repro.errors import ReproError
+from repro.errors import ReproError, TransientStoreError, is_transient
 
 #: On-disk schema version shared by every persistent store.  Bump it
 #: whenever the fingerprint canonicalization or the blob layout
@@ -616,9 +617,19 @@ class FileStore(CacheStore):
         meta: EntryMeta | None = None,
     ) -> None:
         blob = _encode_blob(fingerprint, responses)
-        fd, tmp_name = tempfile.mkstemp(
-            dir=self.directory, prefix=".write-", suffix=self._PART_SUFFIX
-        )
+        try:
+            fd, tmp_name = tempfile.mkstemp(
+                dir=self.directory, prefix=".write-", suffix=self._PART_SUFFIX
+            )
+        except OSError as error:
+            # Writes hit the filesystem's bad moods (ENOSPC, EIO, a
+            # vanished mount) in a way reads never surface — reads
+            # just miss.  Classify the failure as transient so retry
+            # layers re-attempt it; the entry is re-simulable either
+            # way, so nothing is ever lost to a dropped persist.
+            raise TransientStoreError(
+                f"cannot stage cache entry in {self.directory}: {error}"
+            ) from error
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
                 json.dump(blob, handle, sort_keys=True)
@@ -632,11 +643,16 @@ class FileStore(CacheStore):
                     ),
                 )
             os.replace(tmp_name, self._path(fingerprint))
-        except BaseException:
+        except BaseException as error:
             try:
                 os.unlink(tmp_name)
             except OSError:
                 pass
+            if isinstance(error, OSError):
+                raise TransientStoreError(
+                    f"cannot persist cache entry to {self.directory}: "
+                    f"{error}"
+                ) from error
             raise
         self.stats.persists += 1
 
@@ -985,7 +1001,7 @@ class SQLiteStore(CacheStore):
             else now
         ) or now
         hits = (meta.hits or 0) if meta else 0
-        with self._conn:
+        with self._write_guard("persist"), self._conn:
             self._conn.execute(
                 "INSERT OR REPLACE INTO evaluations"
                 " (fingerprint, schema_version, payload, created_at,"
@@ -1003,8 +1019,24 @@ class SQLiteStore(CacheStore):
             )
         self.stats.persists += 1
 
+    @contextmanager
+    def _write_guard(self, op: str):
+        """Reclassify lock contention that outlasts the busy timeout
+        as :class:`TransientStoreError` — the database is healthy,
+        another writer is just holding it, and retry layers should
+        treat the write as re-attemptable rather than fatal."""
+        try:
+            yield
+        except sqlite3.OperationalError as error:
+            if is_transient(error):
+                raise TransientStoreError(
+                    f"sqlite store busy during {op} on {self.path}: "
+                    f"{error}"
+                ) from error
+            raise
+
     def discard(self, fingerprint: str) -> bool:
-        with self._conn:
+        with self._write_guard("discard"), self._conn:
             cursor = self._conn.execute(
                 "DELETE FROM evaluations WHERE fingerprint = ?",
                 (fingerprint,),
@@ -1015,7 +1047,7 @@ class SQLiteStore(CacheStore):
         return False
 
     def clear(self) -> None:
-        with self._conn:
+        with self._write_guard("clear"), self._conn:
             cursor = self._conn.execute("DELETE FROM evaluations")
         self.stats.invalidations += max(cursor.rowcount, 0)
 

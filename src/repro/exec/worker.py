@@ -26,7 +26,21 @@ Failure semantics: an evaluator exception fails the leased jobs back
 to pending (terminally ``failed`` after the queue's ``max_attempts``);
 a killed worker simply stops heartbeating and its leases are
 reclaimed by any survivor.  Every publish is an atomic store write of
-a deterministic payload, so crash-duplicated work is harmless.
+a deterministic payload, so crash-duplicated work is harmless —
+doubly so since workers answer re-leased jobs from the store
+(:attr:`WorkerReport.jobs_skipped`) instead of re-evaluating them.
+Transient substrate hiccups (busy SQLite, flaky NFS) are absorbed by
+a :class:`~repro.exec.resilience.RetryPolicy` around every store and
+queue call.
+
+Exit codes tell supervisors what happened: 0 clean, 1 operational
+error, :data:`EXIT_EVALUATOR_CONFIG` (3) for an unusable
+``--evaluator`` spec (restarting cannot help), and
+:data:`EXIT_CRASH_LOOP` (4) when ``--supervise`` gave up on a
+crash-looping fleet.  ``--supervise N`` runs N child workers under a
+:class:`Supervisor` that restarts crashes with backoff and gives up
+— with a one-line structured reason — when restarts exceed
+``--max-restarts`` within ``--restart-window`` seconds.
 """
 
 from __future__ import annotations
@@ -34,21 +48,30 @@ from __future__ import annotations
 import argparse
 import importlib
 import json
+import subprocess
 import sys
 import time
 from dataclasses import dataclass
 from typing import Callable, Mapping, Sequence
 
-from repro.errors import ReproError
+from repro.errors import EvaluatorConfigError, ReproError
 from repro.exec.backends import Evaluator, SerialBackend
 from repro.exec.queue import (
     WorkQueue,
     default_worker_id,
     resolve_queue,
 )
+from repro.exec.resilience import DEFAULT_RETRY, RetryPolicy
 from repro.exec.store import CacheStore, resolve_store
 
 PROG = "repro-worker"
+
+#: Exit code for an unusable ``--evaluator`` spec: the worker can
+#: never start, so a supervisor must not restart it.
+EXIT_EVALUATOR_CONFIG = 3
+
+#: Exit code when a supervisor abandons a crash-looping fleet.
+EXIT_CRASH_LOOP = 4
 
 
 def load_evaluator(
@@ -59,38 +82,50 @@ def load_evaluator(
     ``spec`` is ``module:attribute`` naming a zero-argument callable;
     its return value is either the evaluator itself or an object with
     ``evaluate_point``/``evaluate_points_timed`` (the toolkit shape).
+
+    Every way this can go wrong — malformed spec, failing import,
+    missing attribute, uncallable factory, a factory that raises — is
+    an *operator configuration* problem, raised as
+    :class:`~repro.errors.EvaluatorConfigError` so ``main`` can exit
+    with :data:`EXIT_EVALUATOR_CONFIG` and supervisors know not to
+    restart.
     """
     module_name, sep, attr = spec.partition(":")
     if not sep or not module_name or not attr:
-        raise ReproError(
+        raise EvaluatorConfigError(
             f"evaluator spec {spec!r} is not of the form module:factory"
         )
     try:
         module = importlib.import_module(module_name)
     except ImportError as error:
-        raise ReproError(
+        raise EvaluatorConfigError(
             f"cannot import evaluator module {module_name!r}: {error}"
         ) from error
     try:
         factory = getattr(module, attr)
     except AttributeError as error:
-        raise ReproError(
+        raise EvaluatorConfigError(
             f"module {module_name!r} has no attribute {attr!r}"
         ) from error
     if not callable(factory):
-        raise ReproError(f"{spec!r} is not callable")
-    built = factory()
+        raise EvaluatorConfigError(f"{spec!r} is not callable")
+    try:
+        built = factory()
+    except Exception as error:
+        raise EvaluatorConfigError(
+            f"evaluator factory {spec!r} raised while building: {error}"
+        ) from error
     batch = getattr(built, "evaluate_points_timed", None)
     if batch is not None:
         evaluate = getattr(built, "evaluate_point", None)
         if evaluate is None:  # pragma: no cover - defensive
-            raise ReproError(
+            raise EvaluatorConfigError(
                 f"{spec!r} returned an object with evaluate_points_timed "
                 "but no evaluate_point"
             )
         return evaluate, batch
     if not callable(built):
-        raise ReproError(
+        raise EvaluatorConfigError(
             f"{spec!r} must return an evaluator callable or a toolkit-"
             f"like object, got {type(built)!r}"
         )
@@ -104,6 +139,10 @@ class WorkerReport:
     worker_id: str
     jobs_completed: int = 0
     jobs_failed: int = 0
+    #: Leased jobs answered straight from the store — somebody
+    #: already published them (their lease expired after the persist
+    #: landed), so evaluating again would be pure waste.
+    jobs_skipped: int = 0
     leases: int = 0
     seconds: float = 0.0
     eval_seconds: float = 0.0
@@ -113,6 +152,7 @@ class WorkerReport:
             "worker_id": self.worker_id,
             "jobs_completed": self.jobs_completed,
             "jobs_failed": self.jobs_failed,
+            "jobs_skipped": self.jobs_skipped,
             "leases": self.leases,
             "seconds": self.seconds,
             "eval_seconds": self.eval_seconds,
@@ -145,6 +185,9 @@ class Worker:
         throttle: sleep this long before evaluating each leased batch
             (a chaos/testing aid: makes lease-reclamation windows
             reproducible).
+        retry: :class:`~repro.exec.resilience.RetryPolicy` applied to
+            every store/queue call, so a briefly busy database never
+            crashes the worker (None: the default policy).
     """
 
     def __init__(
@@ -162,6 +205,7 @@ class Worker:
         drain: bool = False,
         idle_timeout: float | None = None,
         throttle: float = 0.0,
+        retry: RetryPolicy | None = None,
     ):
         if batch < 1:
             raise ReproError(f"batch must be >= 1, got {batch}")
@@ -175,8 +219,20 @@ class Worker:
         self.drain = drain
         self.idle_timeout = idle_timeout
         self.throttle = float(throttle)
+        self.retry = retry if retry is not None else DEFAULT_RETRY
         self._backend = SerialBackend(batch_evaluate=batch_evaluate)
         self._evaluate = evaluate
+
+    def _call(self, fn, *args, **kwargs):
+        """One substrate call under the retry policy."""
+        return self.retry.call(fn, *args, **kwargs)
+
+    def _peek(self, fingerprint: str):
+        """Best-effort store peek: unreadable means unknown."""
+        try:
+            return self._call(self.store.peek, fingerprint)
+        except Exception:
+            return None
 
     def run(self) -> WorkerReport:
         """Work until drained / idle / at the job bound."""
@@ -191,13 +247,14 @@ class Worker:
                 >= self.max_jobs
             ):
                 break
-            jobs = self.queue.lease(
+            jobs = self._call(
+                self.queue.lease,
                 self.worker_id,
                 n=self.batch,
                 lease_seconds=self.lease_seconds,
             )
             if not jobs:
-                stats = self.queue.stats()
+                stats = self._call(self.queue.stats)
                 if self.drain and stats.outstanding == 0:
                     # Drained — but a worker started *before* the
                     # submitter must not mistake a not-yet-fed queue
@@ -229,31 +286,270 @@ class Worker:
         return report
 
     def _work(self, jobs: Sequence, report: WorkerReport) -> None:
-        points = [job.point for job in jobs]
+        # Answer from the store before evaluating: a reclaimed lease
+        # may carry a job whose original worker published the result
+        # and only then lost its lease.  The store is authoritative
+        # for deterministic evaluations, so finishing the job costs a
+        # peek, not a simulation — and the study's evaluation count
+        # stays exact under lease-expiry chaos.
+        runnable = []
+        for job in jobs:
+            responses = self._peek(job.job_id)
+            if responses is None:
+                runnable.append(job)
+                continue
+            self._call(
+                self.queue.complete,
+                self.worker_id,
+                job.job_id,
+                seconds=0.0,
+            )
+            report.jobs_skipped += 1
+        if not runnable:
+            return
+        points = [job.point for job in runnable]
         try:
             results = self._backend.run(self._evaluate, points)
         except Exception as error:
-            if len(jobs) > 1:
+            if len(runnable) > 1:
                 # A poison point must not take its batch-mates down
                 # with it (batched, they would re-pair on every lease
                 # until all of them failed terminally): retry one job
                 # at a time so only the points that actually raise
                 # are failed.
-                for job in jobs:
+                for job in runnable:
                     self._work([job], report)
                 return
-            self.queue.fail(
-                self.worker_id, jobs[0].job_id, error=str(error)
+            self._call(
+                self.queue.fail,
+                self.worker_id,
+                runnable[0].job_id,
+                error=str(error),
             )
             report.jobs_failed += 1
             return
-        for job, (responses, seconds) in zip(jobs, results):
-            self.store.persist(job.job_id, responses)
-            self.queue.complete(
-                self.worker_id, job.job_id, seconds=seconds
+        for job, (responses, seconds) in zip(runnable, results):
+            try:
+                self._call(self.store.persist, job.job_id, responses)
+            except Exception as error:
+                # The result cannot be published; completing the job
+                # anyway would strand the submitter polling a store
+                # that will never answer.  Fail it back to pending so
+                # the point is retried somewhere the store works.
+                self._call(
+                    self.queue.fail,
+                    self.worker_id,
+                    job.job_id,
+                    error=f"store persist failed: {error}",
+                )
+                report.jobs_failed += 1
+                continue
+            self._call(
+                self.queue.complete,
+                self.worker_id,
+                job.job_id,
+                seconds=seconds,
             )
             report.jobs_completed += 1
             report.eval_seconds += seconds
+
+
+@dataclass
+class SupervisorReport:
+    """How a supervised fleet ended.
+
+    Attributes:
+        exit_code: 0 (all children finished cleanly),
+            :data:`EXIT_EVALUATOR_CONFIG` (a child proved the
+            evaluator spec unusable) or :data:`EXIT_CRASH_LOOP`.
+        restarts: total children respawned.
+        reason: one-line machine-readable reason when nonzero.
+    """
+
+    exit_code: int = 0
+    restarts: int = 0
+    reason: str = ""
+
+    def as_dict(self) -> dict:
+        return {
+            "exit_code": self.exit_code,
+            "restarts": self.restarts,
+            "reason": self.reason,
+        }
+
+
+class Supervisor:
+    """Keep N worker children alive; give up when that is hopeless.
+
+    A crashed child (nonzero exit, or killed by a signal) is
+    respawned after an exponentially growing backoff.  Two conditions
+    end the fleet early: a child exiting
+    :data:`EXIT_EVALUATOR_CONFIG` (the spec can never work — no
+    restart will change that), and more than ``max_restarts``
+    respawns within a sliding ``window`` (a crash loop: the evaluator
+    or substrate is broken faster than restarting can hide).  In both
+    cases remaining children are terminated and the report carries a
+    structured reason.
+
+    Children exiting 0 are *finished* (``--drain`` ran dry) and are
+    not replaced; when the last one finishes the supervisor returns
+    cleanly.
+
+    Args:
+        spawn: ``spawn(index) -> process`` — anything with ``poll()``
+            (None while running, else the exit code) and
+            ``terminate()``.  Injectable so crash-loop logic is
+            testable without real processes.
+        workers: fleet size.
+        max_restarts: respawns tolerated inside ``window`` before
+            giving up.
+        window: sliding crash-counting window, seconds.
+        backoff: first respawn delay; doubles per *recent* crash up
+            to ``backoff_max``.
+        poll_interval: seconds between fleet scans.
+        clock / sleep: injectable time sources (tests).
+        on_event: optional ``callback(event: dict)`` for one-line
+            progress reporting.
+    """
+
+    def __init__(
+        self,
+        spawn: Callable,
+        workers: int,
+        *,
+        max_restarts: int = 5,
+        window: float = 60.0,
+        backoff: float = 0.5,
+        backoff_max: float = 10.0,
+        poll_interval: float = 0.1,
+        clock: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], None] = time.sleep,
+        on_event: Callable[[dict], None] | None = None,
+    ):
+        if workers < 1:
+            raise ReproError(f"--supervise needs >= 1 worker, got {workers}")
+        if max_restarts < 0:
+            raise ReproError(
+                f"max_restarts must be >= 0, got {max_restarts}"
+            )
+        self.spawn = spawn
+        self.workers = workers
+        self.max_restarts = max_restarts
+        self.window = float(window)
+        self.backoff = float(backoff)
+        self.backoff_max = float(backoff_max)
+        self.poll_interval = float(poll_interval)
+        self._clock = clock
+        self._sleep = sleep
+        self._on_event = on_event
+        self._crash_times: list[float] = []
+
+    def _emit(self, **event) -> None:
+        if self._on_event is not None:
+            self._on_event(event)
+
+    def _recent_crashes(self) -> int:
+        horizon = self._clock() - self.window
+        self._crash_times = [t for t in self._crash_times if t >= horizon]
+        return len(self._crash_times)
+
+    def run(self) -> SupervisorReport:
+        report = SupervisorReport()
+        fleet: dict[int, object | None] = {
+            i: self.spawn(i) for i in range(self.workers)
+        }
+        self._emit(event="started", workers=self.workers)
+        while any(proc is not None for proc in fleet.values()):
+            for index, proc in list(fleet.items()):
+                if proc is None:
+                    continue
+                code = proc.poll()
+                if code is None:
+                    continue
+                if code == 0:
+                    fleet[index] = None
+                    self._emit(event="finished", worker=index)
+                    continue
+                if code == EXIT_EVALUATOR_CONFIG:
+                    report.exit_code = EXIT_EVALUATOR_CONFIG
+                    report.reason = json.dumps(
+                        {
+                            "error": "evaluator-config",
+                            "worker": index,
+                            "detail": "child exit "
+                            f"{EXIT_EVALUATOR_CONFIG}: the evaluator "
+                            "spec cannot work; not restarting",
+                        },
+                        sort_keys=True,
+                    )
+                    self._terminate(fleet)
+                    return report
+                self._crash_times.append(self._clock())
+                recent = self._recent_crashes()
+                self._emit(
+                    event="crashed", worker=index, code=code, recent=recent
+                )
+                if recent > self.max_restarts:
+                    report.exit_code = EXIT_CRASH_LOOP
+                    report.reason = json.dumps(
+                        {
+                            "error": "crash-loop",
+                            "restarts": recent,
+                            "window_seconds": self.window,
+                            "last_exit_code": code,
+                        },
+                        sort_keys=True,
+                    )
+                    self._terminate(fleet)
+                    return report
+                delay = min(
+                    self.backoff * (2 ** max(recent - 1, 0)),
+                    self.backoff_max,
+                )
+                self._sleep(delay)
+                fleet[index] = self.spawn(index)
+                report.restarts += 1
+                self._emit(
+                    event="restarted", worker=index, backoff=delay
+                )
+            if any(proc is not None for proc in fleet.values()):
+                self._sleep(self.poll_interval)
+        self._emit(event="drained", restarts=report.restarts)
+        return report
+
+    def _terminate(self, fleet: Mapping[int, object | None]) -> None:
+        for proc in fleet.values():
+            if proc is not None and proc.poll() is None:
+                try:
+                    proc.terminate()
+                except Exception:  # pragma: no cover - best effort
+                    pass
+
+
+def _child_argv(argv: Sequence[str]) -> list[str]:
+    """The argv a supervised child runs with: the parent's, minus the
+    supervision flags (a child supervising children would fork-bomb)
+    and minus ``--worker-id`` (children must hold distinct lease
+    identities, so they fall back to the pid-unique default)."""
+    drop_with_value = {
+        "--supervise",
+        "--max-restarts",
+        "--restart-window",
+        "--worker-id",
+    }
+    out: list[str] = []
+    skip = False
+    for arg in argv:
+        if skip:
+            skip = False
+            continue
+        if arg in drop_with_value:
+            skip = True
+            continue
+        if any(arg.startswith(f"{flag}=") for flag in drop_with_value):
+            continue
+        out.append(arg)
+    return out
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -310,13 +606,64 @@ def build_parser() -> argparse.ArgumentParser:
         help="sleep before evaluating each leased batch (testing aid)",
     )
     parser.add_argument(
+        "--supervise", type=int, default=None, metavar="N",
+        help="run N worker children under a restarting supervisor "
+        "instead of working in this process",
+    )
+    parser.add_argument(
+        "--max-restarts", type=int, default=5,
+        help="with --supervise: respawns tolerated per window before "
+        "declaring a crash loop (default 5)",
+    )
+    parser.add_argument(
+        "--restart-window", type=float, default=60.0,
+        help="with --supervise: sliding crash-counting window in "
+        "seconds (default 60)",
+    )
+    parser.add_argument(
         "--json", action="store_true", help="machine-readable report"
     )
     return parser
 
 
+def _run_supervised(args, argv: Sequence[str] | None) -> int:
+    """``--supervise N``: spawn and shepherd N child workers."""
+    child_argv = _child_argv(
+        list(argv) if argv is not None else sys.argv[1:]
+    )
+
+    def spawn(index: int):
+        return subprocess.Popen(
+            [sys.executable, "-m", "repro.exec.worker", *child_argv]
+        )
+
+    def on_event(event: dict) -> None:
+        if not args.json:
+            print(
+                f"{PROG}[supervisor]: "
+                + " ".join(f"{k}={v}" for k, v in event.items()),
+                file=sys.stderr,
+            )
+
+    supervisor = Supervisor(
+        spawn,
+        args.supervise,
+        max_restarts=args.max_restarts,
+        window=args.restart_window,
+        on_event=on_event,
+    )
+    report = supervisor.run()
+    if report.exit_code != 0:
+        print(f"{PROG}: supervisor gave up: {report.reason}", file=sys.stderr)
+    if args.json:
+        print(json.dumps(report.as_dict(), sort_keys=True))
+    return report.exit_code
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.supervise is not None:
+        return _run_supervised(args, argv)
     try:
         evaluate, batch_evaluate = load_evaluator(args.evaluator)
         store = resolve_store(args.store)
@@ -325,6 +672,22 @@ def main(argv: Sequence[str] | None = None) -> int:
             if args.queue is not None
             else resolve_queue(args.store)
         )
+    except EvaluatorConfigError as error:
+        # One structured line, a distinct exit code: supervisors and
+        # operators can tell "fix the spec" from "it crashed".
+        print(
+            f"{PROG}: "
+            + json.dumps(
+                {
+                    "error": "evaluator-config",
+                    "spec": args.evaluator,
+                    "reason": str(error),
+                },
+                sort_keys=True,
+            ),
+            file=sys.stderr,
+        )
+        return EXIT_EVALUATOR_CONFIG
     except ReproError as error:
         print(f"{PROG}: {error}", file=sys.stderr)
         return 1

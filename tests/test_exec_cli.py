@@ -455,6 +455,53 @@ class TestQueueStatsWatch:
         assert samples[1]["done"] == samples[0]["done"] + 1
         assert all("at" in s for s in samples)
 
+    def test_watch_survives_a_vanished_queue(
+        self, populated_queue, capsys, monkeypatch
+    ):
+        """A queue that becomes unreadable mid-watch is reported and
+        re-resolved; the watch keeps sampling instead of dying."""
+        spec, _ = populated_queue
+        import repro.exec.cli as cli_module
+        from repro.exec.queue import resolve_queue as real_resolve
+
+        class _FlakyQueue:
+            """Real queue underneath; stats vanishes on chosen calls."""
+
+            def __init__(self, inner):
+                self._inner = inner
+                self._calls = 0
+
+            def stats(self, *args, **kwargs):
+                self._calls += 1
+                if self._calls in (2, 3):
+                    raise OSError("queue file vanished")
+                return self._inner.stats(*args, **kwargs)
+
+            def __getattr__(self, name):
+                return getattr(self._inner, name)
+
+        resolves = {"n": 0}
+
+        def fake_resolve(spec_arg, *args, **kwargs):
+            resolves["n"] += 1
+            if resolves["n"] == 1:  # initial open
+                return _FlakyQueue(real_resolve(spec_arg, *args, **kwargs))
+            if resolves["n"] == 2:  # first recovery attempt: still gone
+                raise OSError("substrate is being re-provisioned")
+            return real_resolve(spec_arg, *args, **kwargs)
+
+        monkeypatch.setattr(cli_module, "resolve_queue", fake_resolve)
+        calls = self._interrupt_after(monkeypatch, ticks=4)
+        # samples: ok, unreadable, unreadable (re-resolve failed, dead
+        # queue kept), ok on the re-resolved queue -> last code is 2.
+        assert main(["queue", "stats", spec, "--watch", "1"]) == 2
+        captured = capsys.readouterr()
+        assert captured.out.count("pending:") == 2
+        assert captured.err.count("queue unreadable") == 2
+        assert "still watching" in captured.err
+        assert resolves["n"] == 3
+        assert calls["n"] == 4
+
     def test_plain_stats_unchanged_without_watch(
         self, populated_queue, capsys
     ):

@@ -22,6 +22,9 @@ from repro.exec import (
     DistributedBackend,
     EvalCache,
     EvaluationEngine,
+    FaultPlan,
+    FaultSpec,
+    FaultyQueue,
     FileStore,
     FileWorkQueue,
     Job,
@@ -643,6 +646,113 @@ class TestDistributedBackend:
         fresh = SQLiteStore(tmp_path / "evals.sqlite")
         assert fresh.peek("x") is not None
         fresh.close()
+
+
+class TestDegradedFallback:
+    """The substrate dies; the study does not."""
+
+    def _dead_queue(self, tmp_path):
+        # The first queue operation of any kind fails terminally — as
+        # an unplugged NFS mount or deleted database would.
+        plan = FaultPlan([FaultSpec("queue", "*", 1, "terminal")])
+        return FaultyQueue(SQLiteWorkQueue(tmp_path / "queue.sqlite"), plan)
+
+    def test_unreachable_queue_falls_back_in_process(self, tmp_path):
+        store = SQLiteStore(tmp_path / "evals.sqlite")
+        backend = DistributedBackend(
+            store,
+            queue=self._dead_queue(tmp_path),
+            cooperate=False,
+            timeout=30.0,
+        )
+        points = make_points(4)
+        with pytest.warns(RuntimeWarning, match="degraded"):
+            results = backend.run(
+                synthetic_evaluate,
+                points,
+                fingerprints=[f"d{i}" for i in range(4)],
+            )
+        assert backend.queue_down is True
+        assert backend.degraded_evaluations == 4
+        for point, (responses, _) in zip(points, results):
+            assert responses == synthetic_evaluate(point)
+        # Degraded results still land in the store: a recovered
+        # substrate (and every other submitter) reuses them.
+        assert len(store) == 4
+        backend.close()
+        store.close()
+
+    def test_fallback_disabled_propagates_the_queue_error(self, tmp_path):
+        store = SQLiteStore(tmp_path / "evals.sqlite")
+        backend = DistributedBackend(
+            store,
+            queue=self._dead_queue(tmp_path),
+            cooperate=False,
+            timeout=30.0,
+            fallback=False,
+        )
+        with pytest.raises(OSError, match="injected terminal fault"):
+            backend.run(
+                synthetic_evaluate, make_points(2), fingerprints=["a", "b"]
+            )
+        backend.close()
+        store.close()
+
+    def test_no_progress_deadline_falls_back(self, tmp_path):
+        # Healthy queue, but nobody is working it: after
+        # ``fallback_after`` seconds without a single point landing
+        # the submitter evaluates the remainder itself.
+        store = SQLiteStore(tmp_path / "evals.sqlite")
+        backend = DistributedBackend(
+            store,
+            cooperate=False,
+            poll_interval=0.01,
+            timeout=30.0,
+            fallback_after=0.2,
+        )
+        points = make_points(3)
+        with pytest.warns(RuntimeWarning, match="degraded"):
+            results = backend.run(
+                synthetic_evaluate,
+                points,
+                fingerprints=[f"n{i}" for i in range(3)],
+            )
+        assert backend.degraded_evaluations == 3
+        for point, (responses, _) in zip(points, results):
+            assert responses == synthetic_evaluate(point)
+        backend.close()
+        store.close()
+
+    def test_stall_error_carries_a_queue_snapshot(self, tmp_path):
+        store = FileStore(tmp_path / "evals")
+        backend = DistributedBackend(
+            store, cooperate=False, poll_interval=0.01, timeout=0.1
+        )
+        with pytest.raises(ReproError, match=r"queue snapshot: pending="):
+            backend.run(
+                synthetic_evaluate, make_points(2), fingerprints=["a", "b"]
+            )
+        backend.close()
+
+    def test_engine_surfaces_degraded_evaluations(self, tmp_path):
+        store = SQLiteStore(tmp_path / "evals.sqlite")
+        backend = DistributedBackend(
+            store,
+            queue=self._dead_queue(tmp_path),
+            cooperate=False,
+            timeout=30.0,
+        )
+        engine = EvaluationEngine(
+            synthetic_evaluate, backend=backend, cache=store
+        )
+        before = engine.stats_snapshot()
+        assert before["degraded_evaluations"] == 0
+        with pytest.warns(RuntimeWarning, match="degraded"):
+            engine.map_points(make_points(3))
+        stats = engine.stats()
+        assert stats["degraded_evaluations"] == 3
+        assert engine.stats_snapshot()["degraded_evaluations"] == 3
+        engine.close()
 
 
 class TestExplorerDistributed:

@@ -29,7 +29,14 @@ from repro.exec import (
     Worker,
     queue_for_store,
 )
-from repro.exec.worker import load_evaluator, main
+from repro.exec.worker import (
+    EXIT_CRASH_LOOP,
+    EXIT_EVALUATOR_CONFIG,
+    Supervisor,
+    _child_argv,
+    load_evaluator,
+    main,
+)
 
 TESTS_DIR = Path(__file__).resolve().parent
 SRC_DIR = TESTS_DIR.parent / "src"
@@ -325,8 +332,16 @@ class TestWorkerCli:
                 "no_such_module_xyz:factory",
             ]
         )
-        assert rc == 1
-        assert "repro-worker:" in capsys.readouterr().err
+        # Config errors get their own exit code and a one-line
+        # structured reason, so supervisors never restart-loop a
+        # worker that can never start.
+        assert rc == EXIT_EVALUATOR_CONFIG
+        err = capsys.readouterr().err
+        assert "repro-worker:" in err
+        line = err.splitlines()[0]
+        payload = json.loads(line.split("repro-worker: ", 1)[1])
+        assert payload["error"] == "evaluator-config"
+        assert "no_such_module_xyz" in payload["reason"]
 
 
 def _spawn_worker(store_path, *extra, evaluator="make_synthetic"):
@@ -461,4 +476,204 @@ class TestWorkerSubprocess:
         for point, (responses, _) in zip(points, results):
             assert responses == synthetic_evaluate(point)
         backend.close()
+        store.close()
+
+
+class _FakeProc:
+    """A poll()/terminate() stand-in for a worker child process."""
+
+    def __init__(self, codes):
+        # ``codes``: successive poll() results; the last one repeats.
+        self._codes = list(codes)
+        self.terminated = False
+
+    def poll(self):
+        if self.terminated:
+            return -signal.SIGTERM
+        if len(self._codes) > 1:
+            return self._codes.pop(0)
+        return self._codes[0]
+
+    def terminate(self):
+        self.terminated = True
+
+
+class _FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, dt):
+        self.t += dt
+
+
+class TestSupervisor:
+    def _supervisor(self, spawn, workers=1, **kw):
+        clock = _FakeClock()
+        sleeps = []
+
+        def sleep(dt):
+            sleeps.append(dt)
+            clock.advance(dt)
+
+        events = []
+        sup = Supervisor(
+            spawn,
+            workers,
+            clock=clock,
+            sleep=sleep,
+            on_event=events.append,
+            **kw,
+        )
+        return sup, clock, sleeps, events
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            Supervisor(lambda i: _FakeProc([0]), 0)
+        with pytest.raises(ReproError):
+            Supervisor(lambda i: _FakeProc([0]), 1, max_restarts=-1)
+
+    def test_clean_fleet_drains_without_restarts(self):
+        sup, _, _, events = self._supervisor(
+            lambda i: _FakeProc([None, 0]), workers=3
+        )
+        report = sup.run()
+        assert report.exit_code == 0
+        assert report.restarts == 0
+        assert report.reason == ""
+        assert events[-1]["event"] == "drained"
+
+    def test_crashed_child_is_restarted_with_backoff(self):
+        spawned = []
+
+        def spawn(index):
+            # First child of the fleet crashes once; its replacement
+            # finishes cleanly.
+            proc = _FakeProc([1] if not spawned else [0])
+            spawned.append(proc)
+            return proc
+
+        sup, _, sleeps, events = self._supervisor(spawn, backoff=0.5)
+        report = sup.run()
+        assert report.exit_code == 0
+        assert report.restarts == 1
+        assert sleeps[0] == pytest.approx(0.5)  # first-crash backoff
+        kinds = [e["event"] for e in events]
+        assert "crashed" in kinds and "restarted" in kinds
+
+    def test_backoff_grows_per_recent_crash_and_is_capped(self):
+        crashes = 4
+
+        def spawn(index):
+            spawn.count += 1
+            return _FakeProc([1] if spawn.count <= crashes else [0])
+
+        spawn.count = 0
+        sup, _, sleeps, _ = self._supervisor(
+            spawn, max_restarts=10, window=1e9, backoff=1.0, backoff_max=3.0
+        )
+        report = sup.run()
+        assert report.restarts == crashes
+        backoffs = [s for s in sleeps if s != sup.poll_interval]
+        assert backoffs == pytest.approx([1.0, 2.0, 3.0, 3.0])  # capped
+
+    def test_crash_loop_gives_up_with_a_structured_reason(self):
+        sup, _, _, _ = self._supervisor(
+            lambda i: _FakeProc([1]), max_restarts=2, window=1e9
+        )
+        report = sup.run()
+        assert report.exit_code == EXIT_CRASH_LOOP
+        assert report.restarts == 2  # the tolerated ones
+        reason = json.loads(report.reason)
+        assert reason["error"] == "crash-loop"
+        assert reason["restarts"] == 3
+        assert reason["last_exit_code"] == 1
+
+    def test_crashes_outside_the_window_are_forgiven(self):
+        crashes = 4
+
+        def spawn(index):
+            spawn.count += 1
+            return _FakeProc([1] if spawn.count <= crashes else [0])
+
+        spawn.count = 0
+        # Each backoff sleep advances the fake clock far past the
+        # window, so the sliding count never exceeds max_restarts.
+        sup, _, _, _ = self._supervisor(
+            spawn, max_restarts=1, window=10.0, backoff=100.0,
+            backoff_max=100.0,
+        )
+        report = sup.run()
+        assert report.exit_code == 0
+        assert report.restarts == crashes
+
+    def test_evaluator_config_exit_stops_the_fleet(self):
+        procs = []
+
+        def spawn(index):
+            proc = _FakeProc(
+                [EXIT_EVALUATOR_CONFIG] if index == 0 else [None]
+            )
+            procs.append(proc)
+            return proc
+
+        sup, _, _, _ = self._supervisor(spawn, workers=3)
+        report = sup.run()
+        assert report.exit_code == EXIT_EVALUATOR_CONFIG
+        assert report.restarts == 0
+        reason = json.loads(report.reason)
+        assert reason["error"] == "evaluator-config"
+        # The healthy siblings were told to stand down.
+        assert all(p.terminated for p in procs if p is not procs[0])
+
+
+class TestChildArgv:
+    def test_supervision_flags_are_stripped(self):
+        argv = [
+            "store.sqlite", "--evaluator", "pkg.mod:make", "--drain",
+            "--supervise", "4", "--max-restarts", "7",
+            "--restart-window=30", "--worker-id", "parent", "--json",
+        ]
+        assert _child_argv(argv) == [
+            "store.sqlite", "--evaluator", "pkg.mod:make", "--drain",
+            "--json",
+        ]
+
+    def test_equals_form_is_stripped_too(self):
+        argv = ["s", "--supervise=2", "--worker-id=w", "--max-jobs", "5"]
+        assert _child_argv(argv) == ["s", "--max-jobs", "5"]
+
+
+class TestSupervisedCli:
+    def test_supervised_fleet_drains_a_real_queue(self, tmp_path, capsys):
+        store, queue = _substrate(tmp_path)
+        queue.submit(_jobs(6))
+        queue.close()
+        store.close()
+        env_tweak = {"PYTHONPATH": f"{SRC_DIR}{os.pathsep}{TESTS_DIR}"}
+        old = os.environ.get("PYTHONPATH")
+        os.environ["PYTHONPATH"] = env_tweak["PYTHONPATH"]
+        try:
+            rc = main(
+                [
+                    str(tmp_path / "evals.sqlite"),
+                    "--evaluator",
+                    "worker_eval_fixtures:make_synthetic",
+                    "--supervise",
+                    "2",
+                    "--drain",
+                    "--json",
+                ]
+            )
+        finally:
+            if old is None:
+                del os.environ["PYTHONPATH"]
+            else:
+                os.environ["PYTHONPATH"] = old
+        assert rc == 0
+        store = SQLiteStore(tmp_path / "evals.sqlite")
+        assert len(store) == 6
+        assert queue_for_store(store).stats().done == 6
         store.close()

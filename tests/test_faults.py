@@ -1,0 +1,209 @@
+"""The fault-injection harness itself: plans, schedules, wrappers.
+
+The harness is only as good as its own determinism — a chaos failure
+nobody can replay is a flake, not a finding — so the pins here are
+mostly about scheduling: same seed, same plan; Nth-operation
+semantics exact; each fault fires exactly once and is logged.
+"""
+
+import sqlite3
+
+import pytest
+
+from repro.errors import (
+    ReproError,
+    TransientQueueError,
+    TransientStoreError,
+    is_transient,
+)
+from repro.exec import (
+    FAULT_KINDS,
+    FaultPlan,
+    FaultSpec,
+    FaultyQueue,
+    FaultyStore,
+    FileStore,
+    Job,
+    MemoryStore,
+    SQLiteStore,
+    SQLiteWorkQueue,
+)
+
+
+class TestFaultSpec:
+    def test_validation(self):
+        with pytest.raises(ReproError, match="target"):
+            FaultSpec("disk", "persist", 1, "transient")
+        with pytest.raises(ReproError, match="kind"):
+            FaultSpec("store", "persist", 1, "gremlins")
+        with pytest.raises(ReproError, match="index"):
+            FaultSpec("store", "persist", 0, "transient")
+
+    def test_as_dict_roundtrips_the_schedule(self):
+        spec = FaultSpec("queue", "lease", 3, "expire_lease")
+        assert spec.as_dict() == {
+            "target": "queue", "op": "lease", "at": 3, "kind": "expire_lease",
+        }
+
+
+class TestFaultPlan:
+    def test_same_seed_same_schedule(self):
+        a = FaultPlan.aggressive(1234, worker_kills=2)
+        b = FaultPlan.aggressive(1234, worker_kills=2)
+        assert a.schedule() == b.schedule()
+        assert a.seed == 1234
+
+    def test_different_seed_different_schedule(self):
+        assert (
+            FaultPlan.aggressive(1).schedule()
+            != FaultPlan.aggressive(2).schedule()
+        )
+
+    def test_fires_on_the_nth_op_exactly_once(self):
+        plan = FaultPlan([FaultSpec("store", "persist", 2, "transient")])
+        assert plan.tick("store", "persist") is None
+        fired = plan.tick("store", "persist")
+        assert fired is not None and fired.kind == "transient"
+        assert plan.tick("store", "persist") is None  # spent
+        assert plan.fired == [
+            {
+                "target": "store", "op": "persist", "at": 2,
+                "kind": "transient", "on_op": "persist",
+            }
+        ]
+        assert plan.remaining() == 0
+
+    def test_ops_are_counted_per_operation(self):
+        plan = FaultPlan([FaultSpec("store", "load", 2, "transient")])
+        # Interleaved persists must not advance the load counter.
+        assert plan.tick("store", "persist") is None
+        assert plan.tick("store", "load") is None
+        assert plan.tick("store", "persist") is None
+        assert plan.tick("store", "load") is not None
+
+    def test_wildcard_op_counts_everything_on_the_target(self):
+        plan = FaultPlan([FaultSpec("store", "*", 3, "locked")])
+        assert plan.tick("store", "persist") is None
+        assert plan.tick("store", "load") is None
+        assert plan.tick("queue", "lease") is None  # other target
+        fired = plan.tick("store", "discard")
+        assert fired is not None
+        assert plan.fired[0]["on_op"] == "discard"
+
+    def test_kill_points_are_markers_not_exceptions(self):
+        plan = FaultPlan.aggressive(9, worker_kills=2)
+        kills = plan.kill_points()
+        assert len(kills) == 2
+        assert all(s.kind == "kill_worker" for s in kills)
+        # remaining() tracks only wrapper-raisable faults.
+        assert plan.remaining() == len(plan.specs) - 2
+        assert plan.describe()["seed"] == 9
+
+    def test_identical_plans_replay_identical_firings(self):
+        ops = ["persist", "load", "persist", "peek", "persist", "load"]
+        logs = []
+        for _ in range(2):
+            plan = FaultPlan.aggressive(77, store_ops=3, queue_ops=0,
+                                        torn_writes=0, lease_expiries=0,
+                                        horizon=5)
+            for op in ops:
+                plan.tick("store", op)
+            logs.append(plan.fired)
+        assert logs[0] == logs[1]
+
+
+class TestFaultyStore:
+    def _store(self, specs):
+        return FaultyStore(MemoryStore(), FaultPlan(specs))
+
+    def test_transient_kind(self):
+        store = self._store([FaultSpec("store", "persist", 1, "transient")])
+        with pytest.raises(TransientStoreError, match="injected"):
+            store.persist("fp", {"y": 1.0})
+        # The op was lost, as with a real error...
+        assert len(store) == 0
+        # ...and the retry succeeds.
+        store.persist("fp", {"y": 1.0})
+        assert store.load("fp") == {"y": 1.0}
+
+    def test_locked_kind_is_a_real_sqlite_shape(self):
+        store = self._store([FaultSpec("store", "load", 1, "locked")])
+        with pytest.raises(sqlite3.OperationalError) as excinfo:
+            store.load("fp")
+        assert is_transient(excinfo.value)
+
+    def test_terminal_kind(self):
+        store = self._store([FaultSpec("store", "clear", 1, "terminal")])
+        with pytest.raises(OSError):
+            store.clear()
+
+    def test_torn_write_leaves_a_distrusted_corpse(self, tmp_path):
+        inner = FileStore(tmp_path / "s")
+        store = FaultyStore(
+            inner, FaultPlan([FaultSpec("store", "persist", 1, "torn")])
+        )
+        with pytest.raises(TransientStoreError, match="torn"):
+            store.persist("fp", {"y": 1.0, "z": 2.0})
+        # Half a blob is on disk at the real path...
+        path = inner._path("fp")
+        assert path.exists() and path.stat().st_size > 0
+        # ...and the store refuses to trust it.
+        assert store.load("fp") is None
+        # The retry overwrites the corpse and service resumes.
+        store.persist("fp", {"y": 1.0, "z": 2.0})
+        assert store.load("fp") == {"y": 1.0, "z": 2.0}
+
+    def test_delegation_and_describe(self, tmp_path):
+        inner = SQLiteStore(tmp_path / "s.sqlite")
+        store = FaultyStore(inner, FaultPlan())
+        store.persist("fp", {"y": 1.0})
+        assert store.path == inner.path
+        assert store.stats is inner.stats
+        described = store.describe()
+        assert described["faulty"] is True
+        assert described["fault_plan"]["specs"] == 0
+        assert described["store"] == store.name == f"faulty[{inner.name}]"
+        store.close()
+
+
+class TestFaultyQueue:
+    def test_expire_lease_grants_a_lease_born_dead(self, tmp_path):
+        plan = FaultPlan([FaultSpec("queue", "lease", 1, "expire_lease")])
+        queue = FaultyQueue(SQLiteWorkQueue(tmp_path / "q.sqlite"), plan)
+        queue.submit([Job("fp", {"a": 1.0})])
+        leased = queue.lease("victim", n=1, lease_seconds=60.0)
+        assert [job.job_id for job in leased] == ["fp"]
+        # The victim believes it holds 60 s; the lease is already gone.
+        assert queue.stats().expired == 1
+        survivor = queue.lease("survivor", n=1, lease_seconds=60.0)
+        assert [job.job_id for job in survivor] == ["fp"]
+        assert queue.job("fp").worker_id == "survivor"
+        # The victim's late completion is rejected: no double credit.
+        assert queue.complete("victim", "fp") is False
+        assert queue.complete("survivor", "fp") is True
+        queue.close()
+
+    def test_transient_kinds_raise_before_delegation(self, tmp_path):
+        plan = FaultPlan(
+            [
+                FaultSpec("queue", "submit", 1, "transient"),
+                FaultSpec("queue", "heartbeat", 1, "locked"),
+            ]
+        )
+        queue = FaultyQueue(SQLiteWorkQueue(tmp_path / "q.sqlite"), plan)
+        with pytest.raises(TransientQueueError):
+            queue.submit([Job("fp", {"a": 1.0})])
+        assert len(queue) == 0  # the op was lost
+        with pytest.raises(sqlite3.OperationalError):
+            queue.heartbeat("w1")
+        queue.submit([Job("fp", {"a": 1.0})])
+        assert len(queue) == 1
+        assert queue.describe()["faulty"] is True
+        queue.close()
+
+    def test_every_kind_is_constructible(self):
+        for kind in FAULT_KINDS:
+            target = "queue" if kind == "expire_lease" else (
+                "worker" if kind == "kill_worker" else "store"
+            )
+            FaultSpec(target, "*", 1, kind)
