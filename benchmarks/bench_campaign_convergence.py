@@ -30,6 +30,7 @@ from benchmarks.conftest import (
     print_banner,
 )
 from repro.analysis.io import ensure_results_dir
+from repro.fsutil import atomic_write_json
 from repro.analysis.tables import format_table
 from repro.core.factors import DesignSpace, Factor
 from repro.core.toolkit import (
@@ -158,8 +159,7 @@ def test_campaign_convergence():
     path = os.path.join(
         ensure_results_dir(), "BENCH_campaign_convergence.json"
     )
-    with open(path, "w") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True)
+    atomic_write_json(path, payload, indent=2, sort_keys=True)
     print(f"series written to {path}")
 
     # The acceptance pair: measurably fewer simulations, optimum

@@ -35,6 +35,7 @@ from benchmarks.distributed_smoke import (
     spawn_worker,
 )
 from repro.analysis.io import ensure_results_dir
+from repro.fsutil import atomic_write_json
 from repro.analysis.tables import format_table
 from repro.core.doe.lhs import latin_hypercube
 from repro.exec import DistributedBackend, SQLiteStore, queue_for_store
@@ -145,8 +146,7 @@ def test_distributed_scaling(tmp_path):
     path = os.path.join(
         ensure_results_dir(), "BENCH_distributed_scaling.json"
     )
-    with open(path, "w") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True)
+    atomic_write_json(path, payload, indent=2, sort_keys=True)
 
     rows = [["serial", t_serial, N_POINTS / t_serial, 1.0, "-"]]
     for workers in WORKER_COUNTS:

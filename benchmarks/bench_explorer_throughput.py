@@ -39,6 +39,7 @@ from benchmarks.conftest import (
     print_banner,
 )
 from repro.analysis.io import ensure_results_dir
+from repro.fsutil import atomic_write_json
 from repro.analysis.tables import format_table
 from repro.core.doe.lhs import latin_hypercube
 from repro.core.explorer import DesignExplorer
@@ -178,8 +179,7 @@ def test_explorer_throughput():
     path = os.path.join(
         ensure_results_dir(), "BENCH_explorer_throughput.json"
     )
-    with open(path, "w") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True)
+    atomic_write_json(path, payload, indent=2, sort_keys=True)
 
     rows = [
         ["serial", t_serial, N_POINTS / t_serial, 1.0],

@@ -53,6 +53,7 @@ from repro.exec import (
     RetryPolicy,
 )
 from repro.exec.queue import QUEUE_SUBDIR
+from repro.fsutil import atomic_write_json
 
 #: Evaluator spec worker subprocesses are pointed at.
 EVALUATOR_SPEC = "benchmarks.chaos_smoke:make_evaluator"
@@ -328,8 +329,7 @@ def main(argv: list[str] | None = None) -> int:
         summary["failure"] = str(failure)
         print(f"FAIL: {failure}", file=sys.stderr)
     if args.json:
-        with open(args.json, "w") as handle:
-            json.dump(summary, handle, indent=2, sort_keys=True)
+        atomic_write_json(args.json, summary, indent=2, sort_keys=True)
     if summary["ok"]:
         print(
             "chaos smoke verified: bit-identical results, zero lost, "

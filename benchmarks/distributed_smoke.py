@@ -37,6 +37,7 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
 from repro.core.doe.lhs import latin_hypercube
+from repro.fsutil import atomic_write_json
 from repro.core.factors import DesignSpace, Factor
 from repro.core.toolkit import SensorNodeDesignToolkit
 from repro.exec import DistributedBackend, queue_for_store, resolve_store
@@ -333,8 +334,7 @@ def main(argv: list[str] | None = None) -> int:
         summary["failure"] = str(failure)
         print(f"FAIL: {failure}", file=sys.stderr)
     if args.json:
-        with open(args.json, "w") as handle:
-            json.dump(summary, handle, indent=2, sort_keys=True)
+        atomic_write_json(args.json, summary, indent=2, sort_keys=True)
     if summary["ok"]:
         print(
             "distributed smoke verified: bit-identical cooperative "

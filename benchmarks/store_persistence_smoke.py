@@ -27,6 +27,7 @@ import sys
 import time
 
 from repro.core.doe.lhs import latin_hypercube
+from repro.fsutil import atomic_write_json
 from repro.core.factors import DesignSpace, Factor
 from repro.core.toolkit import SensorNodeDesignToolkit
 from repro.sim.envelope import EnvelopeOptions
@@ -95,8 +96,7 @@ def main(argv: list[str] | None = None) -> int:
         },
     }
     if args.json:
-        with open(args.json, "w") as handle:
-            json.dump(summary, handle, indent=2, sort_keys=True)
+        atomic_write_json(args.json, summary, indent=2, sort_keys=True)
     print(json.dumps(summary["cache"], sort_keys=True))
     print(
         f"store={summary['store']} points_evaluated="

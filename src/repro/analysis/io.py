@@ -14,6 +14,7 @@ from typing import Mapping, Sequence
 import numpy as np
 
 from repro.errors import ReproError
+from repro.fsutil import atomic_writer
 
 
 def ensure_results_dir(base: str | None = None) -> str:
@@ -46,7 +47,9 @@ def write_csv(
     path = os.path.join(directory, filename)
     names = list(columns)
     n = lengths[names[0]]
-    with open(path, "w", newline="") as handle:
+    # Atomic publish: a reader (or a re-plot racing a benchmark) must
+    # never observe a half-written series.
+    with atomic_writer(path, "w", newline="") as handle:
         writer = csv.writer(handle)
         writer.writerow(names)
         for i in range(n):

@@ -43,6 +43,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.errors import ReproError
+from repro.exec.sqlite_util import connect_wal
 from repro.exec.store import CacheStore, FileStore, MemoryStore, SQLiteStore
 
 #: On-disk schema version of journal rows/files; a mismatched record
@@ -275,11 +276,10 @@ class SQLiteCampaignJournal(CampaignJournal):
         self._conn = self._open()
 
     def _open(self) -> sqlite3.Connection:
-        conn = sqlite3.connect(str(self.path), timeout=self.timeout)
-        conn.isolation_level = None
+        conn = connect_wal(
+            self.path, timeout=self.timeout, autocommit=True
+        )
         try:
-            conn.execute("PRAGMA journal_mode=WAL")
-            conn.execute("PRAGMA synchronous=NORMAL")
             conn.execute(
                 "CREATE TABLE IF NOT EXISTS campaigns ("
                 " campaign_id TEXT PRIMARY KEY,"

@@ -65,6 +65,7 @@ from repro.exec.backends import (
     JobHandle,
     PointResult,
 )
+from repro.exec.sqlite_util import connect_wal
 from repro.exec.store import CacheStore, FileStore, SQLiteStore, resolve_store
 
 #: On-disk schema version of queue rows/files; a mismatched job is
@@ -361,13 +362,12 @@ class SQLiteWorkQueue(WorkQueue):
         self._conn = self._open()
 
     def _open(self) -> sqlite3.Connection:
-        conn = sqlite3.connect(str(self.path), timeout=self.timeout)
         # Autocommit mode: leasing needs an explicit BEGIN IMMEDIATE,
         # and sqlite3's implicit transactions would fight it.
-        conn.isolation_level = None
+        conn = connect_wal(
+            self.path, timeout=self.timeout, autocommit=True
+        )
         try:
-            conn.execute("PRAGMA journal_mode=WAL")
-            conn.execute("PRAGMA synchronous=NORMAL")
             conn.execute(
                 "CREATE TABLE IF NOT EXISTS queue_jobs ("
                 " job_id TEXT PRIMARY KEY,"
@@ -1488,6 +1488,7 @@ class DistributedBackend(EvaluationBackend):
         """Best-effort store peek: an unreadable store is a miss."""
         try:
             return self.retry.call(self.store.peek, fingerprint)
+        # repro-lint: allow[REP105] best-effort peek; transients already retried by RetryPolicy, an unreadable store is a cache miss
         except Exception:
             return None
 
@@ -1496,6 +1497,7 @@ class DistributedBackend(EvaluationBackend):
         failing store costs durability, never the result."""
         try:
             self.retry.call(self.store.persist, fingerprint, responses)
+        # repro-lint: allow[REP105] persist transients already retried by RetryPolicy; residual failure degrades durability with a one-time warning, the caller still holds the responses
         except Exception as error:
             if not self._warned_store:
                 self._warned_store = True
@@ -1537,6 +1539,7 @@ class DistributedBackend(EvaluationBackend):
                 f"queue snapshot: pending={stats.pending} "
                 f"leased={stats.leased} failed={stats.failed}, {lease}"
             )
+        # repro-lint: allow[REP105] diagnostics only; a stall post-mortem snapshot must never raise over the stall it is describing
         except Exception as error:  # pragma: no cover - diagnostics only
             return f"queue snapshot unavailable: {error}"
 

@@ -399,6 +399,7 @@ class ResilientStore(_ResilientBase, CacheStore):
             meta = self._overlay.entry_meta(fingerprint)
             try:
                 self._inner.persist(fingerprint, responses, meta=meta)
+            # repro-lint: allow[REP105] flush is opportunistic; whatever failed stays in the overlay and persists are idempotent, so the next recovery retries it
             except BaseException:
                 # The store flaked again mid-flush.  Whatever made it
                 # across is durable; the rest stays in the overlay for
@@ -419,6 +420,7 @@ class ResilientStore(_ResilientBase, CacheStore):
         except CircuitOpenError:
             self.resilience.degraded_ops += 1
             return fallback() if callable(fallback) else fallback
+        # repro-lint: allow[REP105] degradation is the contract here: retry+breaker already classified via is_transient, terminal failures fall back to the overlay
         except BaseException as error:
             self._warn_once(error)
             self.resilience.degraded_ops += 1

@@ -1,0 +1,69 @@
+"""Shared SQLite connection discipline for the durable substrate.
+
+The store (``evaluations``), the work queue (``queue_jobs``) and the
+campaign journal (``campaigns`` / ``campaign_rounds``) all keep their
+tables in WAL-mode SQLite databases — often the *same* database file —
+and are hammered concurrently by submitters, workers and operators.
+Three copies of the connection setup drifted here before this module
+existed; a missed pragma in one of them is exactly the kind of bug
+that only surfaces as a mystery "database is locked" under load.
+
+:func:`connect_wal` is therefore the single place a
+``sqlite3.connect`` call is allowed to live (``repro-lint``'s REP104
+rule statically rejects connects anywhere else).  It applies the
+discipline every substrate connection needs:
+
+* ``timeout=`` — the driver-level busy handler, so lock contention
+  blocks instead of failing instantly;
+* ``PRAGMA busy_timeout`` — the same horizon expressed at the SQLite
+  level, explicit and adjustable later (the store temporarily caps it
+  for best-effort usage bumps);
+* ``PRAGMA journal_mode=WAL`` — readers never block the writer;
+* ``PRAGMA synchronous=NORMAL`` — WAL-safe durability at sane speed.
+
+Callers create their own tables: table shape is the caller's contract,
+connection discipline is this module's.
+"""
+
+from __future__ import annotations
+
+import os
+import sqlite3
+
+
+def connect_wal(
+    path: str | os.PathLike,
+    *,
+    timeout: float = 30.0,
+    autocommit: bool = False,
+) -> sqlite3.Connection:
+    """Open ``path`` with the substrate's uniform pragma discipline.
+
+    Args:
+        path: database file (parent directory must already exist).
+        timeout: busy horizon in seconds, applied both as the driver
+            ``timeout=`` and as ``PRAGMA busy_timeout``.
+        autocommit: when True, ``isolation_level`` is cleared so the
+            caller drives explicit ``BEGIN IMMEDIATE`` transactions
+            (the queue's lease claim and the journal's round commit
+            need this; sqlite3's implicit transactions would fight
+            them).
+
+    Raises:
+        sqlite3.DatabaseError: the file exists but is not a database
+            (or is corrupt); the half-open connection is closed before
+            the error propagates, so callers can rebuild or refuse
+            without leaking handles.
+    """
+    timeout = float(timeout)
+    conn = sqlite3.connect(str(path), timeout=timeout)
+    if autocommit:
+        conn.isolation_level = None
+    try:
+        conn.execute("PRAGMA journal_mode=WAL")
+        conn.execute("PRAGMA synchronous=NORMAL")
+        conn.execute(f"PRAGMA busy_timeout={int(timeout * 1000)}")
+    except sqlite3.DatabaseError:
+        conn.close()
+        raise
+    return conn

@@ -47,6 +47,7 @@ from pathlib import Path
 from typing import Iterator, Mapping
 
 from repro.errors import ReproError, TransientStoreError, is_transient
+from repro.exec.sqlite_util import connect_wal
 
 #: On-disk schema version shared by every persistent store.  Bump it
 #: whenever the fingerprint canonicalization or the blob layout
@@ -876,10 +877,8 @@ class SQLiteStore(CacheStore):
         return header == b"" or header == self._SQLITE_MAGIC
 
     def _open(self) -> sqlite3.Connection:
-        conn = sqlite3.connect(str(self.path), timeout=self.timeout)
+        conn = connect_wal(self.path, timeout=self.timeout)
         try:
-            conn.execute("PRAGMA journal_mode=WAL")
-            conn.execute("PRAGMA synchronous=NORMAL")
             conn.execute(
                 "CREATE TABLE IF NOT EXISTS evaluations ("
                 " fingerprint TEXT PRIMARY KEY,"

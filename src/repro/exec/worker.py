@@ -231,6 +231,7 @@ class Worker:
         """Best-effort store peek: unreadable means unknown."""
         try:
             return self._call(self.store.peek, fingerprint)
+        # repro-lint: allow[REP105] best-effort peek; transients already retried by RetryPolicy, unreadable means unknown so the point is evaluated
         except Exception:
             return None
 
@@ -310,6 +311,7 @@ class Worker:
         points = [job.point for job in runnable]
         try:
             results = self._backend.run(self._evaluate, points)
+        # repro-lint: allow[REP105] evaluator exceptions of any shape must fail the job (queue.fail re-pends it until max_attempts), never the worker loop
         except Exception as error:
             if len(runnable) > 1:
                 # A poison point must not take its batch-mates down
@@ -331,6 +333,7 @@ class Worker:
         for job, (responses, seconds) in zip(runnable, results):
             try:
                 self._call(self.store.persist, job.job_id, responses)
+            # repro-lint: allow[REP105] persist transients already retried by RetryPolicy; any residual failure fails the job back to pending so a healthier host retries it
             except Exception as error:
                 # The result cannot be published; completing the job
                 # anyway would strand the submitter polling a store
@@ -522,6 +525,7 @@ class Supervisor:
             if proc is not None and proc.poll() is None:
                 try:
                     proc.terminate()
+                # repro-lint: allow[REP105] supervisor shutdown is best effort; a child dying on its own races terminate()
                 except Exception:  # pragma: no cover - best effort
                     pass
 

@@ -1,0 +1,89 @@
+"""Atomic filesystem write helpers — the blessed REP103 idiom.
+
+Durable artefacts (cache entries, queue jobs, journal rounds, result
+series) must never be observable half-written: a reader that races a
+writer — or a writer SIGKILLed mid-``write()`` — must see either the
+old complete content or the new complete content, nothing in between.
+The one portable way to get that is the temp-file-then-rename dance:
+stage the full payload in a temporary file *in the destination
+directory* (``os.replace`` is only atomic within one filesystem),
+flush it, then ``os.replace`` it over the target in a single step.
+
+:class:`~repro.exec.store.FileStore`, the file work queue and the
+file campaign journal each inline this idiom next to their own
+stats/permission bookkeeping; everything else — CSV/JSON series under
+``results/``, benchmark artefacts, lint baselines — goes through
+these helpers.  ``repro-lint``'s REP103 rule statically rejects bare
+``open(path, "w")`` in durable modules that bypasses this idiom.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from contextlib import contextmanager
+from typing import IO, Any, Iterator
+
+
+@contextmanager
+def atomic_writer(
+    path: str | os.PathLike,
+    mode: str = "w",
+    encoding: str | None = "utf-8",
+    newline: str | None = None,
+) -> Iterator[IO]:
+    """Yield a handle staged in a temp file; publish it atomically.
+
+    On a clean exit the staged file replaces ``path`` in one
+    ``os.replace`` step; on any exception the staged file is removed
+    and ``path`` is left exactly as it was.
+
+    Args:
+        path: final destination (its parent directory must exist).
+        mode: ``"w"`` or ``"wb"``.
+        encoding: text encoding (ignored for binary modes).
+        newline: passed through to :func:`os.fdopen` for text modes.
+    """
+    target = os.fspath(path)
+    directory = os.path.dirname(target) or "."
+    if "b" in mode:
+        encoding = newline = None
+    fd, tmp_name = tempfile.mkstemp(
+        dir=directory, prefix=".write-", suffix=".part"
+    )
+    try:
+        with os.fdopen(
+            fd, mode, encoding=encoding, newline=newline
+        ) as handle:
+            yield handle
+        os.replace(tmp_name, target)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_text(
+    path: str | os.PathLike, text: str, encoding: str = "utf-8"
+) -> None:
+    """Atomically replace ``path`` with ``text``."""
+    with atomic_writer(path, "w", encoding=encoding) as handle:
+        handle.write(text)
+
+
+def atomic_write_json(
+    path: str | os.PathLike,
+    payload: Any,
+    indent: int | None = 2,
+    sort_keys: bool = False,
+) -> None:
+    """Atomically replace ``path`` with ``payload`` serialized as JSON.
+
+    The payload is fully serialized before anything is staged, so a
+    non-serializable payload leaves the destination untouched.
+    """
+    text = json.dumps(payload, indent=indent, sort_keys=sort_keys)
+    atomic_write_text(path, text + "\n")

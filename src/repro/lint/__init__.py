@@ -1,0 +1,32 @@
+"""``repro-lint``: static enforcement of the platform's invariants.
+
+The rule pack (REP101-REP106) encodes the determinism, durability
+and resilience contracts PRs 1-6 established dynamically; this
+package checks them at review time from the AST alone.  See
+``docs/lint_rules.md`` for the operator-facing catalog, and
+``python -m repro.lint --list-rules`` for the live one.
+"""
+
+from repro.lint.core import (
+    Finding,
+    LintConfig,
+    LintResult,
+    ProjectRule,
+    Rule,
+    all_rules,
+    lint_paths,
+    lint_text,
+    register,
+)
+
+__all__ = [
+    "Finding",
+    "LintConfig",
+    "LintResult",
+    "ProjectRule",
+    "Rule",
+    "all_rules",
+    "lint_paths",
+    "lint_text",
+    "register",
+]

@@ -1,0 +1,6 @@
+"""``python -m repro.lint`` — same entry point as the console script."""
+
+from repro.lint.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,166 @@
+"""``repro-lint`` — the static invariant gate, as a command.
+
+Usage::
+
+    repro-lint [PATHS ...] [--json] [--tests-dir DIR]
+               [--baseline FILE] [--write-baseline FILE]
+               [--list-rules]
+
+Paths default to ``src benchmarks`` (the self-hosting configuration
+CI gates on).  Exit status: 0 clean, 1 usage/internal error, 2
+findings — the same convention ``repro-cache verify`` uses.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.errors import ReproError
+from repro.lint.core import (
+    LintResult,
+    all_rules,
+    lint_paths,
+    load_baseline,
+    write_baseline,
+)
+
+_DEFAULT_PATHS = ("src", "benchmarks")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "statically enforce the platform's determinism, "
+            "durability and resilience invariants (REP101-REP106)"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files/directories to lint (default: src benchmarks)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable findings + summary on stdout",
+    )
+    parser.add_argument(
+        "--tests-dir",
+        default="tests",
+        help=(
+            "directory holding the contract suites REP106 "
+            "cross-references (default: tests; skipped if missing)"
+        ),
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help="JSON baseline of tolerated findings to suppress",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        default=None,
+        metavar="FILE",
+        help=(
+            "write the surviving findings to FILE as a baseline "
+            "and exit 0"
+        ),
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    return parser
+
+
+def _list_rules(as_json: bool) -> int:
+    rules = all_rules()
+    if as_json:
+        print(
+            json.dumps(
+                [
+                    {
+                        "id": rule.id,
+                        "title": rule.title,
+                        "severity": rule.severity,
+                        "rationale": rule.rationale,
+                    }
+                    for rule in rules
+                ],
+                indent=2,
+            )
+        )
+        return 0
+    for rule in rules:
+        print(f"{rule.id}  {rule.title}")
+        print(f"       {rule.rationale}")
+    return 0
+
+
+def _report_human(result: LintResult) -> None:
+    for finding in result.findings:
+        print(finding.render())
+    bits = [
+        f"{len(result.findings)} finding(s)",
+        f"{result.waived} waived",
+    ]
+    if result.suppressed:
+        bits.append(f"{result.suppressed} baseline-suppressed")
+    bits.append(f"{result.files} file(s) checked")
+    print(("clean: " if result.clean else "") + ", ".join(bits))
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        return _list_rules(args.json)
+
+    paths = list(args.paths)
+    if not paths:
+        paths = [p for p in _DEFAULT_PATHS if Path(p).exists()]
+        if not paths:
+            print(
+                "repro-lint: no paths given and none of the default "
+                f"paths {_DEFAULT_PATHS} exist here",
+                file=sys.stderr,
+            )
+            return 1
+
+    baseline = None
+    try:
+        if args.baseline:
+            baseline = load_baseline(args.baseline)
+        result = lint_paths(
+            paths,
+            tests_dir=args.tests_dir,
+            baseline=baseline,
+        )
+    except (ReproError, OSError, ValueError) as error:
+        print(f"repro-lint: {error}", file=sys.stderr)
+        return 1
+
+    if args.write_baseline:
+        write_baseline(args.write_baseline, result)
+        print(
+            f"baseline with {len(result.findings)} entr(ies) written "
+            f"to {args.write_baseline}",
+            file=sys.stderr,
+        )
+        return 0
+
+    if args.json:
+        print(json.dumps(result.to_json(), indent=2))
+    else:
+        _report_human(result)
+    return result.exit_code()
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised as module
+    raise SystemExit(main())

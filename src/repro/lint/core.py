@@ -1,0 +1,730 @@
+"""``repro-lint`` core: findings, rules, waivers, baseline, runner.
+
+The platform's headline guarantees — bit-identical results across
+backends, SIGKILL-safe resume, bounded degradation under faults —
+rest on a handful of code-level invariants (seeded RNG, no wall-clock
+in fingerprint paths, atomic durable writes, taxonomy-routed
+exception handling, contract-suite coverage).  This module is the
+machinery that enforces them *statically*, at review time, instead of
+dynamically after the bug has shipped.
+
+Architecture:
+
+* :class:`Finding` — one violation, pinned to ``path:line``.
+* :class:`Rule` / :class:`ProjectRule` — a named, registered check.
+  File rules see one parsed file (:class:`FileContext`); project
+  rules see every linted file plus the test tree
+  (:class:`ProjectContext`) for cross-referenced invariants such as
+  contract-suite coverage.
+* Waivers — ``# repro-lint: allow[REP105] reason`` on the flagged
+  line (or the line directly above, for lines with no room) suppress
+  a finding *with an audit trail*: the reason is mandatory, and a
+  waiver that stops matching anything is itself reported (REP100), so
+  waivers cannot silently outlive the code they excused.
+* Baseline — an optional JSON ledger of pre-existing findings to
+  tolerate during bring-up; entries are keyed on (rule, path,
+  normalized line content) so unrelated edits don't shift them.
+
+The concrete invariant rules live in :mod:`repro.lint.rules`; the
+command line in :mod:`repro.lint.cli`.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import json
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from repro.errors import ReproError
+
+#: rule id of waiver-hygiene findings (unused / malformed waivers).
+WAIVER_RULE = "REP100"
+#: rule id of files the linter cannot parse.
+PARSE_RULE = "REP001"
+
+_WAIVER_RE = re.compile(
+    r"repro-lint:\s*allow\[(?P<rules>[^\]]*)\]\s*(?P<reason>.*)\Z"
+)
+_RULE_ID_RE = re.compile(r"\AREP\d{3}\Z")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+    severity: str = "error"
+
+    def render(self) -> str:
+        return (
+            f"{self.path}:{self.line}: {self.rule} "
+            f"[{self.severity}] {self.message}"
+        )
+
+    def to_json(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "severity": self.severity,
+            "message": self.message,
+        }
+
+
+@dataclass
+class Waiver:
+    """One parsed ``# repro-lint: allow[...]`` comment."""
+
+    line: int
+    rules: tuple[str, ...]
+    reason: str
+    used: bool = False
+
+
+@dataclass
+class LintConfig:
+    """Scopes and cross-reference tables the rules consult.
+
+    Paths are matched by suffix (``"repro/exec/store.py"`` matches
+    the file wherever the repo is checked out) or, for patterns
+    ending in ``/``, by directory segment (``"repro/exec/"`` matches
+    every module under the package; ``"benchmarks/"`` matches the
+    top-level benchmark scripts).  Everything here has defaults that
+    encode *this* repository's layout; tests override freely.
+    """
+
+    # REP102 — wall-clock quarantine.
+    wallclock_critical_modules: tuple[str, ...] = (
+        "repro/exec/cache.py",
+        "repro/sim/results.py",
+    )
+    wallclock_function_markers: tuple[str, ...] = (
+        "fingerprint",
+        "canonical",
+    )
+    wallclock_allow_modules: tuple[str, ...] = (
+        # Lease horizons, GC clocks, entry metadata and operator
+        # display legitimately read the wall clock; none of it flows
+        # into fingerprints or result payloads.
+        "repro/exec/queue.py",
+        "repro/exec/store.py",
+        "repro/exec/lifecycle.py",
+        "repro/exec/cli.py",
+        "repro/exec/worker.py",
+        "repro/campaign/journal.py",
+    )
+
+    # REP103 — atomic durable writes.
+    durable_modules: tuple[str, ...] = (
+        "repro/exec/store.py",
+        "repro/exec/queue.py",
+        "repro/exec/cache.py",
+        "repro/exec/lifecycle.py",
+        "repro/campaign/journal.py",
+        "repro/analysis/io.py",
+        "benchmarks/",
+    )
+
+    # REP104 — the one module blessed to call sqlite3.connect.
+    sqlite_helper_modules: tuple[str, ...] = (
+        "repro/exec/sqlite_util.py",
+    )
+
+    # REP105 — substrate modules whose broad handlers must route
+    # through the transient-vs-terminal taxonomy.
+    substrate_modules: tuple[str, ...] = (
+        "repro/exec/",
+        "repro/campaign/",
+    )
+
+    # REP106 — ABC root -> contract-suite test modules in which every
+    # concrete subclass must appear by name.
+    contract_suites: Mapping[str, tuple[str, ...]] = field(
+        default_factory=lambda: {
+            "CacheStore": (
+                "test_store_contract.py",
+                "test_faults_contract.py",
+                "test_resilience.py",
+            ),
+            "WorkQueue": (
+                "test_exec_queue.py",
+                "test_faults_contract.py",
+                "test_resilience.py",
+            ),
+            "EvaluationBackend": ("test_backend_contract.py",),
+            "CampaignJournal": ("test_campaign_journal.py",),
+            "AcquisitionStrategy": ("test_campaign.py",),
+        }
+    )
+
+
+def path_matches(relpath: str, patterns: Sequence[str]) -> bool:
+    """Whether a posix relpath is in scope for any pattern."""
+    slashed = "/" + relpath
+    for pattern in patterns:
+        if pattern.endswith("/"):
+            if relpath.startswith(pattern) or f"/{pattern}" in slashed:
+                return True
+        elif relpath == pattern or relpath.endswith("/" + pattern):
+            return True
+    return False
+
+
+class FileContext:
+    """One parsed source file as the file rules see it."""
+
+    def __init__(
+        self,
+        path: Path,
+        relpath: str,
+        source: str,
+        tree: ast.Module,
+        config: LintConfig,
+    ):
+        self.path = path
+        self.relpath = relpath
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = tree
+        self.config = config
+        self._parents: dict[ast.AST, ast.AST] | None = None
+
+    def in_scope(self, patterns: Sequence[str]) -> bool:
+        return path_matches(self.relpath, patterns)
+
+    def parent_map(self) -> dict[ast.AST, ast.AST]:
+        """child node -> parent node, built lazily once per file."""
+        if self._parents is None:
+            parents: dict[ast.AST, ast.AST] = {}
+            for node in ast.walk(self.tree):
+                for child in ast.iter_child_nodes(node):
+                    parents[child] = node
+            self._parents = parents
+        return self._parents
+
+    def enclosing_function(
+        self, node: ast.AST
+    ) -> ast.FunctionDef | ast.AsyncFunctionDef | None:
+        """Nearest function the node sits in, or None at module level."""
+        parents = self.parent_map()
+        current = parents.get(node)
+        while current is not None:
+            if isinstance(
+                current, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                return current
+            current = parents.get(current)
+        return None
+
+    def finding(
+        self, rule: "Rule", node_or_line, message: str
+    ) -> Finding:
+        line = (
+            node_or_line
+            if isinstance(node_or_line, int)
+            else node_or_line.lineno
+        )
+        return Finding(
+            rule=rule.id,
+            path=self.relpath,
+            line=line,
+            message=message,
+            severity=rule.severity,
+        )
+
+
+@dataclass
+class ProjectContext:
+    """Everything a cross-file rule needs: all linted files plus the
+    test tree the contract suites live in."""
+
+    files: list[FileContext]
+    config: LintConfig
+    tests_dir: Path | None = None
+
+    def contract_module_text(self, filename: str) -> str | None:
+        if self.tests_dir is None:
+            return None
+        candidate = self.tests_dir / filename
+        try:
+            return candidate.read_text(encoding="utf-8")
+        except OSError:
+            return None
+
+
+class Rule:
+    """A registered invariant check.  Subclass, set the class
+    attributes, implement :meth:`check`, decorate with
+    :func:`register`."""
+
+    id: str = ""
+    title: str = ""
+    severity: str = "error"
+    rationale: str = ""
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        return ()
+
+
+class ProjectRule(Rule):
+    """A rule that needs the whole project (e.g. src/tests
+    cross-references).  ``check`` is never called for these."""
+
+    def check_project(
+        self, project: ProjectContext
+    ) -> Iterable[Finding]:
+        return ()
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding one instance of the rule to the
+    registry; duplicate ids are a programming error."""
+    instance = cls()
+    if not _RULE_ID_RE.match(instance.id or ""):
+        raise ReproError(
+            f"rule {cls.__name__} has invalid id {instance.id!r}"
+        )
+    if instance.id in _REGISTRY:
+        raise ReproError(f"duplicate rule id {instance.id}")
+    _REGISTRY[instance.id] = instance
+    return cls
+
+
+def all_rules() -> list[Rule]:
+    """Every registered rule, ordered by id."""
+    # Importing the rule pack registers it; deferred to avoid a cycle.
+    from repro.lint import rules as _rules  # noqa: F401
+
+    return [_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY)]
+
+
+def known_rule_ids() -> set[str]:
+    ids = {rule.id for rule in all_rules()}
+    ids.update({WAIVER_RULE, PARSE_RULE})
+    return ids
+
+
+# -- waivers -------------------------------------------------------------------
+
+
+def parse_waivers(
+    source: str, relpath: str
+) -> tuple[list[Waiver], list[Finding]]:
+    """Extract waiver comments; malformed ones become REP100 findings.
+
+    Comments are located with :mod:`tokenize` so string literals that
+    merely *mention* the waiver syntax are never misread as waivers;
+    if the file does not tokenize (the parse rule reports that
+    separately) there are no waivers.
+    """
+    waivers: list[Waiver] = []
+    findings: list[Finding] = []
+    try:
+        tokens = list(
+            tokenize.generate_tokens(io.StringIO(source).readline)
+        )
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return waivers, findings
+    known = known_rule_ids()
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        comment = token.string.lstrip("#").strip()
+        if "repro-lint:" not in comment:
+            continue
+        line = token.start[0]
+        match = _WAIVER_RE.search(comment)
+        if match is None:
+            findings.append(
+                Finding(
+                    rule=WAIVER_RULE,
+                    path=relpath,
+                    line=line,
+                    message=(
+                        "malformed repro-lint comment; the syntax is "
+                        "'# repro-lint: allow[RULE] reason'"
+                    ),
+                )
+            )
+            continue
+        rule_ids = tuple(
+            part.strip()
+            for part in match.group("rules").split(",")
+            if part.strip()
+        )
+        reason = match.group("reason").strip()
+        bad = [rid for rid in rule_ids if rid not in known]
+        if not rule_ids or bad:
+            findings.append(
+                Finding(
+                    rule=WAIVER_RULE,
+                    path=relpath,
+                    line=line,
+                    message=(
+                        f"waiver names unknown rule(s) {bad}"
+                        if bad
+                        else "waiver names no rule"
+                    ),
+                )
+            )
+            continue
+        if not reason:
+            findings.append(
+                Finding(
+                    rule=WAIVER_RULE,
+                    path=relpath,
+                    line=line,
+                    message=(
+                        f"waiver for {', '.join(rule_ids)} carries no "
+                        "reason; every waiver must say why"
+                    ),
+                )
+            )
+            continue
+        waivers.append(Waiver(line=line, rules=rule_ids, reason=reason))
+    return waivers, findings
+
+
+def _apply_waivers(
+    findings: list[Finding], waivers: list[Waiver]
+) -> tuple[list[Finding], int]:
+    """Drop findings a waiver covers (same line or the line below a
+    standalone waiver comment); return survivors + waived count."""
+    by_line: dict[int, list[Waiver]] = {}
+    for waiver in waivers:
+        by_line.setdefault(waiver.line, []).append(waiver)
+    kept: list[Finding] = []
+    waived = 0
+    for finding in findings:
+        if finding.rule in (WAIVER_RULE, PARSE_RULE):
+            kept.append(finding)  # hygiene findings are not waivable
+            continue
+        covering = None
+        for line in (finding.line, finding.line - 1):
+            for waiver in by_line.get(line, []):
+                if finding.rule in waiver.rules:
+                    covering = waiver
+                    break
+            if covering:
+                break
+        if covering is not None:
+            covering.used = True
+            waived += 1
+        else:
+            kept.append(finding)
+    return kept, waived
+
+
+# -- baseline ------------------------------------------------------------------
+
+
+def _baseline_key(finding: Finding, lines: Sequence[str]) -> dict:
+    index = finding.line - 1
+    content = (
+        lines[index].strip() if 0 <= index < len(lines) else ""
+    )
+    return {
+        "rule": finding.rule,
+        "path": finding.path,
+        "content": content,
+    }
+
+
+def load_baseline(path: str | Path) -> list[dict]:
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    entries = payload.get("entries", [])
+    if not isinstance(entries, list):
+        raise ReproError(f"baseline {path} has no entries list")
+    return entries
+
+
+def write_baseline(
+    path: str | Path, result: "LintResult"
+) -> None:
+    from repro.fsutil import atomic_write_json
+
+    atomic_write_json(
+        path,
+        {"version": 1, "entries": result.baseline_entries()},
+        indent=2,
+        sort_keys=True,
+    )
+
+
+# -- runner --------------------------------------------------------------------
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run."""
+
+    findings: list[Finding]
+    waived: int = 0
+    suppressed: int = 0
+    files: int = 0
+    #: source lines per relpath, kept for baseline generation.
+    sources: dict[str, list[str]] = field(default_factory=dict)
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def exit_code(self) -> int:
+        return 0 if self.clean else 2
+
+    def baseline_entries(self) -> list[dict]:
+        entries = [
+            _baseline_key(f, self.sources.get(f.path, ()))
+            for f in self.findings
+        ]
+        return sorted(
+            entries, key=lambda e: (e["path"], e["rule"], e["content"])
+        )
+
+    def to_json(self) -> dict:
+        return {
+            "findings": [f.to_json() for f in self.findings],
+            "summary": {
+                "files": self.files,
+                "findings": len(self.findings),
+                "waived": self.waived,
+                "suppressed": self.suppressed,
+                "clean": self.clean,
+            },
+        }
+
+
+def iter_python_files(paths: Sequence[str | Path]) -> Iterator[Path]:
+    """Yield every .py under the given files/directories, sorted,
+    skipping caches and hidden directories."""
+    for entry in paths:
+        path = Path(entry)
+        if path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                parts = candidate.relative_to(path).parts
+                if any(
+                    part == "__pycache__" or part.startswith(".")
+                    for part in parts
+                ):
+                    continue
+                yield candidate
+        elif path.suffix == ".py":
+            yield path
+        elif not path.exists():
+            raise ReproError(f"no such path: {path}")
+
+
+def _relpath(path: Path, root: Path) -> str:
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.resolve().as_posix()
+
+
+def lint_file(
+    path: Path,
+    relpath: str,
+    config: LintConfig,
+) -> tuple[FileContext | None, list[Finding], list[Waiver]]:
+    """Run every file rule on one file.
+
+    Returns the parsed context (None when unparseable), the raw
+    findings (waivers *not* yet applied) and the waivers found.
+    """
+    try:
+        source = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as error:
+        finding = Finding(
+            rule=PARSE_RULE,
+            path=relpath,
+            line=1,
+            message=f"cannot read file: {error}",
+        )
+        return None, [finding], []
+    return lint_source(source, relpath, config, path=path)
+
+
+def lint_source(
+    source: str,
+    relpath: str,
+    config: LintConfig | None = None,
+    path: Path | None = None,
+) -> tuple[FileContext | None, list[Finding], list[Waiver]]:
+    """Parse + run file rules over in-memory source (test seam)."""
+    config = config or LintConfig()
+    waivers, findings = parse_waivers(source, relpath)
+    try:
+        tree = ast.parse(source, filename=relpath)
+    except SyntaxError as error:
+        findings.append(
+            Finding(
+                rule=PARSE_RULE,
+                path=relpath,
+                line=error.lineno or 1,
+                message=f"syntax error: {error.msg}",
+            )
+        )
+        return None, findings, waivers
+    ctx = FileContext(
+        path=path or Path(relpath),
+        relpath=relpath,
+        source=source,
+        tree=tree,
+        config=config,
+    )
+    for rule in all_rules():
+        if isinstance(rule, ProjectRule):
+            continue
+        findings.extend(rule.check(ctx))
+    return ctx, findings, waivers
+
+
+def lint_text(
+    source: str,
+    relpath: str = "repro/module.py",
+    config: LintConfig | None = None,
+) -> LintResult:
+    """Lint one in-memory snippet end to end (fixture-test seam):
+    file rules + waiver application + unused-waiver findings."""
+    _, findings, waivers = lint_source(source, relpath, config)
+    findings, waived = _apply_waivers(findings, waivers)
+    findings.extend(_unused_waiver_findings(waivers, relpath))
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return LintResult(
+        findings=findings,
+        waived=waived,
+        files=1,
+        sources={relpath: source.splitlines()},
+    )
+
+
+def _unused_waiver_findings(
+    waivers: Sequence[Waiver], relpath: str
+) -> list[Finding]:
+    findings = []
+    for waiver in waivers:
+        if waiver.used:
+            continue
+        findings.append(
+            Finding(
+                rule=WAIVER_RULE,
+                path=relpath,
+                line=waiver.line,
+                message=(
+                    f"unused waiver for {', '.join(waiver.rules)} "
+                    f"({waiver.reason!r}): no such finding here — "
+                    "delete the waiver or restore the reason for it"
+                ),
+            )
+        )
+    return findings
+
+
+def lint_paths(
+    paths: Sequence[str | Path],
+    *,
+    config: LintConfig | None = None,
+    tests_dir: str | Path | None = None,
+    baseline: Sequence[dict] | None = None,
+    root: str | Path | None = None,
+) -> LintResult:
+    """Lint files/directories; the complete pipeline.
+
+    Args:
+        paths: files or directories to lint.
+        config: rule scopes; defaults encode this repository.
+        tests_dir: where the contract suites live (REP106); a missing
+            or None directory skips the cross-reference rule.
+        baseline: entries from :func:`load_baseline` to suppress.
+        root: base directory findings are reported relative to
+            (default: the current working directory).
+    """
+    config = config or LintConfig()
+    base = Path(root) if root is not None else Path.cwd()
+    contexts: list[FileContext] = []
+    findings: list[Finding] = []
+    waivers_by_file: dict[str, list[Waiver]] = {}
+    sources: dict[str, list[str]] = {}
+    files = 0
+    for path in iter_python_files(paths):
+        files += 1
+        relpath = _relpath(path, base)
+        ctx, file_findings, waivers = lint_file(path, relpath, config)
+        findings.extend(file_findings)
+        waivers_by_file[relpath] = waivers
+        if ctx is not None:
+            contexts.append(ctx)
+            sources[relpath] = ctx.lines
+
+    tests_path: Path | None = None
+    if tests_dir is not None:
+        tests_path = Path(tests_dir)
+        if not tests_path.is_dir():
+            tests_path = None
+    project = ProjectContext(
+        files=contexts, config=config, tests_dir=tests_path
+    )
+    for rule in all_rules():
+        if isinstance(rule, ProjectRule):
+            findings.extend(rule.check_project(project))
+
+    kept: list[Finding] = []
+    waived = 0
+    all_waivers = [
+        (relpath, waiver)
+        for relpath, file_waivers in waivers_by_file.items()
+        for waiver in file_waivers
+    ]
+    by_file: dict[str, list[Finding]] = {}
+    for finding in findings:
+        by_file.setdefault(finding.path, []).append(finding)
+    for relpath, file_findings in by_file.items():
+        survivors, file_waived = _apply_waivers(
+            file_findings, waivers_by_file.get(relpath, [])
+        )
+        kept.extend(survivors)
+        waived += file_waived
+    for relpath, waiver in all_waivers:
+        kept.extend(
+            _unused_waiver_findings([waiver], relpath)
+            if not waiver.used
+            else ()
+        )
+
+    suppressed = 0
+    if baseline:
+        keyed = {
+            (e.get("rule"), e.get("path"), e.get("content"))
+            for e in baseline
+        }
+        filtered = []
+        for finding in kept:
+            key = _baseline_key(
+                finding, sources.get(finding.path, ())
+            )
+            if (key["rule"], key["path"], key["content"]) in keyed:
+                suppressed += 1
+            else:
+                filtered.append(finding)
+        kept = filtered
+
+    kept.sort(key=lambda f: (f.path, f.line, f.rule))
+    return LintResult(
+        findings=kept,
+        waived=waived,
+        suppressed=suppressed,
+        files=files,
+        sources=sources,
+    )

@@ -1,0 +1,595 @@
+"""The invariant rule pack: REP101–REP106.
+
+Each rule encodes one correctness contract PRs 1–6 established the
+hard way.  The docstrings state the invariant and the incident that
+motivated it; ``docs/lint_rules.md`` is the operator-facing catalog.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable
+
+from repro.lint.core import (
+    FileContext,
+    Finding,
+    ProjectContext,
+    ProjectRule,
+    Rule,
+    path_matches,
+    register,
+)
+
+# -- name-resolution helpers ---------------------------------------------------
+
+
+def import_aliases(tree: ast.Module) -> dict[str, str]:
+    """Local name -> dotted origin, from this file's imports.
+
+    ``import numpy as np`` maps ``np -> numpy``; ``from numpy.random
+    import default_rng as rng`` maps ``rng -> numpy.random.default_rng``;
+    ``import numpy.random`` maps ``numpy -> numpy`` (attribute access
+    resolves the rest).  Good enough to resolve call targets without
+    executing anything.
+    """
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for name in node.names:
+                if name.asname:
+                    aliases[name.asname] = name.name
+                else:
+                    aliases[name.name.split(".")[0]] = (
+                        name.name.split(".")[0]
+                    )
+        elif isinstance(node, ast.ImportFrom) and node.module:
+            if node.level:  # relative import: not a stdlib module
+                continue
+            for name in node.names:
+                local = name.asname or name.name
+                aliases[local] = f"{node.module}.{name.name}"
+    return aliases
+
+
+def resolve_target(
+    func: ast.expr, aliases: dict[str, str]
+) -> str | None:
+    """Dotted origin of a call target, or None if unresolvable."""
+    parts: list[str] = []
+    node = func
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    head = aliases.get(node.id)
+    if head is None:
+        return None
+    parts.append(head)
+    return ".".join(reversed(parts))
+
+
+def _is_none(node: ast.expr) -> bool:
+    return isinstance(node, ast.Constant) and node.value is None
+
+
+# -- REP101: unseeded / implicit RNG -------------------------------------------
+
+#: numpy.random attributes that are seedable constructors, not
+#: global-state draws.
+_NP_RANDOM_CONSTRUCTORS = {
+    "default_rng",
+    "Generator",
+    "RandomState",
+    "SeedSequence",
+    "BitGenerator",
+    "PCG64",
+    "PCG64DXSM",
+    "Philox",
+    "MT19937",
+    "SFC64",
+}
+
+
+@register
+class UnseededRandomRule(Rule):
+    """Every random draw must trace to an explicit seed.
+
+    PR 4's bit-identity guarantee (serial == process == distributed)
+    dies the moment any code path consults an implicitly seeded RNG:
+    ``np.random.default_rng()`` seeds from the OS, ``random.random()``
+    and friends share mutable global state no worker fleet can
+    reproduce.  Seeded constructors (``default_rng(seed)``,
+    ``Random(seed)``) are the only sanctioned sources of randomness.
+    """
+
+    id = "REP101"
+    title = "unseeded or implicit RNG"
+    rationale = (
+        "bit-identical results across backends require every random "
+        "draw to trace to an explicit seed"
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        aliases = import_aliases(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = resolve_target(node.func, aliases)
+            if target is None:
+                continue
+            unseeded = (
+                not node.args or _is_none(node.args[0])
+            ) and not node.keywords
+            if target == "numpy.random.default_rng":
+                if unseeded:
+                    yield ctx.finding(
+                        self,
+                        node,
+                        "default_rng() without an explicit seed is "
+                        "nondeterministic; pass a seed derived from "
+                        "the study/round configuration",
+                    )
+            elif target in ("random.Random", "random.SystemRandom"):
+                if target.endswith("SystemRandom") or unseeded:
+                    yield ctx.finding(
+                        self,
+                        node,
+                        f"{target}() draws OS entropy / an implicit "
+                        "seed; construct random.Random(seed) with an "
+                        "explicit seed instead",
+                    )
+            elif target.startswith("random."):
+                yield ctx.finding(
+                    self,
+                    node,
+                    f"module-level {target}() uses the interpreter's "
+                    "hidden global RNG state; use a seeded "
+                    "random.Random(seed) instance",
+                )
+            elif target.startswith("numpy.random."):
+                attr = target.rsplit(".", 1)[1]
+                if attr not in _NP_RANDOM_CONSTRUCTORS:
+                    yield ctx.finding(
+                        self,
+                        node,
+                        f"{target}() uses numpy's legacy global RNG "
+                        "state; use a seeded "
+                        "numpy.random.default_rng(seed)",
+                    )
+                elif attr != "default_rng" and unseeded:
+                    yield ctx.finding(
+                        self,
+                        node,
+                        f"{target}() without an explicit seed is "
+                        "nondeterministic",
+                    )
+
+
+# -- REP102: wall-clock in determinism-critical code ---------------------------
+
+_WALLCLOCK_TARGETS = {
+    "time.time",
+    "time.time_ns",
+    "time.localtime",
+    "time.gmtime",
+    "time.ctime",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+}
+
+
+@register
+class WallClockRule(Rule):
+    """No wall-clock reads where fingerprints or payloads are built.
+
+    PR 2's fingerprint collisions taught that anything feeding
+    ``point_fingerprint`` / ``_canonical`` must be a pure function of
+    the design point and context; a timestamp in that path silently
+    keys every run differently and the cache never hits.  Lease
+    horizons, GC clocks and entry metadata *do* read the wall clock —
+    those modules are allowlisted by configuration, not by accident.
+    """
+
+    id = "REP102"
+    title = "wall-clock in fingerprint/canonicalization/result path"
+    rationale = (
+        "cache keys and result payloads must be pure functions of "
+        "the design point and evaluation context"
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        cfg = ctx.config
+        critical = ctx.in_scope(cfg.wallclock_critical_modules)
+        allowed = ctx.in_scope(cfg.wallclock_allow_modules)
+        if allowed and not critical:
+            return
+        aliases = import_aliases(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = resolve_target(node.func, aliases)
+            if target not in _WALLCLOCK_TARGETS:
+                continue
+            if critical:
+                yield ctx.finding(
+                    self,
+                    node,
+                    f"{target}() in a determinism-critical module; "
+                    "fingerprint/canonicalization code must not read "
+                    "the wall clock",
+                )
+                continue
+            function = ctx.enclosing_function(node)
+            name = function.name if function is not None else ""
+            if any(
+                marker in name
+                for marker in cfg.wallclock_function_markers
+            ):
+                yield ctx.finding(
+                    self,
+                    node,
+                    f"{target}() inside {name}(): "
+                    "fingerprint/canonicalization helpers must not "
+                    "read the wall clock",
+                )
+
+
+# -- REP103: atomic durable writes ---------------------------------------------
+
+_WRITE_MODE_RE = re.compile(r"[wx]")
+
+
+def _call_mode(node: ast.Call) -> str | None:
+    """The mode argument of an open() call, when statically known."""
+    mode_node: ast.expr | None = None
+    if len(node.args) >= 2:
+        mode_node = node.args[1]
+    for keyword in node.keywords:
+        if keyword.arg == "mode":
+            mode_node = keyword.value
+    if mode_node is None:
+        return "r"
+    if isinstance(mode_node, ast.Constant) and isinstance(
+        mode_node.value, str
+    ):
+        return mode_node.value
+    return None
+
+
+@register
+class AtomicWriteRule(Rule):
+    """Durable files are published with temp-file + ``os.replace``.
+
+    A reader racing a bare ``open(path, "w")`` — or a writer
+    SIGKILLed mid-write (the exact scenario PR 4's lease reclamation
+    and PR 5's resume proofs defend) — observes a torn file.  Durable
+    modules must stage content in a temp file and ``os.replace`` it
+    over the target (:mod:`repro.fsutil` is the shared helper).
+    """
+
+    id = "REP103"
+    title = "non-atomic write to a durable path"
+    rationale = (
+        "SIGKILL-safe resume requires every durable artefact to be "
+        "published atomically"
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        if not ctx.in_scope(ctx.config.durable_modules):
+            return
+        aliases = import_aliases(ctx.tree)
+        atomic_scopes = self._atomic_scopes(ctx, aliases)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if not self._is_bare_open(node, aliases):
+                continue
+            mode = _call_mode(node)
+            if mode is None or not _WRITE_MODE_RE.search(mode):
+                continue
+            scope = ctx.enclosing_function(node)
+            if scope in atomic_scopes:
+                continue
+            yield ctx.finding(
+                self,
+                node,
+                f"bare open(..., {mode!r}) in a durable module "
+                "without the tempfile + os.replace idiom; use "
+                "repro.fsutil.atomic_writer / atomic_write_json",
+            )
+
+    @staticmethod
+    def _is_bare_open(
+        node: ast.Call, aliases: dict[str, str]
+    ) -> bool:
+        if isinstance(node.func, ast.Name):
+            # A local import may rebind the name; the builtin open is
+            # only assumed when nothing shadows it.
+            return node.func.id == "open" and "open" not in aliases
+        target = resolve_target(node.func, aliases)
+        return target == "io.open"
+
+    @staticmethod
+    def _atomic_scopes(
+        ctx: FileContext, aliases: dict[str, str]
+    ) -> set:
+        """Functions (or the module, as None) that call
+        os.replace/os.rename — the atomic-publish idiom."""
+        scopes = set()
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = resolve_target(node.func, aliases)
+            replaceish = target in (
+                "os.replace",
+                "os.rename",
+                "shutil.move",
+            ) or (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in ("replace", "rename")
+            )
+            if replaceish:
+                scopes.add(ctx.enclosing_function(node))
+        return scopes
+
+
+# -- REP104: SQLite connection discipline --------------------------------------
+
+
+@register
+class SQLiteDisciplineRule(Rule):
+    """Every ``sqlite3.connect`` goes through the shared helper.
+
+    Three hand-rolled copies of the connection setup (store, queue,
+    journal) drifted before :mod:`repro.exec.sqlite_util` unified
+    them; a connection missing the WAL/busy-timeout pragmas surfaces
+    as spurious "database is locked" failures under worker
+    concurrency.  Only the blessed helper module may call
+    ``sqlite3.connect``.
+    """
+
+    id = "REP104"
+    title = "sqlite3.connect outside the shared setup helper"
+    rationale = (
+        "uniform timeout/WAL/busy-timeout pragmas are what keep "
+        "concurrent substrate access lock-storm free"
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        if ctx.in_scope(ctx.config.sqlite_helper_modules):
+            return
+        aliases = import_aliases(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if resolve_target(node.func, aliases) == "sqlite3.connect":
+                yield ctx.finding(
+                    self,
+                    node,
+                    "direct sqlite3.connect; route through "
+                    "repro.exec.sqlite_util.connect_wal so the "
+                    "timeout/WAL/busy-timeout discipline is applied "
+                    "uniformly",
+                )
+
+
+# -- REP105: taxonomy-routed exception handling --------------------------------
+
+
+@register
+class BroadExceptRule(Rule):
+    """Substrate ``except Exception`` must route the taxonomy.
+
+    The resilience layer (PR 6) decides retry-vs-abort through
+    ``repro.errors.is_transient``; a broad handler that swallows
+    everything erases that distinction and turns terminal
+    misconfiguration into silent data loss.  A broad handler is
+    acceptable only when it re-raises, consults the taxonomy, or
+    carries a waiver explaining why swallowing is genuinely intended
+    (supervisor loops, best-effort diagnostics).  Bare ``except:``
+    additionally catches ``KeyboardInterrupt``/``SystemExit`` and is
+    always an error, everywhere.
+    """
+
+    id = "REP105"
+    title = "unrouted broad exception handler"
+    rationale = (
+        "bounded degradation requires broad handlers to re-raise, "
+        "consult the transient-vs-terminal taxonomy, or say why not"
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        substrate = ctx.in_scope(ctx.config.substrate_modules)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield ctx.finding(
+                    self,
+                    node,
+                    "bare 'except:' catches KeyboardInterrupt and "
+                    "SystemExit; name the exception types",
+                )
+                continue
+            if not substrate:
+                continue
+            if not self._is_broad(node.type):
+                continue
+            if self._routes_taxonomy(node):
+                continue
+            yield ctx.finding(
+                self,
+                node,
+                "broad except handler neither re-raises nor routes "
+                "through repro.errors.is_transient; classify the "
+                "failure or waive with a reason",
+            )
+
+    @staticmethod
+    def _is_broad(type_node: ast.expr) -> bool:
+        names = []
+        if isinstance(type_node, ast.Tuple):
+            names = [
+                n.id
+                for n in type_node.elts
+                if isinstance(n, ast.Name)
+            ]
+        elif isinstance(type_node, ast.Name):
+            names = [type_node.id]
+        return any(
+            name in ("Exception", "BaseException") for name in names
+        )
+
+    @staticmethod
+    def _routes_taxonomy(handler: ast.ExceptHandler) -> bool:
+        for node in ast.walk(handler):
+            if isinstance(node, ast.Raise):
+                return True
+            if isinstance(node, ast.Name) and node.id == "is_transient":
+                return True
+            if (
+                isinstance(node, ast.Attribute)
+                and node.attr == "is_transient"
+            ):
+                return True
+        return False
+
+
+# -- REP106: contract-suite coverage -------------------------------------------
+
+
+@register
+class ContractCoverageRule(ProjectRule):
+    """Every concrete substrate implementation is contract-tested.
+
+    The parametrized contract suites (store, queue, backend, journal,
+    acquisition) are the platform's behavioural spec: PR 3 replaced
+    per-store test copies with one suite exactly so that a new
+    implementation inherits the whole contract by adding one binding.
+    This rule closes the loop statically: a concrete subclass of a
+    tracked ABC that no contract module mentions is a finding at the
+    class definition.
+    """
+
+    id = "REP106"
+    title = "concrete implementation missing from its contract suite"
+    rationale = (
+        "an implementation the contract suite never sees has no "
+        "pinned behaviour at all"
+    )
+
+    def check_project(
+        self, project: ProjectContext
+    ) -> Iterable[Finding]:
+        if project.tests_dir is None:
+            return
+        roots = dict(project.config.contract_suites)
+        classes: dict[str, dict] = {}
+        for ctx in project.files:
+            for node in ast.walk(ctx.tree):
+                if not isinstance(node, ast.ClassDef):
+                    continue
+                bases = []
+                for base in node.bases:
+                    if isinstance(base, ast.Name):
+                        bases.append(base.id)
+                    elif isinstance(base, ast.Attribute):
+                        bases.append(base.attr)
+                classes.setdefault(
+                    node.name,
+                    {
+                        "bases": bases,
+                        "abstract": self._is_abstract(node),
+                        "ctx": ctx,
+                        "line": node.lineno,
+                    },
+                )
+
+        suite_text: dict[str, str | None] = {}
+
+        def module_text(filename: str) -> str | None:
+            if filename not in suite_text:
+                suite_text[filename] = project.contract_module_text(
+                    filename
+                )
+            return suite_text[filename]
+
+        for name, info in sorted(classes.items()):
+            if info["abstract"] or name.startswith("_"):
+                continue
+            root = self._tracked_root(name, classes, roots)
+            if root is None or name == root:
+                continue
+            modules = roots[root]
+            bound = False
+            missing: list[str] = []
+            pattern = re.compile(rf"\b{re.escape(name)}\b")
+            for filename in modules:
+                text = module_text(filename)
+                if text is None:
+                    missing.append(filename)
+                    continue
+                if pattern.search(text):
+                    bound = True
+                    break
+            if bound:
+                continue
+            ctx = info["ctx"]
+            where = ", ".join(modules)
+            detail = (
+                f" (contract module(s) not found: {', '.join(missing)})"
+                if missing
+                else ""
+            )
+            yield ctx.finding(
+                self,
+                info["line"],
+                f"concrete {root} implementation {name!r} is not "
+                f"bound into its contract suite — add a binding in "
+                f"one of: {where}{detail}",
+            )
+
+    @staticmethod
+    def _is_abstract(node: ast.ClassDef) -> bool:
+        for item in node.body:
+            if not isinstance(
+                item, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                continue
+            for decorator in item.decorator_list:
+                name = (
+                    decorator.attr
+                    if isinstance(decorator, ast.Attribute)
+                    else decorator.id
+                    if isinstance(decorator, ast.Name)
+                    else ""
+                )
+                if name in ("abstractmethod", "abstractproperty"):
+                    return True
+        return False
+
+    @staticmethod
+    def _tracked_root(
+        name: str, classes: dict[str, dict], roots: dict
+    ) -> str | None:
+        seen: set[str] = set()
+        frontier = [name]
+        while frontier:
+            current = frontier.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            info = classes.get(current)
+            if info is None:
+                if current in roots and current != name:
+                    return current
+                continue
+            for base in info["bases"]:
+                if base in roots:
+                    return base
+                frontier.append(base)
+        return None

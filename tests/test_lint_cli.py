@@ -1,0 +1,186 @@
+"""``repro-lint`` CLI: output modes, exit codes, baseline, self-host.
+
+The last class is the acceptance gate itself: the repository must
+lint clean (zero findings, zero baseline entries, every waiver
+reasoned) — the same invariant CI's static-analysis job enforces,
+kept in tier-1 so it cannot rot between CI configs.
+"""
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.lint import all_rules
+from repro.lint.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+OFFENDING = textwrap.dedent(
+    """\
+    import random
+    jitter = random.random()
+    """
+)
+
+CLEAN = textwrap.dedent(
+    """\
+    from random import Random
+
+
+    def make(seed):
+        return Random(seed)
+    """
+)
+
+
+@pytest.fixture
+def offending_tree(tmp_path):
+    pkg = tmp_path / "src" / "repro" / "sim"
+    pkg.mkdir(parents=True)
+    (pkg / "noise.py").write_text(OFFENDING)
+    return tmp_path
+
+
+@pytest.fixture
+def clean_tree(tmp_path):
+    pkg = tmp_path / "src" / "repro" / "sim"
+    pkg.mkdir(parents=True)
+    (pkg / "noise.py").write_text(CLEAN)
+    return tmp_path
+
+
+class TestCLI:
+    def test_findings_exit_2_and_render_path_line(
+        self, offending_tree, capsys
+    ):
+        code = main([str(offending_tree / "src")])
+        out = capsys.readouterr().out
+        assert code == 2
+        assert "REP101" in out
+        assert "noise.py:2" in out
+
+    def test_clean_tree_exits_0(self, clean_tree, capsys):
+        code = main([str(clean_tree / "src")])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "clean" in out
+
+    def test_json_output_shape(self, offending_tree, capsys):
+        code = main([str(offending_tree / "src"), "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 2
+        assert payload["summary"]["findings"] == 1
+        assert payload["summary"]["clean"] is False
+        (finding,) = payload["findings"]
+        assert finding["rule"] == "REP101"
+        assert finding["line"] == 2
+        assert finding["severity"] == "error"
+
+    def test_list_rules_covers_the_whole_pack(self, capsys):
+        code = main(["--list-rules"])
+        out = capsys.readouterr().out
+        assert code == 0
+        for rule_id in (
+            "REP101",
+            "REP102",
+            "REP103",
+            "REP104",
+            "REP105",
+            "REP106",
+        ):
+            assert rule_id in out
+
+    def test_rule_pack_ids_and_metadata(self):
+        rules = all_rules()
+        ids = [rule.id for rule in rules]
+        assert ids == sorted(ids)
+        assert {
+            "REP101",
+            "REP102",
+            "REP103",
+            "REP104",
+            "REP105",
+            "REP106",
+        } <= set(ids)
+        for rule in rules:
+            assert rule.title and rule.rationale
+            assert rule.severity == "error"
+
+    def test_missing_path_is_a_usage_error(self, tmp_path, capsys):
+        code = main([str(tmp_path / "nope")])
+        assert code == 1
+        assert "repro-lint:" in capsys.readouterr().err
+
+    def test_baseline_roundtrip_suppresses_known_findings(
+        self, offending_tree, capsys, monkeypatch
+    ):
+        monkeypatch.chdir(offending_tree)
+        baseline = offending_tree / "lint_baseline.json"
+        code = main(["src", "--write-baseline", str(baseline)])
+        assert code == 0
+        entries = json.loads(baseline.read_text())["entries"]
+        assert len(entries) == 1
+        assert entries[0]["rule"] == "REP101"
+
+        capsys.readouterr()
+        code = main(["src", "--baseline", str(baseline), "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["summary"]["suppressed"] == 1
+        assert payload["summary"]["clean"] is True
+
+    def test_baseline_does_not_mask_new_findings(
+        self, offending_tree, capsys, monkeypatch
+    ):
+        monkeypatch.chdir(offending_tree)
+        baseline = offending_tree / "lint_baseline.json"
+        main(["src", "--write-baseline", str(baseline)])
+        noise = (
+            offending_tree / "src" / "repro" / "sim" / "noise.py"
+        )
+        noise.write_text(
+            OFFENDING + "more = random.randint(0, 10)\n"
+        )
+        capsys.readouterr()
+        code = main(["src", "--baseline", str(baseline), "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 2
+        assert payload["summary"]["findings"] == 1
+        assert payload["summary"]["suppressed"] == 1
+
+
+class TestSelfHosting:
+    """The acceptance criterion, enforced from tier-1."""
+
+    def test_repository_lints_clean(self, capsys):
+        code = main(
+            [
+                str(REPO_ROOT / "src"),
+                str(REPO_ROOT / "benchmarks"),
+                "--tests-dir",
+                str(REPO_ROOT / "tests"),
+                "--json",
+            ]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0, payload["findings"]
+        assert payload["summary"]["clean"] is True
+        # Waivers exist (the REP105 audit) and every one is used —
+        # an unused waiver would itself be a REP100 finding.
+        assert payload["summary"]["waived"] > 0
+
+    def test_contract_coverage_sees_the_real_suites(self):
+        # REP106 runs against the real tests/ tree: sanity-check that
+        # the rule actually resolved the contract modules (a bogus
+        # tests dir would silently skip it and weaken the gate).
+        from repro.lint import LintConfig
+        from repro.lint.core import ProjectContext
+
+        config = LintConfig()
+        for modules in config.contract_suites.values():
+            assert any(
+                (REPO_ROOT / "tests" / name).is_file()
+                for name in modules
+            ), modules

@@ -1,0 +1,150 @@
+"""REP106 contract-coverage rule: the static/dynamic agreement test.
+
+The meta-test the rule exists for: build a miniature project with a
+store ABC, concrete implementations and a contract suite binding,
+then *deliberately unregister* one binding and assert the rule fires
+— proving the static cross-reference agrees with what the test tree
+actually pins.
+"""
+
+import textwrap
+
+import pytest
+
+from repro.lint import lint_paths
+
+
+STORE_MODULE = textwrap.dedent(
+    """\
+    from abc import ABC, abstractmethod
+
+
+    class CacheStore(ABC):
+        @abstractmethod
+        def load(self, fingerprint):
+            ...
+
+
+    class MemoryStore(CacheStore):
+        def load(self, fingerprint):
+            return None
+
+
+    class ShinyStore(MemoryStore):
+        def load(self, fingerprint):
+            return {}
+
+
+    class _InternalStore(CacheStore):
+        def load(self, fingerprint):
+            return None
+    """
+)
+
+CONTRACT_MODULE = textwrap.dedent(
+    """\
+    from repro.exec.store import MemoryStore, ShinyStore
+
+
+    class TestMemoryStoreContract:
+        def make_store(self):
+            return MemoryStore()
+
+
+    class TestShinyStoreContract:
+        def make_store(self):
+            return ShinyStore()
+    """
+)
+
+
+def build_project(tmp_path, contract_text=CONTRACT_MODULE):
+    src = tmp_path / "src" / "repro" / "exec"
+    src.mkdir(parents=True)
+    (src / "store.py").write_text(STORE_MODULE)
+    tests = tmp_path / "tests"
+    tests.mkdir()
+    (tests / "test_store_contract.py").write_text(contract_text)
+    return tmp_path
+
+
+class TestContractCoverage:
+    def test_bound_implementations_pass(self, tmp_path):
+        project = build_project(tmp_path)
+        result = lint_paths(
+            [project / "src"],
+            tests_dir=project / "tests",
+            root=project,
+        )
+        assert result.clean, [f.render() for f in result.findings]
+
+    def test_unregistered_binding_fires(self, tmp_path):
+        # Deliberately unregister ShinyStore from the contract suite:
+        # the rule must notice the coverage hole statically.
+        severed = CONTRACT_MODULE.replace("ShinyStore", "MemoryStore")
+        project = build_project(tmp_path, contract_text=severed)
+        result = lint_paths(
+            [project / "src"],
+            tests_dir=project / "tests",
+            root=project,
+        )
+        assert [f.rule for f in result.findings] == ["REP106"]
+        finding = result.findings[0]
+        assert "ShinyStore" in finding.message
+        assert finding.path.endswith("repro/exec/store.py")
+
+    def test_abstract_and_private_classes_exempt(self, tmp_path):
+        # CacheStore (abstract) and _InternalStore (private) are never
+        # required to appear in the suite: only ShinyStore/MemoryStore
+        # are tracked, and both are bound.
+        project = build_project(tmp_path)
+        result = lint_paths(
+            [project / "src"],
+            tests_dir=project / "tests",
+            root=project,
+        )
+        assert result.clean
+
+    def test_missing_tests_dir_skips_rule(self, tmp_path):
+        project = build_project(tmp_path)
+        result = lint_paths(
+            [project / "src"],
+            tests_dir=project / "nonexistent-tests",
+            root=project,
+        )
+        assert result.clean
+
+    def test_missing_contract_module_is_named_in_finding(
+        self, tmp_path
+    ):
+        project = build_project(tmp_path)
+        (project / "tests" / "test_store_contract.py").unlink()
+        result = lint_paths(
+            [project / "src"],
+            tests_dir=project / "tests",
+            root=project,
+        )
+        rules = {f.rule for f in result.findings}
+        assert rules == {"REP106"}
+        assert any(
+            "not found" in f.message for f in result.findings
+        )
+
+    def test_waiver_at_class_definition_honored(self, tmp_path):
+        severed = CONTRACT_MODULE.replace("ShinyStore", "MemoryStore")
+        project = build_project(tmp_path, contract_text=severed)
+        store = project / "src" / "repro" / "exec" / "store.py"
+        text = store.read_text().replace(
+            "class ShinyStore(MemoryStore):",
+            "# repro-lint: allow[REP106] experimental store, contract "
+            "binding lands with the follow-up PR\n"
+            "class ShinyStore(MemoryStore):",
+        )
+        store.write_text(text)
+        result = lint_paths(
+            [project / "src"],
+            tests_dir=project / "tests",
+            root=project,
+        )
+        assert result.clean
+        assert result.waived == 1

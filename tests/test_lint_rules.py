@@ -1,0 +1,526 @@
+"""Fixture-snippet tests pinning every ``repro-lint`` rule.
+
+Each rule is pinned three ways: a minimal offending snippet is
+caught, the compliant idiom passes, and a waiver is honored *and
+counted*.  Waiver hygiene (REP100) gets the same treatment.  These
+snippets are the rules' behavioural spec — a rule change that
+re-classifies any of them is a deliberate, visible decision.
+"""
+
+import textwrap
+
+import pytest
+
+from repro.lint import LintConfig, lint_text
+from repro.lint.core import WAIVER_RULE, PARSE_RULE, path_matches
+
+
+def findings_for(source, relpath="src/repro/sim/module.py", config=None):
+    result = lint_text(textwrap.dedent(source), relpath, config)
+    return result
+
+
+def rule_ids(result):
+    return [f.rule for f in result.findings]
+
+
+# -- path scoping --------------------------------------------------------------
+
+
+class TestPathMatching:
+    def test_suffix_match_ignores_checkout_prefix(self):
+        assert path_matches(
+            "src/repro/exec/store.py", ("repro/exec/store.py",)
+        )
+        assert path_matches(
+            "repro/exec/store.py", ("repro/exec/store.py",)
+        )
+        assert not path_matches(
+            "src/repro/exec/store_util.py", ("repro/exec/store.py",)
+        )
+
+    def test_directory_pattern_matches_segment(self):
+        assert path_matches("benchmarks/foo.py", ("benchmarks/",))
+        assert path_matches(
+            "src/repro/exec/queue.py", ("repro/exec/",)
+        )
+        assert not path_matches(
+            "src/repro/sim/engine.py", ("repro/exec/",)
+        )
+
+
+# -- REP101: unseeded / implicit RNG -------------------------------------------
+
+
+class TestUnseededRandom:
+    def test_unseeded_default_rng_fires(self):
+        result = findings_for(
+            """\
+            from numpy.random import default_rng
+            rng = default_rng()
+            """
+        )
+        assert rule_ids(result) == ["REP101"]
+
+    def test_unseeded_default_rng_via_alias_fires(self):
+        result = findings_for(
+            """\
+            import numpy as np
+            rng = np.random.default_rng()
+            """
+        )
+        assert rule_ids(result) == ["REP101"]
+
+    def test_none_seed_counts_as_unseeded(self):
+        result = findings_for(
+            """\
+            import numpy as np
+            rng = np.random.default_rng(None)
+            """
+        )
+        assert rule_ids(result) == ["REP101"]
+
+    def test_seeded_default_rng_passes(self):
+        result = findings_for(
+            """\
+            import numpy as np
+            def draw(seed):
+                return np.random.default_rng(seed).normal()
+            """
+        )
+        assert result.clean
+
+    def test_module_level_random_fires(self):
+        result = findings_for(
+            """\
+            import random
+            jitter = random.random()
+            """
+        )
+        assert rule_ids(result) == ["REP101"]
+
+    def test_unseeded_random_instance_fires(self):
+        result = findings_for(
+            """\
+            from random import Random
+            rng = Random()
+            """
+        )
+        assert rule_ids(result) == ["REP101"]
+
+    def test_seeded_random_instance_passes(self):
+        result = findings_for(
+            """\
+            from random import Random
+            def make(seed):
+                return Random(seed)
+            """
+        )
+        assert result.clean
+
+    def test_legacy_numpy_global_state_fires(self):
+        result = findings_for(
+            """\
+            import numpy as np
+            x = np.random.rand(3)
+            """
+        )
+        assert rule_ids(result) == ["REP101"]
+
+    def test_method_call_on_local_rng_passes(self):
+        result = findings_for(
+            """\
+            class Sampler:
+                def draw(self):
+                    return self.rng.normal()
+            """
+        )
+        assert result.clean
+
+    def test_waiver_honored_and_counted(self):
+        result = findings_for(
+            """\
+            import random
+            jitter = random.random()  # repro-lint: allow[REP101] demo script, determinism not claimed
+            """
+        )
+        assert result.clean
+        assert result.waived == 1
+
+
+# -- REP102: wall-clock quarantine ---------------------------------------------
+
+
+class TestWallClock:
+    def test_wallclock_in_critical_module_fires(self):
+        result = findings_for(
+            """\
+            import time
+            def stamp():
+                return time.time()
+            """,
+            relpath="src/repro/exec/cache.py",
+        )
+        assert rule_ids(result) == ["REP102"]
+
+    def test_datetime_now_in_fingerprint_helper_fires_anywhere(self):
+        result = findings_for(
+            """\
+            from datetime import datetime
+            def point_fingerprint(point):
+                return (point, datetime.now())
+            """,
+            relpath="src/repro/sim/anything.py",
+        )
+        assert rule_ids(result) == ["REP102"]
+
+    def test_wallclock_in_allowlisted_module_passes(self):
+        result = findings_for(
+            """\
+            import time
+            def lease_horizon(ttl):
+                return time.time() + ttl
+            """,
+            relpath="src/repro/exec/queue.py",
+        )
+        assert result.clean
+
+    def test_perf_counter_passes_in_critical_module(self):
+        result = findings_for(
+            """\
+            import time
+            def measure():
+                return time.perf_counter()
+            """,
+            relpath="src/repro/exec/cache.py",
+        )
+        assert result.clean
+
+    def test_waiver_honored(self):
+        result = findings_for(
+            """\
+            import time
+            def canonical_stamp():
+                return time.time()  # repro-lint: allow[REP102] operator display only, never keyed
+            """,
+            relpath="src/repro/sim/anything.py",
+        )
+        assert result.clean
+        assert result.waived == 1
+
+
+# -- REP103: atomic durable writes ---------------------------------------------
+
+
+class TestAtomicWrite:
+    def test_bare_write_in_durable_module_fires(self):
+        result = findings_for(
+            """\
+            def save(path, text):
+                with open(path, "w") as handle:
+                    handle.write(text)
+            """,
+            relpath="src/repro/exec/store.py",
+        )
+        assert rule_ids(result) == ["REP103"]
+
+    def test_write_with_replace_idiom_passes(self):
+        result = findings_for(
+            """\
+            import os
+            def save(path, text):
+                tmp = path + ".part"
+                with open(tmp, "w") as handle:
+                    handle.write(text)
+                os.replace(tmp, path)
+            """,
+            relpath="src/repro/exec/store.py",
+        )
+        assert result.clean
+
+    def test_read_mode_passes(self):
+        result = findings_for(
+            """\
+            def load(path):
+                with open(path) as handle:
+                    return handle.read()
+            """,
+            relpath="src/repro/exec/store.py",
+        )
+        assert result.clean
+
+    def test_non_durable_module_passes(self):
+        result = findings_for(
+            """\
+            def save(path, text):
+                with open(path, "w") as handle:
+                    handle.write(text)
+            """,
+            relpath="src/repro/sim/scratch.py",
+        )
+        assert result.clean
+
+    def test_benchmark_scripts_are_durable_scope(self):
+        result = findings_for(
+            """\
+            def dump(path):
+                with open(path, "w") as handle:
+                    handle.write("{}")
+            """,
+            relpath="benchmarks/bench_thing.py",
+        )
+        assert rule_ids(result) == ["REP103"]
+
+    def test_waiver_honored(self):
+        result = findings_for(
+            """\
+            def save(path, text):
+                # repro-lint: allow[REP103] scratch debug dump, never read back
+                with open(path, "w") as handle:
+                    handle.write(text)
+            """,
+            relpath="src/repro/exec/store.py",
+        )
+        assert result.clean
+        assert result.waived == 1
+
+
+# -- REP104: SQLite discipline -------------------------------------------------
+
+
+class TestSQLiteDiscipline:
+    def test_direct_connect_fires(self):
+        result = findings_for(
+            """\
+            import sqlite3
+            def open_db(path):
+                return sqlite3.connect(path)
+            """,
+            relpath="src/repro/exec/newstore.py",
+        )
+        assert rule_ids(result) == ["REP104"]
+
+    def test_from_import_connect_fires(self):
+        result = findings_for(
+            """\
+            from sqlite3 import connect
+            def open_db(path):
+                return connect(path)
+            """,
+            relpath="src/repro/exec/newstore.py",
+        )
+        assert rule_ids(result) == ["REP104"]
+
+    def test_blessed_helper_module_passes(self):
+        result = findings_for(
+            """\
+            import sqlite3
+            def connect_wal(path):
+                return sqlite3.connect(str(path))
+            """,
+            relpath="src/repro/exec/sqlite_util.py",
+        )
+        assert result.clean
+
+    def test_helper_usage_passes(self):
+        result = findings_for(
+            """\
+            from repro.exec.sqlite_util import connect_wal
+            def open_db(path):
+                return connect_wal(path, timeout=5.0)
+            """,
+            relpath="src/repro/exec/newstore.py",
+        )
+        assert result.clean
+
+    def test_waiver_honored(self):
+        result = findings_for(
+            """\
+            import sqlite3
+            def probe(path):
+                return sqlite3.connect(path)  # repro-lint: allow[REP104] read-only forensic probe, pragmas irrelevant
+            """,
+            relpath="src/repro/exec/newstore.py",
+        )
+        assert result.clean
+        assert result.waived == 1
+
+
+# -- REP105: taxonomy-routed broad handlers ------------------------------------
+
+
+class TestBroadExcept:
+    def test_swallowing_handler_in_substrate_fires(self):
+        result = findings_for(
+            """\
+            def fetch(store, key):
+                try:
+                    return store.load(key)
+                except Exception:
+                    return None
+            """,
+            relpath="src/repro/exec/helper.py",
+        )
+        assert rule_ids(result) == ["REP105"]
+
+    def test_reraising_handler_passes(self):
+        result = findings_for(
+            """\
+            def fetch(store, key):
+                try:
+                    return store.load(key)
+                except Exception as error:
+                    raise RuntimeError("load failed") from error
+            """,
+            relpath="src/repro/exec/helper.py",
+        )
+        assert result.clean
+
+    def test_taxonomy_routed_handler_passes(self):
+        result = findings_for(
+            """\
+            from repro.errors import is_transient
+            def fetch(store, key):
+                try:
+                    return store.load(key)
+                except Exception as error:
+                    if is_transient(error):
+                        return None
+                    raise
+            """,
+            relpath="src/repro/exec/helper.py",
+        )
+        assert result.clean
+
+    def test_non_substrate_module_broad_handler_passes(self):
+        result = findings_for(
+            """\
+            def fetch(store, key):
+                try:
+                    return store.load(key)
+                except Exception:
+                    return None
+            """,
+            relpath="src/repro/analysis/tables.py",
+        )
+        assert result.clean
+
+    def test_bare_except_fires_everywhere(self):
+        result = findings_for(
+            """\
+            def fetch(store, key):
+                try:
+                    return store.load(key)
+                except:
+                    return None
+            """,
+            relpath="src/repro/analysis/tables.py",
+        )
+        assert rule_ids(result) == ["REP105"]
+
+    def test_waiver_above_except_line_honored(self):
+        result = findings_for(
+            """\
+            def fetch(store, key):
+                try:
+                    return store.load(key)
+                # repro-lint: allow[REP105] diagnostics only, a stats probe must never raise
+                except Exception:
+                    return None
+            """,
+            relpath="src/repro/exec/helper.py",
+        )
+        assert result.clean
+        assert result.waived == 1
+
+
+# -- REP100: waiver hygiene ----------------------------------------------------
+
+
+class TestWaiverHygiene:
+    def test_unused_waiver_is_a_finding(self):
+        result = findings_for(
+            """\
+            def fine():
+                return 1  # repro-lint: allow[REP101] nothing wrong here
+            """
+        )
+        assert rule_ids(result) == [WAIVER_RULE]
+        assert "unused waiver" in result.findings[0].message
+
+    def test_waiver_without_reason_is_a_finding(self):
+        result = findings_for(
+            """\
+            import random
+            jitter = random.random()  # repro-lint: allow[REP101]
+            """
+        )
+        # The reasonless waiver is rejected, so REP101 still fires too.
+        assert sorted(rule_ids(result)) == [WAIVER_RULE, "REP101"]
+
+    def test_waiver_for_unknown_rule_is_a_finding(self):
+        result = findings_for(
+            """\
+            x = 1  # repro-lint: allow[REP999] no such rule
+            """
+        )
+        assert rule_ids(result) == [WAIVER_RULE]
+
+    def test_malformed_waiver_comment_is_a_finding(self):
+        result = findings_for(
+            """\
+            x = 1  # repro-lint: allow REP101 forgot the brackets
+            """
+        )
+        assert rule_ids(result) == [WAIVER_RULE]
+
+    def test_waiver_mentioned_in_string_is_ignored(self):
+        result = findings_for(
+            '''\
+            DOC = "write # repro-lint: allow[REP101] reason on the line"
+            '''
+        )
+        assert result.clean
+
+    def test_one_waiver_covers_multiple_rules(self):
+        result = findings_for(
+            """\
+            import sqlite3, random
+            def probe(path):
+                # repro-lint: allow[REP104, REP101] fixture exercising two rules at once
+                return sqlite3.connect(path), random.random()
+            """,
+            relpath="src/repro/exec/newstore.py",
+        )
+        assert result.clean
+        assert result.waived == 2
+
+
+# -- parse failures ------------------------------------------------------------
+
+
+class TestParseRule:
+    def test_syntax_error_is_reported_not_raised(self):
+        result = findings_for("def broken(:\n")
+        assert rule_ids(result) == [PARSE_RULE]
+
+
+# -- configuration seams -------------------------------------------------------
+
+
+class TestConfigOverrides:
+    def test_custom_durable_scope(self):
+        config = LintConfig(durable_modules=("special/",))
+        offending = """\
+        def save(path):
+            with open(path, "w") as handle:
+                handle.write("x")
+        """
+        fires = findings_for(
+            offending, relpath="special/io.py", config=config
+        )
+        silent = findings_for(
+            offending, relpath="src/repro/exec/store.py", config=config
+        )
+        assert rule_ids(fires) == ["REP103"]
+        assert silent.clean
