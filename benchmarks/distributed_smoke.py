@@ -81,7 +81,25 @@ def make_evaluator() -> SensorNodeDesignToolkit:
     )
 
 
-def spawn_worker(store: str, *extra: str) -> subprocess.Popen:
+def make_stalling_evaluator():
+    """Worker-side factory for the kill phase's victim: an evaluator
+    that blocks far past any lease TTL, so the victim provably holds
+    (expired) leases when the SIGKILL lands.  Workers only heartbeat
+    *between* points, so a single stalled point cannot keep its lease
+    alive — which is exactly the mid-evaluation death this phase
+    simulates.  The sleep is never survived: the process is killed.
+    """
+
+    def stall(point):
+        time.sleep(600.0)
+        raise AssertionError("stalling evaluator must be killed")
+
+    return stall
+
+
+def spawn_worker(
+    store: str, *extra: str, evaluator: str = EVALUATOR_SPEC
+) -> subprocess.Popen:
     """A real ``python -m repro.exec.worker`` subprocess."""
     env = dict(os.environ)
     env["PYTHONPATH"] = os.pathsep.join(
@@ -95,7 +113,7 @@ def spawn_worker(store: str, *extra: str) -> subprocess.Popen:
             "repro.exec.worker",
             store,
             "--evaluator",
-            EVALUATOR_SPEC,
+            evaluator,
             "--json",
             *extra,
         ],
@@ -202,8 +220,10 @@ def _phase_kill_reclaim(
         toolkit.evaluate_point, points, fingerprints=fingerprints
     )
     queue = queue_for_store(store)
-    # The victim leases with a short TTL and a throttle far past it,
-    # so SIGKILL lands while it provably holds leases.
+    # The victim leases with a short TTL and an evaluator that stalls
+    # far past it, so SIGKILL lands while it provably holds leases.
+    # (A throttle cannot pin this any more: throttled workers now
+    # sleep *before* leasing, precisely so they never hold jobs idle.)
     victim = spawn_worker(
         store_spec,
         "--batch",
@@ -212,8 +232,7 @@ def _phase_kill_reclaim(
         "2",
         "--poll",
         "0.05",
-        "--throttle",
-        "600",
+        evaluator="benchmarks.distributed_smoke:make_stalling_evaluator",
     )
     deadline = time.monotonic() + 120.0
     while time.monotonic() < deadline:

@@ -50,6 +50,7 @@ from repro.exec.lifecycle import GCBudget
 from repro.exec.store import CacheStore, resolve_store
 from repro.indicators import evaluate_indicators
 from repro.presets import default_harvester, default_system
+from repro.sim.batch import simulate_batch
 from repro.sim.envelope import EnvelopeOptions
 from repro.sim.runner import MissionConfig, simulate
 from repro.vibration.sources import VibrationSource
@@ -263,6 +264,19 @@ class ToolkitStudy:
                     )
             else:
                 parts.append("evaluation cache: disabled")
+            maps = exec_stats.get("charging_maps")
+            if maps and (
+                maps.get("hits")
+                or maps.get("built")
+                or maps.get("loaded")
+            ):
+                parts.append(
+                    f"charging maps: {maps['built']} built, "
+                    f"{maps['loaded']} loaded from store, "
+                    f"{maps['hits']} hits "
+                    f"({maps['size']} cached, "
+                    f"{maps['evictions']} evictions)"
+                )
         parts.append("")
         parts.append("== fit quality ==")
         rows = []
@@ -359,6 +373,11 @@ class SensorNodeDesignToolkit:
             collected back under the budget after every batch that
             persisted entries, so a bounded long-lived deployment
             never needs manual ``repro-cache prune`` runs.
+        batch_simulation: integrate envelope batches with the
+            vectorized :class:`~repro.sim.batch.EnvelopeBatchEngine`
+            (bit-identical to per-point integration, several times
+            faster).  Off means every point runs the scalar engine —
+            the A/B lever the throughput benchmark uses.
     """
 
     def __init__(
@@ -378,6 +397,7 @@ class SensorNodeDesignToolkit:
         cache_dir: str | os.PathLike | None = None,
         cache_store: CacheStore | None = None,
         cache_gc: GCBudget | Mapping | None = None,
+        batch_simulation: bool = True,
     ):
         self.space = space if space is not None else canonical_space()
         self.responses = tuple(responses)
@@ -386,6 +406,7 @@ class SensorNodeDesignToolkit:
         self.envelope = envelope
         self.vibration = vibration
         self.system_kwargs = dict(system_kwargs) if system_kwargs else {}
+        self.batch_simulation = bool(batch_simulation)
         self._shared_harvester = None
         if cache_dir is not None and cache_store is not None:
             raise DesignError(
@@ -487,12 +508,47 @@ class SensorNodeDesignToolkit:
         ]
 
     def evaluate_points_timed(
-        self, points: Sequence[Mapping[str, float]]
+        self,
+        points: Sequence[Mapping[str, float]],
+        progress: object = None,
     ) -> list[tuple[dict[str, float], float]]:
-        """:meth:`evaluate_points` with per-point wall seconds."""
+        """:meth:`evaluate_points` with per-point wall seconds.
+
+        ``progress``, when given, is a zero-argument callable invoked
+        repeatedly while the batch runs (between points, or once per
+        vectorized step round) — distributed workers hang mid-batch
+        lease heartbeats on it.
+        """
         mission = self._mission_config()
         if self._shared_harvester is None:
             self._shared_harvester = default_harvester()
+        points = list(points)
+        if (
+            self.batch_simulation
+            and self.engine == "envelope"
+            and len(points) > 1
+            # An explicit policy instance would be shared mutable
+            # state across lanes; lockstep integration needs each
+            # lane's policy to itself.
+            and "policy" not in self.system_kwargs
+        ):
+            started = time.perf_counter()
+            configs = [
+                self._build_config(params, harvester=self._shared_harvester)
+                for params in points
+            ]
+            results = simulate_batch(
+                configs,
+                mission.t_end,
+                options=mission.envelope,
+                record_dt=mission.resolve_record_dt(),
+                tick=progress,
+            )
+            share = (time.perf_counter() - started) / len(points)
+            return [
+                (evaluate_indicators(result, self.responses), share)
+                for result in results
+            ]
         out = []
         for params in points:
             started = time.perf_counter()
@@ -502,6 +558,8 @@ class SensorNodeDesignToolkit:
             result = simulate(config, mission)
             responses = evaluate_indicators(result, self.responses)
             out.append((responses, time.perf_counter() - started))
+            if progress is not None:
+                progress()
         return out
 
     def prewarm(self, params: Mapping[str, float] | None = None) -> dict[str, float]:

@@ -42,6 +42,7 @@ exactly the old call-and-wait behaviour.
 
 from __future__ import annotations
 
+import inspect
 import math
 import multiprocessing
 import os
@@ -261,26 +262,60 @@ class SerialBackend(SynchronousBackend):
         batch_evaluate: optional amortized batch evaluator; when given
             it replaces the per-point loop (it must honour the same
             ordering contract and time each point itself).
+        progress: optional zero-argument liveness callback invoked
+            while a batch runs — between points, and forwarded to
+            ``batch_evaluate`` as its ``progress`` keyword when its
+            signature accepts one (distributed workers hang lease
+            heartbeats on it, so a batch slower than a lease TTL is
+            not silently reclaimed mid-flight).
     """
 
     name = "serial"
 
-    def __init__(self, batch_evaluate: BatchEvaluator | None = None):
+    def __init__(
+        self,
+        batch_evaluate: BatchEvaluator | None = None,
+        progress: Callable[[], None] | None = None,
+    ):
         super().__init__()
         self.batch_evaluate = batch_evaluate
+        self.progress = progress
+        self._batch_takes_progress = False
+        if batch_evaluate is not None and progress is not None:
+            # Inspect once instead of a TypeError fallback at call
+            # time — the fallback would silently re-run a batch whose
+            # *evaluation* raised TypeError.
+            try:
+                parameters = inspect.signature(
+                    batch_evaluate
+                ).parameters.values()
+            except (TypeError, ValueError):
+                parameters = ()
+            self._batch_takes_progress = any(
+                p.name == "progress" or p.kind is p.VAR_KEYWORD
+                for p in parameters
+            )
 
     def _execute(
         self, evaluate: Evaluator, points: Sequence[Mapping[str, float]]
     ) -> list[PointResult]:
         if self.batch_evaluate is not None:
-            results = self.batch_evaluate(points)
+            if self._batch_takes_progress:
+                results = self.batch_evaluate(points, progress=self.progress)
+            else:
+                results = self.batch_evaluate(points)
             if len(results) != len(points):
                 raise ReproError(
                     f"batch evaluator returned {len(results)} results "
                     f"for {len(points)} points"
                 )
             return [(dict(responses), seconds) for responses, seconds in results]
-        return [_timed_point(evaluate, point) for point in points]
+        out = []
+        for point in points:
+            out.append(_timed_point(evaluate, point))
+            if self.progress is not None:
+                self.progress()
+        return out
 
     def describe(self) -> dict:
         return {

@@ -31,6 +31,7 @@ from repro.exec.backends import (
 from repro.exec.cache import EvalCache, point_fingerprint
 from repro.exec.lifecycle import GCBudget
 from repro.exec.store import CacheStore
+from repro.sim.envelope import charging_cache_stats
 
 #: Engine counters that participate in snapshot/delta accounting.
 _ENGINE_COUNTERS = ("points_evaluated", "batches_dispatched", "replicate_hits")
@@ -50,6 +51,17 @@ _CACHE_COUNTERS = (
     "gc_evictions",
     "bytes_reclaimed",
     "compactions",
+)
+
+#: Charging-map cache counters that participate in snapshot/delta
+#: accounting (``size`` stays absolute — it is a size, not a counter).
+_MAP_COUNTERS = (
+    "hits",
+    "misses",
+    "built",
+    "loaded",
+    "published",
+    "evictions",
 )
 
 
@@ -325,6 +337,7 @@ class EvaluationEngine:
         snap["cache"] = (
             self.cache.stats.as_dict() if self.cache is not None else None
         )
+        snap["charging_maps"] = charging_cache_stats()
         return snap
 
     def stats(self, since: Mapping | None = None) -> dict:
@@ -351,6 +364,7 @@ class EvaluationEngine:
             out["store"] = self.cache.describe()
         else:
             out["cache"] = None
+        out["charging_maps"] = charging_cache_stats()
         if since is not None:
             for key in _ENGINE_COUNTERS:
                 out[key] -= since.get(key, 0)
@@ -364,6 +378,10 @@ class EvaluationEngine:
                 out["cache"]["hit_rate"] = (
                     out["cache"]["hits"] / lookups if lookups else 0.0
                 )
+            map_baseline = since.get("charging_maps")
+            if map_baseline is not None:
+                for key in _MAP_COUNTERS:
+                    out["charging_maps"][key] -= map_baseline.get(key, 0)
         return out
 
     def close(self) -> None:

@@ -25,13 +25,26 @@ responses under the right key, which no queue can detect.
 Failure semantics: an evaluator exception fails the leased jobs back
 to pending (terminally ``failed`` after the queue's ``max_attempts``);
 a killed worker simply stops heartbeating and its leases are
-reclaimed by any survivor.  Every publish is an atomic store write of
-a deterministic payload, so crash-duplicated work is harmless —
-doubly so since workers answer re-leased jobs from the store
-(:attr:`WorkerReport.jobs_skipped`) instead of re-evaluating them.
-Transient substrate hiccups (busy SQLite, flaky NFS) are absorbed by
-a :class:`~repro.exec.resilience.RetryPolicy` around every store and
-queue call.
+reclaimed by any survivor.  A *live* worker heartbeats between the
+points of a leased batch (via the evaluator's ``progress`` hook), so
+a batch slower than the lease TTL stays leased for as long as the
+worker keeps making progress.  Every publish is an atomic store
+write of a deterministic payload, so crash-duplicated work is
+harmless — doubly so since workers answer re-leased jobs from the
+store (:attr:`WorkerReport.jobs_skipped`) instead of re-evaluating
+them.  Transient substrate hiccups (busy SQLite, flaky NFS) are
+absorbed by a :class:`~repro.exec.resilience.RetryPolicy` around
+every store and queue call.
+
+Workers also persist envelope charging maps through the shared store
+(``--no-map-store`` opts out): the first worker to need a grid
+measures and publishes it, every later worker — or restart — loads
+it back instead of paying the ~seconds measurement again.  With
+``--supervise N --warm`` the fleet goes one step further: the parent
+builds the evaluator and preloads every persisted map *once*, then
+forks N children (``os.fork``) that inherit the warm caches — a
+child is born ready in milliseconds instead of seconds (falls back
+to cold ``subprocess`` children where ``fork`` is unavailable).
 
 Exit codes tell supervisors what happened: 0 clean, 1 operational
 error, :data:`EXIT_EVALUATOR_CONFIG` (3) for an unusable
@@ -48,6 +61,8 @@ from __future__ import annotations
 import argparse
 import importlib
 import json
+import os
+import signal
 import subprocess
 import sys
 import time
@@ -63,6 +78,11 @@ from repro.exec.queue import (
 )
 from repro.exec.resilience import DEFAULT_RETRY, RetryPolicy
 from repro.exec.store import CacheStore, resolve_store
+from repro.sim.envelope import (
+    attach_map_store,
+    detach_map_store,
+    preload_charging_maps,
+)
 
 PROG = "repro-worker"
 
@@ -171,10 +191,11 @@ class Worker:
         worker_id: lease identity (default host/pid-unique).
         batch: jobs per lease — small batches spread work across
             workers and bound what a kill can delay.
-        lease_seconds: lease TTL; must comfortably exceed the time
-            one batch takes to evaluate — jobs are completed at batch
-            end and there is no mid-batch heartbeat (long-running
-            custom workers can call ``queue.heartbeat`` themselves).
+        lease_seconds: lease TTL.  The worker heartbeats its leases
+            between the points of a batch (and while a batched
+            evaluator runs, through its ``progress`` hook), so the
+            TTL needs to exceed one *point*'s evaluation — not one
+            batch's.
         poll_interval: idle sleep between empty lease attempts.
         max_jobs: stop after this many jobs (None: unbounded).
         drain: exit once the queue holds no runnable or leased work.
@@ -182,12 +203,21 @@ class Worker:
             appear before giving up (None: exit immediately when the
             queue is empty); without ``drain``, exit after this much
             continuous idleness.
-        throttle: sleep this long before evaluating each leased batch
-            (a chaos/testing aid: makes lease-reclamation windows
-            reproducible).
+        throttle: sleep this long before each lease attempt (a
+            chaos/testing aid: makes lease-reclamation windows
+            reproducible).  Deliberately *before* the lease, not
+            after — sleeping on an already-granted lease would burn
+            its TTL doing nothing and hand the jobs to whichever
+            worker reclaims them first.
         retry: :class:`~repro.exec.resilience.RetryPolicy` applied to
             every store/queue call, so a briefly busy database never
             crashes the worker (None: the default policy).
+        heartbeat_seconds: minimum spacing between lease-extension
+            heartbeats (None: a third of ``lease_seconds``, so a
+            heartbeat can fail twice before the lease lapses).
+        clock: injectable ``time.time``-like source used for lease,
+            heartbeat and completion timestamps (tests pin lease
+            expiry deterministically with a fake clock).
     """
 
     def __init__(
@@ -206,6 +236,8 @@ class Worker:
         idle_timeout: float | None = None,
         throttle: float = 0.0,
         retry: RetryPolicy | None = None,
+        heartbeat_seconds: float | None = None,
+        clock: Callable[[], float] | None = None,
     ):
         if batch < 1:
             raise ReproError(f"batch must be >= 1, got {batch}")
@@ -220,12 +252,50 @@ class Worker:
         self.idle_timeout = idle_timeout
         self.throttle = float(throttle)
         self.retry = retry if retry is not None else DEFAULT_RETRY
-        self._backend = SerialBackend(batch_evaluate=batch_evaluate)
+        self.heartbeat_seconds = (
+            float(heartbeat_seconds)
+            if heartbeat_seconds is not None
+            else self.lease_seconds / 3.0
+        )
+        self._clock = clock if clock is not None else time.time
+        self._last_beat = 0.0
+        self._backend = SerialBackend(
+            batch_evaluate=batch_evaluate,
+            progress=self._maybe_heartbeat,
+        )
         self._evaluate = evaluate
 
     def _call(self, fn, *args, **kwargs):
         """One substrate call under the retry policy."""
         return self.retry.call(fn, *args, **kwargs)
+
+    def _maybe_heartbeat(self) -> None:
+        """Extend held leases if a heartbeat interval has elapsed.
+
+        Hung off the evaluation backend's ``progress`` hook, so it
+        fires between the points of a batch (and once per vectorized
+        step round when the batched envelope path runs) — a batch
+        slower than the lease TTL stays leased as long as this worker
+        is actually working.  Cheap when recently beaten: one clock
+        read.  Best-effort beyond the retry policy: a worker whose
+        heartbeat cannot land is indistinguishable from a dead one,
+        and the store-peek pass makes the resulting duplicate lease
+        harmless.
+        """
+        now = self._clock()
+        if now - self._last_beat < self.heartbeat_seconds:
+            return
+        self._last_beat = now
+        try:
+            self._call(
+                self.queue.heartbeat,
+                self.worker_id,
+                lease_seconds=self.lease_seconds,
+                now=now,
+            )
+        # repro-lint: allow[REP105] heartbeat is best effort: transients are already retried, and a lost lease only means some survivor re-leases jobs the store-peek pass answers for free
+        except Exception:
+            pass
 
     def _peek(self, fingerprint: str):
         """Best-effort store peek: unreadable means unknown."""
@@ -248,11 +318,18 @@ class Worker:
                 >= self.max_jobs
             ):
                 break
+            if self.throttle > 0.0:
+                # Throttle *before* taking a lease: a sleep after the
+                # lease would burn TTL on held jobs (and under a TTL
+                # shorter than the throttle, every lease would be
+                # reclaimed before this worker evaluated a thing).
+                time.sleep(self.throttle)
             jobs = self._call(
                 self.queue.lease,
                 self.worker_id,
                 n=self.batch,
                 lease_seconds=self.lease_seconds,
+                now=self._clock(),
             )
             if not jobs:
                 stats = self._call(self.queue.stats)
@@ -280,8 +357,9 @@ class Worker:
             idle_since = None
             seen_work = True
             report.leases += 1
-            if self.throttle > 0.0:
-                time.sleep(self.throttle)
+            # The lease was just granted its full TTL; the next
+            # heartbeat is due an interval from now.
+            self._last_beat = self._clock()
             self._work(jobs, report)
         report.seconds = time.perf_counter() - started
         return report
@@ -304,10 +382,16 @@ class Worker:
                 self.worker_id,
                 job.job_id,
                 seconds=0.0,
+                now=self._clock(),
             )
             report.jobs_skipped += 1
         if not runnable:
             return
+        # The peek pass itself takes time on a slow store, and the
+        # first evaluation may spend seconds prewarming charging
+        # maps before the per-point progress hook starts firing —
+        # top the leases up before diving in.
+        self._maybe_heartbeat()
         points = [job.point for job in runnable]
         try:
             results = self._backend.run(self._evaluate, points)
@@ -327,6 +411,7 @@ class Worker:
                 self.worker_id,
                 runnable[0].job_id,
                 error=str(error),
+                now=self._clock(),
             )
             report.jobs_failed += 1
             return
@@ -344,6 +429,7 @@ class Worker:
                     self.worker_id,
                     job.job_id,
                     error=f"store persist failed: {error}",
+                    now=self._clock(),
                 )
                 report.jobs_failed += 1
                 continue
@@ -352,6 +438,7 @@ class Worker:
                 self.worker_id,
                 job.job_id,
                 seconds=seconds,
+                now=self._clock(),
             )
             report.jobs_completed += 1
             report.eval_seconds += seconds
@@ -541,6 +628,7 @@ def _child_argv(argv: Sequence[str]) -> list[str]:
         "--restart-window",
         "--worker-id",
     }
+    drop_bare = {"--warm"}
     out: list[str] = []
     skip = False
     for arg in argv:
@@ -550,10 +638,99 @@ def _child_argv(argv: Sequence[str]) -> list[str]:
         if arg in drop_with_value:
             skip = True
             continue
+        if arg in drop_bare:
+            continue
         if any(arg.startswith(f"{flag}=") for flag in drop_with_value):
             continue
         out.append(arg)
     return out
+
+
+class _ForkedChild:
+    """A ``subprocess.Popen``-shaped handle over an ``os.fork`` child.
+
+    The :class:`Supervisor` only needs ``poll()`` and ``terminate()``;
+    this provides them for warm-mode children, which are forked from
+    the prewarmed parent rather than exec'd cold.
+    """
+
+    def __init__(self, pid: int):
+        self.pid = pid
+        self._code: int | None = None
+
+    def poll(self) -> int | None:
+        if self._code is None:
+            pid, status = os.waitpid(self.pid, os.WNOHANG)
+            if pid != 0:
+                self._code = os.waitstatus_to_exitcode(status)
+        return self._code
+
+    def terminate(self) -> None:
+        if self.poll() is None:
+            os.kill(self.pid, signal.SIGTERM)
+
+
+def _warm_spawn_factory(args) -> Callable:
+    """Build the warm-mode ``spawn`` for the supervisor.
+
+    All the expensive per-process startup happens here, once, in the
+    supervising parent: the evaluator factory runs (seconds of
+    toolkit construction), and every charging map persisted in the
+    shared store is preloaded into the global map cache.  ``spawn``
+    then just ``os.fork``\\ s — children are born with the evaluator
+    built and the maps hot in inherited memory, so their time-to-
+    first-lease is process-spawn latency, not cold-start latency.
+    Restarted crashers get the same warm start.
+
+    The parent's store connection is closed before any fork: SQLite
+    handles (and most file locks) must not be shared across a fork.
+    Children re-resolve their own store and queue.
+    """
+    prepare_started = time.perf_counter()
+    evaluate, batch_evaluate = load_evaluator(args.evaluator)
+    # Children must hold distinct lease identities (the subprocess
+    # path drops --worker-id from child argv for the same reason);
+    # each fork falls back to its own pid-unique default.
+    args.worker_id = None
+    if not args.no_map_store:
+        store = resolve_store(args.store)
+        try:
+            preload_charging_maps(store)
+        finally:
+            store.close()
+    spawn_seconds: list[float] = []
+
+    def spawn(index: int):
+        forked_at = time.perf_counter()
+        pid = os.fork()
+        if pid != 0:
+            spawn_seconds.append(time.perf_counter() - forked_at)
+            return _ForkedChild(pid)
+        code = 1
+        try:
+            # Siblings share one inherited stdout: line buffering makes
+            # each child's report a single atomic pipe write instead of
+            # risking torn interleavings at exit-time flush.
+            sys.stdout.reconfigure(line_buffering=True)
+            sys.stderr.reconfigure(line_buffering=True)
+            code = _run_single(args, evaluate, batch_evaluate)
+        # repro-lint: allow[REP105] a forked child must never fall through into the parent's supervisor loop; any escape is converted to a crash exit
+        except Exception:
+            code = 1
+        finally:
+            # _exit skips stdio flushing along with atexit hooks, so
+            # push the child's report out before leaving.
+            try:
+                sys.stdout.flush()
+                sys.stderr.flush()
+            finally:
+                # _exit, not exit: the child must not run the parent's
+                # atexit hooks or unwind into the supervisor loop.
+                os._exit(code)
+
+    spawn.prepare_seconds = time.perf_counter() - prepare_started
+    spawn.spawn_seconds = spawn_seconds
+    return spawn
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -615,6 +792,18 @@ def build_parser() -> argparse.ArgumentParser:
         "instead of working in this process",
     )
     parser.add_argument(
+        "--warm", action="store_true",
+        help="with --supervise: build the evaluator and preload "
+        "persisted charging maps once in the parent, then fork warm "
+        "children (millisecond spin-up instead of seconds; needs "
+        "os.fork, silently cold elsewhere)",
+    )
+    parser.add_argument(
+        "--no-map-store", action="store_true",
+        help="do not persist/load envelope charging maps through the "
+        "shared store",
+    )
+    parser.add_argument(
         "--max-restarts", type=int, default=5,
         help="with --supervise: respawns tolerated per window before "
         "declaring a crash loop (default 5)",
@@ -632,14 +821,35 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _run_supervised(args, argv: Sequence[str] | None) -> int:
     """``--supervise N``: spawn and shepherd N child workers."""
-    child_argv = _child_argv(
-        list(argv) if argv is not None else sys.argv[1:]
-    )
-
-    def spawn(index: int):
-        return subprocess.Popen(
-            [sys.executable, "-m", "repro.exec.worker", *child_argv]
+    if args.warm and hasattr(os, "fork"):
+        try:
+            spawn = _warm_spawn_factory(args)
+        except EvaluatorConfigError as error:
+            print(
+                f"{PROG}: "
+                + json.dumps(
+                    {
+                        "error": "evaluator-config",
+                        "spec": args.evaluator,
+                        "reason": str(error),
+                    },
+                    sort_keys=True,
+                ),
+                file=sys.stderr,
+            )
+            return EXIT_EVALUATOR_CONFIG
+        except ReproError as error:
+            print(f"{PROG}: {error}", file=sys.stderr)
+            return 1
+    else:
+        child_argv = _child_argv(
+            list(argv) if argv is not None else sys.argv[1:]
         )
+
+        def spawn(index: int):
+            return subprocess.Popen(
+                [sys.executable, "-m", "repro.exec.worker", *child_argv]
+            )
 
     def on_event(event: dict) -> None:
         if not args.json:
@@ -660,41 +870,41 @@ def _run_supervised(args, argv: Sequence[str] | None) -> int:
     if report.exit_code != 0:
         print(f"{PROG}: supervisor gave up: {report.reason}", file=sys.stderr)
     if args.json:
-        print(json.dumps(report.as_dict(), sort_keys=True))
+        payload = report.as_dict()
+        if getattr(spawn, "spawn_seconds", None) is not None:
+            # Warm mode: the one-time parent cost (evaluator build +
+            # map preload) and the marginal per-child fork latency —
+            # the number the warm-fleet startup claim is gated on.
+            payload["warm"] = {
+                "prepare_seconds": spawn.prepare_seconds,
+                "spawn_seconds": list(spawn.spawn_seconds),
+            }
+        print(json.dumps(payload, sort_keys=True))
     return report.exit_code
 
 
-def main(argv: Sequence[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
-    if args.supervise is not None:
-        return _run_supervised(args, argv)
+def _run_single(
+    args, evaluate: Evaluator, batch_evaluate: Callable | None
+) -> int:
+    """One worker process: resolve substrate, loop, report.
+
+    Shared by the plain single-worker path and warm-mode forked
+    children — which is why the store and queue are resolved *here*
+    (each process needs its own connections; a fork must not inherit
+    the parent's SQLite handle).
+    """
     try:
-        evaluate, batch_evaluate = load_evaluator(args.evaluator)
         store = resolve_store(args.store)
         queue = (
             resolve_queue(args.queue)
             if args.queue is not None
             else resolve_queue(args.store)
         )
-    except EvaluatorConfigError as error:
-        # One structured line, a distinct exit code: supervisors and
-        # operators can tell "fix the spec" from "it crashed".
-        print(
-            f"{PROG}: "
-            + json.dumps(
-                {
-                    "error": "evaluator-config",
-                    "spec": args.evaluator,
-                    "reason": str(error),
-                },
-                sort_keys=True,
-            ),
-            file=sys.stderr,
-        )
-        return EXIT_EVALUATOR_CONFIG
     except ReproError as error:
         print(f"{PROG}: {error}", file=sys.stderr)
         return 1
+    if not args.no_map_store:
+        attach_map_store(store)
     try:
         worker = Worker(
             store,
@@ -724,8 +934,35 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(f"{PROG}: {error}", file=sys.stderr)
         return 1
     finally:
+        if not args.no_map_store:
+            detach_map_store()
         queue.close()
         store.close()
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.supervise is not None:
+        return _run_supervised(args, argv)
+    try:
+        evaluate, batch_evaluate = load_evaluator(args.evaluator)
+    except EvaluatorConfigError as error:
+        # One structured line, a distinct exit code: supervisors and
+        # operators can tell "fix the spec" from "it crashed".
+        print(
+            f"{PROG}: "
+            + json.dumps(
+                {
+                    "error": "evaluator-config",
+                    "spec": args.evaluator,
+                    "reason": str(error),
+                },
+                sort_keys=True,
+            ),
+            file=sys.stderr,
+        )
+        return EXIT_EVALUATOR_CONFIG
+    return _run_single(args, evaluate, batch_evaluate)
 
 
 if __name__ == "__main__":

@@ -26,6 +26,7 @@ from repro.sim.runner import simulate, MissionConfig
 from repro.sim.newton import NewtonRaphsonEngine
 from repro.sim.state_space import LinearizedStateSpaceEngine
 from repro.sim.envelope import EnvelopeEngine, ChargingMap
+from repro.sim.batch import EnvelopeBatchEngine, simulate_batch
 
 __all__ = [
     "SystemConfig",
@@ -36,5 +37,7 @@ __all__ = [
     "NewtonRaphsonEngine",
     "LinearizedStateSpaceEngine",
     "EnvelopeEngine",
+    "EnvelopeBatchEngine",
+    "simulate_batch",
     "ChargingMap",
 ]

@@ -1,0 +1,711 @@
+"""Vectorized batch integration of envelope missions.
+
+:class:`EnvelopeBatchEngine` advances a whole batch of independent
+design points in lockstep: the slow-axis RK2 store integration runs as
+NumPy elementwise arithmetic over per-lane state vectors, while the
+mission layer (records, discrete events, regulator transitions,
+actuations) stays per-lane scalar code executed only when a lane's
+masks fire.  The payoff is one interpreter round per *step of the
+whole batch* instead of per step of each mission — on the canonical
+study every lane additionally shares a single charging-map grid, so a
+step costs a handful of vector operations regardless of batch width.
+
+Bit-identity with :class:`~repro.sim.envelope.EnvelopeEngine` is a
+hard contract, not an aspiration (the evaluation cache and the
+distributed substrate both fingerprint responses):
+
+* IEEE-754 elementwise operations (+, -, *, /, ``maximum``) produce
+  the same bits whether evaluated by the Python scalar interpreter or
+  by a NumPy vector loop, provided the *expression trees* match — so
+  every formula below replicates the scalar engine's expression
+  exactly, term for term, in evaluation order.
+* ``np.interp`` is an elementwise C loop over its inputs (with and
+  without its slope-precomputation fast path the per-element
+  arithmetic is the same expression), so one vectorized call over a
+  shared grid equals per-lane scalar calls.
+* Per-lane accumulators (energies, downtime, counters) receive their
+  contributions in the same time order as the scalar engine, so
+  float addition non-associativity never bites.
+* Charging-map grids are pure functions of their cache key
+  (measured on the canonical capacitance), so cache-miss *order* —
+  which differs between batched and per-point execution — cannot
+  change grid contents.
+
+The property test suite (``tests/test_sim_batch.py``) pins the
+contract across topologies and map key modes.
+
+Configs in one batch must not share mutable mission state — each lane
+needs its own node (policy), controller and supercap instances, which
+is how :class:`~repro.core.toolkit.SensorNodeDesignToolkit` builds
+them.  Sharing the (stateless) harvester and vibration source across
+lanes is fine and encouraged.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.sim.envelope import ChargingMap, EnvelopeOptions, _Actuation
+from repro.sim.events import EventQueue
+from repro.sim.results import SimulationResult
+from repro.sim.system import SystemConfig
+from repro.sim.traces import TraceRecorder
+from repro.vibration.sources import SineVibration
+
+_EPS = 1e-9
+
+#: Trace channels, in the scalar engine's declaration order.
+_CHANNELS = (
+    "v_store",
+    "f_dom",
+    "f_res",
+    "gap",
+    "enabled",
+    "packets",
+    "downtime",
+)
+
+
+class _Lane:
+    """One mission's scalar-side state inside a batch.
+
+    Everything the scalar engine keeps in locals/closures lives here;
+    the vectorized driver syncs ``t``/``v``/accumulators down before
+    running any scalar-side handler and back up afterwards.  The
+    handler bodies replicate :meth:`EnvelopeEngine.run` verbatim so
+    the per-lane operation sequence is the scalar engine's.
+    """
+
+    def __init__(
+        self,
+        index: int,
+        config: SystemConfig,
+        options: EnvelopeOptions,
+        t_end: float,
+        record_dt: float,
+    ):
+        self.index = index
+        self.config = config
+        self.options = options
+        if config.power.supercap is None:
+            raise SimulationError(
+                "envelope engine requires a storage element in the circuit"
+            )
+        self.map = ChargingMap(config, options)
+        self.supercap = config.power.supercap
+        self.reg = config.regulator
+        self.node = config.node
+        self.controller = config.controller
+        self.source = config.vibration
+        self.harvester = config.harvester
+        self.cap = self.supercap.capacitance
+        self.r_leak = self.supercap.leakage_resistance
+        self.t_end = t_end
+        self.record_dt = record_dt
+        self.stationary = isinstance(self.source, SineVibration)
+
+        self.v = self.supercap.v_initial
+        self.gap = config.resolve_initial_gap()
+        self.enabled = self.v >= self.reg.v_restart
+        self.epoch = 0
+        if self.node is not None:
+            self.node.policy.reset()
+        self.queue = EventQueue()
+        if self.node is not None and self.enabled:
+            self.queue.push(0.0, "measure", self.epoch)
+        if self.controller is not None:
+            self.queue.push(self.controller.first_check, "check")
+        self.recorder = TraceRecorder(list(_CHANNELS), record_dt=0.0)
+        self.counters = {
+            "packets_delivered": 0.0,
+            "retunes": 0.0,
+            "controller_checks": 0.0,
+            "brownout_events": 0.0,
+            "overvoltage_clips": 0.0,
+        }
+        self.energies = {
+            "harvested": 0.0,
+            "node": 0.0,
+            "tuning": 0.0,
+            "leakage": 0.0,
+        }
+        self.downtime = 0.0
+        self.actuation: _Actuation | None = None
+        self.t = 0.0
+        self.next_record = 0.0
+        self.t_next = 0.0
+        self.finished = False
+        self._fres_memo: dict[float, float] = {}
+        self._append_time, self._append_cols = self.recorder.row_appenders()
+        # A stationary tone's dominant frequency is one stored float;
+        # hoisting it spares a method call per recorded row.
+        self._f_dom0 = (
+            self.source.dominant_frequency(0.0) if self.stationary else 0.0
+        )
+
+    # -- scalar helpers (the scalar engine's closures) ----------------------
+
+    def _f_res(self, gap: float) -> float:
+        # resonant_frequency is pure; memoizing per gap only removes
+        # repeated root-finds from the record path, never changes a
+        # recorded value.
+        value = self._fres_memo.get(gap)
+        if value is None:
+            value = self.harvester.resonant_frequency(gap)
+            self._fres_memo[gap] = value
+        return value
+
+    def gap_now(self, at: float) -> float:
+        if self.actuation is None:
+            return self.gap
+        return self.harvester.actuator.gap_trajectory(
+            self.actuation.gap_from,
+            self.actuation.gap_to,
+            at - self.actuation.t_start,
+        )
+
+    def record_row(self, at: float) -> None:
+        # Direct-append fast path of the scalar engine's record_row:
+        # same values (dominant_frequency of a stationary tone is a
+        # constant; resonant_frequency is pure, memoized per gap) in
+        # the same channel order, ~1e5 rows per batch.
+        g = self.gap if self.actuation is None else self.gap_now(at)
+        f_res = self._fres_memo.get(g)
+        if f_res is None:
+            f_res = self.harvester.resonant_frequency(g)
+            self._fres_memo[g] = f_res
+        self._append_time(at)
+        cols = self._append_cols
+        cols[0](self.v)
+        cols[1](
+            self._f_dom0
+            if self.stationary
+            else self.source.dominant_frequency(at)
+        )
+        cols[2](f_res)
+        cols[3](g)
+        cols[4](1.0 if self.enabled else 0.0)
+        cols[5](self.counters["packets_delivered"])
+        cols[6](self.downtime)
+
+    def withdraw(self, amount_store_side: float) -> None:
+        self.v = math.sqrt(
+            max(self.v * self.v - 2.0 * amount_store_side / self.cap, 0.0)
+        )
+
+    # -- operating point ----------------------------------------------------
+
+    def sample_operating_point(self, t_mid: float) -> tuple[float, float, float]:
+        """The (f_dom, amp, gap) triple the scalar engine would feed
+        ``map.current`` for a step whose midpoint is ``t_mid``."""
+        f_dom = self.source.dominant_frequency(t_mid)
+        amp = self.source.amplitude(t_mid)
+        g = self.gap_now(t_mid)
+        if self.actuation is not None:
+            quantum = self.options.gap_motion_quantum
+            g = round(g / quantum) * quantum
+            law = self.harvester.tuning
+            g = min(max(g, law.gap_min), law.gap_max)
+        return f_dom, amp, g
+
+    # -- per-step scalar-side handlers (rarely-firing branches) -------------
+
+    def regulator_step(self) -> None:
+        """The brownout/restart state machine after one step; verbatim
+        from the scalar engine (called only when the vector masks say
+        one of the branches fires)."""
+        if self.enabled and self.v < self.reg.v_brownout:
+            self.enabled = False
+            self.counters["brownout_events"] += 1.0
+            self.epoch += 1
+            self.recorder.log_event(self.t, "brownout", f"v={self.v:.3f}")
+            if self.actuation is not None:
+                self.gap = self.gap_now(self.t)
+                self.actuation = None
+                self.recorder.log_event(self.t, "retune_aborted", "")
+        elif not self.enabled and self.v >= self.reg.v_restart:
+            self.enabled = True
+            self.recorder.log_event(self.t, "restart", f"v={self.v:.3f}")
+            if self.node is not None:
+                self.node.policy.reset()
+                self.queue.push(self.t, "measure", self.epoch)
+
+    def actuation_step(self) -> None:
+        """Actuation completion check after one step; verbatim."""
+        if self.actuation is not None and self.t >= self.actuation.t_done - _EPS:
+            self.gap = self.actuation.gap_to
+            self.actuation = None
+            self.recorder.log_event(
+                self.t, "retune_done", f"gap={self.gap * 1e3:.2f}mm"
+            )
+
+    # -- segment machinery ---------------------------------------------------
+
+    def post_segment(self) -> None:
+        """Recording + discrete events at a segment boundary; verbatim
+        from the scalar engine's outer loop tail."""
+        if self.t >= self.next_record - _EPS:
+            self.record_row(self.t)
+            self.next_record += self.record_dt
+        queue = self.queue
+        while queue:
+            t_event = queue.peek_time()
+            if t_event is None or t_event > self.t + _EPS:
+                break
+            event = queue.pop()
+            if event.kind == "measure":
+                node = self.node
+                if (
+                    node is None
+                    or event.payload != self.epoch
+                    or not self.enabled
+                ):
+                    continue
+                e_store = node.cycle_energy / self.reg.efficiency
+                self.withdraw(e_store)
+                self.energies["node"] += e_store
+                self.counters["packets_delivered"] += 1.0
+                period = node.policy.next_period(self.v, self.t)
+                queue.push(self.t + period, "measure", self.epoch)
+            elif event.kind == "check":
+                controller = self.controller
+                if controller is None:
+                    continue
+                queue.push(self.t + controller.check_interval, "check")
+                if not self.enabled:
+                    continue
+                self.counters["controller_checks"] += 1.0
+                e_meas = controller.measurement_energy / self.reg.efficiency
+                self.withdraw(e_meas)
+                self.energies["tuning"] += e_meas
+                decision = controller.decide(
+                    self.t, self.source, self.harvester, self.gap
+                )
+                self.recorder.log_event(
+                    self.t,
+                    "check",
+                    f"f_est={decision.f_estimate:.2f} "
+                    f"retune={decision.retune}",
+                )
+                if decision.retune and self.actuation is None:
+                    duration, energy = self.harvester.retune_cost(
+                        self.gap, decision.target_gap
+                    )
+                    overhead = (
+                        self.harvester.actuator.overhead_energy
+                        / self.reg.efficiency
+                    )
+                    self.withdraw(overhead)
+                    self.energies["tuning"] += overhead
+                    self.actuation = _Actuation(
+                        t_start=self.t,
+                        t_done=self.t + duration,
+                        gap_from=self.gap,
+                        gap_to=decision.target_gap,
+                    )
+                    self.counters["retunes"] += 1.0
+                    self.recorder.log_event(
+                        self.t,
+                        "retune_start",
+                        f"to {decision.target_gap * 1e3:.2f}mm "
+                        f"({duration:.0f}s, {energy * 1e3:.1f}mJ)",
+                    )
+                    del energy  # booked continuously via motor power
+
+    def advance_segments(self) -> None:
+        """Run zero-length segments (records/events) until the lane
+        either enters a real integration segment or finishes.
+
+        Mirrors the scalar outer loop: each iteration re-derives
+        ``t_next`` from the event queue / record tick / mission end,
+        and when no integration is possible the boundary work runs
+        immediately."""
+        while True:
+            if self.t >= self.t_end - _EPS:
+                self.record_row(self.t_end)
+                self.finished = True
+                return
+            t_event = self.queue.peek_time()
+            self.t_next = min(
+                t_event if t_event is not None else math.inf,
+                self.next_record,
+                self.t_end,
+            )
+            if self.t < self.t_next - _EPS:
+                return
+            self.post_segment()
+
+    def result(self, wall_time: float) -> SimulationResult:
+        node = self.node
+        return SimulationResult(
+            engine="envelope",
+            t_end=self.t_end,
+            traces=self.recorder.as_arrays(),
+            events=self.recorder.events(),
+            counters=self.counters,
+            energies=self.energies,
+            downtime=self.downtime,
+            wall_time=wall_time,
+            meta={
+                "payload_bits": node.payload_bits if node is not None else 0,
+                "record_dt": self.record_dt,
+                "policy": (
+                    node.policy.describe() if node is not None else "none"
+                ),
+            },
+        )
+
+
+class EnvelopeBatchEngine:
+    """Lockstep vectorized mission integration over a batch of configs.
+
+    Args:
+        configs: one :class:`SystemConfig` per lane (no shared node /
+            controller / supercap instances between lanes).
+        options: envelope tuning knobs shared by the batch.
+    """
+
+    def __init__(
+        self,
+        configs: list[SystemConfig] | tuple[SystemConfig, ...],
+        options: EnvelopeOptions | None = None,
+    ):
+        self.configs = list(configs)
+        if not self.configs:
+            raise SimulationError("batch needs at least one config")
+        # Lanes integrate interleaved, so mutable per-mission state
+        # (node policy phase, controller estimate, store element)
+        # must not alias across configs — sharing works serially only
+        # because each mission resets it at start.  Harvester and
+        # vibration sharing is fine (read-only during a mission) and
+        # is the toolkit's production pattern.
+        seen: dict[int, str] = {}
+        for config in self.configs:
+            for part in (config.node, config.controller, config.power.supercap):
+                if part is None:
+                    continue
+                if id(part) in seen:
+                    raise SimulationError(
+                        "batched configs share a mutable "
+                        f"{type(part).__name__} instance; build each "
+                        "lane's node/controller/storage fresh"
+                    )
+                seen[id(part)] = type(part).__name__
+        self.options = options if options is not None else EnvelopeOptions()
+
+    def run(
+        self,
+        t_end: float,
+        record_dt: float = 1.0,
+        tick=None,
+    ) -> list[SimulationResult]:
+        """Simulate every lane's mission of ``t_end`` seconds.
+
+        ``tick``, when given, is called with no arguments once per
+        vectorized step round — workers hang lease heartbeats on it.
+        """
+        if t_end <= 0.0:
+            raise SimulationError(f"t_end must be > 0, got {t_end}")
+        if record_dt <= 0.0:
+            raise SimulationError(f"record_dt must be > 0, got {record_dt}")
+        started = time.perf_counter()
+        opt = self.options
+        lanes = [
+            _Lane(i, config, opt, t_end, record_dt)
+            for i, config in enumerate(self.configs)
+        ]
+        for lane in lanes:
+            lane.advance_segments()
+
+        n_total = len(lanes)
+        dt_max = opt.dt_max
+        # Lanes still integrating.  Finished lanes are *compacted out*
+        # of every vector rather than masked: all lanes share one
+        # ``t_end``, so the whole batch runs unmasked until the final
+        # rounds, and the steady-state step carries zero mask traffic.
+        active = [lane for lane in lanes if not lane.finished]
+
+        # Per-lane constants over the active set.
+        cap = np.array([lane.cap for lane in active])
+        r_leak = np.array([lane.r_leak for lane in active])
+        v_rated = np.array([lane.supercap.v_rated for lane in active])
+        vbrown = np.array([lane.reg.v_brownout for lane in active])
+        vrestart = np.array([lane.reg.v_restart for lane in active])
+        eta = np.array([lane.reg.efficiency for lane in active])
+        iq = np.array([lane.reg.quiescent_current for lane in active])
+        sleep_power = np.array(
+            [
+                lane.node.sleep_power if lane.node is not None else 0.0
+                for lane in active
+            ]
+        )
+        has_node = np.array([lane.node is not None for lane in active])
+        moving_power = np.array(
+            [lane.harvester.actuator.moving_power for lane in active]
+        )
+        nonstationary = np.array([not lane.stationary for lane in active])
+
+        # Mutable vector state (authoritative between boundaries).
+        t = np.array([lane.t for lane in active])
+        v = np.array([lane.v for lane in active])
+        t_next = np.array([lane.t_next for lane in active])
+        enabled = np.array([lane.enabled for lane in active])
+        moving = np.array([lane.actuation is not None for lane in active])
+        act_done = np.array(
+            [
+                lane.actuation.t_done if lane.actuation is not None else math.inf
+                for lane in active
+            ]
+        )
+        downtime = np.array([lane.downtime for lane in active])
+        e_harv = np.array([lane.energies["harvested"] for lane in active])
+        e_node = np.array([lane.energies["node"] for lane in active])
+        e_tune = np.array([lane.energies["tuning"] for lane in active])
+        e_leak = np.array([lane.energies["leakage"] for lane in active])
+        ov_clips = np.array(
+            [lane.counters["overvoltage_clips"] for lane in active]
+        )
+
+        # Operating point per lane + resolved grid entries.  Static
+        # lanes (stationary tone, no actuation in flight) keep theirs
+        # until something changes; dynamic lanes refresh per step.
+        n_active = len(active)
+        op_f = np.zeros(n_active)
+        op_a = np.zeros(n_active)
+        op_g = np.zeros(n_active)
+        grid_lo = np.zeros(n_active)
+        grid_hi = np.zeros(n_active)
+        entries: list[tuple[np.ndarray, np.ndarray] | None] = [None] * n_active
+        groups: list[tuple[np.ndarray, np.ndarray, np.ndarray | None]] = []
+        groups_dirty = True
+
+        def sync_pos(p: int, lane: _Lane) -> None:
+            """Position-only sync for the regulator / actuation
+            handlers (they read ``t``/``v``, never accumulators)."""
+            lane.t = float(t[p])
+            lane.v = float(v[p])
+
+        def sync_boundary(p: int, lane: _Lane) -> None:
+            """Everything a segment boundary (record + events) reads
+            or mutates.  ``harvested``/``leakage``/clip counters are
+            write-only until the mission ends — see ``sync_final``."""
+            lane.t = float(t[p])
+            lane.v = float(v[p])
+            lane.downtime = float(downtime[p])
+            lane.energies["node"] = float(e_node[p])
+            lane.energies["tuning"] = float(e_tune[p])
+
+        def sync_final(p: int, lane: _Lane) -> None:
+            lane.energies["harvested"] = float(e_harv[p])
+            lane.energies["leakage"] = float(e_leak[p])
+            lane.counters["overvoltage_clips"] = float(ov_clips[p])
+
+        def refresh_static(p: int, lane: _Lane) -> None:
+            """(Re)resolve a static lane's constant operating point."""
+            f_dom, amp, g = lane.sample_operating_point(lane.t)
+            op_f[p], op_a[p], op_g[p] = f_dom, amp, g
+            entry = lane.map.resolve(f_dom, amp, g)
+            entries[p] = entry
+            grid_lo[p] = entry[0][0]
+            grid_hi[p] = entry[0][-1]
+
+        dynamic_exists = bool(nonstationary.any())
+        for p, lane in enumerate(active):
+            refresh_static(p, lane)
+
+        while active:
+            if tick is not None:
+                tick()
+            h = np.minimum(dt_max, t_next - t)
+            t_mid = t + 0.5 * h
+            # Dynamic lanes: drifting source or mid-actuation gap —
+            # their operating point depends on this step's midpoint.
+            if dynamic_exists or moving.any():
+                for p in np.flatnonzero(moving | nonstationary):
+                    lane = active[p]
+                    f_dom, amp, g = lane.sample_operating_point(
+                        float(t_mid[p])
+                    )
+                    if f_dom != op_f[p] or amp != op_a[p] or g != op_g[p]:
+                        op_f[p], op_a[p], op_g[p] = f_dom, amp, g
+                        entry = lane.map.resolve(f_dom, amp, g)
+                        entries[p] = entry
+                        grid_lo[p] = entry[0][0]
+                        grid_hi[p] = entry[0][-1]
+                        groups_dirty = True
+            if groups_dirty:
+                by_grid: dict[int, list[int]] = {}
+                grids: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+                for p, entry in enumerate(entries):
+                    key = id(entry)
+                    by_grid.setdefault(key, []).append(p)
+                    grids[key] = entry
+                if len(by_grid) == 1:
+                    entry = next(iter(grids.values()))
+                    groups = [(entry[0], entry[1], None)]
+                else:
+                    groups = [
+                        (grids[key][0], grids[key][1], np.array(members))
+                        for key, members in by_grid.items()
+                    ]
+                groups_dirty = False
+
+            # ---- RK2 midpoint step, expression for expression the
+            # ---- scalar engine's ----------------------------------
+            p_rail = np.where(enabled & has_node, sleep_power, 0.0) + np.where(
+                moving, moving_power, 0.0
+            )
+            i_in = np.where(
+                enabled,
+                p_rail / (eta * np.maximum(v, vbrown)) + iq,
+                0.0,
+            )
+            vq = np.minimum(np.maximum(v, grid_lo), grid_hi)
+            if len(groups) == 1:
+                v_grid, i_grid, _ = groups[0]
+                i_chg1 = np.interp(vq, v_grid, i_grid)
+            else:
+                i_chg1 = np.empty(len(active))
+                for v_grid, i_grid, members in groups:
+                    i_chg1[members] = np.interp(vq[members], v_grid, i_grid)
+            k1 = (i_chg1 - v / r_leak - i_in) / cap
+            v_mid = np.maximum(v + 0.5 * h * k1, 0.0)
+            vq_mid = np.minimum(np.maximum(v_mid, grid_lo), grid_hi)
+            if len(groups) == 1:
+                v_grid, i_grid, _ = groups[0]
+                i_chg2 = np.interp(vq_mid, v_grid, i_grid)
+            else:
+                i_chg2 = np.empty(len(active))
+                for v_grid, i_grid, members in groups:
+                    i_chg2[members] = np.interp(
+                        vq_mid[members], v_grid, i_grid
+                    )
+            k2 = (i_chg2 - v_mid / r_leak - i_in) / cap
+            v_new = v + h * k2
+            clip = v_new > v_rated
+            if clip.any():
+                ov_clips += np.where(clip, 1.0, 0.0)
+                v_new = np.where(clip, v_rated, v_new)
+            v_new = np.maximum(v_new, 0.0)
+            # Energy ledger at the midpoint operating point.  The
+            # scalar engine re-queries the map at (v_mid, f, a, g) for
+            # i_chg_mid — the identical call that produced k2's
+            # charging current, so its value is reused, bit for bit.
+            e_harv += i_chg2 * v_mid * h
+            e_leak += (v_mid**2 / r_leak) * h
+            rail_energy = i_in * v_mid * h
+            if moving.any():
+                e_node += np.where(moving, 0.0, rail_energy)
+                for p in np.flatnonzero(moving):
+                    lane = active[p]
+                    p_rail_p = float(p_rail[p])
+                    rail_p = float(rail_energy[p])
+                    if p_rail_p > 0.0:
+                        motor_share = (
+                            lane.harvester.actuator.moving_power / p_rail_p
+                        )
+                        e_tune[p] += rail_p * motor_share
+                        e_node[p] += rail_p * (1.0 - motor_share)
+                    else:
+                        e_node[p] += rail_p
+            else:
+                e_node += rail_energy
+            v = v_new
+            t = t + h
+            downtime += np.where(enabled, 0.0, h)
+            # ---- regulator state machine (scalar on mask hits) ----
+            for p in np.flatnonzero(
+                (enabled & (v < vbrown)) | (~enabled & (v >= vrestart))
+            ):
+                lane = active[p]
+                sync_pos(p, lane)
+                had_actuation = lane.actuation is not None
+                lane.regulator_step()
+                enabled[p] = lane.enabled
+                if had_actuation and lane.actuation is None:
+                    # Brownout aborted the retune: the gap froze where
+                    # the trajectory stood, a new resting grid governs.
+                    moving[p] = False
+                    act_done[p] = math.inf
+                    refresh_static(p, lane)
+                    groups_dirty = True
+            # ---- actuation completion -----------------------------
+            if moving.any():
+                for p in np.flatnonzero(moving & (t >= act_done - _EPS)):
+                    lane = active[p]
+                    sync_pos(p, lane)
+                    lane.actuation_step()
+                    if lane.actuation is None:
+                        moving[p] = False
+                        act_done[p] = math.inf
+                        refresh_static(p, lane)
+                        groups_dirty = True
+            # ---- segment boundaries -------------------------------
+            # Operating points need no re-check here: events move
+            # ``v`` and book energy but never change the resting gap;
+            # an actuation they *start* flips ``moving``, which routes
+            # the lane through the dynamic refresh next round.
+            done_positions: list[int] = []
+            for p in np.flatnonzero(t >= t_next - _EPS):
+                lane = active[p]
+                sync_boundary(p, lane)
+                lane.post_segment()
+                lane.advance_segments()
+                if lane.finished:
+                    sync_final(p, lane)
+                    done_positions.append(int(p))
+                    continue
+                v[p] = lane.v
+                t_next[p] = lane.t_next
+                e_node[p] = lane.energies["node"]
+                e_tune[p] = lane.energies["tuning"]
+                act = lane.actuation
+                moving[p] = act is not None
+                act_done[p] = act.t_done if act is not None else math.inf
+            if done_positions:
+                keep = np.ones(len(active), dtype=bool)
+                keep[done_positions] = False
+                active = [
+                    lane for p, lane in enumerate(active) if keep[p]
+                ]
+                entries = [e for p, e in enumerate(entries) if keep[p]]
+                (
+                    cap, r_leak, v_rated, vbrown, vrestart, eta, iq,
+                    sleep_power, has_node, moving_power, nonstationary,
+                    t, v, t_next, enabled, moving, act_done, downtime,
+                    e_harv, e_node, e_tune, e_leak, ov_clips,
+                    op_f, op_a, op_g, grid_lo, grid_hi,
+                ) = (
+                    arr[keep]
+                    for arr in (
+                        cap, r_leak, v_rated, vbrown, vrestart, eta, iq,
+                        sleep_power, has_node, moving_power, nonstationary,
+                        t, v, t_next, enabled, moving, act_done, downtime,
+                        e_harv, e_node, e_tune, e_leak, ov_clips,
+                        op_f, op_a, op_g, grid_lo, grid_hi,
+                    )
+                )
+                dynamic_exists = bool(nonstationary.any())
+                groups_dirty = True
+
+        wall = time.perf_counter() - started
+        share = wall / n_total
+        return [lane.result(share) for lane in lanes]
+
+
+def simulate_batch(
+    configs: list[SystemConfig] | tuple[SystemConfig, ...],
+    t_end: float,
+    options: EnvelopeOptions | None = None,
+    record_dt: float = 1.0,
+    tick=None,
+) -> list[SimulationResult]:
+    """Run a batch of envelope missions in lockstep; see
+    :class:`EnvelopeBatchEngine`."""
+    return EnvelopeBatchEngine(configs, options).run(
+        t_end, record_dt=record_dt, tick=tick
+    )

@@ -24,8 +24,10 @@ the full-fidelity engines on overlapping horizons.
 
 from __future__ import annotations
 
+import hashlib
 import math
 import time
+from collections import OrderedDict
 from dataclasses import dataclass
 
 import numpy as np
@@ -39,16 +41,21 @@ from repro.sim.system import SystemConfig, SystemModel
 from repro.sim.traces import TraceRecorder
 from repro.vibration.sources import SineVibration
 
-#: Global cross-mission cache of charging-current grids.  Keyed by the
-#: full physical identity of the electrical path *except* the bulk
-#: storage capacitance (the store behaves as a voltage source on the
-#: fast time scale, so C_store does not influence the average charging
-#: current — property-tested).  Grid contents are measured on a
-#: circuit rebuilt around :data:`MAP_CANONICAL_CAPACITANCE`, so each
-#: grid is a pure function of its key — independent processes
-#: (distributed workers, spawn pools) build bit-identical grids no
-#: matter which design point misses the cache first.
-_GLOBAL_MAP_CACHE: dict[tuple, tuple[np.ndarray, np.ndarray]] = {}
+#: Global cross-mission cache of charging-current grids.  Keyed by a
+#: deterministic fingerprint of the full physical identity of the
+#: electrical path *except* the bulk storage capacitance (the store
+#: behaves as a voltage source on the fast time scale, so C_store does
+#: not influence the average charging current — property-tested).
+#: Grid contents are measured on a circuit rebuilt around
+#: :data:`MAP_CANONICAL_CAPACITANCE`, so each grid is a pure function
+#: of its key — independent processes (distributed workers, spawn
+#: pools) build bit-identical grids no matter which design point
+#: misses the cache first.  Ordered for LRU eviction: the cache is
+#: bounded (:func:`set_charging_cache_limit`) so long-lived warm
+#: workers sweeping many scenarios cannot leak grids without bound.
+_GLOBAL_MAP_CACHE: OrderedDict[str, tuple[np.ndarray, np.ndarray]] = (
+    OrderedDict()
+)
 
 #: Storage capacitance every charging-map measurement runs with,
 #: farads (the canonical supercap's nominal value).  Any fixed value
@@ -56,17 +63,49 @@ _GLOBAL_MAP_CACHE: dict[tuple, tuple[np.ndarray, np.ndarray]] = {}
 #: value, or grids become history-dependent.
 MAP_CANONICAL_CAPACITANCE = 0.40
 
+#: Default LRU bound on :data:`_GLOBAL_MAP_CACHE` entries.  Each grid
+#: is two small arrays (~hundreds of bytes), so this is generous for
+#: any single study while keeping a worker that sweeps scenarios for
+#: days at a bounded footprint.
+MAP_CACHE_MAX_ENTRIES = 256
+
+#: Store fingerprints of persisted charging maps carry this prefix so
+#: they are recognizable next to evaluation-result entries.
+MAP_STORE_PREFIX = "charging-map:"
+
+_map_cache_limit = MAP_CACHE_MAX_ENTRIES
+
 #: Lookup accounting for the global grid cache (benchmarks and the
 #: study reports surface these; forked workers inherit the parent's
-#: counters but their increments stay in the child).
-_GLOBAL_MAP_STATS = {"hits": 0, "misses": 0}
+#: counters but their increments stay in the child).  ``hits`` /
+#: ``misses`` count global-cache lookups (per-map memoization answers
+#: repeated operating points before they reach the global cache);
+#: a miss is then satisfied either by ``loaded`` (fetched from the
+#: attached map store) or ``built`` (measured locally, and
+#: ``published`` to the store when one is attached); ``evictions``
+#: counts LRU drops.
+_GLOBAL_MAP_STATS = {
+    "hits": 0,
+    "misses": 0,
+    "built": 0,
+    "loaded": 0,
+    "published": 0,
+    "evictions": 0,
+}
+
+#: Optional persistence provider for charging-map grids: any object
+#: with ``peek(fingerprint) -> dict | None`` and
+#: ``persist(fingerprint, dict)`` (the
+#: :class:`repro.exec.store.CacheStore` surface, held structurally so
+#: the sim layer stays import-free of the exec layer).
+_MAP_STORE = None
 
 
 def clear_charging_cache() -> None:
     """Drop all cached charging-current grids (tests use this)."""
     _GLOBAL_MAP_CACHE.clear()
-    _GLOBAL_MAP_STATS["hits"] = 0
-    _GLOBAL_MAP_STATS["misses"] = 0
+    for name in _GLOBAL_MAP_STATS:
+        _GLOBAL_MAP_STATS[name] = 0
 
 
 def charging_cache_size() -> int:
@@ -75,8 +114,147 @@ def charging_cache_size() -> int:
 
 
 def charging_cache_stats() -> dict[str, int]:
-    """Grid-cache lookup counters: {'hits': ..., 'misses': ...}."""
-    return dict(_GLOBAL_MAP_STATS)
+    """Grid-cache counters (hits/misses/built/loaded/published/
+    evictions) plus the current ``size``."""
+    stats = dict(_GLOBAL_MAP_STATS)
+    stats["size"] = len(_GLOBAL_MAP_CACHE)
+    return stats
+
+
+def set_charging_cache_limit(limit: int) -> int:
+    """Set the LRU bound on cached grids; returns the previous bound.
+
+    Lowering the bound evicts immediately (oldest first)."""
+    if limit < 1:
+        raise SimulationError(
+            f"charging-cache limit must be >= 1, got {limit}"
+        )
+    global _map_cache_limit
+    previous = _map_cache_limit
+    _map_cache_limit = int(limit)
+    while len(_GLOBAL_MAP_CACHE) > _map_cache_limit:
+        _GLOBAL_MAP_CACHE.popitem(last=False)
+        _GLOBAL_MAP_STATS["evictions"] += 1
+    return previous
+
+
+def _cache_insert(
+    fingerprint: str, entry: tuple[np.ndarray, np.ndarray]
+) -> None:
+    _GLOBAL_MAP_CACHE[fingerprint] = entry
+    _GLOBAL_MAP_CACHE.move_to_end(fingerprint)
+    while len(_GLOBAL_MAP_CACHE) > _map_cache_limit:
+        _GLOBAL_MAP_CACHE.popitem(last=False)
+        _GLOBAL_MAP_STATS["evictions"] += 1
+
+
+def map_store_fingerprint(key: tuple) -> str:
+    """Deterministic store fingerprint of a grid's structured key.
+
+    The key is primitives only (floats, ints, strings, None, nested
+    tuples), and ``repr`` of a float is its shortest round-tripping
+    form, so the digest is stable across processes and sessions for
+    bit-identical keys — the property the whole fleet-shared map
+    store rests on."""
+    digest = hashlib.sha256(repr(key).encode("utf-8")).hexdigest()
+    return MAP_STORE_PREFIX + digest
+
+
+def attach_map_store(store) -> None:
+    """Persist charging-map grids through ``store`` from now on.
+
+    Grids measured after this call are published to the store, and
+    global-cache misses consult the store before re-measuring — a
+    fleet sharing one store pays each grid's ~seconds measurement
+    once, ever, instead of once per process.  Safe because grids are
+    pure functions of their fingerprinted key (see
+    :data:`_GLOBAL_MAP_CACHE`).  ``store`` needs only
+    ``peek``/``persist`` of ``dict[str, float]`` blobs.  One provider
+    is active at a time; the last attach wins."""
+    global _MAP_STORE
+    _MAP_STORE = store
+
+
+def detach_map_store() -> None:
+    """Stop persisting charging maps (tests and shutdown paths)."""
+    global _MAP_STORE
+    _MAP_STORE = None
+
+
+def preload_charging_maps(store) -> int:
+    """Load every persisted grid from ``store`` into the global cache.
+
+    Returns the number of grids loaded.  A warm-worker parent calls
+    this once before forking so every child is born with the fleet's
+    full map inventory in inherited memory."""
+    loaded = 0
+    for fingerprint, blob in store.items():
+        if not str(fingerprint).startswith(MAP_STORE_PREFIX):
+            continue
+        entry = _decode_grid(blob)
+        if entry is None or fingerprint in _GLOBAL_MAP_CACHE:
+            continue
+        _cache_insert(fingerprint, entry)
+        _GLOBAL_MAP_STATS["loaded"] += 1
+        loaded += 1
+    return loaded
+
+
+def _encode_grid(entry: tuple[np.ndarray, np.ndarray]) -> dict[str, float]:
+    """A grid as the store's ``dict[str, float]`` blob shape.
+
+    JSON's shortest float repr round-trips ``float64`` bit-exactly,
+    so a grid fetched back from any store is the grid that was
+    published."""
+    v_grid, i_grid = entry
+    blob: dict[str, float] = {"n": float(len(v_grid))}
+    for index in range(len(v_grid)):
+        blob[f"v{index}"] = float(v_grid[index])
+        blob[f"i{index}"] = float(i_grid[index])
+    return blob
+
+
+def _decode_grid(blob) -> tuple[np.ndarray, np.ndarray] | None:
+    """Inverse of :func:`_encode_grid`; None when malformed (a
+    corrupt or foreign entry must fall back to measuring, never
+    crash the mission)."""
+    try:
+        n = int(blob["n"])
+        if n < 2:
+            return None
+        v_grid = np.array([float(blob[f"v{k}"]) for k in range(n)])
+        i_grid = np.array([float(blob[f"i{k}"]) for k in range(n)])
+    except (KeyError, TypeError, ValueError):
+        return None
+    return (v_grid, i_grid)
+
+
+def _store_fetch(fingerprint: str) -> tuple[np.ndarray, np.ndarray] | None:
+    if _MAP_STORE is None:
+        return None
+    try:
+        blob = _MAP_STORE.peek(fingerprint)
+    # Best-effort fetch: an unreadable store means the grid is simply
+    # measured locally, exactly as with no store attached.
+    except Exception:
+        return None
+    if blob is None:
+        return None
+    return _decode_grid(blob)
+
+
+def _store_publish(
+    fingerprint: str, entry: tuple[np.ndarray, np.ndarray]
+) -> None:
+    if _MAP_STORE is None:
+        return
+    try:
+        _MAP_STORE.persist(fingerprint, _encode_grid(entry))
+        _GLOBAL_MAP_STATS["published"] += 1
+    # Best-effort publish: a failed persist only costs the fleet a
+    # re-measurement elsewhere, never the mission.
+    except Exception:
+        pass
 
 
 @dataclass
@@ -161,6 +339,17 @@ class ChargingMap:
         self._v_grid = np.linspace(0.0, supercap.v_rated, options.map_v_points)
         self._map_power, self._map_supercap = self._canonical_power()
         self._physics_key = self._make_physics_key()
+        # Operating-point memoization: a mission mostly queries the
+        # map at a handful of exact (frequency, amplitude, gap)
+        # triples (constant-tone sources: exactly one), yet each
+        # ``current`` call used to re-run the binning and the
+        # resonance/gap root-finds — ~75% of a warm mission's wall
+        # time.  Both memos hold references into the global grid
+        # cache, so repeated triples resolve in one dict lookup.
+        self._resolve_memo: dict[
+            tuple[float, float, float], tuple[np.ndarray, np.ndarray]
+        ] = {}
+        self._tail_memo: dict[tuple, tuple[np.ndarray, np.ndarray]] = {}
 
     def _canonical_power(self):
         """The circuit map points are measured on: the mission's
@@ -262,6 +451,25 @@ class ChargingMap:
         self, v_store: float, frequency: float, amplitude: float, gap: float
     ) -> float:
         """Interpolated average charging current at this operating point, A."""
+        v_grid, i_grid = self.resolve(frequency, amplitude, gap)
+        v = min(max(v_store, v_grid[0]), v_grid[-1])
+        return float(np.interp(v, v_grid, i_grid))
+
+    def resolve(
+        self, frequency: float, amplitude: float, gap: float
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """The (v_grid, i_grid) arrays governing this operating point.
+
+        Pure and memoized on the exact argument triple: repeated
+        queries (every step of a constant-tone mission) cost one dict
+        lookup instead of re-running the binning and the resonance /
+        gap root-finds.  The batched engine groups lanes by the
+        *identity* of the returned arrays, so lanes sharing a grid
+        share one vectorized interpolation."""
+        memo_key = (frequency, amplitude, gap)
+        entry = self._resolve_memo.get(memo_key)
+        if entry is not None:
+            return entry
         opt = self.options
         a_bin = round(amplitude / opt.amp_quantum) * opt.amp_quantum
         if opt.map_key_mode == "mismatch":
@@ -286,24 +494,41 @@ class ChargingMap:
             key_tail = ("absolute", f_bin, a_bin, g_bin)
             f_rep = f_bin
             gap_rep = g_bin
-        v_grid, i_grid = self._grid_for(key_tail, f_rep, a_bin, gap_rep)
-        v = min(max(v_store, v_grid[0]), v_grid[-1])
-        return float(np.interp(v, v_grid, i_grid))
+        entry = self._tail_memo.get(key_tail)
+        if entry is None:
+            entry = self._grid_for(key_tail, f_rep, a_bin, gap_rep)
+            self._tail_memo[key_tail] = entry
+        if len(self._resolve_memo) >= 8192:
+            # Drift missions produce a fresh triple per step; the memo
+            # must not outgrow the mission it serves.
+            self._resolve_memo.clear()
+        self._resolve_memo[memo_key] = entry
+        return entry
 
     def _grid_for(
         self, key_tail: tuple, f_rep: float, a_bin: float, gap_rep: float
     ) -> tuple[np.ndarray, np.ndarray]:
-        key = (self._physics_key, key_tail)
-        hit = _GLOBAL_MAP_CACHE.get(key)
+        fingerprint = map_store_fingerprint((self._physics_key, key_tail))
+        hit = _GLOBAL_MAP_CACHE.get(fingerprint)
         if hit is not None:
             _GLOBAL_MAP_STATS["hits"] += 1
+            _GLOBAL_MAP_CACHE.move_to_end(fingerprint)
             return hit
         _GLOBAL_MAP_STATS["misses"] += 1
-        currents = np.array(
-            [self._measure(float(v), f_rep, a_bin, gap_rep) for v in self._v_grid]
-        )
-        entry = (self._v_grid.copy(), currents)
-        _GLOBAL_MAP_CACHE[key] = entry
+        entry = _store_fetch(fingerprint)
+        if entry is not None:
+            _GLOBAL_MAP_STATS["loaded"] += 1
+        else:
+            currents = np.array(
+                [
+                    self._measure(float(v), f_rep, a_bin, gap_rep)
+                    for v in self._v_grid
+                ]
+            )
+            entry = (self._v_grid.copy(), currents)
+            _GLOBAL_MAP_STATS["built"] += 1
+            _store_publish(fingerprint, entry)
+        _cache_insert(fingerprint, entry)
         return entry
 
     def _measure(

@@ -102,6 +102,17 @@ class TraceRecorder:
         self._next_time = t + self._record_dt
         return True
 
+    def row_appenders(self):
+        """C-level append hooks for trusted per-step record paths.
+
+        Returns ``(time_append, [channel_appends...])`` (channel order
+        as declared).  Callers take over :meth:`offer_row`'s contract:
+        monotonic times, one float per channel, every channel appended
+        per row.  The batched envelope engine records ~1e5 rows per
+        batch; skipping the per-row validation is worth it there.
+        """
+        return self._time.append, [col.append for col in self._columns]
+
     def log_event(self, t: float, kind: str, info: str = "") -> None:
         """Append to the free-form event log."""
         self._events.append((t, kind, info))

@@ -258,6 +258,165 @@ class TestWorkerLoop:
             Worker(store, queue, synthetic_evaluate, batch=0)
 
 
+class _EpochClock:
+    """A settable ``time.time`` stand-in anchored to real epoch time."""
+
+    def __init__(self):
+        self._now = time.time()
+
+    def now(self):
+        return self._now
+
+    def advance(self, seconds):
+        self._now += seconds
+
+
+class TestLeaseHeartbeat:
+    """A working worker's leases must outlive a slow batch.
+
+    Regression: jobs were completed only at batch end with no
+    heartbeat in between, so a batch slower than the lease TTL was
+    reclaimed mid-flight — a second worker re-leased and re-evaluated
+    points the first worker was actively integrating.
+    """
+
+    def test_lease_survives_batch_slower_than_ttl(self, tmp_path):
+        store, queue = _substrate(tmp_path)
+        jobs = _jobs(4)
+        queue.submit(jobs)
+        ttl = 10.0
+        clock = _EpochClock()
+        stolen = []
+
+        def slow_batch(points, progress=None):
+            # Each point takes 0.6 TTL: the whole batch takes 2.4x
+            # the TTL.  A rival tries to lease after every point;
+            # with heartbeats riding the progress hook it must never
+            # get anything.
+            out = []
+            for point in points:
+                clock.advance(0.6 * ttl)
+                if progress is not None:
+                    progress()
+                stolen.extend(
+                    queue.lease(
+                        "rival", n=8, lease_seconds=ttl, now=clock.now()
+                    )
+                )
+                out.append((synthetic_evaluate(point), 0.0))
+            return out
+
+        report = Worker(
+            store,
+            queue,
+            synthetic_evaluate,
+            batch_evaluate=slow_batch,
+            batch=4,
+            lease_seconds=ttl,
+            clock=clock.now,
+            max_jobs=4,
+        ).run()
+        assert stolen == []
+        assert report.jobs_completed == 4
+        for job in jobs:
+            record = queue.job(job.job_id)
+            assert record.status == "done"
+            assert record.attempts == 1
+
+    def test_per_point_path_heartbeats_between_points(self, tmp_path):
+        store, queue = _substrate(tmp_path)
+        jobs = _jobs(3)
+        queue.submit(jobs)
+        ttl = 10.0
+        clock = _EpochClock()
+
+        def slow_evaluate(point):
+            clock.advance(0.6 * ttl)
+            return synthetic_evaluate(point)
+
+        report = Worker(
+            store,
+            queue,
+            slow_evaluate,
+            batch=3,
+            lease_seconds=ttl,
+            clock=clock.now,
+            max_jobs=3,
+        ).run()
+        assert report.jobs_completed == 3
+        for job in jobs:
+            record = queue.job(job.job_id)
+            assert record.status == "done"
+            assert record.attempts == 1
+
+    def test_heartbeat_is_throttled(self, tmp_path):
+        store, queue = _substrate(tmp_path)
+        queue.submit(_jobs(4))
+        clock = _EpochClock()
+        beats = []
+        real_heartbeat = queue.heartbeat
+
+        def counting_heartbeat(*args, **kwargs):
+            beats.append(kwargs.get("now"))
+            return real_heartbeat(*args, **kwargs)
+
+        queue.heartbeat = counting_heartbeat
+        Worker(
+            store,
+            queue,
+            synthetic_evaluate,
+            batch=4,
+            lease_seconds=60.0,
+            clock=clock.now,
+            max_jobs=4,
+        ).run()
+        # Four instant points, fresh lease: no interval ever elapses.
+        assert beats == []
+
+
+class TestThrottleBeforeLease:
+    """``--throttle`` must sleep *before* leasing, not after.
+
+    Regression: the sleep sat between ``lease()`` and the evaluation,
+    burning lease TTL doing nothing — with a throttle longer than the
+    TTL, every lease expired before its batch started and rival
+    workers (or the reclaimer) stole jobs from a perfectly healthy
+    worker.
+    """
+
+    def test_throttled_leases_are_never_reclaimed(self, tmp_path):
+        store, queue = _substrate(tmp_path)
+        jobs = _jobs(2)
+        queue.submit(jobs)
+        ttl = 0.5
+        stolen = []
+
+        def spying_evaluate(point):
+            # Runs right after the lease.  Had the 0.8s throttle
+            # burned the 0.5s TTL first, this rival lease would
+            # reclaim the whole batch.
+            stolen.extend(
+                queue.lease("rival", n=8, lease_seconds=60.0)
+            )
+            return synthetic_evaluate(point)
+
+        report = Worker(
+            store,
+            queue,
+            spying_evaluate,
+            batch=2,
+            lease_seconds=ttl,
+            throttle=0.8,
+            max_jobs=2,
+        ).run()
+        assert stolen == []
+        assert report.jobs_completed == 2
+        for job in jobs:
+            record = queue.job(job.job_id)
+            assert record.status == "done"
+            assert record.attempts == 1
+
+
 class TestWorkerCli:
     def test_main_drains_in_process(self, tmp_path, capsys):
         store, queue = _substrate(tmp_path)

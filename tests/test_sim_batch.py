@@ -1,0 +1,201 @@
+"""Batched envelope integration: bit-identity against the scalar engine.
+
+The batched core's whole contract is that vectorizing over the batch
+axis changes *nothing*: every trace sample, event, counter and energy
+ledger entry must equal the per-point :class:`EnvelopeEngine`'s output
+exactly — no tolerance.  These tests sweep the state machine's
+branches (brownout/restart, retuning actuation, both rectifier
+topologies, drifting and stepped sources) under both map key modes so
+the identity is pinned where it is hardest to keep, not just on the
+easy stationary path.
+"""
+
+import dataclasses
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.presets import default_harvester, default_system
+from repro.sim import EnvelopeBatchEngine, simulate_batch
+from repro.sim.envelope import (
+    EnvelopeEngine,
+    EnvelopeOptions,
+    charging_cache_stats,
+    clear_charging_cache,
+)
+from repro.vibration.sources import (
+    DriftingSineVibration,
+    SineVibration,
+    SteppedFrequencyVibration,
+)
+
+TESTS_DIR = Path(__file__).resolve().parent
+SRC_DIR = TESTS_DIR.parent / "src"
+
+#: Very fast map options: bit-identity does not depend on map
+#: fidelity, so these are cut harder than test_sim_envelope.FAST —
+#: the suite sweeps 7 scenarios x 2 key modes x 2 engines.
+FAST = EnvelopeOptions(
+    map_v_points=3,
+    map_nr_warmup_cycles=3,
+    map_warmup_cycles=6,
+    map_measure_cycles=4,
+    map_max_blocks=2,
+    map_steps_per_period=60,
+    # Coarse cache bins: a drifting source then shares a handful of
+    # grids instead of building one per 0.25 Hz of drift.
+    freq_quantum=2.0,
+    resonance_quantum=4.0,
+    gap_quantum=1.0e-3,
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_charging_cache()
+    yield
+    clear_charging_cache()
+
+
+def _scenario_factories(harvester):
+    """Fresh-config factories covering the engine's branch space.
+
+    Each call builds a *new* config (the engines mutate node and
+    controller state); the harvester is deliberately shared — that is
+    the toolkit's production aliasing pattern.
+    """
+    return [
+        # Plain stationary mission on the bridge rectifier.
+        lambda: default_system(harvester=harvester),
+        # Cold start: brownout then regulator restart.
+        lambda: default_system(v_initial=1.0, harvester=harvester),
+        # Aggressive transmit schedule: overdraw dips.
+        lambda: default_system(
+            capacitance=0.15,
+            tx_interval=3.0,
+            payload_bits=1024,
+            harvester=harvester,
+        ),
+        # Drifting excitation: dynamic map lookups and retunes.
+        lambda: default_system(
+            vibration=DriftingSineVibration(2.5, 64.0, 68.0, 0.01),
+            check_interval=60.0,
+            harvester=harvester,
+        ),
+        # Stepped excitation: discontinuous operating points.
+        lambda: default_system(
+            vibration=SteppedFrequencyVibration(
+                2.5, steps=((0.0, 62.0), (150.0, 70.0), (300.0, 66.0))
+            ),
+            check_interval=60.0,
+            harvester=harvester,
+        ),
+        # Voltage-multiplier topology (Newton-mapped grids).
+        lambda: default_system(
+            topology="multiplier", n_stages=1, harvester=harvester
+        ),
+        # Detuned stationary source: the controller must retune.
+        lambda: default_system(
+            vibration=SineVibration(2.5, 71.0),
+            check_interval=60.0,
+            harvester=harvester,
+        ),
+    ]
+
+
+def _assert_identical(batch_result, scalar_result):
+    assert batch_result.engine == scalar_result.engine
+    assert batch_result.t_end == scalar_result.t_end
+    assert set(batch_result.traces) == set(scalar_result.traces)
+    for name, expected in scalar_result.traces.items():
+        got = batch_result.traces[name]
+        assert got.shape == expected.shape, name
+        assert np.array_equal(got, expected), name
+    assert batch_result.events == scalar_result.events
+    assert batch_result.counters == scalar_result.counters
+    assert batch_result.energies == scalar_result.energies
+    assert batch_result.downtime == scalar_result.downtime
+    assert batch_result.meta == scalar_result.meta
+
+
+class TestBatchBitIdentity:
+    @pytest.mark.parametrize("key_mode", ["mismatch", "absolute"])
+    def test_batch_matches_per_point_exactly(self, key_mode):
+        options = dataclasses.replace(FAST, map_key_mode=key_mode)
+        t_end = 300.0
+        harvester = default_harvester()
+        factories = _scenario_factories(harvester)
+
+        batch_results = simulate_batch(
+            [make() for make in factories], t_end, options=options
+        )
+        for make, batch_result in zip(factories, batch_results):
+            scalar_result = EnvelopeEngine(make(), options).run(t_end)
+            _assert_identical(batch_result, scalar_result)
+
+    def test_batch_of_one_matches(self):
+        harvester = default_harvester()
+        [batch_result] = simulate_batch(
+            [default_system(harvester=harvester)], 200.0, options=FAST
+        )
+        scalar_result = EnvelopeEngine(
+            default_system(harvester=harvester), FAST
+        ).run(200.0)
+        _assert_identical(batch_result, scalar_result)
+
+    def test_result_order_follows_config_order(self):
+        harvester = default_harvester()
+        configs = [
+            default_system(tx_interval=4.0, harvester=harvester),
+            default_system(tx_interval=20.0, harvester=harvester),
+        ]
+        fast, slow = simulate_batch(configs, 300.0, options=FAST)
+        # More frequent transmissions must deliver more packets.
+        assert (
+            fast.counters["packets_delivered"]
+            > slow.counters["packets_delivered"]
+        )
+
+    def test_tick_callback_fires(self):
+        harvester = default_harvester()
+        ticks = []
+        simulate_batch(
+            [default_system(harvester=harvester)] * 0
+            + [
+                default_system(harvester=harvester),
+                default_system(tx_interval=5.0, harvester=harvester),
+            ],
+            100.0,
+            options=FAST,
+            tick=lambda: ticks.append(1),
+        )
+        assert len(ticks) > 0
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(SimulationError):
+            EnvelopeBatchEngine([])
+
+    def test_shared_mutable_parts_rejected(self):
+        harvester = default_harvester()
+        config = default_system(harvester=harvester)
+        with pytest.raises(SimulationError):
+            simulate_batch([config, config], 100.0, options=FAST)
+
+
+class TestBatchMapSharing:
+    def test_identical_points_share_grids(self):
+        harvester = default_harvester()
+        configs = [
+            default_system(capacitance=c, harvester=harvester)
+            for c in (0.2, 0.4, 0.8)
+        ]
+        simulate_batch(configs, 120.0, options=FAST)
+        # Storage capacitance is not part of the map key: one grid
+        # serves the whole batch (the single-group interp fast path).
+        stats = charging_cache_stats()
+        assert stats["built"] == stats["size"]
+        assert stats["size"] <= 2

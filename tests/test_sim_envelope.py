@@ -235,3 +235,169 @@ class TestChargingMapDeterminism:
         self._evaluate(0.90, 5.0, "y")
         # A different store capacitance reuses the canonical grids.
         assert charging_cache_size() == grids_after_first
+
+
+class TestMapStorePersistence:
+    """Charging-map grids persist through a CacheStore.
+
+    A fleet sharing one store pays each grid's measurement once,
+    ever: the first process to miss a key publishes the grid, every
+    later process (or restart) loads it back bit-exactly instead of
+    re-measuring.
+    """
+
+    def _mission(self):
+        return simulate(
+            default_system(),
+            MissionConfig(t_end=120.0, engine="envelope", envelope=FAST),
+        )
+
+    def test_grids_roundtrip_and_warm_start(self, tmp_path):
+        from repro.exec.store import FileStore
+        from repro.sim.envelope import (
+            attach_map_store,
+            charging_cache_stats,
+            detach_map_store,
+        )
+
+        store = FileStore(tmp_path / "maps")
+        attach_map_store(store)
+        try:
+            first = self._mission()
+            stats = charging_cache_stats()
+            assert stats["built"] >= 1
+            assert stats["published"] == stats["built"]
+
+            # Same process, cold cache: every grid comes back from
+            # the store, none is re-measured, and the mission is
+            # bit-identical.
+            clear_charging_cache()
+            second = self._mission()
+            stats = charging_cache_stats()
+            assert stats["built"] == 0
+            assert stats["loaded"] >= 1
+            assert np.array_equal(
+                first.traces["v_store"], second.traces["v_store"]
+            )
+            assert first.energies == second.energies
+        finally:
+            detach_map_store()
+            store.close()
+
+    def test_preload_loads_every_persisted_grid(self, tmp_path):
+        from repro.exec.store import FileStore
+        from repro.sim.envelope import (
+            attach_map_store,
+            charging_cache_stats,
+            detach_map_store,
+            preload_charging_maps,
+        )
+
+        store = FileStore(tmp_path / "maps")
+        attach_map_store(store)
+        try:
+            self._mission()
+            built = charging_cache_stats()["built"]
+            clear_charging_cache()
+            loaded = preload_charging_maps(store)
+            assert loaded == built
+            assert charging_cache_size() == built
+            # The warm cache answers the mission without the store.
+            detach_map_store()
+            self._mission()
+            assert charging_cache_stats()["built"] == 0
+        finally:
+            detach_map_store()
+            store.close()
+
+    def test_fresh_process_builds_zero_grids(self, tmp_path):
+        import json
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        from repro.exec.store import FileStore
+        from repro.sim.envelope import attach_map_store, detach_map_store
+
+        store = FileStore(tmp_path / "maps")
+        attach_map_store(store)
+        try:
+            self._mission()
+        finally:
+            detach_map_store()
+            store.close()
+
+        src = Path(__file__).resolve().parent.parent / "src"
+        child = subprocess.run(
+            [
+                sys.executable,
+                "-c",
+                (
+                    "import json, sys\n"
+                    f"sys.path.insert(0, {str(src)!r})\n"
+                    "from repro.exec.store import FileStore\n"
+                    "from repro.presets import default_system\n"
+                    "from repro.sim.envelope import (EnvelopeOptions,\n"
+                    "    attach_map_store, charging_cache_stats)\n"
+                    "from repro.sim.runner import MissionConfig, simulate\n"
+                    f"store = FileStore({str(tmp_path / 'maps')!r})\n"
+                    "attach_map_store(store)\n"
+                    "opts = EnvelopeOptions(map_v_points=4,\n"
+                    "    map_nr_warmup_cycles=4, map_warmup_cycles=8,\n"
+                    "    map_measure_cycles=6, map_max_blocks=3,\n"
+                    "    map_steps_per_period=80)\n"
+                    "simulate(default_system(), MissionConfig(t_end=120.0,\n"
+                    "    engine='envelope', envelope=opts))\n"
+                    "print(json.dumps(charging_cache_stats()))\n"
+                ),
+            ],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert child.returncode == 0, child.stderr
+        stats = json.loads(child.stdout.strip().splitlines()[-1])
+        # The whole point of the store: a brand-new process measures
+        # nothing, it loads the fleet's grids.
+        assert stats["built"] == 0
+        assert stats["loaded"] >= 1
+
+
+class TestMapCacheLRU:
+    """The global grid cache is bounded with LRU eviction.
+
+    Regression: the cache grew without bound — a long campaign over a
+    drifting band accumulated every grid it ever touched.
+    """
+
+    def test_limit_bounds_cache_and_counts_evictions(self):
+        import dataclasses
+
+        from repro.sim.envelope import (
+            charging_cache_stats,
+            set_charging_cache_limit,
+        )
+
+        opts = dataclasses.replace(FAST, map_key_mode="absolute")
+        previous = set_charging_cache_limit(2)
+        try:
+            config = default_system()
+            cm = ChargingMap(config, opts)
+            gap = config.harvester.tuning.gap_min
+            for freq in (60.0, 64.0, 68.0):
+                cm.resolve(freq, 2.5, gap)
+            stats = charging_cache_stats()
+            assert stats["size"] <= 2
+            assert stats["evictions"] >= 1
+            # Lowering the bound evicts immediately.
+            set_charging_cache_limit(1)
+            assert charging_cache_size() == 1
+            assert charging_cache_stats()["evictions"] >= 2
+        finally:
+            set_charging_cache_limit(previous)
+
+    def test_bad_limit_rejected(self):
+        from repro.sim.envelope import set_charging_cache_limit
+
+        with pytest.raises(SimulationError):
+            set_charging_cache_limit(0)
