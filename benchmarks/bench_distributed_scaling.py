@@ -51,7 +51,15 @@ from repro.analysis.io import ensure_results_dir
 from repro.fsutil import atomic_write_json
 from repro.analysis.tables import format_table
 from repro.core.doe.lhs import latin_hypercube
-from repro.exec import DistributedBackend, SQLiteStore, queue_for_store
+from repro.exec import (
+    CacheStore,
+    DistributedBackend,
+    EvaluationEngine,
+    SQLiteStore,
+    SQLiteWorkQueue,
+    WorkQueue,
+    queue_for_store,
+)
 from repro.sim.envelope import (
     attach_map_store,
     clear_charging_cache,
@@ -96,6 +104,65 @@ def _serial_cold_process(n_points: int) -> float:
         check=True,
     )
     return float(json.loads(proc.stdout.splitlines()[-1])["seconds"])
+
+
+class _PerOpStore(SQLiteStore):
+    """SQLite store forced back to per-operation wire discipline.
+
+    Assigning the ABC's looping defaults over the batched overrides
+    makes every ``load_many``/``persist_many`` decompose into one
+    store round trip per entry — the pre-amortization cost model —
+    while keeping SQLite semantics (and isinstance checks) intact.
+    """
+
+    load_many = CacheStore.load_many
+    persist_many = CacheStore.persist_many
+
+
+class _PerOpQueue(SQLiteWorkQueue):
+    """SQLite queue forced back to one transaction per queue call."""
+
+    complete_many = WorkQueue.complete_many
+    fail_many = WorkQueue.fail_many
+    heartbeat_many = WorkQueue.heartbeat_many
+
+
+def _measure_substrate_ops(
+    store_cls, queue_cls, evaluate, points, db_dir, tag
+) -> dict:
+    """Substrate round trips one cooperative engine run costs.
+
+    A fresh store guarantees every point misses, so the run pays the
+    full submit/lease/evaluate/persist/assemble cycle; the engine's
+    per-layer counters (``store_round_trips``, ``queue_transactions``)
+    are read as a delta across exactly that cycle.
+    """
+    store = store_cls(db_dir / f"ops-{tag}-store.sqlite")
+    queue = queue_cls(db_dir / f"ops-{tag}-queue.sqlite")
+    backend = DistributedBackend(
+        store,
+        queue,
+        cooperate=True,
+        batch=len(points),
+        poll_interval=0.01,
+        timeout=900.0,
+    )
+    engine = EvaluationEngine(evaluate, backend=backend, cache=store)
+    snapshot = engine.stats()
+    engine.map_points(points)
+    delta = engine.stats(since=snapshot)
+    backend.close()
+    queue.close()
+    store.close()
+    ops = {
+        "store_round_trips": delta["store_round_trips"],
+        "queue_transactions": delta["queue_transactions"],
+        "poll_sleeps": delta["poll_sleeps"],
+    }
+    total = ops["store_round_trips"] + ops["queue_transactions"]
+    ops["total"] = total
+    ops["per_point"] = total / len(points)
+    return ops
 
 
 def _supervisor_report(stdout: str) -> dict:
@@ -292,6 +359,28 @@ def test_distributed_scaling(tmp_path):
     backend.close()
     warm_store.close()
 
+    # Substrate ops per point: the amortized wire discipline (batched
+    # store/queue transactions, adaptive assembly) against the same
+    # engine forced back to one round trip per operation.  Wall time
+    # is noise at this scale — round trips are the honest currency.
+    ops_amortized = _measure_substrate_ops(
+        SQLiteStore,
+        SQLiteWorkQueue,
+        toolkit.evaluate_point,
+        points,
+        tmp_path,
+        "amortized",
+    )
+    ops_per_op = _measure_substrate_ops(
+        _PerOpStore, _PerOpQueue, toolkit.evaluate_point, points, tmp_path, "per-op"
+    )
+    ops_per_point = {
+        "batch": N_POINTS,
+        "amortized": ops_amortized,
+        "per_op_baseline": ops_per_op,
+        "reduction_factor": ops_per_op["total"] / ops_amortized["total"],
+    }
+
     payload = {
         "benchmark": "distributed_scaling",
         "smoke": SMOKE,
@@ -308,6 +397,7 @@ def test_distributed_scaling(tmp_path):
         },
         "workers": series,
         "warm": warm,
+        "ops_per_point": ops_per_point,
         "dispatch_overhead_one_worker": (
             series["1"]["seconds"] - t_serial
         ),
@@ -386,3 +476,34 @@ def test_distributed_scaling(tmp_path):
     # A standing warm fleet must beat a cold serial process on the
     # small study — the exact case the cold numbers above lose.
     assert t_warm < t_serial_cold, (t_warm, t_serial_cold)
+
+    # The amortized-substrate gate: batched store/queue transactions
+    # must cut the round trips the study costs by at least 5x against
+    # the per-operation baseline.
+    print(
+        format_table(
+            ["discipline", "store ops", "queue txns", "total", "ops/point"],
+            [
+                [
+                    "amortized",
+                    ops_amortized["store_round_trips"],
+                    ops_amortized["queue_transactions"],
+                    ops_amortized["total"],
+                    ops_amortized["per_point"],
+                ],
+                [
+                    "per-op baseline",
+                    ops_per_op["store_round_trips"],
+                    ops_per_op["queue_transactions"],
+                    ops_per_op["total"],
+                    ops_per_op["per_point"],
+                ],
+            ],
+            title=(
+                f"substrate round trips, {N_POINTS}-point study, "
+                f"batch={N_POINTS}: "
+                f"{ops_per_point['reduction_factor']:.1f}x reduction"
+            ),
+        )
+    )
+    assert ops_per_point["reduction_factor"] >= 5.0, ops_per_point

@@ -171,6 +171,96 @@ def _identity(payload: dict) -> str:
     return json.dumps(trimmed, sort_keys=True)
 
 
+def _phase_pipeline_kill_resume(
+    spec: str, control: dict, throttle: float
+) -> dict:
+    """A ``--pipeline`` campaign SIGKILLed while rounds overlap must
+    resume to the exact result the sequential control produced.
+
+    Pipelining speculates round r+1 acquisition from round r's landed
+    prefix, so the kill window (first round past 0 journaled, batch
+    mid-evaluation under the throttle) lands while speculative and
+    straggler work provably overlap.  The store may hold points the
+    control never evaluated (mis-speculation), so the phase asserts
+    the *identity* contract — history, optima and journal converge to
+    the sequential result — rather than phase 3's exact
+    simulated-count equation, which speculation intentionally relaxes.
+    """
+    if os.path.exists(spec):
+        os.unlink(spec)
+    SQLiteStore(spec).close()
+    victim = _cli(
+        ["run", spec, "--evaluator", EVALUATOR_SPEC, "--json", "--pipeline"]
+        + CAMPAIGN_ARGS,
+        **{THROTTLE_ENV: str(throttle)},
+    )
+    journal = SQLiteCampaignJournal(spec)
+    deadline = time.monotonic() + 300.0
+    killed_mid_overlap = False
+    while time.monotonic() < deadline:
+        record = journal.load("default")
+        if record is not None and record.status == "complete":
+            break
+        if record is not None and any(
+            entry.index >= 1 for entry in record.rounds
+        ):
+            time.sleep(throttle * 1.5)
+            victim.send_signal(signal.SIGKILL)
+            victim.wait(timeout=30)
+            killed_mid_overlap = True
+            break
+        if victim.poll() is not None:
+            break
+        time.sleep(0.05)
+    record = journal.load("default")
+    journal.close()
+    check(
+        killed_mid_overlap,
+        "pipelined victim finished before it could be killed",
+    )
+    check(
+        record is not None and record.status != "complete",
+        "journal claims completion after SIGKILL (pipelined)",
+    )
+    entries_at_kill = _store_entries(spec)
+
+    status = _cli(["status", spec])
+    out, _ = status.communicate(timeout=60)
+    check(
+        status.returncode == 2,
+        f"status of an interrupted pipelined campaign must exit 2, "
+        f"got {status.returncode}: {out}",
+    )
+
+    # Resume restores pipeline_rounds from the journaled config —
+    # no flag needed, and the result must match the sequential run.
+    resumed = _run_to_completion(spec, "resume")
+    check(
+        _identity(resumed) == _identity(control),
+        "pipelined resume diverges from the sequential control run",
+    )
+    check(
+        record.config.get("config", {}).get("pipeline_rounds") is True,
+        "journal does not carry pipeline_rounds — resume would fall "
+        "back to sequential rounds",
+    )
+    report = _cli(["report", spec, "--json"])
+    out, err = report.communicate(timeout=60)
+    check(report.returncode == 0, f"pipelined report failed: {err}")
+    check(
+        _identity(json.loads(out)) == _identity(control),
+        "journaled pipelined report diverges from the control run",
+    )
+    return {
+        "entries_at_kill": entries_at_kill,
+        "rounds_journaled": len(record.rounds),
+        "resumed_simulated": resumed["evaluations"]["simulated"],
+        "speculated": resumed["evaluations"]["speculated"],
+        "speculative_hits": resumed["evaluations"]["speculative_hits"],
+        "bit_identical": True,
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -300,6 +390,15 @@ def main(argv: list[str] | None = None) -> int:
             "re_evaluated": 0,
         }
         print(json.dumps(summary["resume"], sort_keys=True))
+
+        print(
+            "== phase 4: pipelined campaign killed mid-overlap, "
+            "resume bit-identical =="
+        )
+        summary["pipeline"] = _phase_pipeline_kill_resume(
+            str(base) + "-pipeline.sqlite", control, args.throttle
+        )
+        print(json.dumps(summary["pipeline"], sort_keys=True))
         summary["ok"] = True
     except SmokeFailure as failure:
         summary["ok"] = False

@@ -102,6 +102,22 @@ def make_evaluator():
     return evaluate
 
 
+def make_stalling_evaluator():
+    """Victim-side factory: blocks far past any lease TTL *before*
+    touching the audit log, so SIGKILL provably lands while the
+    victim holds leases and zero evaluations have been recorded.
+    (Workers throttle by sleeping before they lease, precisely so
+    they never hold jobs idle — so a throttle can no longer pin the
+    kill window; a stalled first evaluation can.)  The sleep is
+    never survived: the process is killed."""
+
+    def stall(point):
+        time.sleep(600.0)
+        raise AssertionError("stalling evaluator must be killed")
+
+    return stall
+
+
 def _points(n: int) -> list[dict]:
     return [
         {"a": -1.0 + 2.0 * i / max(n - 1, 1), "b": 0.5 + 0.25 * i}
@@ -110,8 +126,8 @@ def _points(n: int) -> list[dict]:
 
 
 def spawn_victim(store_dir: str, eval_log: str) -> subprocess.Popen:
-    """A real worker that leases eagerly but evaluates nothing: the
-    long throttle sleeps between lease and evaluation, so SIGKILL
+    """A real worker that leases eagerly but evaluates nothing: its
+    stalling evaluator blocks far past the lease TTL, so SIGKILL
     provably lands while it holds unevaluated leases."""
     env = dict(os.environ)
     env["PYTHONPATH"] = os.pathsep.join(
@@ -126,15 +142,13 @@ def spawn_victim(store_dir: str, eval_log: str) -> subprocess.Popen:
             "repro.exec.worker",
             store_dir,
             "--evaluator",
-            EVALUATOR_SPEC,
+            "benchmarks.chaos_smoke:make_stalling_evaluator",
             "--batch",
             "3",
             "--lease-seconds",
             "2",
             "--poll",
             "0.05",
-            "--throttle",
-            "600",
             "--json",
         ],
         env=env,
@@ -169,14 +183,19 @@ def _check_determinism(seed: int) -> dict:
 
 
 def _run_chaos(workdir: Path, seed: int, points, reference) -> dict:
+    # Batched I/O shrank the per-op call counts (one persist_many
+    # lands a lease, one load_many answers a poll), so the plan is
+    # denser and nearer than the pre-amortization one: faults
+    # scheduled deep on ops the hot path no longer spells out
+    # per-entry would never fire.
     plan = FaultPlan.aggressive(
         seed,
-        store_ops=6,
-        queue_ops=4,
+        store_ops=10,
+        queue_ops=8,
         torn_writes=1,
         lease_expiries=1,
         worker_kills=1,
-        horizon=16,
+        horizon=10,
     )
     store_dir = workdir / "chaos-evals"
     eval_log = str(workdir / "evaluations.log")
@@ -205,9 +224,10 @@ def _run_chaos(workdir: Path, seed: int, points, reference) -> dict:
     handle = backend.submit(evaluate, points, fingerprints=fingerprints)
 
     # The kill_worker marker from the plan, executed at process level:
-    # a real worker leases a batch, is SIGKILLed inside its throttle
-    # window (leases held, nothing evaluated), and its leases must be
-    # reclaimed and finished by the cooperating submitter.
+    # a real worker leases a batch, is SIGKILLed inside its stalled
+    # first evaluation (leases held, nothing evaluated), and its
+    # leases must be reclaimed and finished by the cooperating
+    # submitter.
     check(len(plan.kill_points()) >= 1, "plan carries no kill marker")
     victim = spawn_victim(str(store_dir), eval_log)
     deadline = time.monotonic() + 60.0

@@ -163,6 +163,30 @@ def _phase_cooperative(
     ]
     results = handle.result()
     elapsed = time.perf_counter() - started
+    # Submitter-side substrate budget, captured before the phase's
+    # own verification reads touch the counters.  The amortized wire
+    # discipline costs O(1) store round trips per assembly tick
+    # (one batched load_many regardless of outstanding points) and a
+    # bounded number of queue transactions per tick — so both totals
+    # are functions of tick count, never of tick count x points.
+    ticks = backend.poll_sleeps + len(points) + 1
+    submitter_ops = {
+        "store_round_trips": store.stats.round_trips,
+        "queue_transactions": backend.queue.transactions,
+        "poll_sleeps": backend.poll_sleeps,
+        "tick_budget": ticks,
+    }
+    check(
+        store.stats.round_trips <= 1 + ticks,
+        f"store budget blown: {store.stats.round_trips} round trips for "
+        f"{ticks} assembly ticks — result assembly is no longer "
+        f"batched ({submitter_ops})",
+    )
+    check(
+        backend.queue.transactions <= 1 + 2 * ticks,
+        f"queue budget blown: {backend.queue.transactions} "
+        f"transactions for {ticks} assembly ticks ({submitter_ops})",
+    )
     reports = []
     for proc in workers:
         out, err = proc.communicate(timeout=300)
@@ -203,6 +227,7 @@ def _phase_cooperative(
         "points_per_sec": len(points) / elapsed,
         "per_worker_completed": completed,
         "distinct_workers": len(worker_ids),
+        "submitter_ops": submitter_ops,
         "worker_reports": reports,
     }
 

@@ -248,6 +248,16 @@ class CampaignConfig:
             durability grain.  None auto-selects 1 for the serial
             backend (every evaluation persists as it lands) and
             whole-round dispatch for parallel backends.
+        pipeline_rounds: opt-in round overlap.  While a round's
+            stragglers drain, a *speculative* next-round acquisition
+            is computed from the points already landed and prefetched
+            through the engine's backend, so a distributed fleet
+            starts on round r+1 before round r finishes.  The real
+            fit and acquisition still run on the full round exactly
+            as a sequential campaign's would, so results, the
+            journal, and resume stay bit-identical — a wrong guess
+            only costs background work whose results land in the
+            shared cache anyway.
     """
 
     max_rounds: int = 8
@@ -264,6 +274,7 @@ class CampaignConfig:
     budget: int | None = None
     seed: int = 7
     eval_chunk: int | None = None
+    pipeline_rounds: bool = False
 
     def __post_init__(self) -> None:
         if self.max_rounds < 1:
@@ -311,6 +322,7 @@ class CampaignConfig:
             "budget": self.budget,
             "seed": self.seed,
             "eval_chunk": self.eval_chunk,
+            "pipeline_rounds": self.pipeline_rounds,
         }
         return payload
 
@@ -427,6 +439,11 @@ class _State:
     #: Points the distributed backend had to evaluate in-process
     #: because the substrate degraded (queue down / fleet silent).
     degraded: int = 0
+    #: Speculative next-round points prefetched while a round's
+    #: stragglers drained (pipeline_rounds), and how many of them the
+    #: real acquisition then actually asked for.
+    speculated: int = 0
+    speculative_hits: int = 0
     surfaces: dict = field(default_factory=dict)
     last_outcome: OptimizationOutcome | None = None
     last_box: FactorBox | None = None
@@ -500,6 +517,8 @@ class Campaign:
             )
         else:
             self.journal = resolve_journal(journal)
+        #: (round index, point keys) of the live speculative prefetch.
+        self._speculation: tuple[int, set[bytes]] | None = None
 
     # -- identity / config payloads --------------------------------------------
 
@@ -660,26 +679,37 @@ class Campaign:
     ) -> CampaignResult:
         """Run rounds from a journaled plan until a stop criterion."""
         while True:
-            stop = self._run_round(state, index, plan)
+            stop, completed = self._run_round(state, index, plan)
             if stop is not None:
+                self.journal.complete_round(
+                    self.campaign_id, index, completed
+                )
                 result = self._build_result(state, stop)
                 self.journal.finish(self.campaign_id, result.as_dict())
                 return result
             plan = state.history[-1]["_next"]
+            self.journal.advance_round(
+                self.campaign_id, index, completed, plan
+            )
             index += 1
-            self.journal.begin_round(self.campaign_id, index, plan)
 
     def _run_round(
         self, state: _State, index: int, plan: dict
-    ) -> str | None:
-        """Evaluate, fit, diagnose, decide; returns a stop reason or
-        None (in which case ``state.history[-1]['_next']`` holds the
-        next journaled plan)."""
+    ) -> tuple[str | None, dict]:
+        """Evaluate, fit, diagnose, decide; returns ``(stop, completed)``
+        where ``stop`` is a stop reason or None (in which case
+        ``state.history[-1]['_next']`` holds the next journaled plan)
+        and ``completed`` is the round payload for the caller to
+        journal — through one :meth:`~CampaignJournal.advance_round`
+        when the campaign continues."""
         cfg = self.config
         box = FactorBox.from_dict(plan["box"])
         points = np.atleast_2d(np.asarray(plan["points"], dtype=float))
         before = self.explorer.engine.stats_snapshot()
-        columns = self._evaluate(points, index)
+        if cfg.pipeline_rounds and points.shape[0] >= 2:
+            columns = self._evaluate_pipelined(state, box, points, index)
+        else:
+            columns = self._evaluate(points, index)
         delta = self.explorer.engine.stats(since=before)
         simulated = int(delta.get("points_evaluated", 0))
         cached = int((delta.get("cache") or {}).get("hits", 0))
@@ -743,6 +773,7 @@ class Campaign:
                     "strategy": proposal.strategy,
                     "seed": self._seed_for(index + 1),
                 }
+                self._score_speculation(state, index + 1, proposal.points)
 
         entry = self._history_entry(
             state, index, plan, box, points, analysis, shift, stop
@@ -764,8 +795,99 @@ class Campaign:
         if next_plan is not None:
             completed["next"] = next_plan
         completed.pop("_next", None)
-        self.journal.complete_round(self.campaign_id, index, completed)
-        return stop
+        return stop, completed
+
+    def _evaluate_pipelined(
+        self,
+        state: _State,
+        box: FactorBox,
+        points: np.ndarray,
+        index: int,
+    ) -> dict[str, np.ndarray]:
+        """Evaluate a round while speculatively feeding the next one.
+
+        The round's prefix (enough points for an identifiable fit)
+        evaluates first; a speculative next-round acquisition runs on
+        prior data + that prefix and its points are *prefetched* —
+        enqueued through the backend's futures seam without awaiting
+        a handle — so a distributed fleet works on round r+1 while
+        this process drains round r's stragglers.  The split is a
+        deterministic function of the plan, and every returned value
+        is exactly what :meth:`_evaluate` would return: the engine
+        cache answers each point identically however it was chunked.
+        """
+        split = max(1, (points.shape[0] * 3) // 4)
+        prefix, stragglers = points[:split], points[split:]
+        columns = self._evaluate(prefix, index)
+        self._speculate(state, box, prefix, columns, index)
+        if stragglers.shape[0]:
+            rest = self._evaluate(stragglers, index)
+            columns = {
+                name: np.concatenate([columns[name], rest[name]])
+                for name in self.explorer.responses
+            }
+        return columns
+
+    def _speculate(
+        self,
+        state: _State,
+        box: FactorBox,
+        prefix_points: np.ndarray,
+        prefix_columns: dict[str, np.ndarray],
+        index: int,
+    ) -> None:
+        """Guess round ``index + 1`` from the landed prefix and
+        prefetch it.
+
+        The guess runs on a *copy* of the state; the real fit and
+        acquisition later see the full round exactly as a sequential
+        campaign's would, so history, journal and resume stay
+        bit-identical.  A guess that cannot fit or optimize is simply
+        skipped — speculation must never fail a round.
+        """
+        guess = _State(
+            x_global=(
+                np.vstack([state.x_global, prefix_points])
+                if state.x_global.size
+                else prefix_points.copy()
+            ),
+            responses={
+                name: list(state.responses[name])
+                + [float(v) for v in prefix_columns[name]]
+                for name in self.explorer.responses
+            },
+            prev_optimum=state.prev_optimum,
+            streak=state.streak,
+        )
+        try:
+            analysis = self._fit_and_diagnose(guess, box, index)
+            proposal = self._acquire(guess, box, index, analysis)
+        except (FitError, OptimizationError):
+            return
+        if proposal is None:
+            return
+        rows = np.atleast_2d(proposal.points)
+        self._speculation = (
+            index + 1,
+            {_point_key(row) for row in rows},
+        )
+        started = self.explorer.engine.prefetch(
+            [self.space.point_to_dict(row) for row in rows]
+        )
+        state.speculated += int(started)
+
+    def _score_speculation(
+        self, state: _State, index: int, points: np.ndarray
+    ) -> None:
+        """Count how much of a real plan the speculation predicted."""
+        speculation = getattr(self, "_speculation", None)
+        if speculation is None or speculation[0] != index:
+            return
+        self._speculation = None
+        _, keys = speculation
+        state.speculative_hits += sum(
+            1 for row in np.atleast_2d(points) if _point_key(row) in keys
+        )
 
     def _evaluate(
         self, points: np.ndarray, index: int
@@ -1185,6 +1307,8 @@ class Campaign:
                 "simulated": state.simulated,
                 "cached": state.cached,
                 "degraded": state.degraded,
+                "speculated": state.speculated,
+                "speculative_hits": state.speculative_hits,
                 "total_points": int(n),
             },
             surfaces=dict(state.surfaces),

@@ -143,6 +143,7 @@ def _config_for(args: argparse.Namespace) -> CampaignConfig:
         ("initial_design", "initial_design"),
         ("model", "model"),
         ("eval_chunk", "eval_chunk"),
+        ("pipeline_rounds", "pipeline"),
     ):
         value = getattr(args, attr, None)
         if value is not None:
@@ -229,6 +230,7 @@ def _cmd_resume(args: argparse.Namespace) -> int:
             ("--initial-design", "initial_design"),
             ("--model", "model"),
             ("--eval-chunk", "eval_chunk"),
+            ("--pipeline", "pipeline"),
             ("--objective", "objective"),
         )
         if getattr(args, attr, None) is not None
@@ -407,6 +409,11 @@ def build_parser() -> argparse.ArgumentParser:
     driving.add_argument(
         "--eval-chunk", type=int, default=None, dest="eval_chunk",
         help="points per engine dispatch (durability grain)",
+    )
+    driving.add_argument(
+        "--pipeline", action="store_true", default=None,
+        help="overlap round r+1 speculation with round r stragglers "
+        "(bit-identical history; see the campaign docs)",
     )
 
     sub = parser.add_subparsers(dest="command", required=True)

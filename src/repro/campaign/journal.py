@@ -166,6 +166,27 @@ class CampaignJournal(ABC):
     def finish(self, campaign_id: str, result: dict) -> None:
         """Seal the campaign with its final result payload."""
 
+    def advance_round(
+        self,
+        campaign_id: str,
+        index: int,
+        completed: dict,
+        next_planned: dict,
+    ) -> None:
+        """Complete round ``index`` and plan round ``index + 1``.
+
+        The round-boundary hot path, folded into *one* durable
+        mutation where the substrate allows it (a single SQLite
+        transaction, one atomic document rewrite) so each boundary
+        pays one sync instead of two.  Must be equivalent to
+        :meth:`complete_round` followed by :meth:`begin_round` — the
+        default is exactly that sequence, and the crash window
+        between the two calls is one resume already handles (the
+        completed payload carries the next plan).
+        """
+        self.complete_round(campaign_id, index, completed)
+        self.begin_round(campaign_id, index + 1, next_planned)
+
     def describe(self) -> dict:
         """Journal parameters for reports and manifests."""
         return {"journal": self.name}
@@ -447,6 +468,55 @@ class SQLiteCampaignJournal(CampaignJournal):
             )
         self._touch(campaign_id)
 
+    def advance_round(
+        self,
+        campaign_id: str,
+        index: int,
+        completed: dict,
+        next_planned: dict,
+    ) -> None:
+        now = time.time()
+        self._conn.execute("BEGIN IMMEDIATE")
+        try:
+            cursor = self._conn.execute(
+                "UPDATE campaign_rounds SET status = 'complete',"
+                " completed = ?, updated_at = ?"
+                " WHERE campaign_id = ? AND round = ?",
+                (
+                    json.dumps(completed, sort_keys=True),
+                    now,
+                    campaign_id,
+                    index,
+                ),
+            )
+            if cursor.rowcount == 0:
+                raise ReproError(
+                    f"campaign {campaign_id!r} has no planned round {index}"
+                )
+            self._conn.execute(
+                "INSERT OR REPLACE INTO campaign_rounds"
+                " (campaign_id, round, status, planned, completed,"
+                "  updated_at)"
+                " VALUES (?, ?, 'planned', ?, NULL, ?)",
+                (
+                    campaign_id,
+                    index + 1,
+                    json.dumps(next_planned, sort_keys=True),
+                    now,
+                ),
+            )
+            self._conn.execute(
+                "UPDATE campaigns SET updated_at = ? WHERE campaign_id = ?",
+                (now, campaign_id),
+            )
+            self._conn.execute("COMMIT")
+        except BaseException:
+            try:
+                self._conn.execute("ROLLBACK")
+            except sqlite3.OperationalError:
+                pass
+            raise
+
     def finish(self, campaign_id: str, result: dict) -> None:
         cursor = self._conn.execute(
             "UPDATE campaigns SET status = 'complete', result = ?,"
@@ -660,6 +730,38 @@ class FileCampaignJournal(CampaignJournal):
             raise ReproError(
                 f"campaign {campaign_id!r} has no planned round {index}"
             )
+
+        self._mutate(campaign_id, mutate)
+
+    def advance_round(
+        self,
+        campaign_id: str,
+        index: int,
+        completed: dict,
+        next_planned: dict,
+    ) -> None:
+        def mutate(blob: dict) -> None:
+            rounds = blob.get("rounds", [])
+            for entry in rounds:
+                if entry["index"] == index:
+                    entry["status"] = "complete"
+                    entry["completed"] = dict(completed)
+                    break
+            else:
+                raise ReproError(
+                    f"campaign {campaign_id!r} has no planned round {index}"
+                )
+            rounds = [r for r in rounds if r["index"] != index + 1]
+            rounds.append(
+                {
+                    "index": index + 1,
+                    "status": "planned",
+                    "planned": dict(next_planned),
+                    "completed": None,
+                }
+            )
+            rounds.sort(key=lambda r: r["index"])
+            blob["rounds"] = rounds
 
         self._mutate(campaign_id, mutate)
 

@@ -277,6 +277,15 @@ class ToolkitStudy:
                     f"({maps['size']} cached, "
                     f"{maps['evictions']} evictions)"
                 )
+            round_trips = exec_stats.get("store_round_trips", 0)
+            transactions = exec_stats.get("queue_transactions", 0)
+            sleeps = exec_stats.get("poll_sleeps", 0)
+            if round_trips or transactions or sleeps:
+                parts.append(
+                    f"substrate traffic: {round_trips} store round "
+                    f"trips, {transactions} queue transactions, "
+                    f"{sleeps} poll sleeps"
+                )
         parts.append("")
         parts.append("== fit quality ==")
         rows = []

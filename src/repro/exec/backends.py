@@ -209,6 +209,22 @@ class EvaluationBackend(ABC):
         finally:
             self._outstanding = [h for h in self._outstanding if h is not handle]
 
+    def prefetch(
+        self,
+        evaluate: Evaluator,
+        points: Sequence[Mapping[str, float]],
+        *,
+        fingerprints: Sequence[str] | None = None,
+    ) -> int:
+        """Hint that these points will be wanted soon.
+
+        Backends with a shared substrate (the distributed backend)
+        enqueue the store-misses so idle workers start on them before
+        the real ``submit`` arrives; everything else ignores the hint.
+        Returns how many evaluations were actually started (0 here).
+        """
+        return 0
+
     def drain(self) -> None:
         """Block until every outstanding handle has resolved.
 

@@ -23,7 +23,7 @@ import hashlib
 import json
 import os
 from dataclasses import dataclass
-from typing import Iterator, Mapping
+from typing import Iterator, Mapping, Sequence
 
 import numpy as np
 
@@ -249,6 +249,42 @@ class EvalCache:
             )
         before = self._store_counters()
         self.store.persist(fingerprint, dict(responses))
+        self._absorb_store_delta(before)
+
+    def get_many(
+        self, fingerprints: Sequence[str]
+    ) -> dict[str, dict[str, float]]:
+        """Batched :meth:`get`: one store round trip for the lot.
+
+        Counts one hit per unique found fingerprint and one miss per
+        unique absent one — identical totals to a ``get`` loop, for
+        one ``load_many`` instead of N loads.
+        """
+        if not fingerprints:
+            return {}
+        unique = list(dict.fromkeys(fingerprints))
+        before = self._store_counters()
+        found = self.store.load_many(unique)
+        self._absorb_store_delta(before)
+        self.stats.hits += len(found)
+        self.stats.misses += len(unique) - len(found)
+        return {fp: dict(entry) for fp, entry in found.items()}
+
+    def put_many(
+        self, entries: Sequence[tuple[str, Mapping[str, float]]]
+    ) -> None:
+        """Batched :meth:`put`: one store round trip for the lot."""
+        if not entries:
+            return
+        rows: list[tuple[str, Mapping[str, float]]] = []
+        for fingerprint, responses in entries:
+            if not isinstance(fingerprint, str):
+                raise ReproError(
+                    f"fingerprint must be a string, got {type(fingerprint)!r}"
+                )
+            rows.append((fingerprint, dict(responses)))
+        before = self._store_counters()
+        self.store.persist_many(rows)
         self._absorb_store_delta(before)
 
     def discard(self, fingerprint: str) -> bool:

@@ -37,8 +37,13 @@ from repro.sim.envelope import charging_cache_stats
 _ENGINE_COUNTERS = ("points_evaluated", "batches_dispatched", "replicate_hits")
 
 #: Counters read off the backend when it exposes them (the
-#: distributed backend's graceful-degradation accounting).
-_BACKEND_COUNTERS = ("degraded_evaluations",)
+#: distributed backend's graceful-degradation and substrate-traffic
+#: accounting).
+_BACKEND_COUNTERS = (
+    "degraded_evaluations",
+    "queue_transactions",
+    "poll_sleeps",
+)
 
 #: Cache counters that participate in snapshot/delta accounting.
 _CACHE_COUNTERS = (
@@ -227,26 +232,35 @@ class EvaluationEngine:
                 for fp, (responses, seconds) in zip(fingerprints, evaluated)
             ]
 
-        # Cache pass: answer hits, collapse within-batch replicates.
-        pending: dict[str, list[int]] = {}
-        pending_points: list[Mapping[str, float]] = []
+        # Cache pass: collapse within-batch replicates first (so the
+        # hit/miss stats only count unique points), then answer every
+        # unique fingerprint from one batched store read.
+        slots_for: dict[str, list[int]] = {}
+        point_for: dict[str, Mapping[str, float]] = {}
         for i, (point, fp) in enumerate(zip(points, fingerprints)):
-            slots = pending.get(fp)
-            if slots is not None:
-                # Within-batch replicate: one simulation serves all
-                # (checked before the cache so the hit/miss stats only
-                # count unique points).
+            slots = slots_for.get(fp)
+            if slots is None:
+                slots_for[fp] = [i]
+                point_for[fp] = point
+            else:
                 slots.append(i)
                 self.replicate_hits += 1
+        found = self.cache.get_many(list(slots_for))
+        pending: dict[str, list[int]] = {}
+        pending_points: list[Mapping[str, float]] = []
+        for fp, slots in slots_for.items():
+            hit = found.get(fp)
+            if hit is None:
+                pending[fp] = slots
+                pending_points.append(point_for[fp])
                 continue
-            hit = self.cache.get(fp)
-            if hit is not None:
+            for i in slots:
                 results[i] = PointEvaluation(
-                    responses=hit, seconds=0.0, cached=True, fingerprint=fp
+                    responses=dict(hit),
+                    seconds=0.0,
+                    cached=True,
+                    fingerprint=fp,
                 )
-                continue
-            pending[fp] = [i]
-            pending_points.append(point)
 
         # Backend pass over the unique misses.
         if pending_points:
@@ -269,11 +283,12 @@ class EvaluationEngine:
                 and getattr(self.backend, "store", None)
                 is self.cache.store
             )
+            to_persist: list[tuple[str, Mapping[str, float]]] = []
             for (fp, slots), (responses, seconds) in zip(
                 pending.items(), evaluated
             ):
                 if persist:
-                    self.cache.put(fp, responses)
+                    to_persist.append((fp, responses))
                 for j, i in enumerate(slots):
                     results[i] = PointEvaluation(
                         responses=dict(responses),
@@ -281,6 +296,9 @@ class EvaluationEngine:
                         cached=j > 0,
                         fingerprint=fp,
                     )
+            if to_persist:
+                # The whole completed batch lands in one store call.
+                self.cache.put_many(to_persist)
             self._auto_collect()
         missing = [i for i, r in enumerate(results) if r is None]
         if missing:  # pragma: no cover - defensive
@@ -290,6 +308,25 @@ class EvaluationEngine:
     def __call__(self, point: Mapping[str, float]) -> dict[str, float]:
         """Single-point convenience (same caching path)."""
         return self.map_points([point])[0].responses
+
+    def prefetch(self, points: Sequence[Mapping[str, float]]) -> int:
+        """Hint that these points will be mapped soon.
+
+        Fingerprints are computed against the current context exactly
+        as :meth:`map_points` would, then handed to the backend's
+        ``prefetch``: a distributed backend enqueues the store-misses
+        so idle workers start early, every other backend ignores the
+        hint.  Returns how many evaluations were actually started.
+        """
+        if not points:
+            return 0
+        context = self._context_value()
+        fingerprints = [
+            point_fingerprint(point, context) for point in points
+        ]
+        return self.backend.prefetch(
+            self.evaluate, points, fingerprints=fingerprints
+        )
 
     def prime(self, point: Mapping[str, float]) -> dict[str, float]:
         """Evaluate one point *in the calling process*, bypassing the backend.
@@ -334,11 +371,18 @@ class EvaluationEngine:
         snap: dict = {key: getattr(self, key) for key in _ENGINE_COUNTERS}
         for key in _BACKEND_COUNTERS:
             snap[key] = getattr(self.backend, key, 0)
+        snap["store_round_trips"] = self._store_round_trips()
         snap["cache"] = (
             self.cache.stats.as_dict() if self.cache is not None else None
         )
         snap["charging_maps"] = charging_cache_stats()
         return snap
+
+    def _store_round_trips(self) -> int:
+        """Lifetime store round trips under this engine's cache."""
+        if self.cache is None:
+            return 0
+        return int(getattr(self.cache.store.stats, "round_trips", 0))
 
     def stats(self, since: Mapping | None = None) -> dict:
         """Backend and cache statistics for reports/benchmarks.
@@ -358,6 +402,7 @@ class EvaluationEngine:
         )
         for key in _BACKEND_COUNTERS:
             out[key] = getattr(self.backend, key, 0)
+        out["store_round_trips"] = self._store_round_trips()
         if self.cache is not None:
             out["cache"] = self.cache.stats.as_dict()
             out["cache_entries"] = len(self.cache)
@@ -370,6 +415,7 @@ class EvaluationEngine:
                 out[key] -= since.get(key, 0)
             for key in _BACKEND_COUNTERS:
                 out[key] -= since.get(key, 0)
+            out["store_round_trips"] -= since.get("store_round_trips", 0)
             baseline = since.get("cache")
             if out["cache"] is not None and baseline is not None:
                 for key in _CACHE_COUNTERS:

@@ -169,7 +169,9 @@ class FaultPlan:
             specs.append(
                 FaultSpec(
                     "store",
-                    rng.choice(("persist", "load", "peek")),
+                    rng.choice(
+                        ("persist", "load", "peek", "load_many", "persist_many")
+                    ),
                     rng.randint(1, horizon),
                     rng.choice(("transient", "locked")),
                 )
@@ -182,7 +184,16 @@ class FaultPlan:
             specs.append(
                 FaultSpec(
                     "queue",
-                    rng.choice(("submit", "lease", "complete", "heartbeat")),
+                    rng.choice(
+                        (
+                            "submit",
+                            "lease",
+                            "complete",
+                            "heartbeat",
+                            "complete_many",
+                            "heartbeat_many",
+                        )
+                    ),
                     rng.randint(1, horizon),
                     rng.choice(("transient", "locked")),
                 )
@@ -330,6 +341,25 @@ class FaultyStore(CacheStore):
         self._fault("persist", fingerprint, dict(responses))
         self._inner.persist(fingerprint, responses, meta=meta)
 
+    def load_many(
+        self, fingerprints: Sequence[str]
+    ) -> dict[str, dict[str, float]]:
+        self._fault("load_many")
+        return self._inner.load_many(fingerprints)
+
+    def persist_many(
+        self, entries: Sequence[tuple[str, Mapping[str, float]]]
+    ) -> None:
+        entries = list(entries)
+        spec = self.plan.tick("store", "persist_many")
+        if spec is not None:
+            # A mid-batch failure: the first half of the batch
+            # genuinely lands before the error surfaces, so retries
+            # must be idempotent to neither lose nor double-apply.
+            self._inner.persist_many(entries[: len(entries) // 2])
+            _raise_store_fault(spec, "persist_many")
+        self._inner.persist_many(entries)
+
     def discard(self, fingerprint: str) -> bool:
         self._fault("discard")
         return self._inner.discard(fingerprint)
@@ -387,6 +417,10 @@ class FaultyQueue(WorkQueue):
 
     def __init__(self, inner: WorkQueue, plan: FaultPlan):
         super().__init__(max_attempts=inner.max_attempts)
+        # WorkQueue.__init__ sets an instance-level transactions
+        # counter that would shadow __getattr__ delegation; drop it so
+        # reads see the inner queue's live counter.
+        self.__dict__.pop("transactions", None)
         self._inner = inner
         self.plan = plan
         self.name = f"faulty[{inner.name}]"
@@ -454,6 +488,45 @@ class FaultyQueue(WorkQueue):
     ) -> int:
         self._fault("heartbeat")
         return self._inner.heartbeat(worker_id, lease_seconds, now)
+
+    def complete_many(
+        self,
+        worker_id: str,
+        completions: Sequence[tuple[str, float]],
+        *,
+        now: float | None = None,
+    ) -> int:
+        completions = list(completions)
+        spec = self.plan.tick("queue", "complete_many")
+        if spec is not None and spec.kind != "expire_lease":
+            # Mid-batch failure: the first half genuinely completes
+            # before the error, exercising idempotent re-application.
+            self._inner.complete_many(
+                worker_id, completions[: len(completions) // 2], now=now
+            )
+            _raise_queue_fault(spec, "complete_many")
+        return self._inner.complete_many(worker_id, completions, now=now)
+
+    def fail_many(
+        self,
+        worker_id: str,
+        failures: Sequence[tuple[str, str]],
+        now: float | None = None,
+    ) -> int:
+        self._fault("fail_many")
+        return self._inner.fail_many(worker_id, failures, now)
+
+    def heartbeat_many(
+        self,
+        worker_id: str,
+        job_ids: Sequence[str],
+        lease_seconds: float = 60.0,
+        now: float | None = None,
+    ) -> int:
+        self._fault("heartbeat_many")
+        return self._inner.heartbeat_many(
+            worker_id, job_ids, lease_seconds, now
+        )
 
     def reclaim(self, now: float | None = None) -> int:
         self._fault("reclaim")

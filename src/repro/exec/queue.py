@@ -208,9 +208,24 @@ class WorkQueue(ABC):
     is a no-op returning False), and every transition is atomic, so a
     killed worker can delay a point but never lose one.
 
+    Batch variants (:meth:`complete_many` / :meth:`fail_many` /
+    :meth:`heartbeat_many`) fold a worker batch's transitions into one
+    substrate round trip where the implementation can (one SQLite
+    transaction); their defaults loop the per-job primitives, so every
+    queue honours the same laws: empty input touches nothing, each
+    pair applies in order, and the return value counts transitions
+    that actually happened.
+
     Args:
         max_attempts: leases after which a job goes terminally
             ``failed`` instead of back to pending.
+
+    Attributes:
+        transactions: queue API round trips this instance issued —
+            every public read or write call (a batched call counts 1
+            however many jobs it carries).  Monotonic, surfaced as
+            ``queue_transactions`` in engine/report stats so the
+            amortization is observable.
     """
 
     name: str = "abstract"
@@ -221,6 +236,7 @@ class WorkQueue(ABC):
                 f"max_attempts must be >= 1, got {max_attempts}"
             )
         self.max_attempts = max_attempts
+        self.transactions = 0
 
     @abstractmethod
     def submit(self, jobs: Sequence[Job]) -> int:
@@ -266,6 +282,61 @@ class WorkQueue(ABC):
         now: float | None = None,
     ) -> int:
         """Extend every lease a worker holds; returns how many."""
+
+    # -- batched transitions ---------------------------------------------------
+
+    def complete_many(
+        self,
+        worker_id: str,
+        completions: Sequence[tuple[str, float]],
+        *,
+        now: float | None = None,
+    ) -> int:
+        """Mark many leased jobs done in one call.
+
+        ``completions`` is ``(job_id, seconds)`` pairs, applied in
+        order; returns how many transitions the worker's lease still
+        covered.  This default loops :meth:`complete`; SQLite folds
+        the batch into one transaction.
+        """
+        done = 0
+        for job_id, seconds in completions:
+            if self.complete(worker_id, job_id, seconds=seconds, now=now):
+                done += 1
+        return done
+
+    def fail_many(
+        self,
+        worker_id: str,
+        failures: Sequence[tuple[str, str]],
+        now: float | None = None,
+    ) -> int:
+        """Record many failed attempts (``(job_id, error)`` pairs) in
+        one call; returns how many the worker's lease still covered."""
+        failed = 0
+        for job_id, error in failures:
+            if self.fail(worker_id, job_id, error, now=now):
+                failed += 1
+        return failed
+
+    def heartbeat_many(
+        self,
+        worker_id: str,
+        job_ids: Sequence[str],
+        lease_seconds: float = 60.0,
+        now: float | None = None,
+    ) -> int:
+        """Extend the named leases the worker holds; returns how many
+        leases were extended.
+
+        This default delegates to :meth:`heartbeat`, which extends
+        *every* lease the worker holds — a documented superset (the
+        return value may exceed ``len(job_ids)``).  Implementations
+        that can target the named jobs cheaply override it.
+        """
+        if not job_ids:
+            return 0
+        return self.heartbeat(worker_id, lease_seconds, now)
 
     @abstractmethod
     def reclaim(self, now: float | None = None) -> int:
@@ -386,28 +457,51 @@ class SQLiteWorkQueue(WorkQueue):
                 "CREATE INDEX IF NOT EXISTS queue_jobs_status"
                 " ON queue_jobs (status, enqueued_at)"
             )
+            # Covering index for the reclamation predicate
+            # (status = 'leased' AND lease_expires_at < ?): without
+            # it, every lease()/reclaim() walks the whole table once
+            # done rows accumulate.  CREATE IF NOT EXISTS doubles as
+            # the in-place migration for pre-existing queues.
+            conn.execute(
+                "CREATE INDEX IF NOT EXISTS queue_jobs_lease_expiry"
+                " ON queue_jobs (status, lease_expires_at)"
+            )
         except sqlite3.DatabaseError:
             conn.close()
             raise
         return conn
 
     def submit(self, jobs: Sequence[Job]) -> int:
+        if not jobs:
+            return 0
+        self.transactions += 1
         now = time.time()
-        added = 0
-        for job in jobs:
-            cursor = self._conn.execute(
+        rows = [
+            (
+                job.job_id,
+                QUEUE_SCHEMA_VERSION,
+                json.dumps(dict(job.point), sort_keys=True),
+                now,
+            )
+            for job in jobs
+        ]
+        # One transaction for the whole batch (the connection is in
+        # autocommit mode, which would otherwise commit per row);
+        # INSERT OR IGNORE keeps submit idempotent per job_id, and
+        # executemany's rowcount sums only the rows actually inserted.
+        self._conn.execute("BEGIN IMMEDIATE")
+        try:
+            cursor = self._conn.executemany(
                 "INSERT OR IGNORE INTO queue_jobs"
                 " (job_id, schema_version, payload, status, enqueued_at)"
                 " VALUES (?, ?, ?, 'pending', ?)",
-                (
-                    job.job_id,
-                    QUEUE_SCHEMA_VERSION,
-                    json.dumps(dict(job.point), sort_keys=True),
-                    now,
-                ),
+                rows,
             )
-            added += max(cursor.rowcount, 0)
-        return added
+            self._conn.execute("COMMIT")
+        except BaseException:
+            self._conn.execute("ROLLBACK")
+            raise
+        return max(cursor.rowcount, 0)
 
     def lease(
         self,
@@ -418,6 +512,7 @@ class SQLiteWorkQueue(WorkQueue):
     ) -> list[Job]:
         if n < 1:
             raise ReproError(f"lease size must be >= 1, got {n}")
+        self.transactions += 1
         clock = time.time() if now is None else now
         claimed: list[Job] = []
         self._conn.execute("BEGIN IMMEDIATE")
@@ -487,14 +582,101 @@ class SQLiteWorkQueue(WorkQueue):
         seconds: float = 0.0,
         now: float | None = None,
     ) -> bool:
+        self.transactions += 1
         clock = time.time() if now is None else now
         cursor = self._conn.execute(
-            "UPDATE queue_jobs SET status = 'done', completed_at = ?,"
-            " seconds = ?, lease_expires_at = NULL, error = NULL"
-            " WHERE job_id = ? AND status = 'leased' AND worker_id = ?",
-            (clock, seconds, job_id, worker_id),
+            self._COMPLETE_SQL, (clock, seconds, job_id, worker_id)
         )
         return cursor.rowcount > 0
+
+    _COMPLETE_SQL = (
+        "UPDATE queue_jobs SET status = 'done', completed_at = ?,"
+        " seconds = ?, lease_expires_at = NULL, error = NULL"
+        " WHERE job_id = ? AND status = 'leased' AND worker_id = ?"
+    )
+
+    _FAIL_SQL = (
+        "UPDATE queue_jobs SET"
+        " status = CASE WHEN attempts >= ? THEN 'failed'"
+        "               ELSE 'pending' END,"
+        " worker_id = NULL, lease_expires_at = NULL, error = ?"
+        " WHERE job_id = ? AND status = 'leased' AND worker_id = ?"
+    )
+
+    def complete_many(
+        self,
+        worker_id: str,
+        completions: Sequence[tuple[str, float]],
+        *,
+        now: float | None = None,
+    ) -> int:
+        if not completions:
+            return 0
+        self.transactions += 1
+        clock = time.time() if now is None else now
+        self._conn.execute("BEGIN IMMEDIATE")
+        try:
+            done = 0
+            for job_id, seconds in completions:
+                cursor = self._conn.execute(
+                    self._COMPLETE_SQL, (clock, seconds, job_id, worker_id)
+                )
+                done += max(cursor.rowcount, 0)
+            self._conn.execute("COMMIT")
+        except BaseException:
+            self._conn.execute("ROLLBACK")
+            raise
+        return done
+
+    def fail_many(
+        self,
+        worker_id: str,
+        failures: Sequence[tuple[str, str]],
+        now: float | None = None,
+    ) -> int:
+        if not failures:
+            return 0
+        self.transactions += 1
+        self._conn.execute("BEGIN IMMEDIATE")
+        try:
+            failed = 0
+            for job_id, error in failures:
+                cursor = self._conn.execute(
+                    self._FAIL_SQL,
+                    (self.max_attempts, error or None, job_id, worker_id),
+                )
+                failed += max(cursor.rowcount, 0)
+            self._conn.execute("COMMIT")
+        except BaseException:
+            self._conn.execute("ROLLBACK")
+            raise
+        return failed
+
+    def heartbeat_many(
+        self,
+        worker_id: str,
+        job_ids: Sequence[str],
+        lease_seconds: float = 60.0,
+        now: float | None = None,
+    ) -> int:
+        if not job_ids:
+            return 0
+        self.transactions += 1
+        clock = time.time() if now is None else now
+        unique = list(dict.fromkeys(job_ids))
+        extended = 0
+        # Chunk the IN list well under SQLite's host-parameter cap.
+        for start in range(0, len(unique), 500):
+            chunk = unique[start : start + 500]
+            marks = ",".join("?" * len(chunk))
+            cursor = self._conn.execute(
+                "UPDATE queue_jobs SET lease_expires_at = ?"
+                " WHERE status = 'leased' AND worker_id = ?"
+                f" AND job_id IN ({marks})",
+                (clock + lease_seconds, worker_id, *chunk),
+            )
+            extended += max(cursor.rowcount, 0)
+        return extended
 
     def fail(
         self,
@@ -503,12 +685,9 @@ class SQLiteWorkQueue(WorkQueue):
         error: str = "",
         now: float | None = None,
     ) -> bool:
+        self.transactions += 1
         cursor = self._conn.execute(
-            "UPDATE queue_jobs SET"
-            " status = CASE WHEN attempts >= ? THEN 'failed'"
-            "               ELSE 'pending' END,"
-            " worker_id = NULL, lease_expires_at = NULL, error = ?"
-            " WHERE job_id = ? AND status = 'leased' AND worker_id = ?",
+            self._FAIL_SQL,
             (self.max_attempts, error or None, job_id, worker_id),
         )
         return cursor.rowcount > 0
@@ -519,6 +698,7 @@ class SQLiteWorkQueue(WorkQueue):
         lease_seconds: float = 60.0,
         now: float | None = None,
     ) -> int:
+        self.transactions += 1
         clock = time.time() if now is None else now
         cursor = self._conn.execute(
             "UPDATE queue_jobs SET lease_expires_at = ?"
@@ -528,6 +708,7 @@ class SQLiteWorkQueue(WorkQueue):
         return max(cursor.rowcount, 0)
 
     def reclaim(self, now: float | None = None) -> int:
+        self.transactions += 1
         clock = time.time() if now is None else now
         cursor = self._conn.execute(
             "UPDATE queue_jobs SET status = 'pending',"
@@ -538,6 +719,7 @@ class SQLiteWorkQueue(WorkQueue):
         return max(cursor.rowcount, 0)
 
     def requeue(self, job_id: str, now: float | None = None) -> bool:
+        self.transactions += 1
         cursor = self._conn.execute(
             "UPDATE queue_jobs SET status = 'pending', worker_id = NULL,"
             " lease_expires_at = NULL, completed_at = NULL,"
@@ -553,6 +735,7 @@ class SQLiteWorkQueue(WorkQueue):
         older_than_seconds: float = 0.0,
         now: float | None = None,
     ) -> int:
+        self.transactions += 1
         clock = time.time() if now is None else now
         cutoff = clock - max(older_than_seconds, 0.0)
         marks = ",".join("?" for _ in statuses)
@@ -596,6 +779,7 @@ class SQLiteWorkQueue(WorkQueue):
         )
 
     def job(self, job_id: str) -> JobRecord | None:
+        self.transactions += 1
         row = self._conn.execute(
             f"SELECT {self._ROW_COLUMNS} FROM queue_jobs"
             " WHERE job_id = ?",
@@ -604,6 +788,7 @@ class SQLiteWorkQueue(WorkQueue):
         return self._record(row) if row is not None else None
 
     def jobs(self) -> Iterator[JobRecord]:
+        self.transactions += 1
         rows = self._conn.execute(
             f"SELECT {self._ROW_COLUMNS} FROM queue_jobs"
             " ORDER BY enqueued_at, job_id"
@@ -746,6 +931,9 @@ class FileWorkQueue(WorkQueue):
     # -- the queue contract --------------------------------------------------
 
     def submit(self, jobs: Sequence[Job]) -> int:
+        if not jobs:
+            return 0
+        self.transactions += 1
         now = time.time()
         added = 0
         known = {job_id for job_id, _, _ in self._job_files()}
@@ -785,6 +973,7 @@ class FileWorkQueue(WorkQueue):
     ) -> list[Job]:
         if n < 1:
             raise ReproError(f"lease size must be >= 1, got {n}")
+        self.transactions += 1
         clock = time.time() if now is None else now
         self.reclaim(now=clock)
         claimed: list[Job] = []
@@ -858,7 +1047,13 @@ class FileWorkQueue(WorkQueue):
         seconds: float = 0.0,
         now: float | None = None,
     ) -> bool:
+        self.transactions += 1
         clock = time.time() if now is None else now
+        return self._complete_one(worker_id, job_id, seconds, clock)
+
+    def _complete_one(
+        self, worker_id: str, job_id: str, seconds: float, clock: float
+    ) -> bool:
         path = self._path(job_id, "leased")
         blob = self._read(path)
         if blob is None or blob.get("worker_id") != worker_id:
@@ -881,6 +1076,25 @@ class FileWorkQueue(WorkQueue):
             return False
         return True
 
+    def complete_many(
+        self,
+        worker_id: str,
+        completions: Sequence[tuple[str, float]],
+        *,
+        now: float | None = None,
+    ) -> int:
+        # No transactions on a filesystem — the batch is still one
+        # queue API round trip applied as per-job atomic renames.
+        if not completions:
+            return 0
+        self.transactions += 1
+        clock = time.time() if now is None else now
+        done = 0
+        for job_id, seconds in completions:
+            if self._complete_one(worker_id, job_id, seconds, clock):
+                done += 1
+        return done
+
     def fail(
         self,
         worker_id: str,
@@ -888,6 +1102,10 @@ class FileWorkQueue(WorkQueue):
         error: str = "",
         now: float | None = None,
     ) -> bool:
+        self.transactions += 1
+        return self._fail_one(worker_id, job_id, error)
+
+    def _fail_one(self, worker_id: str, job_id: str, error: str) -> bool:
         path = self._path(job_id, "leased")
         blob = self._read(path)
         if blob is None or blob.get("worker_id") != worker_id:
@@ -911,16 +1129,60 @@ class FileWorkQueue(WorkQueue):
             return False
         return True
 
+    def fail_many(
+        self,
+        worker_id: str,
+        failures: Sequence[tuple[str, str]],
+        now: float | None = None,
+    ) -> int:
+        if not failures:
+            return 0
+        self.transactions += 1
+        failed = 0
+        for job_id, error in failures:
+            if self._fail_one(worker_id, job_id, error):
+                failed += 1
+        return failed
+
     def heartbeat(
         self,
         worker_id: str,
         lease_seconds: float = 60.0,
         now: float | None = None,
     ) -> int:
+        self.transactions += 1
         clock = time.time() if now is None else now
+        return self._extend_leases(worker_id, None, lease_seconds, clock)
+
+    def heartbeat_many(
+        self,
+        worker_id: str,
+        job_ids: Sequence[str],
+        lease_seconds: float = 60.0,
+        now: float | None = None,
+    ) -> int:
+        if not job_ids:
+            return 0
+        self.transactions += 1
+        clock = time.time() if now is None else now
+        return self._extend_leases(
+            worker_id, set(job_ids), lease_seconds, clock
+        )
+
+    def _extend_leases(
+        self,
+        worker_id: str,
+        job_ids: set[str] | None,
+        lease_seconds: float,
+        clock: float,
+    ) -> int:
+        """One directory scan extending the worker's leases —
+        all of them, or only the named subset."""
         extended = 0
         for job_id, status, path in self._job_files():
             if status != "leased":
+                continue
+            if job_ids is not None and job_id not in job_ids:
                 continue
             blob = self._read(path)
             if blob is None or blob.get("worker_id") != worker_id:
@@ -932,6 +1194,7 @@ class FileWorkQueue(WorkQueue):
         return extended
 
     def reclaim(self, now: float | None = None) -> int:
+        self.transactions += 1
         clock = time.time() if now is None else now
         reclaimed = 0
         for job_id, status, path in self._job_files():
@@ -984,6 +1247,7 @@ class FileWorkQueue(WorkQueue):
         return reclaimed
 
     def requeue(self, job_id: str, now: float | None = None) -> bool:
+        self.transactions += 1
         for known_id, status, path in self._job_files():
             if known_id != job_id or status in ("pending", "claim"):
                 continue
@@ -1017,6 +1281,7 @@ class FileWorkQueue(WorkQueue):
         older_than_seconds: float = 0.0,
         now: float | None = None,
     ) -> int:
+        self.transactions += 1
         clock = time.time() if now is None else now
         cutoff = clock - max(older_than_seconds, 0.0)
         removed = 0
@@ -1042,12 +1307,14 @@ class FileWorkQueue(WorkQueue):
         return removed
 
     def job(self, job_id: str) -> JobRecord | None:
+        self.transactions += 1
         for known_id, status, path in self._job_files():
             if known_id == job_id:
                 return self._record_from(job_id, status, self._read(path))
         return None
 
     def jobs(self) -> Iterator[JobRecord]:
+        self.transactions += 1
         for job_id, status, path in self._job_files():
             yield self._record_from(job_id, status, self._read(path))
 
@@ -1152,6 +1419,7 @@ class DistributedJobHandle(JobHandle):
             if backend.fallback_after is not None
             else None
         )
+        idle_sleeps = 0
         while unresolved:
             if backend.queue_down:
                 # The queue proved unreachable (here or at submit):
@@ -1169,6 +1437,7 @@ class DistributedJobHandle(JobHandle):
                 # The timeout bounds *stalls*, not total study time:
                 # as long as points keep landing, a long study must
                 # not trip it — re-arm on every bit of progress.
+                idle_sleeps = 0
                 now = time.monotonic()
                 if backend.timeout is not None:
                     deadline = now + backend.timeout
@@ -1199,7 +1468,18 @@ class DistributedJobHandle(JobHandle):
                     f"repro-worker processes attached to the queue? "
                     f"[{backend.queue_snapshot()}]"
                 )
-            time.sleep(backend.poll_interval)
+            # Adaptive backoff: poll fast while points are landing
+            # (idle_sleeps resets on progress), double the sleep per
+            # idle tick up to poll_max so a quiet wait stops burning
+            # store reads without missing a late worker by much.
+            backend.poll_sleeps += 1
+            time.sleep(
+                min(
+                    backend.poll_interval * (2.0 ** min(idle_sleeps, 16)),
+                    backend.poll_max,
+                )
+            )
+            idle_sleeps += 1
         self._results = [
             self._resolved[fp] for fp in self._fingerprints
         ]
@@ -1226,23 +1506,36 @@ class DistributedJobHandle(JobHandle):
             unresolved.discard(fp)
 
     def _poll_store(self, unresolved: set[str]) -> bool:
-        """Collect any fingerprints the store can now answer."""
+        """Collect the fingerprints the store can now answer.
+
+        One batched ``load_many`` answers the whole unresolved set —
+        a peek per fingerprint would cost O(unresolved) store round
+        trips per poll tick.  The per-point ``job()`` lookup for
+        evaluation seconds happens once per point, on the tick it
+        lands, never per poll.
+        """
         backend = self._backend
-        progress = False
-        for fp in list(unresolved):
-            responses = backend._store_peek(fp)
-            if responses is None:
-                continue
-            record = backend._queue_call(backend.queue.job, fp)
-            seconds = (
-                record.seconds
-                if record is not None and record.seconds is not None
-                else 0.0
+        landed = backend._store_load_many(list(unresolved))
+        seconds_for: dict[str, float] = {}
+        if len(landed) > 1:
+            # Several points landed on one tick: one jobs() scan
+            # answers every seconds lookup instead of a queue round
+            # trip per landed fingerprint.
+            listed = backend._queue_call(
+                lambda: list(backend.queue.jobs())
             )
-            self._resolved[fp] = (responses, seconds)
+            for record in listed or []:
+                if record.seconds is not None:
+                    seconds_for[record.job_id] = record.seconds
+        elif landed:
+            (fp,) = landed
+            record = backend._queue_call(backend.queue.job, fp)
+            if record is not None and record.seconds is not None:
+                seconds_for[fp] = record.seconds
+        for fp, responses in landed.items():
+            self._resolved[fp] = (responses, seconds_for.get(fp, 0.0))
             unresolved.discard(fp)
-            progress = True
-        return progress
+        return bool(landed)
 
     def _work_one_lease(self, unresolved: set[str]) -> bool:
         """Lease and evaluate a batch of jobs (cooperate mode)."""
@@ -1255,19 +1548,17 @@ class DistributedJobHandle(JobHandle):
         )
         if jobs is None:
             return False
+        # A reclaimed lease may hand us jobs somebody already
+        # finished (their lease expired *after* they persisted).
+        # The store is the source of truth: one batched read answers
+        # the whole lease, and nothing is ever evaluated twice.
+        known = backend._store_load_many([job.job_id for job in jobs])
+        done: list[tuple[str, float]] = []
+        to_persist: list[tuple[str, Mapping[str, float]]] = []
         for job in jobs:
-            # A reclaimed lease may hand us a job somebody already
-            # finished (their lease expired *after* they persisted).
-            # The store is the source of truth: answer from it and
-            # never evaluate the same point twice.
-            responses = backend._store_peek(job.job_id)
+            responses = known.get(job.job_id)
             if responses is not None:
-                backend._queue_call(
-                    backend.queue.complete,
-                    backend.worker_id,
-                    job.job_id,
-                    seconds=0.0,
-                )
+                done.append((job.job_id, 0.0))
                 if job.job_id in unresolved:
                     self._resolved[job.job_id] = (responses, 0.0)
                     unresolved.discard(job.job_id)
@@ -1276,6 +1567,10 @@ class DistributedJobHandle(JobHandle):
             try:
                 responses = dict(self._evaluate(job.point))
             except Exception as error:
+                # Land the siblings evaluated so far before surfacing
+                # the failure: their results exist and the store is
+                # the substrate's source of truth for dedup.
+                backend._store_persist_many(to_persist)
                 backend._queue_call(
                     backend.queue.fail,
                     backend.worker_id,
@@ -1284,16 +1579,20 @@ class DistributedJobHandle(JobHandle):
                 )
                 raise
             seconds = time.perf_counter() - started
-            backend._store_persist(job.job_id, responses)
-            backend._queue_call(
-                backend.queue.complete,
-                backend.worker_id,
-                job.job_id,
-                seconds=seconds,
-            )
+            to_persist.append((job.job_id, responses))
+            done.append((job.job_id, seconds))
             if job.job_id in unresolved:
                 self._resolved[job.job_id] = (responses, seconds)
                 unresolved.discard(job.job_id)
+        # One batched persist lands the whole lease — the per-job
+        # variant cost one store round trip per evaluated point.
+        backend._store_persist_many(to_persist)
+        if done:
+            backend._queue_call(
+                backend.queue.complete_many,
+                backend.worker_id,
+                done,
+            )
         return bool(jobs)
 
     def _check_failures(self, unresolved: set[str]) -> None:
@@ -1431,6 +1730,12 @@ class DistributedBackend(EvaluationBackend):
         self.cooperate = cooperate
         self.lease_seconds = float(lease_seconds)
         self.poll_interval = float(poll_interval)
+        #: Ceiling for the adaptive idle backoff: polls start at
+        #: ``poll_interval`` and double while nothing lands, capped
+        #: here so a worker finishing late is still noticed quickly.
+        self.poll_max = max(
+            self.poll_interval, min(self.poll_interval * 20.0, 1.0)
+        )
         self.timeout = timeout
         self.batch = batch
         self.worker_id = worker_id or default_worker_id()
@@ -1445,6 +1750,10 @@ class DistributedBackend(EvaluationBackend):
         #: unavailable (queue unreachable, or no progress within
         #: ``fallback_after``).  Zero on a healthy run.
         self.degraded_evaluations = 0
+        #: Idle sleeps taken while waiting for results to land — the
+        #: per-layer cost of polling, made observable so benchmarks
+        #: can gate the adaptive backoff.
+        self.poll_sleeps = 0
         #: Latched once the queue proves unreachable; every handle
         #: then degrades immediately instead of re-paying the retry
         #: budget per call.
@@ -1491,6 +1800,37 @@ class DistributedBackend(EvaluationBackend):
         # repro-lint: allow[REP105] best-effort peek; transients already retried by RetryPolicy, an unreadable store is a cache miss
         except Exception:
             return None
+
+    def _store_load_many(
+        self, fingerprints: Sequence[str]
+    ) -> dict[str, dict[str, float]]:
+        """Best-effort batched read: an unreadable store answers
+        nothing and the caller treats every fingerprint as a miss."""
+        if not fingerprints:
+            return {}
+        try:
+            return self.retry.call(self.store.load_many, list(fingerprints))
+        # repro-lint: allow[REP105] best-effort batched read; transients already retried by RetryPolicy, an unreadable store is a cache miss
+        except Exception:
+            return {}
+
+    def _store_persist_many(
+        self, entries: Sequence[tuple[str, Mapping[str, float]]]
+    ) -> None:
+        """Best-effort batched persist: one store round trip lands a
+        whole lease of results.  A failing batch falls back to
+        per-entry persists so one unlandable payload never costs the
+        durability of its siblings."""
+        if not entries:
+            return
+        try:
+            self.retry.call(self.store.persist_many, entries)
+            return
+        # repro-lint: allow[REP105] batch persist transients already retried by RetryPolicy; residual failure falls back to per-entry persists, which carry their own one-time warning
+        except Exception:
+            pass
+        for fingerprint, responses in entries:
+            self._store_persist(fingerprint, responses)
 
     def _store_persist(self, fingerprint: str, responses) -> None:
         """Best-effort persist: the caller holds the responses, so a
@@ -1543,6 +1883,31 @@ class DistributedBackend(EvaluationBackend):
         except Exception as error:  # pragma: no cover - diagnostics only
             return f"queue snapshot unavailable: {error}"
 
+    def _enqueue_misses(
+        self,
+        fingerprints: Sequence[str],
+        points: Sequence[Mapping[str, float]],
+    ) -> int:
+        """Enqueue what the store cannot already answer.
+
+        One batched ``load_many`` replaces a peek per fingerprint;
+        the queue's job-id dedup absorbs concurrent submitters racing
+        the same study.  Returns how many jobs were newly enqueued.
+        """
+        known = self._store_load_many(list(dict.fromkeys(fingerprints)))
+        to_enqueue: dict[str, Mapping[str, float]] = {}
+        for fp, point in zip(fingerprints, points):
+            if fp in to_enqueue or fp in known:
+                continue
+            to_enqueue[fp] = point
+        if not to_enqueue:
+            return 0
+        submitted = self._queue_call(
+            self.queue.submit,
+            [Job(fp, dict(point)) for fp, point in to_enqueue.items()],
+        )
+        return submitted if submitted is not None else 0
+
     def _submit(
         self,
         evaluate: Evaluator,
@@ -1554,22 +1919,33 @@ class DistributedBackend(EvaluationBackend):
             from repro.exec.cache import point_fingerprint
 
             fingerprints = [point_fingerprint(point) for point in points]
-        # Enqueue only what the store cannot already answer; the
-        # queue's job-id dedup absorbs concurrent submitters racing
-        # the same study.
-        to_enqueue: dict[str, Mapping[str, float]] = {}
-        for fp, point in zip(fingerprints, points):
-            if fp in to_enqueue:
-                continue
-            if self._store_peek(fp) is not None:
-                continue
-            to_enqueue[fp] = point
-        if to_enqueue:
-            self._queue_call(
-                self.queue.submit,
-                [Job(fp, dict(point)) for fp, point in to_enqueue.items()],
-            )
+        self._enqueue_misses(fingerprints, points)
         return DistributedJobHandle(self, evaluate, fingerprints, points)
+
+    def prefetch(
+        self,
+        evaluate: Evaluator,
+        points: Sequence[Mapping[str, float]],
+        *,
+        fingerprints: Sequence[str] | None = None,
+    ) -> int:
+        """Enqueue store-misses without tracking a handle.
+
+        Fire-and-forget speculation: workers (or a later cooperating
+        submit of the same points) evaluate and publish through the
+        store, and whoever submits the points for real collects them
+        from there.  Returns how many jobs were newly enqueued.
+        """
+        if fingerprints is None:
+            from repro.exec.cache import point_fingerprint
+
+            fingerprints = [point_fingerprint(point) for point in points]
+        return self._enqueue_misses(fingerprints, points)
+
+    @property
+    def queue_transactions(self) -> int:
+        """Queue API calls issued against this backend's queue."""
+        return int(getattr(self.queue, "transactions", 0))
 
     def describe(self) -> dict:
         return {
@@ -1581,6 +1957,8 @@ class DistributedBackend(EvaluationBackend):
             "fallback": self.fallback,
             "fallback_after": self.fallback_after,
             "degraded_evaluations": self.degraded_evaluations,
+            "poll_sleeps": self.poll_sleeps,
+            "queue_transactions": self.queue_transactions,
             "queue_down": self.queue_down,
             "retry": self.retry.describe(),
             "store": self.store.describe(),

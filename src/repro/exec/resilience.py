@@ -464,6 +464,44 @@ class ResilientStore(_ResilientBase, CacheStore):
             ),
         )
 
+    def load_many(
+        self, fingerprints: Sequence[str]
+    ) -> dict[str, dict[str, float]]:
+        if not fingerprints:
+            return {}
+        # Overlay snapshot first, same as load(): an overlay hit must
+        # win over an inner miss while a recovery flush is pending.
+        overlaid = self._overlay.load_many(fingerprints)
+        result = self._guarded(
+            self._inner.load_many, fingerprints, fallback=None
+        )
+        if result is None:
+            return overlaid
+        if not overlaid:
+            return result
+        out: dict[str, dict[str, float]] = {}
+        for fingerprint in dict.fromkeys(fingerprints):
+            if fingerprint in result:
+                out[fingerprint] = result[fingerprint]
+            elif fingerprint in overlaid:
+                out[fingerprint] = overlaid[fingerprint]
+        return out
+
+    def persist_many(
+        self, entries: Sequence[tuple[str, Mapping[str, float]]]
+    ) -> None:
+        if not entries:
+            return
+        # Retry re-runs the whole batch; persists are idempotent
+        # (INSERT OR REPLACE / atomic rename), so a mid-batch
+        # transient neither loses nor double-applies entries.
+        entries = list(entries)
+        self._guarded(
+            self._inner.persist_many,
+            entries,
+            fallback=lambda: self._overlay.persist_many(entries),
+        )
+
     def discard(self, fingerprint: str) -> bool:
         overlaid = self._overlay.discard(fingerprint)
         dropped = self._guarded(
@@ -556,6 +594,10 @@ class ResilientQueue(_ResilientBase, WorkQueue):
     ):
         _ResilientBase.__init__(self, inner, retry, sleep)
         WorkQueue.__init__(self, max_attempts=inner.max_attempts)
+        # WorkQueue.__init__ sets an instance-level transactions
+        # counter that would shadow __getattr__ delegation; drop it so
+        # reads see the inner queue's live counter.
+        self.__dict__.pop("transactions", None)
         self.name = f"resilient[{inner.name}]"
 
     def submit(self, jobs: Sequence[Job]) -> int:
@@ -607,6 +649,45 @@ class ResilientQueue(_ResilientBase, WorkQueue):
     ) -> int:
         return self._retry_call(
             self._inner.heartbeat, worker_id, lease_seconds, now
+        )
+
+    def complete_many(
+        self,
+        worker_id: str,
+        completions: Sequence[tuple[str, float]],
+        *,
+        now: float | None = None,
+    ) -> int:
+        # A retried batch re-applies idempotently: jobs already
+        # completed in the first attempt stay done and report False,
+        # so the batch is neither lost nor double-applied.
+        return self._retry_call(
+            self._inner.complete_many, worker_id, list(completions), now=now
+        )
+
+    def fail_many(
+        self,
+        worker_id: str,
+        failures: Sequence[tuple[str, str]],
+        now: float | None = None,
+    ) -> int:
+        return self._retry_call(
+            self._inner.fail_many, worker_id, list(failures), now
+        )
+
+    def heartbeat_many(
+        self,
+        worker_id: str,
+        job_ids: Sequence[str],
+        lease_seconds: float = 60.0,
+        now: float | None = None,
+    ) -> int:
+        return self._retry_call(
+            self._inner.heartbeat_many,
+            worker_id,
+            list(job_ids),
+            lease_seconds,
+            now,
         )
 
     def reclaim(self, now: float | None = None) -> int:

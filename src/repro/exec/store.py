@@ -44,7 +44,7 @@ from abc import ABC, abstractmethod
 from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterator, Mapping
+from typing import Iterator, Mapping, Sequence
 
 from repro.errors import ReproError, TransientStoreError, is_transient
 from repro.exec.sqlite_util import connect_wal
@@ -84,6 +84,14 @@ class StoreStats:
             (:func:`repro.exec.lifecycle.collect`).
         bytes_reclaimed: approximate bytes freed by GC and compaction.
         compactions: ``compact()`` passes run against this store.
+        round_trips: hot-path store API calls (``load`` / ``peek`` /
+            ``persist`` / ``load_many`` / ``persist_many``) — each is
+            one client<->substrate round trip, so a batched call that
+            serves N entries still counts 1.  ``loads - round_trips``
+            therefore measures how much traffic batching amortized.
+        stats_saved: filesystem ``stat`` calls the file store avoided
+            by reusing its directory-scan metadata in ``load_many``
+            (other stores never tick it).
     """
 
     loads: int = 0
@@ -93,9 +101,14 @@ class StoreStats:
     gc_evictions: int = 0
     bytes_reclaimed: int = 0
     compactions: int = 0
+    round_trips: int = 0
+    stats_saved: int = 0
 
     def as_dict(self) -> dict:
-        return {name: getattr(self, name) for name in MIRRORED_COUNTERS}
+        out = {name: getattr(self, name) for name in MIRRORED_COUNTERS}
+        out["round_trips"] = self.round_trips
+        out["stats_saved"] = self.stats_saved
+        return out
 
 
 @dataclass
@@ -269,6 +282,50 @@ class CacheStore(ABC):
         leaves it None and the store stamps the entry itself.
         """
 
+    # -- batched hot path ------------------------------------------------------
+
+    def load_many(
+        self, fingerprints: Sequence[str]
+    ) -> dict[str, dict[str, float]]:
+        """Batch :meth:`load`: hits only, keyed by fingerprint.
+
+        The contract every store honours:
+
+        * misses are simply absent — never None values;
+        * duplicate fingerprints in the input collapse to one lookup;
+        * result insertion order is the input's first-occurrence order
+          (so ``zip``-style reassembly stays deterministic);
+        * an empty input returns ``{}`` without touching the store.
+
+        This default loops :meth:`load`, so it costs one round trip
+        per unique fingerprint; the shipped stores override it with a
+        single-transaction / single-directory-scan implementation that
+        costs one.
+        """
+        out: dict[str, dict[str, float]] = {}
+        seen: set[str] = set()
+        for fingerprint in fingerprints:
+            if fingerprint in seen:
+                continue
+            seen.add(fingerprint)
+            responses = self.load(fingerprint)
+            if responses is not None:
+                out[fingerprint] = responses
+        return out
+
+    def persist_many(
+        self, entries: Sequence[tuple[str, Mapping[str, float]]]
+    ) -> None:
+        """Batch :meth:`persist` of ``(fingerprint, responses)`` pairs.
+
+        Duplicate fingerprints are legal and resolve last-wins (the
+        pairs apply in order); an empty input touches nothing.  This
+        default loops :meth:`persist`; the shipped stores override it
+        to apply the whole batch in one transaction / one round trip.
+        """
+        for fingerprint, responses in entries:
+            self.persist(fingerprint, responses)
+
     @abstractmethod
     def peek(self, fingerprint: str) -> dict[str, float] | None:
         """Read an entry with *no side effects at all*.
@@ -416,6 +473,10 @@ class MemoryStore(CacheStore):
         self._meta: dict[str, EntryMeta] = {}
 
     def load(self, fingerprint: str) -> dict[str, float] | None:
+        self.stats.round_trips += 1
+        return self._load_entry(fingerprint)
+
+    def _load_entry(self, fingerprint: str) -> dict[str, float] | None:
         entry = self._entries.get(fingerprint)
         if entry is None:
             return None
@@ -426,9 +487,34 @@ class MemoryStore(CacheStore):
         self.stats.loads += 1
         return dict(entry)
 
+    def load_many(
+        self, fingerprints: Sequence[str]
+    ) -> dict[str, dict[str, float]]:
+        if not fingerprints:
+            return {}
+        self.stats.round_trips += 1
+        out: dict[str, dict[str, float]] = {}
+        for fingerprint in fingerprints:
+            if fingerprint in out:
+                continue
+            responses = self._load_entry(fingerprint)
+            if responses is not None:
+                out[fingerprint] = responses
+        return out
+
     def peek(self, fingerprint: str) -> dict[str, float] | None:
+        self.stats.round_trips += 1
         entry = self._entries.get(fingerprint)
         return dict(entry) if entry is not None else None
+
+    def persist_many(
+        self, entries: Sequence[tuple[str, Mapping[str, float]]]
+    ) -> None:
+        if not entries:
+            return
+        self.stats.round_trips += 1
+        for fingerprint, responses in entries:
+            self._persist_entry(fingerprint, responses, meta=None)
 
     def persist(
         self,
@@ -436,6 +522,16 @@ class MemoryStore(CacheStore):
         responses: Mapping[str, float],
         *,
         meta: EntryMeta | None = None,
+    ) -> None:
+        self.stats.round_trips += 1
+        self._persist_entry(fingerprint, responses, meta=meta)
+
+    def _persist_entry(
+        self,
+        fingerprint: str,
+        responses: Mapping[str, float],
+        *,
+        meta: EntryMeta | None,
     ) -> None:
         responses = dict(responses)
         self._entries[fingerprint] = responses
@@ -556,6 +652,7 @@ class FileStore(CacheStore):
         return name.endswith(cls._SUFFIX) and not name.startswith(".")
 
     def load(self, fingerprint: str) -> dict[str, float] | None:
+        self.stats.round_trips += 1
         path = self._path(fingerprint)
         try:
             raw = path.read_text(encoding="utf-8")
@@ -576,7 +673,61 @@ class FileStore(CacheStore):
         self.stats.loads += 1
         return responses
 
+    def load_many(
+        self, fingerprints: Sequence[str]
+    ) -> dict[str, dict[str, float]]:
+        if not fingerprints:
+            return {}
+        self.stats.round_trips += 1
+        wanted: dict[str, str] = {}  # blob filename -> fingerprint
+        order: list[str] = []
+        for fingerprint in fingerprints:
+            name = f"{fingerprint}{self._SUFFIX}"
+            if name not in wanted:
+                wanted[name] = fingerprint
+                order.append(fingerprint)
+        # One directory scan answers existence *and* metadata for the
+        # whole batch: each hit below reuses the scan's cached stat
+        # for its atime bump instead of re-statting the blob.
+        found: dict[str, os.stat_result] = {}
+        with os.scandir(self.directory) as dir_entries:
+            for entry in dir_entries:
+                fingerprint = wanted.get(entry.name)
+                if fingerprint is None:
+                    continue
+                try:
+                    found[fingerprint] = entry.stat()
+                except OSError:  # pragma: no cover - raced away
+                    continue
+        out: dict[str, dict[str, float]] = {}
+        for fingerprint in order:
+            stat = found.get(fingerprint)
+            if stat is None:
+                continue
+            path = self._path(fingerprint)
+            try:
+                raw = path.read_text(encoding="utf-8")
+            except OSError:
+                continue
+            try:
+                blob = json.loads(raw)
+            except ValueError:
+                blob = None
+            responses = _validate_blob(blob, fingerprint)
+            if responses is None:
+                self._drop(path)
+                continue
+            try:
+                os.utime(path, times=(time.time(), stat.st_mtime))
+            except OSError:  # pragma: no cover - raced away
+                pass
+            self.stats.loads += 1
+            self.stats.stats_saved += 1
+            out[fingerprint] = responses
+        return out
+
     def peek(self, fingerprint: str) -> dict[str, float] | None:
+        self.stats.round_trips += 1
         path = self._path(fingerprint)
         try:
             stat = path.stat()
@@ -616,6 +767,27 @@ class FileStore(CacheStore):
         responses: Mapping[str, float],
         *,
         meta: EntryMeta | None = None,
+    ) -> None:
+        self.stats.round_trips += 1
+        self._persist_entry(fingerprint, responses, meta=meta)
+
+    def persist_many(
+        self, entries: Sequence[tuple[str, Mapping[str, float]]]
+    ) -> None:
+        # Files have no transactions — the batch is still one round
+        # trip of the store API, applied as per-entry atomic renames.
+        if not entries:
+            return
+        self.stats.round_trips += 1
+        for fingerprint, responses in entries:
+            self._persist_entry(fingerprint, responses, meta=None)
+
+    def _persist_entry(
+        self,
+        fingerprint: str,
+        responses: Mapping[str, float],
+        *,
+        meta: EntryMeta | None,
     ) -> None:
         blob = _encode_blob(fingerprint, responses)
         try:
@@ -927,6 +1099,7 @@ class SQLiteStore(CacheStore):
                 pass
 
     def load(self, fingerprint: str) -> dict[str, float] | None:
+        self.stats.round_trips += 1
         row = self._conn.execute(
             "SELECT schema_version, payload FROM evaluations"
             " WHERE fingerprint = ?",
@@ -961,7 +1134,58 @@ class SQLiteStore(CacheStore):
         self.stats.loads += 1
         return responses
 
+    def load_many(
+        self, fingerprints: Sequence[str]
+    ) -> dict[str, dict[str, float]]:
+        if not fingerprints:
+            return {}
+        self.stats.round_trips += 1
+        order = list(dict.fromkeys(fingerprints))
+        rows: dict[str, tuple[int, str]] = {}
+        # Chunk the IN list well under SQLite's host-parameter cap.
+        for start in range(0, len(order), 500):
+            chunk = order[start : start + 500]
+            marks = ",".join("?" * len(chunk))
+            for fingerprint, schema_version, payload in self._conn.execute(
+                "SELECT fingerprint, schema_version, payload"
+                f" FROM evaluations WHERE fingerprint IN ({marks})",
+                chunk,
+            ):
+                rows[fingerprint] = (schema_version, payload)
+        out: dict[str, dict[str, float]] = {}
+        for fingerprint in order:
+            row = rows.get(fingerprint)
+            if row is None:
+                continue
+            responses = self._decode_row(fingerprint, row)
+            if responses is None:
+                self.discard(fingerprint)
+                continue
+            out[fingerprint] = responses
+        if out:
+            # Same best-effort usage tracking as load(), one
+            # transaction for the whole batch.
+            try:
+                self._conn.execute("PRAGMA busy_timeout=100")
+                try:
+                    now = time.time()
+                    with self._conn:
+                        self._conn.executemany(
+                            "UPDATE evaluations SET last_used_at = ?,"
+                            " hits = hits + 1 WHERE fingerprint = ?",
+                            [(now, fingerprint) for fingerprint in out],
+                        )
+                finally:
+                    self._conn.execute(
+                        f"PRAGMA busy_timeout={int(self.timeout * 1000)}"
+                    )
+            except sqlite3.Error:  # pragma: no cover - best-effort
+                pass
+            self.stats.loads += len(out)
+        return out
+
     def peek(self, fingerprint: str) -> dict[str, float] | None:
+        self.stats.round_trips += 1
         row = self._conn.execute(
             "SELECT schema_version, payload FROM evaluations"
             " WHERE fingerprint = ?",
@@ -984,13 +1208,19 @@ class SQLiteStore(CacheStore):
             return None
         return _validate_blob(blob, fingerprint)
 
-    def persist(
-        self,
+    _INSERT_SQL = (
+        "INSERT OR REPLACE INTO evaluations"
+        " (fingerprint, schema_version, payload, created_at,"
+        "  last_used_at, hits, size_bytes)"
+        " VALUES (?, ?, ?, ?, ?, ?, ?)"
+    )
+
+    @staticmethod
+    def _encode_row(
         fingerprint: str,
         responses: Mapping[str, float],
-        *,
-        meta: EntryMeta | None = None,
-    ) -> None:
+        meta: EntryMeta | None,
+    ) -> tuple:
         payload = _encode_payload(fingerprint, responses)
         now = time.time()
         created = meta.created_at if meta and meta.created_at else now
@@ -1000,23 +1230,45 @@ class SQLiteStore(CacheStore):
             else now
         ) or now
         hits = (meta.hits or 0) if meta else 0
+        return (
+            fingerprint,
+            SCHEMA_VERSION,
+            payload,
+            created,
+            last_used,
+            hits,
+            len(payload),
+        )
+
+    def persist(
+        self,
+        fingerprint: str,
+        responses: Mapping[str, float],
+        *,
+        meta: EntryMeta | None = None,
+    ) -> None:
+        self.stats.round_trips += 1
+        row = self._encode_row(fingerprint, responses, meta)
         with self._write_guard("persist"), self._conn:
-            self._conn.execute(
-                "INSERT OR REPLACE INTO evaluations"
-                " (fingerprint, schema_version, payload, created_at,"
-                "  last_used_at, hits, size_bytes)"
-                " VALUES (?, ?, ?, ?, ?, ?, ?)",
-                (
-                    fingerprint,
-                    SCHEMA_VERSION,
-                    payload,
-                    created,
-                    last_used,
-                    hits,
-                    len(payload),
-                ),
-            )
+            self._conn.execute(self._INSERT_SQL, row)
         self.stats.persists += 1
+
+    def persist_many(
+        self, entries: Sequence[tuple[str, Mapping[str, float]]]
+    ) -> None:
+        if not entries:
+            return
+        self.stats.round_trips += 1
+        rows = [
+            self._encode_row(fingerprint, responses, None)
+            for fingerprint, responses in entries
+        ]
+        # One transaction for the whole batch; INSERT OR REPLACE
+        # applies rows in order, so duplicate fingerprints resolve
+        # last-wins exactly like repeated persist() calls.
+        with self._write_guard("persist_many"), self._conn:
+            self._conn.executemany(self._INSERT_SQL, rows)
+        self.stats.persists += len(rows)
 
     @contextmanager
     def _write_guard(self, op: str):

@@ -305,6 +305,14 @@ class Worker:
         except Exception:
             return None
 
+    def _load_many(self, fingerprints):
+        """Best-effort batched store read: unreadable means unknown."""
+        try:
+            return self._call(self.store.load_many, list(fingerprints))
+        # repro-lint: allow[REP105] best-effort batched read; transients already retried by RetryPolicy, unreadable means unknown so the points are evaluated
+        except Exception:
+            return {}
+
     def run(self) -> WorkerReport:
         """Work until drained / idle / at the job bound."""
         report = WorkerReport(worker_id=self.worker_id)
@@ -368,26 +376,28 @@ class Worker:
         # Answer from the store before evaluating: a reclaimed lease
         # may carry a job whose original worker published the result
         # and only then lost its lease.  The store is authoritative
-        # for deterministic evaluations, so finishing the job costs a
-        # peek, not a simulation — and the study's evaluation count
-        # stays exact under lease-expiry chaos.
+        # for deterministic evaluations, so finishing the whole lease
+        # costs one batched read, not simulations — and the study's
+        # evaluation count stays exact under lease-expiry chaos.
+        known = self._load_many([job.job_id for job in jobs])
         runnable = []
+        skipped: list[tuple[str, float]] = []
         for job in jobs:
-            responses = self._peek(job.job_id)
-            if responses is None:
+            if job.job_id in known:
+                skipped.append((job.job_id, 0.0))
+            else:
                 runnable.append(job)
-                continue
+        if skipped:
             self._call(
-                self.queue.complete,
+                self.queue.complete_many,
                 self.worker_id,
-                job.job_id,
-                seconds=0.0,
+                skipped,
                 now=self._clock(),
             )
-            report.jobs_skipped += 1
+            report.jobs_skipped += len(skipped)
         if not runnable:
             return
-        # The peek pass itself takes time on a slow store, and the
+        # The store pass itself takes time on a slow store, and the
         # first evaluation may spend seconds prewarming charging
         # maps before the per-point progress hook starts firing —
         # top the leases up before diving in.
@@ -415,33 +425,76 @@ class Worker:
             )
             report.jobs_failed += 1
             return
+        try:
+            # The whole evaluated batch publishes in one store call
+            # and completes in one queue transaction.
+            self._call(
+                self.store.persist_many,
+                [
+                    (job.job_id, responses)
+                    for job, (responses, _seconds) in zip(runnable, results)
+                ],
+            )
+        # repro-lint: allow[REP105] persist transients already retried by RetryPolicy; a residual batch failure falls back to per-entry persists so only the results that truly cannot land fail their jobs
+        except Exception:
+            self._publish_per_job(runnable, results, report)
+            return
+        completions = [
+            (job.job_id, seconds)
+            for job, (_responses, seconds) in zip(runnable, results)
+        ]
+        self._call(
+            self.queue.complete_many,
+            self.worker_id,
+            completions,
+            now=self._clock(),
+        )
+        report.jobs_completed += len(completions)
+        report.eval_seconds += sum(seconds for _fp, seconds in completions)
+
+    def _publish_per_job(
+        self, runnable: Sequence, results: Sequence, report: WorkerReport
+    ) -> None:
+        """Publish a batch entry by entry after ``persist_many`` failed.
+
+        Per-entry persists sort out which results can still land.  A
+        job whose result cannot be published must not complete —
+        completing it would strand the submitter polling a store that
+        will never answer — so it fails back to pending and a
+        healthier host retries it.  The queue bookkeeping stays
+        batched: one ``complete_many`` and one ``fail_many``.
+        """
+        completions: list[tuple[str, float]] = []
+        failures: list[tuple[str, str]] = []
         for job, (responses, seconds) in zip(runnable, results):
             try:
                 self._call(self.store.persist, job.job_id, responses)
             # repro-lint: allow[REP105] persist transients already retried by RetryPolicy; any residual failure fails the job back to pending so a healthier host retries it
             except Exception as error:
-                # The result cannot be published; completing the job
-                # anyway would strand the submitter polling a store
-                # that will never answer.  Fail it back to pending so
-                # the point is retried somewhere the store works.
-                self._call(
-                    self.queue.fail,
-                    self.worker_id,
-                    job.job_id,
-                    error=f"store persist failed: {error}",
-                    now=self._clock(),
+                failures.append(
+                    (job.job_id, f"store persist failed: {error}")
                 )
-                report.jobs_failed += 1
                 continue
+            completions.append((job.job_id, seconds))
+        if completions:
             self._call(
-                self.queue.complete,
+                self.queue.complete_many,
                 self.worker_id,
-                job.job_id,
-                seconds=seconds,
+                completions,
                 now=self._clock(),
             )
-            report.jobs_completed += 1
-            report.eval_seconds += seconds
+            report.jobs_completed += len(completions)
+            report.eval_seconds += sum(
+                seconds for _fp, seconds in completions
+            )
+        if failures:
+            self._call(
+                self.queue.fail_many,
+                self.worker_id,
+                failures,
+                now=self._clock(),
+            )
+            report.jobs_failed += len(failures)
 
 
 @dataclass

@@ -31,6 +31,11 @@ class StoreContract:
     supports_corruption = False
     #: the store maintains per-entry hit counts.
     counts_hits = True
+    #: ``stats.round_trips`` moves by exactly one per batched call.
+    #: Retry wrappers re-issue a faulted batch, so the masking
+    #: bindings relax this to "at least one, far fewer than one per
+    #: entry".
+    counts_round_trips_exactly = True
 
     # -- hooks -----------------------------------------------------------------
 
@@ -190,6 +195,103 @@ class StoreContract:
         # The evidence is still there for verify to report.
         assert len(store) == 1
         assert store.stats.invalidations == 0
+
+    # -- batched I/O (the amortized-substrate contract) ------------------------
+
+    def _round_trip_delta(self, store, before):
+        delta = store.stats.round_trips - before
+        if self.counts_round_trips_exactly:
+            assert delta == 1
+        else:
+            # A retry wrapper may re-issue the faulted batch, but the
+            # cost must stay O(1) in the batch size.
+            assert 1 <= delta <= 3
+
+    def test_load_many_empty_touches_nothing(self, store):
+        before = store.stats.round_trips
+        assert store.load_many([]) == {}
+        assert store.stats.round_trips == before
+        assert store.stats.loads == 0
+
+    def test_load_many_partial_hits_in_first_occurrence_order(self, store):
+        store.persist("fp2", {"y": 2.0})
+        store.persist("fp0", {"y": 0.0})
+        found = store.load_many(["fp0", "absent", "fp2", "ghost"])
+        # Misses are absent (never None); order follows the input.
+        assert list(found) == ["fp0", "fp2"]
+        assert found == {"fp0": {"y": 0.0}, "fp2": {"y": 2.0}}
+
+    def test_load_many_collapses_duplicates(self, store):
+        store.persist("fp", {"y": 1.0})
+        before_hits = store.entry_meta("fp").hits or 0
+        found = store.load_many(["fp", "fp", "fp"])
+        assert found == {"fp": {"y": 1.0}}
+        if self.counts_hits and self.counts_round_trips_exactly:
+            # One lookup, not three.
+            assert (store.entry_meta("fp").hits or 0) == before_hits + 1
+
+    def test_load_many_is_one_round_trip(self, store):
+        for i in range(4):
+            store.persist(f"fp{i}", {"y": float(i)})
+        before = store.stats.round_trips
+        found = store.load_many([f"fp{i}" for i in range(4)])
+        assert len(found) == 4
+        self._round_trip_delta(store, before)
+
+    def test_load_many_refreshes_usage_like_load(self, store):
+        stamped = EntryMeta(
+            fingerprint="fp", created_at=1000.0, last_used_at=1000.0
+        )
+        store.persist("fp", {"y": 1.0}, meta=stamped)
+        before = store.entry_meta("fp")
+        assert store.load_many(["fp"]) == {"fp": {"y": 1.0}}
+        after = store.entry_meta("fp")
+        assert after.last_used_at > before.last_used_at
+
+    def test_persist_many_empty_touches_nothing(self, store):
+        before = store.stats.round_trips
+        store.persist_many([])
+        assert store.stats.round_trips == before
+        assert len(store) == 0
+
+    def test_persist_many_is_one_round_trip(self, store):
+        before = store.stats.round_trips
+        store.persist_many(
+            [(f"fp{i}", {"y": float(i)}) for i in range(3)]
+        )
+        self._round_trip_delta(store, before)
+        assert store.load_many([f"fp{i}" for i in range(3)]) == {
+            f"fp{i}": {"y": float(i)} for i in range(3)
+        }
+
+    def test_persist_many_duplicate_fingerprint_last_wins(self, store):
+        store.persist_many(
+            [("fp", {"y": 1.0}), ("other", {"y": 5.0}), ("fp", {"y": 2.0})]
+        )
+        assert len(store) == 2
+        assert store.load("fp") == {"y": 2.0}
+
+    def test_persist_many_entries_survive_reopen(self, store, tmp_path):
+        if not self.supports_persistence:
+            pytest.skip("process-local store")
+        store.persist_many([("fp0", {"y": 0.5}), ("fp1", {"y": 1.5})])
+        store.close()
+        fresh = self.reopen(tmp_path)
+        try:
+            assert fresh.load_many(["fp0", "fp1"]) == {
+                "fp0": {"y": 0.5},
+                "fp1": {"y": 1.5},
+            }
+        finally:
+            fresh.close()
+
+    def test_load_many_skips_corrupt_entries(self, store, tmp_path):
+        if not self.supports_corruption:
+            pytest.skip("store state not reachable from outside")
+        store.persist("good", {"y": 1.0})
+        store.persist("bad", {"y": 2.0})
+        self.corrupt_entry(store, tmp_path, "bad")
+        assert store.load_many(["good", "bad"]) == {"good": {"y": 1.0}}
 
     # -- lifecycle hooks -------------------------------------------------------
 

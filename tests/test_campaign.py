@@ -554,3 +554,97 @@ class TestKillResume:
         )
         with pytest.raises(ReproError, match="different factor space"):
             campaign.resume()
+
+
+@pytest.mark.parametrize("store_kind", ["sqlite", "file"])
+class TestPipelinedRounds:
+    """Opt-in round pipelining must be invisible in the results.
+
+    The speculative next-round acquisition runs on a *copy* of the
+    state and only warms the substrate; the real fit/acquisition
+    always sees the full round.  History, journal and resume therefore
+    stay bit-identical to the sequential campaign.
+    """
+
+    def _store(self, tmp_path, kind, name):
+        return str(
+            tmp_path / (f"{name}.sqlite" if kind == "sqlite" else name)
+        )
+
+    def _campaign(self, spec, pipelined, limit=None):
+        explorer = DesignExplorer(
+            synthetic_space(),
+            make_killable(limit),
+            ["y", "z"],
+            cache_store=spec,
+        )
+        return Campaign(
+            explorer,
+            "y",
+            config=CampaignConfig(
+                max_rounds=8,
+                batch=6,
+                seed=3,
+                pipeline_rounds=pipelined,
+            ),
+        )
+
+    @staticmethod
+    def _identity(result):
+        payload = result.as_dict()
+        payload.pop("evaluations")  # session-dependent by design
+        return json.dumps(payload, sort_keys=True)
+
+    def test_pipelined_equals_sequential(self, tmp_path, store_kind):
+        control = self._campaign(
+            self._store(tmp_path, store_kind, "control"), False
+        ).run()
+        pipelined = self._campaign(
+            self._store(tmp_path, store_kind, "pipelined"), True
+        ).run()
+        assert self._identity(pipelined) == self._identity(control)
+        # The speculation telemetry is present (and excluded from the
+        # identity payload above).
+        assert "speculated" in pipelined.evaluations
+        assert "speculative_hits" in pipelined.evaluations
+
+    def test_pipelined_kill_resume_bit_identical(
+        self, tmp_path, store_kind
+    ):
+        control = self._campaign(
+            self._store(tmp_path, store_kind, "control"), False
+        ).run()
+
+        victim_spec = self._store(tmp_path, store_kind, "victim")
+        victim = self._campaign(victim_spec, True, limit=14)
+        with pytest.raises(KillSwitch):
+            victim.run()
+        victim.explorer.close()
+
+        resumed = self._campaign(victim_spec, True).resume()
+        assert self._identity(resumed) == self._identity(control)
+
+    def test_pipelined_journal_matches_sequential(
+        self, tmp_path, store_kind
+    ):
+        # Beyond the result payload: the *journal rounds* themselves
+        # must be indistinguishable, or a sequential resume of a
+        # pipelined campaign could diverge.
+        seq = self._campaign(
+            self._store(tmp_path, store_kind, "seq"), False
+        )
+        seq.run()
+        pipe = self._campaign(
+            self._store(tmp_path, store_kind, "pipe"), True
+        )
+        pipe.run()
+
+        def rounds(campaign):
+            record = campaign.journal.load(campaign.campaign_id)
+            return [
+                (r.index, r.status, json.dumps(r.planned, sort_keys=True),
+                 json.dumps(r.completed, sort_keys=True))
+                for r in record.rounds
+            ]
+
+        assert rounds(pipe) == rounds(seq)

@@ -107,6 +107,49 @@ class TestJournalContract:
         assert len(record.rounds) == 1
         assert record.rounds[0].planned == {"points": [[1.0]]}
 
+    def test_advance_round_equals_complete_then_begin(self, journal):
+        # One round boundary, one durable mutation — but observably
+        # identical to complete_round + begin_round.
+        journal.create("camp", CONFIG)
+        journal.begin_round("camp", 0, {"points": [[0.0]]})
+        journal.advance_round(
+            "camp", 0, {"score": 1.5}, {"points": [[0.5]]}
+        )
+        record = journal.load("camp")
+        assert [r.status for r in record.rounds] == [
+            "complete",
+            "planned",
+        ]
+        assert record.rounds[0].completed == {"score": 1.5}
+        assert record.rounds[1].planned == {"points": [[0.5]]}
+        # The boundary chains: the next advance completes round 1.
+        journal.advance_round("camp", 1, {"score": 0.5}, {"points": []})
+        record = journal.load("camp")
+        assert [r.status for r in record.rounds] == [
+            "complete",
+            "complete",
+            "planned",
+        ]
+
+    def test_advance_round_replaces_a_stale_next_plan(self, journal):
+        # A resume may have re-planned round 1 already; advance keeps
+        # exactly one row per index, like begin_round.
+        journal.create("camp", CONFIG)
+        journal.begin_round("camp", 0, {"points": [[0.0]]})
+        journal.begin_round("camp", 1, {"points": [[9.0]]})
+        journal.advance_round("camp", 0, {"score": 1.0}, {"points": [[0.5]]})
+        record = journal.load("camp")
+        assert len(record.rounds) == 2
+        assert record.rounds[1].planned == {"points": [[0.5]]}
+        assert record.rounds[1].status == "planned"
+
+    def test_advance_unplanned_round_is_atomic_rejection(self, journal):
+        journal.create("camp", CONFIG)
+        with pytest.raises(ReproError, match="no planned round"):
+            journal.advance_round("camp", 3, {}, {"points": []})
+        # Nothing landed: the rejection left no round-4 plan behind.
+        assert journal.load("camp").rounds == []
+
     def test_campaigns_lists_everything(self, journal):
         journal.create("a", CONFIG)
         journal.create("b", CONFIG)

@@ -119,6 +119,25 @@ class TestEvalCache:
         with pytest.raises(ReproError):
             EvalCache(max_entries=0)
 
+    def test_get_many_counts_hits_and_misses_per_unique(self):
+        cache = EvalCache()
+        cache.put_many([("a", {"y": 1.0}), ("b", {"y": 2.0})])
+        found = cache.get_many(["a", "ghost", "b", "a"])
+        assert found == {"a": {"y": 1.0}, "b": {"y": 2.0}}
+        assert cache.stats.hits == 2  # unique hits, not slots
+        assert cache.stats.misses == 1
+        assert cache.get_many([]) == {}
+        # The returned payloads are copies, like get().
+        found["a"]["y"] = 99.0
+        assert cache.get("a") == {"y": 1.0}
+
+    def test_put_many_validates_fingerprints(self):
+        cache = EvalCache()
+        with pytest.raises(ReproError):
+            cache.put_many([(3, {"y": 1.0})])
+        cache.put_many([])
+        assert "ghost" not in cache
+
 
 class TestEvaluationEngine:
     def test_replicates_collapse_to_one_evaluation(self):
@@ -163,6 +182,14 @@ class TestEvaluationEngine:
         engine.map_points([point])
         assert len(calls) == 3
         assert engine.stats()["cache"] is None
+
+    def test_prefetch_is_a_noop_on_serial_backends(self):
+        engine = EvaluationEngine(lambda p: {"y": p["a"]})
+        assert engine.prefetch([{"a": 1.0}]) == 0
+        snap = engine.stats_snapshot()
+        assert snap["queue_transactions"] == 0
+        assert snap["poll_sleeps"] == 0
+        assert "store_round_trips" in snap
 
     def test_single_point_call(self):
         engine = EvaluationEngine(_synthetic, backend="serial", cache=True)

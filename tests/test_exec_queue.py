@@ -125,6 +125,77 @@ class TestWorkQueueContract:
         assert queue.reclaim() == 0
         assert queue.job("fp00").status == "leased"
 
+    # -- batched transactions (the amortized-substrate contract) -------------
+
+    def test_complete_many_empty_is_free(self, queue):
+        before = queue.transactions
+        assert queue.complete_many("w1", []) == 0
+        assert queue.transactions == before
+
+    def test_complete_many_folds_one_transaction(self, queue):
+        queue.submit(_jobs(3))
+        queue.lease("w1", n=3)
+        before = queue.transactions
+        done = queue.complete_many(
+            "w1", [("fp00", 0.5), ("fp01", 0.25), ("fp02", 1.0)]
+        )
+        assert done == 3
+        assert queue.transactions == before + 1
+        record = queue.job("fp00")
+        assert record.status == "done"
+        assert record.seconds == pytest.approx(0.5)
+        assert queue.stats().done == 3
+
+    def test_complete_many_covers_only_held_leases(self, queue):
+        queue.submit(_jobs(2))
+        queue.lease("w1", n=1)
+        done = queue.complete_many("w1", [("fp00", 0.1), ("fp01", 0.1)])
+        assert done == 1  # fp01 was never leased to w1
+        assert queue.job("fp00").status == "done"
+        assert queue.job("fp01").status == "pending"
+
+    def test_complete_many_duplicates_apply_once_in_order(self, queue):
+        queue.submit(_jobs(1))
+        queue.lease("w1", n=1)
+        done = queue.complete_many("w1", [("fp00", 0.1), ("fp00", 0.2)])
+        assert done == 1
+        record = queue.job("fp00")
+        assert record.status == "done"
+        # The first pair won; the duplicate hit a spent lease.
+        assert record.seconds == pytest.approx(0.1)
+
+    def test_fail_many_requeues_in_one_transaction(self, queue):
+        queue.submit(_jobs(2))
+        queue.lease("w1", n=2)
+        before = queue.transactions
+        failed = queue.fail_many(
+            "w1", [("fp00", "boom"), ("fp01", "bang")]
+        )
+        assert failed == 2
+        assert queue.transactions == before + 1
+        stats = queue.stats()
+        assert stats.pending == 2 and stats.leased == 0
+        assert queue.job("fp00").error == "boom"
+
+    def test_heartbeat_many_empty_is_free(self, queue):
+        before = queue.transactions
+        assert queue.heartbeat_many("w1", []) == 0
+        assert queue.transactions == before
+
+    def test_heartbeat_many_extends_only_held_leases(self, queue):
+        queue.submit(_jobs(2))
+        queue.lease("w1", n=2, lease_seconds=0.2)
+        before = queue.transactions
+        extended = queue.heartbeat_many(
+            "w1", ["fp00", "fp01", "ghost"], lease_seconds=120.0
+        )
+        assert extended == 2
+        assert queue.transactions == before + 1
+        time.sleep(0.3)
+        # Without the batched heartbeat these would have expired.
+        assert queue.reclaim() == 0
+        assert queue.job("fp00").status == "leased"
+
     def test_fail_requeues_then_goes_terminal(self, queue):
         queue.submit(_jobs(1))
         for attempt in range(1, queue.max_attempts + 1):
@@ -191,6 +262,58 @@ class TestWorkQueueContract:
         queue.submit([Job("fp-bits", values)])
         leased = queue.lease("w1", n=1)
         assert leased[0].point == values
+
+
+class TestLeaseExpiryIndex:
+    """The covering index behind lease reclamation, pinned in place.
+
+    Reclamation's predicate (``status = 'leased' AND
+    lease_expires_at < now``) must stay index-served as done rows
+    accumulate; these tests fail if the index is renamed, dropped
+    from the DDL, or the query drifts off it.
+    """
+
+    def test_reclaim_predicate_uses_the_covering_index(self, tmp_path):
+        queue = SQLiteWorkQueue(tmp_path / "queue.sqlite")
+        try:
+            queue.submit(_jobs(4))
+            queue.lease("w1", n=4, lease_seconds=60.0)
+            plan = " ".join(
+                str(row[3])
+                for row in queue._conn.execute(
+                    "EXPLAIN QUERY PLAN SELECT job_id FROM queue_jobs"
+                    " WHERE status = 'leased' AND lease_expires_at < ?",
+                    (time.time(),),
+                )
+            )
+            assert "queue_jobs_lease_expiry" in plan
+            assert "SCAN queue_jobs" not in plan
+        finally:
+            queue.close()
+
+    def test_index_migrates_in_place_on_reopen(self, tmp_path):
+        path = tmp_path / "queue.sqlite"
+        first = SQLiteWorkQueue(path)
+        first.submit(_jobs(2))
+        first.lease("w1", n=1, lease_seconds=60.0)
+        # Simulate a database created before the index existed.
+        first._conn.execute("DROP INDEX queue_jobs_lease_expiry")
+        first.close()
+        reopened = SQLiteWorkQueue(path)
+        try:
+            names = {
+                row[0]
+                for row in reopened._conn.execute(
+                    "SELECT name FROM sqlite_master WHERE type = 'index'"
+                )
+            }
+            assert "queue_jobs_lease_expiry" in names
+            # The migration touched nothing else: rows and leases
+            # survive the reopen intact.
+            assert reopened.job("fp00").status == "leased"
+            assert reopened.job("fp01").status == "pending"
+        finally:
+            reopened.close()
 
 
 class TestQueuePersistence:
@@ -420,6 +543,82 @@ class TestDistributedBackend:
         )
         assert results[0][0] == synthetic_evaluate(point)
         assert len(queue_for_store(store)) == 0
+        backend.close()
+
+    def test_prefetch_enqueues_only_misses(self, tmp_path):
+        store = FileStore(tmp_path / "evals")
+        points = make_points(3)
+        store.persist("hit", synthetic_evaluate(points[0]))
+        backend = DistributedBackend(store, timeout=30.0)
+        started = backend.prefetch(
+            synthetic_evaluate,
+            points,
+            fingerprints=["hit", "miss-a", "miss-b"],
+        )
+        assert started == 2
+        assert len(queue_for_store(store)) == 2
+        # Re-prefetching is free: everything is queued or stored.
+        again = backend.prefetch(
+            synthetic_evaluate,
+            points,
+            fingerprints=["hit", "miss-a", "miss-b"],
+        )
+        assert again == 0
+        # The warmed queue then serves the real submission.
+        results = backend.run(
+            synthetic_evaluate,
+            points,
+            fingerprints=["hit", "miss-a", "miss-b"],
+        )
+        reference = SerialBackend().run(synthetic_evaluate, points)
+        assert [r for r, _ in results] == [r for r, _ in reference]
+        backend.close()
+
+    def test_prefetch_computes_fingerprints_when_omitted(self, tmp_path):
+        store = FileStore(tmp_path / "evals")
+        backend = DistributedBackend(store, timeout=30.0)
+        points = make_points(2)
+        assert backend.prefetch(synthetic_evaluate, points) == 2
+        results = backend.run(synthetic_evaluate, points)
+        assert len(queue_for_store(store)) == 2  # prefetch jobs reused
+        reference = SerialBackend().run(synthetic_evaluate, points)
+        assert [r for r, _ in results] == [r for r, _ in reference]
+        backend.close()
+
+    def test_adaptive_poll_backs_off_while_idle(self, tmp_path):
+        import threading
+
+        store = FileStore(tmp_path / "evals")
+        backend = DistributedBackend(
+            store, cooperate=False, poll_interval=0.005, timeout=30.0
+        )
+        points = make_points(2)
+        handle = backend.submit(
+            synthetic_evaluate, points, fingerprints=["p0", "p1"]
+        )
+
+        def finish():
+            queue = queue_for_store(store)
+            time.sleep(0.05)
+            for job in queue.lease("w", n=2):
+                store.persist(job.job_id, synthetic_evaluate(job.point))
+                queue.complete("w", job.job_id, seconds=0.1)
+            queue.close()
+
+        worker = threading.Thread(target=finish)
+        worker.start()
+        try:
+            results = handle.result()
+        finally:
+            worker.join()
+        assert len(results) == 2
+        # The idle wait was spent in counted, capped sleeps.
+        assert backend.poll_sleeps > 0
+        assert backend.poll_max <= 1.0
+        described = backend.describe()
+        assert described["poll_sleeps"] == backend.poll_sleeps
+        assert described["queue_transactions"] > 0
+        assert backend.queue_transactions == described["queue_transactions"]
         backend.close()
 
     def test_two_submitters_share_one_study(self, tmp_path):

@@ -23,6 +23,9 @@ from backend_contract import make_points, synthetic_evaluate
 from repro.errors import ReproError
 from repro.exec import (
     DistributedBackend,
+    FaultPlan,
+    FaultSpec,
+    FaultyStore,
     FileStore,
     Job,
     SQLiteStore,
@@ -194,6 +197,57 @@ class TestWorkerLoop:
         assert store.peek(jobs[1].job_id) == synthetic_evaluate(
             jobs[1].point
         )
+
+    def test_persist_many_failure_falls_back_to_per_entry(self, tmp_path):
+        # A dead batched publish must not fail jobs whose results can
+        # still land one by one.
+        inner = SQLiteStore(tmp_path / "evals.sqlite")
+        store = FaultyStore(
+            inner,
+            FaultPlan([FaultSpec("store", "persist_many", 1, "terminal")]),
+        )
+        queue = queue_for_store(inner)
+        jobs = _jobs(2)
+        queue.submit(jobs)
+        report = Worker(
+            store, queue, synthetic_evaluate, drain=True, batch=2
+        ).run()
+        assert report.jobs_completed == 2
+        assert report.jobs_failed == 0
+        assert queue.stats().done == 2
+        for job in jobs:
+            assert inner.peek(job.job_id) == synthetic_evaluate(job.point)
+
+    def test_unlandable_result_fails_only_its_own_job(self, tmp_path):
+        # Batched publish dead AND one per-entry persist dead: the
+        # healthy result completes, the stuck job goes back to
+        # pending and heals on the next lease.
+        inner = SQLiteStore(tmp_path / "evals.sqlite")
+        store = FaultyStore(
+            inner,
+            FaultPlan(
+                [
+                    FaultSpec("store", "persist_many", 1, "terminal"),
+                    FaultSpec("store", "persist", 1, "terminal"),
+                ]
+            ),
+        )
+        queue = queue_for_store(inner)
+        jobs = _jobs(2)
+        queue.submit(jobs)
+        report = Worker(
+            store, queue, synthetic_evaluate, drain=True, batch=2
+        ).run()
+        # One failed attempt recorded; on the re-lease the batched
+        # store read finds the half-batch the faulted persist_many
+        # left behind and the job resolves as a skip — the store is
+        # authoritative, nothing is evaluated or published twice.
+        assert report.jobs_failed == 1
+        assert report.jobs_completed + report.jobs_skipped == 2
+        stats = queue.stats()
+        assert stats.done == 2 and stats.failed == 0
+        for job in jobs:
+            assert inner.peek(job.job_id) == synthetic_evaluate(job.point)
 
     def test_drain_waits_despite_finished_rows_from_older_studies(
         self, tmp_path

@@ -25,8 +25,16 @@ from repro.exec import (
     FileStore,
     Job,
     MemoryStore,
+    ResilientQueue,
+    ResilientStore,
+    RetryPolicy,
     SQLiteStore,
     SQLiteWorkQueue,
+)
+
+#: Instant retries — these tests must not sleep.
+_FAST_RETRY = RetryPolicy(
+    max_attempts=4, base_delay=0.0, max_delay=0.0, max_elapsed=None
 )
 
 
@@ -207,3 +215,83 @@ class TestFaultyQueue:
                 "worker" if kind == "kill_worker" else "store"
             )
             FaultSpec(target, "*", 1, kind)
+
+
+class TestMidBatchFaults:
+    """A fault inside a batched call neither loses nor double-applies.
+
+    The faulty wrappers apply the *first half* of a batch before
+    raising — the nastiest shape a real mid-transaction crash can
+    leave behind.  Idempotent application (INSERT OR REPLACE; a spent
+    lease rejects a second completion) plus the retry layer must
+    converge on exactly the full batch, applied once.
+    """
+
+    def test_persist_many_partial_then_retry_converges(self, tmp_path):
+        inner = SQLiteStore(tmp_path / "s.sqlite")
+        store = FaultyStore(
+            inner,
+            FaultPlan(
+                [FaultSpec("store", "persist_many", 1, "transient")]
+            ),
+        )
+        entries = [(f"fp{i}", {"y": float(i)}) for i in range(4)]
+        with pytest.raises(TransientStoreError):
+            store.persist_many(entries)
+        # The injected crash left the first half behind...
+        assert len(inner) == 2
+        # ...and the bare retry lands the whole batch exactly once.
+        store.persist_many(entries)
+        assert dict(inner.items()) == dict(entries)
+        inner.close()
+
+    def test_resilient_store_masks_the_partial_batch(self, tmp_path):
+        inner = SQLiteStore(tmp_path / "s.sqlite")
+        store = ResilientStore(
+            FaultyStore(
+                inner,
+                FaultPlan(
+                    [FaultSpec("store", "persist_many", 1, "locked")]
+                ),
+            ),
+            retry=_FAST_RETRY,
+            sleep=lambda _: None,
+        )
+        entries = [(f"fp{i}", {"y": float(i)}) for i in range(5)]
+        store.persist_many(entries)  # one call; the fault is invisible
+        assert dict(inner.items()) == dict(entries)
+        assert store.resilience.retried == 1
+        store.close()
+
+    def test_complete_many_partial_then_retry_completes_once(
+        self, tmp_path
+    ):
+        inner = SQLiteWorkQueue(tmp_path / "q.sqlite")
+        queue = ResilientQueue(
+            FaultyQueue(
+                inner,
+                FaultPlan(
+                    [FaultSpec("queue", "complete_many", 1, "transient")]
+                ),
+            ),
+            retry=_FAST_RETRY,
+            sleep=lambda _: None,
+        )
+        queue.submit([Job(f"fp{i}", {"a": float(i)}) for i in range(4)])
+        queue.lease("w1", n=4)
+        done = queue.complete_many(
+            "w1", [(f"fp{i}", 0.5) for i in range(4)]
+        )
+        # The first half landed before the fault, so the retried
+        # batch only finds two live leases left — the return value
+        # reports the retry's coverage, never a double count.
+        assert done == 2
+        assert queue.resilience.retried == 1
+        stats = inner.stats()
+        assert stats.done == 4 and stats.failed == 0
+        for i in range(4):
+            record = inner.job(f"fp{i}")
+            assert record.status == "done"
+            assert record.attempts == 1  # completed once, not twice
+            assert record.seconds == pytest.approx(0.5)
+        queue.close()

@@ -76,6 +76,14 @@ class _Breakable(MemoryStore):
             raise OSError(f"cannot write {fingerprint}")
         return super().persist(fingerprint, responses, meta=meta)
 
+    def load_many(self, fingerprints):
+        self._check()
+        return super().load_many(fingerprints)
+
+    def persist_many(self, entries):
+        self._check()
+        return super().persist_many(entries)
+
     def __len__(self):
         self._check()
         return super().__len__()
@@ -314,6 +322,38 @@ class TestResilientStore:
         assert len(store) == 1
         assert dict(store.items()) == {"fp2": {"y": 2.0}}
         assert store.resilience.degraded_ops >= 2
+
+    def test_degraded_batches_answer_from_the_overlay(self):
+        store, _ = self._store()
+        store.persist("fp1", {"y": 1.0})
+        store.inner.broken = True
+        with pytest.warns(RuntimeWarning, match="memory-only"):
+            store.persist_many(
+                [("fp2", {"y": 2.0}), ("fp3", {"y": 3.0})]
+            )
+        assert store.degraded
+        assert store.overlay_entries() == 2
+        # fp1 is stranded behind the broken inner; the overlay serves
+        # the rest of the batch without touching it.
+        assert store.load_many(["fp1", "fp2", "fp3"]) == {
+            "fp2": {"y": 2.0},
+            "fp3": {"y": 3.0},
+        }
+
+    def test_load_many_merges_overlay_over_inner(self):
+        store, clock = self._store()
+        store.persist("fp1", {"y": 1.0})
+        store.inner.broken = True
+        with pytest.warns(RuntimeWarning, match="memory-only"):
+            store.persist_many([("fp2", {"y": 2.0})])
+        store.inner.broken = False
+        clock.advance(60.0)  # past the breaker's reset window
+        # The inner store answers fp1, the (not yet flushed or just
+        # flushed) overlay answered fp2 — one call, both present, in
+        # input order.
+        found = store.load_many(["fp1", "fp2"])
+        assert list(found) == ["fp1", "fp2"]
+        assert found == {"fp1": {"y": 1.0}, "fp2": {"y": 2.0}}
 
     def test_degradation_warns_exactly_once(self):
         store, _ = self._store()
