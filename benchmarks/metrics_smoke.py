@@ -1,0 +1,279 @@
+"""Observability smoke, driven by CI.
+
+Proves the acceptance properties of the observability layer against
+*real* ``repro-worker`` processes on one shared substrate:
+
+1. **Scrape-able study** — while a two-worker fleet (one of which is
+   SIGKILLed mid-lease) drains a study, a ``repro.obs`` HTTP exporter
+   serves Prometheus text exposition combining the local registry
+   with a fresh fleet sample per scrape; the final scrape must carry
+   ``repro_jobs_completed_total``, ``repro_lease_reclaims_total`` and
+   ``repro_cache_hits_total`` series with the expected values.
+2. **Reconstructable history** — the shared JSONL event log alone
+   (no live substrate access) reconstructs the queue's depth
+   trajectory, each worker's lease lifecycle (grants → exit), and the
+   reclaim of the killed worker's jobs by the survivor.
+
+Usage::
+
+    python benchmarks/metrics_smoke.py \
+        --store /tmp/metrics-evals.sqlite --json results/metrics_smoke.json
+
+Exit status is non-zero on any property violation.  The event log is
+left beside the store (``*.events.jsonl``) so CI can upload it as an
+artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import signal
+import subprocess
+import sys
+import time
+import urllib.request
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+from repro.exec import EvaluationEngine, Job, queue_for_store, resolve_store
+from repro.fsutil import atomic_write_json
+from repro.obs.events import default_events_path, read_events, set_event_log
+from repro.obs.export import parse_prometheus, serve_metrics
+from repro.obs.fleet import aggregate_event_counters, sample_fleet
+
+EVALUATOR_SPEC = "benchmarks.metrics_smoke:make_evaluator"
+STALLING_SPEC = "benchmarks.metrics_smoke:make_stalling_evaluator"
+
+
+def _synthetic(point):
+    a, b = point["a"], point["b"]
+    return {"y1": math.sin(a) * b + a * a, "y2": math.exp(-abs(b)) + 3.0 * a}
+
+
+def make_evaluator():
+    """Worker-side factory: a fast deterministic point evaluator."""
+    return _synthetic
+
+
+def make_stalling_evaluator():
+    """Victim factory: stalls far past any lease TTL; never survives."""
+
+    def stall(point):
+        time.sleep(600.0)
+        raise AssertionError("stalling evaluator must be killed")
+
+    return stall
+
+
+class SmokeFailure(AssertionError):
+    pass
+
+
+def check(condition: bool, message: str) -> None:
+    if not condition:
+        raise SmokeFailure(message)
+
+
+def spawn_worker(
+    store: str, events: str, *extra: str, evaluator: str = EVALUATOR_SPEC
+) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(REPO_ROOT / "src"), str(REPO_ROOT)]
+        + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
+    return subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.exec.worker", store,
+            "--evaluator", evaluator,
+            "--events", events,
+            "--no-map-store",
+            "--json",
+            *extra,
+        ],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+
+
+def _cache_phase(events_path: str) -> None:
+    """Local engine work whose counters reach the log via the engine's
+    close-time flush: the second pass is pure cache hits, so
+    ``repro_cache_hits_total`` must survive cross-process aggregation."""
+    set_event_log(events_path)
+    engine = EvaluationEngine(_synthetic, backend="serial", cache=True)
+    points = [{"a": 0.1 * i, "b": 1.0 + 0.1 * i} for i in range(8)]
+    engine.map_points(points)
+    engine.map_points(points)  # 8 hits
+    engine.close()
+
+
+def run_smoke(store_spec: str, n_points: int) -> dict:
+    events_path = default_events_path(store_spec)
+    summary: dict = {"store": store_spec, "events": events_path}
+
+    _cache_phase(events_path)
+
+    store = resolve_store(store_spec)
+    queue = queue_for_store(store)
+    jobs = [
+        Job(f"{i:02d}" * 30, {"a": 0.2 * i, "b": 1.0 + 0.05 * i})
+        for i in range(n_points)
+    ]
+    queue.submit(jobs)
+
+    # Victim: short TTL, stalling evaluator — SIGKILL lands while it
+    # provably holds leases.
+    victim = spawn_worker(
+        store_spec, events_path, "--batch", "2", "--lease-seconds", "2",
+        "--poll", "0.05", evaluator=STALLING_SPEC,
+    )
+    deadline = time.monotonic() + 120.0
+    while time.monotonic() < deadline:
+        if queue.stats().leased > 0:
+            break
+        time.sleep(0.1)
+    else:
+        victim.kill()
+        raise SmokeFailure("victim worker never leased any jobs")
+    victim.send_signal(signal.SIGKILL)
+    victim.wait(timeout=30)
+
+    survivor = spawn_worker(
+        store_spec, events_path, "--drain", "--idle-timeout", "120",
+        "--batch", "2", "--poll", "0.05",
+    )
+    out, err = survivor.communicate(timeout=300)
+    check(survivor.returncode == 0, f"survivor worker failed: {err}")
+    survivor_report = json.loads(out)
+    stats = queue.stats()
+    check(
+        stats.done == n_points and stats.outstanding == 0,
+        f"queue not drained after kill: {stats.as_dict()}",
+    )
+
+    # -- property 1: the exporter serves the whole story ------------------
+    server = serve_metrics(
+        port=0, extra_samples=lambda: sample_fleet(store_spec).samples()
+    )
+    try:
+        body = urllib.request.urlopen(server.url, timeout=10).read().decode()
+    finally:
+        server.stop()
+    series = parse_prometheus(body)
+
+    def series_total(name: str) -> float:
+        return sum(v for k, v in series.items() if k.startswith(name))
+
+    completed = series_total("repro_jobs_completed_total")
+    check(
+        completed >= n_points,
+        f"scrape shows {completed} jobs completed, expected >= {n_points}",
+    )
+    reclaims = series_total("repro_lease_reclaims_total")
+    check(reclaims >= 1, "scrape shows no lease reclaims after a SIGKILL")
+    hits = series_total("repro_cache_hits_total")
+    check(hits >= 8, f"scrape shows {hits} cache hits, expected >= 8")
+    depth_done = series.get('repro_queue_depth{status="done"}', 0.0)
+    check(
+        depth_done == n_points,
+        f"sampled queue depth done={depth_done}, expected {n_points}",
+    )
+    summary["scrape"] = {
+        "jobs_completed": completed,
+        "lease_reclaims": reclaims,
+        "cache_hits": hits,
+        "series": len(series),
+    }
+
+    # -- property 2: the event log alone reconstructs the lifecycle -------
+    grants = read_events(events_path, event="lease_grant")
+    reclaim_events = read_events(events_path, event="lease_reclaim")
+    exits = read_events(events_path, event="worker_exit")
+    check(len(grants) >= 2, "expected lease grants from victim and survivor")
+    victim_ids = {g["worker"] for g in grants} - {
+        e["worker"] for e in exits
+    }
+    check(
+        len(victim_ids) == 1,
+        f"exactly one worker must have died leaseholding: {victim_ids}",
+    )
+    victim_id = victim_ids.pop()
+    check(
+        any(r["from_worker"] == victim_id for r in reclaim_events),
+        f"no reclaim event names the killed worker {victim_id}",
+    )
+    survivor_ids = {e["worker"] for e in exits}
+    check(
+        survivor_report["worker_id"] in survivor_ids,
+        "survivor's exit event is missing",
+    )
+    # Depth trajectory: grants cover every job at least once, and the
+    # aggregated counters agree with the substrate's final state.
+    granted_jobs = sum(int(g.get("jobs", 0)) for g in grants)
+    check(
+        granted_jobs >= n_points,
+        f"grants cover {granted_jobs} jobs, expected >= {n_points}",
+    )
+    counters = aggregate_event_counters(events_path)
+    agg_completed = sum(
+        v for k, v in counters.items()
+        if k.startswith("repro_jobs_completed_total")
+    )
+    check(
+        agg_completed == n_points,
+        f"event-log aggregation says {agg_completed} completed, "
+        f"queue says {n_points}",
+    )
+    summary["event_log"] = {
+        "grants": len(grants),
+        "reclaims": len(reclaim_events),
+        "victim": victim_id,
+        "granted_jobs": granted_jobs,
+        "records": len(read_events(events_path)),
+    }
+
+    queue.close()
+    store.close()
+    set_event_log(None)
+    return summary
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--store", required=True,
+        help="substrate path: directory or *.sqlite/*.db",
+    )
+    parser.add_argument(
+        "--json", default=None, help="where to write the summary JSON"
+    )
+    parser.add_argument("--points", type=int, default=8)
+    args = parser.parse_args(argv)
+
+    summary = {"benchmark": "metrics_smoke", "n_points": args.points}
+    try:
+        summary.update(run_smoke(args.store, args.points))
+        summary["ok"] = True
+    except SmokeFailure as failure:
+        summary["ok"] = False
+        summary["failure"] = str(failure)
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if args.json:
+        atomic_write_json(args.json, summary, indent=2, sort_keys=True)
+    if summary["ok"]:
+        print(
+            "metrics smoke verified: scrape-able exporter + event log "
+            "reconstructing the lease-reclaim lifecycle"
+        )
+    return 0 if summary["ok"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -72,6 +72,9 @@ from repro.campaign.journal import (
     journal_for_store,
     resolve_journal,
 )
+from repro.obs.catalog import flush_metrics, instrument
+from repro.obs.events import emit_event
+from repro.obs.tracing import span
 
 #: Stop reasons that count as *converged* (the campaign believes it
 #: found the optimum) versus merely *stopped* (resources ran out).
@@ -651,6 +654,32 @@ class Campaign:
             return self._advance(state, index, next_plan)
         return self._advance(state, pending[0], pending[1])
 
+    def _record_finish(self, state: _State, stop: str) -> None:
+        """Final per-study cost accounting.
+
+        Estimates the simulated seconds the campaign's early stop
+        avoided: the rounds it did *not* run (relative to
+        ``max_rounds``), at this campaign's observed points-per-round
+        and the engine's observed seconds-per-point.  A ``max-rounds``
+        stop therefore reports zero — nothing was avoided.  The figure
+        lands on the ``repro_cost_saved_simulated_seconds`` gauge
+        (``source="campaign"``) next to the cache's saving, and a
+        metrics flush makes it visible to cross-process aggregation.
+        """
+        rounds_run = len(state.history)
+        remaining = max(0, self.config.max_rounds - rounds_run)
+        saved = 0.0
+        if remaining and rounds_run and state.simulated:
+            engine = self.explorer.engine
+            evaluated = getattr(engine, "points_evaluated", 0)
+            eval_seconds = getattr(engine, "eval_seconds", 0.0)
+            per_point = eval_seconds / evaluated if evaluated else 0.0
+            saved = remaining * (state.simulated / rounds_run) * per_point
+        instrument("repro_cost_saved_simulated_seconds").set(
+            saved, source="campaign"
+        )
+        flush_metrics("campaign")
+
     # -- the round loop ----------------------------------------------------------
 
     def _initial_runs(self) -> int | None:
@@ -679,13 +708,15 @@ class Campaign:
     ) -> CampaignResult:
         """Run rounds from a journaled plan until a stop criterion."""
         while True:
-            stop, completed = self._run_round(state, index, plan)
+            with span("round", campaign=self.campaign_id, round=index):
+                stop, completed = self._run_round(state, index, plan)
             if stop is not None:
                 self.journal.complete_round(
                     self.campaign_id, index, completed
                 )
                 result = self._build_result(state, stop)
                 self.journal.finish(self.campaign_id, result.as_dict())
+                self._record_finish(state, stop)
                 return result
             plan = state.history[-1]["_next"]
             self.journal.advance_round(
@@ -705,6 +736,12 @@ class Campaign:
         cfg = self.config
         box = FactorBox.from_dict(plan["box"])
         points = np.atleast_2d(np.asarray(plan["points"], dtype=float))
+        emit_event(
+            "round_begin",
+            campaign=self.campaign_id,
+            round=index,
+            points=int(points.shape[0]),
+        )
         before = self.explorer.engine.stats_snapshot()
         if cfg.pipeline_rounds and points.shape[0] >= 2:
             columns = self._evaluate_pipelined(state, box, points, index)
@@ -728,7 +765,8 @@ class Campaign:
                 float(v) for v in columns[name]
             )
 
-        analysis = self._fit_and_diagnose(state, box, index)
+        with span("fit", campaign=self.campaign_id, round=index):
+            analysis = self._fit_and_diagnose(state, box, index)
         state.surfaces = analysis["surfaces"]
         state.last_outcome = analysis["outcome"]
         state.last_box = box
@@ -762,7 +800,8 @@ class Campaign:
 
         next_plan: dict | None = None
         if stop is None:
-            proposal = self._acquire(state, box, index, analysis)
+            with span("acquire", campaign=self.campaign_id, round=index):
+                proposal = self._acquire(state, box, index, analysis)
             if proposal is None:
                 stop = "region-exhausted"
             else:
@@ -795,6 +834,21 @@ class Campaign:
         if next_plan is not None:
             completed["next"] = next_plan
         completed.pop("_next", None)
+        instrument("repro_campaign_rounds_total").inc(
+            stop=stop or "continue"
+        )
+        points_metric = instrument("repro_campaign_points_total")
+        points_metric.inc(simulated, source="simulated")
+        points_metric.inc(cached, source="cached")
+        emit_event(
+            "round_complete",
+            campaign=self.campaign_id,
+            round=index,
+            simulated=simulated,
+            cached=cached,
+            degraded=degraded,
+            stop=stop,
+        )
         return stop, completed
 
     def _evaluate_pipelined(

@@ -54,6 +54,8 @@ from repro.errors import ReproError
 from repro.exec.lifecycle import GCBudget, POLICIES, collect
 from repro.exec.queue import JOB_STATUSES, WorkQueue, resolve_queue
 from repro.exec.store import CacheStore, FileStore, resolve_store
+from repro.obs.dashboard import render_dashboard
+from repro.obs.fleet import FleetSample, sample_fleet
 
 PROG = "repro-cache"
 
@@ -435,7 +437,8 @@ def _open_queue(spec: str) -> WorkQueue:
 
 def _queue_stats_once(args: argparse.Namespace, queue: WorkQueue) -> int:
     stats = queue.stats()
-    payload = {**queue.describe(), **stats.as_dict()}
+    workers = queue.worker_stats()
+    payload = {**queue.describe(), **stats.as_dict(), "workers": workers}
     text = [
         f"queue:    {queue.name} @ {args.store}",
         f"pending:  {stats.pending}",
@@ -445,6 +448,16 @@ def _queue_stats_once(args: argparse.Namespace, queue: WorkQueue) -> int:
     ]
     if stats.invalid:
         text.append(f"invalid:  {stats.invalid} unreadable payloads")
+    for worker_id in sorted(workers):
+        held = workers[worker_id]
+        oldest = held.get("oldest_lease_age")
+        beat = held.get("last_heartbeat_age")
+        text.append(
+            f"worker:   {worker_id} holds {held.get('jobs_held', 0)} "
+            f"(oldest lease {oldest:.1f}s, heartbeat {beat:.1f}s ago)"
+            if oldest is not None and beat is not None
+            else f"worker:   {worker_id} holds {held.get('jobs_held', 0)}"
+        )
     if getattr(args, "watch", None):
         stamp = _fmt_stamp(time.time())
         payload["at"] = stamp
@@ -467,10 +480,27 @@ def _cmd_queue_stats(args: argparse.Namespace) -> int:
         # *report*, not to die over: say so, keep sampling, and pick
         # the queue back up when it reappears.
         code = 0
+        previous: FleetSample | None = None
         try:
             while True:
                 try:
-                    code = _queue_stats_once(args, queue)
+                    if args.json:
+                        code = _queue_stats_once(args, queue)
+                    else:
+                        # Live fleet dashboard: queue depth, per-worker
+                        # lease ages, throughput, resilience state and
+                        # campaign round progress from the event log.
+                        sample = sample_fleet(args.store, queue=queue)
+                        sys.stdout.write("\x1b[2J\x1b[H")
+                        print(
+                            "\n".join(render_dashboard(sample, previous))
+                        )
+                        previous = sample
+                        code = (
+                            2
+                            if sample.queue_counts.get("failed", 0) > 0
+                            else 0
+                        )
                 except (ReproError, OSError, sqlite3.Error) as error:
                     print(
                         f"-- queue unreadable ({error}); still "

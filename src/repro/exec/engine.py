@@ -31,6 +31,8 @@ from repro.exec.backends import (
 from repro.exec.cache import EvalCache, point_fingerprint
 from repro.exec.lifecycle import GCBudget
 from repro.exec.store import CacheStore
+from repro.obs.catalog import flush_metrics, track_engine
+from repro.obs.tracing import span
 from repro.sim.envelope import charging_cache_stats
 
 #: Engine counters that participate in snapshot/delta accounting.
@@ -192,6 +194,12 @@ class EvaluationEngine:
         self.points_evaluated = 0
         self.batches_dispatched = 0
         self.replicate_hits = 0
+        # Simulated seconds actually spent in the backend; feeds the
+        # cost-accounting gauges (seconds saved by cache hits are
+        # estimated against the observed mean evaluation cost).  Kept
+        # out of stats()/stats_snapshot() for output compatibility.
+        self.eval_seconds = 0.0
+        track_engine(self)
 
     def _context_value(self) -> object:
         return self.context() if callable(self.context) else self.context
@@ -213,15 +221,17 @@ class EvaluationEngine:
             # No memoization: every point runs, replicates included,
             # which reproduces the legacy evaluation behaviour exactly.
             self.batches_dispatched += 1
-            evaluated = self.backend.run(
-                self.evaluate, points, fingerprints=fingerprints
-            )
+            with span("evaluate", batch=n):
+                evaluated = self.backend.run(
+                    self.evaluate, points, fingerprints=fingerprints
+                )
             if len(evaluated) != n:
                 raise ReproError(
                     f"backend returned {len(evaluated)} results for "
                     f"{n} points"
                 )
             self.points_evaluated += n
+            self.eval_seconds += sum(s for _, s in evaluated)
             return [
                 PointEvaluation(
                     responses=dict(responses),
@@ -265,15 +275,17 @@ class EvaluationEngine:
         # Backend pass over the unique misses.
         if pending_points:
             self.batches_dispatched += 1
-            evaluated = self.backend.run(
-                self.evaluate, pending_points, fingerprints=list(pending)
-            )
+            with span("evaluate", batch=len(pending_points)):
+                evaluated = self.backend.run(
+                    self.evaluate, pending_points, fingerprints=list(pending)
+                )
             if len(evaluated) != len(pending_points):
                 raise ReproError(
                     f"backend returned {len(evaluated)} results for "
                     f"{len(pending_points)} points"
                 )
             self.points_evaluated += len(evaluated)
+            self.eval_seconds += sum(s for _, s in evaluated)
             # A backend that already published every result into this
             # cache's own store (the distributed backend routes them
             # through it) would make cache.put a second, byte-identical
@@ -298,7 +310,8 @@ class EvaluationEngine:
                     )
             if to_persist:
                 # The whole completed batch lands in one store call.
-                self.cache.put_many(to_persist)
+                with span("persist", batch=len(to_persist)):
+                    self.cache.put_many(to_persist)
             self._auto_collect()
         missing = [i for i, r in enumerate(results) if r is None]
         if missing:  # pragma: no cover - defensive
@@ -431,6 +444,10 @@ class EvaluationEngine:
         return out
 
     def close(self) -> None:
+        # Final counter flush so cross-process observers (the event
+        # log is the transport) see this engine's totals even after
+        # the process exits; a no-op when no event log is configured.
+        flush_metrics("engine")
         self.backend.close()
         if self._owns_cache and self.cache is not None:
             self.cache.close()

@@ -37,6 +37,8 @@ from repro.exec.store import (
     VerifyReport,
     resolve_store,
 )
+from repro.obs.catalog import instrument
+from repro.obs.events import emit_event
 
 __all__ = [
     "GCBudget",
@@ -266,6 +268,14 @@ def collect(
         store.stats.bytes_reclaimed += report.bytes_reclaimed
         report.entries_after = len(store)
         report.bytes_after = store.total_bytes()
+        instrument("repro_gc_runs_total").inc()
+        emit_event(
+            "gc",
+            store=store.name,
+            policy=report.policy,
+            evicted=report.evicted,
+            bytes_reclaimed=report.bytes_reclaimed,
+        )
     else:
         report.entries_after = remaining
         report.bytes_after = remaining_bytes

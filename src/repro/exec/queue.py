@@ -67,6 +67,8 @@ from repro.exec.backends import (
 )
 from repro.exec.sqlite_util import connect_wal
 from repro.exec.store import CacheStore, FileStore, SQLiteStore, resolve_store
+from repro.obs.catalog import track_queue
+from repro.obs.events import emit_event
 
 #: On-disk schema version of queue rows/files; a mismatched job is
 #: marked failed (never silently evaluated under stale semantics).
@@ -109,6 +111,10 @@ class JobRecord:
         worker_id: current/last lease holder.
         attempts: leases taken so far.
         enqueued_at / lease_expires_at / completed_at: epoch stamps.
+        leased_at: when the current lease was granted (None on rows
+            written before the column existed).
+        heartbeat_at: the lease's most recent extension (falls back to
+            ``leased_at`` when the worker has not heartbeat yet).
         seconds: evaluation wall time reported on completion.
         error: last failure message, if any.
     """
@@ -123,6 +129,8 @@ class JobRecord:
     completed_at: float | None = None
     seconds: float | None = None
     error: str | None = None
+    leased_at: float | None = None
+    heartbeat_at: float | None = None
 
     def as_dict(self) -> dict:
         return {
@@ -136,6 +144,8 @@ class JobRecord:
             "completed_at": self.completed_at,
             "seconds": self.seconds,
             "error": self.error,
+            "leased_at": self.leased_at,
+            "heartbeat_at": self.heartbeat_at,
         }
 
 
@@ -226,6 +236,11 @@ class WorkQueue(ABC):
             however many jobs it carries).  Monotonic, surfaced as
             ``queue_transactions`` in engine/report stats so the
             amortization is observable.
+        lease_grants: jobs handed out by :meth:`lease` calls on this
+            instance (mirrored as ``repro_lease_grants_total``).
+        lease_reclaims: expired leases this instance returned to
+            pending — via :meth:`reclaim` or folded into a
+            :meth:`lease` claim (``repro_lease_reclaims_total``).
     """
 
     name: str = "abstract"
@@ -237,6 +252,9 @@ class WorkQueue(ABC):
             )
         self.max_attempts = max_attempts
         self.transactions = 0
+        self.lease_grants = 0
+        self.lease_reclaims = 0
+        track_queue(self)
 
     @abstractmethod
     def submit(self, jobs: Sequence[Job]) -> int:
@@ -388,6 +406,56 @@ class WorkQueue(ABC):
                 stats.invalid += 1
         return stats
 
+    def worker_stats(
+        self, now: float | None = None
+    ) -> dict[str, dict[str, float | int | None]]:
+        """Per-worker lease health, from one :meth:`jobs` scan.
+
+        Returns ``{worker_id: {jobs_held, oldest_lease_age,
+        last_heartbeat_age, next_expiry_in}}`` for every worker
+        currently holding a lease.  Ages are seconds relative to
+        ``now``; ``None`` where a row predates the ``leased_at`` /
+        ``heartbeat_at`` stamps (queues written by older code).  A
+        worker with a large ``last_heartbeat_age`` and small
+        ``next_expiry_in`` is wedged and about to be reclaimed.
+        """
+        clock = time.time() if now is None else now
+        out: dict[str, dict[str, float | int | None]] = {}
+        for record in self.jobs():
+            if record.status != "leased" or not record.worker_id:
+                continue
+            info = out.setdefault(
+                record.worker_id,
+                {
+                    "jobs_held": 0,
+                    "oldest_lease_age": None,
+                    "last_heartbeat_age": None,
+                    "next_expiry_in": None,
+                },
+            )
+            info["jobs_held"] = int(info["jobs_held"] or 0) + 1
+            if record.leased_at is not None:
+                age = clock - record.leased_at
+                prior = info["oldest_lease_age"]
+                if prior is None or age > prior:
+                    info["oldest_lease_age"] = age
+            beat = (
+                record.heartbeat_at
+                if record.heartbeat_at is not None
+                else record.leased_at
+            )
+            if beat is not None:
+                beat_age = clock - beat
+                prior = info["last_heartbeat_age"]
+                if prior is None or beat_age < prior:
+                    info["last_heartbeat_age"] = beat_age
+            if record.lease_expires_at is not None:
+                remaining = record.lease_expires_at - clock
+                prior = info["next_expiry_in"]
+                if prior is None or remaining < prior:
+                    info["next_expiry_in"] = remaining
+        return out
+
     def describe(self) -> dict:
         """Queue parameters for reports and manifests."""
         return {"queue": self.name, "max_attempts": self.max_attempts}
@@ -451,8 +519,22 @@ class SQLiteWorkQueue(WorkQueue):
                 " lease_expires_at REAL,"
                 " completed_at REAL,"
                 " seconds REAL,"
-                " error TEXT)"
+                " error TEXT,"
+                " leased_at REAL,"
+                " heartbeat_at REAL)"
             )
+            # In-place migration for databases created before the
+            # lease-lifecycle stamps existed: ALTER TABLE is cheap
+            # (no rewrite) and old rows read back as NULL.
+            present = {
+                row[1]
+                for row in conn.execute("PRAGMA table_info(queue_jobs)")
+            }
+            for column in ("leased_at", "heartbeat_at"):
+                if column not in present:
+                    conn.execute(
+                        f"ALTER TABLE queue_jobs ADD COLUMN {column} REAL"
+                    )
             conn.execute(
                 "CREATE INDEX IF NOT EXISTS queue_jobs_status"
                 " ON queue_jobs (status, enqueued_at)"
@@ -515,17 +597,22 @@ class SQLiteWorkQueue(WorkQueue):
         self.transactions += 1
         clock = time.time() if now is None else now
         claimed: list[Job] = []
+        reclaimed: list[tuple[str, str | None]] = []
         self._conn.execute("BEGIN IMMEDIATE")
         try:
             rows = self._conn.execute(
-                "SELECT job_id, schema_version, payload, attempts"
+                "SELECT job_id, schema_version, payload, attempts,"
+                " status, worker_id"
                 " FROM queue_jobs"
                 " WHERE status = 'pending'"
                 "    OR (status = 'leased' AND lease_expires_at < ?)"
                 " ORDER BY enqueued_at, job_id LIMIT ?",
                 (clock, n),
             ).fetchall()
-            for job_id, schema_version, payload, attempts in rows:
+            for job_id, schema_version, payload, attempts, status, holder in rows:
+                if status == "leased":
+                    # Claiming an expired lease *is* the reclamation.
+                    reclaimed.append((job_id, holder))
                 point = self._decode_payload(schema_version, payload)
                 if point is None:
                     # Unreadable work is unrunnable work: fail it in
@@ -552,14 +639,36 @@ class SQLiteWorkQueue(WorkQueue):
                 self._conn.execute(
                     "UPDATE queue_jobs SET status = 'leased',"
                     " worker_id = ?, lease_expires_at = ?,"
+                    " leased_at = ?, heartbeat_at = ?,"
                     " attempts = attempts + 1 WHERE job_id = ?",
-                    (worker_id, clock + lease_seconds, job_id),
+                    (worker_id, clock + lease_seconds, clock, clock, job_id),
                 )
                 claimed.append(Job(job_id=job_id, point=point))
             self._conn.execute("COMMIT")
         except BaseException:
             self._conn.execute("ROLLBACK")
             raise
+        # Telemetry only after the transaction holds: the event log
+        # must never record a claim that rolled back.
+        self.lease_reclaims += len(reclaimed)
+        for job_id, holder in reclaimed:
+            emit_event(
+                "lease_reclaim",
+                queue=self.name,
+                job_id=job_id,
+                from_worker=holder,
+                to_worker=worker_id,
+            )
+        if claimed:
+            self.lease_grants += len(claimed)
+            emit_event(
+                "lease_grant",
+                queue=self.name,
+                worker=worker_id,
+                jobs=len(claimed),
+                reclaimed=len(reclaimed),
+                lease_seconds=lease_seconds,
+            )
         return claimed
 
     @staticmethod
@@ -599,7 +708,8 @@ class SQLiteWorkQueue(WorkQueue):
         "UPDATE queue_jobs SET"
         " status = CASE WHEN attempts >= ? THEN 'failed'"
         "               ELSE 'pending' END,"
-        " worker_id = NULL, lease_expires_at = NULL, error = ?"
+        " worker_id = NULL, lease_expires_at = NULL,"
+        " leased_at = NULL, heartbeat_at = NULL, error = ?"
         " WHERE job_id = ? AND status = 'leased' AND worker_id = ?"
     )
 
@@ -670,10 +780,11 @@ class SQLiteWorkQueue(WorkQueue):
             chunk = unique[start : start + 500]
             marks = ",".join("?" * len(chunk))
             cursor = self._conn.execute(
-                "UPDATE queue_jobs SET lease_expires_at = ?"
+                "UPDATE queue_jobs SET lease_expires_at = ?,"
+                " heartbeat_at = ?"
                 " WHERE status = 'leased' AND worker_id = ?"
                 f" AND job_id IN ({marks})",
-                (clock + lease_seconds, worker_id, *chunk),
+                (clock + lease_seconds, clock, worker_id, *chunk),
             )
             extended += max(cursor.rowcount, 0)
         return extended
@@ -701,29 +812,51 @@ class SQLiteWorkQueue(WorkQueue):
         self.transactions += 1
         clock = time.time() if now is None else now
         cursor = self._conn.execute(
-            "UPDATE queue_jobs SET lease_expires_at = ?"
+            "UPDATE queue_jobs SET lease_expires_at = ?, heartbeat_at = ?"
             " WHERE status = 'leased' AND worker_id = ?",
-            (clock + lease_seconds, worker_id),
+            (clock + lease_seconds, clock, worker_id),
         )
         return max(cursor.rowcount, 0)
 
     def reclaim(self, now: float | None = None) -> int:
         self.transactions += 1
         clock = time.time() if now is None else now
-        cursor = self._conn.execute(
-            "UPDATE queue_jobs SET status = 'pending',"
-            " worker_id = NULL, lease_expires_at = NULL"
-            " WHERE status = 'leased' AND lease_expires_at < ?",
-            (clock,),
-        )
-        return max(cursor.rowcount, 0)
+        self._conn.execute("BEGIN IMMEDIATE")
+        try:
+            expired = self._conn.execute(
+                "SELECT job_id, worker_id FROM queue_jobs"
+                " WHERE status = 'leased' AND lease_expires_at < ?",
+                (clock,),
+            ).fetchall()
+            self._conn.execute(
+                "UPDATE queue_jobs SET status = 'pending',"
+                " worker_id = NULL, lease_expires_at = NULL,"
+                " leased_at = NULL, heartbeat_at = NULL"
+                " WHERE status = 'leased' AND lease_expires_at < ?",
+                (clock,),
+            )
+            self._conn.execute("COMMIT")
+        except BaseException:
+            self._conn.execute("ROLLBACK")
+            raise
+        self.lease_reclaims += len(expired)
+        for job_id, holder in expired:
+            emit_event(
+                "lease_reclaim",
+                queue=self.name,
+                job_id=job_id,
+                from_worker=holder,
+                to_worker=None,
+            )
+        return len(expired)
 
     def requeue(self, job_id: str, now: float | None = None) -> bool:
         self.transactions += 1
         cursor = self._conn.execute(
             "UPDATE queue_jobs SET status = 'pending', worker_id = NULL,"
             " lease_expires_at = NULL, completed_at = NULL,"
-            " seconds = NULL, error = NULL, attempts = 0"
+            " seconds = NULL, error = NULL, attempts = 0,"
+            " leased_at = NULL, heartbeat_at = NULL"
             " WHERE job_id = ? AND status != 'pending'",
             (job_id,),
         )
@@ -748,7 +881,8 @@ class SQLiteWorkQueue(WorkQueue):
 
     _ROW_COLUMNS = (
         "job_id, schema_version, payload, status, worker_id, attempts,"
-        " enqueued_at, lease_expires_at, completed_at, seconds, error"
+        " enqueued_at, lease_expires_at, completed_at, seconds, error,"
+        " leased_at, heartbeat_at"
     )
 
     def _record(self, row: tuple) -> JobRecord:
@@ -764,6 +898,8 @@ class SQLiteWorkQueue(WorkQueue):
             completed_at,
             seconds,
             error,
+            leased_at,
+            heartbeat_at,
         ) = row
         return JobRecord(
             job_id=job_id,
@@ -776,6 +912,8 @@ class SQLiteWorkQueue(WorkQueue):
             completed_at=completed_at,
             seconds=seconds,
             error=error,
+            leased_at=leased_at,
+            heartbeat_at=heartbeat_at,
         )
 
     def job(self, job_id: str) -> JobRecord | None:
@@ -926,6 +1064,8 @@ class FileWorkQueue(WorkQueue):
             completed_at=blob.get("completed_at"),
             seconds=blob.get("seconds"),
             error=blob.get("error"),
+            leased_at=blob.get("leased_at"),
+            heartbeat_at=blob.get("heartbeat_at"),
         )
 
     # -- the queue contract --------------------------------------------------
@@ -1032,11 +1172,22 @@ class FileWorkQueue(WorkQueue):
                     "worker_id": worker_id,
                     "attempts": attempts + 1,
                     "lease_expires_at": clock + lease_seconds,
+                    "leased_at": clock,
+                    "heartbeat_at": clock,
                 },
                 "leased",
                 job_id,
             )
             claimed.append(Job(job_id=job_id, point=point))
+        if claimed:
+            self.lease_grants += len(claimed)
+            emit_event(
+                "lease_grant",
+                queue=self.name,
+                worker=worker_id,
+                jobs=len(claimed),
+                lease_seconds=lease_seconds,
+            )
         return claimed
 
     def complete(
@@ -1120,6 +1271,8 @@ class FileWorkQueue(WorkQueue):
                     "status": status,
                     "worker_id": None,
                     "lease_expires_at": None,
+                    "leased_at": None,
+                    "heartbeat_at": None,
                     "error": error or None,
                 },
                 status,
@@ -1188,7 +1341,12 @@ class FileWorkQueue(WorkQueue):
             if blob is None or blob.get("worker_id") != worker_id:
                 continue
             self._write(
-                path, {**blob, "lease_expires_at": clock + lease_seconds}
+                path,
+                {
+                    **blob,
+                    "lease_expires_at": clock + lease_seconds,
+                    "heartbeat_at": clock,
+                },
             )
             extended += 1
         return extended
@@ -1229,6 +1387,7 @@ class FileWorkQueue(WorkQueue):
                 except OSError:  # pragma: no cover - raced away
                     continue
             if expiry < clock:
+                holder = blob.get("worker_id")
                 try:
                     self._transition(
                         path,
@@ -1237,6 +1396,8 @@ class FileWorkQueue(WorkQueue):
                             "status": "pending",
                             "worker_id": None,
                             "lease_expires_at": None,
+                            "leased_at": None,
+                            "heartbeat_at": None,
                         },
                         "pending",
                         job_id,
@@ -1244,6 +1405,14 @@ class FileWorkQueue(WorkQueue):
                 except OSError:  # pragma: no cover - raced away
                     continue
                 reclaimed += 1
+                emit_event(
+                    "lease_reclaim",
+                    queue=self.name,
+                    job_id=job_id,
+                    from_worker=holder,
+                    to_worker=None,
+                )
+        self.lease_reclaims += reclaimed
         return reclaimed
 
     def requeue(self, job_id: str, now: float | None = None) -> bool:
@@ -1262,6 +1431,8 @@ class FileWorkQueue(WorkQueue):
                         "status": "pending",
                         "worker_id": None,
                         "lease_expires_at": None,
+                        "leased_at": None,
+                        "heartbeat_at": None,
                         "completed_at": None,
                         "seconds": None,
                         "error": None,

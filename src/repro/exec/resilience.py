@@ -47,6 +47,8 @@ from repro.errors import (
 )
 from repro.exec.store import CacheStore, EntryMeta, MemoryStore, VerifyReport
 from repro.exec.queue import Job, JobRecord, WorkQueue
+from repro.obs.catalog import track_resilience
+from repro.obs.events import emit_event
 
 
 @dataclass(frozen=True)
@@ -235,6 +237,11 @@ class CircuitBreaker:
         ):
             if self._opened_at is None:
                 self.trips += 1
+                emit_event(
+                    "breaker_trip",
+                    component=self.name,
+                    failures=self._failures,
+                )
             self._opened_at = self._clock()
 
     def call(self, fn: Callable, *args, **kwargs):
@@ -308,6 +315,9 @@ class _ResilientBase:
         self.retry = retry if retry is not None else DEFAULT_RETRY
         self._sleep = sleep
         self.resilience = ResilienceStats()
+        # Label the wrapper's telemetry by what it protects.
+        self.component = getattr(inner, "name", type(inner).__name__)
+        track_resilience(self)
 
     @property
     def inner(self):
@@ -409,6 +419,11 @@ class ResilientStore(_ResilientBase, CacheStore):
             self._overlay.discard(fingerprint)
             self.resilience.flushed += 1
         self.resilience.recoveries += 1
+        emit_event(
+            "recovery",
+            component=self.component,
+            flushed=self.resilience.flushed,
+        )
 
     def _guarded(self, fn: Callable, *args, fallback=None, **kwargs):
         """Run one store op under retry + breaker; on terminal
@@ -419,11 +434,23 @@ class ResilientStore(_ResilientBase, CacheStore):
             )
         except CircuitOpenError:
             self.resilience.degraded_ops += 1
+            emit_event(
+                "degraded_op",
+                component=self.component,
+                op=getattr(fn, "__name__", "?"),
+                reason="circuit-open",
+            )
             return fallback() if callable(fallback) else fallback
         # repro-lint: allow[REP105] degradation is the contract here: retry+breaker already classified via is_transient, terminal failures fall back to the overlay
         except BaseException as error:
             self._warn_once(error)
             self.resilience.degraded_ops += 1
+            emit_event(
+                "degraded_op",
+                component=self.component,
+                op=getattr(fn, "__name__", "?"),
+                reason="store-failure",
+            )
             return fallback() if callable(fallback) else fallback
         self._flush_overlay()
         return result

@@ -48,6 +48,7 @@ from typing import Iterator, Mapping, Sequence
 
 from repro.errors import ReproError, TransientStoreError, is_transient
 from repro.exec.sqlite_util import connect_wal
+from repro.obs.catalog import track_store
 
 #: On-disk schema version shared by every persistent store.  Bump it
 #: whenever the fingerprint canonicalization or the blob layout
@@ -262,6 +263,9 @@ class CacheStore(ABC):
 
     def __init__(self) -> None:
         self.stats = StoreStats()
+        # Pull-time metrics mirror: the registry reads ``self.stats``
+        # only when scraped, so the store's hot path pays nothing.
+        track_store(self)
 
     @abstractmethod
     def load(self, fingerprint: str) -> dict[str, float] | None:

@@ -65,6 +65,7 @@ import os
 import signal
 import subprocess
 import sys
+import tempfile
 import time
 from dataclasses import dataclass
 from typing import Callable, Mapping, Sequence
@@ -78,6 +79,10 @@ from repro.exec.queue import (
 )
 from repro.exec.resilience import DEFAULT_RETRY, RetryPolicy
 from repro.exec.store import CacheStore, resolve_store
+from repro.fsutil import atomic_write_json
+from repro.obs.catalog import flush_metrics, track_worker
+from repro.obs.events import emit_event, set_event_log
+from repro.obs.tracing import span
 from repro.sim.envelope import (
     attach_map_store,
     detach_map_store,
@@ -316,6 +321,11 @@ class Worker:
     def run(self) -> WorkerReport:
         """Work until drained / idle / at the job bound."""
         report = WorkerReport(worker_id=self.worker_id)
+        # Live mirror onto the metrics registry + start/exit markers
+        # in the event log; the final flush makes this worker's totals
+        # visible to cross-process observers (repro-metrics).
+        track_worker(report)
+        emit_event("worker_start", worker=self.worker_id)
         started = time.perf_counter()
         idle_since: float | None = None
         seen_work = False
@@ -332,13 +342,14 @@ class Worker:
                 # shorter than the throttle, every lease would be
                 # reclaimed before this worker evaluated a thing).
                 time.sleep(self.throttle)
-            jobs = self._call(
-                self.queue.lease,
-                self.worker_id,
-                n=self.batch,
-                lease_seconds=self.lease_seconds,
-                now=self._clock(),
-            )
+            with span("lease", worker=self.worker_id):
+                jobs = self._call(
+                    self.queue.lease,
+                    self.worker_id,
+                    n=self.batch,
+                    lease_seconds=self.lease_seconds,
+                    now=self._clock(),
+                )
             if not jobs:
                 stats = self._call(self.queue.stats)
                 if self.drain and stats.outstanding == 0:
@@ -370,6 +381,8 @@ class Worker:
             self._last_beat = self._clock()
             self._work(jobs, report)
         report.seconds = time.perf_counter() - started
+        emit_event("worker_exit", worker=self.worker_id, **report.as_dict())
+        flush_metrics(self.worker_id)
         return report
 
     def _work(self, jobs: Sequence, report: WorkerReport) -> None:
@@ -404,7 +417,8 @@ class Worker:
         self._maybe_heartbeat()
         points = [job.point for job in runnable]
         try:
-            results = self._backend.run(self._evaluate, points)
+            with span("evaluate", worker=self.worker_id, batch=len(points)):
+                results = self._backend.run(self._evaluate, points)
         # repro-lint: allow[REP105] evaluator exceptions of any shape must fail the job (queue.fail re-pends it until max_attempts), never the worker loop
         except Exception as error:
             if len(runnable) > 1:
@@ -428,13 +442,14 @@ class Worker:
         try:
             # The whole evaluated batch publishes in one store call
             # and completes in one queue transaction.
-            self._call(
-                self.store.persist_many,
-                [
-                    (job.job_id, responses)
-                    for job, (responses, _seconds) in zip(runnable, results)
-                ],
-            )
+            with span("persist", worker=self.worker_id):
+                self._call(
+                    self.store.persist_many,
+                    [
+                        (job.job_id, responses)
+                        for job, (responses, _seconds) in zip(runnable, results)
+                    ],
+                )
         # repro-lint: allow[REP105] persist transients already retried by RetryPolicy; a residual batch failure falls back to per-entry persists so only the results that truly cannot land fail their jobs
         except Exception:
             self._publish_per_job(runnable, results, report)
@@ -443,12 +458,13 @@ class Worker:
             (job.job_id, seconds)
             for job, (_responses, seconds) in zip(runnable, results)
         ]
-        self._call(
-            self.queue.complete_many,
-            self.worker_id,
-            completions,
-            now=self._clock(),
-        )
+        with span("complete", worker=self.worker_id):
+            self._call(
+                self.queue.complete_many,
+                self.worker_id,
+                completions,
+                now=self._clock(),
+            )
         report.jobs_completed += len(completions)
         report.eval_seconds += sum(seconds for _fp, seconds in completions)
 
@@ -680,6 +696,9 @@ def _child_argv(argv: Sequence[str]) -> list[str]:
         "--max-restarts",
         "--restart-window",
         "--worker-id",
+        # Re-appended by the supervisor so children inherit the
+        # (possibly defaulted) aggregation directory.
+        "--report-dir",
     }
     drop_bare = {"--warm"}
     out: list[str] = []
@@ -867,13 +886,79 @@ def build_parser() -> argparse.ArgumentParser:
         "seconds (default 60)",
     )
     parser.add_argument(
+        "--events", default=None, metavar="PATH",
+        help="append structured observability events to this JSONL "
+        "file (default: $REPRO_EVENT_LOG when set)",
+    )
+    parser.add_argument(
+        "--report-dir", default=None, metavar="DIR",
+        help="write each worker's final report as JSON into this "
+        "directory; --supervise --json uses it to aggregate per-child "
+        "metrics (defaulting to a temporary directory)",
+    )
+    parser.add_argument(
         "--json", action="store_true", help="machine-readable report"
     )
     return parser
 
 
+def _collect_child_reports(report_dir: str | None) -> list[dict]:
+    """Final reports the children dropped in ``report_dir``, oldest
+    first.  Unreadable files are skipped — a child killed mid-write
+    must not take down the supervisor's summary."""
+    if not report_dir or not os.path.isdir(report_dir):
+        return []
+    reports: list[dict] = []
+    for name in sorted(os.listdir(report_dir)):
+        if not (name.startswith("report-") and name.endswith(".json")):
+            continue
+        try:
+            with open(os.path.join(report_dir, name), encoding="utf-8") as fh:
+                payload = json.load(fh)
+        except (OSError, ValueError):
+            continue
+        if isinstance(payload, dict):
+            reports.append(payload)
+    return reports
+
+
+def _fleet_metrics(
+    reports: list[dict], restarts: int, uptime_seconds: float
+) -> dict:
+    """The final metrics snapshot ``--supervise --json`` embeds:
+    per-child totals plus fleet-level sums, restarts and uptime."""
+    totals = {key: 0 for key in (
+        "jobs_completed", "jobs_failed", "jobs_skipped", "leases"
+    )}
+    workers = {}
+    for payload in reports:
+        for key in totals:
+            value = payload.get(key)
+            if isinstance(value, (int, float)):
+                totals[key] += int(value)
+        worker_id = payload.get("worker_id") or f"worker-{len(workers)}"
+        workers[worker_id] = {
+            key: payload.get(key)
+            for key in (
+                "jobs_completed", "jobs_failed", "jobs_skipped",
+                "leases", "seconds", "eval_seconds",
+            )
+        }
+    return {
+        **totals,
+        "restarts": restarts,
+        "uptime_seconds": uptime_seconds,
+        "workers": workers,
+    }
+
+
 def _run_supervised(args, argv: Sequence[str] | None) -> int:
     """``--supervise N``: spawn and shepherd N child workers."""
+    if args.json and args.report_dir is None:
+        # The summary aggregates per-child reports, so the children
+        # need somewhere to drop them even if the caller didn't ask.
+        args.report_dir = tempfile.mkdtemp(prefix="repro-worker-reports-")
+    started_at = time.perf_counter()
     if args.warm and hasattr(os, "fork"):
         try:
             spawn = _warm_spawn_factory(args)
@@ -898,6 +983,8 @@ def _run_supervised(args, argv: Sequence[str] | None) -> int:
         child_argv = _child_argv(
             list(argv) if argv is not None else sys.argv[1:]
         )
+        if args.report_dir is not None:
+            child_argv += ["--report-dir", args.report_dir]
 
         def spawn(index: int):
             return subprocess.Popen(
@@ -924,6 +1011,11 @@ def _run_supervised(args, argv: Sequence[str] | None) -> int:
         print(f"{PROG}: supervisor gave up: {report.reason}", file=sys.stderr)
     if args.json:
         payload = report.as_dict()
+        payload["metrics"] = _fleet_metrics(
+            _collect_child_reports(args.report_dir),
+            restarts=report.restarts,
+            uptime_seconds=time.perf_counter() - started_at,
+        )
         if getattr(spawn, "spawn_seconds", None) is not None:
             # Warm mode: the one-time parent cost (evaluator build +
             # map preload) and the marginal per-child fork latency —
@@ -946,6 +1038,8 @@ def _run_single(
     (each process needs its own connections; a fork must not inherit
     the parent's SQLite handle).
     """
+    if getattr(args, "events", None):
+        set_event_log(args.events)
     try:
         store = resolve_store(args.store)
         queue = (
@@ -974,6 +1068,14 @@ def _run_single(
             throttle=args.throttle,
         )
         report = worker.run()
+        if getattr(args, "report_dir", None):
+            os.makedirs(args.report_dir, exist_ok=True)
+            atomic_write_json(
+                os.path.join(
+                    args.report_dir, f"report-{report.worker_id}.json"
+                ),
+                {**report.as_dict(), "pid": os.getpid()},
+            )
         if args.json:
             print(json.dumps(report.as_dict(), sort_keys=True))
         else:

@@ -120,6 +120,11 @@ class LintConfig:
         "repro/exec/cli.py",
         "repro/exec/worker.py",
         "repro/campaign/journal.py",
+        # Telemetry is wall-clock by design: event timestamps and
+        # fleet sampling read time.time(), and none of it flows into
+        # fingerprints (the tracer deliberately defaults to
+        # time.perf_counter for exactly that reason).
+        "repro/obs/",
     )
 
     # REP103 — atomic durable writes.

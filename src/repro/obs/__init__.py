@@ -1,0 +1,87 @@
+"""Unified observability layer: metrics, spans, events, export.
+
+One package gives the platform its operational senses:
+
+* :mod:`repro.obs.metrics` — thread-safe registry of labeled
+  counters/gauges/histograms with ``snapshot()``/``delta(since=)``
+  semantics mirroring the engine's stats idiom.
+* :mod:`repro.obs.tracing` — span tracer (injectable clock) feeding a
+  duration histogram: lease → evaluate → persist → complete, campaign
+  fit/acquire rounds, store/queue batch transactions.
+* :mod:`repro.obs.events` — schema-versioned JSONL event log written
+  via ``O_APPEND``: lease grants/reclaims, breaker trips, degraded
+  ops, GC passes, campaign round boundaries, metrics flushes.
+* :mod:`repro.obs.catalog` — the authoritative metric catalog plus the
+  ``track_*`` bridge that mirrors existing per-layer stats objects
+  onto the registry via weakref pull-time collectors (hot paths pay
+  nothing; ``study.report()`` output is unchanged).
+* :mod:`repro.obs.export` — Prometheus text exposition: atomic
+  textfile writes and a stdlib HTTP scrape endpoint.
+* :mod:`repro.obs.fleet` / :mod:`repro.obs.dashboard` — cross-process
+  fleet sampling (queue + event log) and the live terminal dashboard
+  behind ``repro-cache queue stats --watch`` and ``repro-metrics``.
+
+The heavyweight pieces (fleet sampling pulls in :mod:`repro.exec`) are
+imported lazily by their CLIs; importing :mod:`repro.obs` itself stays
+dependency-free so substrate modules can use it unconditionally.
+"""
+
+from repro.obs.catalog import (
+    SPECS,
+    MetricSpec,
+    ensure_registered,
+    flush_metrics,
+    spec_names,
+    track_engine,
+    track_queue,
+    track_resilience,
+    track_store,
+    track_worker,
+)
+from repro.obs.events import (
+    EVENT_SCHEMA_VERSION,
+    EventLog,
+    default_events_path,
+    emit_event,
+    read_events,
+    set_event_log,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Sample,
+    default_registry,
+    series_key,
+)
+from repro.obs.tracing import Tracer, default_tracer, span
+
+__all__ = [
+    "EVENT_SCHEMA_VERSION",
+    "Counter",
+    "EventLog",
+    "Gauge",
+    "Histogram",
+    "MetricSpec",
+    "MetricsRegistry",
+    "Sample",
+    "SPECS",
+    "Tracer",
+    "default_events_path",
+    "default_registry",
+    "default_tracer",
+    "emit_event",
+    "ensure_registered",
+    "flush_metrics",
+    "read_events",
+    "series_key",
+    "set_event_log",
+    "spec_names",
+    "span",
+    "track_engine",
+    "track_queue",
+    "track_resilience",
+    "track_store",
+    "track_worker",
+]

@@ -1,0 +1,368 @@
+"""Metric catalog and the bridge from component stats to the registry.
+
+Two jobs live here:
+
+* :data:`SPECS` — the authoritative catalog of every metric the
+  platform exports (name, kind, labels, meaning).  The docs contract
+  test pins ``docs/observability.md`` against this list, and the
+  exporter uses it for ``# HELP`` / ``# TYPE`` metadata.
+
+* ``track_*`` functions — the counter *migration* path.  Existing
+  per-layer stats dataclasses (``StoreStats``, ``QueueStats``,
+  ``ResilienceStats``, engine counters, worker reports) stay
+  authoritative — ``study.report()`` and ``stats()/stats_snapshot()``
+  outputs are untouched — while weakref-tracked **pull-time
+  collectors** mirror them onto the default registry.  Hot paths pay
+  nothing; translation happens only when someone scrapes.
+
+Wrapper components (``ResilientStore``) share their inner component's
+stats object, so the store collector dedupes by ``id(stats)`` — the
+first-registered owner (the inner store) wins the ``store`` label.
+"""
+
+from __future__ import annotations
+
+import weakref
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.obs.events import emit_event
+from repro.obs.metrics import (
+    MetricsRegistry,
+    Sample,
+    default_registry,
+)
+
+__all__ = [
+    "MetricSpec",
+    "SPECS",
+    "ensure_registered",
+    "flush_metrics",
+    "spec_names",
+    "track_engine",
+    "track_queue",
+    "track_resilience",
+    "track_store",
+    "track_worker",
+]
+
+
+@dataclass(frozen=True)
+class MetricSpec:
+    """One cataloged metric: identity, shape, and meaning."""
+
+    name: str
+    kind: str  # "counter" | "gauge" | "histogram"
+    labels: Tuple[str, ...]
+    help: str
+    source: str  # "instrument" | "collector" | "sampled"
+
+
+SPECS: Tuple[MetricSpec, ...] = (
+    # -- engine (collector over EvaluationEngine counters) -----------
+    MetricSpec("repro_points_evaluated_total", "counter", (), "Design points evaluated by the backend (cache misses actually simulated).", "collector"),
+    MetricSpec("repro_batches_dispatched_total", "counter", (), "Backend batch dispatches issued by the evaluation engine.", "collector"),
+    MetricSpec("repro_replicate_hits_total", "counter", (), "Duplicate points inside one batch served from the first replicate.", "collector"),
+    MetricSpec("repro_eval_seconds_total", "counter", (), "Simulated seconds actually spent evaluating points (backend wall time).", "collector"),
+    MetricSpec("repro_degraded_evaluations_total", "counter", (), "Points evaluated via the distributed backend's in-process fallback.", "collector"),
+    MetricSpec("repro_poll_sleeps_total", "counter", (), "Distributed-backend poll sleeps while draining remote results.", "collector"),
+    # -- cache (collector over CacheStats) ---------------------------
+    MetricSpec("repro_cache_hits_total", "counter", (), "Evaluation-cache hits (memoized points not re-simulated).", "collector"),
+    MetricSpec("repro_cache_misses_total", "counter", (), "Evaluation-cache misses (points handed to the backend).", "collector"),
+    MetricSpec("repro_cache_evictions_total", "counter", (), "In-memory evaluation-cache evictions.", "collector"),
+    # -- store (collector over StoreStats, labeled by store kind) ----
+    MetricSpec("repro_store_loads_total", "counter", ("store",), "Cache-store entry loads.", "collector"),
+    MetricSpec("repro_store_persists_total", "counter", ("store",), "Cache-store entry persists.", "collector"),
+    MetricSpec("repro_store_invalidations_total", "counter", ("store",), "Cache-store invalidations.", "collector"),
+    MetricSpec("repro_store_evictions_total", "counter", ("store",), "Cache-store evictions (capacity policy).", "collector"),
+    MetricSpec("repro_store_gc_evictions_total", "counter", ("store",), "Entries evicted by lifecycle GC.", "collector"),
+    MetricSpec("repro_store_bytes_reclaimed_total", "counter", ("store",), "Approximate bytes reclaimed by GC/compaction.", "collector"),
+    MetricSpec("repro_store_compactions_total", "counter", ("store",), "Store compaction passes.", "collector"),
+    MetricSpec("repro_store_round_trips_total", "counter", ("store",), "Physical store round trips (batched I/O transactions).", "collector"),
+    # -- queue (collector over WorkQueue counters) -------------------
+    MetricSpec("repro_queue_transactions_total", "counter", ("queue",), "Durable work-queue transactions (batched lease/complete/heartbeat).", "collector"),
+    MetricSpec("repro_lease_grants_total", "counter", ("queue",), "Lease grants handed to workers.", "collector"),
+    MetricSpec("repro_lease_reclaims_total", "counter", ("queue",), "Expired leases reclaimed from dead or wedged workers.", "collector"),
+    # -- resilience (collector over ResilienceStats + breaker) -------
+    MetricSpec("repro_retried_total", "counter", ("component",), "Substrate calls that needed at least one retry.", "collector"),
+    MetricSpec("repro_degraded_ops_total", "counter", ("component",), "Operations served degraded (overlay/fallback) instead of failing.", "collector"),
+    MetricSpec("repro_recoveries_total", "counter", ("component",), "Recoveries from degraded mode back to the real substrate.", "collector"),
+    MetricSpec("repro_breaker_trips_total", "counter", ("component",), "Circuit-breaker open transitions.", "collector"),
+    MetricSpec("repro_breaker_open", "gauge", ("component",), "Circuit-breaker state (1 = open, 0 = closed/half-open).", "collector"),
+    # -- worker fleet (collector over WorkerReport) ------------------
+    MetricSpec("repro_jobs_completed_total", "counter", ("worker",), "Jobs completed by a worker process.", "collector"),
+    MetricSpec("repro_jobs_failed_total", "counter", ("worker",), "Jobs failed by a worker process.", "collector"),
+    MetricSpec("repro_jobs_skipped_total", "counter", ("worker",), "Leased jobs skipped because the store already held the result.", "collector"),
+    MetricSpec("repro_leases_total", "counter", ("worker",), "Lease acquisitions by a worker process.", "collector"),
+    # -- campaign (instruments) --------------------------------------
+    MetricSpec("repro_campaign_rounds_total", "counter", ("stop",), "Campaign rounds completed, labeled by the round's stop disposition.", "instrument"),
+    MetricSpec("repro_campaign_points_total", "counter", ("source",), "Campaign points per round, split by source (simulated|cached).", "instrument"),
+    # -- lifecycle (instruments) -------------------------------------
+    MetricSpec("repro_gc_runs_total", "counter", (), "Lifecycle GC passes executed.", "instrument"),
+    # -- cost accounting (gauges) ------------------------------------
+    MetricSpec("repro_cost_saved_simulated_seconds", "gauge", ("source",), "Estimated simulated seconds avoided, by source (cache | campaign early stop).", "collector"),
+    # -- spans (histogram via the tracer) ----------------------------
+    MetricSpec("repro_span_seconds", "histogram", ("span", "status"), "Duration of instrumented spans (lease, evaluate, persist, complete, fit, acquire, round, batch transactions).", "instrument"),
+    # -- fleet sampling (gauges produced by repro-metrics / dashboard)
+    MetricSpec("repro_queue_depth", "gauge", ("status",), "Sampled queue depth by job status.", "sampled"),
+    MetricSpec("repro_worker_jobs_held", "gauge", ("worker",), "Sampled leased jobs currently held per worker.", "sampled"),
+    MetricSpec("repro_worker_oldest_lease_age_seconds", "gauge", ("worker",), "Sampled age of the oldest lease held per worker.", "sampled"),
+    MetricSpec("repro_worker_heartbeat_age_seconds", "gauge", ("worker",), "Sampled seconds since a worker's most recent heartbeat.", "sampled"),
+    MetricSpec("repro_fleet_workers", "gauge", (), "Sampled count of workers currently holding leases.", "sampled"),
+)
+
+
+def spec_names() -> List[str]:
+    return [spec.name for spec in SPECS]
+
+
+_BY_NAME: Dict[str, MetricSpec] = {spec.name: spec for spec in SPECS}
+
+
+def spec_for(name: str) -> Optional[MetricSpec]:
+    return _BY_NAME.get(name)
+
+
+def instrument(name: str, registry: Optional[MetricsRegistry] = None) -> Any:
+    """The live instrument for a cataloged metric (created on demand).
+
+    The single blessed way for platform code to tick an
+    instrument-sourced catalog metric — name, kind, labels and help
+    text all come from the spec, so call sites cannot fork a series.
+    """
+
+    spec = _BY_NAME[name]
+    reg = registry if registry is not None else default_registry()
+    if spec.kind == "counter":
+        return reg.counter(spec.name, spec.help, spec.labels)
+    if spec.kind == "gauge":
+        return reg.gauge(spec.name, spec.help, spec.labels)
+    return reg.histogram(spec.name, spec.help, spec.labels)
+
+
+def ensure_registered(registry: Optional[MetricsRegistry] = None) -> MetricsRegistry:
+    """Create every instrument-sourced metric on ``registry``.
+
+    Collector/sampled metrics appear when their component is tracked or
+    sampled; instruments exist from the moment the catalog loads so the
+    exporter can emit metadata for them even before first increment.
+    """
+
+    reg = registry if registry is not None else default_registry()
+    for spec in SPECS:
+        if spec.source != "instrument":
+            continue
+        if spec.kind == "counter":
+            reg.counter(spec.name, spec.help, spec.labels)
+        elif spec.kind == "gauge":
+            reg.gauge(spec.name, spec.help, spec.labels)
+        elif spec.kind == "histogram":
+            reg.histogram(spec.name, spec.help, spec.labels)
+    return reg
+
+
+# ---------------------------------------------------------------------------
+# bridge: weakref-tracked component collectors
+# ---------------------------------------------------------------------------
+
+_tracked_engines: "weakref.WeakSet[Any]" = weakref.WeakSet()
+_tracked_stores: "weakref.WeakSet[Any]" = weakref.WeakSet()
+_tracked_queues: "weakref.WeakSet[Any]" = weakref.WeakSet()
+_tracked_resilience: "weakref.WeakSet[Any]" = weakref.WeakSet()
+# WorkerReport is an eq-dataclass (unhashable), so it cannot live in
+# a WeakSet; a plain list of weakrefs pruned at collect time does the
+# same job.
+_tracked_workers: "list[weakref.ref[Any]]" = []
+_bridge_installed = False
+
+
+def _counter_sample(name: str, value: float, **labels: object) -> Sample:
+    spec = _BY_NAME.get(name)
+    help_text = spec.help if spec else ""
+    kind = spec.kind if spec else "counter"
+    pairs = tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+    return Sample(name, kind, help_text, pairs, float(value))
+
+
+def _engine_samples() -> Iterator[Sample]:
+    total_hits = 0.0
+    total_eval_seconds = 0.0
+    total_points = 0.0
+    for engine in list(_tracked_engines):
+        yield _counter_sample("repro_points_evaluated_total", engine.points_evaluated)
+        yield _counter_sample("repro_batches_dispatched_total", engine.batches_dispatched)
+        yield _counter_sample("repro_replicate_hits_total", engine.replicate_hits)
+        eval_seconds = float(getattr(engine, "eval_seconds", 0.0))
+        yield _counter_sample("repro_eval_seconds_total", eval_seconds)
+        backend = getattr(engine, "backend", None)
+        if backend is not None:
+            yield _counter_sample(
+                "repro_degraded_evaluations_total",
+                getattr(backend, "degraded_evaluations", 0),
+            )
+            yield _counter_sample(
+                "repro_poll_sleeps_total", getattr(backend, "poll_sleeps", 0)
+            )
+        cache = getattr(engine, "cache", None)
+        hits = float(cache.stats.hits) if cache is not None else 0.0
+        total_hits += hits + float(engine.replicate_hits)
+        total_eval_seconds += eval_seconds
+        total_points += float(engine.points_evaluated)
+    # Cost accounting: seconds saved by cache = avoided evaluations ×
+    # the observed mean cost of one real evaluation.
+    if total_points > 0:
+        saved = total_hits * (total_eval_seconds / total_points)
+        yield _counter_sample(
+            "repro_cost_saved_simulated_seconds", saved, source="cache"
+        )
+
+
+def _cache_samples() -> Iterator[Sample]:
+    for engine in list(_tracked_engines):
+        cache = getattr(engine, "cache", None)
+        if cache is None:
+            continue
+        yield _counter_sample("repro_cache_hits_total", cache.stats.hits)
+        yield _counter_sample("repro_cache_misses_total", cache.stats.misses)
+        yield _counter_sample("repro_cache_evictions_total", cache.stats.evictions)
+
+
+def _store_label(store: Any) -> str:
+    return type(store).__name__
+
+
+def _store_samples() -> Iterator[Sample]:
+    seen_stats: set[int] = set()
+    for store in list(_tracked_stores):
+        stats = getattr(store, "stats", None)
+        if stats is None or id(stats) in seen_stats:
+            continue  # wrappers share the inner store's stats object
+        seen_stats.add(id(stats))
+        label = _store_label(store)
+        yield _counter_sample("repro_store_loads_total", stats.loads, store=label)
+        yield _counter_sample("repro_store_persists_total", stats.persists, store=label)
+        yield _counter_sample("repro_store_invalidations_total", stats.invalidations, store=label)
+        yield _counter_sample("repro_store_evictions_total", stats.evictions, store=label)
+        yield _counter_sample("repro_store_gc_evictions_total", stats.gc_evictions, store=label)
+        yield _counter_sample("repro_store_bytes_reclaimed_total", stats.bytes_reclaimed, store=label)
+        yield _counter_sample("repro_store_compactions_total", stats.compactions, store=label)
+        yield _counter_sample("repro_store_round_trips_total", stats.round_trips, store=label)
+
+
+def _queue_samples() -> Iterator[Sample]:
+    for queue in list(_tracked_queues):
+        # Same label the queue's own events carry, so scrape series
+        # and event-derived series line up.
+        label = getattr(queue, "name", None) or type(queue).__name__
+        yield _counter_sample(
+            "repro_queue_transactions_total", getattr(queue, "transactions", 0), queue=label
+        )
+        yield _counter_sample(
+            "repro_lease_grants_total", getattr(queue, "lease_grants", 0), queue=label
+        )
+        yield _counter_sample(
+            "repro_lease_reclaims_total", getattr(queue, "lease_reclaims", 0), queue=label
+        )
+
+
+def _resilience_samples() -> Iterator[Sample]:
+    for wrapper in list(_tracked_resilience):
+        component = getattr(wrapper, "component", type(wrapper).__name__)
+        stats = getattr(wrapper, "resilience", None)
+        if stats is not None:
+            yield _counter_sample("repro_retried_total", stats.retried, component=component)
+            yield _counter_sample("repro_degraded_ops_total", stats.degraded_ops, component=component)
+            yield _counter_sample("repro_recoveries_total", stats.recoveries, component=component)
+        breaker = getattr(wrapper, "breaker", None)
+        if breaker is not None:
+            yield _counter_sample(
+                "repro_breaker_trips_total", getattr(breaker, "trips", 0), component=component
+            )
+            state = getattr(breaker, "state", "closed")
+            yield _counter_sample(
+                "repro_breaker_open", 1.0 if state == "open" else 0.0, component=component
+            )
+
+
+def _worker_samples() -> Iterator[Sample]:
+    _tracked_workers[:] = [ref for ref in _tracked_workers if ref() is not None]
+    for ref in list(_tracked_workers):
+        report = ref()
+        if report is None:
+            continue
+        worker = getattr(report, "worker_id", "?")
+        yield _counter_sample("repro_jobs_completed_total", report.jobs_completed, worker=worker)
+        yield _counter_sample("repro_jobs_failed_total", report.jobs_failed, worker=worker)
+        yield _counter_sample("repro_jobs_skipped_total", report.jobs_skipped, worker=worker)
+        yield _counter_sample("repro_leases_total", report.leases, worker=worker)
+
+
+def _install_bridge(registry: Optional[MetricsRegistry] = None) -> None:
+    global _bridge_installed
+    if _bridge_installed and registry is None:
+        return
+    reg = registry if registry is not None else default_registry()
+    for fn in (
+        _engine_samples,
+        _cache_samples,
+        _store_samples,
+        _queue_samples,
+        _resilience_samples,
+        _worker_samples,
+    ):
+        reg.register_collector(fn)
+    if registry is None:
+        _bridge_installed = True
+
+
+def track_engine(engine: Any) -> None:
+    """Mirror an :class:`EvaluationEngine`'s counters onto the registry."""
+
+    _install_bridge()
+    _tracked_engines.add(engine)
+
+
+def track_store(store: Any) -> None:
+    """Mirror a :class:`CacheStore`'s ``StoreStats`` onto the registry."""
+
+    _install_bridge()
+    _tracked_stores.add(store)
+
+
+def track_queue(queue: Any) -> None:
+    """Mirror a :class:`WorkQueue`'s transaction/lease counters."""
+
+    _install_bridge()
+    _tracked_queues.add(queue)
+
+
+def track_resilience(wrapper: Any) -> None:
+    """Mirror a resilient wrapper's retry/degraded/breaker telemetry."""
+
+    _install_bridge()
+    _tracked_resilience.add(wrapper)
+
+
+def track_worker(report: Any) -> None:
+    """Mirror a live :class:`WorkerReport` onto the registry."""
+
+    _install_bridge()
+    _tracked_workers.append(weakref.ref(report))
+
+
+def flush_metrics(source: str, registry: Optional[MetricsRegistry] = None) -> None:
+    """Publish this process's counter state to the event log.
+
+    The event log is the cross-process transport: each process emits a
+    ``metrics_flush`` carrying its registry snapshot; the exporter
+    keeps the *latest* flush per pid (counters are process-lifetime
+    monotonic) and sums across pids.
+    """
+
+    reg = registry if registry is not None else default_registry()
+    counters = {
+        key: value
+        for key, value in reg.snapshot().items()
+        if "_total" in key or key.startswith("repro_cost_saved")
+    }
+    emit_event("metrics_flush", source=source, counters=counters)

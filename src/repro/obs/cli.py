@@ -1,0 +1,165 @@
+"""``repro-metrics`` — scrape-able exporter for a study substrate.
+
+Point it at the same store spec every other tool takes (a ``.sqlite``
+file or store directory) and it samples the co-located work queue plus
+the event log into Prometheus text exposition:
+
+* default: one exposition dump to stdout (or ``--json`` for the raw
+  fleet sample);
+* ``--textfile OUT``: atomically (re)write a textfile-collector file
+  every ``--interval`` seconds (``--once`` for a single write);
+* ``--serve PORT``: stdlib HTTP scrape endpoint at ``/metrics``,
+  sampling the fleet freshly on every scrape;
+* ``--watch``: live dashboard in the terminal (same renderer as
+  ``repro-cache queue stats --watch``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Optional, Sequence
+
+from repro.obs.dashboard import render_dashboard
+from repro.obs.events import default_events_path
+from repro.obs.export import render_prometheus, serve_metrics, write_textfile
+from repro.obs.fleet import FleetSample, sample_fleet
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-metrics",
+        description="Export fleet metrics for a repro study substrate.",
+    )
+    parser.add_argument(
+        "store",
+        help="substrate spec: .sqlite store file or store directory "
+        "(same spec repro-cache/repro-worker take)",
+    )
+    parser.add_argument(
+        "--events",
+        default=None,
+        help="event log path (default: co-located with the store, "
+        "e.g. results.events.jsonl beside results.sqlite)",
+    )
+    mode = parser.add_mutually_exclusive_group()
+    mode.add_argument(
+        "--serve",
+        type=int,
+        metavar="PORT",
+        default=None,
+        help="run an HTTP scrape endpoint on PORT (0 picks a free port)",
+    )
+    mode.add_argument(
+        "--textfile",
+        metavar="OUT",
+        default=None,
+        help="atomically write text exposition to OUT every --interval",
+    )
+    mode.add_argument(
+        "--watch",
+        action="store_true",
+        help="live terminal dashboard instead of exposition output",
+    )
+    parser.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        help="sampling interval in seconds for --textfile/--watch (default 2)",
+    )
+    parser.add_argument(
+        "--once",
+        action="store_true",
+        help="sample once and exit (applies to --textfile/--watch too)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the raw fleet sample as JSON instead of exposition",
+    )
+    return parser
+
+
+def _sample(args: argparse.Namespace) -> FleetSample:
+    return sample_fleet(args.store, events_path=args.events)
+
+
+def _emit_once(args: argparse.Namespace) -> int:
+    sample = _sample(args)
+    if args.json:
+        payload = {
+            "sampled_at": sample.sampled_at,
+            "queue": sample.queue_counts,
+            "workers": sample.workers,
+            "counters": sample.event_counters,
+            "events_path": sample.events_path,
+            "rounds": len(sample.rounds),
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        sys.stdout.write(render_prometheus(samples=sample.samples()))
+    return 0
+
+
+def _run_textfile(args: argparse.Namespace) -> int:
+    while True:
+        sample = _sample(args)
+        write_textfile(args.textfile, samples=sample.samples())
+        if args.once:
+            return 0
+        try:
+            time.sleep(args.interval)
+        except KeyboardInterrupt:
+            return 0
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    server = serve_metrics(
+        port=args.serve,
+        extra_samples=lambda: _sample(args).samples(),
+    )
+    print(f"serving metrics at {server.url}", flush=True)
+    try:
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        return 0
+    finally:
+        server.stop()
+
+
+def _run_watch(args: argparse.Namespace) -> int:
+    previous: Optional[FleetSample] = None
+    try:
+        while True:
+            sample = _sample(args)
+            lines = render_dashboard(sample, previous)
+            sys.stdout.write("\x1b[2J\x1b[H" if not args.once else "")
+            print("\n".join(lines), flush=True)
+            if args.once:
+                return 0
+            previous = sample
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.events is None:
+        args.events = default_events_path(args.store)
+    if args.serve is not None:
+        return _run_serve(args)
+    if args.textfile is not None:
+        return _run_textfile(args)
+    if args.watch:
+        return _run_watch(args)
+    return _emit_once(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

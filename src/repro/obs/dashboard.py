@@ -1,0 +1,120 @@
+"""Render a :class:`~repro.obs.fleet.FleetSample` as a live dashboard.
+
+Pure presentation: :func:`render_dashboard` turns one (or two
+consecutive) fleet samples into a list of terminal lines.  The watch
+loop in ``repro-cache queue stats --watch`` and the ``repro-metrics``
+CLI both call it; keeping it free of I/O makes the layout testable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.obs.fleet import FleetSample
+
+__all__ = ["render_dashboard"]
+
+_BAR_WIDTH = 30
+_STATUS_ORDER = ("pending", "leased", "done", "failed", "expired", "invalid")
+
+
+def _fmt_age(seconds: Optional[float]) -> str:
+    if seconds is None:
+        return "-"
+    if seconds < 0:
+        seconds = 0.0
+    if seconds < 120:
+        return f"{seconds:.1f}s"
+    if seconds < 7200:
+        return f"{seconds / 60:.1f}m"
+    return f"{seconds / 3600:.1f}h"
+
+
+def _depth_bar(counts: Dict[str, int]) -> str:
+    total = sum(counts.get(s, 0) for s in _STATUS_ORDER)
+    if total <= 0:
+        return "[" + " " * _BAR_WIDTH + "]"
+    glyphs = {"pending": ".", "leased": "=", "done": "#", "failed": "!", "expired": "x", "invalid": "?"}
+    bar = ""
+    for status in _STATUS_ORDER:
+        width = round(counts.get(status, 0) / total * _BAR_WIDTH)
+        bar += glyphs[status] * width
+    bar = (bar + " " * _BAR_WIDTH)[:_BAR_WIDTH]
+    return f"[{bar}]"
+
+
+def _counter(sample: FleetSample, prefix: str) -> float:
+    return sum(
+        value
+        for key, value in sample.event_counters.items()
+        if key == prefix or key.startswith(prefix + "{")
+    )
+
+
+def render_dashboard(
+    sample: FleetSample, previous: Optional[FleetSample] = None
+) -> List[str]:
+    """Terminal lines for one fleet observation.
+
+    With ``previous`` given, completion throughput is derived from the
+    done-count delta between the two samples.
+    """
+
+    counts = sample.queue_counts
+    lines: List[str] = []
+    queue_name = sample.queue_describe.get("queue", "queue")
+    lines.append(f"fleet · {queue_name} · {len(sample.workers)} worker(s) holding leases")
+
+    depth = "  ".join(
+        f"{status}={counts.get(status, 0)}" for status in _STATUS_ORDER
+    )
+    lines.append(f"queue {_depth_bar(counts)} {depth}")
+
+    throughput = ""
+    if previous is not None and sample.sampled_at > previous.sampled_at:
+        dt = sample.sampled_at - previous.sampled_at
+        rate = (sample.done - previous.done) / dt
+        throughput = f"  throughput={rate:.2f} jobs/s"
+    done = counts.get("done", 0)
+    total = counts.get("total", 0)
+    lines.append(f"progress {done}/{total} done{throughput}")
+
+    if sample.workers:
+        lines.append("workers:")
+        header = f"  {'worker':<24} {'held':>4} {'oldest lease':>12} {'heartbeat':>10}"
+        lines.append(header)
+        for worker_id, info in sorted(sample.workers.items()):
+            lines.append(
+                f"  {worker_id:<24} {int(info.get('jobs_held') or 0):>4} "
+                f"{_fmt_age(info.get('oldest_lease_age')):>12} "
+                f"{_fmt_age(info.get('last_heartbeat_age')):>10}"
+            )
+    else:
+        lines.append("workers: none holding leases")
+
+    reclaims = _counter(sample, "repro_lease_reclaims_total")
+    retried = _counter(sample, "repro_retried_total")
+    degraded = _counter(sample, "repro_degraded_ops_total") + _counter(
+        sample, "repro_degraded_evaluations_total"
+    )
+    trips = _counter(sample, "repro_breaker_trips_total")
+    lines.append(
+        "resilience "
+        f"reclaims={reclaims:g} retried={retried:g} "
+        f"degraded={degraded:g} breaker_trips={trips:g}"
+    )
+
+    hits = _counter(sample, "repro_cache_hits_total")
+    saved = _counter(sample, "repro_cost_saved_simulated_seconds")
+    if hits or saved:
+        lines.append(f"cache hits={hits:g} est_sim_seconds_saved={saved:.1f}")
+
+    if sample.rounds:
+        last = sample.rounds[-1]
+        stop = last.get("stop") or "running"
+        lines.append(
+            "campaign "
+            f"round={last.get('round', '?')} simulated={last.get('simulated', '?')} "
+            f"cached={last.get('cached', '?')} status={stop}"
+        )
+    return lines

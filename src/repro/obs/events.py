@@ -1,0 +1,188 @@
+"""Schema-versioned JSONL event log, written via ``O_APPEND``.
+
+Every platform process (submitter, campaign driver, each worker) can
+append structured events — lease grants and reclaims, breaker trips,
+degraded operations, GC passes, campaign round boundaries, final
+metrics flushes — to one shared file.  Appends are a single
+``os.write`` of one ``\\n``-terminated JSON line through a file
+descriptor opened with ``O_APPEND``, which POSIX keeps atomic for
+small writes, so concurrent writers interleave whole lines rather
+than tearing each other.  The reader tolerates a torn or trailing
+partial line anyway (a crashed writer must not poison the log).
+
+Configuration is ambient so deep call sites stay decoupled: set a path
+explicitly with :func:`set_event_log`, or export ``REPRO_EVENT_LOG``
+before the process starts (how ``repro-worker`` children inherit the
+log).  When no log is configured, :func:`emit_event` is a cheap no-op.
+
+Each record carries ``schema`` (:data:`EVENT_SCHEMA_VERSION`), ``ts``
+(wall-clock seconds), ``pid``, and ``event`` (the type tag), plus
+event-specific fields.  The catalog of event types lives in
+``docs/observability.md`` and :mod:`repro.obs.catalog`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import threading
+import time
+from typing import Any, Dict, Iterator, List, Optional
+
+__all__ = [
+    "EVENT_SCHEMA_VERSION",
+    "EventLog",
+    "configured_event_log",
+    "default_events_path",
+    "emit_event",
+    "read_events",
+    "set_event_log",
+]
+
+EVENT_SCHEMA_VERSION = 1
+
+_ENV_VAR = "REPRO_EVENT_LOG"
+
+
+class EventLog:
+    """Append-only JSONL sink bound to one path.
+
+    The fd is opened lazily on first emit and kept for the process
+    lifetime.  A failing filesystem disables the log after one warning
+    (telemetry must never take down the workload it observes).
+    """
+
+    def __init__(self, path: str | os.PathLike[str]) -> None:
+        self.path = os.fspath(path)
+        self._fd: Optional[int] = None
+        self._lock = threading.Lock()
+        self._broken = False
+
+    def emit(self, event: str, **fields: Any) -> None:
+        if self._broken:
+            return
+        record: Dict[str, Any] = {
+            "schema": EVENT_SCHEMA_VERSION,
+            "ts": time.time(),
+            "pid": os.getpid(),
+            "event": event,
+        }
+        record.update(fields)
+        line = json.dumps(record, sort_keys=True, default=str) + "\n"
+        try:
+            with self._lock:
+                if self._fd is None:
+                    parent = os.path.dirname(self.path)
+                    if parent:
+                        os.makedirs(parent, exist_ok=True)
+                    self._fd = os.open(
+                        self.path, os.O_APPEND | os.O_CREAT | os.O_WRONLY, 0o644
+                    )
+                os.write(self._fd, line.encode("utf-8"))
+        except OSError as exc:
+            self._broken = True
+            print(
+                f"repro.obs: event log {self.path!r} disabled: {exc}",
+                file=sys.stderr,
+            )
+
+    def close(self) -> None:
+        with self._lock:
+            if self._fd is not None:
+                try:
+                    os.close(self._fd)
+                except OSError:
+                    pass
+                self._fd = None
+
+
+_lock = threading.Lock()
+_log: Optional[EventLog] = None
+_env_checked = False
+
+
+def set_event_log(path: str | os.PathLike[str] | None) -> Optional[EventLog]:
+    """Bind (or, with ``None``, unbind) the process-wide event log."""
+
+    global _log, _env_checked
+    with _lock:
+        if _log is not None:
+            _log.close()
+        _log = EventLog(path) if path is not None else None
+        _env_checked = True  # explicit call overrides the env default
+        return _log
+
+
+def configured_event_log() -> Optional[EventLog]:
+    """The active log: explicit binding first, else ``REPRO_EVENT_LOG``."""
+
+    global _log, _env_checked
+    with _lock:
+        if _log is None and not _env_checked:
+            _env_checked = True
+            env_path = os.environ.get(_ENV_VAR)
+            if env_path:
+                _log = EventLog(env_path)
+        return _log
+
+
+def emit_event(event: str, **fields: Any) -> None:
+    """Append one event to the configured log; no-op when unconfigured."""
+
+    log = configured_event_log()
+    if log is not None:
+        log.emit(event, **fields)
+
+
+def read_events(
+    path: str | os.PathLike[str], event: Optional[str] = None
+) -> List[Dict[str, Any]]:
+    """Parse an event log, skipping torn/partial lines.
+
+    Optionally filters to one ``event`` type.  A missing file reads as
+    an empty log (the observer may start before the first writer).
+    """
+
+    return list(iter_events(path, event=event))
+
+
+def iter_events(
+    path: str | os.PathLike[str], event: Optional[str] = None
+) -> Iterator[Dict[str, Any]]:
+    try:
+        fh = open(path, "r", encoding="utf-8", errors="replace")
+    except FileNotFoundError:
+        return
+    with fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue  # torn line from a crashed writer
+            if not isinstance(record, dict) or "event" not in record:
+                continue
+            if event is not None and record.get("event") != event:
+                continue
+            yield record
+
+
+def default_events_path(store_spec: str) -> str:
+    """Conventional event-log location co-located with a store spec.
+
+    ``results.sqlite`` → ``results.events.jsonl`` (sibling file);
+    a directory store → ``<dir>/.events.jsonl`` inside it.  Keeping the
+    log beside the substrate means every process pointed at the store
+    finds the same log without extra plumbing.
+    """
+
+    spec = os.fspath(store_spec)
+    if os.path.isdir(spec) or spec.endswith(os.sep):
+        return os.path.join(spec, ".events.jsonl")
+    root, ext = os.path.splitext(spec)
+    if ext in (".sqlite", ".db", ".sqlite3"):
+        return root + ".events.jsonl"
+    return spec + ".events.jsonl"

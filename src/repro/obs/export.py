@@ -1,0 +1,290 @@
+"""Prometheus text-exposition: render, parse, textfile, scrape server.
+
+Two export paths, both stdlib-only:
+
+* **Textfile collector** — :func:`write_textfile` renders the registry
+  and atomically replaces the output file (write-temp + ``os.replace``
+  via :mod:`repro.fsutil`), so a node-exporter style collector never
+  reads a half-written exposition.
+* **Scrape endpoint** — :func:`serve_metrics` runs a
+  ``ThreadingHTTPServer`` answering ``GET /metrics`` with a fresh
+  render per scrape.
+
+:func:`parse_prometheus` is the inverse of :func:`render_prometheus`
+and exists so the round-trip is testable (and so the metrics-smoke CI
+job can assert series without external tooling).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.fsutil import atomic_write_text
+from repro.obs.metrics import (
+    MetricsRegistry,
+    Sample,
+    default_registry,
+    series_key,
+)
+
+__all__ = [
+    "CONTENT_TYPE",
+    "MetricsServer",
+    "parse_prometheus",
+    "render_prometheus",
+    "serve_metrics",
+    "write_textfile",
+]
+
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _family_name(sample: Sample) -> str:
+    """Metric-family name: histogram samples share one family."""
+
+    if sample.kind == "histogram":
+        for suffix in ("_bucket", "_sum", "_count"):
+            if sample.name.endswith(suffix):
+                return sample.name[: -len(suffix)]
+    return sample.name
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_prometheus(
+    samples: Optional[Iterable[Sample]] = None,
+    registry: Optional[MetricsRegistry] = None,
+) -> str:
+    """Render samples in Prometheus text-exposition format 0.0.4.
+
+    Samples with the same series key are summed (that is the registry's
+    cross-instance aggregation rule); families are emitted sorted with
+    one ``# HELP`` / ``# TYPE`` header each.
+    """
+
+    if samples is None:
+        reg = registry if registry is not None else default_registry()
+        samples = reg.collect()
+
+    families: Dict[str, Tuple[str, str]] = {}  # family -> (kind, help)
+    values: Dict[str, Dict[Tuple[str, ...], Tuple[str, float]]] = {}
+    order: Dict[str, None] = {}
+    for sample in samples:
+        family = _family_name(sample)
+        if family not in families:
+            families[family] = (sample.kind, sample.help)
+            order[family] = None
+        key = (sample.name,) + tuple(f"{k}\x00{v}" for k, v in sample.labels)
+        fam_values = values.setdefault(family, {})
+        prior = fam_values.get(key)
+        rendered = _render_series(sample)
+        fam_values[key] = (rendered, (prior[1] if prior else 0.0) + sample.value)
+
+    lines: List[str] = []
+    for family in sorted(order):
+        kind, help_text = families[family]
+        if help_text:
+            lines.append(f"# HELP {family} {_escape_help(help_text)}")
+        lines.append(f"# TYPE {family} {kind}")
+        # Insertion order preserves ascending histogram buckets.
+        for series, value in values.get(family, {}).values():
+            lines.append(f"{series} {_format_value(value)}")
+    return "\n".join(lines) + "\n"
+
+
+def _render_series(sample: Sample) -> str:
+    if not sample.labels:
+        return sample.name
+    body = ",".join(f'{k}="{_escape_label(v)}"' for k, v in sample.labels)
+    return f"{sample.name}{{{body}}}"
+
+
+def parse_prometheus(text: str) -> Dict[str, float]:
+    """Parse text exposition back into ``{series_key: value}``.
+
+    Inverse of :func:`render_prometheus` for the label dialects this
+    module emits; used by the round-trip tests and the metrics-smoke
+    assertions.
+    """
+
+    out: Dict[str, float] = {}
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        name, labels, value = _parse_sample_line(line)
+        out[series_key(name, labels)] = value
+    return out
+
+
+def _parse_sample_line(line: str) -> Tuple[str, Dict[str, str], float]:
+    if "{" in line:
+        name, rest = line.split("{", 1)
+        label_body, tail = rest.rsplit("}", 1)
+        labels = _parse_labels(label_body)
+        value_text = tail.strip()
+    else:
+        parts = line.split()
+        if len(parts) < 2:
+            raise ValueError(f"malformed exposition line: {line!r}")
+        name, value_text = parts[0], parts[1]
+        labels = {}
+    return name.strip(), labels, _parse_value(value_text.split()[0])
+
+
+def _parse_labels(body: str) -> Dict[str, str]:
+    labels: Dict[str, str] = {}
+    i = 0
+    while i < len(body):
+        eq = body.index("=", i)
+        key = body[i:eq].strip().lstrip(",").strip()
+        if body[eq + 1] != '"':
+            raise ValueError(f"malformed label in {body!r}")
+        j = eq + 2
+        value_chars: List[str] = []
+        while j < len(body):
+            ch = body[j]
+            if ch == "\\" and j + 1 < len(body):
+                nxt = body[j + 1]
+                value_chars.append({"n": "\n", '"': '"', "\\": "\\"}.get(nxt, nxt))
+                j += 2
+                continue
+            if ch == '"':
+                break
+            value_chars.append(ch)
+            j += 1
+        labels[key] = "".join(value_chars)
+        i = j + 1
+    return labels
+
+
+def _parse_value(text: str) -> float:
+    if text == "+Inf":
+        return float("inf")
+    if text == "-Inf":
+        return float("-inf")
+    return float(text)
+
+
+def write_textfile(
+    path: str | os.PathLike[str],
+    samples: Optional[Iterable[Sample]] = None,
+    registry: Optional[MetricsRegistry] = None,
+) -> str:
+    """Atomically write the exposition to ``path`` (textfile collector)."""
+
+    text = render_prometheus(samples=samples, registry=registry)
+    target = os.fspath(path)
+    parent = os.path.dirname(target)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    atomic_write_text(target, text)
+    return text
+
+
+class MetricsServer:
+    """Background ``/metrics`` scrape endpoint over stdlib http.server."""
+
+    def __init__(
+        self,
+        port: int = 0,
+        host: str = "127.0.0.1",
+        registry: Optional[MetricsRegistry] = None,
+        extra_samples: Optional[object] = None,
+    ) -> None:
+        self.registry = registry if registry is not None else default_registry()
+        # ``extra_samples``: zero-arg callable returning extra Sample
+        # rows folded into each scrape (the fleet sampler hooks in here).
+        self._extra = extra_samples
+        server = self
+
+        class Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 - http.server API
+                if self.path.split("?", 1)[0] not in ("/metrics", "/"):
+                    self.send_error(404)
+                    return
+                body = server.render().encode("utf-8")
+                self.send_response(200)
+                self.send_header("Content-Type", CONTENT_TYPE)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, fmt: str, *args: object) -> None:
+                pass  # scrapes must not spam the worker's stderr
+
+        self._httpd = ThreadingHTTPServer((host, port), Handler)
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def port(self) -> int:
+        return int(self._httpd.server_address[1])
+
+    @property
+    def url(self) -> str:
+        host = self._httpd.server_address[0]
+        return f"http://{host}:{self.port}/metrics"
+
+    def render(self) -> str:
+        samples = list(self.registry.collect())
+        if self._extra is not None:
+            try:
+                samples.extend(self._extra())  # type: ignore[operator]
+            except Exception:
+                pass  # sampling failure must not break the scrape
+        return render_prometheus(samples=samples)
+
+    def start(self) -> "MetricsServer":
+        thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-metrics-server",
+            daemon=True,
+        )
+        thread.start()
+        self._thread = thread
+        return self
+
+    def stop(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    def __enter__(self) -> "MetricsServer":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()
+
+
+def serve_metrics(
+    port: int = 0,
+    host: str = "127.0.0.1",
+    registry: Optional[MetricsRegistry] = None,
+    extra_samples: Optional[object] = None,
+) -> MetricsServer:
+    """Start (and return) a background scrape endpoint."""
+
+    return MetricsServer(
+        port=port, host=host, registry=registry, extra_samples=extra_samples
+    ).start()

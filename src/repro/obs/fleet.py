@@ -1,0 +1,250 @@
+"""Fleet-wide sampling: queue + event log → one coherent metric set.
+
+An exporter or dashboard process is *not* the process doing the work,
+so its in-process registry is empty.  What it can see is the shared
+substrate: the durable work queue (live gauges — depth, per-worker
+lease ages) and the JSONL event log (counters — each worker/submitter
+periodically flushes its registry as a ``metrics_flush`` event, and
+discrete events record lease grants/reclaims, breaker trips, degraded
+ops, GC passes and campaign rounds).
+
+:func:`sample_fleet` folds both sources into a :class:`FleetSample`;
+``FleetSample.samples()`` renders it as registry-compatible
+:class:`~repro.obs.metrics.Sample` rows so the same data feeds the
+Prometheus exposition, the ``repro-metrics`` CLI and the
+``repro-cache queue stats --watch`` dashboard.
+
+Aggregation rules:
+
+* ``metrics_flush`` — keep the **latest** flush per pid (counters are
+  process-lifetime monotonic), then sum across pids.
+* discrete events — counted directly; these override any same-named
+  series in the flushes (they are authoritative and live even for
+  processes that died before flushing, e.g. a SIGKILLed worker whose
+  lease the survivor reclaimed).
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.obs.events import default_events_path, iter_events
+from repro.obs.metrics import Sample
+from repro.obs.catalog import spec_for
+
+__all__ = ["FleetSample", "aggregate_event_counters", "sample_fleet"]
+
+#: Series derived from discrete events; same-named series inside
+#: ``metrics_flush`` payloads are dropped to avoid double counting.
+_EVENT_DERIVED = (
+    "repro_lease_grants_total",
+    "repro_lease_reclaims_total",
+    "repro_breaker_trips_total",
+    "repro_degraded_ops_total",
+    "repro_gc_runs_total",
+    "repro_campaign_rounds_total",
+)
+
+_SERIES_NAME = re.compile(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)")
+
+
+def _base_name(series_key: str) -> str:
+    match = _SERIES_NAME.match(series_key)
+    return match.group(1) if match else series_key
+
+
+def aggregate_event_counters(events_path: str | os.PathLike[str]) -> Dict[str, float]:
+    """Fold an event log into ``{series_key: value}`` counter totals."""
+
+    flushes: Dict[Tuple[int, str], Mapping[str, float]] = {}
+    derived: Dict[str, float] = {}
+
+    def bump(name: str, amount: float = 1.0, **labels: object) -> None:
+        from repro.obs.metrics import series_key as _sk
+
+        key = _sk(name, labels)
+        derived[key] = derived.get(key, 0.0) + amount
+
+    for record in iter_events(events_path):
+        kind = record.get("event")
+        if kind == "metrics_flush":
+            counters = record.get("counters")
+            if isinstance(counters, dict):
+                ident = (int(record.get("pid", 0)), str(record.get("source", "")))
+                flushes[ident] = counters  # later records overwrite: latest wins
+        elif kind == "lease_grant":
+            bump("repro_lease_grants_total", float(record.get("jobs", 1)))
+        elif kind == "lease_reclaim":
+            bump("repro_lease_reclaims_total", float(record.get("jobs", 1)))
+        elif kind == "breaker_trip":
+            bump("repro_breaker_trips_total", component=record.get("component", "?"))
+        elif kind == "degraded_op":
+            bump("repro_degraded_ops_total", component=record.get("component", "?"))
+        elif kind == "gc":
+            bump("repro_gc_runs_total")
+        elif kind == "round_complete":
+            # Continuing rounds journal ``stop: null`` explicitly.
+            bump(
+                "repro_campaign_rounds_total",
+                stop=record.get("stop") or "continue",
+            )
+
+    totals: Dict[str, float] = {}
+    for counters in flushes.values():
+        for key, value in counters.items():
+            if _base_name(key) in _EVENT_DERIVED:
+                continue
+            try:
+                totals[key] = totals.get(key, 0.0) + float(value)
+            except (TypeError, ValueError):
+                continue
+    totals.update(derived)
+    return totals
+
+
+@dataclass
+class FleetSample:
+    """One observation of the whole fleet at ``sampled_at``."""
+
+    sampled_at: float
+    queue_counts: Dict[str, int] = field(default_factory=dict)
+    queue_describe: Dict[str, Any] = field(default_factory=dict)
+    workers: Dict[str, Dict[str, Optional[float]]] = field(default_factory=dict)
+    event_counters: Dict[str, float] = field(default_factory=dict)
+    rounds: List[Dict[str, Any]] = field(default_factory=list)
+    events_path: Optional[str] = None
+
+    @property
+    def done(self) -> int:
+        return int(self.queue_counts.get("done", 0))
+
+    def samples(self) -> List[Sample]:
+        """Registry-compatible rows for exposition/merging."""
+
+        def mk(name: str, value: float, **labels: object) -> Sample:
+            spec = spec_for(name)
+            pairs = tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+            return Sample(
+                name,
+                spec.kind if spec else "gauge",
+                spec.help if spec else "",
+                pairs,
+                float(value),
+            )
+
+        out: List[Sample] = []
+        for status, count in sorted(self.queue_counts.items()):
+            if status in ("total", "outstanding"):
+                continue
+            out.append(mk("repro_queue_depth", count, status=status))
+        for worker_id, info in sorted(self.workers.items()):
+            out.append(mk("repro_worker_jobs_held", info.get("jobs_held") or 0, worker=worker_id))
+            lease_age = info.get("oldest_lease_age")
+            if lease_age is not None:
+                out.append(
+                    mk("repro_worker_oldest_lease_age_seconds", lease_age, worker=worker_id)
+                )
+            hb_age = info.get("last_heartbeat_age")
+            if hb_age is not None:
+                out.append(
+                    mk("repro_worker_heartbeat_age_seconds", hb_age, worker=worker_id)
+                )
+        out.append(mk("repro_fleet_workers", len(self.workers)))
+        for key, value in sorted(self.event_counters.items()):
+            name = _base_name(key)
+            spec = spec_for(name)
+            labels = _parse_key_labels(key)
+            pairs = tuple(sorted(labels.items()))
+            out.append(
+                Sample(
+                    name,
+                    spec.kind if spec else "counter",
+                    spec.help if spec else "",
+                    pairs,
+                    value,
+                )
+            )
+        return out
+
+
+def _parse_key_labels(series: str) -> Dict[str, str]:
+    if "{" not in series:
+        return {}
+    body = series[series.index("{") + 1 : series.rindex("}")]
+    labels: Dict[str, str] = {}
+    for part in body.split(","):
+        if "=" not in part:
+            continue
+        key, value = part.split("=", 1)
+        labels[key.strip()] = value.strip().strip('"')
+    return labels
+
+
+def sample_fleet(
+    store_spec: str,
+    events_path: Optional[str] = None,
+    now: Optional[float] = None,
+    queue: Optional[Any] = None,
+) -> FleetSample:
+    """Observe the fleet behind one store spec.
+
+    ``queue`` may be passed pre-resolved (the watch dashboard reuses
+    one connection); otherwise the spec is resolved per call.  A
+    missing/empty substrate yields an empty sample rather than raising:
+    observers routinely start before the first worker.
+    """
+
+    from repro.exec.queue import resolve_queue
+
+    sampled_at = time.time() if now is None else now
+    sample = FleetSample(sampled_at=sampled_at)
+    sample.events_path = (
+        os.fspath(events_path) if events_path else default_events_path(store_spec)
+    )
+
+    owned = queue is None
+    q = queue
+    try:
+        if q is None:
+            # Observe only what exists: resolving a queue for a spec
+            # that is not there yet would *create* the substrate as a
+            # side effect of looking at it.
+            if not os.path.exists(os.fspath(store_spec)):
+                raise FileNotFoundError(store_spec)
+            q = resolve_queue(store_spec)
+        stats = q.stats()
+        sample.queue_counts = {
+            k: int(v) for k, v in stats.as_dict().items() if isinstance(v, (int, float))
+        }
+        sample.queue_describe = dict(q.describe())
+        sample.workers = {
+            worker_id: dict(info)
+            for worker_id, info in q.worker_stats(now=sampled_at).items()
+        }
+    except Exception:
+        # A queue we resolved ourselves may simply not exist yet —
+        # observers routinely start before the substrate.  A queue the
+        # caller handed us is theirs: recovery (re-resolve, report) is
+        # their policy, so the failure propagates.
+        if not owned:
+            raise
+    finally:
+        if owned and q is not None:
+            try:
+                q.close()
+            except Exception:
+                pass
+
+    try:
+        sample.event_counters = aggregate_event_counters(sample.events_path)
+        sample.rounds = [
+            record
+            for record in iter_events(sample.events_path, event="round_complete")
+        ]
+    except Exception:
+        pass
+    return sample

@@ -1,0 +1,393 @@
+"""Thread-safe metrics registry: labeled counters, gauges, histograms.
+
+The registry is the in-process aggregation point for every counter the
+platform already keeps in per-component stats dataclasses
+(:class:`repro.exec.store.StoreStats`, ``QueueStats``,
+``ResilienceStats``, engine counters, …).  It mirrors the repo's
+``stats_snapshot()`` / ``stats(since=)`` idiom: :meth:`MetricsRegistry.snapshot`
+captures the current value of every series, and
+:meth:`MetricsRegistry.delta` subtracts an earlier snapshot so callers
+can attribute activity to a window of work.
+
+Two ways to get samples in:
+
+* **Instruments** — ``registry.counter(...)``, ``.gauge(...)``,
+  ``.histogram(...)`` hand back live handles that components tick
+  directly.  Increments are a dict update under one lock; cheap enough
+  for batch-boundary call sites (never per-point hot loops).
+* **Collectors** — ``registry.register_collector(fn)`` registers a
+  zero-argument callable invoked at *pull* time (``collect()`` /
+  ``snapshot()``).  Collectors let existing stats dataclasses stay
+  authoritative (so ``study.report()`` output is untouched) while still
+  appearing in the exported series, at zero hot-path cost.  Collector
+  registrations that hold object references use weakrefs and
+  self-prune when the subject is garbage collected.
+
+Series identity is ``name`` + a sorted tuple of ``(label, value)``
+pairs.  :func:`series_key` renders the canonical
+``name{label="v",...}`` string used in snapshots and tests.
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, Iterator, List, Mapping, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Sample",
+    "default_registry",
+    "series_key",
+]
+
+LabelPairs = Tuple[Tuple[str, str], ...]
+
+#: Default histogram bucket boundaries (seconds-oriented, matching the
+#: span durations the platform records: sub-millisecond store ops up to
+#: multi-minute campaign rounds).
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.001,
+    0.005,
+    0.025,
+    0.1,
+    0.5,
+    1.0,
+    5.0,
+    30.0,
+    120.0,
+    float("inf"),
+)
+
+
+def _label_pairs(labels: Mapping[str, object]) -> LabelPairs:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def series_key(name: str, labels: Mapping[str, object] | LabelPairs = ()) -> str:
+    """Canonical ``name{k="v",...}`` string for one series."""
+
+    pairs = labels if isinstance(labels, tuple) else _label_pairs(labels)
+    if not pairs:
+        return name
+    body = ",".join(f'{k}="{v}"' for k, v in pairs)
+    return f"{name}{{{body}}}"
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One exported time-series point.
+
+    Histograms expand into several samples (``*_bucket`` with an ``le``
+    label, ``*_sum``, ``*_count``); counters and gauges yield one each.
+    """
+
+    name: str
+    kind: str  # "counter" | "gauge" | "histogram"
+    help: str
+    labels: LabelPairs
+    value: float
+
+    @property
+    def key(self) -> str:
+        return series_key(self.name, self.labels)
+
+
+class _Metric:
+    """Base for the three instrument kinds; owns the per-series values."""
+
+    kind = "untyped"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        labelnames: Sequence[str],
+        lock: threading.RLock,
+    ) -> None:
+        self.name = name
+        self.help = help_text
+        self.labelnames = tuple(labelnames)
+        self._lock = lock
+        self._values: Dict[LabelPairs, float] = {}
+
+    def _resolve(self, labels: Mapping[str, object]) -> LabelPairs:
+        if set(labels) != set(self.labelnames):
+            raise ValueError(
+                f"metric {self.name!r} expects labels {self.labelnames}, "
+                f"got {tuple(sorted(labels))}"
+            )
+        return _label_pairs(labels)
+
+    def samples(self) -> Iterator[Sample]:
+        with self._lock:
+            items = list(self._values.items())
+        for pairs, value in items:
+            yield Sample(self.name, self.kind, self.help, pairs, value)
+
+
+class Counter(_Metric):
+    """Monotonically increasing value; ``inc`` with optional labels."""
+
+    kind = "counter"
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        pairs = self._resolve(labels)
+        with self._lock:
+            self._values[pairs] = self._values.get(pairs, 0.0) + amount
+
+    def value(self, **labels: object) -> float:
+        pairs = self._resolve(labels)
+        with self._lock:
+            return self._values.get(pairs, 0.0)
+
+
+class Gauge(_Metric):
+    """Point-in-time value; ``set``/``inc``/``dec`` with optional labels."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels: object) -> None:
+        pairs = self._resolve(labels)
+        with self._lock:
+            self._values[pairs] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        pairs = self._resolve(labels)
+        with self._lock:
+            self._values[pairs] = self._values.get(pairs, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels: object) -> None:
+        self.inc(-amount, **labels)
+
+    def value(self, **labels: object) -> float:
+        pairs = self._resolve(labels)
+        with self._lock:
+            return self._values.get(pairs, 0.0)
+
+
+@dataclass
+class _HistogramState:
+    counts: List[int]
+    total: float = 0.0
+    count: int = 0
+
+
+class Histogram(_Metric):
+    """Cumulative-bucket histogram; ``observe`` records one value."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        labelnames: Sequence[str],
+        lock: threading.RLock,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        super().__init__(name, help_text, labelnames, lock)
+        bounds = sorted(float(b) for b in buckets)
+        if not bounds or bounds[-1] != float("inf"):
+            bounds.append(float("inf"))
+        self.buckets: Tuple[float, ...] = tuple(bounds)
+        self._states: Dict[LabelPairs, _HistogramState] = {}
+
+    def observe(self, value: float, **labels: object) -> None:
+        pairs = self._resolve(labels)
+        with self._lock:
+            state = self._states.get(pairs)
+            if state is None:
+                state = _HistogramState(counts=[0] * len(self.buckets))
+                self._states[pairs] = state
+            for i, bound in enumerate(self.buckets):
+                if value <= bound:
+                    state.counts[i] += 1
+                    break
+            state.total += value
+            state.count += 1
+
+    def state(self, **labels: object) -> Tuple[int, float]:
+        """``(count, sum)`` for one series — convenience for tests."""
+
+        pairs = self._resolve(labels)
+        with self._lock:
+            st = self._states.get(pairs)
+            return (st.count, st.total) if st else (0, 0.0)
+
+    def samples(self) -> Iterator[Sample]:
+        with self._lock:
+            states = {k: (list(v.counts), v.total, v.count) for k, v in self._states.items()}
+        for pairs, (counts, total, count) in states.items():
+            cumulative = 0
+            for bound, n in zip(self.buckets, counts):
+                cumulative += n
+                le = "+Inf" if bound == float("inf") else format(bound, "g")
+                yield Sample(
+                    f"{self.name}_bucket",
+                    self.kind,
+                    self.help,
+                    pairs + (("le", le),),
+                    float(cumulative),
+                )
+            yield Sample(f"{self.name}_sum", self.kind, self.help, pairs, total)
+            yield Sample(f"{self.name}_count", self.kind, self.help, pairs, float(count))
+
+
+Collector = Callable[[], Iterable[Sample]]
+
+
+class MetricsRegistry:
+    """Registry of instruments plus pull-time collectors.
+
+    Instrument creation is idempotent: asking twice for the same name
+    returns the same handle, and a kind/label mismatch raises — two
+    components cannot silently fork a series.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._metrics: Dict[str, _Metric] = {}
+        self._collectors: List[Collector] = []
+
+    # -- instruments -------------------------------------------------
+
+    def _get_or_create(
+        self, cls: type, name: str, help_text: str, labelnames: Sequence[str], **kwargs: object
+    ) -> _Metric:
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls) or existing.labelnames != tuple(labelnames):
+                    raise ValueError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.kind} with labels {existing.labelnames}"
+                    )
+                return existing
+            metric = cls(name, help_text, labelnames, self._lock, **kwargs)
+            self._metrics[name] = metric
+            return metric
+
+    def counter(self, name: str, help_text: str = "", labelnames: Sequence[str] = ()) -> Counter:
+        metric = self._get_or_create(Counter, name, help_text, labelnames)
+        assert isinstance(metric, Counter)
+        return metric
+
+    def gauge(self, name: str, help_text: str = "", labelnames: Sequence[str] = ()) -> Gauge:
+        metric = self._get_or_create(Gauge, name, help_text, labelnames)
+        assert isinstance(metric, Gauge)
+        return metric
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        metric = self._get_or_create(Histogram, name, help_text, labelnames, buckets=buckets)
+        assert isinstance(metric, Histogram)
+        return metric
+
+    def get(self, name: str) -> _Metric | None:
+        with self._lock:
+            return self._metrics.get(name)
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._metrics)
+
+    # -- collectors --------------------------------------------------
+
+    def register_collector(self, fn: Collector) -> Callable[[], None]:
+        """Register a pull-time sample source; returns an unregister hook."""
+
+        with self._lock:
+            self._collectors.append(fn)
+
+        def unregister() -> None:
+            with self._lock:
+                try:
+                    self._collectors.remove(fn)
+                except ValueError:
+                    pass
+
+        return unregister
+
+    def register_object_collector(
+        self, obj: object, fn: Callable[[object], Iterable[Sample]]
+    ) -> Callable[[], None]:
+        """Collector bound to ``obj`` via weakref; self-prunes when dead."""
+
+        ref = weakref.ref(obj)
+
+        def collector() -> Iterable[Sample]:
+            target = ref()
+            if target is None:
+                unregister()
+                return ()
+            return fn(target)
+
+        unregister = self.register_collector(collector)
+        return unregister
+
+    # -- export ------------------------------------------------------
+
+    def collect(self) -> List[Sample]:
+        """All samples: instruments first, then collectors.
+
+        A collector that raises is dropped from the output for this
+        pull only — one misbehaving component must not take down the
+        scrape endpoint.
+        """
+
+        with self._lock:
+            metrics = list(self._metrics.values())
+            collectors = list(self._collectors)
+        out: List[Sample] = []
+        for metric in metrics:
+            out.extend(metric.samples())
+        for fn in collectors:
+            try:
+                out.extend(fn())
+            except Exception:  # pragma: no cover - defensive; exporter must survive
+                continue
+        return out
+
+    def snapshot(self) -> Dict[str, float]:
+        """``{series_key: value}`` for every current sample.
+
+        Duplicate keys (two collectors mirroring the same series) are
+        summed, which is also the cross-instance aggregation rule.
+        """
+
+        snap: Dict[str, float] = {}
+        for sample in self.collect():
+            snap[sample.key] = snap.get(sample.key, 0.0) + sample.value
+        return snap
+
+    def delta(self, since: Mapping[str, float]) -> Dict[str, float]:
+        """Difference vs an earlier :meth:`snapshot` (gauges included as-is).
+
+        Mirrors the engine's ``stats(since=...)`` idiom: series absent
+        from ``since`` are reported at full value; series that vanished
+        are omitted.
+        """
+
+        now = self.snapshot()
+        return {key: value - since.get(key, 0.0) for key, value in now.items()}
+
+
+_DEFAULT = MetricsRegistry()
+
+
+def default_registry() -> MetricsRegistry:
+    """The process-wide registry all platform instruments attach to."""
+
+    return _DEFAULT

@@ -1,0 +1,117 @@
+"""Lightweight span tracer with an injectable clock.
+
+A *span* is one timed region — ``lease``, ``evaluate``, ``persist``,
+``complete`` in the worker loop; ``fit`` / ``diagnose`` / ``acquire``
+and whole rounds in a campaign; batch transactions in the store and
+queue.  Each finished span feeds one observation into the
+``repro_span_seconds`` histogram on the metrics registry, labeled by
+span name, so percentile-ish latency (bucket counts, sum, count) is
+scrape-able without any log processing.
+
+The clock is injectable (``Tracer(clock=fake)``) so tests assert exact
+durations; the default is ``time.perf_counter`` — monotonic, and
+deliberately *not* wall-clock, so tracing never smuggles
+``time.time()`` into fingerprint-adjacent code paths (REP102).
+
+Usage::
+
+    from repro.obs.tracing import span
+
+    with span("persist", queue="sqlite"):
+        store.put_many(entries)
+
+Spans never raise past the workload: a failing body propagates its own
+exception, but the timing record is still made (``status="error"``).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterator, Optional, Tuple
+
+from repro.obs.metrics import Histogram, MetricsRegistry, default_registry
+
+__all__ = ["SpanRecord", "Tracer", "default_tracer", "span"]
+
+
+class SpanRecord:
+    """Finished span: name, labels, duration, ok/error status."""
+
+    __slots__ = ("name", "labels", "seconds", "status")
+
+    def __init__(
+        self, name: str, labels: Tuple[Tuple[str, str], ...], seconds: float, status: str
+    ) -> None:
+        self.name = name
+        self.labels = labels
+        self.seconds = seconds
+        self.status = status
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SpanRecord({self.name!r}, {self.seconds:.6f}s, {self.status})"
+
+
+class Tracer:
+    """Records spans into a duration histogram on a metrics registry."""
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        clock: Callable[[], float] = time.perf_counter,
+        sink: Optional[Callable[[SpanRecord], None]] = None,
+    ) -> None:
+        self.registry = registry if registry is not None else default_registry()
+        self.clock = clock
+        self.sink = sink
+        self._histogram: Optional[Histogram] = None
+
+    def _duration_histogram(self) -> Histogram:
+        if self._histogram is None:
+            self._histogram = self.registry.histogram(
+                "repro_span_seconds",
+                "Duration of instrumented platform spans.",
+                labelnames=("span", "status"),
+            )
+        return self._histogram
+
+    @contextmanager
+    def span(self, name: str, **labels: object) -> Iterator[Dict[str, object]]:
+        """Time a region; yields a dict whose entries become extra context.
+
+        Extra labels beyond ``span``/``status`` are not exported to the
+        histogram (unbounded cardinality), but they are passed through
+        to the ``sink`` for tests and the event log bridge.
+        """
+
+        start = self.clock()
+        status = "ok"
+        ctx: Dict[str, object] = dict(labels)
+        try:
+            yield ctx
+        except BaseException:
+            status = "error"
+            raise
+        finally:
+            seconds = self.clock() - start
+            self._duration_histogram().observe(seconds, span=name, status=status)
+            if self.sink is not None:
+                pairs = tuple(sorted((str(k), str(v)) for k, v in ctx.items()))
+                self.sink(SpanRecord(name, pairs, seconds, status))
+
+
+_DEFAULT = Tracer()
+
+
+def default_tracer() -> Tracer:
+    """Process-wide tracer bound to the default metrics registry."""
+
+    return _DEFAULT
+
+
+@contextmanager
+def span(name: str, **labels: object) -> Iterator[Dict[str, object]]:
+    """Module-level shorthand for ``default_tracer().span(...)``."""
+
+    with _DEFAULT.span(name, **labels) as ctx:
+        yield ctx

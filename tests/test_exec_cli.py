@@ -408,8 +408,10 @@ class TestQueueStatsWatch:
         # Exit code is the last sample's (failed jobs remain -> 2).
         assert main(["queue", "stats", spec, "--watch", "2"]) == 2
         out = capsys.readouterr().out
-        assert out.count("pending:") == 3
-        assert out.count("-- ") == 3  # timestamp header per sample
+        # Watch mode renders the live fleet dashboard once per tick.
+        assert out.count("fleet") == 3
+        assert out.count("queue [") == 3  # depth bar per sample
+        assert "pending=" in out
         assert calls["delays"] == [2.0, 2.0, 2.0]
 
     def test_watch_accepts_duration_suffix(
@@ -496,7 +498,7 @@ class TestQueueStatsWatch:
         # queue kept), ok on the re-resolved queue -> last code is 2.
         assert main(["queue", "stats", spec, "--watch", "1"]) == 2
         captured = capsys.readouterr()
-        assert captured.out.count("pending:") == 2
+        assert captured.out.count("fleet") == 2
         assert captured.err.count("queue unreadable") == 2
         assert "still watching" in captured.err
         assert resolves["n"] == 3

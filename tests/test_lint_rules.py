@@ -208,6 +208,49 @@ class TestWallClock:
         assert result.clean
         assert result.waived == 1
 
+    def test_obs_modules_are_allowlisted(self):
+        """Telemetry timestamps wall-clock by design; the whole
+        ``repro/obs`` package is allowlisted."""
+        result = findings_for(
+            """\
+            import time
+            def stamp_event():
+                return time.time()
+            """,
+            relpath="src/repro/obs/events.py",
+        )
+        assert result.clean
+
+    def test_fingerprint_code_importing_obs_still_fires(self):
+        """The obs allowlist must not leak: fingerprint code that
+        imports obs helpers keeps the wall-clock quarantine on its own
+        ``time.time()`` calls."""
+        result = findings_for(
+            """\
+            import time
+            from repro.obs.events import emit_event
+            from repro.obs.tracing import span
+            def point_fingerprint(point):
+                emit_event("fingerprinted")
+                return (point, time.time())
+            """,
+            relpath="src/repro/sim/anything.py",
+        )
+        assert rule_ids(result) == ["REP102"]
+
+    def test_critical_module_importing_obs_still_fires(self):
+        result = findings_for(
+            """\
+            import time
+            from repro.obs.catalog import instrument
+            def stamp():
+                instrument("repro_gc_runs_total").inc()
+                return time.time()
+            """,
+            relpath="src/repro/exec/cache.py",
+        )
+        assert rule_ids(result) == ["REP102"]
+
 
 # -- REP103: atomic durable writes ---------------------------------------------
 

@@ -1,0 +1,271 @@
+"""The structured event log, span tracer and fleet aggregation.
+
+The event log is the cross-process telemetry transport: O_APPEND JSONL
+whose reader tolerates torn lines, with ``metrics_flush`` records
+folded latest-per-process and discrete lifecycle events (lease grants,
+reclaims, breaker trips, round boundaries) taking precedence over
+same-named flushed series.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs.events import (
+    EVENT_SCHEMA_VERSION,
+    EventLog,
+    default_events_path,
+    emit_event,
+    read_events,
+    set_event_log,
+)
+from repro.obs.fleet import FleetSample, aggregate_event_counters, sample_fleet
+from repro.obs.dashboard import render_dashboard
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import SpanRecord, Tracer
+
+
+@pytest.fixture(autouse=True)
+def _unbound_event_log():
+    """Each test starts and ends with no process-wide log bound."""
+    set_event_log(None)
+    yield
+    set_event_log(None)
+
+
+class TestEventLog:
+    def test_round_trip_with_envelope_fields(self, tmp_path):
+        path = tmp_path / "log" / "events.jsonl"
+        log = EventLog(path)
+        log.emit("lease_grant", queue="q", jobs=2)
+        log.emit("gc", store="s")
+        log.close()
+        records = read_events(path)
+        assert [r["event"] for r in records] == ["lease_grant", "gc"]
+        first = records[0]
+        assert first["schema"] == EVENT_SCHEMA_VERSION
+        assert first["jobs"] == 2
+        assert isinstance(first["ts"], float)
+        assert isinstance(first["pid"], int)
+
+    def test_reader_skips_torn_lines(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        good = json.dumps({"event": "a", "schema": 1})
+        path.write_text(
+            good + "\n" + '{"event": "torn", "ha' + "\n" + good + "\n"
+            + '{"event": "trailing-partial"'
+        )
+        assert [r["event"] for r in read_events(path)] == ["a", "a"]
+
+    def test_event_filter_and_missing_file(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = EventLog(path)
+        log.emit("a")
+        log.emit("b")
+        log.emit("a")
+        log.close()
+        assert len(read_events(path, event="a")) == 2
+        assert read_events(tmp_path / "never.jsonl") == []
+
+    def test_unwritable_log_disables_itself(self, tmp_path, capsys):
+        log = EventLog(tmp_path)  # a directory: open() fails
+        log.emit("a")
+        log.emit("b")
+        err = capsys.readouterr().err
+        assert err.count("disabled") == 1  # one warning, then silence
+
+    def test_emit_event_is_noop_until_configured(self, tmp_path):
+        emit_event("ignored")  # must not raise, nothing bound
+        path = tmp_path / "events.jsonl"
+        set_event_log(path)
+        emit_event("kept", k=1)
+        assert [r["event"] for r in read_events(path)] == ["kept"]
+
+    def test_env_var_binds_the_default_log(self, tmp_path, monkeypatch):
+        import repro.obs.events as events_module
+
+        path = tmp_path / "env.jsonl"
+        monkeypatch.setenv("REPRO_EVENT_LOG", str(path))
+        monkeypatch.setattr(events_module, "_log", None)
+        monkeypatch.setattr(events_module, "_env_checked", False)
+        emit_event("from-env")
+        assert [r["event"] for r in read_events(path)] == ["from-env"]
+
+    def test_concurrent_writers_interleave_whole_lines(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = EventLog(path)
+
+        def write(tag):
+            for i in range(200):
+                log.emit("tick", tag=tag, i=i)
+
+        pool = [
+            threading.Thread(target=write, args=(t,)) for t in range(4)
+        ]
+        for t in pool:
+            t.start()
+        for t in pool:
+            t.join()
+        log.close()
+        records = read_events(path, event="tick")
+        assert len(records) == 800  # nothing torn, nothing lost
+
+    def test_default_events_path_conventions(self, tmp_path):
+        assert default_events_path("results.sqlite") == "results.events.jsonl"
+        assert default_events_path("results.db") == "results.events.jsonl"
+        directory = tmp_path / "evals"
+        directory.mkdir()
+        assert default_events_path(str(directory)) == str(
+            directory / ".events.jsonl"
+        )
+
+
+class TestTracer:
+    def _fake_clock(self, ticks):
+        it = iter(ticks)
+        return lambda: next(it)
+
+    def test_span_durations_are_exact_with_injected_clock(self):
+        reg = MetricsRegistry()
+        tracer = Tracer(registry=reg, clock=self._fake_clock([10.0, 12.5]))
+        with tracer.span("evaluate"):
+            pass
+        hist = reg.get("repro_span_seconds")
+        count, total = hist.state(span="evaluate", status="ok")
+        assert (count, total) == (1, 2.5)
+
+    def test_failing_span_records_error_status_and_reraises(self):
+        reg = MetricsRegistry()
+        tracer = Tracer(registry=reg, clock=self._fake_clock([0.0, 1.0]))
+        with pytest.raises(RuntimeError):
+            with tracer.span("persist"):
+                raise RuntimeError("disk gone")
+        count, total = reg.get("repro_span_seconds").state(
+            span="persist", status="error"
+        )
+        assert (count, total) == (1, 1.0)
+
+    def test_sink_sees_labels_and_context(self):
+        records = []
+        tracer = Tracer(
+            registry=MetricsRegistry(),
+            clock=self._fake_clock([0.0, 3.0]),
+            sink=records.append,
+        )
+        with tracer.span("lease", worker="w1") as ctx:
+            ctx["jobs"] = 4
+        (record,) = records
+        assert isinstance(record, SpanRecord)
+        assert record.name == "lease"
+        assert record.seconds == 3.0
+        assert dict(record.labels) == {"worker": "w1", "jobs": "4"}
+
+
+class TestAggregation:
+    def _write(self, path, records):
+        with open(path, "w") as fh:
+            for record in records:
+                fh.write(json.dumps(record) + "\n")
+
+    def test_latest_flush_per_process_sums_across_processes(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        self._write(path, [
+            {"event": "metrics_flush", "pid": 1, "source": "w1",
+             "counters": {"repro_jobs_completed_total": 3.0}},
+            # Same pid+source again: monotonic, latest wins (not summed).
+            {"event": "metrics_flush", "pid": 1, "source": "w1",
+             "counters": {"repro_jobs_completed_total": 5.0}},
+            {"event": "metrics_flush", "pid": 2, "source": "w2",
+             "counters": {"repro_jobs_completed_total": 4.0}},
+        ])
+        totals = aggregate_event_counters(path)
+        assert totals["repro_jobs_completed_total"] == 9.0
+
+    def test_discrete_events_override_flushed_series(self, tmp_path):
+        """Lease counters come from discrete events; the same series
+        inside a flush must not double count."""
+        path = tmp_path / "events.jsonl"
+        self._write(path, [
+            {"event": "metrics_flush", "pid": 1, "source": "w1",
+             "counters": {
+                 'repro_lease_grants_total{queue="q"}': 99.0,
+                 "repro_points_evaluated_total": 7.0,
+             }},
+            {"event": "lease_grant", "queue": "q", "jobs": 2},
+            {"event": "lease_grant", "queue": "q", "jobs": 1},
+            {"event": "lease_reclaim", "queue": "q"},
+            {"event": "breaker_trip", "component": "store"},
+            {"event": "degraded_op", "component": "store"},
+            {"event": "gc"},
+            {"event": "round_complete", "round": 0, "stop": None},
+            {"event": "round_complete", "round": 1, "stop": "max-rounds"},
+        ])
+        totals = aggregate_event_counters(path)
+        assert totals["repro_lease_grants_total"] == 3.0
+        assert 'repro_lease_grants_total{queue="q"}' not in totals
+        assert totals["repro_lease_reclaims_total"] == 1.0
+        assert totals['repro_breaker_trips_total{component="store"}'] == 1.0
+        assert totals['repro_degraded_ops_total{component="store"}'] == 1.0
+        assert totals["repro_gc_runs_total"] == 1.0
+        assert totals['repro_campaign_rounds_total{stop="continue"}'] == 1.0
+        assert totals['repro_campaign_rounds_total{stop="max-rounds"}'] == 1.0
+        assert totals["repro_points_evaluated_total"] == 7.0
+
+
+class TestFleetSample:
+    def _sample(self):
+        sample = FleetSample(sampled_at=1000.0)
+        sample.queue_counts = {
+            "pending": 3, "leased": 2, "done": 5, "failed": 1,
+            "expired": 0, "invalid": 0, "total": 11, "outstanding": 5,
+        }
+        sample.queue_describe = {"kind": "sqlite"}
+        sample.workers = {
+            "w1": {"jobs_held": 2, "oldest_lease_age": 4.0,
+                   "last_heartbeat_age": 1.0, "next_expiry_in": 56.0},
+        }
+        sample.event_counters = {"repro_cache_hits_total": 8.0}
+        sample.rounds = [
+            {"event": "round_complete", "round": 2, "simulated": 6,
+             "cached": 3, "stop": None},
+        ]
+        return sample
+
+    def test_samples_expose_gauges_and_counters(self):
+        rows = {s.key: s.value for s in self._sample().samples()}
+        assert rows['repro_queue_depth{status="pending"}'] == 3.0
+        assert rows['repro_queue_depth{status="failed"}'] == 1.0
+        assert "repro_queue_depth{status=\"total\"}" not in rows
+        assert rows['repro_worker_jobs_held{worker="w1"}'] == 2.0
+        assert rows['repro_worker_oldest_lease_age_seconds{worker="w1"}'] == 4.0
+        assert rows['repro_worker_heartbeat_age_seconds{worker="w1"}'] == 1.0
+        assert rows["repro_fleet_workers"] == 1.0
+        assert rows["repro_cache_hits_total"] == 8.0
+
+    def test_dashboard_renders_every_section(self):
+        sample = self._sample()
+        previous = FleetSample(sampled_at=990.0)
+        previous.queue_counts = {"done": 1}
+        text = "\n".join(render_dashboard(sample, previous))
+        assert "fleet" in text
+        assert "pending=3" in text
+        assert "w1" in text
+        assert "cache hits=8" in text
+        assert "round=2" in text
+        # Throughput from the done-delta: 4 jobs over 10 seconds.
+        assert "0.4" in text
+
+    def test_sample_fleet_tolerates_missing_substrate(self, tmp_path):
+        sample = sample_fleet(str(tmp_path / "nowhere.sqlite"))
+        assert sample.queue_counts == {}
+        assert sample.workers == {}
+        assert sample.rounds == []
+
+    def test_sample_fleet_propagates_caller_queue_errors(self, tmp_path):
+        class Broken:
+            def stats(self):
+                raise OSError("vanished")
+
+        with pytest.raises(OSError):
+            sample_fleet(str(tmp_path / "s.sqlite"), queue=Broken())

@@ -1,0 +1,271 @@
+"""The metrics registry and Prometheus exporter.
+
+Covers the acceptance properties of the observability tentpole's
+metrics half: instruments are idempotent and thread-safe (N threads,
+exact totals), collectors are pull-time and weakref-pruned, and the
+text exposition round-trips through its own parser bit-exactly —
+including histogram bucket ordering, label escaping and ``+Inf``.
+"""
+
+import threading
+import urllib.request
+
+import pytest
+
+from repro.obs.export import (
+    MetricsServer,
+    parse_prometheus,
+    render_prometheus,
+    write_textfile,
+)
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    MetricsRegistry,
+    Sample,
+    default_registry,
+    series_key,
+)
+
+
+class TestInstruments:
+    def test_counter_counts_per_label_set(self):
+        reg = MetricsRegistry()
+        c = reg.counter("jobs_total", "jobs", ("worker",))
+        c.inc(worker="a")
+        c.inc(3, worker="a")
+        c.inc(worker="b")
+        assert c.value(worker="a") == 4
+        assert c.value(worker="b") == 1
+        assert c.value(worker="never") == 0
+
+    def test_counter_rejects_negative_and_unknown_labels(self):
+        reg = MetricsRegistry()
+        c = reg.counter("jobs_total", "", ("worker",))
+        with pytest.raises(ValueError):
+            c.inc(-1, worker="a")
+        with pytest.raises(ValueError):
+            c.inc(1, nope="a")
+
+    def test_gauge_set_inc_dec(self):
+        g = MetricsRegistry().gauge("depth", "", ("status",))
+        g.set(5, status="pending")
+        g.inc(2, status="pending")
+        g.dec(status="pending")
+        assert g.value(status="pending") == 6
+
+    def test_instrument_creation_is_idempotent(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x_total", "", ("a",)) is reg.counter(
+            "x_total", "", ("a",)
+        )
+
+    def test_kind_or_label_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total", "", ("a",))
+        with pytest.raises(ValueError):
+            reg.gauge("x_total", "", ("a",))
+        with pytest.raises(ValueError):
+            reg.counter("x_total", "", ("b",))
+
+    def test_histogram_buckets_are_cumulative(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", "", buckets=(0.1, 1.0))
+        h.observe(0.05)
+        h.observe(0.5)
+        h.observe(50.0)  # lands in +Inf
+        rows = {s.key: s.value for s in h.samples()}
+        assert rows['lat_bucket{le="0.1"}'] == 1
+        assert rows['lat_bucket{le="1"}'] == 2
+        assert rows['lat_bucket{le="+Inf"}'] == 3
+        assert rows["lat_count"] == 3
+        assert rows["lat_sum"] == pytest.approx(50.55)
+
+    def test_default_buckets_end_at_inf(self):
+        assert DEFAULT_BUCKETS[-1] == float("inf")
+
+    def test_series_key_is_stable_under_label_order(self):
+        assert series_key("m", {"b": 1, "a": 2}) == series_key(
+            "m", {"a": 2, "b": 1}
+        )
+
+
+class TestConcurrency:
+    def test_n_threads_land_exact_totals(self):
+        """The hard registry guarantee: concurrent increments from N
+        threads across instruments and label sets lose nothing."""
+        reg = MetricsRegistry()
+        counter = reg.counter("ops_total", "", ("worker",))
+        gauge = reg.gauge("level", "")
+        hist = reg.histogram("lat", "", buckets=(0.5,))
+        threads, per_thread = 8, 2500
+
+        def hammer(idx):
+            label = f"w{idx % 2}"
+            for _ in range(per_thread):
+                counter.inc(worker=label)
+                gauge.inc()
+                hist.observe(0.25)
+
+        pool = [
+            threading.Thread(target=hammer, args=(i,)) for i in range(threads)
+        ]
+        for t in pool:
+            t.start()
+        for t in pool:
+            t.join()
+        total = threads * per_thread
+        assert counter.value(worker="w0") == total / 2
+        assert counter.value(worker="w1") == total / 2
+        assert gauge.value() == total
+        count, summed = hist.state()
+        assert count == total
+        assert summed == pytest.approx(0.25 * total)
+
+    def test_concurrent_instrument_creation_yields_one_metric(self):
+        reg = MetricsRegistry()
+        handles = []
+
+        def create():
+            handles.append(reg.counter("shared_total", "", ()))
+
+        pool = [threading.Thread(target=create) for _ in range(16)]
+        for t in pool:
+            t.start()
+        for t in pool:
+            t.join()
+        assert len({id(h) for h in handles}) == 1
+
+
+class TestCollectors:
+    def test_collector_samples_appear_and_unregister(self):
+        reg = MetricsRegistry()
+        unregister = reg.register_collector(
+            lambda: [Sample("ext", "gauge", "", (), 7.0)]
+        )
+        assert reg.snapshot()["ext"] == 7.0
+        unregister()
+        assert "ext" not in reg.snapshot()
+
+    def test_object_collector_prunes_when_object_dies(self):
+        reg = MetricsRegistry()
+
+        class Tracked:
+            value = 3.0
+
+        obj = Tracked()
+        reg.register_object_collector(
+            obj, lambda o: [Sample("tracked", "gauge", "", (), o.value)]
+        )
+        assert reg.snapshot()["tracked"] == 3.0
+        del obj
+        assert "tracked" not in reg.snapshot()
+
+    def test_raising_collector_is_skipped_not_fatal(self):
+        reg = MetricsRegistry()
+        reg.counter("ok_total", "").inc()
+
+        def bad():
+            raise RuntimeError("component mid-teardown")
+
+        reg.register_collector(bad)
+        assert reg.snapshot()["ok_total"] == 1.0
+
+    def test_duplicate_series_sum_in_snapshot(self):
+        """Two mirrors of one series aggregate — the cross-instance
+        rule the fleet aggregator also uses."""
+        reg = MetricsRegistry()
+        mk = lambda v: lambda: [Sample("dup_total", "counter", "", (), v)]
+        reg.register_collector(mk(2.0))
+        reg.register_collector(mk(5.0))
+        assert reg.snapshot()["dup_total"] == 7.0
+
+    def test_delta_mirrors_stats_since_idiom(self):
+        reg = MetricsRegistry()
+        c = reg.counter("ops_total", "")
+        c.inc(4)
+        before = reg.snapshot()
+        c.inc(3)
+        assert reg.delta(before)["ops_total"] == 3.0
+
+
+class TestExposition:
+    def _registry(self):
+        reg = MetricsRegistry()
+        c = reg.counter("repro_jobs_total", "Jobs processed.", ("worker",))
+        c.inc(5, worker="w-1")
+        c.inc(2, worker='we"ird\\w')  # label escaping must round-trip
+        reg.gauge("repro_depth", "Queue depth.").set(11)
+        h = reg.histogram("repro_lat_seconds", "Latency.", buckets=(0.1, 1.0))
+        h.observe(0.05)
+        h.observe(0.7)
+        return reg
+
+    def test_round_trip_is_exact(self):
+        reg = self._registry()
+        parsed = parse_prometheus(render_prometheus(registry=reg))
+        assert parsed == reg.snapshot()
+
+    def test_help_and_type_headers(self):
+        text = render_prometheus(registry=self._registry())
+        assert "# HELP repro_jobs_total Jobs processed." in text
+        assert "# TYPE repro_jobs_total counter" in text
+        assert "# TYPE repro_depth gauge" in text
+        assert "# TYPE repro_lat_seconds histogram" in text
+
+    def test_histogram_family_shares_one_type_header(self):
+        text = render_prometheus(registry=self._registry())
+        assert text.count("# TYPE repro_lat_seconds histogram") == 1
+        # Buckets stay in ascending-le order with +Inf last.
+        bucket_lines = [
+            l for l in text.splitlines() if l.startswith("repro_lat_seconds_bucket")
+        ]
+        assert bucket_lines[-1].startswith('repro_lat_seconds_bucket{le="+Inf"}')
+
+    def test_duplicate_keys_sum_in_exposition(self):
+        samples = [
+            Sample("m_total", "counter", "", (), 1.0),
+            Sample("m_total", "counter", "", (), 2.0),
+        ]
+        assert parse_prometheus(render_prometheus(samples=samples)) == {
+            "m_total": 3.0
+        }
+
+    def test_textfile_write_is_atomic_and_parseable(self, tmp_path):
+        out = tmp_path / "metrics" / "repro.prom"
+        write_textfile(out, registry=self._registry())
+        parsed = parse_prometheus(out.read_text())
+        assert parsed['repro_jobs_total{worker="w-1"}'] == 5.0
+        assert not list(out.parent.glob("*.tmp*"))  # no staging litter
+
+
+class TestServer:
+    def test_scrape_endpoint_serves_registry(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_up_total", "").inc(9)
+        with MetricsServer(port=0, registry=reg) as server:
+            body = urllib.request.urlopen(server.url, timeout=5).read()
+        assert parse_prometheus(body.decode())["repro_up_total"] == 9.0
+
+    def test_extra_samples_fold_in_per_scrape(self):
+        reg = MetricsRegistry()
+        pulls = []
+
+        def extra():
+            pulls.append(1)
+            return [Sample("fleet_extra", "gauge", "", (), float(len(pulls)))]
+
+        with MetricsServer(port=0, registry=reg, extra_samples=extra) as server:
+            first = urllib.request.urlopen(server.url, timeout=5).read().decode()
+            second = urllib.request.urlopen(server.url, timeout=5).read().decode()
+        assert parse_prometheus(first)["fleet_extra"] == 1.0
+        assert parse_prometheus(second)["fleet_extra"] == 2.0
+
+    def test_non_metrics_path_is_404(self):
+        with MetricsServer(port=0, registry=MetricsRegistry()) as server:
+            with pytest.raises(urllib.error.HTTPError) as err:
+                urllib.request.urlopen(server.url.replace("/metrics", "/nope"), timeout=5)
+        assert err.value.code == 404
+
+
+def test_default_registry_is_a_singleton():
+    assert default_registry() is default_registry()
